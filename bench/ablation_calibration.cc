@@ -1,0 +1,126 @@
+// Calibration regenerator — reproduces the two constants this library
+// fits by simulation (DESIGN.md #2):
+//   1. the SuperLogLog truncated-estimator constant (superloglog.cc), and
+//   2. the HLL++ raw-estimator bias grid (hyperloglog_pp.cc),
+// and prints the residual error of the embedded values against a fresh
+// measurement so drift is detectable.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bitvec/packed_array.h"
+#include "common/stats.h"
+#include "common/table_printer.h"
+#include "estimators/hyperloglog_pp.h"
+#include "estimators/loglog_common.h"
+
+namespace smb::bench {
+namespace {
+
+void FillRegisters(PackedArray* regs, uint64_t n, uint64_t seed) {
+  for (uint64_t i = 0; i < n; ++i) {
+    const Hash128 h = Murmur3_128_U64(i, seed);
+    regs->UpdateMax(LogLogRegisterIndex(h.lo, regs->size()),
+                    LogLogRegisterValue(h.hi, 5));
+  }
+}
+
+void CalibrateSuperLogLog(const BenchScale& scale) {
+  const size_t trials = scale.full ? 100 : 25;
+  TablePrinter table(
+      "SuperLogLog constant: measured n / (t * 2^mean-of-smallest-70%) "
+      "(embedded value: 0.7730)");
+  table.SetHeader({"t", "n/t", "measured C", "sd"});
+  for (size_t t : {size_t{512}, size_t{2000}}) {
+    for (double ratio : {5.0, 20.0, 100.0}) {
+      const uint64_t n = static_cast<uint64_t>(ratio *
+                                               static_cast<double>(t));
+      RunningStats c;
+      for (size_t trial = 0; trial < trials; ++trial) {
+        PackedArray regs(t, 5);
+        FillRegisters(&regs, n, trial * 1000003 + t);
+        std::vector<uint8_t> values(t);
+        for (size_t i = 0; i < t; ++i) {
+          values[i] = static_cast<uint8_t>(regs.Get(i));
+        }
+        const size_t kept =
+            static_cast<size_t>(0.7 * static_cast<double>(t));
+        std::nth_element(values.begin(),
+                         values.begin() + static_cast<ptrdiff_t>(kept - 1),
+                         values.end());
+        double sum = 0;
+        for (size_t i = 0; i < kept; ++i) {
+          sum += static_cast<double>(values[i]);
+        }
+        const double denom = static_cast<double>(t) *
+                             std::exp2(sum / static_cast<double>(kept));
+        c.Add(static_cast<double>(n) / denom);
+      }
+      table.AddRow({std::to_string(t), TablePrinter::Fmt(ratio, 0),
+                    TablePrinter::Fmt(c.mean(), 4),
+                    TablePrinter::Fmt(c.stddev(), 4)});
+    }
+  }
+  table.Print();
+}
+
+void CalibrateHllppBias(const BenchScale& scale) {
+  const size_t trials = scale.full ? 120 : 30;
+  constexpr size_t kT = 2000;
+  constexpr double kBinWidth = 0.25;
+  constexpr int kBins = 26;
+  std::vector<RunningStats> bins(kBins);
+  for (double ratio = 0.125; ratio <= 6.5; ratio += 0.125) {
+    const uint64_t n = static_cast<uint64_t>(ratio * kT);
+    if (n == 0) continue;
+    for (size_t trial = 0; trial < trials; ++trial) {
+      PackedArray regs(kT, 5);
+      FillRegisters(&regs, n,
+                    trial * 7919 + static_cast<uint64_t>(ratio * 8) + 13);
+      double inv = 0;
+      for (size_t i = 0; i < kT; ++i) {
+        inv += std::exp2(-static_cast<double>(regs.Get(i)));
+      }
+      const double raw = HllAlpha(kT) * kT * kT / inv;
+      const int bin = static_cast<int>(raw / kT / kBinWidth);
+      if (bin >= 0 && bin < kBins) bins[static_cast<size_t>(bin)].Add(
+          (raw - static_cast<double>(n)) / kT);
+    }
+  }
+
+  TablePrinter table(
+      "HLL++ raw-estimator bias grid: measured bias(raw/t)/t vs the "
+      "embedded piecewise-linear fit");
+  table.SetHeader({"raw/t", "measured bias/t", "embedded fit", "residual"});
+  for (int b = 3; b < kBins; ++b) {
+    const auto& bin = bins[static_cast<size_t>(b)];
+    if (bin.count() < 10) continue;
+    const double x = (b + 0.5) * kBinWidth;
+    const double fitted = HyperLogLogPP::BiasFraction(x);
+    table.AddRow({TablePrinter::Fmt(x, 3),
+                  TablePrinter::Fmt(bin.mean(), 4),
+                  TablePrinter::Fmt(fitted, 4),
+                  TablePrinter::Fmt(bin.mean() - fitted, 4)});
+  }
+  table.Print();
+  std::printf("Residuals within a few 0.01 t indicate the embedded "
+              "constants are current;\nre-fit (and update the arrays in "
+              "hyperloglog_pp.cc / superloglog.cc) if the\nregister "
+              "update rule ever changes.\n");
+}
+
+void Run(const BenchScale& scale) {
+  CalibrateSuperLogLog(scale);
+  CalibrateHllppBias(scale);
+}
+
+}  // namespace
+}  // namespace smb::bench
+
+int main(int argc, char** argv) {
+  smb::bench::Run(smb::bench::ParseScale(argc, argv));
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Ablation — hash-function choice. SMB assumes uniform hashing for both
+// its bit placement and its geometric sampling rank. This bench drives
+// the same SMB configuration through four hash families (via AddHash) and
+// shows that any decent mixer works, while a weak one (FNV-1a on dense
+// integer keys) visibly skews the geometric ranks and wrecks accuracy.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "common/table_printer.h"
+#include "core/self_morphing_bitmap.h"
+#include "core/smb_params.h"
+#include "hash/fnv.h"
+#include "hash/tabulation_hash.h"
+#include "hash/xxhash64.h"
+
+namespace smb::bench {
+namespace {
+
+enum class HashFamily { kMurmur3, kXxHash, kTabulation, kFnv };
+
+const char* FamilyName(HashFamily family) {
+  switch (family) {
+    case HashFamily::kMurmur3: return "Murmur3 x64-128";
+    case HashFamily::kXxHash: return "XXH64 (two seeds)";
+    case HashFamily::kTabulation: return "tabulation (two tables)";
+    case HashFamily::kFnv: return "FNV-1a (weak)";
+  }
+  return "?";
+}
+
+Hash128 HashItem(HashFamily family, uint64_t item, uint64_t seed,
+                 const TabulationHash& tab_lo,
+                 const TabulationHash& tab_hi) {
+  switch (family) {
+    case HashFamily::kMurmur3:
+      return Murmur3_128_U64(item, seed);
+    case HashFamily::kXxHash:
+      return Hash128{XxHash64_U64(item, seed),
+                     XxHash64_U64(item, seed ^ 0x5851F42D4C957F2DULL)};
+    case HashFamily::kTabulation:
+      return Hash128{tab_lo(item), tab_hi(item)};
+    case HashFamily::kFnv:
+      return Hash128{Fnv1a64_U64(item, seed),
+                     Fnv1a64_U64(item, seed ^ 0x5851F42D4C957F2DULL)};
+  }
+  return Hash128{};
+}
+
+void Run(const BenchScale& scale) {
+  constexpr size_t kMemory = 10000;
+  const size_t threshold = OptimalThresholdValue(kMemory, 1000000);
+  const std::vector<uint64_t> cardinalities = {10000, 300000};
+
+  TablePrinter table(
+      "Ablation: SMB accuracy under different hash families (m = 10000, "
+      "optimal T; items are dense integers — the adversarial case for "
+      "weak hashes)");
+  std::vector<std::string> header = {"hash family"};
+  for (uint64_t n : cardinalities) {
+    header.push_back("rel.err @ n=" + CountLabel(n));
+    header.push_back("bias @ n=" + CountLabel(n));
+  }
+  table.SetHeader(header);
+
+  for (HashFamily family :
+       {HashFamily::kMurmur3, HashFamily::kXxHash, HashFamily::kTabulation,
+        HashFamily::kFnv}) {
+    std::vector<std::string> row = {FamilyName(family)};
+    for (uint64_t n : cardinalities) {
+      std::vector<double> estimates, truths;
+      for (size_t run = 0; run < scale.runs; ++run) {
+        const uint64_t seed = run * 1002241 + 7;
+        const TabulationHash tab_lo(seed);
+        const TabulationHash tab_hi(seed ^ 0xABCDEF);
+        SelfMorphingBitmap::Config config;
+        config.num_bits = kMemory;
+        config.threshold = threshold;
+        SelfMorphingBitmap smb(config);
+        // Dense integer keys, NOT pre-mixed: the hash family under test
+        // carries the whole randomization burden.
+        for (uint64_t i = 0; i < n; ++i) {
+          smb.AddHash(HashItem(family, i, seed, tab_lo, tab_hi));
+        }
+        estimates.push_back(smb.Estimate());
+        truths.push_back(static_cast<double>(n));
+      }
+      const ErrorStats stats = ComputeErrorStats(estimates, truths);
+      row.push_back(TablePrinter::Fmt(stats.mean_relative_error, 4));
+      row.push_back(TablePrinter::Fmt(stats.relative_bias, 4));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf("Reading: Murmur3, XXH64 and tabulation are interchangeable; "
+              "FNV-1a's weak\nlow-bit diffusion skews the geometric ranks "
+              "on dense keys and biases SMB.\n");
+}
+
+}  // namespace
+}  // namespace smb::bench
+
+int main(int argc, char** argv) {
+  smb::bench::Run(smb::bench::ParseScale(argc, argv));
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation — MRB's dense-component threshold (set_max fraction).
+//
+// The MRB baseline picks its estimation base as "one past the last
+// component filled beyond set_max" (DESIGN.md #6). The original paper
+// leaves the constant underspecified; this bench sweeps it to document
+// that our default (0.9) does not disadvantage the baseline.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/stats.h"
+#include "common/table_printer.h"
+#include "estimators/multiresolution_bitmap.h"
+
+namespace smb::bench {
+namespace {
+
+ErrorStats MeasureMrb(double set_max_fraction, uint64_t n, size_t runs) {
+  std::vector<double> estimates, truths;
+  for (size_t run = 0; run < runs; ++run) {
+    MultiResolutionBitmap::Config config =
+        MultiResolutionBitmap::Recommend(10000, 1000000,
+                                         run * 131071 + 17);
+    config.set_max_fraction = set_max_fraction;
+    MultiResolutionBitmap mrb(config);
+    for (uint64_t i = 0; i < n; ++i) {
+      mrb.Add(NthItem(run + 31, i));
+    }
+    estimates.push_back(mrb.Estimate());
+    truths.push_back(static_cast<double>(n));
+  }
+  return ComputeErrorStats(estimates, truths);
+}
+
+void Run(const BenchScale& scale) {
+  const std::vector<uint64_t> cardinalities = {50000, 300000, 1000000};
+
+  TablePrinter table(
+      "Ablation: MRB mean relative error vs dense-component threshold "
+      "(set_max fraction), m = 10000, Table III configuration");
+  std::vector<std::string> header = {"set_max fraction"};
+  for (uint64_t n : cardinalities) {
+    header.push_back("rel.err @ n=" + CountLabel(n));
+  }
+  table.SetHeader(header);
+
+  for (double fraction : {0.5, 0.7, 0.8, 0.9, 0.95}) {
+    std::vector<std::string> row = {TablePrinter::Fmt(fraction, 2)};
+    for (uint64_t n : cardinalities) {
+      const ErrorStats stats = MeasureMrb(fraction, n, scale.runs);
+      row.push_back(TablePrinter::Fmt(stats.mean_relative_error, 4));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf("Reading: low thresholds discard well-filled fine components "
+              "(more variance\nfrom coarse ones); very high thresholds keep "
+              "near-saturated components whose\nlinear-counting estimates "
+              "are noisy. 0.8-0.9 is the flat region; the library\n"
+              "defaults to 0.9.\n");
+}
+
+}  // namespace
+}  // namespace smb::bench
+
+int main(int argc, char** argv) {
+  smb::bench::Run(smb::bench::ParseScale(argc, argv));
+  return 0;
+}

@@ -1,0 +1,94 @@
+#include "bench/bench_util.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "hash/murmur3.h"
+
+namespace smb::bench {
+
+BenchScale ParseScale(int argc, char** argv) {
+  BenchScale scale;
+  const char* full_env = std::getenv("SMB_BENCH_FULL");
+  if (full_env != nullptr && full_env[0] == '1') scale.full = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) scale.full = true;
+  }
+  scale.runs = scale.full ? 100 : 10;
+  if (const char* runs_env = std::getenv("SMB_BENCH_RUNS")) {
+    const long parsed = std::strtol(runs_env, nullptr, 10);
+    if (parsed > 0) scale.runs = static_cast<size_t>(parsed);
+  }
+  return scale;
+}
+
+uint64_t NthItem(uint64_t seed, uint64_t i) {
+  return Murmur3Fmix64(seed * 0x9E3779B97F4A7C15ULL + i + 1);
+}
+
+Throughput MeasureRecording(CardinalityEstimator* estimator, uint64_t n,
+                            uint64_t seed) {
+  WallTimer timer;
+  for (uint64_t i = 0; i < n; ++i) {
+    estimator->Add(NthItem(seed, i));
+  }
+  Throughput out;
+  out.ops = n;
+  out.seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+Throughput MeasureQueries(const CardinalityEstimator* estimator,
+                          uint64_t queries) {
+  WallTimer timer;
+  double sink = 0.0;
+  for (uint64_t q = 0; q < queries; ++q) {
+    sink += estimator->Estimate();
+  }
+  DoNotOptimize(sink);
+  Throughput out;
+  out.ops = queries;
+  out.seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+ErrorStats MeasureAccuracy(const EstimatorSpec& base_spec, uint64_t n,
+                           size_t runs) {
+  std::vector<double> estimates;
+  std::vector<double> truths;
+  estimates.reserve(runs);
+  truths.reserve(runs);
+  for (size_t run = 0; run < runs; ++run) {
+    EstimatorSpec spec = base_spec;
+    spec.hash_seed = Murmur3Fmix64(base_spec.hash_seed + run * 2 + 1);
+    auto estimator = CreateEstimator(spec);
+    const uint64_t stream_seed = Murmur3Fmix64(run * 2 + 2);
+    for (uint64_t i = 0; i < n; ++i) {
+      estimator->Add(NthItem(stream_seed, i));
+    }
+    estimates.push_back(estimator->Estimate());
+    truths.push_back(static_cast<double>(n));
+  }
+  return ComputeErrorStats(estimates, truths);
+}
+
+std::vector<uint64_t> FigureCardinalityGrid(bool full) {
+  if (full) {
+    return {10000,  50000,  100000, 200000, 300000, 400000, 500000,
+            600000, 700000, 800000, 900000, 1000000};
+  }
+  return {10000, 50000, 100000, 200000, 400000, 700000, 1000000};
+}
+
+std::string CountLabel(uint64_t n) {
+  uint64_t v = n;
+  int exp = 0;
+  while (v >= 10 && v % 10 == 0) {
+    v /= 10;
+    ++exp;
+  }
+  if (v == 1 && exp >= 3) return "10^" + std::to_string(exp);
+  return std::to_string(n);
+}
+
+}  // namespace smb::bench

@@ -1,0 +1,58 @@
+// Shared plumbing for the paper-reproduction bench binaries: run-scale
+// configuration, stream feeding, and the error-sweep driver behind
+// Figures 6-8.
+//
+// Every bench binary runs at a fast default scale (seconds on one core)
+// and accepts `--full` (or env SMB_BENCH_FULL=1) to run at the paper's
+// scale; SMB_BENCH_RUNS overrides the number of streams averaged per
+// point (paper: 100).
+
+#ifndef SMBCARD_BENCH_BENCH_UTIL_H_
+#define SMBCARD_BENCH_BENCH_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/timer.h"
+#include "estimators/estimator_factory.h"
+
+namespace smb::bench {
+
+struct BenchScale {
+  bool full = false;   // --full / SMB_BENCH_FULL=1
+  size_t runs = 10;    // streams averaged per accuracy point (paper: 100)
+};
+
+// Parses --full and environment overrides.
+BenchScale ParseScale(int argc, char** argv);
+
+// The i-th distinct item of a stream family — bijective, so a loop over
+// i in [0, n) feeds exactly n distinct items with no materialized buffer
+// (needed for the 10^8-cardinality throughput points).
+uint64_t NthItem(uint64_t seed, uint64_t i);
+
+// Feeds n distinct items and returns the recording throughput.
+Throughput MeasureRecording(CardinalityEstimator* estimator, uint64_t n,
+                            uint64_t seed);
+
+// Queries the estimator `queries` times and returns the query throughput.
+Throughput MeasureQueries(const CardinalityEstimator* estimator,
+                          uint64_t queries);
+
+// One accuracy point: records `runs` independent streams of cardinality n
+// and aggregates the four Section V-A error metrics.
+ErrorStats MeasureAccuracy(const EstimatorSpec& base_spec, uint64_t n,
+                           size_t runs);
+
+// The cardinality grid of Figures 6-8 (up to 1M; trimmed at fast scale).
+std::vector<uint64_t> FigureCardinalityGrid(bool full);
+
+// Human-readable count, e.g. "10^6" for powers of ten else plain digits.
+std::string CountLabel(uint64_t n);
+
+}  // namespace smb::bench
+
+#endif  // SMBCARD_BENCH_BENCH_UTIL_H_

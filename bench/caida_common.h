@@ -1,0 +1,69 @@
+// Shared setup for the Section V-F benches: the synthetic CAIDA-like
+// trace (DESIGN.md #1) at two scales.
+//
+//   fast (default): 10k flows, ~5M packets  — seconds on one core
+//   --full        : 400k flows (the paper's flow count), tens of minutes
+
+// A real capture can replace the synthetic trace: set SMB_TRACE_FILE to a
+// binary trace written by WriteTraceFile, or to a `flow,element` CSV
+// (e.g. exported from a CAIDA pcap with
+// `tshark -T fields -E separator=, -e ip.dst -e ip.src`, with addresses
+// pre-mapped to integers).
+
+#ifndef SMBCARD_BENCH_CAIDA_COMMON_H_
+#define SMBCARD_BENCH_CAIDA_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "stream/trace_gen.h"
+#include "stream/trace_io.h"
+#include "stream/trace_stats.h"
+
+namespace smb::bench {
+
+inline TraceConfig CaidaLikeConfig(const BenchScale& scale) {
+  TraceConfig config;
+  config.num_flows = scale.full ? 400000 : 10000;
+  config.min_cardinality = 1;
+  config.max_cardinality = 80000;     // the paper's largest CAIDA flow
+  config.cardinality_exponent = 1.5;  // heavy tail: most flows tiny
+  config.dup_factor = 2.0;
+  config.seed = 20220501;
+  return config;
+}
+
+inline Trace BuildCaidaLikeTrace(const BenchScale& scale) {
+  const char* path = std::getenv("SMB_TRACE_FILE");
+  if (path != nullptr && path[0] != '\0') {
+    auto loaded = ReadTraceFile(path);
+    if (!loaded.has_value()) {
+      loaded = ReadCsvTraceFile(path);
+    }
+    if (loaded.has_value()) {
+      const auto summary =
+          SummarizeTrace(*loaded, DefaultCardinalityRanges());
+      std::printf("trace from %s: %zu flows, %zu packets, max flow "
+                  "cardinality %llu\n\n",
+                  path, summary.num_flows, summary.num_packets,
+                  static_cast<unsigned long long>(summary.max_cardinality));
+      return *std::move(loaded);
+    }
+    std::printf("warning: SMB_TRACE_FILE=%s unreadable as binary or CSV "
+                "trace; falling back to the synthetic trace\n",
+                path);
+  }
+  const Trace trace = GenerateTrace(CaidaLikeConfig(scale));
+  const auto summary = SummarizeTrace(trace, DefaultCardinalityRanges());
+  std::printf("synthetic CAIDA-like trace: %zu flows, %zu packets, max "
+              "flow cardinality %llu\n\n",
+              summary.num_flows, summary.num_packets,
+              static_cast<unsigned long long>(summary.max_cardinality));
+  return trace;
+}
+
+}  // namespace smb::bench
+
+#endif  // SMBCARD_BENCH_CAIDA_COMMON_H_

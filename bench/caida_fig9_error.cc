@@ -1,0 +1,66 @@
+// Figure 9 — average absolute error for CAIDA-like flows with cardinality
+// > 1000, as memory grows from 1000 to 10000 bits.
+//
+// Paper claim: SMB is the most accurate at every memory size, cutting the
+// average absolute error by up to ~43-77% against the four baselines.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/caida_common.h"
+#include "common/stats.h"
+#include "common/table_printer.h"
+#include "sketch/per_flow_monitor.h"
+
+namespace smb::bench {
+namespace {
+
+void Run(const BenchScale& scale) {
+  const Trace trace = BuildCaidaLikeTrace(scale);
+  const std::vector<size_t> memories = {1000, 2500, 5000, 10000};
+
+  const auto large_flows = FlowsInRange(trace, 1001, 1u << 20);
+  std::printf("flows with cardinality > 1000: %zu\n\n", large_flows.size());
+
+  TablePrinter table(
+      "Figure 9: average absolute error for flows with cardinality > 1000 "
+      "vs memory allocation (bits)");
+  std::vector<std::string> header = {"algorithm"};
+  for (size_t m : memories) header.push_back("m=" + std::to_string(m));
+  table.SetHeader(header);
+
+  for (EstimatorKind kind : PaperComparisonSet()) {
+    std::vector<std::string> row = {
+        std::string(EstimatorKindName(kind))};
+    for (size_t m : memories) {
+      EstimatorSpec spec;
+      spec.kind = kind;
+      spec.memory_bits = m;
+      spec.design_cardinality = 100000;
+      spec.hash_seed = m * 11 + 1;
+      PerFlowMonitor monitor(spec);
+      for (const Packet& p : trace.packets) monitor.RecordPacket(p);
+      RunningStats abs_err;
+      for (size_t f : large_flows) {
+        abs_err.Add(std::fabs(
+            monitor.Query(f) -
+            static_cast<double>(trace.true_cardinality[f])));
+      }
+      row.push_back(TablePrinter::Fmt(abs_err.mean(), 1));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::printf("Expected shape (paper): errors shrink as m grows; SMB's "
+              "column is the\nsmallest at every m.\n");
+}
+
+}  // namespace
+}  // namespace smb::bench
+
+int main(int argc, char** argv) {
+  smb::bench::Run(smb::bench::ParseScale(argc, argv));
+  return 0;
+}

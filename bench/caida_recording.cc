@@ -1,0 +1,87 @@
+// Table VIII — recording throughput on the CAIDA-like trace, m = 5000
+// per flow estimator, plus SMB's per-cardinality-range breakdown.
+//
+// Paper claim: SMB records the whole trace 30-40% faster than MRB/FM and
+// ~4-5x faster than HLL++/HLL-TailC; its advantage concentrates in the
+// large-cardinality flows where the sampling probability has decayed.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/caida_common.h"
+#include "common/table_printer.h"
+#include "sketch/per_flow_monitor.h"
+
+namespace smb::bench {
+namespace {
+
+EstimatorSpec MonitorSpec(EstimatorKind kind) {
+  EstimatorSpec spec;
+  spec.kind = kind;
+  spec.memory_bits = 5000;
+  spec.design_cardinality = 100000;  // covers the 80k maximum flow
+  spec.hash_seed = 13;
+  return spec;
+}
+
+void Run(const BenchScale& scale) {
+  const Trace trace = BuildCaidaLikeTrace(scale);
+
+  TablePrinter table(
+      "Table VIII (part 1): recording throughput (Mdps) over the whole "
+      "trace, one m = 5000 estimator per flow");
+  table.SetHeader({"algorithm", "Mdps"});
+  for (EstimatorKind kind : PaperComparisonSet()) {
+    PerFlowMonitor monitor(MonitorSpec(kind));
+    WallTimer timer;
+    for (const Packet& p : trace.packets) monitor.RecordPacket(p);
+    const double seconds = timer.ElapsedSeconds();
+    table.AddRow({std::string(EstimatorKindName(kind)),
+                  TablePrinter::Fmt(
+                      static_cast<double>(trace.packets.size()) / seconds /
+                          1e6,
+                      1)});
+  }
+  table.Print();
+
+  // Part 2: SMB throughput by flow-cardinality range. Packets are split
+  // by their flow's true cardinality and each bucket is recorded into a
+  // fresh monitor, so every flow's estimator traverses its full sampling
+  // trajectory.
+  const auto ranges = DefaultCardinalityRanges();
+  TablePrinter breakdown(
+      "Table VIII (part 2): SMB recording throughput (Mdps) for flows in "
+      "different cardinality ranges");
+  breakdown.SetHeader({"flow cardinality range", "packets", "Mdps"});
+  for (const CardinalityRange& range : ranges) {
+    std::vector<Packet> bucket;
+    for (const Packet& p : trace.packets) {
+      const uint64_t c = trace.true_cardinality[p.flow];
+      if (c >= range.lo && c < range.hi) bucket.push_back(p);
+    }
+    if (bucket.empty()) continue;
+    PerFlowMonitor monitor(MonitorSpec(EstimatorKind::kSmb));
+    WallTimer timer;
+    for (const Packet& p : bucket) monitor.RecordPacket(p);
+    const double seconds = timer.ElapsedSeconds();
+    breakdown.AddRow({range.Label(),
+                      TablePrinter::FmtInt(
+                          static_cast<long long>(bucket.size())),
+                      TablePrinter::Fmt(
+                          static_cast<double>(bucket.size()) / seconds / 1e6,
+                          1)});
+  }
+  breakdown.Print();
+  std::printf("Expected shape (paper): overall SMB > MRB ~ FM >> HLL++ ~ "
+              "HLL-TailC; SMB's\nper-range throughput climbs steeply for "
+              "the large-cardinality buckets.\n");
+}
+
+}  // namespace
+}  // namespace smb::bench
+
+int main(int argc, char** argv) {
+  smb::bench::Run(smb::bench::ParseScale(argc, argv));
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Extension bench — per-flow spread measurement architectures compared on
+// the CAIDA-like trace: exact per-flow estimators (PerFlowMonitor, the
+// paper's deployment model) vs the bounded-memory shared sketches of
+// Section II-C (hash-partitioned SMB array, CSE virtual bitmap,
+// vHLL-style virtual registers). Reports memory and large-flow accuracy.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "bench/caida_common.h"
+#include "common/stats.h"
+#include "common/table_printer.h"
+#include "sketch/hash_partitioned_sketch.h"
+#include "sketch/per_flow_monitor.h"
+#include "sketch/virtual_bitmap_sketch.h"
+#include "sketch/virtual_hll_sketch.h"
+
+namespace smb::bench {
+namespace {
+
+void Run(const BenchScale& scale) {
+  const Trace trace = BuildCaidaLikeTrace(scale);
+  const auto large = FlowsInRange(trace, 1000, 1u << 20);
+  std::printf("evaluating on %zu flows with cardinality >= 1000\n\n",
+              large.size());
+
+  TablePrinter table(
+      "Per-flow spread architectures: memory vs mean relative error on "
+      "large flows (same trace)");
+  table.SetHeader({"architecture", "memory (KB)", "mean rel. error",
+                   "record Mdps"});
+
+  auto add_row = [&](const std::string& name, size_t memory_bits,
+                     double err, double mdps) {
+    table.AddRow({name,
+                  TablePrinter::Fmt(
+                      static_cast<double>(memory_bits) / 8192.0, 0),
+                  TablePrinter::Fmt(err, 4), TablePrinter::Fmt(mdps, 1)});
+  };
+
+  auto relative_error = [&](auto&& query) {
+    RunningStats err;
+    for (size_t f : large) {
+      const double truth = static_cast<double>(trace.true_cardinality[f]);
+      err.Add(std::fabs(query(f) - truth) / truth);
+    }
+    return err.mean();
+  };
+
+  const double packets = static_cast<double>(trace.packets.size());
+
+  // 1. Exact per-flow SMBs (memory grows with flow count).
+  {
+    EstimatorSpec spec;
+    spec.kind = EstimatorKind::kSmb;
+    spec.memory_bits = 5000;
+    spec.design_cardinality = 100000;
+    PerFlowMonitor monitor(spec);
+    WallTimer timer;
+    for (const Packet& p : trace.packets) monitor.RecordPacket(p);
+    const double mdps = packets / timer.ElapsedSeconds() / 1e6;
+    add_row("PerFlowMonitor<SMB>, 5000 b/flow", monitor.TotalMemoryBits(),
+            relative_error([&](size_t f) { return monitor.Query(f); }),
+            mdps);
+  }
+
+  // 2. Hash-partitioned SMB array (fixed 1024 cells).
+  {
+    EstimatorSpec spec;
+    spec.kind = EstimatorKind::kSmb;
+    spec.memory_bits = 5000;
+    spec.design_cardinality = 100000;
+    HashPartitionedSketch sketch(spec, 1024);
+    WallTimer timer;
+    for (const Packet& p : trace.packets) {
+      sketch.Record(p.flow, p.element);
+    }
+    const double mdps = packets / timer.ElapsedSeconds() / 1e6;
+    add_row("HashPartitioned<SMB>, 1024 cells", sketch.MemoryBits(),
+            relative_error([&](size_t f) { return sketch.Query(f); }),
+            mdps);
+  }
+
+  // 3. CSE virtual bitmap (one shared pool).
+  {
+    VirtualBitmapSketch::Config config;
+    config.pool_bits = 1 << 23;  // 1 MB pool
+    config.virtual_bits = 1 << 17;
+    VirtualBitmapSketch sketch(config);
+    WallTimer timer;
+    for (const Packet& p : trace.packets) {
+      sketch.Record(p.flow, p.element);
+    }
+    const double mdps = packets / timer.ElapsedSeconds() / 1e6;
+    add_row("VirtualBitmap (CSE), 1 MB pool", sketch.MemoryBits(),
+            relative_error([&](size_t f) { return sketch.Query(f); }),
+            mdps);
+  }
+
+  // 4. vHLL virtual registers.
+  {
+    VirtualHllSketch::Config config;
+    config.pool_registers = 1 << 20;  // 640 KB pool
+    config.virtual_registers = 1024;
+    VirtualHllSketch sketch(config);
+    WallTimer timer;
+    for (const Packet& p : trace.packets) {
+      sketch.Record(p.flow, p.element);
+    }
+    const double mdps = packets / timer.ElapsedSeconds() / 1e6;
+    add_row("VirtualHLL, 640 KB pool", sketch.MemoryBits(),
+            relative_error([&](size_t f) { return sketch.Query(f); }),
+            mdps);
+  }
+
+  table.Print();
+  std::printf("Reading: exact per-flow estimators are the accuracy "
+              "ceiling but memory\nscales with flow count; the shared "
+              "sketches hold memory constant and trade\naccuracy for it. "
+              "SMB drops into either architecture unchanged.\n");
+}
+
+}  // namespace
+}  // namespace smb::bench
+
+int main(int argc, char** argv) {
+  smb::bench::Run(smb::bench::ParseScale(argc, argv));
+  return 0;
+}

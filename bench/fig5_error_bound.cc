@@ -1,0 +1,76 @@
+// Figure 5 — the theoretical error bound beta as a function of delta.
+//   (a) SMB's Theorem 3 bound for m in {10000, 5000, 2500, 1000}, n = 1M,
+//       optimal T per Section IV-B.
+//   (b) SMB vs the Chebyshev bounds of MRB and HLL++ at m = 10000, n = 1M.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "core/smb_params.h"
+#include "core/smb_theory.h"
+#include "estimators/multiresolution_bitmap.h"
+
+namespace smb::bench {
+namespace {
+
+void Run(const BenchScale& scale) {
+  constexpr uint64_t kN = 1000000;
+  std::vector<double> deltas;
+  for (double d = 0.02; d <= 0.5001; d += scale.full ? 0.01 : 0.04) {
+    deltas.push_back(d);
+  }
+
+  // (a) SMB bound across memory sizes.
+  TablePrinter fig_a(
+      "Figure 5(a): beta = Pr(|n-n̂|/n <= delta) for SMB, n = 10^6, "
+      "optimal T");
+  fig_a.SetHeader({"delta", "m=10000", "m=5000", "m=2500", "m=1000"});
+  const std::vector<size_t> memories = {10000, 5000, 2500, 1000};
+  std::vector<size_t> thresholds;
+  for (size_t m : memories) {
+    thresholds.push_back(OptimalThresholdValue(m, kN));
+  }
+  for (double delta : deltas) {
+    std::vector<std::string> row = {TablePrinter::Fmt(delta, 2)};
+    for (size_t i = 0; i < memories.size(); ++i) {
+      row.push_back(TablePrinter::Fmt(
+          SmbErrorBound(memories[i], thresholds[i], kN, delta), 3));
+    }
+    fig_a.AddRow(std::move(row));
+  }
+  fig_a.Print();
+
+  // (b) SMB vs MRB vs HLL++ at m = 10000.
+  constexpr size_t kM = 10000;
+  const size_t smb_t = OptimalThresholdValue(kM, kN);
+  const auto mrb_config = MultiResolutionBitmap::Recommend(kM, kN);
+  const double mrb_se = MrbStandardError(mrb_config.component_bits);
+  const double hll_se = HllStandardError(kM / 5);
+
+  TablePrinter fig_b(
+      "Figure 5(b): beta vs delta — SMB (Theorem 3) against MRB and HLL++ "
+      "(Chebyshev on their standard errors), m = 10000, n = 10^6");
+  fig_b.SetHeader({"delta", "SMB", "MRB", "HLL++"});
+  for (double delta : deltas) {
+    fig_b.AddRow({TablePrinter::Fmt(delta, 2),
+                  TablePrinter::Fmt(SmbErrorBound(kM, smb_t, kN, delta), 3),
+                  TablePrinter::Fmt(ChebyshevBound(mrb_se, delta), 3),
+                  TablePrinter::Fmt(ChebyshevBound(hll_se, delta), 3)});
+  }
+  fig_b.Print();
+  std::printf("Reference points from the paper: beta(0.1) ~ 0.971 at "
+              "m=10000 and\nbeta(0.30) ~ 0.802 at m=1000 (both n = 10^6); "
+              "in (b) SMB's curve dominates\nMRB's and HLL++'s for every "
+              "delta.\n");
+}
+
+}  // namespace
+}  // namespace smb::bench
+
+int main(int argc, char** argv) {
+  smb::bench::Run(smb::bench::ParseScale(argc, argv));
+  return 0;
+}

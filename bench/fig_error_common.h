@@ -1,0 +1,81 @@
+// Shared driver behind Figures 6-8: sweep cardinality, average the error
+// metrics of every paper algorithm over `runs` independent streams, print
+// one table per metric.
+
+#ifndef SMBCARD_BENCH_FIG_ERROR_COMMON_H_
+#define SMBCARD_BENCH_FIG_ERROR_COMMON_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+
+namespace smb::bench {
+
+enum class ErrorMetric { kAbsolute, kRelative, kBias };
+
+inline std::string MetricCell(const ErrorStats& stats, ErrorMetric metric) {
+  switch (metric) {
+    case ErrorMetric::kAbsolute:
+      return TablePrinter::Fmt(stats.mean_absolute_error, 1);
+    case ErrorMetric::kRelative:
+      return TablePrinter::Fmt(stats.mean_relative_error, 4);
+    case ErrorMetric::kBias:
+      return TablePrinter::Fmt(stats.relative_bias, 4);
+  }
+  return "";
+}
+
+// Runs the sweep once and prints one table per requested metric.
+inline void RunErrorFigure(const std::string& figure_name, size_t memory_bits,
+                           const BenchScale& scale,
+                           const std::vector<ErrorMetric>& metrics) {
+  const std::vector<uint64_t> grid = FigureCardinalityGrid(scale.full);
+  const std::vector<EstimatorKind> kinds = PaperComparisonSet();
+
+  // One sweep, all metrics.
+  std::vector<std::vector<ErrorStats>> results(
+      grid.size(), std::vector<ErrorStats>(kinds.size()));
+  for (size_t gi = 0; gi < grid.size(); ++gi) {
+    for (size_t ki = 0; ki < kinds.size(); ++ki) {
+      EstimatorSpec spec;
+      spec.kind = kinds[ki];
+      spec.memory_bits = memory_bits;
+      spec.design_cardinality = 1000000;
+      spec.hash_seed = gi * 131 + ki;
+      results[gi][ki] = MeasureAccuracy(spec, grid[gi], scale.runs);
+    }
+  }
+
+  for (ErrorMetric metric : metrics) {
+    std::string metric_name;
+    switch (metric) {
+      case ErrorMetric::kAbsolute: metric_name = "absolute error"; break;
+      case ErrorMetric::kRelative: metric_name = "relative error"; break;
+      case ErrorMetric::kBias: metric_name = "relative bias"; break;
+    }
+    TablePrinter table(figure_name + " — " + metric_name + " vs actual " +
+                       "cardinality, m = " + std::to_string(memory_bits) +
+                       " bits, " + std::to_string(scale.runs) +
+                       " streams per point");
+    std::vector<std::string> header = {"cardinality"};
+    for (EstimatorKind kind : kinds) {
+      header.emplace_back(EstimatorKindName(kind));
+    }
+    table.SetHeader(header);
+    for (size_t gi = 0; gi < grid.size(); ++gi) {
+      std::vector<std::string> row = {CountLabel(grid[gi])};
+      for (size_t ki = 0; ki < kinds.size(); ++ki) {
+        row.push_back(MetricCell(results[gi][ki], metric));
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print();
+  }
+}
+
+}  // namespace smb::bench
+
+#endif  // SMBCARD_BENCH_FIG_ERROR_COMMON_H_

@@ -1,0 +1,97 @@
+// google-benchmark micro suite: per-operation record and query costs of
+// every estimator, plus the raw hash primitives. Complements the
+// table-level benches with statistically managed ns/op numbers.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "core/self_morphing_bitmap.h"
+#include "estimators/estimator_factory.h"
+#include "hash/murmur3.h"
+#include "hash/xxhash64.h"
+
+namespace smb::bench {
+namespace {
+
+constexpr size_t kMemory = 10000;
+
+std::unique_ptr<CardinalityEstimator> MakeLoaded(EstimatorKind kind,
+                                                 uint64_t preload) {
+  EstimatorSpec spec;
+  spec.kind = kind;
+  spec.memory_bits = kMemory;
+  spec.design_cardinality = 10000000;
+  spec.hash_seed = 21;
+  auto estimator = CreateEstimator(spec);
+  for (uint64_t i = 0; i < preload; ++i) {
+    estimator->Add(NthItem(5, i));
+  }
+  return estimator;
+}
+
+void BM_Record(benchmark::State& state) {
+  const auto kind = static_cast<EstimatorKind>(state.range(0));
+  auto estimator = MakeLoaded(kind, 1000000);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    estimator->Add(NthItem(7, i++));
+  }
+  state.SetLabel(std::string(EstimatorKindName(kind)) +
+                 " (preloaded n=10^6)");
+}
+
+void BM_Query(benchmark::State& state) {
+  const auto kind = static_cast<EstimatorKind>(state.range(0));
+  auto estimator = MakeLoaded(kind, 100000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(estimator->Estimate());
+  }
+  state.SetLabel(std::string(EstimatorKindName(kind)));
+}
+
+void RegisterPerKind() {
+  for (EstimatorKind kind : AllEstimatorKinds()) {
+    const std::string name(EstimatorKindName(kind));
+    benchmark::RegisterBenchmark(("BM_Record/" + name).c_str(), BM_Record)
+        ->Arg(static_cast<int>(kind));
+    benchmark::RegisterBenchmark(("BM_Query/" + name).c_str(), BM_Query)
+        ->Arg(static_cast<int>(kind));
+  }
+}
+
+void BM_Murmur3U64(benchmark::State& state) {
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Murmur3_128_U64(i++, 3));
+  }
+}
+BENCHMARK(BM_Murmur3U64);
+
+void BM_Murmur3String128(benchmark::State& state) {
+  const std::string payload(128, 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Murmur3_128(payload, 3));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 128);
+}
+BENCHMARK(BM_Murmur3String128);
+
+void BM_XxHash64String128(benchmark::State& state) {
+  const std::string payload(128, 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(XxHash64(payload, 3));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 128);
+}
+BENCHMARK(BM_XxHash64String128);
+
+}  // namespace
+}  // namespace smb::bench
+
+int main(int argc, char** argv) {
+  smb::bench::RegisterPerKind();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

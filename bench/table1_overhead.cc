@@ -1,0 +1,74 @@
+// Table I — per-item recording and query overheads.
+//
+// The paper expresses overheads analytically in H (hash operations) and A
+// (bits of memory accessed) per data item. We print the analytic column
+// straight from the paper's model and pair it with *measured* ns/op from
+// this implementation, so the model can be checked against reality.
+
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+
+namespace smb::bench {
+namespace {
+
+struct AnalyticRow {
+  EstimatorKind kind;
+  const char* record_overhead;
+  const char* query_overhead;
+};
+
+void Run(const BenchScale& scale) {
+  constexpr size_t kMemory = 10000;
+  constexpr uint64_t kRecorded = 1000000;
+  const uint64_t items = scale.full ? 10000000 : 1000000;
+
+  const AnalyticRow rows[] = {
+      {EstimatorKind::kLinearCounting, "1H + 1A", "mA (counter: 32A)"},
+      {EstimatorKind::kMrb, "1H + 1A", "k*32A (counters)"},
+      {EstimatorKind::kFm, "1H + 1A", "mA"},
+      {EstimatorKind::kHllPp, "1H + 5A", "mA"},
+      {EstimatorKind::kHllTailCut, "1H + 4A (+rare shift)", "mA"},
+      {EstimatorKind::kSmb, "1H + p*1A (p = 2^-r)", "32A (r and v)"},
+  };
+
+  TablePrinter table(
+      "Table I: recording/query overhead — analytic model (H = hash op, "
+      "A = bit access) and measured ns/op (m = 10000 bits, n = 10^6)");
+  table.SetHeader({"algorithm", "record (model)", "record ns/item",
+                   "query (model)", "query ns"});
+
+  for (const AnalyticRow& row : rows) {
+    EstimatorSpec spec;
+    spec.kind = row.kind;
+    spec.memory_bits = kMemory;
+    spec.design_cardinality = 10000000;
+    spec.hash_seed = 11;
+    auto estimator = CreateEstimator(spec);
+    // Pre-load to the operating point so SMB's sampling probability and
+    // TailCut's base reflect steady state, then measure.
+    for (uint64_t i = 0; i < kRecorded; ++i) {
+      estimator->Add(NthItem(1, i));
+    }
+    const Throughput record = MeasureRecording(estimator.get(), items, 2);
+    const Throughput query = MeasureQueries(estimator.get(), 100000);
+    table.AddRow({std::string(estimator->Name()), row.record_overhead,
+                  TablePrinter::Fmt(record.NanosPerOp(), 1),
+                  row.query_overhead,
+                  TablePrinter::Fmt(query.NanosPerOp(), 1)});
+  }
+  table.Print();
+  std::printf("p in SMB's record model is the sampling probability of the "
+              "current round;\nat n = 10^6 it has decayed to ~2^-7, which "
+              "is why SMB's measured record\ncost is the lowest.\n");
+}
+
+}  // namespace
+}  // namespace smb::bench
+
+int main(int argc, char** argv) {
+  smb::bench::Run(smb::bench::ParseScale(argc, argv));
+  return 0;
+}

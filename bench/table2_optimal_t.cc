@@ -1,0 +1,65 @@
+// Table II — optimal SMB threshold setting m/T under different (m, n).
+//
+// The published table's values are unreadable in the available OCR of the
+// paper, so this bench *regenerates* them with the Section IV-B procedure
+// itself: numeric maximization of the Theorem 3 bound over integer round
+// capacities m/T, subject to the estimation range covering the design
+// cardinality (DESIGN.md #4).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "core/smb_params.h"
+#include "core/smb_theory.h"
+
+namespace smb::bench {
+namespace {
+
+void Run(const BenchScale& scale) {
+  const std::vector<size_t> memories = {10000, 5000, 2500, 1000};
+  const std::vector<uint64_t> cardinalities =
+      scale.full ? std::vector<uint64_t>{1000000, 900000, 800000, 700000,
+                                         600000, 500000, 400000, 300000,
+                                         200000, 100000, 80000}
+                 : std::vector<uint64_t>{1000000, 500000, 200000, 100000};
+
+  TablePrinter table(
+      "Table II: optimal m/T (and T) per memory m and design cardinality n, "
+      "derived by the Section IV-B numeric optimization");
+  std::vector<std::string> header = {"n"};
+  for (size_t m : memories) header.push_back("m=" + std::to_string(m));
+  table.SetHeader(header);
+
+  for (uint64_t n : cardinalities) {
+    std::vector<std::string> row = {CountLabel(n)};
+    for (size_t m : memories) {
+      const OptimalThresholdResult result = OptimalThreshold(m, n);
+      row.push_back("m/T=" + std::to_string(result.rounds) +
+                    " (T=" + std::to_string(result.threshold) + ")");
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+
+  // The bound each chosen configuration achieves (context for Fig. 5a).
+  TablePrinter betas(
+      "Theorem 3 bound beta at delta = 0.1 for the chosen T (n = 10^6)");
+  betas.SetHeader({"m", "T", "beta(0.1)"});
+  for (size_t m : memories) {
+    const size_t t = OptimalThresholdValue(m, 1000000);
+    betas.AddRow({std::to_string(m), std::to_string(t),
+                  TablePrinter::Fmt(SmbErrorBound(m, t, 1000000, 0.1), 3)});
+  }
+  betas.Print();
+}
+
+}  // namespace
+}  // namespace smb::bench
+
+int main(int argc, char** argv) {
+  smb::bench::Run(smb::bench::ParseScale(argc, argv));
+  return 0;
+}

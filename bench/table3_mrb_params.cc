@@ -1,0 +1,49 @@
+// Table III — MRB parameter settings (component count k and size m/k)
+// under given (n, m), as recommended by the MRB configuration rule. The
+// paper's published grid is embedded in MultiResolutionBitmap::Recommend;
+// off-grid points use the generic rule with the same safety margin.
+
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/table_printer.h"
+#include "estimators/multiresolution_bitmap.h"
+
+namespace smb::bench {
+namespace {
+
+void Run(const BenchScale& scale) {
+  const std::vector<size_t> memories = {10000, 5000, 2500, 1000};
+  const std::vector<uint64_t> cardinalities = {
+      1000000, 900000, 800000, 700000, 600000, 500000,
+      400000,  300000, 200000, 100000, 80000};
+
+  TablePrinter table(
+      "Table III: MRB parameter setting — bits per component m/k and "
+      "component count k under given n, m");
+  std::vector<std::string> header = {"n"};
+  for (size_t m : memories) {
+    header.push_back("m=" + std::to_string(m) + " (m/k, k)");
+  }
+  table.SetHeader(header);
+
+  for (uint64_t n : cardinalities) {
+    std::vector<std::string> row = {CountLabel(n)};
+    for (size_t m : memories) {
+      const auto config = MultiResolutionBitmap::Recommend(m, n);
+      row.push_back(std::to_string(config.component_bits) + ", " +
+                    std::to_string(config.num_components));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+}
+
+}  // namespace
+}  // namespace smb::bench
+
+int main(int argc, char** argv) {
+  smb::bench::Run(smb::bench::ParseScale(argc, argv));
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Side-by-side comparison of every estimator in the library on one
+// stream — a miniature of the paper's evaluation, useful for picking an
+// algorithm for your own workload.
+//
+//   $ ./estimator_comparison [cardinality] [memory_bits]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "estimators/estimator_factory.h"
+#include "stream/stream_generator.h"
+
+int main(int argc, char** argv) {
+  const uint64_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200000;
+  const size_t m = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 10000;
+
+  const auto items = smb::GenerateDistinctItems(n, 42);
+
+  smb::TablePrinter table(
+      "All estimators, one stream (n = " + std::to_string(n) +
+      " distinct items, m = " + std::to_string(m) + " bits each)");
+  table.SetHeader({"algorithm", "estimate", "rel. error", "record Mdps",
+                   "query ns", "memory bits"});
+
+  for (smb::EstimatorKind kind : smb::AllEstimatorKinds()) {
+    smb::EstimatorSpec spec;
+    spec.kind = kind;
+    spec.memory_bits = m;
+    spec.design_cardinality = 1000000;
+    spec.hash_seed = 7;
+    auto estimator = smb::CreateEstimator(spec);
+
+    smb::WallTimer record_timer;
+    for (uint64_t item : items) estimator->Add(item);
+    const double record_seconds = record_timer.ElapsedSeconds();
+
+    constexpr int kQueries = 2000;
+    smb::WallTimer query_timer;
+    double sink = 0;
+    for (int q = 0; q < kQueries; ++q) sink += estimator->Estimate();
+    smb::DoNotOptimize(sink);
+    const double query_ns = query_timer.ElapsedNanos() / kQueries;
+
+    const double est = estimator->Estimate();
+    const double err =
+        (est - static_cast<double>(n)) / static_cast<double>(n);
+    table.AddRow({std::string(estimator->Name()),
+                  smb::TablePrinter::Fmt(est, 0),
+                  smb::TablePrinter::Fmt(err * 100.0, 2) + "%",
+                  smb::TablePrinter::Fmt(
+                      static_cast<double>(n) / record_seconds / 1e6, 1),
+                  smb::TablePrinter::Fmt(query_ns, 0),
+                  smb::TablePrinter::FmtInt(
+                      static_cast<long long>(estimator->MemoryBits()))});
+  }
+  table.Print();
+  std::printf("Note: single run per algorithm — error columns fluctuate "
+              "run to run;\nthe bench/ binaries average over many streams "
+              "as the paper does.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Quickstart: estimate the number of distinct items in a stream with a
+// self-morphing bitmap.
+//
+//   $ ./quickstart
+//
+// Walks through the three things a user does with the library:
+//   1. size an SMB for a memory budget and an expected cardinality ceiling,
+//   2. record items (any duplicates are filtered automatically),
+//   3. query at any time — queries are O(1), so you can query per item.
+
+#include <cstdio>
+
+#include "core/self_morphing_bitmap.h"
+#include "stream/stream_generator.h"
+
+int main() {
+  // 1. An SMB with 10000 bits (1.25 KB) of memory, parameterized for
+  //    streams of up to a million distinct items. The morph threshold T is
+  //    derived by the paper's Section IV-B numeric optimization.
+  smb::SelfMorphingBitmap estimator =
+      smb::SelfMorphingBitmap::WithOptimalThreshold(
+          /*num_bits=*/10000, /*design_cardinality=*/1000000);
+  std::printf("SMB: m = %zu bits, T = %zu, up to %zu morph rounds\n",
+              estimator.num_bits(), estimator.threshold(),
+              estimator.max_round());
+
+  // 2. Record a synthetic stream: 300k distinct items, each appearing
+  //    twice (600k records total). Duplicates never inflate the estimate.
+  smb::StreamConfig config;
+  config.cardinality = 300000;
+  config.total_items = 600000;
+  config.seed = 2022;
+  const auto stream = smb::GenerateStream(config);
+  size_t processed = 0;
+  for (uint64_t item : stream) {
+    estimator.Add(item);
+    // 3. Query whenever you like — here every 100k records.
+    if (++processed % 100000 == 0) {
+      std::printf("  after %7zu records: estimate = %10.0f  "
+                  "(sampling probability %.4f, round %zu)\n",
+                  processed, estimator.Estimate(),
+                  estimator.SamplingProbability(), estimator.round());
+    }
+  }
+
+  const double estimate = estimator.Estimate();
+  const double truth = static_cast<double>(config.cardinality);
+  std::printf("\ntrue cardinality  : %.0f\n", truth);
+  std::printf("estimated         : %.0f\n", estimate);
+  std::printf("relative error    : %+.2f%%\n",
+              (estimate - truth) / truth * 100.0);
+  std::printf("memory used       : %zu bits (%.2f KB)\n",
+              estimator.MemoryBits(),
+              static_cast<double>(estimator.MemoryBits()) / 8192.0);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Sliding dashboard: "distinct users in the last N minutes", refreshed
+// every minute — the jumping-window pattern on top of mergeable sketches.
+// Simulates a day-cycle of traffic with a nightly dip and a flash crowd,
+// and prints the 5-minute-window distinct-user count per minute.
+//
+//   $ ./sliding_dashboard
+
+#include <cstdio>
+#include <vector>
+
+#include "common/random.h"
+#include "estimators/hyperloglog_pp.h"
+#include "sketch/jumping_window.h"
+
+int main() {
+  // 5-minute window, one bucket per minute; each bucket is a 1.25 KB
+  // HLL++ (merges are lossless, so the window estimate equals one sketch
+  // that saw exactly the window's traffic).
+  smb::JumpingWindow<smb::HyperLogLogPP> window(
+      5, [] { return smb::HyperLogLogPP(2000, 2026); });
+
+  // Per-minute active-user counts: quiet start, daytime plateau, a flash
+  // crowd at minute 12, then decay.
+  const std::vector<size_t> users_per_minute = {
+      2000, 2500, 3000, 8000, 15000, 20000, 22000, 21000, 20000,
+      19000, 20000, 21000, 90000, 60000, 30000, 22000, 9000, 3000};
+
+  smb::Xoshiro256 rng(7);
+  std::printf("%-8s %14s %18s\n", "minute", "users now", "5-min distinct");
+  for (size_t minute = 0; minute < users_per_minute.size(); ++minute) {
+    // Active users this minute: a random subset of a 200k-user universe,
+    // each clicking several times (duplicates within the minute).
+    const size_t active = users_per_minute[minute];
+    for (size_t u = 0; u < active; ++u) {
+      const uint64_t user_id = rng.NextBounded(200000);
+      for (int click = 0; click < 3; ++click) window.Add(user_id);
+    }
+    std::printf("%-8zu %14zu %18.0f\n", minute, active, window.Estimate());
+    window.Rotate();  // minute boundary
+  }
+  std::printf("\nThe window column lags spikes by design (it covers five "
+              "minutes) and\nforgets the flash crowd five rotations after "
+              "it ends — with 5 x 1.25 KB\nof state, regardless of user "
+              "count.\n");
+  return 0;
+}

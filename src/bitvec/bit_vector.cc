@@ -1,0 +1,39 @@
+#include "bitvec/bit_vector.h"
+
+#include <algorithm>
+
+#include "common/bit_util.h"
+
+namespace smb {
+
+BitVector::BitVector(size_t num_bits)
+    : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {
+  SMB_CHECK_MSG(num_bits > 0, "BitVector requires at least one bit");
+}
+
+size_t BitVector::CountOnes() const {
+  size_t ones = 0;
+  for (uint64_t w : words_) ones += static_cast<size_t>(Popcount64(w));
+  return ones;
+}
+
+void BitVector::ClearAll() { std::fill(words_.begin(), words_.end(), 0); }
+
+void BitVector::UnionWith(const BitVector& other) {
+  SMB_CHECK_MSG(num_bits_ == other.num_bits_,
+                "UnionWith requires equal-sized bit vectors");
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+void BitVector::set_words(std::vector<uint64_t> words) {
+  SMB_CHECK_MSG(words.size() == words_.size(),
+                "word count must match vector size");
+  words_ = std::move(words);
+  // Re-establish the invariant that bits past num_bits_ are zero.
+  const size_t tail_bits = num_bits_ & 63;
+  if (tail_bits != 0) {
+    words_.back() &= (uint64_t{1} << tail_bits) - 1;
+  }
+}
+
+}  // namespace smb

@@ -1,0 +1,82 @@
+// Word-packed dynamic bit array.
+//
+// This is the physical storage behind SMB, the plain Bitmap (linear
+// counting) estimator, and each MRB component. Hot operations (TestAndSet)
+// are inlined; whole-array operations (CountOnes, ClearAll) use word-level
+// popcount.
+
+#ifndef SMBCARD_BITVEC_BIT_VECTOR_H_
+#define SMBCARD_BITVEC_BIT_VECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace smb {
+
+class BitVector {
+ public:
+  // Creates a vector of `num_bits` zero bits. num_bits must be > 0.
+  explicit BitVector(size_t num_bits);
+
+  BitVector(const BitVector&) = default;
+  BitVector& operator=(const BitVector&) = default;
+  BitVector(BitVector&&) = default;
+  BitVector& operator=(BitVector&&) = default;
+
+  size_t size() const { return num_bits_; }
+
+  bool Test(size_t i) const {
+    SMB_DCHECK(i < num_bits_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void Set(size_t i) {
+    SMB_DCHECK(i < num_bits_);
+    words_[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+
+  void Clear(size_t i) {
+    SMB_DCHECK(i < num_bits_);
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+
+  // Sets bit i; returns true iff the bit was previously zero.
+  // The single-probe primitive of the bitmap-family recording loops.
+  bool TestAndSet(size_t i) {
+    SMB_DCHECK(i < num_bits_);
+    uint64_t& w = words_[i >> 6];
+    const uint64_t mask = uint64_t{1} << (i & 63);
+    const bool was_zero = (w & mask) == 0;
+    w |= mask;
+    return was_zero;
+  }
+
+  // Number of one bits (popcount over words).
+  size_t CountOnes() const;
+
+  // Number of zero bits.
+  size_t CountZeros() const { return num_bits_ - CountOnes(); }
+
+  void ClearAll();
+
+  // Bitwise OR with another vector of identical size (sketch merging).
+  void UnionWith(const BitVector& other);
+
+  // Raw word access for serialization. Unused high bits of the last word
+  // are always zero (class invariant).
+  const std::vector<uint64_t>& words() const { return words_; }
+  void set_words(std::vector<uint64_t> words);
+
+  friend bool operator==(const BitVector&, const BitVector&) = default;
+
+ private:
+  size_t num_bits_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace smb
+
+#endif  // SMBCARD_BITVEC_BIT_VECTOR_H_

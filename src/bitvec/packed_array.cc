@@ -1,0 +1,22 @@
+#include "bitvec/packed_array.h"
+
+#include <algorithm>
+
+namespace smb {
+
+PackedArray::PackedArray(size_t count, int bits_per_value)
+    : count_(count),
+      bits_per_value_(bits_per_value),
+      mask_(bits_per_value >= 64 ? ~uint64_t{0}
+                                 : (uint64_t{1} << bits_per_value) - 1),
+      // One spare word so straddling accesses of the last register never
+      // read past the end.
+      words_((count * static_cast<size_t>(bits_per_value) + 63) / 64 + 1, 0) {
+  SMB_CHECK_MSG(count > 0, "PackedArray requires at least one register");
+  SMB_CHECK_MSG(bits_per_value >= 1 && bits_per_value <= 64,
+                "bits_per_value must be in [1, 64]");
+}
+
+void PackedArray::ClearAll() { std::fill(words_.begin(), words_.end(), 0); }
+
+}  // namespace smb

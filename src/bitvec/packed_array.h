@@ -1,0 +1,90 @@
+// Array of fixed-width (1..64 bit) unsigned registers packed into 64-bit
+// words. Storage substrate for the register-file estimators: HLL/LogLog
+// (5-bit), HLL-TailCut (4-bit), FM/PCSA (32-bit bitsets).
+//
+// Registers may straddle a word boundary; Get/Set handle the split case.
+
+#ifndef SMBCARD_BITVEC_PACKED_ARRAY_H_
+#define SMBCARD_BITVEC_PACKED_ARRAY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace smb {
+
+class PackedArray {
+ public:
+  // `count` registers of `bits_per_value` bits each, zero-initialized.
+  PackedArray(size_t count, int bits_per_value);
+
+  PackedArray(const PackedArray&) = default;
+  PackedArray& operator=(const PackedArray&) = default;
+  PackedArray(PackedArray&&) = default;
+  PackedArray& operator=(PackedArray&&) = default;
+
+  size_t size() const { return count_; }
+  int bits_per_value() const { return bits_per_value_; }
+  uint64_t max_value() const { return mask_; }
+
+  // Total footprint in bits (count * bits_per_value).
+  size_t SizeInBits() const {
+    return count_ * static_cast<size_t>(bits_per_value_);
+  }
+
+  uint64_t Get(size_t i) const {
+    SMB_DCHECK(i < count_);
+    const size_t bit = i * static_cast<size_t>(bits_per_value_);
+    const size_t word = bit >> 6;
+    const int offset = static_cast<int>(bit & 63);
+    uint64_t v = words_[word] >> offset;
+    const int spill = offset + bits_per_value_ - 64;
+    if (spill > 0) {
+      v |= words_[word + 1] << (bits_per_value_ - spill);
+    }
+    return v & mask_;
+  }
+
+  void Set(size_t i, uint64_t value) {
+    SMB_DCHECK(i < count_);
+    SMB_DCHECK(value <= mask_);
+    const size_t bit = i * static_cast<size_t>(bits_per_value_);
+    const size_t word = bit >> 6;
+    const int offset = static_cast<int>(bit & 63);
+    words_[word] = (words_[word] & ~(mask_ << offset)) | (value << offset);
+    const int spill = offset + bits_per_value_ - 64;
+    if (spill > 0) {
+      const int kept = bits_per_value_ - spill;
+      words_[word + 1] =
+          (words_[word + 1] & ~(mask_ >> kept)) | (value >> kept);
+    }
+  }
+
+  // Sets register i to max(current, value); returns true if it grew.
+  // The update primitive of the LogLog family.
+  bool UpdateMax(size_t i, uint64_t value) {
+    if (value > Get(i)) {
+      Set(i, value);
+      return true;
+    }
+    return false;
+  }
+
+  void ClearAll();
+
+  const std::vector<uint64_t>& words() const { return words_; }
+
+  friend bool operator==(const PackedArray&, const PackedArray&) = default;
+
+ private:
+  size_t count_;
+  int bits_per_value_;
+  uint64_t mask_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace smb
+
+#endif  // SMBCARD_BITVEC_PACKED_ARRAY_H_

@@ -1,0 +1,15 @@
+#include "common/bit_util.h"
+
+namespace smb {
+
+uint64_t ReverseBits64(uint64_t x) {
+  x = ((x & 0x5555555555555555ULL) << 1) | ((x >> 1) & 0x5555555555555555ULL);
+  x = ((x & 0x3333333333333333ULL) << 2) | ((x >> 2) & 0x3333333333333333ULL);
+  x = ((x & 0x0F0F0F0F0F0F0F0FULL) << 4) | ((x >> 4) & 0x0F0F0F0F0F0F0F0FULL);
+  x = ((x & 0x00FF00FF00FF00FFULL) << 8) | ((x >> 8) & 0x00FF00FF00FF00FFULL);
+  x = ((x & 0x0000FFFF0000FFFFULL) << 16) |
+      ((x >> 16) & 0x0000FFFF0000FFFFULL);
+  return (x << 32) | (x >> 32);
+}
+
+}  // namespace smb

@@ -1,0 +1,60 @@
+// Low-level bit manipulation helpers shared by the bitmap containers,
+// hash functions, and estimators.
+
+#ifndef SMBCARD_COMMON_BIT_UTIL_H_
+#define SMBCARD_COMMON_BIT_UTIL_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace smb {
+
+// Number of set bits in x.
+inline int Popcount64(uint64_t x) { return std::popcount(x); }
+
+// Number of trailing zero bits of x; 64 when x == 0.
+//
+// This is the geometric rank ρ(x) of Definition 1 in the paper: for a
+// uniformly random 64-bit x, Pr[CountTrailingZeros(x) == i] = 2^-(i+1).
+inline int CountTrailingZeros64(uint64_t x) { return std::countr_zero(x); }
+
+// Number of leading zero bits of x; 64 when x == 0.
+inline int CountLeadingZeros64(uint64_t x) { return std::countl_zero(x); }
+
+// floor(log2(x)) for x > 0.
+inline int Log2Floor64(uint64_t x) { return 63 - CountLeadingZeros64(x | 1); }
+
+// ceil(log2(x)) for x > 0.
+inline int Log2Ceil64(uint64_t x) {
+  if (x <= 1) return 0;
+  return Log2Floor64(x - 1) + 1;
+}
+
+// True when x is a power of two (x > 0).
+inline bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+// Rotate left by r bits (r in [0, 64)).
+inline uint64_t RotateLeft64(uint64_t x, int r) { return std::rotl(x, r); }
+
+// Maps a 64-bit hash onto [0, range) without modulo bias or a division
+// (Lemire's fastrange): the result is floor(hash * range / 2^64).
+//
+// Uses the *high* bits of `hash`, so callers that also consume low bits
+// (e.g., for a geometric rank) get nearly independent values.
+inline uint64_t FastRange64(uint64_t hash, uint64_t range) {
+  return static_cast<uint64_t>(
+      (static_cast<__uint128_t>(hash) * static_cast<__uint128_t>(range)) >>
+      64);
+}
+
+// Round x up to the next multiple of m (m > 0).
+inline uint64_t RoundUp(uint64_t x, uint64_t m) {
+  return (x + m - 1) / m * m;
+}
+
+// Reverses the bits of a 64-bit word.
+uint64_t ReverseBits64(uint64_t x);
+
+}  // namespace smb
+
+#endif  // SMBCARD_COMMON_BIT_UTIL_H_

@@ -1,0 +1,36 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace smb {
+
+Xoshiro256::Xoshiro256(uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.Next();
+}
+
+uint64_t Xoshiro256::Next() {
+  const uint64_t result = RotateLeft64(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = RotateLeft64(s_[3], 45);
+  return result;
+}
+
+uint64_t Xoshiro256::NextGeometric(double p) {
+  SMB_DCHECK(p > 0.0);
+  if (p >= 1.0) return 0;
+  // Inverse-transform sampling: floor(log(U) / log(1-p)).
+  double u = NextDouble();
+  // Guard against u == 0 (log(0) = -inf).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return static_cast<uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+}  // namespace smb

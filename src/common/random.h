@@ -1,0 +1,67 @@
+// Deterministic pseudo-random number generators for workload generation and
+// tests.
+//
+// We implement our own small PRNGs (SplitMix64 for seeding, xoshiro256** as
+// the workhorse) instead of <random> engines so that every stream generator
+// in the library is bit-reproducible across standard library versions — a
+// requirement for deterministic benchmarks and golden tests.
+
+#ifndef SMBCARD_COMMON_RANDOM_H_
+#define SMBCARD_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+#include "common/bit_util.h"
+
+namespace smb {
+
+// SplitMix64: tiny, full-period 2^64 generator. Used to expand one seed
+// into the state of larger generators and as a cheap standalone PRNG.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// xoshiro256**: fast, high-quality 256-bit-state generator
+// (Blackman & Vigna, 2018). Period 2^256 - 1.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(uint64_t seed);
+
+  // Uniform over all 64-bit values.
+  uint64_t Next();
+
+  // Uniform over [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    return FastRange64(Next(), bound);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // True with probability p (clamped to [0,1]).
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  // Geometric number of failures before first success, success prob p in
+  // (0, 1]. Returns 0 when p >= 1.
+  uint64_t NextGeometric(double p);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace smb
+
+#endif  // SMBCARD_COMMON_RANDOM_H_

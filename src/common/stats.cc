@@ -1,0 +1,83 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace smb {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::Reset() { *this = RunningStats(); }
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+ErrorStats ComputeErrorStats(const std::vector<double>& estimates,
+                             const std::vector<double>& truths) {
+  SMB_CHECK(estimates.size() == truths.size());
+  SMB_CHECK(!estimates.empty());
+  ErrorStats out;
+  out.count = estimates.size();
+  double sum_abs = 0.0, sum_rel = 0.0, sum_bias = 0.0, sum_sq = 0.0;
+  for (size_t i = 0; i < estimates.size(); ++i) {
+    SMB_CHECK(truths[i] > 0.0);
+    const double err = estimates[i] - truths[i];
+    sum_abs += std::fabs(err);
+    sum_rel += std::fabs(err) / truths[i];
+    sum_bias += estimates[i] / truths[i] - 1.0;
+    sum_sq += err * err;
+  }
+  const double n = static_cast<double>(out.count);
+  out.mean_absolute_error = sum_abs / n;
+  out.mean_relative_error = sum_rel / n;
+  out.relative_bias = sum_bias / n;
+  out.rmse = std::sqrt(sum_sq / n);
+  return out;
+}
+
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(values.begin(), values.end());
+  const double pos = q * static_cast<double>(values.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return values[lo] + (values[hi] - values[lo]) * frac;
+}
+
+}  // namespace smb

@@ -1,0 +1,58 @@
+// Descriptive statistics used by the accuracy benchmarks and tests.
+
+#ifndef SMBCARD_COMMON_STATS_H_
+#define SMBCARD_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace smb {
+
+// Streaming accumulator for mean/variance/min/max (Welford's algorithm,
+// numerically stable for long benchmark runs).
+class RunningStats {
+ public:
+  RunningStats() = default;
+
+  void Add(double x);
+  void Merge(const RunningStats& other);
+  void Reset();
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  // Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Aggregate error metrics of a set of (estimate, truth) pairs — the four
+// metrics of the paper's Section V-A.
+struct ErrorStats {
+  double mean_absolute_error = 0.0;  // mean |n̂ - n|
+  double mean_relative_error = 0.0;  // mean |n̂ - n| / n
+  double relative_bias = 0.0;        // mean (n̂ / n) - 1  (signed)
+  double rmse = 0.0;                 // sqrt(mean (n̂ - n)^2)
+  size_t count = 0;
+};
+
+// Computes ErrorStats over parallel vectors of estimates and ground truths.
+// The vectors must have equal, nonzero length and truths must be positive.
+ErrorStats ComputeErrorStats(const std::vector<double>& estimates,
+                             const std::vector<double>& truths);
+
+// q-th percentile (q in [0, 1]) by linear interpolation; the input vector is
+// copied and sorted. Empty input returns 0.
+double Percentile(std::vector<double> values, double q);
+
+}  // namespace smb
+
+#endif  // SMBCARD_COMMON_STATS_H_

@@ -1,0 +1,82 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/macros.h"
+
+namespace smb {
+
+void TablePrinter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  SMB_CHECK_MSG(header_.empty() || row.size() == header_.size(),
+                "row width must match header width");
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::Print(std::FILE* out) const {
+  const size_t cols = header_.empty()
+                          ? (rows_.empty() ? 0 : rows_[0].size())
+                          : header_.size();
+  if (cols == 0) return;
+
+  std::vector<size_t> width(cols, 0);
+  for (size_t c = 0; c < cols && c < header_.size(); ++c) {
+    width[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < cols && c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+
+  auto print_rule = [&] {
+    std::fputc('+', out);
+    for (size_t c = 0; c < cols; ++c) {
+      for (size_t i = 0; i < width[c] + 2; ++i) std::fputc('-', out);
+      std::fputc('+', out);
+    }
+    std::fputc('\n', out);
+  };
+  auto print_row = [&](const std::vector<std::string>& row) {
+    std::fputc('|', out);
+    for (size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      std::fprintf(out, " %-*s |", static_cast<int>(width[c]), cell.c_str());
+    }
+    std::fputc('\n', out);
+  };
+
+  std::fprintf(out, "%s\n", title_.c_str());
+  print_rule();
+  if (!header_.empty()) {
+    print_row(header_);
+    print_rule();
+  }
+  for (const auto& row : rows_) print_row(row);
+  print_rule();
+  std::fputc('\n', out);
+}
+
+std::string TablePrinter::Fmt(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string TablePrinter::FmtInt(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+std::string TablePrinter::FmtSci(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*e", precision, v);
+  return buf;
+}
+
+}  // namespace smb

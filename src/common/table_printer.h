@@ -1,0 +1,42 @@
+// Fixed-width plain-text table renderer. Every reproduction benchmark prints
+// its paper table/figure through this class so the output format is uniform
+// and diffable (see EXPERIMENTS.md).
+
+#ifndef SMBCARD_COMMON_TABLE_PRINTER_H_
+#define SMBCARD_COMMON_TABLE_PRINTER_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace smb {
+
+class TablePrinter {
+ public:
+  // `title` is printed as a caption line above the table.
+  explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+  TablePrinter(const TablePrinter&) = delete;
+  TablePrinter& operator=(const TablePrinter&) = delete;
+
+  void SetHeader(std::vector<std::string> header);
+  void AddRow(std::vector<std::string> row);
+
+  // Renders the table to `out` (defaults to stdout).
+  void Print(std::FILE* out = stdout) const;
+
+  // Convenience cell formatters.
+  static std::string Fmt(double v, int precision = 3);
+  static std::string FmtInt(long long v);
+  // Scientific notation, e.g. "1.34e+08".
+  static std::string FmtSci(double v, int precision = 2);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace smb
+
+#endif  // SMBCARD_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,51 @@
+// Wall-clock timing helpers for the throughput benchmarks.
+
+#ifndef SMBCARD_COMMON_TIMER_H_
+#define SMBCARD_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace smb {
+
+// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedNanos() const { return ElapsedSeconds() * 1e9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Throughput summary of `ops` operations measured over `seconds`.
+struct Throughput {
+  uint64_t ops = 0;
+  double seconds = 0.0;
+
+  // Operations per second. The paper's "dps" (data items per second).
+  double OpsPerSecond() const { return seconds > 0 ? static_cast<double>(ops) / seconds : 0.0; }
+  // Million operations per second. The paper's "Mdps".
+  double MopsPerSecond() const { return OpsPerSecond() / 1e6; }
+  double NanosPerOp() const {
+    return ops > 0 ? seconds * 1e9 / static_cast<double>(ops) : 0.0;
+  }
+};
+
+// Prevents the compiler from optimizing away a computed value.
+template <typename T>
+inline void DoNotOptimize(T const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+}  // namespace smb
+
+#endif  // SMBCARD_COMMON_TIMER_H_

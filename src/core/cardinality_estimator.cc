@@ -1,0 +1,7 @@
+#include "core/cardinality_estimator.h"
+
+namespace smb {
+
+CardinalityEstimator::~CardinalityEstimator() = default;
+
+}  // namespace smb

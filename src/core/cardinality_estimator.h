@@ -1,0 +1,87 @@
+// Abstract interface shared by the self-morphing bitmap and every baseline
+// estimator (bitmap/LC, MRB, FM, LogLog family, HLL++, HLL-TailCut, KMV,
+// adaptive bitmap).
+//
+// Contract
+// --------
+// * An estimator observes a multiset of items and estimates the number of
+//   DISTINCT items seen since construction/Reset().
+// * Items are identified either by a 64-bit key (`Add`) or by raw bytes
+//   (`AddBytes`); both funnel into `AddHash`, which consumes one 128-bit
+//   hash. Each estimator therefore pays exactly one hash operation per
+//   recorded item — the paper's "1H" recording budget — and derives all the
+//   randomness it needs from those 128 bits.
+// * Estimates are duplicate-insensitive: re-adding an item never changes
+//   the estimate (Theorem 2 for SMB; by construction for the others).
+
+#ifndef SMBCARD_CORE_CARDINALITY_ESTIMATOR_H_
+#define SMBCARD_CORE_CARDINALITY_ESTIMATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "hash/murmur3.h"
+
+namespace smb {
+
+class CardinalityEstimator {
+ public:
+  // `hash_seed` decorrelates estimator instances that observe the same
+  // stream (each of the paper's "100 data streams per point" uses a fresh
+  // seed).
+  explicit CardinalityEstimator(uint64_t hash_seed) : hash_seed_(hash_seed) {}
+  virtual ~CardinalityEstimator();
+
+  CardinalityEstimator(const CardinalityEstimator&) = delete;
+  CardinalityEstimator& operator=(const CardinalityEstimator&) = delete;
+
+ protected:
+  // Concrete estimators may opt into being movable (factory returns,
+  // containers of estimators); slicing is prevented by the classes being
+  // final.
+  CardinalityEstimator(CardinalityEstimator&&) = default;
+  CardinalityEstimator& operator=(CardinalityEstimator&&) = default;
+
+ public:
+
+  // Records an item identified by a 64-bit key (e.g., an IPv4 src/dst pair
+  // or a pre-assigned item id). One hash operation.
+  void Add(uint64_t item) { AddHash(ItemHash128(item, hash_seed_)); }
+
+  // Records an item identified by raw bytes (e.g., a search keyword or the
+  // 128-byte strings of the paper's synthetic streams). One hash operation.
+  void AddBytes(std::string_view item) {
+    AddHash(ItemHash128(item, hash_seed_));
+  }
+
+  // Records a pre-hashed item. The lo and hi words must behave as two
+  // independent uniform hashes of the item; use ItemHash128 with this
+  // estimator's seed (see hash/murmur3.h for why raw Murmur3 x64-128 is
+  // not sufficient for 8-byte keys).
+  virtual void AddHash(Hash128 hash) = 0;
+
+  // Estimated number of distinct items recorded so far.
+  virtual double Estimate() const = 0;
+
+  // Memory footprint in bits, counted the way the paper's Section V does:
+  // the recording structure itself plus any auxiliary counters the
+  // algorithm must keep online (e.g., MRB's per-component ones counters,
+  // SMB's r and v).
+  virtual size_t MemoryBits() const = 0;
+
+  // Returns the estimator to its freshly-constructed state.
+  virtual void Reset() = 0;
+
+  // Short algorithm name as used in the paper's tables ("SMB", "MRB", ...).
+  virtual std::string_view Name() const = 0;
+
+  uint64_t hash_seed() const { return hash_seed_; }
+
+ private:
+  uint64_t hash_seed_;
+};
+
+}  // namespace smb
+
+#endif  // SMBCARD_CORE_CARDINALITY_ESTIMATOR_H_

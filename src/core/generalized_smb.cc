@@ -1,0 +1,88 @@
+#include "core/generalized_smb.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bit_util.h"
+#include "common/macros.h"
+
+namespace smb {
+
+GeneralizedSmb::GeneralizedSmb(const Config& config)
+    : CardinalityEstimator(config.hash_seed),
+      threshold_(config.threshold),
+      base_(config.sampling_base),
+      bits_(config.num_bits) {
+  SMB_CHECK_MSG(config.num_bits >= 8, "GenSMB needs at least 8 bits");
+  SMB_CHECK_MSG(config.threshold >= 1 &&
+                    config.threshold <= config.num_bits,
+                "threshold must be in [1, num_bits]");
+  SMB_CHECK_MSG(config.sampling_base > 1.0,
+                "sampling base must exceed 1");
+
+  // Round capacity: the logical bitmap needs >= 2 bits, and b^-r must stay
+  // representable by the 53-bit uniform used for sampling.
+  const size_t geometric_cap = static_cast<size_t>(
+      52.0 * std::log(2.0) / std::log(base_));
+  max_round_ = std::min((config.num_bits - 2) / config.threshold,
+                        std::max<size_t>(1, geometric_cap));
+
+  s_table_.assign(max_round_ + 1, 0.0);
+  acceptance_.assign(max_round_ + 1, 1.0);
+  const double md = static_cast<double>(config.num_bits);
+  const double td = static_cast<double>(config.threshold);
+  double scale = 1.0;  // b^i
+  for (size_t r = 1; r <= max_round_; ++r) {
+    const size_t i = r - 1;
+    const double m_i = md - static_cast<double>(i) * td;
+    s_table_[r] = s_table_[i] + scale * md * (-std::log1p(-td / m_i));
+    scale *= base_;
+    acceptance_[r] = acceptance_[i] / base_;
+  }
+}
+
+void GeneralizedSmb::AddHash(Hash128 hash) {
+  // Step 1: accept with probability b^-r, via a per-item uniform that is
+  // fixed for the item's lifetime (monotone acceptance across rounds —
+  // the Theorem 2 argument).
+  const double u = static_cast<double>(hash.hi >> 11) * 0x1.0p-53;
+  if (SMB_LIKELY(u >= acceptance_[round_])) return;
+
+  // Step 2: set the item's bit.
+  const size_t pos = FastRange64(hash.lo, bits_.size());
+  if (!bits_.TestAndSet(pos)) return;
+  ++ones_in_round_;
+
+  // Step 3: morph.
+  if (SMB_UNLIKELY(ones_in_round_ >= threshold_) && round_ < max_round_) {
+    ++round_;
+    ones_in_round_ = 0;
+  }
+}
+
+double GeneralizedSmb::Estimate() const {
+  const double m_r = static_cast<double>(LogicalBits());
+  const double v =
+      std::min(static_cast<double>(ones_in_round_), m_r - 1.0);
+  if (v <= 0.0) return s_table_[round_];
+  const double scale =
+      static_cast<double>(bits_.size()) / acceptance_[round_];
+  return s_table_[round_] + scale * (-std::log1p(-v / m_r));
+}
+
+void GeneralizedSmb::Reset() {
+  bits_.ClearAll();
+  round_ = 0;
+  ones_in_round_ = 0;
+}
+
+double GeneralizedSmb::MaxEstimate() const {
+  const double m_r =
+      static_cast<double>(bits_.size() - max_round_ * threshold_);
+  if (m_r <= 1.0) return s_table_[max_round_];
+  return s_table_[max_round_] +
+         static_cast<double>(bits_.size()) / acceptance_[max_round_] *
+             std::log(m_r);
+}
+
+}  // namespace smb

@@ -1,0 +1,78 @@
+// Generalized self-morphing bitmap: SMB with a configurable sampling-decay
+// base b (the paper hardwires b = 2 — "reduce the sampling probability one
+// notch down to 1/2").
+//
+// Round r samples with probability b^-r. Smaller bases morph more gently:
+// the logical bitmaps shrink at the same rate (T bits per round), but the
+// sampled fraction decays slower, so more rounds are needed for the same
+// range while each round's scale-up factor b^r — and hence its variance
+// amplification — is smaller. bench/ablation_sampling_base quantifies the
+// trade; b = 2 remains the recommended default (and the paper-faithful
+// SelfMorphingBitmap is the production class — this one exists for the
+// design-space exploration the paper leaves open).
+//
+// Everything else is Algorithm 1/2 verbatim with 2^r replaced by b^r:
+//   n̂ = S[r] + b^r * m * (-ln(1 - v / m_r)),
+//   S[r] = sum_{i<r} b^i * m * (-ln(1 - T / m_i)).
+// Theorem 2 (duplicate blocking) carries over: an item's acceptance
+// threshold u(d) < b^-r is monotone in r, so a duplicate's first
+// appearance always saw a round no deeper than its later ones.
+
+#ifndef SMBCARD_CORE_GENERALIZED_SMB_H_
+#define SMBCARD_CORE_GENERALIZED_SMB_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "bitvec/bit_vector.h"
+#include "core/cardinality_estimator.h"
+
+namespace smb {
+
+class GeneralizedSmb final : public CardinalityEstimator {
+ public:
+  struct Config {
+    size_t num_bits = 10000;
+    size_t threshold = 1111;
+    // Sampling-decay base b > 1. b = 2 reproduces SMB (up to the sampling
+    // hash: this class derives a uniform from the hash instead of a
+    // geometric rank, so per-item decisions differ while the statistics
+    // match).
+    double sampling_base = 2.0;
+    uint64_t hash_seed = 0;
+  };
+
+  explicit GeneralizedSmb(const Config& config);
+
+  GeneralizedSmb(GeneralizedSmb&&) = default;
+  GeneralizedSmb& operator=(GeneralizedSmb&&) = default;
+
+  void AddHash(Hash128 hash) override;
+  double Estimate() const override;
+  size_t MemoryBits() const override { return bits_.size() + 32; }
+  void Reset() override;
+  std::string_view Name() const override { return "GenSMB"; }
+
+  size_t round() const { return round_; }
+  size_t ones_in_round() const { return ones_in_round_; }
+  double sampling_base() const { return base_; }
+  double SamplingProbability() const { return acceptance_[round_]; }
+  size_t LogicalBits() const { return bits_.size() - round_ * threshold_; }
+  size_t max_round() const { return max_round_; }
+  double MaxEstimate() const;
+
+ private:
+  size_t threshold_;
+  double base_;
+  size_t max_round_;
+  size_t round_ = 0;
+  size_t ones_in_round_ = 0;
+  BitVector bits_;
+  std::vector<double> s_table_;     // S[r]
+  std::vector<double> acceptance_;  // b^-r per round
+};
+
+}  // namespace smb
+
+#endif  // SMBCARD_CORE_GENERALIZED_SMB_H_

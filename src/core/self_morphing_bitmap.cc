@@ -1,0 +1,165 @@
+#include "core/self_morphing_bitmap.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/bit_util.h"
+#include "common/macros.h"
+#include "core/smb_params.h"
+#include "hash/geometric.h"
+
+namespace smb {
+
+SelfMorphingBitmap::SelfMorphingBitmap(const Config& config)
+    : CardinalityEstimator(config.hash_seed),
+      threshold_(config.threshold),
+      max_round_(SmbMaxRound(config.num_bits, config.threshold)),
+      bits_(config.num_bits),
+      s_table_(BuildSTable(config.num_bits, config.threshold)),
+      max_estimate_(SmbMaxEstimate(config.num_bits, config.threshold)) {
+  SMB_CHECK_MSG(config.num_bits >= 8, "SMB needs at least 8 bits");
+  SMB_CHECK_MSG(config.threshold >= 1 && config.threshold <= config.num_bits,
+                "threshold must be in [1, num_bits]");
+}
+
+SelfMorphingBitmap SelfMorphingBitmap::WithOptimalThreshold(
+    size_t num_bits, uint64_t design_cardinality, uint64_t hash_seed) {
+  Config config;
+  config.num_bits = num_bits;
+  config.threshold = OptimalThresholdValue(num_bits, design_cardinality);
+  config.hash_seed = hash_seed;
+  return SelfMorphingBitmap(config);
+}
+
+void SelfMorphingBitmap::AddHash(Hash128 hash) {
+  // Step 1 (Algorithm 1): geometric sampling. Round r admits items with
+  // G(d) >= r, i.e., probability 2^-r (Lemma 1). The common case for large
+  // streams is rejection with no memory access at all.
+  const int rank = GeometricRank(hash.hi);
+  if (SMB_LIKELY(static_cast<size_t>(rank) < round_)) return;
+
+  // Step 2: set the item's bit in the physical bitmap. Theorem 2: a
+  // duplicate finds its bit already set (or fails Step 1) and is ignored.
+  const size_t pos = FastRange64(hash.lo, bits_.size());
+  if (!bits_.TestAndSet(pos)) return;
+  ++ones_in_round_;
+
+  // Step 3: morph once the round filled T fresh bits. The final round
+  // cannot morph (the next logical bitmap would be empty); v keeps growing
+  // there and Estimate()/saturated() report the state faithfully.
+  if (SMB_UNLIKELY(ones_in_round_ >= threshold_) && round_ < max_round_) {
+    ++round_;
+    ones_in_round_ = 0;
+  }
+}
+
+double SelfMorphingBitmap::Estimate() const {
+  const double m_r = static_cast<double>(LogicalBits());
+  // Clamp the final round's fill at m_r - 1: a fully saturated logical
+  // bitmap has no finite linear-counting estimate, so we report the largest
+  // representable one (and saturated() flags it).
+  const double v = std::min(static_cast<double>(ones_in_round_), m_r - 1.0);
+  if (v <= 0.0) return s_table_[round_];
+  const double scale =
+      std::ldexp(static_cast<double>(bits_.size()), static_cast<int>(round_));
+  return s_table_[round_] + scale * (-std::log1p(-v / m_r));
+}
+
+void SelfMorphingBitmap::Reset() {
+  bits_.ClearAll();
+  round_ = 0;
+  ones_in_round_ = 0;
+}
+
+double SelfMorphingBitmap::SamplingProbability() const {
+  return std::ldexp(1.0, -static_cast<int>(round_));
+}
+
+double SelfMorphingBitmap::FillFraction() const {
+  return static_cast<double>(ones_in_round_) /
+         static_cast<double>(LogicalBits());
+}
+
+bool SelfMorphingBitmap::saturated() const {
+  return round_ == max_round_ && ones_in_round_ + 1 >= LogicalBits();
+}
+
+namespace {
+
+// Serialization layout (little-endian):
+//   magic "SMB1" (4 bytes)
+//   u64 num_bits, u64 threshold, u64 hash_seed, u64 round, u64 ones_in_round
+//   u64 word_count, then word_count x u64 bitmap words.
+constexpr char kMagic[4] = {'S', 'M', 'B', '1'};
+
+void AppendU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+bool ReadU64(const std::vector<uint8_t>& in, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > in.size()) return false;
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(in[*pos + static_cast<size_t>(i)])
+           << (8 * i);
+  }
+  *pos += 8;
+  *v = out;
+  return true;
+}
+
+}  // namespace
+
+std::vector<uint8_t> SelfMorphingBitmap::Serialize() const {
+  std::vector<uint8_t> out;
+  out.reserve(4 + 6 * 8 + bits_.words().size() * 8);
+  for (char c : kMagic) out.push_back(static_cast<uint8_t>(c));
+  AppendU64(&out, bits_.size());
+  AppendU64(&out, threshold_);
+  AppendU64(&out, hash_seed());
+  AppendU64(&out, round_);
+  AppendU64(&out, ones_in_round_);
+  AppendU64(&out, bits_.words().size());
+  for (uint64_t w : bits_.words()) AppendU64(&out, w);
+  return out;
+}
+
+std::optional<SelfMorphingBitmap> SelfMorphingBitmap::Deserialize(
+    const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < 4 || std::memcmp(bytes.data(), kMagic, 4) != 0) {
+    return std::nullopt;
+  }
+  size_t pos = 4;
+  uint64_t num_bits, threshold, seed, round, ones, word_count;
+  if (!ReadU64(bytes, &pos, &num_bits) || !ReadU64(bytes, &pos, &threshold) ||
+      !ReadU64(bytes, &pos, &seed) || !ReadU64(bytes, &pos, &round) ||
+      !ReadU64(bytes, &pos, &ones) || !ReadU64(bytes, &pos, &word_count)) {
+    return std::nullopt;
+  }
+  if (num_bits < 8 || threshold < 1 || threshold > num_bits) {
+    return std::nullopt;
+  }
+  if (word_count != (num_bits + 63) / 64) return std::nullopt;
+  const size_t max_round = SmbMaxRound(num_bits, threshold);
+  if (round > max_round) return std::nullopt;
+
+  std::vector<uint64_t> words(word_count);
+  for (auto& w : words) {
+    if (!ReadU64(bytes, &pos, &w)) return std::nullopt;
+  }
+
+  Config config;
+  config.num_bits = num_bits;
+  config.threshold = threshold;
+  config.hash_seed = seed;
+  std::optional<SelfMorphingBitmap> out;
+  out.emplace(config);
+  out->bits_.set_words(std::move(words));
+  out->round_ = round;
+  out->ones_in_round_ = ones;
+  return out;
+}
+
+}  // namespace smb

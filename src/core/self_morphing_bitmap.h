@@ -1,0 +1,105 @@
+// Self-Morphing Bitmap (SMB) — the paper's primary contribution.
+//
+// One physical m-bit bitmap plus two small integers:
+//   r — round index. Round r samples items with probability 2^-r via the
+//       geometric hash (Lemma 1).
+//   v — bits newly set in the current round. When v reaches the threshold
+//       T, the bitmap "morphs": r += 1, v = 0, and the remaining zero bits
+//       become the next logical bitmap L_r of m_r = m - r*T bits.
+//
+// Recording (Algorithm 1) costs one hash; a fraction 2^-r of items touch
+// memory at all, so recording throughput *rises* with stream size.
+// Querying (Algorithm 2) is O(1): n̂ = S[r] - 2^r·m·ln(1 - v/(m - r·T)),
+// with S precomputed at construction. Duplicate items are never counted
+// twice (Theorem 2).
+
+#ifndef SMBCARD_CORE_SELF_MORPHING_BITMAP_H_
+#define SMBCARD_CORE_SELF_MORPHING_BITMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bitvec/bit_vector.h"
+#include "core/cardinality_estimator.h"
+#include "hash/murmur3.h"
+
+namespace smb {
+
+class SelfMorphingBitmap final : public CardinalityEstimator {
+ public:
+  struct Config {
+    // Physical bitmap size m in bits. Must be >= 8.
+    size_t num_bits = 10000;
+    // Morph threshold T in bits, 1 <= T <= m. Use smb::OptimalThreshold()
+    // (Section IV-B) unless you have a reason not to.
+    size_t threshold = 1000;
+    // Seed of the per-item hash.
+    uint64_t hash_seed = 0;
+  };
+
+  explicit SelfMorphingBitmap(const Config& config);
+
+  SelfMorphingBitmap(SelfMorphingBitmap&&) = default;
+  SelfMorphingBitmap& operator=(SelfMorphingBitmap&&) = default;
+
+  // Convenience: m-bit SMB with T chosen optimally for cardinalities up to
+  // `design_cardinality` (Section IV-B numeric optimization).
+  static SelfMorphingBitmap WithOptimalThreshold(size_t num_bits,
+                                                 uint64_t design_cardinality,
+                                                 uint64_t hash_seed = 0);
+
+  // CardinalityEstimator interface -----------------------------------------
+  void AddHash(Hash128 hash) override;
+  double Estimate() const override;
+  // m bits plus the 32 auxiliary bits for (r, v) that the paper's query-
+  // overhead analysis counts (6 bits of r + 26 bits of v).
+  size_t MemoryBits() const override { return bits_.size() + 32; }
+  void Reset() override;
+  std::string_view Name() const override { return "SMB"; }
+
+  // Introspection -----------------------------------------------------------
+  size_t num_bits() const { return bits_.size(); }
+  size_t threshold() const { return threshold_; }
+  // Current round index r.
+  size_t round() const { return round_; }
+  // Bits newly set in the current round (v).
+  size_t ones_in_round() const { return ones_in_round_; }
+  // Current sampling probability p_r = 2^-r.
+  double SamplingProbability() const;
+  // Size m_r of the current logical bitmap L_r.
+  size_t LogicalBits() const { return bits_.size() - round_ * threshold_; }
+  // Fraction of the current logical bitmap that is set (v / m_r).
+  double FillFraction() const;
+  // True once the final logical bitmap is (almost) full: every bit of the
+  // physical bitmap is one and the estimate has hit MaxEstimate().
+  bool saturated() const;
+  // Largest estimate this configuration can report.
+  double MaxEstimate() const { return max_estimate_; }
+  // Largest round index supported by (m, T).
+  size_t max_round() const { return max_round_; }
+  // The precomputed constants table S (paper Eq. 9), S[0..max_round()].
+  const std::vector<double>& s_table() const { return s_table_; }
+
+  // Serialization -----------------------------------------------------------
+  // Compact binary encoding of configuration + full state.
+  std::vector<uint8_t> Serialize() const;
+  // Reconstructs an SMB from Serialize() output; nullopt on malformed or
+  // truncated input.
+  static std::optional<SelfMorphingBitmap> Deserialize(
+      const std::vector<uint8_t>& bytes);
+
+ private:
+  size_t threshold_;
+  size_t max_round_;
+  size_t round_ = 0;
+  size_t ones_in_round_ = 0;
+  BitVector bits_;
+  std::vector<double> s_table_;
+  double max_estimate_;
+};
+
+}  // namespace smb
+
+#endif  // SMBCARD_CORE_SELF_MORPHING_BITMAP_H_

@@ -1,0 +1,87 @@
+#include "core/smb_theory.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+#include "core/smb_params.h"
+
+namespace smb {
+
+double SmbWorstCasePStar(size_t m, size_t threshold, uint64_t n,
+                         double delta) {
+  SMB_CHECK(delta > 0.0 && delta < 1.0);
+  SMB_CHECK(m > 0 && threshold > 0 && threshold <= m);
+  if (n == 0) return 1.0;
+
+  const std::vector<double> s = BuildSTable(m, threshold);
+  const size_t r_max = SmbMaxRound(m, threshold);
+  const double target = static_cast<double>(n) * (1.0 + delta);
+
+  // Worst-case round: the largest r with S[r] <= n(1+delta).
+  size_t r = 0;
+  while (r < r_max && s[r + 1] <= target) ++r;
+
+  const double m_r = static_cast<double>(m - r * threshold);
+  const double scale = std::ldexp(static_cast<double>(m), static_cast<int>(r));
+
+  // Worst-case U_r: invert
+  //   target >= S[r] + scale * (-ln((m_r - U)/m_r))
+  // to U <= m_r * (1 - exp(-(target - S[r]) / scale)), capped at T and at
+  // m_r - 1 (the last usable bit of the final logical bitmap).
+  const double headroom = std::max(0.0, target - s[r]);
+  double u = std::floor(m_r * (1.0 - std::exp(-headroom / scale)));
+  u = std::min(u, static_cast<double>(threshold));
+  u = std::min(u, m_r - 1.0);
+  u = std::max(u, 0.0);
+
+  // Smallest geometric success probability among the X_i^j variables
+  // (proof of Theorem 3): p* = (m_r - U_r + 1) / (2^r * m).
+  return (m_r - u + 1.0) / scale;
+}
+
+namespace {
+
+// The Theorem 3 bound evaluated at one delta. The worst-case (r, U_r)
+// pair changes discretely with delta, so this raw form is not monotone.
+double RawErrorBound(size_t m, size_t threshold, uint64_t n, double delta) {
+  const double p_star = SmbWorstCasePStar(m, threshold, n, delta);
+  const double exponent =
+      p_star * static_cast<double>(n) * delta * delta / 2.0;
+  return std::clamp(1.0 - 2.0 * std::exp(-exponent), 0.0, 1.0);
+}
+
+}  // namespace
+
+double SmbErrorBound(size_t m, size_t threshold, uint64_t n, double delta) {
+  if (n == 0) return 1.0;  // an empty stream is estimated exactly
+  // Pr(|err| <= delta) >= Pr(|err| <= delta') >= bound(delta') for any
+  // delta' <= delta, so the supremum over smaller deltas is a valid —
+  // and monotone — bound. The scan uses a fixed absolute grid (plus delta
+  // itself) so the probe sets nest across deltas, guaranteeing
+  // monotonicity of the returned curve.
+  double beta = RawErrorBound(m, threshold, n, delta);
+  constexpr double kStep = 1.0 / 256.0;
+  for (double probe = kStep; probe < delta; probe += kStep) {
+    beta = std::max(beta, RawErrorBound(m, threshold, n, probe));
+  }
+  return beta;
+}
+
+double HllStandardError(size_t num_registers) {
+  SMB_CHECK(num_registers > 0);
+  return 1.04 / std::sqrt(static_cast<double>(num_registers));
+}
+
+double MrbStandardError(size_t component_bits) {
+  SMB_CHECK(component_bits > 0);
+  return 1.3 / std::sqrt(static_cast<double>(component_bits));
+}
+
+double ChebyshevBound(double standard_error, double delta) {
+  SMB_CHECK(delta > 0.0);
+  const double ratio = standard_error / delta;
+  return std::clamp(1.0 - ratio * ratio, 0.0, 1.0);
+}
+
+}  // namespace smb

@@ -1,0 +1,48 @@
+// Analytical error bounds: Theorem 3 of the paper for SMB, plus the
+// Chebyshev-style bounds the paper uses for MRB and HLL++ in Figure 5(b).
+//
+// The theorem's displayed formula is corrupted in the available text, so the
+// implementation follows the proof in Section VII-B directly:
+//
+//   Pr(|n - n̂|/n <= delta) >= beta = 1 - 2*exp(-p* * n * delta^2 / 2)
+//
+// where p* = (m_r - U_r + 1) / (2^r * m) is the smallest success probability
+// among the geometric inter-arrival variables, and (r, U_r) is the worst
+// case permitted by
+//   n(1+delta) >= S[r]                                   (max r), and
+//   n(1+delta) >= S[r] + 2^r * m * (-ln((m_r - U_r)/m_r)) (max U_r <= T).
+
+#ifndef SMBCARD_CORE_SMB_THEORY_H_
+#define SMBCARD_CORE_SMB_THEORY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace smb {
+
+// Theorem 3: probability that the SMB relative error is within `delta`,
+// for an m-bit SMB with threshold T observing true cardinality n.
+// Returns a value in [0, 1]. delta must be in (0, 1).
+double SmbErrorBound(size_t m, size_t threshold, uint64_t n, double delta);
+
+// The worst-case minimum geometric success probability p* of Theorem 3's
+// proof: beta = 1 - 2*exp(-p* * n * delta^2 / 2). Monotone link between
+// configuration quality and every beta(delta) curve, which makes it the
+// objective of the Section IV-B threshold optimization (a larger p* gives
+// a uniformly better bound). delta must be in (0, 1).
+double SmbWorstCasePStar(size_t m, size_t threshold, uint64_t n,
+                         double delta);
+
+// Standard error (sigma/n) models used for the Figure 5(b) comparison.
+// HLL/HLL++ with t registers: 1.04 / sqrt(t) (Flajolet et al.).
+double HllStandardError(size_t num_registers);
+// MRB with components of b bits: c / sqrt(b) with c ~= 1.3 for the
+// recommended configuration (Estan-Varghese; see DESIGN.md #3).
+double MrbStandardError(size_t component_bits);
+
+// Chebyshev: Pr(|err| <= delta) >= 1 - (SE/delta)^2, clamped to [0, 1].
+double ChebyshevBound(double standard_error, double delta);
+
+}  // namespace smb
+
+#endif  // SMBCARD_CORE_SMB_THEORY_H_

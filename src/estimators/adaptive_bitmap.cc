@@ -1,0 +1,92 @@
+#include "estimators/adaptive_bitmap.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bit_util.h"
+#include "common/macros.h"
+
+namespace smb {
+namespace {
+
+MultiResolutionBitmap::Config TrackerConfig(const AdaptiveBitmap::Config& c) {
+  const size_t tracker_bits = std::max<size_t>(
+      64, static_cast<size_t>(c.mrb_fraction *
+                              static_cast<double>(c.memory_bits)));
+  return MultiResolutionBitmap::Recommend(tracker_bits,
+                                          /*design_cardinality=*/100000000,
+                                          c.hash_seed ^ 0x9E3779B97F4A7C15ULL);
+}
+
+size_t MainBits(const AdaptiveBitmap::Config& c) {
+  const size_t tracker_bits = std::max<size_t>(
+      64, static_cast<size_t>(c.mrb_fraction *
+                              static_cast<double>(c.memory_bits)));
+  SMB_CHECK_MSG(c.memory_bits > tracker_bits + 8,
+                "AdaptiveBitmap memory too small for its MRB tracker");
+  return c.memory_bits - tracker_bits;
+}
+
+}  // namespace
+
+AdaptiveBitmap::AdaptiveBitmap(const Config& config)
+    : CardinalityEstimator(config.hash_seed),
+      bits_(MainBits(config)),
+      magnitude_tracker_(TrackerConfig(config)),
+      initial_hint_(config.initial_cardinality_hint) {
+  Retune(static_cast<double>(initial_hint_));
+}
+
+void AdaptiveBitmap::Retune(double expected_cardinality) {
+  // Target an expected fill of ~50% of the bitmap at the expected
+  // cardinality: p = min(1, b/2 / n).
+  const double b = static_cast<double>(bits_.size());
+  sampling_probability_ =
+      std::clamp(b / (2.0 * std::max(1.0, expected_cardinality)), 1e-9, 1.0);
+}
+
+void AdaptiveBitmap::AddHash(Hash128 hash) {
+  magnitude_tracker_.AddHash(hash);
+  // Sample with probability p using the high hash word as a uniform in
+  // [0, 1). The same word drives the MRB's geometric level, but the two
+  // structures are never combined, so the reuse is harmless.
+  const double u = static_cast<double>(hash.hi >> 11) * 0x1.0p-53;
+  if (u >= sampling_probability_) return;
+  const size_t pos = FastRange64(hash.lo, bits_.size());
+  if (bits_.TestAndSet(pos)) ++ones_;
+}
+
+double AdaptiveBitmap::Estimate() const {
+  const double b = static_cast<double>(bits_.size());
+  const double u = std::min(static_cast<double>(ones_), b - 1.0);
+  if (u <= 0.0) return 0.0;
+  return -b * std::log1p(-u / b) / sampling_probability_;
+}
+
+size_t AdaptiveBitmap::MemoryBits() const {
+  return bits_.size() + 32 + magnitude_tracker_.MemoryBits();
+}
+
+void AdaptiveBitmap::Reset() {
+  bits_.ClearAll();
+  ones_ = 0;
+  magnitude_tracker_.Reset();
+  Retune(static_cast<double>(initial_hint_));
+}
+
+double AdaptiveBitmap::AdvanceInterval() {
+  // Prefer the sampled bitmap's estimate while it is in range; fall back to
+  // the MRB tracker when the bitmap saturated under a stale p.
+  const double b = static_cast<double>(bits_.size());
+  const bool bitmap_usable = static_cast<double>(ones_) < 0.95 * b;
+  const double closed = bitmap_usable
+                            ? Estimate()
+                            : magnitude_tracker_.Estimate();
+  Retune(std::max(1.0, closed));
+  bits_.ClearAll();
+  ones_ = 0;
+  magnitude_tracker_.Reset();
+  return closed;
+}
+
+}  // namespace smb

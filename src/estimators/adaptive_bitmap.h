@@ -1,0 +1,64 @@
+// Adaptive Bitmap (Estan-Varghese derivative; paper Section II-C).
+//
+// A sampled bitmap whose sampling probability p is tuned from a coarse
+// estimate of the *previous* measurement interval (obtained from a small
+// companion MRB). Very accurate while consecutive intervals have similar
+// cardinalities; when the cardinality jumps by orders of magnitude the
+// stale p ruins the estimate — the failure mode the paper calls out and
+// our tests/bench demonstrate.
+
+#ifndef SMBCARD_ESTIMATORS_ADAPTIVE_BITMAP_H_
+#define SMBCARD_ESTIMATORS_ADAPTIVE_BITMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "bitvec/bit_vector.h"
+#include "core/cardinality_estimator.h"
+#include "estimators/multiresolution_bitmap.h"
+
+namespace smb {
+
+class AdaptiveBitmap final : public CardinalityEstimator {
+ public:
+  struct Config {
+    // Total memory m; a `mrb_fraction` slice funds the companion MRB that
+    // tracks the cardinality's order of magnitude.
+    size_t memory_bits = 10000;
+    double mrb_fraction = 0.15;
+    // Cardinality assumed for the first interval (before any feedback).
+    uint64_t initial_cardinality_hint = 1000;
+    uint64_t hash_seed = 0;
+  };
+
+  explicit AdaptiveBitmap(const Config& config);
+
+  AdaptiveBitmap(AdaptiveBitmap&&) = default;
+  AdaptiveBitmap& operator=(AdaptiveBitmap&&) = default;
+
+  void AddHash(Hash128 hash) override;
+  double Estimate() const override;
+  size_t MemoryBits() const override;
+  void Reset() override;
+  std::string_view Name() const override { return "AdaptiveBitmap"; }
+
+  // Ends the current measurement interval: retunes the sampling
+  // probability from this interval's estimate and clears the bitmaps.
+  // Returns the closed interval's estimate.
+  double AdvanceInterval();
+
+  double sampling_probability() const { return sampling_probability_; }
+
+ private:
+  void Retune(double expected_cardinality);
+
+  BitVector bits_;
+  size_t ones_ = 0;
+  MultiResolutionBitmap magnitude_tracker_;
+  double sampling_probability_ = 1.0;
+  uint64_t initial_hint_;
+};
+
+}  // namespace smb
+
+#endif  // SMBCARD_ESTIMATORS_ADAPTIVE_BITMAP_H_

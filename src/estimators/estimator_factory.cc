@@ -1,0 +1,115 @@
+#include "estimators/estimator_factory.h"
+
+#include "common/macros.h"
+#include "core/self_morphing_bitmap.h"
+#include "core/smb_params.h"
+#include "estimators/adaptive_bitmap.h"
+#include "estimators/fm_pcsa.h"
+#include "estimators/hll_histogram.h"
+#include "estimators/hll_tailcut.h"
+#include "estimators/hll_tailcut_plus.h"
+#include "estimators/hyperloglog.h"
+#include "estimators/hyperloglog_pp.h"
+#include "estimators/k_min_values.h"
+#include "estimators/linear_counting.h"
+#include "estimators/loglog.h"
+#include "estimators/multiresolution_bitmap.h"
+#include "estimators/superloglog.h"
+
+namespace smb {
+
+std::unique_ptr<CardinalityEstimator> CreateEstimator(
+    const EstimatorSpec& spec) {
+  const size_t m = spec.memory_bits;
+  const uint64_t n = spec.design_cardinality;
+  const uint64_t seed = spec.hash_seed;
+  SMB_CHECK_MSG(m >= 128, "estimators need at least 128 bits of memory");
+
+  switch (spec.kind) {
+    case EstimatorKind::kSmb: {
+      SelfMorphingBitmap::Config config;
+      config.num_bits = m;
+      config.threshold = OptimalThresholdValue(m, n);
+      config.hash_seed = seed;
+      return std::make_unique<SelfMorphingBitmap>(config);
+    }
+    case EstimatorKind::kMrb:
+      return std::make_unique<MultiResolutionBitmap>(
+          MultiResolutionBitmap::Recommend(m, n, seed));
+    case EstimatorKind::kFm:
+      return std::make_unique<FmPcsa>(m / 32, seed);
+    case EstimatorKind::kLogLog:
+      return std::make_unique<LogLog>(m / 5, seed);
+    case EstimatorKind::kSuperLogLog:
+      return std::make_unique<SuperLogLog>(m / 5, seed);
+    case EstimatorKind::kHll:
+      return std::make_unique<HyperLogLog>(m / 5, seed);
+    case EstimatorKind::kHllPp:
+      return std::make_unique<HyperLogLogPP>(m / 5, seed);
+    case EstimatorKind::kHllHist: {
+      // The 32 x 32-bit histogram comes out of the same budget.
+      const size_t register_bits = m > 1200 ? m - 32 * 32 : m / 2;
+      return std::make_unique<HllHistogram>(register_bits / 5, seed);
+    }
+    case EstimatorKind::kHllTailCut:
+      return std::make_unique<HllTailCut>(m / 4, seed);
+    case EstimatorKind::kHllTailCutPlus:
+      return std::make_unique<HllTailCutPlus>(m / 3, seed);
+    case EstimatorKind::kKmv:
+      return std::make_unique<KMinValues>(m / 64 < 2 ? 2 : m / 64, seed);
+    case EstimatorKind::kLinearCounting:
+      return std::make_unique<LinearCounting>(m, seed);
+    case EstimatorKind::kAdaptiveBitmap: {
+      AdaptiveBitmap::Config config;
+      config.memory_bits = m;
+      config.initial_cardinality_hint = n;
+      config.hash_seed = seed;
+      return std::make_unique<AdaptiveBitmap>(config);
+    }
+  }
+  SMB_CHECK_MSG(false, "unknown estimator kind");
+  return nullptr;
+}
+
+std::string_view EstimatorKindName(EstimatorKind kind) {
+  switch (kind) {
+    case EstimatorKind::kSmb: return "SMB";
+    case EstimatorKind::kMrb: return "MRB";
+    case EstimatorKind::kFm: return "FM";
+    case EstimatorKind::kLogLog: return "LogLog";
+    case EstimatorKind::kSuperLogLog: return "SuperLogLog";
+    case EstimatorKind::kHll: return "HLL";
+    case EstimatorKind::kHllPp: return "HLL++";
+    case EstimatorKind::kHllHist: return "HLL-Hist";
+    case EstimatorKind::kHllTailCut: return "HLL-TailC";
+    case EstimatorKind::kHllTailCutPlus: return "HLL-TailC+";
+    case EstimatorKind::kKmv: return "KMV";
+    case EstimatorKind::kLinearCounting: return "Bitmap";
+    case EstimatorKind::kAdaptiveBitmap: return "AdaptiveBitmap";
+  }
+  return "unknown";
+}
+
+std::optional<EstimatorKind> EstimatorKindFromName(std::string_view name) {
+  for (EstimatorKind kind : AllEstimatorKinds()) {
+    if (EstimatorKindName(kind) == name) return kind;
+  }
+  return std::nullopt;
+}
+
+std::vector<EstimatorKind> PaperComparisonSet() {
+  return {EstimatorKind::kMrb, EstimatorKind::kFm, EstimatorKind::kHllPp,
+          EstimatorKind::kHllTailCut, EstimatorKind::kSmb};
+}
+
+std::vector<EstimatorKind> AllEstimatorKinds() {
+  return {EstimatorKind::kSmb,        EstimatorKind::kMrb,
+          EstimatorKind::kFm,         EstimatorKind::kLogLog,
+          EstimatorKind::kSuperLogLog, EstimatorKind::kHll,
+          EstimatorKind::kHllPp,      EstimatorKind::kHllHist,
+          EstimatorKind::kHllTailCut, EstimatorKind::kHllTailCutPlus,
+          EstimatorKind::kKmv,        EstimatorKind::kLinearCounting,
+          EstimatorKind::kAdaptiveBitmap};
+}
+
+}  // namespace smb

@@ -1,0 +1,76 @@
+// Creation of any estimator by kind, with the per-algorithm parameter
+// rules the paper's evaluation uses (Section V-A / Table I):
+//   SMB        m-bit bitmap, T from the Section IV-B optimizer
+//   MRB        (k, b) from Table III / the generic chooser
+//   FM         t = m/32 registers of 32 bits
+//   LogLog     t = m/5 registers of 5 bits
+//   SuperLL    t = m/5 registers of 5 bits
+//   HLL        t = m/5 registers of 5 bits
+//   HLL++      t = m/5 registers of 5 bits
+//   HLL-TailC  t = m/4 registers of 4 bits
+//   HLL-TailC+ t = m/3 registers of 3 bits
+//   KMV        k = m/64 values of 64 bits
+//   Bitmap     m bits (no sampling; range-limited)
+//   Adaptive   m bits split between sampled bitmap and MRB tracker
+
+#ifndef SMBCARD_ESTIMATORS_ESTIMATOR_FACTORY_H_
+#define SMBCARD_ESTIMATORS_ESTIMATOR_FACTORY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "core/cardinality_estimator.h"
+
+namespace smb {
+
+enum class EstimatorKind {
+  kSmb,
+  kMrb,
+  kFm,
+  kLogLog,
+  kSuperLogLog,
+  kHll,
+  kHllPp,
+  kHllHist,
+  kHllTailCut,
+  kHllTailCutPlus,
+  kKmv,
+  kLinearCounting,
+  kAdaptiveBitmap,
+};
+
+// Parameters shared by all estimator constructions.
+struct EstimatorSpec {
+  EstimatorKind kind = EstimatorKind::kSmb;
+  // Total memory budget m in bits.
+  size_t memory_bits = 10000;
+  // Largest cardinality the estimator is parameterized for (drives SMB's T
+  // and MRB's (k, b); ignored by the register-file estimators).
+  uint64_t design_cardinality = 1000000;
+  uint64_t hash_seed = 0;
+};
+
+// Creates the estimator described by `spec`.
+std::unique_ptr<CardinalityEstimator> CreateEstimator(
+    const EstimatorSpec& spec);
+
+// Paper display name ("SMB", "MRB", "FM", "HLL++", "HLL-TailC", ...).
+std::string_view EstimatorKindName(EstimatorKind kind);
+
+// Inverse of EstimatorKindName; nullopt for unknown names.
+std::optional<EstimatorKind> EstimatorKindFromName(std::string_view name);
+
+// The five algorithms the paper's evaluation compares, in its column order:
+// MRB, FM, HLL++, HLL-TailC, SMB.
+std::vector<EstimatorKind> PaperComparisonSet();
+
+// Every kind the library implements.
+std::vector<EstimatorKind> AllEstimatorKinds();
+
+}  // namespace smb
+
+#endif  // SMBCARD_ESTIMATORS_ESTIMATOR_FACTORY_H_

@@ -1,0 +1,57 @@
+// FM sketch / Probabilistic Counting with Stochastic Averaging (Flajolet &
+// Martin — paper Section II-B).
+//
+// t = m/32 registers of 32 bits. Each item picks register j uniformly and
+// sets bit G(d) (capped at 31). The estimate uses the average, over
+// registers, of the position z_j of the lowest zero bit:
+//   n̂ = (t / φ) * 2^(mean z),  φ = 0.77351 (the FM magic constant; the
+// paper's OCR rounds it to 0.78).
+
+#ifndef SMBCARD_ESTIMATORS_FM_PCSA_H_
+#define SMBCARD_ESTIMATORS_FM_PCSA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/cardinality_estimator.h"
+
+namespace smb {
+
+class FmPcsa final : public CardinalityEstimator {
+ public:
+  // `num_registers` = t (>= 1); each register occupies 32 bits.
+  explicit FmPcsa(size_t num_registers, uint64_t hash_seed = 0);
+
+  // Paper Table I configuration: t = m/32 registers for an m-bit budget.
+  static FmPcsa ForMemoryBits(size_t memory_bits, uint64_t hash_seed = 0) {
+    return FmPcsa(memory_bits / 32, hash_seed);
+  }
+
+  FmPcsa(FmPcsa&&) = default;
+  FmPcsa& operator=(FmPcsa&&) = default;
+
+  void AddHash(Hash128 hash) override;
+  double Estimate() const override;
+  size_t MemoryBits() const override { return registers_.size() * 32; }
+  void Reset() override;
+  std::string_view Name() const override { return "FM"; }
+
+  // Lossless union merge (bitwise OR of registers); requires equal
+  // register count and hash seed.
+  bool CanMergeWith(const FmPcsa& other) const {
+    return num_registers() == other.num_registers() &&
+           hash_seed() == other.hash_seed();
+  }
+  void MergeFrom(const FmPcsa& other);
+
+  size_t num_registers() const { return registers_.size(); }
+  uint32_t register_value(size_t i) const { return registers_[i]; }
+
+ private:
+  std::vector<uint32_t> registers_;
+};
+
+}  // namespace smb
+
+#endif  // SMBCARD_ESTIMATORS_FM_PCSA_H_

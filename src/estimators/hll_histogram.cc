@@ -1,0 +1,56 @@
+#include "estimators/hll_histogram.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "estimators/hyperloglog_pp.h"
+#include "estimators/loglog_common.h"
+
+namespace smb {
+
+HllHistogram::HllHistogram(size_t num_registers, uint64_t hash_seed)
+    : CardinalityEstimator(hash_seed), registers_(num_registers, 5) {
+  SMB_CHECK_MSG(num_registers >= 1, "HLL-Hist needs at least one register");
+  histogram_.fill(0);
+  histogram_[0] = static_cast<uint32_t>(num_registers);
+}
+
+void HllHistogram::AddHash(Hash128 hash) {
+  const size_t j = LogLogRegisterIndex(hash.lo, registers_.size());
+  const uint64_t value = LogLogRegisterValue(hash.hi, 5);
+  const uint64_t current = registers_.Get(j);
+  if (value <= current) return;
+  registers_.Set(j, value);
+  --histogram_[current];
+  ++histogram_[value];
+}
+
+double HllHistogram::Estimate() const {
+  // Identical math to HyperLogLogPP::Estimate, but the register scan is
+  // replaced by the 32-bin histogram.
+  double inverse_sum = 0.0;
+  for (size_t v = 0; v < histogram_.size(); ++v) {
+    if (histogram_[v] != 0) {
+      inverse_sum += static_cast<double>(histogram_[v]) *
+                     std::exp2(-static_cast<double>(v));
+    }
+  }
+  const double t = static_cast<double>(registers_.size());
+  const double raw = HllAlpha(registers_.size()) * t * t / inverse_sum;
+  const double corrected =
+      raw <= 5.0 * t ? raw - t * HyperLogLogPP::BiasFraction(raw / t) : raw;
+  const size_t zero_registers = histogram_[0];
+  if (zero_registers > 0) {
+    const double lc = t * std::log(t / static_cast<double>(zero_registers));
+    if (lc <= 2.5 * t) return lc;
+  }
+  return corrected;
+}
+
+void HllHistogram::Reset() {
+  registers_.ClearAll();
+  histogram_.fill(0);
+  histogram_[0] = static_cast<uint32_t>(registers_.size());
+}
+
+}  // namespace smb

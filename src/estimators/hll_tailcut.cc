@@ -1,0 +1,119 @@
+#include "estimators/hll_tailcut.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/macros.h"
+#include "estimators/loglog_common.h"
+
+namespace smb {
+namespace {
+
+constexpr uint64_t kOffsetCap = 15;  // 4-bit saturation ("tail cut")
+
+}  // namespace
+
+HllTailCut::HllTailCut(size_t num_registers, uint64_t hash_seed)
+    : CardinalityEstimator(hash_seed),
+      registers_(num_registers, 4),
+      zero_offsets_(num_registers) {
+  SMB_CHECK_MSG(num_registers >= 1, "HLL-TailC needs at least one register");
+}
+
+void HllTailCut::AddHash(Hash128 hash) {
+  const size_t j = LogLogRegisterIndex(hash.lo, registers_.size());
+  // Full (unclipped) register value the update wants: G(d) + 1, same cap
+  // as a 5-bit HLL register.
+  const uint64_t value = LogLogRegisterValue(hash.hi, 5);
+  if (value <= base_) return;
+  uint64_t offset = value - base_;
+  if (offset > kOffsetCap) offset = kOffsetCap;
+  const uint64_t current = registers_.Get(j);
+  if (offset <= current) return;
+  registers_.Set(j, offset);
+  if (current == 0) {
+    --zero_offsets_;
+    if (zero_offsets_ == 0) ShiftDown();
+  }
+}
+
+void HllTailCut::ShiftDown() {
+  // Every non-saturated offset is >= 1: rebase until some offset reaches 0.
+  // Saturated offsets stay saturated — their true value is unknown (the
+  // tail-cut information loss).
+  while (true) {
+    size_t zeros = 0;
+    bool any_unsaturated = false;
+    for (size_t i = 0; i < registers_.size(); ++i) {
+      const uint64_t v = registers_.Get(i);
+      if (v == kOffsetCap) continue;
+      any_unsaturated = true;
+      registers_.Set(i, v - 1);
+      if (v - 1 == 0) ++zeros;
+    }
+    if (!any_unsaturated) {
+      // Degenerate: every register saturated. Keep the base where it is
+      // and park a sentinel zero count so no further cascades trigger.
+      zero_offsets_ = 1;
+      return;
+    }
+    ++base_;
+    if (zeros > 0) {
+      zero_offsets_ = zeros;
+      return;
+    }
+  }
+}
+
+void HllTailCut::MergeFrom(const HllTailCut& other) {
+  SMB_CHECK_MSG(CanMergeWith(other),
+                "HLL-TailC merge requires equal register count and seed");
+  // Merge in recovered space, then re-encode around the new minimum.
+  const size_t t = registers_.size();
+  std::vector<uint64_t> recovered(t);
+  uint64_t new_base = ~uint64_t{0};
+  for (size_t i = 0; i < t; ++i) {
+    recovered[i] =
+        std::max(RecoveredRegister(i), other.RecoveredRegister(i));
+    new_base = std::min(new_base, recovered[i]);
+  }
+  size_t zeros = 0;
+  for (size_t i = 0; i < t; ++i) {
+    uint64_t offset = recovered[i] - new_base;
+    if (offset > kOffsetCap) offset = kOffsetCap;
+    registers_.Set(i, offset);
+    if (offset == 0) ++zeros;
+  }
+  base_ = static_cast<uint32_t>(new_base);
+  zero_offsets_ = zeros;
+}
+
+double HllTailCut::Estimate() const {
+  // Harmonic mean over recovered registers Y_i = B + offset_i:
+  //   sum 2^-(B + off) = 2^-B * sum 2^-off.
+  double inverse_sum = 0.0;
+  size_t zero_registers = 0;
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    const uint64_t off = registers_.Get(i);
+    inverse_sum += std::exp2(-static_cast<double>(off));
+    if (base_ == 0 && off == 0) ++zero_registers;
+  }
+  const double t = static_cast<double>(registers_.size());
+  const double raw = HllAlpha(registers_.size()) * t * t /
+                     (std::exp2(-static_cast<double>(base_)) * inverse_sum);
+  // Small-range linear counting is only meaningful while the base has not
+  // moved (offset 0 then really means "register untouched").
+  if (base_ == 0 && raw <= 2.5 * t && zero_registers > 0) {
+    return t * std::log(t / static_cast<double>(zero_registers));
+  }
+  return raw;
+}
+
+void HllTailCut::Reset() {
+  registers_.ClearAll();
+  base_ = 0;
+  zero_offsets_ = registers_.size();
+}
+
+}  // namespace smb

@@ -1,0 +1,71 @@
+// HLL-TailCut (Xiao, Zhou & Chen 2017; the paper's "HLL-TailC").
+//
+// Shrinks each HLL register from 5 to 4 bits by storing the offset
+// Y'_i = Y_i - B from a shared base B = min_i Y_i. When every offset is
+// positive the whole file shifts down (B += 1, offsets -= 1) — an O(t)
+// event that happens O(log n) times total. Offsets saturate at 15
+// (the "tail cut"); the rare saturated registers lose information, which
+// is the accepted accuracy trade for 20% less memory.
+//
+// Query recovers Y_i = B + Y'_i and applies the HLL++ harmonic formula
+// (paper Section II-B).
+
+#ifndef SMBCARD_ESTIMATORS_HLL_TAILCUT_H_
+#define SMBCARD_ESTIMATORS_HLL_TAILCUT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "bitvec/packed_array.h"
+#include "core/cardinality_estimator.h"
+
+namespace smb {
+
+class HllTailCut final : public CardinalityEstimator {
+ public:
+  explicit HllTailCut(size_t num_registers, uint64_t hash_seed = 0);
+
+  // Paper Table I configuration: t = m/4 registers of 4 bits.
+  static HllTailCut ForMemoryBits(size_t memory_bits,
+                                  uint64_t hash_seed = 0) {
+    return HllTailCut(memory_bits / 4, hash_seed);
+  }
+
+  HllTailCut(HllTailCut&&) = default;
+  HllTailCut& operator=(HllTailCut&&) = default;
+
+  void AddHash(Hash128 hash) override;
+  double Estimate() const override;
+  size_t MemoryBits() const override { return registers_.SizeInBits() + 8; }
+  void Reset() override;
+  std::string_view Name() const override { return "HLL-TailC"; }
+
+  // Union merge over *recovered* register values (max of B+offset). Not
+  // perfectly lossless: offsets saturated at 15 in either operand stay
+  // saturated relative to the merged base — the same information loss the
+  // tail cut accepts during recording.
+  bool CanMergeWith(const HllTailCut& other) const {
+    return num_registers() == other.num_registers() &&
+           hash_seed() == other.hash_seed();
+  }
+  void MergeFrom(const HllTailCut& other);
+
+  size_t num_registers() const { return registers_.size(); }
+  // Shared base B (the minimum recovered register value).
+  uint32_t base() const { return base_; }
+  // Recovered register value Y_i = B + offset_i.
+  uint64_t RecoveredRegister(size_t i) const {
+    return base_ + registers_.Get(i);
+  }
+
+ private:
+  void ShiftDown();
+
+  PackedArray registers_;  // 4-bit offsets
+  uint32_t base_ = 0;
+  size_t zero_offsets_;    // registers whose offset is 0
+};
+
+}  // namespace smb
+
+#endif  // SMBCARD_ESTIMATORS_HLL_TAILCUT_H_

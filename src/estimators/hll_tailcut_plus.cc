@@ -1,0 +1,84 @@
+#include "estimators/hll_tailcut_plus.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "estimators/loglog_common.h"
+
+namespace smb {
+namespace {
+
+constexpr uint64_t kOffsetCap = 7;  // 3-bit saturation
+
+}  // namespace
+
+HllTailCutPlus::HllTailCutPlus(size_t num_registers, uint64_t hash_seed)
+    : CardinalityEstimator(hash_seed),
+      registers_(num_registers, 3),
+      zero_offsets_(num_registers) {
+  SMB_CHECK_MSG(num_registers >= 1,
+                "HLL-TailC+ needs at least one register");
+}
+
+void HllTailCutPlus::AddHash(Hash128 hash) {
+  const size_t j = LogLogRegisterIndex(hash.lo, registers_.size());
+  const uint64_t value = LogLogRegisterValue(hash.hi, 5);
+  if (value <= base_) return;
+  uint64_t offset = value - base_;
+  if (offset > kOffsetCap) offset = kOffsetCap;
+  const uint64_t current = registers_.Get(j);
+  if (offset <= current) return;
+  registers_.Set(j, offset);
+  if (current == 0) {
+    --zero_offsets_;
+    if (zero_offsets_ == 0) ShiftDown();
+  }
+}
+
+void HllTailCutPlus::ShiftDown() {
+  while (true) {
+    size_t zeros = 0;
+    bool any_unsaturated = false;
+    for (size_t i = 0; i < registers_.size(); ++i) {
+      const uint64_t v = registers_.Get(i);
+      if (v == kOffsetCap) continue;
+      any_unsaturated = true;
+      registers_.Set(i, v - 1);
+      if (v - 1 == 0) ++zeros;
+    }
+    if (!any_unsaturated) {
+      zero_offsets_ = 1;  // all saturated: park a sentinel, stop cascading
+      return;
+    }
+    ++base_;
+    if (zeros > 0) {
+      zero_offsets_ = zeros;
+      return;
+    }
+  }
+}
+
+double HllTailCutPlus::Estimate() const {
+  double inverse_sum = 0.0;
+  size_t zero_registers = 0;
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    const uint64_t off = registers_.Get(i);
+    inverse_sum += std::exp2(-static_cast<double>(off));
+    if (base_ == 0 && off == 0) ++zero_registers;
+  }
+  const double t = static_cast<double>(registers_.size());
+  const double raw = HllAlpha(registers_.size()) * t * t /
+                     (std::exp2(-static_cast<double>(base_)) * inverse_sum);
+  if (base_ == 0 && raw <= 2.5 * t && zero_registers > 0) {
+    return t * std::log(t / static_cast<double>(zero_registers));
+  }
+  return raw;
+}
+
+void HllTailCutPlus::Reset() {
+  registers_.ClearAll();
+  base_ = 0;
+  zero_offsets_ = registers_.size();
+}
+
+}  // namespace smb

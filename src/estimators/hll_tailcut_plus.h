@@ -1,0 +1,55 @@
+// HLL-TailCut+ — the 3-bit-register variant of HLL-TailCut (paper
+// Section II-B). The paper excludes it from the online comparison because
+// its original query procedure is an offline maximum-likelihood recovery;
+// this implementation keeps the compact 3-bit encoding and answers
+// queries with the same recovered-register harmonic estimator as
+// HLL-TailCut, clipping saturated offsets. Included for completeness and
+// for the memory/accuracy trade-off ablation.
+
+#ifndef SMBCARD_ESTIMATORS_HLL_TAILCUT_PLUS_H_
+#define SMBCARD_ESTIMATORS_HLL_TAILCUT_PLUS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "bitvec/packed_array.h"
+#include "core/cardinality_estimator.h"
+
+namespace smb {
+
+class HllTailCutPlus final : public CardinalityEstimator {
+ public:
+  explicit HllTailCutPlus(size_t num_registers, uint64_t hash_seed = 0);
+
+  // t = m/3 registers of 3 bits.
+  static HllTailCutPlus ForMemoryBits(size_t memory_bits,
+                                      uint64_t hash_seed = 0) {
+    return HllTailCutPlus(memory_bits / 3, hash_seed);
+  }
+
+  HllTailCutPlus(HllTailCutPlus&&) = default;
+  HllTailCutPlus& operator=(HllTailCutPlus&&) = default;
+
+  void AddHash(Hash128 hash) override;
+  double Estimate() const override;
+  size_t MemoryBits() const override { return registers_.SizeInBits() + 8; }
+  void Reset() override;
+  std::string_view Name() const override { return "HLL-TailC+"; }
+
+  size_t num_registers() const { return registers_.size(); }
+  uint32_t base() const { return base_; }
+  uint64_t RecoveredRegister(size_t i) const {
+    return base_ + registers_.Get(i);
+  }
+
+ private:
+  void ShiftDown();
+
+  PackedArray registers_;  // 3-bit offsets, saturating at 7
+  uint32_t base_ = 0;
+  size_t zero_offsets_;
+};
+
+}  // namespace smb
+
+#endif  // SMBCARD_ESTIMATORS_HLL_TAILCUT_PLUS_H_

@@ -1,0 +1,60 @@
+#include "estimators/hyperloglog.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "estimators/loglog_common.h"
+
+namespace smb {
+
+HyperLogLog::HyperLogLog(size_t num_registers, uint64_t hash_seed)
+    : CardinalityEstimator(hash_seed),
+      registers_(num_registers, 5),
+      zero_registers_(num_registers) {
+  SMB_CHECK_MSG(num_registers >= 1, "HLL needs at least one register");
+}
+
+void HyperLogLog::AddHash(Hash128 hash) {
+  const size_t j = LogLogRegisterIndex(hash.lo, registers_.size());
+  const uint64_t value = LogLogRegisterValue(hash.hi, 5);
+  if (registers_.Get(j) == 0 && value > 0) --zero_registers_;
+  registers_.UpdateMax(j, value);
+}
+
+double HyperLogLog::RawEstimate() const {
+  double inverse_sum = 0.0;
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    inverse_sum += std::exp2(-static_cast<double>(registers_.Get(i)));
+  }
+  const double t = static_cast<double>(registers_.size());
+  return HllAlpha(registers_.size()) * t * t / inverse_sum;
+}
+
+double HyperLogLog::Estimate() const {
+  const double t = static_cast<double>(registers_.size());
+  const double raw = RawEstimate();
+  // Small-range correction: below 2.5t the raw estimator is biased; linear
+  // counting over the zero registers is accurate there.
+  if (raw <= 2.5 * t && zero_registers_ > 0) {
+    return t * std::log(t / static_cast<double>(zero_registers_));
+  }
+  return raw;
+}
+
+void HyperLogLog::MergeFrom(const HyperLogLog& other) {
+  SMB_CHECK_MSG(CanMergeWith(other),
+                "HLL merge requires equal register count and seed");
+  size_t zeros = 0;
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    registers_.UpdateMax(i, other.registers_.Get(i));
+    if (registers_.Get(i) == 0) ++zeros;
+  }
+  zero_registers_ = zeros;
+}
+
+void HyperLogLog::Reset() {
+  registers_.ClearAll();
+  zero_registers_ = registers_.size();
+}
+
+}  // namespace smb

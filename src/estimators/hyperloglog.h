@@ -1,0 +1,59 @@
+// HyperLogLog (Flajolet, Fusy, Gandouet & Meunier 2007).
+// t = m/5 registers of 5 bits; harmonic-mean estimator (paper Eq. 4):
+//   n̂ = alpha_t * t^2 / sum_i 2^(-Y_i)
+// with linear-counting fallback when the estimate is small and zero
+// registers remain. 64-bit hashing removes the 32-bit large-range
+// correction of the original paper.
+
+#ifndef SMBCARD_ESTIMATORS_HYPERLOGLOG_H_
+#define SMBCARD_ESTIMATORS_HYPERLOGLOG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "bitvec/packed_array.h"
+#include "core/cardinality_estimator.h"
+
+namespace smb {
+
+class HyperLogLog final : public CardinalityEstimator {
+ public:
+  explicit HyperLogLog(size_t num_registers, uint64_t hash_seed = 0);
+
+  static HyperLogLog ForMemoryBits(size_t memory_bits,
+                                   uint64_t hash_seed = 0) {
+    return HyperLogLog(memory_bits / 5, hash_seed);
+  }
+
+  HyperLogLog(HyperLogLog&&) = default;
+  HyperLogLog& operator=(HyperLogLog&&) = default;
+
+  void AddHash(Hash128 hash) override;
+  double Estimate() const override;
+  size_t MemoryBits() const override { return registers_.SizeInBits(); }
+  void Reset() override;
+  std::string_view Name() const override { return "HLL"; }
+
+  // Lossless union merge (register-wise max); requires equal register
+  // count and hash seed.
+  bool CanMergeWith(const HyperLogLog& other) const {
+    return num_registers() == other.num_registers() &&
+           hash_seed() == other.hash_seed();
+  }
+  void MergeFrom(const HyperLogLog& other);
+
+  size_t num_registers() const { return registers_.size(); }
+  uint64_t register_value(size_t i) const { return registers_.Get(i); }
+  // Raw harmonic-mean estimate without the small-range correction.
+  double RawEstimate() const;
+  // Number of registers still zero.
+  size_t ZeroRegisters() const { return zero_registers_; }
+
+ private:
+  PackedArray registers_;
+  size_t zero_registers_;
+};
+
+}  // namespace smb
+
+#endif  // SMBCARD_ESTIMATORS_HYPERLOGLOG_H_

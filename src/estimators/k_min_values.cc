@@ -1,0 +1,54 @@
+#include "estimators/k_min_values.h"
+
+#include "common/macros.h"
+
+namespace smb {
+
+KMinValues::KMinValues(size_t k, uint64_t hash_seed)
+    : CardinalityEstimator(hash_seed), k_(k) {
+  SMB_CHECK_MSG(k >= 2, "KMV needs k >= 2");
+}
+
+void KMinValues::AddHash(Hash128 hash) {
+  const uint64_t value = hash.lo;
+  if (heap_.size() == k_ && value >= heap_.top()) return;
+  if (!members_.insert(value).second) return;  // duplicate item
+  heap_.push(value);
+  if (heap_.size() > k_) {
+    members_.erase(heap_.top());
+    heap_.pop();
+  }
+}
+
+double KMinValues::Estimate() const {
+  if (heap_.size() < k_) {
+    return static_cast<double>(heap_.size());  // exact below k distinct
+  }
+  const double kth_normalized =
+      (static_cast<double>(heap_.top()) + 1.0) * 0x1.0p-64;
+  return (static_cast<double>(k_) - 1.0) / kth_normalized;
+}
+
+std::vector<uint64_t> KMinValues::Values() const {
+  return std::vector<uint64_t>(members_.begin(), members_.end());
+}
+
+void KMinValues::MergeFrom(const KMinValues& other) {
+  SMB_CHECK_MSG(CanMergeWith(other), "KMV merge requires equal k and seed");
+  for (uint64_t value : other.Values()) {
+    if (heap_.size() == k_ && value >= heap_.top()) continue;
+    if (!members_.insert(value).second) continue;
+    heap_.push(value);
+    if (heap_.size() > k_) {
+      members_.erase(heap_.top());
+      heap_.pop();
+    }
+  }
+}
+
+void KMinValues::Reset() {
+  heap_ = std::priority_queue<uint64_t>();
+  members_.clear();
+}
+
+}  // namespace smb

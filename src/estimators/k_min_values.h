@@ -1,0 +1,69 @@
+// K-Minimum-Values (MinCount / KMV / AKMV family — the paper's "first
+// category" of estimators, Section I).
+//
+// Keeps the k smallest distinct 64-bit hash values seen. With the k-th
+// smallest normalized to U_(k) in (0, 1], the estimate is
+// n̂ = (k - 1) / U_(k); while fewer than k distinct values have been seen
+// the count is exact. Included as a baseline because the survey the paper
+// cites ([22]) ranks it below the LogLog family — a ranking our Fig. 6/7
+// bench reproduces.
+
+#ifndef SMBCARD_ESTIMATORS_K_MIN_VALUES_H_
+#define SMBCARD_ESTIMATORS_K_MIN_VALUES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "core/cardinality_estimator.h"
+
+namespace smb {
+
+class KMinValues final : public CardinalityEstimator {
+ public:
+  // Keeps the k smallest hashes (k >= 2).
+  explicit KMinValues(size_t k, uint64_t hash_seed = 0);
+
+  // Memory-equivalent configuration: k = m/64 64-bit values.
+  static KMinValues ForMemoryBits(size_t memory_bits,
+                                  uint64_t hash_seed = 0) {
+    return KMinValues(memory_bits / 64 < 2 ? 2 : memory_bits / 64,
+                      hash_seed);
+  }
+
+  KMinValues(KMinValues&&) = default;
+  KMinValues& operator=(KMinValues&&) = default;
+
+  void AddHash(Hash128 hash) override;
+  double Estimate() const override;
+  // k stored 64-bit values (the membership index is a constant-factor
+  // implementation aid; a production KMV keeps a sorted array).
+  size_t MemoryBits() const override { return k_ * 64; }
+  void Reset() override;
+  std::string_view Name() const override { return "KMV"; }
+
+  // Lossless union merge (k smallest of the combined value sets);
+  // requires equal k and hash seed.
+  bool CanMergeWith(const KMinValues& other) const {
+    return k_ == other.k_ && hash_seed() == other.hash_seed();
+  }
+  void MergeFrom(const KMinValues& other);
+
+  // The currently stored hash values (unordered).
+  std::vector<uint64_t> Values() const;
+
+  size_t k() const { return k_; }
+  size_t stored() const { return heap_.size(); }
+
+ private:
+  size_t k_;
+  // Max-heap of the k smallest values; top() is the k-th smallest.
+  std::priority_queue<uint64_t> heap_;
+  std::unordered_set<uint64_t> members_;
+};
+
+}  // namespace smb
+
+#endif  // SMBCARD_ESTIMATORS_K_MIN_VALUES_H_

@@ -1,0 +1,45 @@
+#include "estimators/linear_counting.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bit_util.h"
+
+namespace smb {
+
+LinearCounting::LinearCounting(size_t num_bits, uint64_t hash_seed)
+    : CardinalityEstimator(hash_seed), bits_(num_bits) {}
+
+void LinearCounting::AddHash(Hash128 hash) {
+  const size_t pos = FastRange64(hash.lo, bits_.size());
+  if (bits_.TestAndSet(pos)) ++ones_;
+}
+
+double LinearCounting::Estimate() const {
+  const double m = static_cast<double>(bits_.size());
+  // Clamp at U = m - 1: a full bitmap has no finite estimate (paper: the
+  // maximum useful U is m - 1, giving m*ln(m)).
+  const double u =
+      std::min(static_cast<double>(ones_), m - 1.0);
+  if (u <= 0.0) return 0.0;
+  return -m * std::log1p(-u / m);
+}
+
+void LinearCounting::Reset() {
+  bits_.ClearAll();
+  ones_ = 0;
+}
+
+void LinearCounting::MergeFrom(const LinearCounting& other) {
+  SMB_CHECK_MSG(CanMergeWith(other),
+                "LinearCounting merge requires equal size and seed");
+  bits_.UnionWith(other.bits_);
+  ones_ = bits_.CountOnes();
+}
+
+double LinearCounting::MaxEstimate() const {
+  const double m = static_cast<double>(bits_.size());
+  return m * std::log(m);
+}
+
+}  // namespace smb

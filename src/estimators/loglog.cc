@@ -1,0 +1,39 @@
+#include "estimators/loglog.h"
+
+#include <cmath>
+
+#include "common/macros.h"
+#include "estimators/loglog_common.h"
+
+namespace smb {
+
+LogLog::LogLog(size_t num_registers, uint64_t hash_seed)
+    : CardinalityEstimator(hash_seed), registers_(num_registers, 5) {
+  SMB_CHECK_MSG(num_registers >= 1, "LogLog needs at least one register");
+}
+
+void LogLog::AddHash(Hash128 hash) {
+  const size_t j = LogLogRegisterIndex(hash.lo, registers_.size());
+  registers_.UpdateMax(j, LogLogRegisterValue(hash.hi, 5));
+}
+
+double LogLog::Estimate() const {
+  double sum = 0.0;
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    sum += static_cast<double>(registers_.Get(i));
+  }
+  const double t = static_cast<double>(registers_.size());
+  return kLogLogAlpha * t * std::exp2(sum / t);
+}
+
+void LogLog::MergeFrom(const LogLog& other) {
+  SMB_CHECK_MSG(CanMergeWith(other),
+                "LogLog merge requires equal register count and seed");
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    registers_.UpdateMax(i, other.registers_.Get(i));
+  }
+}
+
+void LogLog::Reset() { registers_.ClearAll(); }
+
+}  // namespace smb

@@ -1,0 +1,49 @@
+// LogLog (Durand & Flajolet 2003) — the geometric-mean ancestor of HLL.
+// t = m/5 registers of 5 bits; n̂ = alpha * t * 2^(mean Y).
+
+#ifndef SMBCARD_ESTIMATORS_LOGLOG_H_
+#define SMBCARD_ESTIMATORS_LOGLOG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "bitvec/packed_array.h"
+#include "core/cardinality_estimator.h"
+
+namespace smb {
+
+class LogLog final : public CardinalityEstimator {
+ public:
+  explicit LogLog(size_t num_registers, uint64_t hash_seed = 0);
+
+  static LogLog ForMemoryBits(size_t memory_bits, uint64_t hash_seed = 0) {
+    return LogLog(memory_bits / 5, hash_seed);
+  }
+
+  LogLog(LogLog&&) = default;
+  LogLog& operator=(LogLog&&) = default;
+
+  void AddHash(Hash128 hash) override;
+  double Estimate() const override;
+  size_t MemoryBits() const override { return registers_.SizeInBits(); }
+  void Reset() override;
+  std::string_view Name() const override { return "LogLog"; }
+
+  // Lossless union merge (register-wise max); requires equal register
+  // count and hash seed.
+  bool CanMergeWith(const LogLog& other) const {
+    return num_registers() == other.num_registers() &&
+           hash_seed() == other.hash_seed();
+  }
+  void MergeFrom(const LogLog& other);
+
+  size_t num_registers() const { return registers_.size(); }
+  uint64_t register_value(size_t i) const { return registers_.Get(i); }
+
+ private:
+  PackedArray registers_;
+};
+
+}  // namespace smb
+
+#endif  // SMBCARD_ESTIMATORS_LOGLOG_H_

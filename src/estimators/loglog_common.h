@@ -1,0 +1,55 @@
+// Shared machinery of the LogLog family (LogLog, SuperLogLog, HLL, HLL++,
+// HLL-TailCut): the max-register update rule and the alpha bias-correction
+// constants.
+//
+// All family members keep t registers; item d picks register
+// j = H(d) mod t and updates it with max(Y_j, G(d) + 1), where G is the
+// geometric hash (paper Section II-B). They differ only in register width
+// and in the estimation formula.
+
+#ifndef SMBCARD_ESTIMATORS_LOGLOG_COMMON_H_
+#define SMBCARD_ESTIMATORS_LOGLOG_COMMON_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bit_util.h"
+#include "hash/geometric.h"
+#include "hash/murmur3.h"
+
+namespace smb {
+
+// Register update value for an item hash: G(d) + 1, capped to what a
+// `register_bits`-wide register can store. 5-bit registers (cap 31) cover
+// cardinalities to ~2^32 (paper Section II-B).
+inline uint64_t LogLogRegisterValue(uint64_t geometric_hash_word,
+                                    int register_bits) {
+  const int cap = (1 << register_bits) - 2;  // store rank+1 <= 2^bits - 1
+  return static_cast<uint64_t>(
+             GeometricRankCapped(geometric_hash_word, cap)) +
+         1;
+}
+
+// Register index for an item hash.
+inline size_t LogLogRegisterIndex(uint64_t position_hash_word,
+                                  size_t num_registers) {
+  return FastRange64(position_hash_word, num_registers);
+}
+
+// HyperLogLog alpha_t (Flajolet et al. 2007): bias correction for the
+// harmonic-mean estimator. Exact published constants for small t, the
+// asymptotic formula otherwise.
+inline double HllAlpha(size_t t) {
+  if (t <= 16) return 0.673;
+  if (t <= 32) return 0.697;
+  if (t <= 64) return 0.709;
+  return 0.7213 / (1.0 + 1.079 / static_cast<double>(t));
+}
+
+// LogLog alpha (Durand & Flajolet 2003) for the geometric-mean estimator,
+// asymptotic value; accurate to <1e-4 for t >= 64.
+inline constexpr double kLogLogAlpha = 0.39701;
+
+}  // namespace smb
+
+#endif  // SMBCARD_ESTIMATORS_LOGLOG_COMMON_H_

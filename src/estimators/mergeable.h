@@ -1,0 +1,28 @@
+// The Mergeable concept: estimators whose sketches of two streams can be
+// combined into the sketch of the streams' union. Satisfied by
+// LinearCounting, FmPcsa, LogLog, SuperLogLog, HyperLogLog, HyperLogLogPP,
+// HllTailCut and MultiResolutionBitmap (lossless bitwise/max merges) and
+// KMinValues (k-smallest-of-union). NOT satisfied by SelfMorphingBitmap:
+// its morph schedule depends on stream order, so two SMBs cannot be
+// combined exactly (see DESIGN.md).
+
+#ifndef SMBCARD_ESTIMATORS_MERGEABLE_H_
+#define SMBCARD_ESTIMATORS_MERGEABLE_H_
+
+#include <concepts>
+#include <cstdint>
+
+namespace smb {
+
+template <typename E>
+concept Mergeable = requires(E e, const E& other, uint64_t item) {
+  { e.CanMergeWith(other) } -> std::convertible_to<bool>;
+  e.MergeFrom(other);
+  e.Add(item);
+  { e.Estimate() } -> std::convertible_to<double>;
+  e.Reset();
+};
+
+}  // namespace smb
+
+#endif  // SMBCARD_ESTIMATORS_MERGEABLE_H_

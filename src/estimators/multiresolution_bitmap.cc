@@ -1,0 +1,178 @@
+#include "estimators/multiresolution_bitmap.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bit_util.h"
+#include "common/macros.h"
+#include "hash/geometric.h"
+
+namespace smb {
+namespace {
+
+// Published parameter grid (paper Table III): for each total memory m, the
+// component size b and component count k recommended per design cardinality
+// n. Rows are ordered by descending n; the first row with n_max >= n
+// applies.
+struct Table3Row {
+  uint64_t n_max;
+  size_t b;
+  size_t k;
+};
+
+// m = 10000.
+constexpr Table3Row kTable3M10000[] = {
+    {1000000, 909, 11},  {900000, 909, 11}, {800000, 909, 11},
+    {700000, 909, 11},   {600000, 1000, 10}, {500000, 1000, 10},
+    {400000, 1000, 10},  {300000, 1111, 9},  {200000, 1111, 9},
+    {100000, 1428, 7},   {80000, 1428, 7},
+};
+// m = 5000. The OCR of Table III is partially garbled for the smaller
+// memories; entries below are completed with the same selection rule the
+// legible entries follow (smallest k with 2^(k-3) * b * ln b >= n).
+constexpr Table3Row kTable3M5000[] = {
+    {1000000, 416, 12}, {600000, 416, 12}, {500000, 454, 11},
+    {300000, 500, 10},  {200000, 500, 10}, {100000, 555, 9},
+    {80000, 625, 8},
+};
+// m = 2500.
+constexpr Table3Row kTable3M2500[] = {
+    {1000000, 178, 14}, {900000, 192, 13}, {600000, 192, 13},
+    {500000, 208, 12},  {300000, 208, 12}, {200000, 227, 11},
+    {100000, 250, 10},  {80000, 277, 9},
+};
+// m = 1000.
+constexpr Table3Row kTable3M1000[] = {
+    {1000000, 66, 15}, {800000, 66, 15}, {700000, 71, 14},
+    {400000, 71, 14},  {300000, 76, 13}, {200000, 83, 12},
+    {100000, 90, 11},  {80000, 90, 11},
+};
+
+const Table3Row* LookupTable3(size_t m, size_t* count) {
+  switch (m) {
+    case 10000: *count = std::size(kTable3M10000); return kTable3M10000;
+    case 5000: *count = std::size(kTable3M5000); return kTable3M5000;
+    case 2500: *count = std::size(kTable3M2500); return kTable3M2500;
+    case 1000: *count = std::size(kTable3M1000); return kTable3M1000;
+    default: *count = 0; return nullptr;
+  }
+}
+
+}  // namespace
+
+MultiResolutionBitmap::MultiResolutionBitmap(const Config& config)
+    : CardinalityEstimator(config.hash_seed),
+      component_bits_(config.component_bits),
+      set_max_(static_cast<size_t>(
+          config.set_max_fraction *
+          static_cast<double>(config.component_bits))),
+      bits_(config.num_components * config.component_bits),
+      ones_(config.num_components, 0) {
+  SMB_CHECK_MSG(config.num_components >= 1, "MRB needs >= 1 component");
+  SMB_CHECK_MSG(config.component_bits >= 2, "MRB components need >= 2 bits");
+  SMB_CHECK_MSG(config.set_max_fraction > 0.0 &&
+                    config.set_max_fraction < 1.0,
+                "set_max_fraction must be in (0, 1)");
+}
+
+MultiResolutionBitmap::Config MultiResolutionBitmap::Recommend(
+    size_t memory_bits, uint64_t design_cardinality, uint64_t hash_seed) {
+  Config config;
+  config.hash_seed = hash_seed;
+
+  size_t rows = 0;
+  const Table3Row* table = LookupTable3(memory_bits, &rows);
+  if (table != nullptr && design_cardinality <= table[0].n_max) {
+    // Smallest-n_max row that still covers design_cardinality.
+    const Table3Row* pick = &table[0];
+    for (size_t i = 0; i < rows; ++i) {
+      if (table[i].n_max >= design_cardinality) pick = &table[i];
+    }
+    config.component_bits = pick->b;
+    config.num_components = pick->k;
+    return config;
+  }
+
+  // Generic rule reproducing the grid's safety margin: smallest k with
+  // 2^(k-3) * (m/k) * ln(m/k) >= n.
+  const double n = static_cast<double>(design_cardinality);
+  for (size_t k = 2; k <= 48; ++k) {
+    const size_t b = memory_bits / k;
+    if (b < 8) break;
+    const double range = std::ldexp(static_cast<double>(b),
+                                    static_cast<int>(k) - 3) *
+                         std::log(static_cast<double>(b));
+    if (range >= n) {
+      config.num_components = k;
+      config.component_bits = b;
+      return config;
+    }
+  }
+  // Memory too small for the requested range: fall back to the widest
+  // sensible configuration.
+  config.num_components = std::max<size_t>(2, memory_bits / 8);
+  config.num_components = std::min<size_t>(config.num_components, 48);
+  config.component_bits =
+      std::max<size_t>(2, memory_bits / config.num_components);
+  return config;
+}
+
+void MultiResolutionBitmap::AddHash(Hash128 hash) {
+  const size_t k = ones_.size();
+  const size_t level = static_cast<size_t>(
+      GeometricRankCapped(hash.hi, static_cast<int>(k) - 1));
+  const size_t pos = FastRange64(hash.lo, component_bits_);
+  if (bits_.TestAndSet(level * component_bits_ + pos)) {
+    ++ones_[level];
+  }
+}
+
+void MultiResolutionBitmap::MergeFrom(const MultiResolutionBitmap& other) {
+  SMB_CHECK_MSG(CanMergeWith(other),
+                "MRB merge requires identical geometry and seed");
+  bits_.UnionWith(other.bits_);
+  // Recount per-component ones from the merged bitmap.
+  for (size_t level = 0; level < ones_.size(); ++level) {
+    uint32_t count = 0;
+    const size_t begin = level * component_bits_;
+    for (size_t i = 0; i < component_bits_; ++i) {
+      count += bits_.Test(begin + i) ? 1u : 0u;
+    }
+    ones_[level] = count;
+  }
+}
+
+size_t MultiResolutionBitmap::EstimationBase() const {
+  // One past the last dense component, clamped to the last component.
+  const size_t k = ones_.size();
+  size_t base = 0;
+  for (size_t i = 0; i < k; ++i) {
+    if (ones_[i] > set_max_) base = i + 1;
+  }
+  return std::min(base, k - 1);
+}
+
+double MultiResolutionBitmap::Estimate() const {
+  const size_t k = ones_.size();
+  const size_t base = EstimationBase();
+  const double b = static_cast<double>(component_bits_);
+  double sum = 0.0;
+  for (size_t j = base; j < k; ++j) {
+    // Clamp a full component at b - 1 ones (no finite estimate otherwise).
+    const double u = std::min(static_cast<double>(ones_[j]), b - 1.0);
+    if (u > 0.0) sum += -b * std::log1p(-u / b);
+  }
+  return std::ldexp(sum, static_cast<int>(base));
+}
+
+void MultiResolutionBitmap::Reset() {
+  bits_.ClearAll();
+  std::fill(ones_.begin(), ones_.end(), 0);
+}
+
+double MultiResolutionBitmap::MaxEstimate() const {
+  const double b = static_cast<double>(component_bits_);
+  return std::ldexp(b * std::log(b), static_cast<int>(ones_.size()) - 1);
+}
+
+}  // namespace smb

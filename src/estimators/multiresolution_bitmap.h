@@ -1,0 +1,89 @@
+// Multi-Resolution Bitmap (MRB; Estan, Varghese & Fisk — paper Section II-B).
+//
+// k components of b = m/k bits. Component i has sampling probability
+// p_i = 2^-i; an item with geometric level l = min(G(d), k-1) sets one bit
+// in component l only (the item "gets sampled by" components 0..l, but a
+// single physical update suffices — the finer components' information is
+// recovered at query time by the 2^base scaling).
+//
+// Query (paper Eq. 2): pick the base component (one past the last "dense"
+// component whose fill exceeds set_max), then
+//   n̂ = 2^base * sum_{j=base}^{k-1} -b * ln(1 - U_j / b).
+// Per-component ones counters make the query O(k) counter reads — the
+// optimization the paper grants MRB in its Section V-C comparison.
+
+#ifndef SMBCARD_ESTIMATORS_MULTIRESOLUTION_BITMAP_H_
+#define SMBCARD_ESTIMATORS_MULTIRESOLUTION_BITMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "bitvec/bit_vector.h"
+#include "core/cardinality_estimator.h"
+
+namespace smb {
+
+class MultiResolutionBitmap final : public CardinalityEstimator {
+ public:
+  struct Config {
+    // Number of components k (>= 1).
+    size_t num_components = 11;
+    // Bits per component b (>= 2). Total bitmap memory is k*b.
+    size_t component_bits = 909;
+    // A component is "dense" (saturated beyond useful linear counting) when
+    // its fill fraction exceeds this value; the estimation base is one past
+    // the last dense component. See DESIGN.md #6 and the setmax ablation.
+    double set_max_fraction = 0.9;
+    uint64_t hash_seed = 0;
+  };
+
+  explicit MultiResolutionBitmap(const Config& config);
+
+  MultiResolutionBitmap(MultiResolutionBitmap&&) = default;
+  MultiResolutionBitmap& operator=(MultiResolutionBitmap&&) = default;
+
+  // Returns the paper's recommended (k, b) for total memory m and design
+  // cardinality n: the published Table III grid where (m, n) matches it,
+  // otherwise the smallest k whose estimation range covers n with the same
+  // safety margin the grid exhibits (see DESIGN.md #3).
+  static Config Recommend(size_t memory_bits, uint64_t design_cardinality,
+                          uint64_t hash_seed = 0);
+
+  void AddHash(Hash128 hash) override;
+  double Estimate() const override;
+  // k*b bitmap bits plus 32 bits per online ones-counter.
+  size_t MemoryBits() const override {
+    return bits_.size() + 32 * ones_.size();
+  }
+  void Reset() override;
+  std::string_view Name() const override { return "MRB"; }
+
+  // Lossless union merge (bitwise OR of all components); requires
+  // identical geometry and hash seed.
+  bool CanMergeWith(const MultiResolutionBitmap& other) const {
+    return num_components() == other.num_components() &&
+           component_bits() == other.component_bits() &&
+           hash_seed() == other.hash_seed();
+  }
+  void MergeFrom(const MultiResolutionBitmap& other);
+
+  size_t num_components() const { return ones_.size(); }
+  size_t component_bits() const { return component_bits_; }
+  size_t component_ones(size_t i) const { return ones_[i]; }
+  // Base component the current query would use.
+  size_t EstimationBase() const;
+  // Largest estimate before the last component saturates:
+  // 2^(k-1) * b * ln(b) (paper Section II-B).
+  double MaxEstimate() const;
+
+ private:
+  size_t component_bits_;
+  size_t set_max_;
+  BitVector bits_;                // k components, contiguous
+  std::vector<uint32_t> ones_;    // per-component ones counters
+};
+
+}  // namespace smb
+
+#endif  // SMBCARD_ESTIMATORS_MULTIRESOLUTION_BITMAP_H_

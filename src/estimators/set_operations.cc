@@ -1,0 +1,32 @@
+#include "estimators/set_operations.h"
+
+#include <unordered_set>
+
+namespace smb {
+
+double KmvJaccard(const KMinValues& a, const KMinValues& b) {
+  SMB_CHECK_MSG(a.CanMergeWith(b), "KMV operands are not merge-compatible");
+  const auto values_a = a.Values();
+  const auto values_b = b.Values();
+  if (values_a.empty() && values_b.empty()) return 0.0;
+
+  // k smallest of the union of the two sketches' samples.
+  std::vector<uint64_t> merged = values_a;
+  merged.insert(merged.end(), values_b.begin(), values_b.end());
+  std::sort(merged.begin(), merged.end());
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  const size_t k = std::min(a.k(), merged.size());
+  merged.resize(k);
+
+  const std::unordered_set<uint64_t> set_a(values_a.begin(),
+                                           values_a.end());
+  const std::unordered_set<uint64_t> set_b(values_b.begin(),
+                                           values_b.end());
+  size_t in_both = 0;
+  for (uint64_t v : merged) {
+    if (set_a.count(v) != 0 && set_b.count(v) != 0) ++in_both;
+  }
+  return static_cast<double>(in_both) / static_cast<double>(k);
+}
+
+}  // namespace smb

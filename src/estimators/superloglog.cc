@@ -1,0 +1,62 @@
+#include "estimators/superloglog.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/macros.h"
+#include "estimators/loglog_common.h"
+
+namespace smb {
+namespace {
+
+// Fraction of (smallest) registers retained by the truncation rule.
+constexpr double kTruncation = 0.7;
+
+// Bias-correction constant for the theta = 0.7 truncated geometric-mean
+// estimator, n̂ = alpha * t * 2^(mean of smallest 0.7*t registers).
+// Calibrated by simulation with this library (t in {512, 2000}, n/t in
+// {5, 20, 100}, 60 trials each; measured 0.768..0.778 across the grid —
+// bench/ablation_calibration regenerates the measurement).
+constexpr double kSuperLogLogAlpha = 0.7730;
+
+}  // namespace
+
+SuperLogLog::SuperLogLog(size_t num_registers, uint64_t hash_seed)
+    : CardinalityEstimator(hash_seed), registers_(num_registers, 5) {
+  SMB_CHECK_MSG(num_registers >= 2, "SuperLogLog needs >= 2 registers");
+}
+
+void SuperLogLog::AddHash(Hash128 hash) {
+  const size_t j = LogLogRegisterIndex(hash.lo, registers_.size());
+  registers_.UpdateMax(j, LogLogRegisterValue(hash.hi, 5));
+}
+
+double SuperLogLog::Estimate() const {
+  const size_t t = registers_.size();
+  std::vector<uint8_t> values(t);
+  for (size_t i = 0; i < t; ++i) {
+    values[i] = static_cast<uint8_t>(registers_.Get(i));
+  }
+  const size_t kept = std::max<size_t>(
+      1, static_cast<size_t>(kTruncation * static_cast<double>(t)));
+  std::nth_element(values.begin(),
+                   values.begin() + static_cast<ptrdiff_t>(kept - 1),
+                   values.end());
+  double sum = 0.0;
+  for (size_t i = 0; i < kept; ++i) sum += static_cast<double>(values[i]);
+  return kSuperLogLogAlpha * static_cast<double>(t) *
+         std::exp2(sum / static_cast<double>(kept));
+}
+
+void SuperLogLog::MergeFrom(const SuperLogLog& other) {
+  SMB_CHECK_MSG(CanMergeWith(other),
+                "SuperLogLog merge requires equal register count and seed");
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    registers_.UpdateMax(i, other.registers_.Get(i));
+  }
+}
+
+void SuperLogLog::Reset() { registers_.ClearAll(); }
+
+}  // namespace smb

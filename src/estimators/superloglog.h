@@ -1,0 +1,51 @@
+// SuperLogLog (Durand & Flajolet 2003): LogLog with the truncation rule —
+// the estimate uses only the smallest 70% of registers, which removes the
+// heavy upper tail of the register distribution and cuts the standard error
+// from ~1.30/sqrt(t) to ~1.05/sqrt(t).
+
+#ifndef SMBCARD_ESTIMATORS_SUPERLOGLOG_H_
+#define SMBCARD_ESTIMATORS_SUPERLOGLOG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "bitvec/packed_array.h"
+#include "core/cardinality_estimator.h"
+
+namespace smb {
+
+class SuperLogLog final : public CardinalityEstimator {
+ public:
+  explicit SuperLogLog(size_t num_registers, uint64_t hash_seed = 0);
+
+  static SuperLogLog ForMemoryBits(size_t memory_bits,
+                                   uint64_t hash_seed = 0) {
+    return SuperLogLog(memory_bits / 5, hash_seed);
+  }
+
+  SuperLogLog(SuperLogLog&&) = default;
+  SuperLogLog& operator=(SuperLogLog&&) = default;
+
+  void AddHash(Hash128 hash) override;
+  double Estimate() const override;
+  size_t MemoryBits() const override { return registers_.SizeInBits(); }
+  void Reset() override;
+  std::string_view Name() const override { return "SuperLogLog"; }
+
+  // Lossless union merge (register-wise max); requires equal register
+  // count and hash seed.
+  bool CanMergeWith(const SuperLogLog& other) const {
+    return num_registers() == other.num_registers() &&
+           hash_seed() == other.hash_seed();
+  }
+  void MergeFrom(const SuperLogLog& other);
+
+  size_t num_registers() const { return registers_.size(); }
+
+ private:
+  PackedArray registers_;
+};
+
+}  // namespace smb
+
+#endif  // SMBCARD_ESTIMATORS_SUPERLOGLOG_H_

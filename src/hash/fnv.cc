@@ -1,0 +1,17 @@
+#include "hash/fnv.h"
+
+namespace smb {
+
+uint64_t Fnv1a64(const void* data, size_t len, uint64_t seed) {
+  constexpr uint64_t kOffsetBasis = 0xCBF29CE484222325ULL;
+  constexpr uint64_t kPrime = 0x00000100000001B3ULL;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = kOffsetBasis ^ seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kPrime;
+  }
+  return h;
+}
+
+}  // namespace smb

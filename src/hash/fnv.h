@@ -1,0 +1,32 @@
+// FNV-1a 64-bit hash. A deliberately weak, fast baseline used by the
+// hash-quality ablation (bench/ablation_hash) to demonstrate how estimator
+// accuracy degrades under a low-diffusion hash.
+
+#ifndef SMBCARD_HASH_FNV_H_
+#define SMBCARD_HASH_FNV_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace smb {
+
+uint64_t Fnv1a64(const void* data, size_t len, uint64_t seed = 0);
+
+inline uint64_t Fnv1a64(std::string_view s, uint64_t seed = 0) {
+  return Fnv1a64(static_cast<const void*>(s.data()), s.size(), seed);
+}
+
+// String-literal overload. Without it, Fnv1a64("abc", 0) would silently
+// bind the literal to the (const void*, size_t) overload with len = 0.
+inline uint64_t Fnv1a64(const char* s, uint64_t seed = 0) {
+  return Fnv1a64(std::string_view(s), seed);
+}
+
+inline uint64_t Fnv1a64_U64(uint64_t key, uint64_t seed = 0) {
+  return Fnv1a64(&key, sizeof(key), seed);
+}
+
+}  // namespace smb
+
+#endif  // SMBCARD_HASH_FNV_H_

@@ -1,0 +1,3 @@
+#include "hash/geometric.h"
+
+// Header-only; this translation unit anchors the target.

@@ -1,0 +1,38 @@
+// Geometric hash function G(x) of the paper's Definition 1.
+//
+// G(x) is an integer-valued hash with Pr[G(x) = i] = 2^-(i+1), realized as
+// ρ(H(x)) where ρ(y) counts the zeros of y "starting from the least
+// significant digit" — i.e., trailing zeros. The key property used by both
+// SMB (Lemma 1) and MRB is Pr[G(x) >= i] = 2^-i.
+
+#ifndef SMBCARD_HASH_GEOMETRIC_H_
+#define SMBCARD_HASH_GEOMETRIC_H_
+
+#include <cstdint>
+
+#include "common/bit_util.h"
+
+namespace smb {
+
+// Maximum rank returned by GeometricRank: an all-zero 64-bit hash (prob
+// 2^-64) is clamped to 63 so downstream register widths can assume < 64.
+inline constexpr int kMaxGeometricRank = 63;
+
+// ρ(hash): number of trailing zero bits, clamped to kMaxGeometricRank.
+// For uniform `hash`, Pr[rank = i] = 2^-(i+1) (i < 63) — Definition 1.
+inline int GeometricRank(uint64_t hash) {
+  const int tz = CountTrailingZeros64(hash);
+  return tz > kMaxGeometricRank ? kMaxGeometricRank : tz;
+}
+
+// Variant bounded to [0, cap]: ranks >= cap collapse into cap, so
+// Pr[rank = cap] = 2^-cap. This is the register-index distribution used by
+// MRB's last component and FM/HLL register updates with limited width.
+inline int GeometricRankCapped(uint64_t hash, int cap) {
+  const int r = GeometricRank(hash);
+  return r > cap ? cap : r;
+}
+
+}  // namespace smb
+
+#endif  // SMBCARD_HASH_GEOMETRIC_H_

@@ -1,0 +1,121 @@
+#include "hash/murmur3.h"
+
+#include <cstring>
+
+#include "common/bit_util.h"
+
+namespace smb {
+namespace {
+
+constexpr uint64_t kC1 = 0x87C37B91114253D5ULL;
+constexpr uint64_t kC2 = 0x4CF5AD432745937FULL;
+
+inline uint64_t LoadU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;  // Little-endian platforms only (asserted by CI targets).
+}
+
+}  // namespace
+
+Hash128 Murmur3_128(const void* data, size_t len, uint64_t seed) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  const size_t nblocks = len / 16;
+
+  uint64_t h1 = seed;
+  uint64_t h2 = seed;
+
+  // Body: 16-byte blocks.
+  for (size_t i = 0; i < nblocks; ++i) {
+    uint64_t k1 = LoadU64(bytes + i * 16);
+    uint64_t k2 = LoadU64(bytes + i * 16 + 8);
+
+    k1 *= kC1;
+    k1 = RotateLeft64(k1, 31);
+    k1 *= kC2;
+    h1 ^= k1;
+    h1 = RotateLeft64(h1, 27);
+    h1 += h2;
+    h1 = h1 * 5 + 0x52DCE729;
+
+    k2 *= kC2;
+    k2 = RotateLeft64(k2, 33);
+    k2 *= kC1;
+    h2 ^= k2;
+    h2 = RotateLeft64(h2, 31);
+    h2 += h1;
+    h2 = h2 * 5 + 0x38495AB5;
+  }
+
+  // Tail: up to 15 remaining bytes.
+  const uint8_t* tail = bytes + nblocks * 16;
+  uint64_t k1 = 0;
+  uint64_t k2 = 0;
+  switch (len & 15) {
+    case 15: k2 ^= static_cast<uint64_t>(tail[14]) << 48; [[fallthrough]];
+    case 14: k2 ^= static_cast<uint64_t>(tail[13]) << 40; [[fallthrough]];
+    case 13: k2 ^= static_cast<uint64_t>(tail[12]) << 32; [[fallthrough]];
+    case 12: k2 ^= static_cast<uint64_t>(tail[11]) << 24; [[fallthrough]];
+    case 11: k2 ^= static_cast<uint64_t>(tail[10]) << 16; [[fallthrough]];
+    case 10: k2 ^= static_cast<uint64_t>(tail[9]) << 8; [[fallthrough]];
+    case 9:
+      k2 ^= static_cast<uint64_t>(tail[8]);
+      k2 *= kC2;
+      k2 = RotateLeft64(k2, 33);
+      k2 *= kC1;
+      h2 ^= k2;
+      [[fallthrough]];
+    case 8: k1 ^= static_cast<uint64_t>(tail[7]) << 56; [[fallthrough]];
+    case 7: k1 ^= static_cast<uint64_t>(tail[6]) << 48; [[fallthrough]];
+    case 6: k1 ^= static_cast<uint64_t>(tail[5]) << 40; [[fallthrough]];
+    case 5: k1 ^= static_cast<uint64_t>(tail[4]) << 32; [[fallthrough]];
+    case 4: k1 ^= static_cast<uint64_t>(tail[3]) << 24; [[fallthrough]];
+    case 3: k1 ^= static_cast<uint64_t>(tail[2]) << 16; [[fallthrough]];
+    case 2: k1 ^= static_cast<uint64_t>(tail[1]) << 8; [[fallthrough]];
+    case 1:
+      k1 ^= static_cast<uint64_t>(tail[0]);
+      k1 *= kC1;
+      k1 = RotateLeft64(k1, 31);
+      k1 *= kC2;
+      h1 ^= k1;
+      break;
+    case 0:
+      break;
+  }
+
+  // Finalization.
+  h1 ^= static_cast<uint64_t>(len);
+  h2 ^= static_cast<uint64_t>(len);
+  h1 += h2;
+  h2 += h1;
+  h1 = Murmur3Fmix64(h1);
+  h2 = Murmur3Fmix64(h2);
+  h1 += h2;
+  h2 += h1;
+  return Hash128{h1, h2};
+}
+
+Hash128 Murmur3_128_U64(uint64_t key, uint64_t seed) {
+  // Specialization of the general routine for an 8-byte little-endian key;
+  // produces byte-identical output to Murmur3_128(&key, 8, seed).
+  uint64_t h1 = seed;
+  uint64_t h2 = seed;
+
+  uint64_t k1 = key;
+  k1 *= kC1;
+  k1 = RotateLeft64(k1, 31);
+  k1 *= kC2;
+  h1 ^= k1;
+
+  h1 ^= 8;
+  h2 ^= 8;
+  h1 += h2;
+  h2 += h1;
+  h1 = Murmur3Fmix64(h1);
+  h2 = Murmur3Fmix64(h2);
+  h1 += h2;
+  h2 += h1;
+  return Hash128{h1, h2};
+}
+
+}  // namespace smb

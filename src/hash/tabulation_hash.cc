@@ -1,0 +1,14 @@
+#include "hash/tabulation_hash.h"
+
+#include "common/random.h"
+
+namespace smb {
+
+TabulationHash::TabulationHash(uint64_t seed) {
+  SplitMix64 rng(seed);
+  for (auto& row : table_) {
+    for (auto& cell : row) cell = rng.Next();
+  }
+}
+
+}  // namespace smb

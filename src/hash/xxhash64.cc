@@ -1,0 +1,115 @@
+#include "hash/xxhash64.h"
+
+#include <cstring>
+
+#include "common/bit_util.h"
+
+namespace smb {
+namespace {
+
+constexpr uint64_t kPrime1 = 0x9E3779B185EBCA87ULL;
+constexpr uint64_t kPrime2 = 0xC2B2AE3D27D4EB4FULL;
+constexpr uint64_t kPrime3 = 0x165667B19E3779F9ULL;
+constexpr uint64_t kPrime4 = 0x85EBCA77C2B2AE63ULL;
+constexpr uint64_t kPrime5 = 0x27D4EB2F165667C5ULL;
+
+inline uint64_t LoadU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline uint32_t LoadU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline uint64_t Round(uint64_t acc, uint64_t input) {
+  acc += input * kPrime2;
+  acc = RotateLeft64(acc, 31);
+  acc *= kPrime1;
+  return acc;
+}
+
+inline uint64_t MergeRound(uint64_t acc, uint64_t val) {
+  val = Round(0, val);
+  acc ^= val;
+  acc = acc * kPrime1 + kPrime4;
+  return acc;
+}
+
+inline uint64_t Avalanche(uint64_t h) {
+  h ^= h >> 33;
+  h *= kPrime2;
+  h ^= h >> 29;
+  h *= kPrime3;
+  h ^= h >> 32;
+  return h;
+}
+
+uint64_t Finalize(uint64_t h, const uint8_t* p, size_t len) {
+  // Consume remaining bytes (< 32).
+  while (len >= 8) {
+    h ^= Round(0, LoadU64(p));
+    h = RotateLeft64(h, 27) * kPrime1 + kPrime4;
+    p += 8;
+    len -= 8;
+  }
+  if (len >= 4) {
+    h ^= static_cast<uint64_t>(LoadU32(p)) * kPrime1;
+    h = RotateLeft64(h, 23) * kPrime2 + kPrime3;
+    p += 4;
+    len -= 4;
+  }
+  while (len > 0) {
+    h ^= static_cast<uint64_t>(*p) * kPrime5;
+    h = RotateLeft64(h, 11) * kPrime1;
+    ++p;
+    --len;
+  }
+  return Avalanche(h);
+}
+
+}  // namespace
+
+uint64_t XxHash64(const void* data, size_t len, uint64_t seed) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  const uint8_t* const end = p + len;
+  uint64_t h;
+
+  if (len >= 32) {
+    uint64_t v1 = seed + kPrime1 + kPrime2;
+    uint64_t v2 = seed + kPrime2;
+    uint64_t v3 = seed;
+    uint64_t v4 = seed - kPrime1;
+    const uint8_t* const limit = end - 32;
+    do {
+      v1 = Round(v1, LoadU64(p));
+      v2 = Round(v2, LoadU64(p + 8));
+      v3 = Round(v3, LoadU64(p + 16));
+      v4 = Round(v4, LoadU64(p + 24));
+      p += 32;
+    } while (p <= limit);
+    h = RotateLeft64(v1, 1) + RotateLeft64(v2, 7) + RotateLeft64(v3, 12) +
+        RotateLeft64(v4, 18);
+    h = MergeRound(h, v1);
+    h = MergeRound(h, v2);
+    h = MergeRound(h, v3);
+    h = MergeRound(h, v4);
+  } else {
+    h = seed + kPrime5;
+  }
+
+  h += static_cast<uint64_t>(len);
+  return Finalize(h, p, static_cast<size_t>(end - p));
+}
+
+uint64_t XxHash64_U64(uint64_t key, uint64_t seed) {
+  uint64_t h = seed + kPrime5 + 8;
+  h ^= Round(0, key);
+  h = RotateLeft64(h, 27) * kPrime1 + kPrime4;
+  return Avalanche(h);
+}
+
+}  // namespace smb

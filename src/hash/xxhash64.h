@@ -1,0 +1,33 @@
+// XXH64 (Yann Collet, BSD), implemented from the published specification.
+// Used as an alternative uniform hash in the hash-choice ablation and as the
+// second hash family for tabulation-hash seeding.
+
+#ifndef SMBCARD_HASH_XXHASH64_H_
+#define SMBCARD_HASH_XXHASH64_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace smb {
+
+// Hashes `len` bytes at `data` with the given seed (XXH64 algorithm).
+uint64_t XxHash64(const void* data, size_t len, uint64_t seed);
+
+inline uint64_t XxHash64(std::string_view s, uint64_t seed = 0) {
+  return XxHash64(static_cast<const void*>(s.data()), s.size(), seed);
+}
+
+// String-literal overload. Without it, XxHash64("abc", 7) would silently
+// bind the literal to the (const void*, size_t) overload with len = 0.
+inline uint64_t XxHash64(const char* s, uint64_t seed = 0) {
+  return XxHash64(std::string_view(s), seed);
+}
+
+// Fast path for 8-byte integer keys; byte-identical to hashing the key's
+// little-endian representation.
+uint64_t XxHash64_U64(uint64_t key, uint64_t seed);
+
+}  // namespace smb
+
+#endif  // SMBCARD_HASH_XXHASH64_H_

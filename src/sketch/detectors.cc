@@ -1,0 +1,36 @@
+#include "sketch/detectors.h"
+
+#include <algorithm>
+
+namespace smb {
+
+DetectionReport DetectHighSpread(const PerFlowMonitor& monitor,
+                                 double threshold) {
+  DetectionReport report;
+  for (const auto& [flow, estimator] : monitor.table()) {
+    const double estimate = estimator->Estimate();
+    if (estimate >= threshold) {
+      report.flagged.push_back(flow);
+      report.estimates.push_back(estimate);
+    }
+  }
+  return report;
+}
+
+OnlineSpreadDetector::OnlineSpreadDetector(const EstimatorSpec& spec,
+                                           double threshold)
+    : monitor_(spec), threshold_(threshold) {}
+
+bool OnlineSpreadDetector::Observe(uint64_t flow, uint64_t element) {
+  monitor_.Record(flow, element);
+  // Per-packet query — cheap for SMB (two counters), expensive for the
+  // register-scan estimators; see bench/table5_query_throughput.
+  if (monitor_.Query(flow) < threshold_) return false;
+  if (std::find(alarms_.begin(), alarms_.end(), flow) != alarms_.end()) {
+    return false;
+  }
+  alarms_.push_back(flow);
+  return true;
+}
+
+}  // namespace smb

@@ -1,0 +1,54 @@
+// Online anomaly detectors built on per-flow spread estimation — the two
+// motivating applications of the paper's introduction:
+//   * scan detection: a *source* contacting too many distinct destinations,
+//   * DDoS detection: a *destination* contacted by too many distinct
+//     sources (a surge in stream cardinality).
+
+#ifndef SMBCARD_SKETCH_DETECTORS_H_
+#define SMBCARD_SKETCH_DETECTORS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sketch/per_flow_monitor.h"
+
+namespace smb {
+
+struct DetectionReport {
+  // Flow keys whose estimated spread crossed the threshold.
+  std::vector<uint64_t> flagged;
+  // Estimates for the flagged flows, parallel to `flagged`.
+  std::vector<double> estimates;
+};
+
+// Flags every monitored flow whose estimated spread is >= threshold.
+DetectionReport DetectHighSpread(const PerFlowMonitor& monitor,
+                                 double threshold);
+
+// Online detector: wraps a PerFlowMonitor and checks the recorded flow's
+// estimate against the threshold after every packet — the per-packet
+// record-then-query pattern whose feasibility is exactly what the paper's
+// query-throughput experiments are about.
+class OnlineSpreadDetector {
+ public:
+  OnlineSpreadDetector(const EstimatorSpec& spec, double threshold);
+
+  OnlineSpreadDetector(const OnlineSpreadDetector&) = delete;
+  OnlineSpreadDetector& operator=(const OnlineSpreadDetector&) = delete;
+
+  // Records the observation and returns true if this packet pushed the
+  // flow's estimate over the threshold for the first time.
+  bool Observe(uint64_t flow, uint64_t element);
+
+  const std::vector<uint64_t>& alarms() const { return alarms_; }
+  const PerFlowMonitor& monitor() const { return monitor_; }
+
+ private:
+  PerFlowMonitor monitor_;
+  double threshold_;
+  std::vector<uint64_t> alarms_;
+};
+
+}  // namespace smb
+
+#endif  // SMBCARD_SKETCH_DETECTORS_H_

@@ -1,0 +1,44 @@
+#include "sketch/epoch_monitor.h"
+
+namespace smb {
+
+EpochMonitor::EpochMonitor(const EstimatorSpec& spec)
+    : spec_(spec), current_(std::make_unique<PerFlowMonitor>(spec)) {}
+
+void EpochMonitor::Record(uint64_t flow, uint64_t element) {
+  current_->Record(flow, element);
+}
+
+double EpochMonitor::QueryCompleted(uint64_t flow) const {
+  return completed_ != nullptr ? completed_->Query(flow) : 0.0;
+}
+
+double EpochMonitor::QueryCurrent(uint64_t flow) const {
+  return current_->Query(flow);
+}
+
+size_t EpochMonitor::AdvanceEpoch() {
+  const size_t closed_flows = current_->NumFlows();
+  older_ = std::move(completed_);
+  completed_ = std::move(current_);
+  current_ = std::make_unique<PerFlowMonitor>(spec_);
+  ++epochs_completed_;
+  return closed_flows;
+}
+
+std::vector<uint64_t> EpochMonitor::SurgingFlows(double factor,
+                                                 double min_spread) const {
+  std::vector<uint64_t> out;
+  if (completed_ == nullptr) return out;
+  for (const auto& [flow, estimator] : completed_->table()) {
+    const double now = estimator->Estimate();
+    if (now < min_spread) continue;
+    const double before = older_ != nullptr ? older_->Query(flow) : 0.0;
+    if (before <= 0.0 || now >= factor * before) {
+      out.push_back(flow);
+    }
+  }
+  return out;
+}
+
+}  // namespace smb

@@ -1,0 +1,66 @@
+// Epoch-rotating per-flow spread monitoring.
+//
+// Cardinality estimators measure "distinct since reset"; real deployments
+// want "distinct in the last measurement period" (the paper's interval
+// model, and the setting where AdaptiveBitmap's feedback loop lives).
+// EpochMonitor keeps two PerFlowMonitor generations — current and
+// previous — and rotates on AdvanceEpoch(): queries answer from the
+// *previous* (complete) epoch, so readings are stable while the current
+// epoch fills. Flow tables are rebuilt each epoch, so memory tracks the
+// number of flows active per epoch rather than ever-seen.
+
+#ifndef SMBCARD_SKETCH_EPOCH_MONITOR_H_
+#define SMBCARD_SKETCH_EPOCH_MONITOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sketch/per_flow_monitor.h"
+
+namespace smb {
+
+class EpochMonitor {
+ public:
+  explicit EpochMonitor(const EstimatorSpec& spec);
+
+  EpochMonitor(const EpochMonitor&) = delete;
+  EpochMonitor& operator=(const EpochMonitor&) = delete;
+  EpochMonitor(EpochMonitor&&) = default;
+  EpochMonitor& operator=(EpochMonitor&&) = default;
+
+  // Records into the current epoch.
+  void Record(uint64_t flow, uint64_t element);
+
+  // Spread of `flow` in the last *completed* epoch (0 before the first
+  // rotation or for flows inactive that epoch).
+  double QueryCompleted(uint64_t flow) const;
+
+  // Spread of `flow` in the epoch currently filling (partial data).
+  double QueryCurrent(uint64_t flow) const;
+
+  // Closes the current epoch: it becomes the completed one; a fresh epoch
+  // starts. Returns the number of flows active in the closed epoch.
+  size_t AdvanceEpoch();
+
+  // Flows whose completed-epoch spread grew by at least `factor` times
+  // compared to the epoch before it — the DDoS-surge primitive. Flows
+  // absent from the older epoch are reported when their spread exceeds
+  // `min_spread`.
+  std::vector<uint64_t> SurgingFlows(double factor,
+                                     double min_spread) const;
+
+  size_t epochs_completed() const { return epochs_completed_; }
+  const EstimatorSpec& spec() const { return spec_; }
+
+ private:
+  EstimatorSpec spec_;
+  std::unique_ptr<PerFlowMonitor> current_;
+  std::unique_ptr<PerFlowMonitor> completed_;
+  std::unique_ptr<PerFlowMonitor> older_;  // for surge comparison
+  size_t epochs_completed_ = 0;
+};
+
+}  // namespace smb
+
+#endif  // SMBCARD_SKETCH_EPOCH_MONITOR_H_

@@ -1,0 +1,54 @@
+#include "sketch/hash_partitioned_sketch.h"
+
+#include "common/bit_util.h"
+#include "common/macros.h"
+#include "hash/murmur3.h"
+
+namespace smb {
+
+HashPartitionedSketch::HashPartitionedSketch(const EstimatorSpec& spec,
+                                             size_t num_cells)
+    : spec_(spec) {
+  SMB_CHECK_MSG(num_cells >= 1, "sketch needs at least one cell");
+  cells_.reserve(num_cells);
+  for (size_t i = 0; i < num_cells; ++i) {
+    EstimatorSpec cell_spec = spec;
+    cell_spec.hash_seed = Murmur3Fmix64(spec.hash_seed ^ (i + 1));
+    cells_.push_back(CreateEstimator(cell_spec));
+  }
+}
+
+size_t HashPartitionedSketch::CellIndex(uint64_t flow) const {
+  return FastRange64(Murmur3Fmix64(flow ^ spec_.hash_seed), cells_.size());
+}
+
+void HashPartitionedSketch::Record(uint64_t flow, uint64_t element) {
+  // Mix the flow into the element so identical elements in colliding
+  // flows still count separately (per-flow spread, not pool spread).
+  cells_[CellIndex(flow)]->Add(Murmur3Fmix64(flow) ^ element);
+}
+
+double HashPartitionedSketch::Query(uint64_t flow) const {
+  return cells_[CellIndex(flow)]->Estimate();
+}
+
+std::vector<size_t> HashPartitionedSketch::CellsOver(
+    double threshold) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i]->Estimate() >= threshold) out.push_back(i);
+  }
+  return out;
+}
+
+size_t HashPartitionedSketch::MemoryBits() const {
+  size_t total = 0;
+  for (const auto& cell : cells_) total += cell->MemoryBits();
+  return total;
+}
+
+void HashPartitionedSketch::Reset() {
+  for (auto& cell : cells_) cell->Reset();
+}
+
+}  // namespace smb

@@ -1,0 +1,57 @@
+// Hash-partitioned spread sketch: a fixed array of w full estimators;
+// each flow maps to one cell. Memory is bounded at w * m bits regardless
+// of flow count (unlike PerFlowMonitor), at the cost of collision
+// overestimation: a cell's estimate covers every flow hashed into it.
+//
+// This is the simplest "estimator as a plug-in" sketch of the paper's
+// Section II-C — any CardinalityEstimator kind (including SMB) drops in
+// via EstimatorSpec — and is the standard first stage of heavy-spreader
+// detection (cells over threshold are candidates).
+
+#ifndef SMBCARD_SKETCH_HASH_PARTITIONED_SKETCH_H_
+#define SMBCARD_SKETCH_HASH_PARTITIONED_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "estimators/estimator_factory.h"
+
+namespace smb {
+
+class HashPartitionedSketch {
+ public:
+  // `num_cells` estimators created from `spec` (per-cell decorrelated
+  // seeds).
+  HashPartitionedSketch(const EstimatorSpec& spec, size_t num_cells);
+
+  HashPartitionedSketch(const HashPartitionedSketch&) = delete;
+  HashPartitionedSketch& operator=(const HashPartitionedSketch&) = delete;
+  HashPartitionedSketch(HashPartitionedSketch&&) = default;
+  HashPartitionedSketch& operator=(HashPartitionedSketch&&) = default;
+
+  void Record(uint64_t flow, uint64_t element);
+
+  // Estimate of the cell `flow` maps to — an upper-bound-ish estimate of
+  // the flow's spread (collisions only add).
+  double Query(uint64_t flow) const;
+
+  // Cells whose estimate is >= threshold (heavy-spreader candidates).
+  std::vector<size_t> CellsOver(double threshold) const;
+
+  size_t num_cells() const { return cells_.size(); }
+  size_t CellIndex(uint64_t flow) const;
+  double CellEstimate(size_t cell) const { return cells_[cell]->Estimate(); }
+  size_t MemoryBits() const;
+
+  void Reset();
+
+ private:
+  EstimatorSpec spec_;
+  std::vector<std::unique_ptr<CardinalityEstimator>> cells_;
+};
+
+}  // namespace smb
+
+#endif  // SMBCARD_SKETCH_HASH_PARTITIONED_SKETCH_H_

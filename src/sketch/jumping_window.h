@@ -1,0 +1,89 @@
+// Jumping-window distinct counting: "how many distinct items in the last
+// W time buckets?" — the time-decayed variant of cardinality estimation
+// that interval deployments need (log rotation, per-minute dashboards).
+//
+// The window is a ring of B bucket sketches. Recording goes into the
+// current bucket; Rotate() retires the oldest bucket (its items fall out
+// of the window) and starts a fresh one. A query merges the live buckets
+// — exact for the union-mergeable estimators, so the answer equals a
+// single sketch that had seen precisely the window's items.
+//
+// Costs: memory B x (bucket sketch), record O(1), rotate O(bucket reset),
+// query O(B x merge). For query-heavy loads cache the merged estimate per
+// rotation.
+
+#ifndef SMBCARD_SKETCH_JUMPING_WINDOW_H_
+#define SMBCARD_SKETCH_JUMPING_WINDOW_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/macros.h"
+#include "estimators/mergeable.h"
+
+namespace smb {
+
+template <Mergeable E>
+class JumpingWindow {
+ public:
+  // `num_buckets` sub-windows; `make_bucket` constructs one empty bucket
+  // sketch (all buckets must be merge-compatible, i.e., same parameters
+  // and hash seed).
+  JumpingWindow(size_t num_buckets, std::function<E()> make_bucket)
+      : make_bucket_(std::move(make_bucket)) {
+    SMB_CHECK_MSG(num_buckets >= 1, "window needs at least one bucket");
+    buckets_.reserve(num_buckets);
+    for (size_t i = 0; i < num_buckets; ++i) {
+      buckets_.push_back(make_bucket_());
+      if (i > 0) {
+        SMB_CHECK_MSG(buckets_[0].CanMergeWith(buckets_[i]),
+                      "make_bucket must produce merge-compatible sketches");
+      }
+    }
+  }
+
+  JumpingWindow(const JumpingWindow&) = delete;
+  JumpingWindow& operator=(const JumpingWindow&) = delete;
+  JumpingWindow(JumpingWindow&&) = default;
+  JumpingWindow& operator=(JumpingWindow&&) = default;
+
+  // Records an item into the current (newest) bucket.
+  void Add(uint64_t item) { buckets_[head_].Add(item); }
+
+  // Advances the window: the oldest bucket's contents leave the window
+  // and its storage is recycled as the new current bucket.
+  void Rotate() {
+    head_ = (head_ + 1) % buckets_.size();
+    buckets_[head_].Reset();
+  }
+
+  // Estimated distinct items across the whole window (all live buckets).
+  double Estimate() const {
+    E merged = make_bucket_();
+    for (const E& bucket : buckets_) merged.MergeFrom(bucket);
+    return merged.Estimate();
+  }
+
+  // Estimated distinct items in the current bucket only.
+  double CurrentBucketEstimate() const {
+    return buckets_[head_].Estimate();
+  }
+
+  size_t num_buckets() const { return buckets_.size(); }
+
+  void Reset() {
+    for (E& bucket : buckets_) bucket.Reset();
+    head_ = 0;
+  }
+
+ private:
+  std::function<E()> make_bucket_;
+  std::vector<E> buckets_;
+  size_t head_ = 0;
+};
+
+}  // namespace smb
+
+#endif  // SMBCARD_SKETCH_JUMPING_WINDOW_H_

@@ -1,0 +1,42 @@
+#include "sketch/per_flow_monitor.h"
+
+#include "hash/murmur3.h"
+
+namespace smb {
+
+PerFlowMonitor::PerFlowMonitor(const EstimatorSpec& spec) : spec_(spec) {}
+
+void PerFlowMonitor::Record(uint64_t flow, uint64_t element) {
+  auto it = table_.find(flow);
+  if (it == table_.end()) {
+    EstimatorSpec spec = spec_;
+    // Decorrelate flows: otherwise identical elements in different flows
+    // would collide on identical bit positions across all estimators.
+    spec.hash_seed = Murmur3Fmix64(spec_.hash_seed ^ flow);
+    it = table_.emplace(flow, CreateEstimator(spec)).first;
+  }
+  it->second->Add(element);
+}
+
+double PerFlowMonitor::Query(uint64_t flow) const {
+  const auto it = table_.find(flow);
+  return it == table_.end() ? 0.0 : it->second->Estimate();
+}
+
+size_t PerFlowMonitor::TotalMemoryBits() const {
+  size_t total = 0;
+  for (const auto& [flow, estimator] : table_) {
+    total += estimator->MemoryBits();
+  }
+  return total;
+}
+
+std::vector<uint64_t> PerFlowMonitor::FlowsOver(double threshold) const {
+  std::vector<uint64_t> out;
+  for (const auto& [flow, estimator] : table_) {
+    if (estimator->Estimate() >= threshold) out.push_back(flow);
+  }
+  return out;
+}
+
+}  // namespace smb

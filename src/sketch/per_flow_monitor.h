@@ -1,0 +1,66 @@
+// Per-flow cardinality monitoring — the deployment model of the paper's
+// introduction and Section V-F: one estimator instance per data stream
+// (flow), allocated lazily on the flow's first packet, each with an
+// independently evolving sampling probability.
+
+#ifndef SMBCARD_SKETCH_PER_FLOW_MONITOR_H_
+#define SMBCARD_SKETCH_PER_FLOW_MONITOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "estimators/estimator_factory.h"
+#include "stream/trace_gen.h"
+
+namespace smb {
+
+class PerFlowMonitor {
+ public:
+  // Every flow's estimator is created from `spec` (same memory budget and
+  // design cardinality), with a per-flow-decorrelated hash seed.
+  explicit PerFlowMonitor(const EstimatorSpec& spec);
+
+  PerFlowMonitor(const PerFlowMonitor&) = delete;
+  PerFlowMonitor& operator=(const PerFlowMonitor&) = delete;
+  PerFlowMonitor(PerFlowMonitor&&) = default;
+  PerFlowMonitor& operator=(PerFlowMonitor&&) = default;
+
+  // Records one (flow, element) observation.
+  void Record(uint64_t flow, uint64_t element);
+
+  void RecordPacket(const Packet& packet) {
+    Record(packet.flow, packet.element);
+  }
+
+  // Estimated spread of `flow`; 0 for never-seen flows.
+  double Query(uint64_t flow) const;
+
+  size_t NumFlows() const { return table_.size(); }
+
+  // Total memory across all flow estimators, in bits.
+  size_t TotalMemoryBits() const;
+
+  // Flows whose current estimate is >= threshold (the scan/DDoS detection
+  // primitive).
+  std::vector<uint64_t> FlowsOver(double threshold) const;
+
+  const EstimatorSpec& spec() const { return spec_; }
+
+  // Iteration support for benches.
+  const std::unordered_map<uint64_t,
+                           std::unique_ptr<CardinalityEstimator>>&
+  table() const {
+    return table_;
+  }
+
+ private:
+  EstimatorSpec spec_;
+  std::unordered_map<uint64_t, std::unique_ptr<CardinalityEstimator>> table_;
+};
+
+}  // namespace smb
+
+#endif  // SMBCARD_SKETCH_PER_FLOW_MONITOR_H_

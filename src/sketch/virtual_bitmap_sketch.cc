@@ -1,0 +1,71 @@
+#include "sketch/virtual_bitmap_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bit_util.h"
+#include "common/macros.h"
+#include "hash/murmur3.h"
+
+namespace smb {
+
+VirtualBitmapSketch::VirtualBitmapSketch(const Config& config)
+    : virtual_bits_(config.virtual_bits),
+      seed_(config.hash_seed),
+      pool_(config.pool_bits) {
+  SMB_CHECK_MSG(config.virtual_bits >= 2, "virtual bitmap needs >= 2 bits");
+  SMB_CHECK_MSG(config.pool_bits > config.virtual_bits,
+                "pool must be larger than one virtual bitmap");
+}
+
+size_t VirtualBitmapSketch::PoolPosition(uint64_t flow,
+                                         uint64_t virtual_index) const {
+  // One mix of (flow, i) places virtual bit i; Fmix64 is cheap and the
+  // per-flow offset decorrelates flows.
+  const uint64_t h =
+      Murmur3Fmix64(flow * 0x9E3779B97F4A7C15ULL + virtual_index + seed_);
+  return FastRange64(h, pool_.size());
+}
+
+void VirtualBitmapSketch::Record(uint64_t flow, uint64_t element) {
+  const Hash128 h = ItemHash128(element, seed_);
+  const uint64_t virtual_index = FastRange64(h.lo, virtual_bits_);
+  if (pool_.TestAndSet(PoolPosition(flow, virtual_index))) {
+    ++pool_ones_;
+  }
+}
+
+double VirtualBitmapSketch::PoolFillFraction() const {
+  return static_cast<double>(pool_ones_) /
+         static_cast<double>(pool_.size());
+}
+
+double VirtualBitmapSketch::PoolEstimate() const {
+  const double m = static_cast<double>(pool_.size());
+  const double u =
+      std::min(static_cast<double>(pool_ones_), m - 1.0);
+  return -m * std::log1p(-u / m);
+}
+
+double VirtualBitmapSketch::Query(uint64_t flow) const {
+  size_t zeros = 0;
+  for (uint64_t i = 0; i < virtual_bits_; ++i) {
+    if (!pool_.Test(PoolPosition(flow, i))) ++zeros;
+  }
+  const double s = static_cast<double>(virtual_bits_);
+  // Clamp: a fully set virtual bitmap has no finite estimate.
+  const double v_f = std::max(static_cast<double>(zeros), 1.0) / s;
+  const double v_b =
+      std::max(static_cast<double>(pool_.size() - pool_ones_), 1.0) /
+      static_cast<double>(pool_.size());
+  // CSE estimator: n̂_f = s * (ln V_B - ln V_f); noise makes tiny flows
+  // jitter around 0, so clamp the estimate at 0.
+  return std::max(0.0, s * (std::log(v_b) - std::log(v_f)));
+}
+
+void VirtualBitmapSketch::Reset() {
+  pool_.ClearAll();
+  pool_ones_ = 0;
+}
+
+}  // namespace smb

@@ -1,0 +1,72 @@
+// Virtual-bitmap spread sketch (CSE — Compact Spread Estimator, Yoon, Li
+// & Chen; one of the shared-memory per-flow sketches the paper's
+// Section II-C cites as consumers of plug-in cardinality estimators).
+//
+// A single physical pool of M bits is shared by every flow. Flow f owns a
+// *virtual* bitmap of s bits whose i-th bit lives at a pseudo-random pool
+// position derived from (f, i); flows overlap, and the query subtracts
+// the expected noise:
+//
+//   n̂_f = s * (ln V_B - ln V_f)
+//
+// where V_f is the zero fraction of f's virtual bitmap and V_B the zero
+// fraction of the whole pool. Memory is M bits TOTAL for any number of
+// flows — contrast with PerFlowMonitor's m bits per flow.
+
+#ifndef SMBCARD_SKETCH_VIRTUAL_BITMAP_SKETCH_H_
+#define SMBCARD_SKETCH_VIRTUAL_BITMAP_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "bitvec/bit_vector.h"
+
+namespace smb {
+
+class VirtualBitmapSketch {
+ public:
+  struct Config {
+    // Physical pool size M in bits.
+    size_t pool_bits = 1 << 20;
+    // Virtual bitmap size s per flow; bounds each flow's estimate at
+    // ~s*ln(s). Size for the largest flow you must measure.
+    size_t virtual_bits = 2048;
+    uint64_t hash_seed = 0;
+  };
+
+  explicit VirtualBitmapSketch(const Config& config);
+
+  VirtualBitmapSketch(const VirtualBitmapSketch&) = delete;
+  VirtualBitmapSketch& operator=(const VirtualBitmapSketch&) = delete;
+  VirtualBitmapSketch(VirtualBitmapSketch&&) = default;
+  VirtualBitmapSketch& operator=(VirtualBitmapSketch&&) = default;
+
+  // Records element `element` for flow `flow`.
+  void Record(uint64_t flow, uint64_t element);
+
+  // Estimated spread of `flow` (noise-corrected; can be slightly negative
+  // for tiny flows under heavy pool load — clamped at 0).
+  double Query(uint64_t flow) const;
+
+  // Estimated total distinct (flow, element) pairs in the pool.
+  double PoolEstimate() const;
+
+  size_t pool_bits() const { return pool_.size(); }
+  size_t virtual_bits() const { return virtual_bits_; }
+  size_t MemoryBits() const { return pool_.size() + 64; }
+  double PoolFillFraction() const;
+
+  void Reset();
+
+ private:
+  size_t PoolPosition(uint64_t flow, uint64_t virtual_index) const;
+
+  size_t virtual_bits_;
+  uint64_t seed_;
+  BitVector pool_;
+  size_t pool_ones_ = 0;
+};
+
+}  // namespace smb
+
+#endif  // SMBCARD_SKETCH_VIRTUAL_BITMAP_SKETCH_H_

@@ -1,0 +1,85 @@
+#include "sketch/virtual_hll_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/bit_util.h"
+#include "common/macros.h"
+#include "estimators/loglog_common.h"
+#include "hash/murmur3.h"
+
+namespace smb {
+
+VirtualHllSketch::VirtualHllSketch(const Config& config)
+    : virtual_registers_(config.virtual_registers),
+      seed_(config.hash_seed),
+      pool_(config.pool_registers, 5),
+      pool_inverse_sum_(static_cast<double>(config.pool_registers)),
+      pool_zeros_(config.pool_registers) {
+  SMB_CHECK_MSG(config.virtual_registers >= 16,
+                "virtual register file needs >= 16 registers");
+  SMB_CHECK_MSG(config.pool_registers > 2 * config.virtual_registers,
+                "pool must be much larger than one virtual file");
+}
+
+size_t VirtualHllSketch::PoolSlot(uint64_t flow,
+                                  uint64_t virtual_index) const {
+  const uint64_t h =
+      Murmur3Fmix64(flow * 0xC2B2AE3D27D4EB4FULL + virtual_index + seed_);
+  return FastRange64(h, pool_.size());
+}
+
+void VirtualHllSketch::Record(uint64_t flow, uint64_t element) {
+  const Hash128 h = ItemHash128(element, seed_);
+  const uint64_t virtual_index = FastRange64(h.lo, virtual_registers_);
+  const size_t slot = PoolSlot(flow, virtual_index);
+  const uint64_t value = LogLogRegisterValue(h.hi, 5);
+  const uint64_t current = pool_.Get(slot);
+  if (value <= current) return;
+  pool_.Set(slot, value);
+  pool_inverse_sum_ += std::exp2(-static_cast<double>(value)) -
+                       std::exp2(-static_cast<double>(current));
+  if (current == 0) --pool_zeros_;
+}
+
+double VirtualHllSketch::HllEstimate(double inverse_power_sum,
+                                     size_t registers,
+                                     size_t zero_registers) {
+  const double t = static_cast<double>(registers);
+  const double raw = HllAlpha(registers) * t * t / inverse_power_sum;
+  if (raw <= 2.5 * t && zero_registers > 0) {
+    return t * std::log(t / static_cast<double>(zero_registers));
+  }
+  return raw;
+}
+
+double VirtualHllSketch::PoolEstimate() const {
+  return HllEstimate(pool_inverse_sum_, pool_.size(), pool_zeros_);
+}
+
+double VirtualHllSketch::Query(uint64_t flow) const {
+  double inverse_sum = 0.0;
+  size_t zeros = 0;
+  for (uint64_t i = 0; i < virtual_registers_; ++i) {
+    const uint64_t v = pool_.Get(PoolSlot(flow, i));
+    if (v == 0) ++zeros;
+    inverse_sum += std::exp2(-static_cast<double>(v));
+  }
+  const double s = static_cast<double>(virtual_registers_);
+  const double r = static_cast<double>(pool_.size());
+  const double n_virtual = HllEstimate(inverse_sum, virtual_registers_,
+                                       zeros);
+  const double n_pool = PoolEstimate();
+  // vHLL noise removal.
+  const double estimate =
+      (r * s / (r - s)) * (n_virtual / s - n_pool / r);
+  return std::max(0.0, estimate);
+}
+
+void VirtualHllSketch::Reset() {
+  pool_.ClearAll();
+  pool_inverse_sum_ = static_cast<double>(pool_.size());
+  pool_zeros_ = pool_.size();
+}
+
+}  // namespace smb

@@ -1,0 +1,72 @@
+// Virtual-HLL spread sketch (after Xiao, Chen, Chen & Ling's vHLL — the
+// register-sharing design the paper's Section II-C points at).
+//
+// A physical pool of R 5-bit HLL registers is shared by all flows; flow f
+// owns a virtual register file of s registers at pseudo-random pool slots.
+// The query removes the expected noise contributed by other flows:
+//
+//   n̂_f = (R*s / (R - s)) * (n_v / s - n_pool / R)
+//
+// where n_v is the HLL estimate over f's virtual registers and n_pool the
+// HLL estimate over the whole pool.
+
+#ifndef SMBCARD_SKETCH_VIRTUAL_HLL_SKETCH_H_
+#define SMBCARD_SKETCH_VIRTUAL_HLL_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "bitvec/packed_array.h"
+
+namespace smb {
+
+class VirtualHllSketch {
+ public:
+  struct Config {
+    // Physical pool size R in registers (5 bits each).
+    size_t pool_registers = 1 << 18;
+    // Virtual register file size s per flow (HLL standard error
+    // ~1.04/sqrt(s) before noise).
+    size_t virtual_registers = 512;
+    uint64_t hash_seed = 0;
+  };
+
+  explicit VirtualHllSketch(const Config& config);
+
+  VirtualHllSketch(const VirtualHllSketch&) = delete;
+  VirtualHllSketch& operator=(const VirtualHllSketch&) = delete;
+  VirtualHllSketch(VirtualHllSketch&&) = default;
+  VirtualHllSketch& operator=(VirtualHllSketch&&) = default;
+
+  void Record(uint64_t flow, uint64_t element);
+
+  // Noise-corrected spread estimate of `flow` (clamped at 0).
+  double Query(uint64_t flow) const;
+
+  // HLL estimate of all recorded (flow, element) pairs.
+  double PoolEstimate() const;
+
+  size_t pool_registers() const { return pool_.size(); }
+  size_t virtual_registers() const { return virtual_registers_; }
+  size_t MemoryBits() const { return pool_.SizeInBits(); }
+
+  void Reset();
+
+ private:
+  size_t PoolSlot(uint64_t flow, uint64_t virtual_index) const;
+  // HLL estimate over an arbitrary register subset sum.
+  static double HllEstimate(double inverse_power_sum, size_t registers,
+                            size_t zero_registers);
+
+  size_t virtual_registers_;
+  uint64_t seed_;
+  PackedArray pool_;
+  // Incrementally maintained so PoolEstimate() — and hence Query() — never
+  // scans all R registers.
+  double pool_inverse_sum_;
+  size_t pool_zeros_;
+};
+
+}  // namespace smb
+
+#endif  // SMBCARD_SKETCH_VIRTUAL_HLL_SKETCH_H_

@@ -1,0 +1,102 @@
+#include "stream/stream_generator.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "hash/murmur3.h"
+
+namespace smb {
+namespace {
+
+// Distinct key for (seed, i): a bijective 64-bit mixer applied to a
+// seed-offset counter. Distinctness within one seed is guaranteed because
+// fmix64 is a bijection; across seeds collisions are as unlikely as for
+// any 64-bit hash.
+inline uint64_t DistinctKey(uint64_t seed, uint64_t i) {
+  return Murmur3Fmix64(seed * 0x9E3779B97F4A7C15ULL + i + 1);
+}
+
+template <typename T>
+void FisherYatesShuffle(std::vector<T>* items, Xoshiro256* rng) {
+  for (size_t i = items->size(); i > 1; --i) {
+    const size_t j = static_cast<size_t>(rng->NextBounded(i));
+    std::swap((*items)[i - 1], (*items)[j]);
+  }
+}
+
+}  // namespace
+
+std::vector<uint64_t> GenerateDistinctItems(size_t cardinality,
+                                            uint64_t seed) {
+  std::vector<uint64_t> items;
+  items.reserve(cardinality);
+  for (size_t i = 0; i < cardinality; ++i) {
+    items.push_back(DistinctKey(seed, i));
+  }
+  return items;
+}
+
+std::vector<uint64_t> GenerateStream(const StreamConfig& config) {
+  SMB_CHECK_MSG(config.total_items >= config.cardinality,
+                "total_items must be >= cardinality");
+  SMB_CHECK_MSG(config.cardinality > 0, "cardinality must be positive");
+  std::vector<uint64_t> stream = GenerateDistinctItems(config.cardinality,
+                                                       config.seed);
+  stream.reserve(config.total_items);
+  Xoshiro256 rng(config.seed ^ 0xA5A5A5A5A5A5A5A5ULL);
+  for (size_t i = config.cardinality; i < config.total_items; ++i) {
+    stream.push_back(DistinctKey(
+        config.seed, rng.NextBounded(config.cardinality)));
+  }
+  if (config.shuffle) FisherYatesShuffle(&stream, &rng);
+  return stream;
+}
+
+std::string RandomString(uint64_t seed, uint64_t index, size_t min_len,
+                         size_t max_len) {
+  SMB_CHECK(min_len >= 1 && min_len <= max_len);
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-";
+  constexpr size_t kAlphabetSize = sizeof(kAlphabet) - 1;
+  SplitMix64 rng(Murmur3Fmix64(seed) ^ index);
+  const size_t len =
+      min_len + static_cast<size_t>(rng.Next() % (max_len - min_len + 1));
+  std::string out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(kAlphabet[rng.Next() % kAlphabetSize]);
+  }
+  return out;
+}
+
+std::vector<std::string> GenerateStringStream(const StreamConfig& config,
+                                              size_t max_len) {
+  SMB_CHECK_MSG(config.total_items >= config.cardinality,
+                "total_items must be >= cardinality");
+  SMB_CHECK_MSG(config.cardinality > 0, "cardinality must be positive");
+  // Distinct strings: a unique numeric tag is embedded as a prefix so that
+  // distinctness is guaranteed regardless of the random suffix.
+  std::vector<std::string> distinct;
+  distinct.reserve(config.cardinality);
+  for (size_t i = 0; i < config.cardinality; ++i) {
+    char tag[24];
+    const int tag_len =
+        std::snprintf(tag, sizeof(tag), "%zx:", i);
+    std::string s(tag, static_cast<size_t>(tag_len));
+    const size_t body_max = max_len > s.size() + 1 ? max_len - s.size() : 1;
+    s += RandomString(config.seed, i, 1, body_max);
+    distinct.push_back(std::move(s));
+  }
+  std::vector<std::string> stream = distinct;
+  stream.reserve(config.total_items);
+  Xoshiro256 rng(config.seed ^ 0x5A5A5A5A5A5A5A5AULL);
+  for (size_t i = config.cardinality; i < config.total_items; ++i) {
+    stream.push_back(distinct[rng.NextBounded(config.cardinality)]);
+  }
+  if (config.shuffle) FisherYatesShuffle(&stream, &rng);
+  return stream;
+}
+
+}  // namespace smb

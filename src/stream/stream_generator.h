@@ -1,0 +1,54 @@
+// Synthetic data-stream generators with exactly known cardinality —
+// the workloads of the paper's Section V-A ("randomly generated strings
+// within the length of 128, each acting as a data item").
+//
+// Two item representations:
+//   * uint64 keys — the fast path for accuracy/throughput sweeps. Keys are
+//     produced by a bijective mixer, so distinctness is guaranteed by
+//     construction (no dedup pass needed even for 10^8-item streams).
+//   * strings — up to 128 bytes, for workloads that exercise byte hashing.
+//
+// Every generator is fully determined by its seed.
+
+#ifndef SMBCARD_STREAM_STREAM_GENERATOR_H_
+#define SMBCARD_STREAM_STREAM_GENERATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace smb {
+
+// `cardinality` distinct uint64 keys, pseudo-random, duplicate-free.
+std::vector<uint64_t> GenerateDistinctItems(size_t cardinality,
+                                            uint64_t seed);
+
+struct StreamConfig {
+  // Number of distinct items n.
+  size_t cardinality = 100000;
+  // Total stream length (>= cardinality). Extra appearances are drawn
+  // uniformly from the distinct set, so every item appears at least once.
+  size_t total_items = 100000;
+  // Shuffle the final sequence (off for generators feeding throughput
+  // loops where the order is irrelevant and shuffling dominates runtime).
+  bool shuffle = true;
+  uint64_t seed = 1;
+};
+
+// A uint64-keyed stream with exactly `cardinality` distinct items.
+std::vector<uint64_t> GenerateStream(const StreamConfig& config);
+
+// A random printable string of length in [min_len, max_len], deterministic
+// in (seed, index).
+std::string RandomString(uint64_t seed, uint64_t index, size_t min_len,
+                         size_t max_len);
+
+// A string-keyed stream (items are <=128-byte strings, paper Section V-A)
+// with exactly `cardinality` distinct items.
+std::vector<std::string> GenerateStringStream(const StreamConfig& config,
+                                              size_t max_len = 128);
+
+}  // namespace smb
+
+#endif  // SMBCARD_STREAM_STREAM_GENERATOR_H_

@@ -1,0 +1,76 @@
+#include "stream/trace_gen.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/macros.h"
+#include "common/random.h"
+#include "hash/murmur3.h"
+#include "stream/zipf.h"
+
+namespace smb {
+
+uint64_t Trace::TotalDistinct() const {
+  uint64_t total = 0;
+  for (uint64_t c : true_cardinality) total += c;
+  return total;
+}
+
+uint64_t Trace::MaxCardinality() const {
+  uint64_t max = 0;
+  for (uint64_t c : true_cardinality) max = std::max(max, c);
+  return max;
+}
+
+Trace GenerateTrace(const TraceConfig& config) {
+  SMB_CHECK_MSG(config.num_flows > 0, "trace needs at least one flow");
+  SMB_CHECK_MSG(config.dup_factor >= 1.0, "dup_factor must be >= 1");
+  SMB_CHECK(config.min_cardinality >= 1 &&
+            config.min_cardinality <= config.max_cardinality);
+
+  Xoshiro256 rng(config.seed);
+  Trace trace;
+  trace.true_cardinality.resize(config.num_flows);
+
+  // Draw per-flow cardinalities first so the packet vector can be reserved
+  // in one shot.
+  uint64_t total_distinct = 0;
+  for (size_t f = 0; f < config.num_flows; ++f) {
+    const uint64_t n_f =
+        SampleBoundedPowerLaw(&rng, config.min_cardinality,
+                              config.max_cardinality,
+                              config.cardinality_exponent);
+    trace.true_cardinality[f] = n_f;
+    total_distinct += n_f;
+  }
+  trace.packets.reserve(static_cast<size_t>(
+      static_cast<double>(total_distinct) * config.dup_factor * 1.05));
+
+  // Per-element repetitions: 1 + Geometric(1/dup_factor) has mean
+  // dup_factor.
+  const double p_repeat = 1.0 / config.dup_factor;
+  for (size_t f = 0; f < config.num_flows; ++f) {
+    const uint64_t n_f = trace.true_cardinality[f];
+    for (uint64_t i = 0; i < n_f; ++i) {
+      // Distinct element id: bijective mix of (flow, i) — guaranteed
+      // distinct within the flow.
+      const uint64_t element =
+          Murmur3Fmix64((static_cast<uint64_t>(f) << 32) ^ i ^
+                        (config.seed * 0x9E3779B97F4A7C15ULL));
+      const uint64_t copies = 1 + rng.NextGeometric(p_repeat);
+      for (uint64_t c = 0; c < copies; ++c) {
+        trace.packets.push_back(Packet{static_cast<uint64_t>(f), element});
+      }
+    }
+  }
+
+  if (config.shuffle) {
+    for (size_t i = trace.packets.size(); i > 1; --i) {
+      const size_t j = static_cast<size_t>(rng.NextBounded(i));
+      std::swap(trace.packets[i - 1], trace.packets[j]);
+    }
+  }
+  return trace;
+}
+
+}  // namespace smb

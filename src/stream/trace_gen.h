@@ -1,0 +1,63 @@
+// Synthetic packet-trace generator — the CAIDA substitute of Section V-F
+// (see DESIGN.md #1).
+//
+// The paper's CAIDA workload: packets keyed into flows by destination
+// address; within a flow, items are the distinct source addresses; ~400k
+// flows; largest per-flow cardinality ~80k; heavy-tailed flow sizes.
+// This generator reproduces that *shape* deterministically from one seed:
+// per-flow cardinalities follow a bounded power law, each distinct source
+// repeats a configurable average number of times, and the final packet
+// sequence is globally shuffled to interleave flows.
+
+#ifndef SMBCARD_STREAM_TRACE_GEN_H_
+#define SMBCARD_STREAM_TRACE_GEN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace smb {
+
+// One packet: the flow key (paper: destination address) and the element
+// whose spread is being measured (paper: source address).
+struct Packet {
+  uint64_t flow = 0;
+  uint64_t element = 0;
+};
+
+struct TraceConfig {
+  // Number of distinct flows (paper: ~400k destinations). Scaled down by
+  // default so every bench finishes in seconds on one core; pass the full
+  // figure to reproduce paper scale.
+  size_t num_flows = 10000;
+  // Per-flow cardinality distribution: bounded power law on
+  // [min_cardinality, max_cardinality] with this exponent. Exponent 1.5
+  // with an 80k cap mirrors the paper's CAIDA cut: most flows tiny
+  // (~2/3 below cardinality 10), a heavy tail reaching 80k, mean ~280.
+  uint64_t min_cardinality = 1;
+  uint64_t max_cardinality = 80000;
+  double cardinality_exponent = 1.5;
+  // Average appearances of each distinct element (>= 1.0); the per-element
+  // repetition count is 1 + Geometric(1/dup_factor).
+  double dup_factor = 2.0;
+  // Globally shuffle packets to interleave flows (realistic arrival order).
+  bool shuffle = true;
+  uint64_t seed = 42;
+};
+
+struct Trace {
+  std::vector<Packet> packets;
+  // True per-flow cardinalities, indexed by flow id in [0, num_flows).
+  std::vector<uint64_t> true_cardinality;
+
+  size_t num_flows() const { return true_cardinality.size(); }
+  uint64_t TotalDistinct() const;
+  uint64_t MaxCardinality() const;
+};
+
+// Generates the trace. Deterministic in `config` (including the seed).
+Trace GenerateTrace(const TraceConfig& config);
+
+}  // namespace smb
+
+#endif  // SMBCARD_STREAM_TRACE_GEN_H_

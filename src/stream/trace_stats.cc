@@ -1,0 +1,49 @@
+#include "stream/trace_stats.h"
+
+#include <cstdio>
+
+namespace smb {
+
+std::string CardinalityRange::Label() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "[%llu, %llu)",
+                static_cast<unsigned long long>(lo),
+                static_cast<unsigned long long>(hi));
+  return buf;
+}
+
+std::vector<CardinalityRange> DefaultCardinalityRanges() {
+  return {{1, 10},      {10, 100},     {100, 1000},
+          {1000, 10000}, {10000, 100000}};
+}
+
+TraceSummary SummarizeTrace(const Trace& trace,
+                            const std::vector<CardinalityRange>& ranges) {
+  TraceSummary out;
+  out.num_flows = trace.num_flows();
+  out.num_packets = trace.packets.size();
+  out.total_distinct = trace.TotalDistinct();
+  out.max_cardinality = trace.MaxCardinality();
+  out.flows_per_range.assign(ranges.size(), 0);
+  for (uint64_t c : trace.true_cardinality) {
+    for (size_t i = 0; i < ranges.size(); ++i) {
+      if (c >= ranges[i].lo && c < ranges[i].hi) {
+        ++out.flows_per_range[i];
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<size_t> FlowsInRange(const Trace& trace, uint64_t lo,
+                                 uint64_t hi) {
+  std::vector<size_t> out;
+  for (size_t f = 0; f < trace.num_flows(); ++f) {
+    const uint64_t c = trace.true_cardinality[f];
+    if (c >= lo && c < hi) out.push_back(f);
+  }
+  return out;
+}
+
+}  // namespace smb

@@ -1,0 +1,46 @@
+// Summary statistics over a generated trace — the per-cardinality-range
+// buckets of the paper's Table VIII and the small/large flow split of
+// Table X / Figure 9.
+
+#ifndef SMBCARD_STREAM_TRACE_STATS_H_
+#define SMBCARD_STREAM_TRACE_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stream/trace_gen.h"
+
+namespace smb {
+
+// Half-open cardinality range [lo, hi).
+struct CardinalityRange {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  std::string Label() const;
+};
+
+// The ranges Table VIII buckets flows into.
+std::vector<CardinalityRange> DefaultCardinalityRanges();
+
+struct TraceSummary {
+  size_t num_flows = 0;
+  size_t num_packets = 0;
+  uint64_t total_distinct = 0;
+  uint64_t max_cardinality = 0;
+  // flows_per_range[i] counts flows whose true cardinality falls in
+  // DefaultCardinalityRanges()[i] (or the ranges passed explicitly).
+  std::vector<size_t> flows_per_range;
+};
+
+TraceSummary SummarizeTrace(const Trace& trace,
+                            const std::vector<CardinalityRange>& ranges);
+
+// Flow ids whose true cardinality lies in [lo, hi).
+std::vector<size_t> FlowsInRange(const Trace& trace, uint64_t lo,
+                                 uint64_t hi);
+
+}  // namespace smb
+
+#endif  // SMBCARD_STREAM_TRACE_STATS_H_

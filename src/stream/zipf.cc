@@ -1,0 +1,50 @@
+#include "stream/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace smb {
+
+ZipfDistribution::ZipfDistribution(size_t num_items, double exponent)
+    : exponent_(exponent), cdf_(num_items) {
+  SMB_CHECK_MSG(num_items > 0, "Zipf needs at least one item");
+  double total = 0.0;
+  for (size_t i = 0; i < num_items; ++i) {
+    total += std::pow(static_cast<double>(i + 1), -exponent);
+    cdf_[i] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+uint64_t ZipfDistribution::Sample(Xoshiro256* rng) const {
+  const double u = rng->NextDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<uint64_t>(it - cdf_.begin()) + 1;
+}
+
+uint64_t SampleBoundedPowerLaw(Xoshiro256* rng, uint64_t min_value,
+                               uint64_t max_value, double exponent) {
+  SMB_CHECK(min_value >= 1 && min_value <= max_value);
+  if (min_value == max_value) return min_value;
+  const double u = rng->NextDouble();
+  const double lo = static_cast<double>(min_value);
+  const double hi = static_cast<double>(max_value) + 1.0;
+  double v;
+  if (std::fabs(exponent - 1.0) < 1e-9) {
+    // P(v) ∝ 1/v: inverse CDF is exponential interpolation.
+    v = lo * std::pow(hi / lo, u);
+  } else {
+    // Bounded Pareto inverse CDF.
+    const double a = 1.0 - exponent;
+    const double lo_a = std::pow(lo, a);
+    const double hi_a = std::pow(hi, a);
+    v = std::pow(lo_a + u * (hi_a - lo_a), 1.0 / a);
+  }
+  const uint64_t out = static_cast<uint64_t>(v);
+  return std::clamp(out, min_value, max_value);
+}
+
+}  // namespace smb

@@ -1,0 +1,44 @@
+// Zipf / bounded power-law samplers used by the synthetic trace generator
+// to reproduce the heavy-tailed per-flow cardinality distribution of real
+// backbone traffic (DESIGN.md #1).
+
+#ifndef SMBCARD_STREAM_ZIPF_H_
+#define SMBCARD_STREAM_ZIPF_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace smb {
+
+// Samples ranks in [1, num_items] with P(rank) ∝ rank^-exponent.
+// Precomputes the CDF once (O(num_items)); each sample is a binary search.
+class ZipfDistribution {
+ public:
+  ZipfDistribution(size_t num_items, double exponent);
+
+  ZipfDistribution(const ZipfDistribution&) = default;
+  ZipfDistribution& operator=(const ZipfDistribution&) = default;
+
+  // Rank in [1, num_items].
+  uint64_t Sample(Xoshiro256* rng) const;
+
+  size_t num_items() const { return cdf_.size(); }
+  double exponent() const { return exponent_; }
+
+ private:
+  double exponent_;
+  std::vector<double> cdf_;
+};
+
+// Samples integers in [min_value, max_value] with P(v) ∝ v^-exponent via
+// inverse-transform on the continuous bounded Pareto, rounded down. Used
+// for per-flow cardinalities where the support is too wide for a CDF table.
+uint64_t SampleBoundedPowerLaw(Xoshiro256* rng, uint64_t min_value,
+                               uint64_t max_value, double exponent);
+
+}  // namespace smb
+
+#endif  // SMBCARD_STREAM_ZIPF_H_

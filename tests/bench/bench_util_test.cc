@@ -1,0 +1,95 @@
+// Tests for the benchmark plumbing itself — the harness that produces
+// EXPERIMENTS.md must be trustworthy too.
+
+#include "bench/bench_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <unordered_set>
+
+namespace smb::bench {
+namespace {
+
+TEST(BenchUtilTest, CountLabel) {
+  EXPECT_EQ(CountLabel(1000), "10^3");
+  EXPECT_EQ(CountLabel(1000000), "10^6");
+  EXPECT_EQ(CountLabel(100000000), "10^8");
+  EXPECT_EQ(CountLabel(50000), "50000");
+  EXPECT_EQ(CountLabel(42), "42");
+  EXPECT_EQ(CountLabel(100), "100");  // 10^2 stays plain below 10^3
+}
+
+TEST(BenchUtilTest, NthItemIsDistinctPerSeed) {
+  std::unordered_set<uint64_t> seen;
+  for (uint64_t i = 0; i < 100000; ++i) {
+    seen.insert(NthItem(7, i));
+  }
+  EXPECT_EQ(seen.size(), 100000u);
+}
+
+TEST(BenchUtilTest, NthItemDiffersAcrossSeeds) {
+  int equal = 0;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    if (NthItem(1, i) == NthItem(2, i)) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(BenchUtilTest, ParseScaleDefaults) {
+  unsetenv("SMB_BENCH_FULL");
+  unsetenv("SMB_BENCH_RUNS");
+  char prog[] = "bench";
+  char* argv[] = {prog, nullptr};
+  const BenchScale scale = ParseScale(1, argv);
+  EXPECT_FALSE(scale.full);
+  EXPECT_EQ(scale.runs, 10u);
+}
+
+TEST(BenchUtilTest, ParseScaleFullFlag) {
+  unsetenv("SMB_BENCH_FULL");
+  unsetenv("SMB_BENCH_RUNS");
+  char prog[] = "bench";
+  char full[] = "--full";
+  char* argv[] = {prog, full, nullptr};
+  const BenchScale scale = ParseScale(2, argv);
+  EXPECT_TRUE(scale.full);
+  EXPECT_EQ(scale.runs, 100u);
+}
+
+TEST(BenchUtilTest, ParseScaleEnvOverrides) {
+  setenv("SMB_BENCH_FULL", "1", 1);
+  setenv("SMB_BENCH_RUNS", "33", 1);
+  char prog[] = "bench";
+  char* argv[] = {prog, nullptr};
+  const BenchScale scale = ParseScale(1, argv);
+  EXPECT_TRUE(scale.full);
+  EXPECT_EQ(scale.runs, 33u);
+  unsetenv("SMB_BENCH_FULL");
+  unsetenv("SMB_BENCH_RUNS");
+}
+
+TEST(BenchUtilTest, MeasureAccuracyUsesIndependentStreamsPerRun) {
+  EstimatorSpec spec;
+  spec.kind = EstimatorKind::kSmb;
+  spec.memory_bits = 10000;
+  spec.design_cardinality = 1000000;
+  const ErrorStats stats = MeasureAccuracy(spec, 20000, 8);
+  EXPECT_EQ(stats.count, 8u);
+  EXPECT_LT(stats.mean_relative_error, 0.10);
+  EXPECT_GT(stats.rmse, 0.0);  // runs differ -> nonzero spread
+}
+
+TEST(BenchUtilTest, FigureGridShapes) {
+  const auto fast = FigureCardinalityGrid(false);
+  const auto full = FigureCardinalityGrid(true);
+  EXPECT_LT(fast.size(), full.size());
+  EXPECT_EQ(fast.back(), 1000000u);
+  EXPECT_EQ(full.back(), 1000000u);
+  for (size_t i = 1; i < full.size(); ++i) {
+    EXPECT_GT(full[i], full[i - 1]);
+  }
+}
+
+}  // namespace
+}  // namespace smb::bench

@@ -1,0 +1,103 @@
+#include "bitvec/bit_vector.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace smb {
+namespace {
+
+TEST(BitVectorTest, StartsAllZero) {
+  BitVector v(100);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_EQ(v.CountOnes(), 0u);
+  EXPECT_EQ(v.CountZeros(), 100u);
+  for (size_t i = 0; i < 100; ++i) EXPECT_FALSE(v.Test(i));
+}
+
+TEST(BitVectorTest, SetTestClear) {
+  BitVector v(130);  // straddles two words + tail
+  v.Set(0);
+  v.Set(63);
+  v.Set(64);
+  v.Set(129);
+  EXPECT_TRUE(v.Test(0));
+  EXPECT_TRUE(v.Test(63));
+  EXPECT_TRUE(v.Test(64));
+  EXPECT_TRUE(v.Test(129));
+  EXPECT_FALSE(v.Test(1));
+  EXPECT_EQ(v.CountOnes(), 4u);
+  v.Clear(63);
+  EXPECT_FALSE(v.Test(63));
+  EXPECT_EQ(v.CountOnes(), 3u);
+}
+
+TEST(BitVectorTest, TestAndSetReportsFreshness) {
+  BitVector v(64);
+  EXPECT_TRUE(v.TestAndSet(17));
+  EXPECT_FALSE(v.TestAndSet(17));
+  EXPECT_TRUE(v.Test(17));
+  EXPECT_EQ(v.CountOnes(), 1u);
+}
+
+TEST(BitVectorTest, CountOnesMatchesManualCount) {
+  Xoshiro256 rng(55);
+  BitVector v(1009);  // prime size, non-word-aligned
+  size_t manual = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const size_t pos = rng.NextBounded(1009);
+    if (v.TestAndSet(pos)) ++manual;
+  }
+  EXPECT_EQ(v.CountOnes(), manual);
+  EXPECT_EQ(v.CountZeros(), 1009 - manual);
+}
+
+TEST(BitVectorTest, ClearAll) {
+  BitVector v(200);
+  for (size_t i = 0; i < 200; i += 3) v.Set(i);
+  EXPECT_GT(v.CountOnes(), 0u);
+  v.ClearAll();
+  EXPECT_EQ(v.CountOnes(), 0u);
+}
+
+TEST(BitVectorTest, UnionWith) {
+  BitVector a(100), b(100);
+  a.Set(1);
+  a.Set(50);
+  b.Set(50);
+  b.Set(99);
+  a.UnionWith(b);
+  EXPECT_TRUE(a.Test(1));
+  EXPECT_TRUE(a.Test(50));
+  EXPECT_TRUE(a.Test(99));
+  EXPECT_EQ(a.CountOnes(), 3u);
+  // b unchanged.
+  EXPECT_EQ(b.CountOnes(), 2u);
+}
+
+TEST(BitVectorTest, EqualityAndCopy) {
+  BitVector a(77);
+  a.Set(5);
+  BitVector b = a;
+  EXPECT_EQ(a, b);
+  b.Set(6);
+  EXPECT_NE(a, b);
+}
+
+TEST(BitVectorTest, SetWordsEnforcesTailInvariant) {
+  BitVector v(65);  // 2 words, 63 unused tail bits in word 1
+  std::vector<uint64_t> words = {~uint64_t{0}, ~uint64_t{0}};
+  v.set_words(words);
+  // Only 65 bits may be set even though the raw words had 128 ones.
+  EXPECT_EQ(v.CountOnes(), 65u);
+}
+
+TEST(BitVectorTest, SingleBitVector) {
+  BitVector v(1);
+  EXPECT_FALSE(v.Test(0));
+  EXPECT_TRUE(v.TestAndSet(0));
+  EXPECT_EQ(v.CountOnes(), 1u);
+}
+
+}  // namespace
+}  // namespace smb

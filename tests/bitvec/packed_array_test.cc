@@ -1,0 +1,98 @@
+#include "bitvec/packed_array.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace smb {
+namespace {
+
+TEST(PackedArrayTest, StartsZero) {
+  PackedArray a(100, 5);
+  EXPECT_EQ(a.size(), 100u);
+  EXPECT_EQ(a.bits_per_value(), 5);
+  EXPECT_EQ(a.max_value(), 31u);
+  EXPECT_EQ(a.SizeInBits(), 500u);
+  for (size_t i = 0; i < 100; ++i) EXPECT_EQ(a.Get(i), 0u);
+}
+
+TEST(PackedArrayTest, SetGetRoundTrip5Bit) {
+  PackedArray a(64, 5);
+  for (size_t i = 0; i < 64; ++i) a.Set(i, i % 32);
+  for (size_t i = 0; i < 64; ++i) EXPECT_EQ(a.Get(i), i % 32) << i;
+}
+
+TEST(PackedArrayTest, NeighborsAreIndependent) {
+  PackedArray a(10, 7);
+  a.Set(3, 127);
+  EXPECT_EQ(a.Get(2), 0u);
+  EXPECT_EQ(a.Get(3), 127u);
+  EXPECT_EQ(a.Get(4), 0u);
+  a.Set(3, 0);
+  a.Set(2, 85);
+  a.Set(4, 42);
+  EXPECT_EQ(a.Get(2), 85u);
+  EXPECT_EQ(a.Get(3), 0u);
+  EXPECT_EQ(a.Get(4), 42u);
+}
+
+// Property sweep across register widths, including widths that straddle
+// word boundaries (5, 7, 13) and powers of two (4, 8, 32, 64).
+class PackedArrayWidthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PackedArrayWidthTest, RandomizedRoundTrip) {
+  const int bits = GetParam();
+  PackedArray a(257, bits);
+  std::vector<uint64_t> shadow(257, 0);
+  Xoshiro256 rng(static_cast<uint64_t>(bits) * 1000 + 7);
+  for (int op = 0; op < 20000; ++op) {
+    const size_t i = rng.NextBounded(257);
+    const uint64_t v = rng.Next() & a.max_value();
+    a.Set(i, v);
+    shadow[i] = v;
+    const size_t probe = rng.NextBounded(257);
+    ASSERT_EQ(a.Get(probe), shadow[probe])
+        << "bits=" << bits << " probe=" << probe;
+  }
+}
+
+TEST_P(PackedArrayWidthTest, MaxValueStores) {
+  const int bits = GetParam();
+  PackedArray a(17, bits);
+  for (size_t i = 0; i < 17; ++i) a.Set(i, a.max_value());
+  for (size_t i = 0; i < 17; ++i) EXPECT_EQ(a.Get(i), a.max_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PackedArrayWidthTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 13, 16,
+                                           31, 32, 63, 64));
+
+TEST(PackedArrayTest, UpdateMax) {
+  PackedArray a(4, 5);
+  EXPECT_TRUE(a.UpdateMax(0, 5));
+  EXPECT_FALSE(a.UpdateMax(0, 3));
+  EXPECT_FALSE(a.UpdateMax(0, 5));
+  EXPECT_TRUE(a.UpdateMax(0, 6));
+  EXPECT_EQ(a.Get(0), 6u);
+}
+
+TEST(PackedArrayTest, ClearAll) {
+  PackedArray a(33, 6);
+  for (size_t i = 0; i < 33; ++i) a.Set(i, 63);
+  a.ClearAll();
+  for (size_t i = 0; i < 33; ++i) EXPECT_EQ(a.Get(i), 0u);
+}
+
+TEST(PackedArrayTest, EqualityAndCopy) {
+  PackedArray a(10, 4);
+  a.Set(5, 9);
+  PackedArray b = a;
+  EXPECT_EQ(a, b);
+  b.Set(5, 10);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace smb

@@ -1,0 +1,113 @@
+#include "common/bit_util.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace smb {
+namespace {
+
+TEST(BitUtilTest, Popcount64) {
+  EXPECT_EQ(Popcount64(0), 0);
+  EXPECT_EQ(Popcount64(1), 1);
+  EXPECT_EQ(Popcount64(~uint64_t{0}), 64);
+  EXPECT_EQ(Popcount64(0xAAAAAAAAAAAAAAAAULL), 32);
+  EXPECT_EQ(Popcount64(uint64_t{1} << 63), 1);
+}
+
+TEST(BitUtilTest, CountTrailingZeros) {
+  EXPECT_EQ(CountTrailingZeros64(0), 64);
+  EXPECT_EQ(CountTrailingZeros64(1), 0);
+  EXPECT_EQ(CountTrailingZeros64(2), 1);
+  EXPECT_EQ(CountTrailingZeros64(uint64_t{1} << 63), 63);
+  EXPECT_EQ(CountTrailingZeros64(0xF0), 4);
+}
+
+TEST(BitUtilTest, CountLeadingZeros) {
+  EXPECT_EQ(CountLeadingZeros64(0), 64);
+  EXPECT_EQ(CountLeadingZeros64(1), 63);
+  EXPECT_EQ(CountLeadingZeros64(uint64_t{1} << 63), 0);
+}
+
+TEST(BitUtilTest, Log2Floor) {
+  EXPECT_EQ(Log2Floor64(1), 0);
+  EXPECT_EQ(Log2Floor64(2), 1);
+  EXPECT_EQ(Log2Floor64(3), 1);
+  EXPECT_EQ(Log2Floor64(4), 2);
+  EXPECT_EQ(Log2Floor64(uint64_t{1} << 40), 40);
+  EXPECT_EQ(Log2Floor64((uint64_t{1} << 40) + 5), 40);
+}
+
+TEST(BitUtilTest, Log2Ceil) {
+  EXPECT_EQ(Log2Ceil64(1), 0);
+  EXPECT_EQ(Log2Ceil64(2), 1);
+  EXPECT_EQ(Log2Ceil64(3), 2);
+  EXPECT_EQ(Log2Ceil64(4), 2);
+  EXPECT_EQ(Log2Ceil64(5), 3);
+}
+
+TEST(BitUtilTest, IsPowerOfTwo) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_TRUE(IsPowerOfTwo(uint64_t{1} << 63));
+  EXPECT_FALSE(IsPowerOfTwo((uint64_t{1} << 63) + 1));
+}
+
+TEST(BitUtilTest, FastRangeStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t range = 1 + rng.NextBounded(100000);
+    EXPECT_LT(FastRange64(rng.Next(), range), range);
+  }
+}
+
+TEST(BitUtilTest, FastRangeEdges) {
+  EXPECT_EQ(FastRange64(0, 1000), 0u);
+  EXPECT_EQ(FastRange64(~uint64_t{0}, 1000), 999u);
+  // Mid hash maps to mid range.
+  EXPECT_EQ(FastRange64(uint64_t{1} << 63, 1000), 500u);
+}
+
+TEST(BitUtilTest, FastRangeIsUniform) {
+  // Chi-square-ish check: 16 buckets, 160k samples, each bucket within 5%
+  // of expectation.
+  constexpr uint64_t kBuckets = 16;
+  constexpr int kSamples = 160000;
+  int counts[kBuckets] = {};
+  Xoshiro256 rng(11);
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[FastRange64(rng.Next(), kBuckets)];
+  }
+  for (uint64_t b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(counts[b], kSamples / kBuckets, kSamples / kBuckets * 0.05);
+  }
+}
+
+TEST(BitUtilTest, RoundUp) {
+  EXPECT_EQ(RoundUp(0, 8), 0u);
+  EXPECT_EQ(RoundUp(1, 8), 8u);
+  EXPECT_EQ(RoundUp(8, 8), 8u);
+  EXPECT_EQ(RoundUp(9, 8), 16u);
+}
+
+TEST(BitUtilTest, ReverseBits) {
+  EXPECT_EQ(ReverseBits64(0), 0u);
+  EXPECT_EQ(ReverseBits64(1), uint64_t{1} << 63);
+  EXPECT_EQ(ReverseBits64(~uint64_t{0}), ~uint64_t{0});
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t x = rng.Next();
+    EXPECT_EQ(ReverseBits64(ReverseBits64(x)), x);  // involution
+  }
+}
+
+TEST(BitUtilTest, RotateLeft) {
+  EXPECT_EQ(RotateLeft64(1, 1), 2u);
+  EXPECT_EQ(RotateLeft64(uint64_t{1} << 63, 1), 1u);
+  EXPECT_EQ(RotateLeft64(0x123456789ABCDEF0ULL, 0), 0x123456789ABCDEF0ULL);
+}
+
+}  // namespace
+}  // namespace smb

@@ -1,0 +1,108 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace smb {
+namespace {
+
+TEST(SplitMix64Test, DeterministicAndDistinct) {
+  SplitMix64 a(42), b(42);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = a.Next();
+    EXPECT_EQ(v, b.Next());
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 1000u);  // full-period generator: no repeats
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256Test, Deterministic) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Xoshiro256Test, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 100000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro256Test, NextDoubleMeanIsHalf) {
+  Xoshiro256 rng(13);
+  double sum = 0;
+  constexpr int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.005);
+}
+
+TEST(Xoshiro256Test, NextBoundedInRange) {
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(37), 37u);
+  }
+  // Bound 1 always yields 0.
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(Xoshiro256Test, BernoulliFrequency) {
+  Xoshiro256 rng(19);
+  int hits = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (rng.NextBernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kSamples, 0.3, 0.01);
+}
+
+TEST(Xoshiro256Test, GeometricMeanMatchesTheory) {
+  // Mean failures before success with probability p is (1-p)/p.
+  Xoshiro256 rng(23);
+  for (double p : {0.5, 0.25, 0.1}) {
+    double sum = 0;
+    constexpr int kSamples = 100000;
+    for (int i = 0; i < kSamples; ++i) {
+      sum += static_cast<double>(rng.NextGeometric(p));
+    }
+    const double expected = (1.0 - p) / p;
+    EXPECT_NEAR(sum / kSamples, expected, expected * 0.05) << "p=" << p;
+  }
+}
+
+TEST(Xoshiro256Test, GeometricWithProbabilityOneIsZero) {
+  Xoshiro256 rng(29);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextGeometric(1.0), 0u);
+}
+
+TEST(Xoshiro256Test, BitBalance) {
+  // Every bit position should be set ~50% of the time.
+  Xoshiro256 rng(31);
+  constexpr int kSamples = 100000;
+  int counts[64] = {};
+  for (int i = 0; i < kSamples; ++i) {
+    uint64_t v = rng.Next();
+    for (int b = 0; b < 64; ++b) {
+      counts[b] += static_cast<int>((v >> b) & 1);
+    }
+  }
+  for (int b = 0; b < 64; ++b) {
+    EXPECT_NEAR(counts[b], kSamples / 2, kSamples * 0.01) << "bit " << b;
+  }
+}
+
+}  // namespace
+}  // namespace smb

@@ -1,0 +1,120 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace smb {
+namespace {
+
+TEST(RunningStatsTest, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStatsTest, KnownSample) {
+  // Sample {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, population var 4,
+  // sample var 32/7.
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  Xoshiro256 rng(5);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble() * 100 - 50;
+    all.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, b;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(b);  // no-op
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), 2.0);
+  b.Merge(a);  // copies
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStatsTest, NumericalStabilityLargeOffset) {
+  // Welford should survive values with a huge common offset.
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) s.Add(1e12 + (i % 2));
+  EXPECT_NEAR(s.mean(), 1e12 + 0.5, 1e-3);
+  EXPECT_NEAR(s.variance(), 0.25 * 1000 / 999, 1e-3);
+}
+
+TEST(ErrorStatsTest, PerfectEstimates) {
+  const std::vector<double> est = {10, 20, 30};
+  const std::vector<double> truth = {10, 20, 30};
+  const ErrorStats e = ComputeErrorStats(est, truth);
+  EXPECT_EQ(e.mean_absolute_error, 0.0);
+  EXPECT_EQ(e.mean_relative_error, 0.0);
+  EXPECT_EQ(e.relative_bias, 0.0);
+  EXPECT_EQ(e.rmse, 0.0);
+  EXPECT_EQ(e.count, 3u);
+}
+
+TEST(ErrorStatsTest, KnownErrors) {
+  const std::vector<double> est = {110, 90};
+  const std::vector<double> truth = {100, 100};
+  const ErrorStats e = ComputeErrorStats(est, truth);
+  EXPECT_DOUBLE_EQ(e.mean_absolute_error, 10.0);
+  EXPECT_DOUBLE_EQ(e.mean_relative_error, 0.1);
+  EXPECT_NEAR(e.relative_bias, 0.0, 1e-15);  // +10% and -10% cancel
+  EXPECT_DOUBLE_EQ(e.rmse, 10.0);
+}
+
+TEST(ErrorStatsTest, BiasIsSigned) {
+  const std::vector<double> est = {120, 110};
+  const std::vector<double> truth = {100, 100};
+  const ErrorStats e = ComputeErrorStats(est, truth);
+  EXPECT_NEAR(e.relative_bias, 0.15, 1e-12);
+}
+
+TEST(PercentileTest, Basics) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.25), 2.0);
+  // Interpolation between ranks.
+  EXPECT_DOUBLE_EQ(Percentile({1, 2}, 0.5), 1.5);
+}
+
+TEST(PercentileTest, UnsortedInputAndEmpty) {
+  EXPECT_DOUBLE_EQ(Percentile({5, 1, 3}, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile({}, 0.5), 0.0);
+}
+
+}  // namespace
+}  // namespace smb

@@ -1,0 +1,72 @@
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace smb {
+namespace {
+
+// Renders a table into a string via a temporary stream.
+std::string Render(const TablePrinter& table) {
+  char* buffer = nullptr;
+  size_t size = 0;
+  std::FILE* mem = open_memstream(&buffer, &size);
+  table.Print(mem);
+  std::fclose(mem);
+  std::string out(buffer, size);
+  free(buffer);
+  return out;
+}
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TablePrinter t("Table X: demo");
+  t.SetHeader({"algo", "value"});
+  t.AddRow({"SMB", "1.0"});
+  t.AddRow({"MRB", "2.5"});
+  const std::string out = Render(t);
+  EXPECT_NE(out.find("Table X: demo"), std::string::npos);
+  EXPECT_NE(out.find("algo"), std::string::npos);
+  EXPECT_NE(out.find("SMB"), std::string::npos);
+  EXPECT_NE(out.find("2.5"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ColumnsAlign) {
+  TablePrinter t("t");
+  t.SetHeader({"a", "bbbb"});
+  t.AddRow({"xxxxxx", "y"});
+  const std::string out = Render(t);
+  // Every rendered row line must have the same length (fixed-width table).
+  size_t expected = 0;
+  size_t pos = 0;
+  int lines = 0;
+  while (pos < out.size()) {
+    size_t end = out.find('\n', pos);
+    if (end == std::string::npos) end = out.size();
+    const std::string line = out.substr(pos, end - pos);
+    if (!line.empty() && (line[0] == '|' || line[0] == '+')) {
+      if (expected == 0) expected = line.size();
+      EXPECT_EQ(line.size(), expected) << line;
+      ++lines;
+    }
+    pos = end + 1;
+  }
+  EXPECT_GE(lines, 5);  // 3 rules + header + row
+}
+
+TEST(TablePrinterTest, EmptyTablePrintsNothing) {
+  TablePrinter t("empty");
+  EXPECT_EQ(Render(t), "");
+}
+
+TEST(TablePrinterTest, Formatters) {
+  EXPECT_EQ(TablePrinter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Fmt(1.0, 0), "1");
+  EXPECT_EQ(TablePrinter::FmtInt(-42), "-42");
+  EXPECT_EQ(TablePrinter::FmtInt(1000000), "1000000");
+  EXPECT_EQ(TablePrinter::FmtSci(134000000.0, 2), "1.34e+08");
+}
+
+}  // namespace
+}  // namespace smb

@@ -1,0 +1,108 @@
+#include "core/smb_params.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace smb {
+namespace {
+
+TEST(SmbParamsTest, MaxRound) {
+  EXPECT_EQ(SmbMaxRound(8, 2), 3u);    // rounds 0..3, logical sizes 8,6,4,2
+  EXPECT_EQ(SmbMaxRound(10, 2), 4u);
+  EXPECT_EQ(SmbMaxRound(100, 100), 0u);  // T = m: a single round
+  EXPECT_EQ(SmbMaxRound(100, 33), 2u);   // r=3 would leave a 1-bit bitmap
+  EXPECT_EQ(SmbMaxRound(10000, 1111), 8u);
+  // Rank cap: rounds beyond 63 can never record (64-bit geometric hash).
+  EXPECT_EQ(SmbMaxRound(10000, 1), 63u);
+}
+
+TEST(SmbParamsTest, STableMatchesHandComputation) {
+  // m = 8, T = 2: S[1] = -2^0*8*ln(1-2/8), S[2] = S[1] - 2*8*ln(1-2/6), ...
+  const auto s = BuildSTable(8, 2);
+  ASSERT_EQ(s.size(), 4u);
+  EXPECT_DOUBLE_EQ(s[0], 0.0);
+  EXPECT_NEAR(s[1], -8.0 * std::log(1 - 2.0 / 8.0), 1e-12);
+  EXPECT_NEAR(s[2], s[1] - 2.0 * 8.0 * std::log(1 - 2.0 / 6.0), 1e-12);
+  EXPECT_NEAR(s[3], s[2] - 4.0 * 8.0 * std::log(1 - 2.0 / 4.0), 1e-12);
+}
+
+TEST(SmbParamsTest, STableIsIncreasing) {
+  const auto s = BuildSTable(10000, 1111);
+  for (size_t r = 1; r < s.size(); ++r) {
+    EXPECT_GT(s[r], s[r - 1]) << "r=" << r;
+  }
+}
+
+TEST(SmbParamsTest, STableIsFinite) {
+  for (size_t m : {64u, 1000u, 10000u}) {
+    for (size_t t : {size_t{1}, size_t{7}, m / 10, m / 2, m}) {
+      if (t == 0) continue;
+      for (double v : BuildSTable(m, t)) {
+        EXPECT_TRUE(std::isfinite(v)) << "m=" << m << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(SmbParamsTest, MaxEstimateExceedsSTableTail) {
+  const double max_est = SmbMaxEstimate(10000, 1111);
+  const auto s = BuildSTable(10000, 1111);
+  EXPECT_GT(max_est, s.back());
+  EXPECT_TRUE(std::isfinite(max_est));
+}
+
+// The paper: SMB's maximum estimate beats MRB's 2^(k-1)*(m/k)*ln(m/k) under
+// the same memory when T = m/k.
+TEST(SmbParamsTest, MaxEstimateBeatsMrbEquivalent) {
+  const size_t m = 10000;
+  for (size_t k : {5u, 8u, 10u}) {
+    const size_t t = m / k;
+    const double smb_max = SmbMaxEstimate(m, t);
+    const double mrb_max =
+        std::ldexp(static_cast<double>(t) * std::log(static_cast<double>(t)),
+                   static_cast<int>(k) - 1);
+    EXPECT_GT(smb_max, mrb_max) << "k=" << k;
+  }
+}
+
+TEST(SmbParamsTest, OptimalThresholdCoversRange) {
+  for (size_t m : {1000u, 2500u, 5000u, 10000u}) {
+    for (uint64_t n : {10000u, 100000u, 1000000u}) {
+      const auto result = OptimalThreshold(m, n);
+      EXPECT_GE(result.threshold, 1u);
+      EXPECT_LE(result.threshold, m);
+      EXPECT_GE(result.max_estimate, 2.0 * static_cast<double>(n))
+          << "m=" << m << " n=" << n;
+      EXPECT_EQ(result.rounds, m / result.threshold);
+    }
+  }
+}
+
+TEST(SmbParamsTest, OptimalThresholdShrinksWithCardinality) {
+  // Larger design cardinality needs more rounds, hence smaller T.
+  const size_t m = 10000;
+  const size_t t_small = OptimalThresholdValue(m, 10000);
+  const size_t t_large = OptimalThresholdValue(m, 10000000);
+  EXPECT_GE(t_small, t_large);
+}
+
+TEST(SmbParamsTest, OptimalThresholdPaperConfiguration) {
+  // m = 10000, n = 1M: the optimizer should land in a moderate round count
+  // (the paper's Table II regime), not at either degenerate extreme.
+  const auto result = OptimalThreshold(10000, 1000000);
+  EXPECT_GE(result.rounds, 5u);
+  EXPECT_LE(result.rounds, 20u);
+}
+
+TEST(SmbParamsTest, TinyMemoryHugeCardinalityFallsBack) {
+  // Range cannot cover 2n: the widest-range configuration is returned
+  // rather than aborting.
+  const auto result = OptimalThreshold(64, 1000000000000ULL);
+  EXPECT_GE(result.threshold, 1u);
+  EXPECT_LE(result.threshold, 64u);
+  EXPECT_GT(result.max_estimate, 0.0);
+}
+
+}  // namespace
+}  // namespace smb

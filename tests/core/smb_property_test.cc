@@ -1,0 +1,154 @@
+// Property-style sweeps over SMB configurations: structural invariants
+// that must hold for every (m, T) and any input stream, plus a
+// deterministic mutation fuzz of the serialization format.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "common/random.h"
+#include "core/self_morphing_bitmap.h"
+#include "core/smb_params.h"
+
+namespace smb {
+namespace {
+
+struct SmbShape {
+  size_t m;
+  size_t t;
+};
+
+class SmbPropertyTest : public ::testing::TestWithParam<SmbShape> {
+ protected:
+  SelfMorphingBitmap Make(uint64_t seed) const {
+    SelfMorphingBitmap::Config config;
+    config.num_bits = GetParam().m;
+    config.threshold = GetParam().t;
+    config.hash_seed = seed;
+    return SelfMorphingBitmap(config);
+  }
+};
+
+// Invariant 1: round index never exceeds max_round; v stays below T in
+// non-final rounds; logical bitmap accounting m_r = m - r*T holds.
+TEST_P(SmbPropertyTest, StructuralInvariantsUnderLoad) {
+  SelfMorphingBitmap smb = Make(1);
+  Xoshiro256 rng(2);
+  for (int i = 0; i < 200000; ++i) {
+    smb.Add(rng.Next());
+    if ((i & 1023) == 0) {
+      ASSERT_LE(smb.round(), smb.max_round());
+      ASSERT_EQ(smb.LogicalBits(),
+                GetParam().m - smb.round() * GetParam().t);
+      if (smb.round() < smb.max_round()) {
+        ASSERT_LT(smb.ones_in_round(), GetParam().t);
+      }
+      ASSERT_GE(smb.SamplingProbability(),
+                std::ldexp(1.0, -static_cast<int>(smb.max_round())));
+    }
+  }
+}
+
+// Invariant 2: the estimate is finite, non-negative, and bounded by the
+// configuration's maximum, at every prefix of the stream.
+TEST_P(SmbPropertyTest, EstimateAlwaysInRange) {
+  SelfMorphingBitmap smb = Make(3);
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 100000; ++i) {
+    smb.Add(rng.Next());
+    if ((i & 511) == 0) {
+      const double est = smb.Estimate();
+      ASSERT_TRUE(std::isfinite(est));
+      ASSERT_GE(est, 0.0);
+      ASSERT_LE(est, smb.MaxEstimate() * (1 + 1e-9));
+    }
+  }
+}
+
+// Invariant 3: the S table the estimator carries matches a fresh build
+// from (m, T) — i.e., query constants are pure functions of the config.
+TEST_P(SmbPropertyTest, STableIsPureFunctionOfConfig) {
+  SelfMorphingBitmap smb = Make(7);
+  EXPECT_EQ(smb.s_table(), BuildSTable(GetParam().m, GetParam().t));
+}
+
+// Invariant 4: serialize/deserialize is the identity at any point in the
+// stream, including mid-round and at saturation.
+TEST_P(SmbPropertyTest, SerializationIdentityAtEveryPhase) {
+  SelfMorphingBitmap smb = Make(9);
+  Xoshiro256 rng(11);
+  for (int checkpoint = 0; checkpoint < 5; ++checkpoint) {
+    for (int i = 0; i < 20000; ++i) smb.Add(rng.Next());
+    const auto bytes = smb.Serialize();
+    const auto restored = SelfMorphingBitmap::Deserialize(bytes);
+    ASSERT_TRUE(restored.has_value());
+    ASSERT_EQ(restored->Serialize(), bytes);
+    ASSERT_DOUBLE_EQ(restored->Estimate(), smb.Estimate());
+  }
+}
+
+// Invariant 5: every single-byte corruption of a serialized SMB either
+// fails to parse or parses without violating structural invariants —
+// Deserialize must never crash or produce an estimator that aborts.
+TEST_P(SmbPropertyTest, MutationFuzzOfSerialization) {
+  SelfMorphingBitmap smb = Make(13);
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 30000; ++i) smb.Add(rng.Next());
+  const auto bytes = smb.Serialize();
+
+  Xoshiro256 fuzz(19);
+  for (int trial = 0; trial < 300; ++trial) {
+    auto mutated = bytes;
+    const size_t pos = fuzz.NextBounded(mutated.size());
+    mutated[pos] ^= static_cast<uint8_t>(1 + fuzz.NextBounded(255));
+    const auto restored = SelfMorphingBitmap::Deserialize(mutated);
+    if (!restored.has_value()) continue;
+    // Accepted mutants must still behave.
+    ASSERT_LE(restored->round(), restored->max_round());
+    const double est = restored->Estimate();
+    ASSERT_TRUE(std::isfinite(est));
+    ASSERT_GE(est, 0.0);
+  }
+}
+
+// Invariant 6: feeding the same distinct set in two different orders
+// leaves the *distinct-set-derived* state statistically close: both runs
+// end in the same round and their estimates agree within the estimator's
+// noise (exact equality is not required — the morph schedule is
+// order-dependent by design).
+TEST_P(SmbPropertyTest, OrderInsensitivityWithinNoise) {
+  const size_t n = 30000;
+  SelfMorphingBitmap forward = Make(21);
+  SelfMorphingBitmap backward = Make(21);
+  for (size_t i = 0; i < n; ++i) {
+    forward.Add(i * 0x9E3779B97F4A7C15ULL);
+  }
+  for (size_t i = n; i-- > 0;) {
+    backward.Add(i * 0x9E3779B97F4A7C15ULL);
+  }
+  const double fwd = forward.Estimate();
+  const double bwd = backward.Estimate();
+  EXPECT_NEAR(fwd, bwd, 0.25 * static_cast<double>(n) + 50.0);
+}
+
+std::string ShapeName(const ::testing::TestParamInfo<SmbShape>& info) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "m%zu_T%zu", info.param.m, info.param.t);
+  return buf;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SmbPropertyTest,
+    ::testing::Values(SmbShape{64, 8},       // tiny, deep rounds
+                      SmbShape{1000, 71},    // paper m=1000 optimal-ish
+                      SmbShape{1000, 500},   // two fat rounds
+                      SmbShape{5000, 384},   // paper m=5000 optimal
+                      SmbShape{10000, 1111}, // paper m=10000 optimal
+                      SmbShape{10000, 9999}, // nearly single-round
+                      SmbShape{8192, 1},     // T=1: morph every bit
+                      SmbShape{12345, 678}), // non-round numbers
+    ShapeName);
+
+}  // namespace
+}  // namespace smb

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "core/self_morphing_bitmap.h"
+
+namespace smb {
+namespace {
+
+SelfMorphingBitmap MakeLoaded(uint64_t seed, size_t items) {
+  SelfMorphingBitmap::Config config;
+  config.num_bits = 1000;
+  config.threshold = 100;
+  config.hash_seed = seed;
+  SelfMorphingBitmap smb(config);
+  Xoshiro256 rng(seed + 1);
+  for (size_t i = 0; i < items; ++i) smb.Add(rng.Next());
+  return smb;
+}
+
+TEST(SmbSerializationTest, RoundTripPreservesEverything) {
+  const SelfMorphingBitmap original = MakeLoaded(7, 5000);
+  const auto bytes = original.Serialize();
+  auto restored = SelfMorphingBitmap::Deserialize(bytes);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->num_bits(), original.num_bits());
+  EXPECT_EQ(restored->threshold(), original.threshold());
+  EXPECT_EQ(restored->hash_seed(), original.hash_seed());
+  EXPECT_EQ(restored->round(), original.round());
+  EXPECT_EQ(restored->ones_in_round(), original.ones_in_round());
+  EXPECT_DOUBLE_EQ(restored->Estimate(), original.Estimate());
+}
+
+TEST(SmbSerializationTest, RestoredEstimatorKeepsRecording) {
+  SelfMorphingBitmap original = MakeLoaded(9, 2000);
+  auto restored = SelfMorphingBitmap::Deserialize(original.Serialize());
+  ASSERT_TRUE(restored.has_value());
+  // Feed both the same continuation; states must stay identical.
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t item = rng.Next();
+    original.Add(item);
+    restored->Add(item);
+  }
+  EXPECT_EQ(original.Serialize(), restored->Serialize());
+}
+
+TEST(SmbSerializationTest, FreshEstimatorRoundTrips) {
+  SelfMorphingBitmap::Config config;
+  config.num_bits = 64;
+  config.threshold = 8;
+  SelfMorphingBitmap fresh(config);
+  auto restored = SelfMorphingBitmap::Deserialize(fresh.Serialize());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->Estimate(), 0.0);
+}
+
+TEST(SmbSerializationTest, RejectsBadMagic) {
+  auto bytes = MakeLoaded(1, 100).Serialize();
+  bytes[0] = 'X';
+  EXPECT_FALSE(SelfMorphingBitmap::Deserialize(bytes).has_value());
+}
+
+TEST(SmbSerializationTest, RejectsTruncation) {
+  const auto bytes = MakeLoaded(1, 100).Serialize();
+  for (size_t cut : {size_t{0}, size_t{3}, size_t{20}, bytes.size() - 1}) {
+    std::vector<uint8_t> truncated(bytes.begin(),
+                                   bytes.begin() + static_cast<long>(cut));
+    EXPECT_FALSE(SelfMorphingBitmap::Deserialize(truncated).has_value())
+        << "cut=" << cut;
+  }
+}
+
+TEST(SmbSerializationTest, RejectsCorruptHeader) {
+  auto bytes = MakeLoaded(1, 100).Serialize();
+  // Zero out num_bits (offset 4..11) -> invalid configuration.
+  for (size_t i = 4; i < 12; ++i) bytes[i] = 0;
+  EXPECT_FALSE(SelfMorphingBitmap::Deserialize(bytes).has_value());
+}
+
+TEST(SmbSerializationTest, RejectsInconsistentRound) {
+  auto bytes = MakeLoaded(1, 100).Serialize();
+  // Round field lives at offset 4 + 3*8 = 28; set to an absurd value.
+  bytes[28] = 0xFF;
+  bytes[29] = 0xFF;
+  EXPECT_FALSE(SelfMorphingBitmap::Deserialize(bytes).has_value());
+}
+
+TEST(SmbSerializationTest, RejectsEmptyInput) {
+  EXPECT_FALSE(SelfMorphingBitmap::Deserialize({}).has_value());
+}
+
+}  // namespace
+}  // namespace smb

@@ -1,0 +1,281 @@
+#include "core/self_morphing_bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "common/random.h"
+#include "common/stats.h"
+#include "core/smb_params.h"
+#include "stream/stream_generator.h"
+
+namespace smb {
+namespace {
+
+// Crafts a Hash128 whose geometric rank is exactly `rank` and whose bitmap
+// position (FastRange of lo over `m`) is exactly `pos` — lets tests drive
+// Algorithm 1 deterministically, like the worked example in the paper's
+// Figure 4.
+Hash128 MakeHash(int rank, size_t pos, size_t m) {
+  Hash128 h;
+  h.hi = uint64_t{1} << rank;  // ctz == rank
+  // Smallest lo with floor(lo * m / 2^64) == pos.
+  const __uint128_t numerator =
+      (static_cast<__uint128_t>(pos) << 64) + (m - 1);
+  h.lo = static_cast<uint64_t>(numerator / m);
+  return h;
+}
+
+SelfMorphingBitmap MakeSmb(size_t m, size_t t, uint64_t seed = 0) {
+  SelfMorphingBitmap::Config config;
+  config.num_bits = m;
+  config.threshold = t;
+  config.hash_seed = seed;
+  return SelfMorphingBitmap(config);
+}
+
+TEST(SmbTest, InitialState) {
+  SelfMorphingBitmap smb = MakeSmb(64, 8);
+  EXPECT_EQ(smb.round(), 0u);
+  EXPECT_EQ(smb.ones_in_round(), 0u);
+  EXPECT_EQ(smb.Estimate(), 0.0);
+  EXPECT_EQ(smb.SamplingProbability(), 1.0);
+  EXPECT_EQ(smb.LogicalBits(), 64u);
+  EXPECT_FALSE(smb.saturated());
+  EXPECT_EQ(smb.max_round(), (64 - 1) / 8);
+}
+
+TEST(SmbTest, MakeHashHelperIsExact) {
+  for (size_t m : {8u, 64u, 1000u, 10007u}) {
+    for (size_t pos : {size_t{0}, m / 3, m - 1}) {
+      const Hash128 h = MakeHash(5, pos, m);
+      EXPECT_EQ(FastRange64(h.lo, m), pos);
+      EXPECT_EQ(CountTrailingZeros64(h.hi), 5);
+    }
+  }
+}
+
+// Algorithm 1, Step 3: after T fresh bits, the round advances and v resets.
+TEST(SmbTest, RoundAdvancesAfterThresholdFreshBits) {
+  SelfMorphingBitmap smb = MakeSmb(64, 2);
+  smb.AddHash(MakeHash(0, 3, 64));
+  EXPECT_EQ(smb.round(), 0u);
+  EXPECT_EQ(smb.ones_in_round(), 1u);
+  smb.AddHash(MakeHash(0, 5, 64));
+  EXPECT_EQ(smb.round(), 1u);  // morphed
+  EXPECT_EQ(smb.ones_in_round(), 0u);
+  EXPECT_EQ(smb.LogicalBits(), 62u);
+  EXPECT_DOUBLE_EQ(smb.SamplingProbability(), 0.5);
+}
+
+// Algorithm 1, Step 1: items with G(d) < r are rejected without touching
+// the bitmap.
+TEST(SmbTest, LowRankItemsRejectedAfterMorph) {
+  SelfMorphingBitmap smb = MakeSmb(64, 2);
+  smb.AddHash(MakeHash(1, 3, 64));
+  smb.AddHash(MakeHash(0, 5, 64));
+  ASSERT_EQ(smb.round(), 1u);
+  // rank 0 < r = 1: dropped even though its bit is fresh.
+  smb.AddHash(MakeHash(0, 7, 64));
+  EXPECT_EQ(smb.ones_in_round(), 0u);
+  // rank 1 >= r = 1: recorded.
+  smb.AddHash(MakeHash(1, 7, 64));
+  EXPECT_EQ(smb.ones_in_round(), 1u);
+}
+
+// Theorem 2: duplicates never increment v, in any round.
+TEST(SmbTest, DuplicatesAreBlocked) {
+  SelfMorphingBitmap smb = MakeSmb(128, 4);
+  const Hash128 h = MakeHash(3, 17, 128);
+  smb.AddHash(h);
+  EXPECT_EQ(smb.ones_in_round(), 1u);
+  for (int i = 0; i < 10; ++i) smb.AddHash(h);
+  EXPECT_EQ(smb.ones_in_round(), 1u);
+  EXPECT_EQ(smb.round(), 0u);
+}
+
+// Theorem 2 on real items: adding the same item set repeatedly leaves the
+// estimate unchanged.
+TEST(SmbTest, ReplayedStreamDoesNotChangeEstimate) {
+  SelfMorphingBitmap smb = MakeSmb(1000, 100, 7);
+  const auto items = GenerateDistinctItems(5000, 11);
+  for (uint64_t item : items) smb.Add(item);
+  const double first = smb.Estimate();
+  const size_t round = smb.round();
+  for (int pass = 0; pass < 3; ++pass) {
+    for (uint64_t item : items) smb.Add(item);
+  }
+  EXPECT_EQ(smb.Estimate(), first);
+  EXPECT_EQ(smb.round(), round);
+}
+
+// The paper's Figure 4 example, transcribed: m = 8, T = 2. We reproduce
+// the same sequence of (rank, position) events and check (r, v) after each
+// round boundary.
+TEST(SmbTest, PaperFigure4Walkthrough) {
+  SelfMorphingBitmap smb = MakeSmb(8, 2);
+  // Round 0: d0 (G=1, H=3), d1 (G=0, H=5) -> v reaches T=2, morph to r=1.
+  smb.AddHash(MakeHash(1, 3, 8));
+  smb.AddHash(MakeHash(0, 5, 8));
+  EXPECT_EQ(smb.round(), 1u);
+  EXPECT_EQ(smb.ones_in_round(), 0u);
+  // Round 1: d0 again (G=1>=1 but bit 3 already set) -> nothing.
+  smb.AddHash(MakeHash(1, 3, 8));
+  EXPECT_EQ(smb.ones_in_round(), 0u);
+  // d2 (G=2, H=1) -> fresh bit, v=1.
+  smb.AddHash(MakeHash(2, 1, 8));
+  EXPECT_EQ(smb.ones_in_round(), 1u);
+  // d3 (G=0 < r=1) -> dropped.
+  smb.AddHash(MakeHash(0, 6, 8));
+  EXPECT_EQ(smb.ones_in_round(), 1u);
+  // d4 (G=1, H=7) -> v=2 -> morph to r=2.
+  smb.AddHash(MakeHash(1, 7, 8));
+  EXPECT_EQ(smb.round(), 2u);
+  EXPECT_EQ(smb.ones_in_round(), 0u);
+  // Round 2: d5 (G=2, H=2) -> fresh, v=1.
+  smb.AddHash(MakeHash(2, 2, 8));
+  EXPECT_EQ(smb.ones_in_round(), 1u);
+  // d6 (G=2, H=7): bit already set -> nothing.
+  smb.AddHash(MakeHash(2, 7, 8));
+  EXPECT_EQ(smb.ones_in_round(), 1u);
+  // d7 (G=1 < 2), d8 (G=0 < 2): dropped at Step 1.
+  smb.AddHash(MakeHash(1, 0, 8));
+  smb.AddHash(MakeHash(0, 4, 8));
+  EXPECT_EQ(smb.ones_in_round(), 1u);
+  EXPECT_EQ(smb.round(), 2u);
+}
+
+// Algorithm 2: the estimate equals S[r] + 2^r * m * (-ln(1 - v/m_r)),
+// verified against an independent computation.
+TEST(SmbTest, EstimateMatchesClosedForm) {
+  SelfMorphingBitmap smb = MakeSmb(1000, 50, 3);
+  const auto items = GenerateDistinctItems(2000, 5);
+  for (uint64_t item : items) smb.Add(item);
+  const size_t r = smb.round();
+  const size_t v = smb.ones_in_round();
+  const double m = 1000.0;
+  const double m_r = m - static_cast<double>(r) * 50.0;
+  const double expected =
+      smb.s_table()[r] +
+      std::ldexp(m, static_cast<int>(r)) *
+          (-std::log1p(-static_cast<double>(v) / m_r));
+  EXPECT_NEAR(smb.Estimate(), expected, 1e-9);
+}
+
+// With v = 0 the estimate is exactly the precomputed S[r].
+TEST(SmbTest, EstimateAtRoundBoundaryIsSTable) {
+  SelfMorphingBitmap smb = MakeSmb(64, 2);
+  smb.AddHash(MakeHash(4, 1, 64));
+  smb.AddHash(MakeHash(4, 2, 64));
+  ASSERT_EQ(smb.round(), 1u);
+  ASSERT_EQ(smb.ones_in_round(), 0u);
+  EXPECT_DOUBLE_EQ(smb.Estimate(), smb.s_table()[1]);
+}
+
+// Estimates never decrease as more items are recorded.
+TEST(SmbTest, EstimateIsMonotoneInRecordedItems) {
+  SelfMorphingBitmap smb = MakeSmb(2000, 200, 13);
+  Xoshiro256 rng(17);
+  double last = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    smb.Add(rng.Next());
+    if (i % 100 == 0) {
+      const double est = smb.Estimate();
+      EXPECT_GE(est, last);
+      last = est;
+    }
+  }
+}
+
+// Rounds never exceed max_round and the estimator saturates gracefully.
+TEST(SmbTest, SaturationIsGraceful) {
+  SelfMorphingBitmap smb = MakeSmb(64, 8, 21);
+  Xoshiro256 rng(23);
+  // Overwhelm the tiny bitmap far past its range.
+  for (int i = 0; i < 2000000; ++i) smb.Add(rng.Next());
+  EXPECT_LE(smb.round(), smb.max_round());
+  EXPECT_TRUE(smb.saturated());
+  const double est = smb.Estimate();
+  EXPECT_TRUE(std::isfinite(est));
+  EXPECT_LE(est, smb.MaxEstimate() * (1 + 1e-9));
+  EXPECT_GT(est, 0.0);
+}
+
+TEST(SmbTest, ResetRestoresInitialState) {
+  SelfMorphingBitmap smb = MakeSmb(256, 16, 1);
+  for (uint64_t i = 0; i < 1000; ++i) smb.Add(i);
+  EXPECT_GT(smb.Estimate(), 0.0);
+  smb.Reset();
+  EXPECT_EQ(smb.round(), 0u);
+  EXPECT_EQ(smb.ones_in_round(), 0u);
+  EXPECT_EQ(smb.Estimate(), 0.0);
+  // Usable again after reset.
+  for (uint64_t i = 0; i < 100; ++i) smb.Add(i);
+  EXPECT_NEAR(smb.Estimate(), 100.0, 30.0);
+}
+
+TEST(SmbTest, MemoryBitsAccounting) {
+  SelfMorphingBitmap smb = MakeSmb(10000, 1000);
+  EXPECT_EQ(smb.MemoryBits(), 10000u + 32u);
+}
+
+TEST(SmbTest, SamplingProbabilityHalvesPerRound) {
+  SelfMorphingBitmap smb = MakeSmb(10000, 10, 3);
+  Xoshiro256 rng(29);
+  size_t last_round = 0;
+  while (smb.round() < 6) {
+    smb.Add(rng.Next());
+    if (smb.round() != last_round) {
+      last_round = smb.round();
+      EXPECT_DOUBLE_EQ(smb.SamplingProbability(),
+                       std::ldexp(1.0, -static_cast<int>(last_round)));
+    }
+  }
+}
+
+// Accuracy: relative error averaged over seeds stays within a few percent
+// at the paper's m = 10000 configuration.
+TEST(SmbTest, AccuracyAcrossCardinalities) {
+  for (uint64_t n : {1000u, 20000u, 200000u}) {
+    RunningStats rel;
+    for (uint64_t seed = 0; seed < 12; ++seed) {
+      SelfMorphingBitmap smb =
+          SelfMorphingBitmap::WithOptimalThreshold(10000, 1000000, seed);
+      for (uint64_t i = 0; i < n; ++i) {
+        smb.Add(i * 0x9E3779B97F4A7C15ULL + seed);
+      }
+      rel.Add((smb.Estimate() - static_cast<double>(n)) /
+              static_cast<double>(n));
+    }
+    EXPECT_LT(std::fabs(rel.mean()), 0.04) << "n=" << n;
+    EXPECT_LT(rel.stddev(), 0.08) << "n=" << n;
+  }
+}
+
+// Different hash seeds decorrelate estimator instances.
+TEST(SmbTest, SeedsDecorrelate) {
+  SelfMorphingBitmap a = MakeSmb(1000, 100, 1);
+  SelfMorphingBitmap b = MakeSmb(1000, 100, 2);
+  for (uint64_t i = 0; i < 3000; ++i) {
+    a.Add(i);
+    b.Add(i);
+  }
+  // Same items, same parameters, different seeds: internal states differ.
+  EXPECT_NE(a.Serialize(), b.Serialize());
+}
+
+// The recording throughput claim's mechanism: with a large stream, the vast
+// majority of items are rejected at Step 1 (no memory access), which tests
+// can observe via the round index rising.
+TEST(SmbTest, LargeStreamsReachDeepRounds) {
+  SelfMorphingBitmap smb = MakeSmb(1000, 100, 9);
+  const auto items = GenerateDistinctItems(300000, 31);
+  for (uint64_t item : items) smb.Add(item);
+  EXPECT_GE(smb.round(), 5u);
+  EXPECT_LT(smb.SamplingProbability(), 0.05);
+}
+
+}  // namespace
+}  // namespace smb

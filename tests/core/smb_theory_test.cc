@@ -1,0 +1,109 @@
+#include "core/smb_theory.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/smb_params.h"
+
+namespace smb {
+namespace {
+
+TEST(SmbTheoryTest, BoundIsProbability) {
+  for (double delta : {0.01, 0.05, 0.1, 0.3, 0.9}) {
+    const double beta = SmbErrorBound(10000, 1111, 1000000, delta);
+    EXPECT_GE(beta, 0.0);
+    EXPECT_LE(beta, 1.0);
+  }
+}
+
+TEST(SmbTheoryTest, BoundIncreasesWithDelta) {
+  double last = -1.0;
+  for (double delta : {0.02, 0.05, 0.1, 0.2, 0.4}) {
+    const double beta = SmbErrorBound(10000, 1111, 1000000, delta);
+    EXPECT_GE(beta, last) << "delta=" << delta;
+    last = beta;
+  }
+}
+
+TEST(SmbTheoryTest, BoundImprovesWithMemory) {
+  // Figure 5(a): larger m gives a uniformly better bound at fixed delta.
+  const double delta = 0.1;
+  double last = -1.0;
+  for (size_t m : {1000u, 2500u, 5000u, 10000u}) {
+    const size_t t = OptimalThresholdValue(m, 1000000);
+    const double beta = SmbErrorBound(m, t, 1000000, delta);
+    EXPECT_GE(beta, last) << "m=" << m;
+    last = beta;
+  }
+}
+
+// The paper's worked example under Figure 5(a): m = 10000 bits, n = 1M,
+// optimal T, delta = 0.1 -> beta = 0.971. Our reconstruction of the
+// corrupted formula should land in the same regime.
+TEST(SmbTheoryTest, PaperFigure5aOperatingPoint) {
+  const size_t t = OptimalThresholdValue(10000, 1000000);
+  const double beta = SmbErrorBound(10000, t, 1000000, 0.1);
+  EXPECT_GT(beta, 0.9);
+  EXPECT_LE(beta, 1.0);
+}
+
+// And the small-memory point: m = 1000, delta = 0.30 -> beta ~= 0.802.
+TEST(SmbTheoryTest, PaperFigure5aSmallMemoryPoint) {
+  const size_t t = OptimalThresholdValue(1000, 1000000);
+  const double beta = SmbErrorBound(1000, t, 1000000, 0.30);
+  EXPECT_GT(beta, 0.5);
+}
+
+TEST(SmbTheoryTest, ZeroCardinalityIsTriviallyBounded) {
+  EXPECT_EQ(SmbErrorBound(1000, 100, 0, 0.1), 1.0);
+}
+
+TEST(SmbTheoryTest, PStarPositiveAndAtMostOne) {
+  for (uint64_t n : {100u, 10000u, 1000000u}) {
+    const double p = SmbWorstCasePStar(10000, 1111, n, 0.05);
+    EXPECT_GT(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(SmbTheoryTest, PStarDecreasesWithCardinality) {
+  // Bigger streams push the worst case into deeper rounds (smaller p*).
+  const double p_small = SmbWorstCasePStar(10000, 1111, 1000, 0.05);
+  const double p_large = SmbWorstCasePStar(10000, 1111, 1000000, 0.05);
+  EXPECT_GT(p_small, p_large);
+}
+
+TEST(SmbTheoryTest, StandardErrors) {
+  EXPECT_NEAR(HllStandardError(2000), 1.04 / std::sqrt(2000.0), 1e-12);
+  EXPECT_NEAR(MrbStandardError(909), 1.3 / std::sqrt(909.0), 1e-12);
+  // More registers / bigger components -> smaller SE.
+  EXPECT_LT(HllStandardError(4000), HllStandardError(1000));
+  EXPECT_LT(MrbStandardError(2000), MrbStandardError(500));
+}
+
+TEST(SmbTheoryTest, ChebyshevBound) {
+  EXPECT_DOUBLE_EQ(ChebyshevBound(0.1, 0.2), 0.75);
+  EXPECT_DOUBLE_EQ(ChebyshevBound(0.2, 0.1), 0.0);  // clamped
+  EXPECT_NEAR(ChebyshevBound(0.01, 1.0), 0.9999, 1e-12);
+  // Monotone in delta.
+  EXPECT_LT(ChebyshevBound(0.1, 0.15), ChebyshevBound(0.1, 0.3));
+}
+
+// Figure 5(b): at the paper's operating point SMB's bound dominates the
+// Chebyshev bounds of MRB and HLL++ for moderate delta.
+TEST(SmbTheoryTest, Figure5bOrdering) {
+  const size_t m = 10000;
+  const uint64_t n = 1000000;
+  const size_t t_smb = OptimalThresholdValue(m, n);
+  for (double delta : {0.08, 0.1, 0.15}) {
+    const double beta_smb = SmbErrorBound(m, t_smb, n, delta);
+    const double beta_hll = ChebyshevBound(HllStandardError(m / 5), delta);
+    const double beta_mrb = ChebyshevBound(MrbStandardError(909), delta);
+    EXPECT_GT(beta_smb, beta_mrb) << "delta=" << delta;
+    EXPECT_GT(beta_smb, beta_hll) << "delta=" << delta;
+  }
+}
+
+}  // namespace
+}  // namespace smb

@@ -1,0 +1,97 @@
+// Parameterized accuracy sweep over (algorithm, memory, cardinality) —
+// the statistical backbone behind the paper's Figures 6-8, asserted as
+// tolerances instead of plotted.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <string>
+
+#include "common/stats.h"
+#include "estimators/estimator_factory.h"
+#include "stream/stream_generator.h"
+
+namespace smb {
+namespace {
+
+struct SweepPoint {
+  EstimatorKind kind;
+  size_t memory_bits;
+  uint64_t cardinality;
+  // Tolerances over the seed-averaged statistics.
+  double max_abs_bias;
+  double max_stddev;
+};
+
+class AccuracySweepTest : public ::testing::TestWithParam<SweepPoint> {};
+
+TEST_P(AccuracySweepTest, BiasAndSpreadWithinTolerance) {
+  const SweepPoint p = GetParam();
+  constexpr int kSeeds = 10;
+  RunningStats rel;
+  for (int seed = 0; seed < kSeeds; ++seed) {
+    EstimatorSpec spec;
+    spec.kind = p.kind;
+    spec.memory_bits = p.memory_bits;
+    spec.design_cardinality = 1000000;
+    spec.hash_seed = static_cast<uint64_t>(seed) * uint64_t{1315423911} + 3;
+    auto estimator = CreateEstimator(spec);
+    const auto items = GenerateDistinctItems(
+        p.cardinality, static_cast<uint64_t>(seed) + 1000);
+    for (uint64_t item : items) estimator->Add(item);
+    rel.Add((estimator->Estimate() - static_cast<double>(p.cardinality)) /
+            static_cast<double>(p.cardinality));
+  }
+  EXPECT_LT(std::fabs(rel.mean()), p.max_abs_bias)
+      << EstimatorKindName(p.kind) << " m=" << p.memory_bits
+      << " n=" << p.cardinality;
+  EXPECT_LT(rel.stddev(), p.max_stddev)
+      << EstimatorKindName(p.kind) << " m=" << p.memory_bits
+      << " n=" << p.cardinality;
+}
+
+std::string PointName(const ::testing::TestParamInfo<SweepPoint>& info) {
+  std::string name(EstimatorKindName(info.param.kind));
+  for (char& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name + "_m" + std::to_string(info.param.memory_bits) + "_n" +
+         std::to_string(info.param.cardinality);
+}
+
+// Tolerances are ~3x the theoretical standard errors at 10 seeds, wide
+// enough to be deterministic-flake-free yet tight enough to catch any
+// estimator math regression.
+INSTANTIATE_TEST_SUITE_P(
+    PaperGrid, AccuracySweepTest,
+    ::testing::Values(
+        // SMB at the paper's four memory sizes.
+        SweepPoint{EstimatorKind::kSmb, 10000, 100000, 0.04, 0.08},
+        SweepPoint{EstimatorKind::kSmb, 5000, 100000, 0.05, 0.10},
+        SweepPoint{EstimatorKind::kSmb, 2500, 100000, 0.07, 0.14},
+        SweepPoint{EstimatorKind::kSmb, 1000, 100000, 0.10, 0.22},
+        SweepPoint{EstimatorKind::kSmb, 10000, 1000, 0.02, 0.04},
+        SweepPoint{EstimatorKind::kSmb, 10000, 1000000, 0.05, 0.10},
+        // MRB.
+        SweepPoint{EstimatorKind::kMrb, 10000, 100000, 0.05, 0.10},
+        SweepPoint{EstimatorKind::kMrb, 5000, 100000, 0.07, 0.14},
+        SweepPoint{EstimatorKind::kMrb, 10000, 1000000, 0.06, 0.12},
+        // FM.
+        SweepPoint{EstimatorKind::kFm, 10000, 100000, 0.08, 0.14},
+        SweepPoint{EstimatorKind::kFm, 5000, 100000, 0.10, 0.18},
+        // HLL family.
+        SweepPoint{EstimatorKind::kHll, 10000, 100000, 0.04, 0.08},
+        SweepPoint{EstimatorKind::kHllPp, 10000, 100000, 0.04, 0.08},
+        SweepPoint{EstimatorKind::kHllPp, 5000, 100000, 0.05, 0.11},
+        SweepPoint{EstimatorKind::kHllPp, 10000, 1000000, 0.04, 0.08},
+        SweepPoint{EstimatorKind::kHllTailCut, 10000, 100000, 0.04, 0.08},
+        SweepPoint{EstimatorKind::kHllTailCut, 5000, 100000, 0.05, 0.11},
+        SweepPoint{EstimatorKind::kLogLog, 10000, 100000, 0.05, 0.10},
+        SweepPoint{EstimatorKind::kSuperLogLog, 10000, 100000, 0.05, 0.10},
+        // KMV (coarse: only m/64 stored values).
+        SweepPoint{EstimatorKind::kKmv, 10000, 100000, 0.10, 0.25}),
+    PointName);
+
+}  // namespace
+}  // namespace smb

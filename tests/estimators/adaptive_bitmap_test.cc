@@ -1,0 +1,86 @@
+#include "estimators/adaptive_bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace smb {
+namespace {
+
+AdaptiveBitmap::Config MakeConfig(uint64_t hint, uint64_t seed = 0) {
+  AdaptiveBitmap::Config config;
+  config.memory_bits = 10000;
+  config.initial_cardinality_hint = hint;
+  config.hash_seed = seed;
+  return config;
+}
+
+TEST(AdaptiveBitmapTest, AccurateWhenHintIsRight) {
+  AdaptiveBitmap ab(MakeConfig(100000, 3));
+  for (uint64_t i = 0; i < 100000; ++i) ab.Add(i);
+  EXPECT_NEAR(ab.Estimate(), 100000.0, 100000.0 * 0.10);
+}
+
+TEST(AdaptiveBitmapTest, SmallHintFullSampling) {
+  AdaptiveBitmap ab(MakeConfig(100));
+  EXPECT_DOUBLE_EQ(ab.sampling_probability(), 1.0);
+  for (uint64_t i = 0; i < 500; ++i) ab.Add(i);
+  EXPECT_NEAR(ab.Estimate(), 500.0, 50.0);
+}
+
+TEST(AdaptiveBitmapTest, IntervalFeedbackRetunes) {
+  AdaptiveBitmap ab(MakeConfig(1000, 5));
+  // Interval 1: 200k distinct items under a stale small-cardinality tune.
+  for (uint64_t i = 0; i < 200000; ++i) ab.Add(i);
+  const double closed = ab.AdvanceInterval();
+  EXPECT_GT(closed, 0.0);
+  // After feedback the sampling probability drops below 1.
+  EXPECT_LT(ab.sampling_probability(), 1.0);
+  // Interval 2 at the same scale is now accurate.
+  for (uint64_t i = 0; i < 200000; ++i) ab.Add(i + 7777777);
+  EXPECT_NEAR(ab.Estimate(), 200000.0, 200000.0 * 0.15);
+}
+
+// The failure mode the paper describes in Section II-C: a cardinality jump
+// between intervals ruins the estimate because p was tuned for the
+// previous magnitude.
+TEST(AdaptiveBitmapTest, CardinalityJumpDegradesAccuracy) {
+  AdaptiveBitmap ab(MakeConfig(1000, 7));
+  // Interval 1: tiny stream; feedback tunes p for ~1k.
+  for (uint64_t i = 0; i < 1000; ++i) ab.Add(i);
+  ab.AdvanceInterval();
+  EXPECT_DOUBLE_EQ(ab.sampling_probability(), 1.0);  // 1k fits unsampled
+  // Interval 2: 500k distinct items — the unsampled bitmap saturates.
+  for (uint64_t i = 0; i < 500000; ++i) ab.Add(i * 31 + 5);
+  const double estimate = ab.Estimate();
+  const double rel_err = std::fabs(estimate - 500000.0) / 500000.0;
+  EXPECT_GT(rel_err, 0.5);  // badly wrong, as the paper argues
+}
+
+TEST(AdaptiveBitmapTest, DuplicatesIgnored) {
+  AdaptiveBitmap ab(MakeConfig(1000));
+  for (int round = 0; round < 5; ++round) {
+    for (uint64_t i = 0; i < 100; ++i) ab.Add(i);
+  }
+  EXPECT_NEAR(ab.Estimate(), 100.0, 25.0);
+}
+
+TEST(AdaptiveBitmapTest, Reset) {
+  AdaptiveBitmap ab(MakeConfig(1000));
+  for (uint64_t i = 0; i < 5000; ++i) ab.Add(i);
+  ab.Reset();
+  EXPECT_EQ(ab.Estimate(), 0.0);
+  EXPECT_DOUBLE_EQ(ab.sampling_probability(), 1.0);
+}
+
+TEST(AdaptiveBitmapTest, MemoryAccountedWithinBudget) {
+  AdaptiveBitmap ab(MakeConfig(1000));
+  // Bitmap + counters + tracker should stay within ~20% of the budget
+  // (counters are the same 32-bit bookkeeping the other estimators carry).
+  EXPECT_LE(ab.MemoryBits(), 12000u);
+}
+
+}  // namespace
+}  // namespace smb

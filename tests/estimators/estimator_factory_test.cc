@@ -1,0 +1,76 @@
+#include "estimators/estimator_factory.h"
+
+#include <gtest/gtest.h>
+
+namespace smb {
+namespace {
+
+TEST(FactoryTest, CreatesEveryKind) {
+  for (EstimatorKind kind : AllEstimatorKinds()) {
+    EstimatorSpec spec;
+    spec.kind = kind;
+    spec.memory_bits = 10000;
+    spec.design_cardinality = 1000000;
+    auto estimator = CreateEstimator(spec);
+    ASSERT_NE(estimator, nullptr) << EstimatorKindName(kind);
+    EXPECT_EQ(estimator->Name(), EstimatorKindName(kind));
+    EXPECT_GE(estimator->Estimate(), 0.0);
+  }
+}
+
+TEST(FactoryTest, MemoryBudgetRespected) {
+  for (EstimatorKind kind : AllEstimatorKinds()) {
+    EstimatorSpec spec;
+    spec.kind = kind;
+    spec.memory_bits = 10000;
+    auto estimator = CreateEstimator(spec);
+    // Within the budget plus the small online-counter overhead the paper's
+    // accounting allows (MRB carries k 32-bit counters, SMB r and v, the
+    // adaptive bitmap its MRB tracker counters).
+    EXPECT_LE(estimator->MemoryBits(), 10800u) << EstimatorKindName(kind);
+    EXPECT_GE(estimator->MemoryBits(), 5000u) << EstimatorKindName(kind);
+  }
+}
+
+TEST(FactoryTest, NameRoundTrip) {
+  for (EstimatorKind kind : AllEstimatorKinds()) {
+    const auto name = EstimatorKindName(kind);
+    const auto back = EstimatorKindFromName(name);
+    ASSERT_TRUE(back.has_value()) << name;
+    EXPECT_EQ(*back, kind);
+  }
+  EXPECT_FALSE(EstimatorKindFromName("NoSuchAlgorithm").has_value());
+}
+
+TEST(FactoryTest, PaperComparisonSetOrder) {
+  const auto set = PaperComparisonSet();
+  ASSERT_EQ(set.size(), 5u);
+  EXPECT_EQ(EstimatorKindName(set[0]), "MRB");
+  EXPECT_EQ(EstimatorKindName(set[1]), "FM");
+  EXPECT_EQ(EstimatorKindName(set[2]), "HLL++");
+  EXPECT_EQ(EstimatorKindName(set[3]), "HLL-TailC");
+  EXPECT_EQ(EstimatorKindName(set[4]), "SMB");
+}
+
+TEST(FactoryTest, SeedIsPropagated) {
+  EstimatorSpec spec;
+  spec.kind = EstimatorKind::kSmb;
+  spec.hash_seed = 12345;
+  auto estimator = CreateEstimator(spec);
+  EXPECT_EQ(estimator->hash_seed(), 12345u);
+}
+
+TEST(FactoryTest, SmallMemoryStillWorks) {
+  for (EstimatorKind kind : AllEstimatorKinds()) {
+    EstimatorSpec spec;
+    spec.kind = kind;
+    spec.memory_bits = 1000;
+    spec.design_cardinality = 100000;
+    auto estimator = CreateEstimator(spec);
+    for (uint64_t i = 0; i < 500; ++i) estimator->Add(i);
+    EXPECT_GT(estimator->Estimate(), 0.0) << EstimatorKindName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace smb

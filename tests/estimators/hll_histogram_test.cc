@@ -1,0 +1,68 @@
+#include "estimators/hll_histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "estimators/hyperloglog_pp.h"
+
+namespace smb {
+namespace {
+
+TEST(HllHistogramTest, EstimatesIdenticalToHllpp) {
+  // Same seed, same stream: the histogram variant must produce bit-equal
+  // estimates at every checkpoint (its math is HLL++'s, only the scan is
+  // replaced).
+  HllHistogram hist(2000, 7);
+  HyperLogLogPP reference(2000, 7);
+  Xoshiro256 rng(5);
+  for (int checkpoint = 0; checkpoint < 8; ++checkpoint) {
+    for (int i = 0; i < 25000; ++i) {
+      const uint64_t item = rng.Next();
+      hist.Add(item);
+      reference.Add(item);
+    }
+    ASSERT_DOUBLE_EQ(hist.Estimate(), reference.Estimate())
+        << "checkpoint " << checkpoint;
+  }
+}
+
+TEST(HllHistogramTest, HistogramSumsToRegisterCount) {
+  HllHistogram hist(512, 3);
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 100000; ++i) hist.Add(rng.Next());
+  uint64_t total = 0;
+  for (size_t v = 0; v < 32; ++v) total += hist.histogram(v);
+  EXPECT_EQ(total, 512u);
+}
+
+TEST(HllHistogramTest, EmptyEstimatesZero) {
+  HllHistogram hist(1024);
+  EXPECT_EQ(hist.Estimate(), 0.0);
+  EXPECT_EQ(hist.histogram(0), 1024u);
+}
+
+TEST(HllHistogramTest, DuplicatesIgnored) {
+  HllHistogram hist(128, 1);
+  for (int round = 0; round < 4; ++round) {
+    for (uint64_t i = 0; i < 500; ++i) hist.Add(i);
+  }
+  HllHistogram once(128, 1);
+  for (uint64_t i = 0; i < 500; ++i) once.Add(i);
+  EXPECT_DOUBLE_EQ(hist.Estimate(), once.Estimate());
+}
+
+TEST(HllHistogramTest, Reset) {
+  HllHistogram hist(256, 2);
+  for (uint64_t i = 0; i < 10000; ++i) hist.Add(i);
+  hist.Reset();
+  EXPECT_EQ(hist.Estimate(), 0.0);
+  EXPECT_EQ(hist.histogram(0), 256u);
+}
+
+TEST(HllHistogramTest, MemoryAccountsHistogram) {
+  EXPECT_EQ(HllHistogram::ForMemoryBits(10000).MemoryBits(),
+            2000u * 5u + 32u * 32u);
+}
+
+}  // namespace
+}  // namespace smb

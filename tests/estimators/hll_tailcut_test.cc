@@ -1,0 +1,108 @@
+#include "estimators/hll_tailcut.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "estimators/hyperloglog.h"
+
+namespace smb {
+namespace {
+
+TEST(TailCutTest, EmptyEstimatesZero) {
+  HllTailCut tc(512);
+  EXPECT_EQ(tc.Estimate(), 0.0);
+  EXPECT_EQ(tc.base(), 0u);
+}
+
+TEST(TailCutTest, BaseRisesForLargeStreams) {
+  HllTailCut tc(256, 3);
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 2000000; ++i) tc.Add(rng.Next());
+  // With n/t ~ 8000, min register value is >> 0: the base must have moved.
+  EXPECT_GT(tc.base(), 0u);
+}
+
+TEST(TailCutTest, RecoveredRegistersMatchPlainHllMostly) {
+  // Same seed, same stream: recovered Y_i should equal plain 5-bit HLL
+  // registers except for the rare tail-cut saturations.
+  HllTailCut tc(512, 7);
+  HyperLogLog hll(512, 7);
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 300000; ++i) {
+    const uint64_t item = rng.Next();
+    tc.Add(item);
+    hll.Add(item);
+  }
+  size_t mismatches = 0;
+  for (size_t i = 0; i < 512; ++i) {
+    if (tc.RecoveredRegister(i) != hll.register_value(i)) ++mismatches;
+  }
+  // Offsets span [0,15] around the base; with n/t ~ 600 the register spread
+  // fits in the window almost always.
+  EXPECT_LT(mismatches, 512u / 20);
+}
+
+TEST(TailCutTest, AccuracyComparableToHll) {
+  RunningStats rel;
+  for (uint64_t seed = 0; seed < 12; ++seed) {
+    HllTailCut tc(1250, seed);  // m = 5000 budget
+    for (uint64_t i = 0; i < 100000; ++i) {
+      tc.Add(i * 0x9E3779B97F4A7C15ULL + seed * 31);
+    }
+    rel.Add((tc.Estimate() - 100000.0) / 100000.0);
+  }
+  EXPECT_LT(std::fabs(rel.mean()), 0.04);
+  EXPECT_LT(rel.stddev(), 0.07);
+}
+
+TEST(TailCutTest, SmallRangeLinearCounting) {
+  HllTailCut tc(1024, 1);
+  for (uint64_t i = 0; i < 100; ++i) tc.Add(i);
+  EXPECT_NEAR(tc.Estimate(), 100.0, 15.0);
+}
+
+TEST(TailCutTest, DuplicatesIgnored) {
+  HllTailCut tc(64, 1);
+  for (uint64_t i = 0; i < 50; ++i) tc.Add(i);
+  const double first = tc.Estimate();
+  const uint32_t base = tc.base();
+  for (int round = 0; round < 5; ++round) {
+    for (uint64_t i = 0; i < 50; ++i) tc.Add(i);
+  }
+  EXPECT_EQ(tc.Estimate(), first);
+  EXPECT_EQ(tc.base(), base);
+}
+
+TEST(TailCutTest, Reset) {
+  HllTailCut tc(128, 2);
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 100000; ++i) tc.Add(rng.Next());
+  tc.Reset();
+  EXPECT_EQ(tc.base(), 0u);
+  EXPECT_EQ(tc.Estimate(), 0.0);
+  // Records correctly after reset.
+  for (uint64_t i = 0; i < 200; ++i) tc.Add(i);
+  EXPECT_NEAR(tc.Estimate(), 200.0, 40.0);
+}
+
+TEST(TailCutTest, MemoryBitsIncludesBase) {
+  EXPECT_EQ(HllTailCut::ForMemoryBits(10000).MemoryBits(), 2500u * 4u + 8u);
+}
+
+TEST(TailCutTest, MonotoneEstimates) {
+  HllTailCut tc(256, 13);
+  Xoshiro256 rng(17);
+  double last = 0.0;
+  for (int step = 0; step < 20; ++step) {
+    for (int i = 0; i < 20000; ++i) tc.Add(rng.Next());
+    const double est = tc.Estimate();
+    EXPECT_GE(est, last * 0.999);  // allow tiny LC/raw crossover wiggle
+    last = est;
+  }
+}
+
+}  // namespace
+}  // namespace smb

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "estimators/hyperloglog_pp.h"
+
+namespace smb {
+namespace {
+
+HyperLogLogPP MakeLoaded(uint64_t seed, size_t items) {
+  HyperLogLogPP hll(2000, seed);
+  Xoshiro256 rng(seed + 1);
+  for (size_t i = 0; i < items; ++i) hll.Add(rng.Next());
+  return hll;
+}
+
+TEST(HllppSerializationTest, RoundTrip) {
+  const HyperLogLogPP original = MakeLoaded(5, 50000);
+  const auto bytes = original.Serialize();
+  auto restored = HyperLogLogPP::Deserialize(bytes);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->num_registers(), original.num_registers());
+  EXPECT_EQ(restored->hash_seed(), original.hash_seed());
+  EXPECT_EQ(restored->ZeroRegisters(), original.ZeroRegisters());
+  EXPECT_DOUBLE_EQ(restored->Estimate(), original.Estimate());
+}
+
+TEST(HllppSerializationTest, RestoredSketchKeepsRecording) {
+  HyperLogLogPP original = MakeLoaded(7, 10000);
+  auto restored = HyperLogLogPP::Deserialize(original.Serialize());
+  ASSERT_TRUE(restored.has_value());
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t item = rng.Next();
+    original.Add(item);
+    restored->Add(item);
+  }
+  EXPECT_DOUBLE_EQ(original.Estimate(), restored->Estimate());
+}
+
+TEST(HllppSerializationTest, RestoredSketchesMerge) {
+  // The distributed workflow: serialize shards, restore, merge.
+  HyperLogLogPP shard_a(1024, 3), shard_b(1024, 3);
+  for (uint64_t i = 0; i < 20000; ++i) shard_a.Add(i);
+  for (uint64_t i = 10000; i < 30000; ++i) shard_b.Add(i);
+  auto a = HyperLogLogPP::Deserialize(shard_a.Serialize());
+  auto b = HyperLogLogPP::Deserialize(shard_b.Serialize());
+  ASSERT_TRUE(a.has_value() && b.has_value());
+  a->MergeFrom(*b);
+  EXPECT_NEAR(a->Estimate(), 30000.0, 30000.0 * 0.10);
+}
+
+TEST(HllppSerializationTest, RejectsMalformedInput) {
+  const auto bytes = MakeLoaded(1, 1000).Serialize();
+  EXPECT_FALSE(HyperLogLogPP::Deserialize({}).has_value());
+  auto bad_magic = bytes;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(HyperLogLogPP::Deserialize(bad_magic).has_value());
+  auto truncated = bytes;
+  truncated.resize(truncated.size() - 5);
+  EXPECT_FALSE(HyperLogLogPP::Deserialize(truncated).has_value());
+  auto bad_register = bytes;
+  bad_register.back() = 99;  // register value > 31
+  EXPECT_FALSE(HyperLogLogPP::Deserialize(bad_register).has_value());
+}
+
+TEST(HllppSerializationTest, EmptySketchRoundTrips) {
+  HyperLogLogPP empty(512, 9);
+  auto restored = HyperLogLogPP::Deserialize(empty.Serialize());
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->Estimate(), 0.0);
+  EXPECT_EQ(restored->ZeroRegisters(), 512u);
+}
+
+}  // namespace
+}  // namespace smb

@@ -1,0 +1,69 @@
+#include "estimators/k_min_values.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "common/stats.h"
+
+namespace smb {
+namespace {
+
+TEST(KmvTest, ExactBelowK) {
+  KMinValues kmv(100);
+  for (uint64_t i = 0; i < 50; ++i) kmv.Add(i);
+  EXPECT_DOUBLE_EQ(kmv.Estimate(), 50.0);
+  EXPECT_EQ(kmv.stored(), 50u);
+}
+
+TEST(KmvTest, ExactBelowKWithDuplicates) {
+  KMinValues kmv(100);
+  for (int round = 0; round < 4; ++round) {
+    for (uint64_t i = 0; i < 30; ++i) kmv.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(kmv.Estimate(), 30.0);
+}
+
+TEST(KmvTest, StoresExactlyKOnceSaturated) {
+  KMinValues kmv(64);
+  for (uint64_t i = 0; i < 10000; ++i) kmv.Add(i);
+  EXPECT_EQ(kmv.stored(), 64u);
+}
+
+TEST(KmvTest, AccuracyAboveK) {
+  RunningStats rel;
+  for (uint64_t seed = 0; seed < 15; ++seed) {
+    KMinValues kmv(256, seed);
+    for (uint64_t i = 0; i < 50000; ++i) kmv.Add(i * 13 + seed);
+    rel.Add((kmv.Estimate() - 50000.0) / 50000.0);
+  }
+  // SE ~ 1/sqrt(k) ~ 6.2%.
+  EXPECT_LT(std::fabs(rel.mean()), 0.05);
+  EXPECT_LT(rel.stddev(), 0.12);
+}
+
+TEST(KmvTest, DuplicatesDoNotPerturbTheSketch) {
+  KMinValues a(32, 1), b(32, 1);
+  for (uint64_t i = 0; i < 1000; ++i) a.Add(i);
+  for (int round = 0; round < 3; ++round) {
+    for (uint64_t i = 0; i < 1000; ++i) b.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(a.Estimate(), b.Estimate());
+}
+
+TEST(KmvTest, Reset) {
+  KMinValues kmv(32);
+  for (uint64_t i = 0; i < 1000; ++i) kmv.Add(i);
+  kmv.Reset();
+  EXPECT_EQ(kmv.stored(), 0u);
+  EXPECT_DOUBLE_EQ(kmv.Estimate(), 0.0);
+}
+
+TEST(KmvTest, MemoryBits) {
+  EXPECT_EQ(KMinValues(100).MemoryBits(), 6400u);
+  EXPECT_EQ(KMinValues::ForMemoryBits(10000).MemoryBits(), 156u * 64u);
+}
+
+}  // namespace
+}  // namespace smb

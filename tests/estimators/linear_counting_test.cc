@@ -1,0 +1,83 @@
+#include "estimators/linear_counting.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "common/stats.h"
+
+namespace smb {
+namespace {
+
+TEST(LinearCountingTest, EmptyEstimatesZero) {
+  LinearCounting lc(1000);
+  EXPECT_EQ(lc.Estimate(), 0.0);
+  EXPECT_EQ(lc.ones(), 0u);
+}
+
+TEST(LinearCountingTest, SingleItem) {
+  LinearCounting lc(1000);
+  lc.Add(42);
+  EXPECT_EQ(lc.ones(), 1u);
+  // -m*ln(1 - 1/m) ~= 1.
+  EXPECT_NEAR(lc.Estimate(), 1.0, 0.01);
+}
+
+TEST(LinearCountingTest, DuplicatesIgnored) {
+  LinearCounting lc(1000);
+  for (int i = 0; i < 100; ++i) lc.Add(42);
+  EXPECT_EQ(lc.ones(), 1u);
+}
+
+TEST(LinearCountingTest, EstimateFormulaMatchesPaperEq1) {
+  LinearCounting lc(500, 3);
+  for (uint64_t i = 0; i < 200; ++i) lc.Add(i);
+  const double u = static_cast<double>(lc.ones());
+  EXPECT_NEAR(lc.Estimate(), -500.0 * std::log(1.0 - u / 500.0), 1e-9);
+}
+
+TEST(LinearCountingTest, AccurateWithinRange) {
+  RunningStats rel;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    LinearCounting lc(10000, seed);
+    for (uint64_t i = 0; i < 5000; ++i) lc.Add(i * 977 + seed);
+    rel.Add((lc.Estimate() - 5000.0) / 5000.0);
+  }
+  EXPECT_LT(std::fabs(rel.mean()), 0.02);
+  EXPECT_LT(rel.stddev(), 0.03);
+}
+
+TEST(LinearCountingTest, SaturationClampsToMaxEstimate) {
+  LinearCounting lc(256, 1);
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 100000; ++i) lc.Add(rng.Next());
+  EXPECT_TRUE(lc.saturated());
+  EXPECT_TRUE(std::isfinite(lc.Estimate()));
+  EXPECT_NEAR(lc.Estimate(), lc.MaxEstimate(),
+              lc.MaxEstimate());  // same order as m*ln(m)
+}
+
+TEST(LinearCountingTest, LimitedRangeUnderestimatesLargeStreams) {
+  // The paper's motivation for MRB/SMB: beyond ~m*ln(m) a plain bitmap
+  // cannot represent the cardinality.
+  LinearCounting lc(1000, 7);
+  for (uint64_t i = 0; i < 100000; ++i) lc.Add(i);
+  EXPECT_LT(lc.Estimate(), 10000.0);  // true cardinality is 100k
+}
+
+TEST(LinearCountingTest, Reset) {
+  LinearCounting lc(100);
+  for (uint64_t i = 0; i < 50; ++i) lc.Add(i);
+  lc.Reset();
+  EXPECT_EQ(lc.ones(), 0u);
+  EXPECT_EQ(lc.Estimate(), 0.0);
+}
+
+TEST(LinearCountingTest, MemoryBits) {
+  LinearCounting lc(12345);
+  EXPECT_EQ(lc.MemoryBits(), 12345u + 32u);
+}
+
+}  // namespace
+}  // namespace smb

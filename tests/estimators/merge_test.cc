@@ -1,0 +1,174 @@
+// Union-merge semantics across the mergeable estimators: merging sketches
+// of two streams must estimate the cardinality of their union — the
+// primitive behind distributed aggregation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "estimators/fm_pcsa.h"
+#include "estimators/hll_tailcut.h"
+#include "estimators/hyperloglog.h"
+#include "estimators/hyperloglog_pp.h"
+#include "estimators/k_min_values.h"
+#include "estimators/linear_counting.h"
+#include "estimators/loglog.h"
+#include "estimators/multiresolution_bitmap.h"
+#include "estimators/superloglog.h"
+#include "stream/stream_generator.h"
+
+namespace smb {
+namespace {
+
+// Splits a 30k-item universe into two overlapping halves (10k shared), so
+// union cardinality (30k) != sum of parts (2 x 20k).
+struct SplitStreams {
+  std::vector<uint64_t> all = GenerateDistinctItems(30000, 77);
+  std::vector<uint64_t> left{all.begin(), all.begin() + 20000};
+  std::vector<uint64_t> right{all.begin() + 10000, all.end()};
+};
+
+template <typename E>
+void ExpectUnionMerge(E a, E b, double tolerance) {
+  const SplitStreams split;
+  for (uint64_t item : split.left) a.Add(item);
+  for (uint64_t item : split.right) b.Add(item);
+  a.MergeFrom(b);
+  EXPECT_NEAR(a.Estimate(), 30000.0, 30000.0 * tolerance);
+}
+
+// Merging must be exactly equivalent to having recorded both streams into
+// one sketch (lossless merge property).
+template <typename E>
+void ExpectMergeEqualsCombined(E a, E b, E combined) {
+  const SplitStreams split;
+  for (uint64_t item : split.left) {
+    a.Add(item);
+    combined.Add(item);
+  }
+  for (uint64_t item : split.right) {
+    b.Add(item);
+    combined.Add(item);
+  }
+  a.MergeFrom(b);
+  EXPECT_DOUBLE_EQ(a.Estimate(), combined.Estimate());
+}
+
+TEST(MergeTest, LinearCountingLossless) {
+  ExpectMergeEqualsCombined(LinearCounting(60000, 3),
+                            LinearCounting(60000, 3),
+                            LinearCounting(60000, 3));
+  ExpectUnionMerge(LinearCounting(60000, 3), LinearCounting(60000, 3),
+                   0.05);
+}
+
+TEST(MergeTest, FmLossless) {
+  ExpectMergeEqualsCombined(FmPcsa(312, 5), FmPcsa(312, 5), FmPcsa(312, 5));
+  ExpectUnionMerge(FmPcsa(312, 5), FmPcsa(312, 5), 0.15);
+}
+
+TEST(MergeTest, LogLogLossless) {
+  ExpectMergeEqualsCombined(LogLog(1024, 7), LogLog(1024, 7),
+                            LogLog(1024, 7));
+}
+
+TEST(MergeTest, SuperLogLogLossless) {
+  ExpectMergeEqualsCombined(SuperLogLog(1024, 7), SuperLogLog(1024, 7),
+                            SuperLogLog(1024, 7));
+  ExpectUnionMerge(SuperLogLog(1024, 7), SuperLogLog(1024, 7), 0.10);
+}
+
+TEST(MergeTest, HllLossless) {
+  ExpectMergeEqualsCombined(HyperLogLog(1024, 9), HyperLogLog(1024, 9),
+                            HyperLogLog(1024, 9));
+  ExpectUnionMerge(HyperLogLog(1024, 9), HyperLogLog(1024, 9), 0.10);
+}
+
+TEST(MergeTest, HllppLossless) {
+  ExpectMergeEqualsCombined(HyperLogLogPP(1024, 9), HyperLogLogPP(1024, 9),
+                            HyperLogLogPP(1024, 9));
+  ExpectUnionMerge(HyperLogLogPP(1024, 9), HyperLogLogPP(1024, 9), 0.10);
+}
+
+TEST(MergeTest, KmvLossless) {
+  ExpectMergeEqualsCombined(KMinValues(256, 11), KMinValues(256, 11),
+                            KMinValues(256, 11));
+  ExpectUnionMerge(KMinValues(256, 11), KMinValues(256, 11), 0.20);
+}
+
+TEST(MergeTest, MrbLossless) {
+  const auto config = MultiResolutionBitmap::Recommend(10000, 1000000, 13);
+  ExpectMergeEqualsCombined(MultiResolutionBitmap(config),
+                            MultiResolutionBitmap(config),
+                            MultiResolutionBitmap(config));
+  ExpectUnionMerge(MultiResolutionBitmap(config),
+                   MultiResolutionBitmap(config), 0.10);
+}
+
+TEST(MergeTest, TailCutMergeIsAccurate) {
+  // TailCut's merge is near-lossless (saturation only); assert accuracy
+  // rather than bit equality.
+  ExpectUnionMerge(HllTailCut(1250, 15), HllTailCut(1250, 15), 0.10);
+}
+
+TEST(MergeTest, TailCutMergeRebasesCorrectly) {
+  // Streams of very different sizes give the operands different bases;
+  // the merged sketch must recover max registers across both.
+  HllTailCut small(256, 1), large(256, 1);
+  for (uint64_t i = 0; i < 100; ++i) small.Add(i);
+  for (uint64_t i = 0; i < 500000; ++i) large.Add(i + 50);
+  const double large_alone = large.Estimate();
+  small.MergeFrom(large);
+  // Union is dominated by the large stream.
+  EXPECT_NEAR(small.Estimate(), large_alone, large_alone * 0.05);
+  EXPECT_GE(small.base(), 1u);
+}
+
+TEST(MergeTest, CanMergeWithRejectsMismatches) {
+  EXPECT_FALSE(LinearCounting(100, 1).CanMergeWith(LinearCounting(200, 1)));
+  EXPECT_FALSE(LinearCounting(100, 1).CanMergeWith(LinearCounting(100, 2)));
+  EXPECT_TRUE(LinearCounting(100, 1).CanMergeWith(LinearCounting(100, 1)));
+  EXPECT_FALSE(HyperLogLog(64, 1).CanMergeWith(HyperLogLog(128, 1)));
+  EXPECT_FALSE(KMinValues(16, 1).CanMergeWith(KMinValues(32, 1)));
+}
+
+TEST(MergeTest, MergeWithEmptyIsIdentity) {
+  HyperLogLogPP loaded(512, 3), empty(512, 3);
+  for (uint64_t i = 0; i < 5000; ++i) loaded.Add(i);
+  const double before = loaded.Estimate();
+  loaded.MergeFrom(empty);
+  EXPECT_DOUBLE_EQ(loaded.Estimate(), before);
+}
+
+TEST(MergeTest, SelfMergeIsIdempotent) {
+  LinearCounting a(10000, 5), b(10000, 5);
+  for (uint64_t i = 0; i < 3000; ++i) {
+    a.Add(i);
+    b.Add(i);
+  }
+  const double before = a.Estimate();
+  a.MergeFrom(b);  // identical content
+  EXPECT_DOUBLE_EQ(a.Estimate(), before);
+}
+
+TEST(MergeTest, ManyWayMerge) {
+  // 8 shards of 5000 disjoint items each -> union 40000.
+  HyperLogLog total(2000, 21);
+  bool first = true;
+  for (int shard = 0; shard < 8; ++shard) {
+    HyperLogLog partial(2000, 21);
+    for (uint64_t i = 0; i < 5000; ++i) {
+      partial.Add(static_cast<uint64_t>(shard) * 5000 + i);
+    }
+    if (first) {
+      total.MergeFrom(partial);
+      first = false;
+    } else {
+      total.MergeFrom(partial);
+    }
+  }
+  EXPECT_NEAR(total.Estimate(), 40000.0, 40000.0 * 0.10);
+}
+
+}  // namespace
+}  // namespace smb

@@ -1,0 +1,132 @@
+#include "estimators/multiresolution_bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "common/stats.h"
+
+namespace smb {
+namespace {
+
+MultiResolutionBitmap::Config SmallConfig(uint64_t seed = 0) {
+  MultiResolutionBitmap::Config config;
+  config.num_components = 11;
+  config.component_bits = 909;
+  config.hash_seed = seed;
+  return config;
+}
+
+TEST(MrbTest, EmptyEstimatesZero) {
+  MultiResolutionBitmap mrb(SmallConfig());
+  EXPECT_EQ(mrb.Estimate(), 0.0);
+  EXPECT_EQ(mrb.EstimationBase(), 0u);
+}
+
+TEST(MrbTest, RecommendMatchesPaperTable3) {
+  // Published grid entries (paper Table III).
+  struct Expect {
+    size_t m;
+    uint64_t n;
+    size_t b;
+    size_t k;
+  };
+  const Expect cases[] = {
+      {10000, 1000000, 909, 11}, {10000, 600000, 1000, 10},
+      {10000, 300000, 1111, 9},  {10000, 100000, 1428, 7},
+      {2500, 1000000, 178, 14},  {1000, 1000000, 66, 15},
+  };
+  for (const auto& c : cases) {
+    const auto config = MultiResolutionBitmap::Recommend(c.m, c.n);
+    EXPECT_EQ(config.component_bits, c.b) << "m=" << c.m << " n=" << c.n;
+    EXPECT_EQ(config.num_components, c.k) << "m=" << c.m << " n=" << c.n;
+  }
+}
+
+TEST(MrbTest, RecommendGenericRuleCoversRange) {
+  // Off-grid memory: the generic rule must still cover the cardinality.
+  const auto config = MultiResolutionBitmap::Recommend(8000, 500000);
+  MultiResolutionBitmap mrb(config);
+  EXPECT_GE(mrb.MaxEstimate(), 500000.0);
+  EXPECT_LE(config.num_components * config.component_bits, 8000u);
+}
+
+TEST(MrbTest, DuplicatesIgnored) {
+  MultiResolutionBitmap mrb(SmallConfig());
+  for (int i = 0; i < 1000; ++i) mrb.Add(7);
+  size_t total_ones = 0;
+  for (size_t i = 0; i < mrb.num_components(); ++i) {
+    total_ones += mrb.component_ones(i);
+  }
+  EXPECT_EQ(total_ones, 1u);
+}
+
+TEST(MrbTest, OnesCountersTrackComponents) {
+  MultiResolutionBitmap mrb(SmallConfig(3));
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10000; ++i) mrb.Add(rng.Next());
+  // Level occupancy follows the geometric split: component 0 holds ~ half
+  // the distinct items, component 1 a quarter, etc.
+  EXPECT_GT(mrb.component_ones(0), mrb.component_ones(2));
+  size_t total = 0;
+  for (size_t i = 0; i < mrb.num_components(); ++i) {
+    total += mrb.component_ones(i);
+  }
+  EXPECT_GT(total, 0u);
+  EXPECT_LE(total, 10000u);
+}
+
+TEST(MrbTest, BaseAdvancesForLargeStreams) {
+  MultiResolutionBitmap mrb(SmallConfig(1));
+  Xoshiro256 rng(9);
+  for (int i = 0; i < 500000; ++i) mrb.Add(rng.Next());
+  EXPECT_GT(mrb.EstimationBase(), 0u);
+}
+
+TEST(MrbTest, AccuracySmallStream) {
+  RunningStats rel;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    MultiResolutionBitmap mrb(SmallConfig(seed));
+    for (uint64_t i = 0; i < 1000; ++i) mrb.Add(i * 31 + seed * 7919);
+    rel.Add((mrb.Estimate() - 1000.0) / 1000.0);
+  }
+  EXPECT_LT(std::fabs(rel.mean()), 0.05);
+}
+
+TEST(MrbTest, AccuracyLargeStream) {
+  RunningStats rel;
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    MultiResolutionBitmap mrb(SmallConfig(seed));
+    for (uint64_t i = 0; i < 500000; ++i) {
+      mrb.Add(i * 0x9E3779B97F4A7C15ULL + seed);
+    }
+    rel.Add((mrb.Estimate() - 500000.0) / 500000.0);
+  }
+  EXPECT_LT(std::fabs(rel.mean()), 0.08);
+  EXPECT_LT(rel.stddev(), 0.10);
+}
+
+TEST(MrbTest, Reset) {
+  MultiResolutionBitmap mrb(SmallConfig());
+  for (uint64_t i = 0; i < 1000; ++i) mrb.Add(i);
+  mrb.Reset();
+  EXPECT_EQ(mrb.Estimate(), 0.0);
+  for (size_t i = 0; i < mrb.num_components(); ++i) {
+    EXPECT_EQ(mrb.component_ones(i), 0u);
+  }
+}
+
+TEST(MrbTest, MemoryBitsCountsCounters) {
+  MultiResolutionBitmap mrb(SmallConfig());
+  EXPECT_EQ(mrb.MemoryBits(), 11u * 909u + 11u * 32u);
+}
+
+TEST(MrbTest, MaxEstimateFormula) {
+  MultiResolutionBitmap mrb(SmallConfig());
+  EXPECT_NEAR(mrb.MaxEstimate(), std::ldexp(909.0 * std::log(909.0), 10),
+              1e-6);
+}
+
+}  // namespace
+}  // namespace smb

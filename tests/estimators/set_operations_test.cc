@@ -1,0 +1,112 @@
+#include "estimators/set_operations.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "estimators/hyperloglog_pp.h"
+#include "estimators/linear_counting.h"
+#include "stream/stream_generator.h"
+
+namespace smb {
+namespace {
+
+// 30k universe: A = first 20k, B = last 20k, overlap 10k.
+struct Overlapping {
+  std::vector<uint64_t> all = GenerateDistinctItems(30000, 9);
+};
+
+TEST(SetOperationsTest, UnionViaHllpp) {
+  Overlapping data;
+  HyperLogLogPP a(2000, 4), b(2000, 4);
+  for (size_t i = 0; i < 20000; ++i) a.Add(data.all[i]);
+  for (size_t i = 10000; i < 30000; ++i) b.Add(data.all[i]);
+  const double u = EstimateUnion(a, b, [] {
+    return HyperLogLogPP(2000, 4);
+  });
+  EXPECT_NEAR(u, 30000.0, 30000.0 * 0.08);
+}
+
+TEST(SetOperationsTest, IntersectionViaInclusionExclusion) {
+  Overlapping data;
+  LinearCounting a(60000, 5), b(60000, 5);
+  for (size_t i = 0; i < 20000; ++i) a.Add(data.all[i]);
+  for (size_t i = 10000; i < 30000; ++i) b.Add(data.all[i]);
+  const double inter = EstimateIntersection(a, b, [] {
+    return LinearCounting(60000, 5);
+  });
+  EXPECT_NEAR(inter, 10000.0, 10000.0 * 0.15);
+}
+
+TEST(SetOperationsTest, JaccardViaInclusionExclusion) {
+  Overlapping data;
+  LinearCounting a(60000, 5), b(60000, 5);
+  for (size_t i = 0; i < 20000; ++i) a.Add(data.all[i]);
+  for (size_t i = 10000; i < 30000; ++i) b.Add(data.all[i]);
+  // True Jaccard: 10000 / 30000 = 1/3.
+  const double j = EstimateJaccard(a, b, [] {
+    return LinearCounting(60000, 5);
+  });
+  EXPECT_NEAR(j, 1.0 / 3.0, 0.06);
+}
+
+TEST(SetOperationsTest, DisjointSetsIntersectNearZero) {
+  HyperLogLogPP a(2000, 7), b(2000, 7);
+  for (uint64_t i = 0; i < 10000; ++i) a.Add(i);
+  for (uint64_t i = 100000; i < 110000; ++i) b.Add(i);
+  const double inter = EstimateIntersection(a, b, [] {
+    return HyperLogLogPP(2000, 7);
+  });
+  // Sketch noise allows a small positive residue.
+  EXPECT_LT(inter, 1500.0);
+}
+
+TEST(SetOperationsTest, IdenticalSetsJaccardOne) {
+  HyperLogLogPP a(2000, 7), b(2000, 7);
+  for (uint64_t i = 0; i < 20000; ++i) {
+    a.Add(i);
+    b.Add(i);
+  }
+  const double j = EstimateJaccard(a, b, [] {
+    return HyperLogLogPP(2000, 7);
+  });
+  EXPECT_NEAR(j, 1.0, 0.02);
+}
+
+TEST(KmvJaccardTest, MatchesTrueSimilarity) {
+  Overlapping data;
+  KMinValues a(512, 3), b(512, 3);
+  for (size_t i = 0; i < 20000; ++i) a.Add(data.all[i]);
+  for (size_t i = 10000; i < 30000; ++i) b.Add(data.all[i]);
+  // True Jaccard 1/3; KMV SE ~ sqrt(J(1-J)/k) ~ 2%.
+  EXPECT_NEAR(KmvJaccard(a, b), 1.0 / 3.0, 0.08);
+}
+
+TEST(KmvJaccardTest, DisjointAndIdenticalExtremes) {
+  KMinValues a(256, 3), b(256, 3), c(256, 3);
+  for (uint64_t i = 0; i < 5000; ++i) {
+    a.Add(i);
+    c.Add(i);
+  }
+  for (uint64_t i = 50000; i < 55000; ++i) b.Add(i);
+  EXPECT_EQ(KmvJaccard(a, b), 0.0);
+  EXPECT_EQ(KmvJaccard(a, c), 1.0);
+}
+
+TEST(KmvJaccardTest, EmptySketches) {
+  KMinValues a(64, 1), b(64, 1);
+  EXPECT_EQ(KmvJaccard(a, b), 0.0);
+}
+
+TEST(KmvJaccardTest, BelowKIsExact) {
+  // Fewer than k distinct values: the sketches hold the full sets and the
+  // estimate is the exact Jaccard.
+  KMinValues a(1024, 5), b(1024, 5);
+  for (uint64_t i = 0; i < 100; ++i) a.Add(i);
+  for (uint64_t i = 50; i < 150; ++i) b.Add(i);
+  // |A ∩ B| = 50, |A ∪ B| = 150.
+  EXPECT_NEAR(KmvJaccard(a, b), 50.0 / 150.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace smb

@@ -1,0 +1,26 @@
+#include "hash/fnv.h"
+
+#include <gtest/gtest.h>
+
+namespace smb {
+namespace {
+
+TEST(FnvTest, KnownVectors) {
+  // Published FNV-1a 64-bit reference vectors (seed 0 keeps the standard
+  // offset basis).
+  EXPECT_EQ(Fnv1a64("", 0), 0xCBF29CE484222325ULL);
+  EXPECT_EQ(Fnv1a64("a", 0), 0xAF63DC4C8601EC8CULL);
+  EXPECT_EQ(Fnv1a64("foobar", 0), 0x85944171F73967E8ULL);
+}
+
+TEST(FnvTest, SeedPerturbsOutput) {
+  EXPECT_NE(Fnv1a64("hello", 0), Fnv1a64("hello", 1));
+}
+
+TEST(FnvTest, Deterministic) {
+  EXPECT_EQ(Fnv1a64_U64(12345, 6), Fnv1a64_U64(12345, 6));
+  EXPECT_NE(Fnv1a64_U64(12345, 6), Fnv1a64_U64(12346, 6));
+}
+
+}  // namespace
+}  // namespace smb

@@ -1,0 +1,62 @@
+#include "hash/geometric.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "hash/murmur3.h"
+
+namespace smb {
+namespace {
+
+TEST(GeometricTest, KnownRanks) {
+  EXPECT_EQ(GeometricRank(0b1), 0);
+  EXPECT_EQ(GeometricRank(0b10), 1);
+  EXPECT_EQ(GeometricRank(0b1000), 3);
+  EXPECT_EQ(GeometricRank(uint64_t{1} << 63), 63);
+  // All-zero hash clamps to the maximum rank.
+  EXPECT_EQ(GeometricRank(0), kMaxGeometricRank);
+}
+
+TEST(GeometricTest, CappedVariant) {
+  EXPECT_EQ(GeometricRankCapped(0b1000, 2), 2);
+  EXPECT_EQ(GeometricRankCapped(0b1000, 3), 3);
+  EXPECT_EQ(GeometricRankCapped(0b1000, 10), 3);
+  EXPECT_EQ(GeometricRankCapped(0, 5), 5);
+}
+
+// Definition 1: Pr[G(x) = i] = 2^-(i+1), hence Pr[G(x) >= i] = 2^-i
+// (Lemma 1's sampling property). Verified on real hash output.
+TEST(GeometricTest, DistributionMatchesDefinition1) {
+  constexpr int kSamples = 1 << 20;
+  int counts[16] = {};
+  for (uint64_t i = 0; i < kSamples; ++i) {
+    const int r = GeometricRank(Murmur3_128_U64(i, 17).hi);
+    if (r < 16) ++counts[r];
+  }
+  for (int i = 0; i < 12; ++i) {
+    const double expected = kSamples * std::exp2(-(i + 1));
+    // 5-sigma binomial tolerance.
+    const double sigma = std::sqrt(expected);
+    EXPECT_NEAR(counts[i], expected, 5 * sigma + 1) << "rank " << i;
+  }
+}
+
+TEST(GeometricTest, TailProbabilityIsTwoToMinusI) {
+  constexpr int kSamples = 1 << 20;
+  int at_least[16] = {};
+  for (uint64_t i = 0; i < kSamples; ++i) {
+    const int r = GeometricRank(Murmur3_128_U64(i, 23).hi);
+    for (int j = 0; j < 16 && j <= r; ++j) ++at_least[j];
+  }
+  EXPECT_EQ(at_least[0], kSamples);  // every item passes round 0
+  for (int i = 1; i < 12; ++i) {
+    const double expected = kSamples * std::exp2(-i);
+    const double sigma = std::sqrt(expected);
+    EXPECT_NEAR(at_least[i], expected, 5 * sigma + 1) << "i=" << i;
+  }
+}
+
+}  // namespace
+}  // namespace smb

@@ -1,0 +1,62 @@
+#include "hash/tabulation_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+
+namespace smb {
+namespace {
+
+TEST(TabulationHashTest, DeterministicPerSeed) {
+  TabulationHash a(1), b(1), c(2);
+  for (uint64_t key : {0ULL, 1ULL, 0xDEADBEEFULL, ~0ULL}) {
+    EXPECT_EQ(a(key), b(key));
+  }
+  // Different seeds give different functions (on at least one probe).
+  int diffs = 0;
+  for (uint64_t key = 0; key < 16; ++key) {
+    if (a(key) != c(key)) ++diffs;
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+TEST(TabulationHashTest, SingleByteChangesOutput) {
+  TabulationHash h(3);
+  // Keys differing in one byte hash differently (XOR of one table row).
+  EXPECT_NE(h(0x00), h(0x01));
+  EXPECT_NE(h(0x0100), h(0x0200));
+}
+
+TEST(TabulationHashTest, XorStructure) {
+  // Tabulation hashing is linear over XOR of byte-aligned values:
+  // h(a) ^ h(b) ^ h(a ^ b) == h(0) when a and b touch disjoint bytes.
+  TabulationHash h(7);
+  const uint64_t a = 0x00000000000000FFULL;
+  const uint64_t b = 0x0000000000FF0000ULL;
+  EXPECT_EQ(h(a) ^ h(b) ^ h(a ^ b), h(0));
+}
+
+TEST(TabulationHashTest, BitBalance) {
+  TabulationHash h(11);
+  constexpr int kSamples = 50000;
+  int counts[64] = {};
+  for (uint64_t i = 0; i < kSamples; ++i) {
+    const uint64_t v = h(i);
+    for (int b = 0; b < 64; ++b) counts[b] += static_cast<int>((v >> b) & 1);
+  }
+  for (int b = 0; b < 64; ++b) {
+    EXPECT_NEAR(counts[b], kSamples / 2, kSamples * 0.02) << "bit " << b;
+  }
+}
+
+TEST(TabulationHashTest, FewCollisionsOnSequentialKeys) {
+  TabulationHash h(13);
+  std::set<uint64_t> outputs;
+  for (uint64_t i = 0; i < 100000; ++i) outputs.insert(h(i));
+  EXPECT_EQ(outputs.size(), 100000u);
+}
+
+}  // namespace
+}  // namespace smb

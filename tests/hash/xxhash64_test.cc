@@ -1,0 +1,77 @@
+#include "hash/xxhash64.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+#ifdef SMBCARD_HAVE_SYSTEM_XXHASH
+extern "C" unsigned long long XXH64(const void* data, size_t len,
+                                    unsigned long long seed);
+#endif
+
+namespace smb {
+namespace {
+
+TEST(XxHash64Test, KnownVectorEmpty) {
+  // Published reference vector: XXH64("") with seed 0.
+  EXPECT_EQ(XxHash64("", 0), 0xEF46DB3751D8E999ULL);
+}
+
+TEST(XxHash64Test, Deterministic) {
+  EXPECT_EQ(XxHash64("hello", 7), XxHash64("hello", 7));
+  EXPECT_NE(XxHash64("hello", 7), XxHash64("hello", 8));
+  EXPECT_NE(XxHash64("hello", 7), XxHash64("hellp", 7));
+}
+
+TEST(XxHash64Test, U64SpecializationMatchesGeneralPath) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t key = rng.Next();
+    const uint64_t seed = rng.Next();
+    EXPECT_EQ(XxHash64_U64(key, seed), XxHash64(&key, sizeof(key), seed));
+  }
+}
+
+#ifdef SMBCARD_HAVE_SYSTEM_XXHASH
+TEST(XxHash64Test, MatchesSystemLibraryOnRandomInputs) {
+  Xoshiro256 rng(77);
+  for (int trial = 0; trial < 3000; ++trial) {
+    const size_t len = rng.NextBounded(300);
+    const uint64_t seed = rng.Next();
+    std::vector<uint8_t> buf(len);
+    for (auto& b : buf) b = static_cast<uint8_t>(rng.Next());
+    EXPECT_EQ(XxHash64(buf.data(), len, seed), XXH64(buf.data(), len, seed))
+        << "len=" << len << " seed=" << seed;
+  }
+}
+
+TEST(XxHash64Test, MatchesSystemLibraryOnAllShortLengths) {
+  // Cover every finalize-path combination: lengths 0..64.
+  std::string s;
+  for (int len = 0; len <= 64; ++len) {
+    EXPECT_EQ(XxHash64(s, 123), XXH64(s.data(), s.size(), 123))
+        << "len=" << len;
+    s.push_back(static_cast<char>(len * 7 + 1));
+  }
+}
+#endif
+
+TEST(XxHash64Test, AvalancheU64) {
+  Xoshiro256 rng(2024);
+  double total_flips = 0;
+  constexpr int kTrials = 2000;
+  for (int t = 0; t < kTrials; ++t) {
+    const uint64_t key = rng.Next();
+    const int bit = static_cast<int>(rng.NextBounded(64));
+    total_flips += __builtin_popcountll(
+        XxHash64_U64(key, 0) ^ XxHash64_U64(key ^ (uint64_t{1} << bit), 0));
+  }
+  EXPECT_NEAR(total_flips / kTrials, 32.0, 1.5);
+}
+
+}  // namespace
+}  // namespace smb

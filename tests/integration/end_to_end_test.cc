@@ -1,0 +1,143 @@
+// Cross-module integration: streams -> estimators -> monitors, exercising
+// the same pipelines the benchmarks use.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+#include "core/self_morphing_bitmap.h"
+#include "estimators/estimator_factory.h"
+#include "sketch/detectors.h"
+#include "sketch/per_flow_monitor.h"
+#include "stream/stream_generator.h"
+#include "stream/trace_gen.h"
+#include "stream/trace_stats.h"
+
+namespace smb {
+namespace {
+
+// A full small-scale replica of the Figure 6 pipeline: sweep cardinality,
+// run all five paper algorithms, and verify every one lands within its
+// error envelope.
+TEST(EndToEndTest, Figure6PipelineSmallScale) {
+  constexpr size_t kMemory = 5000;
+  for (uint64_t n : {2000u, 50000u}) {
+    for (EstimatorKind kind : PaperComparisonSet()) {
+      RunningStats rel;
+      for (uint64_t seed = 0; seed < 6; ++seed) {
+        EstimatorSpec spec;
+        spec.kind = kind;
+        spec.memory_bits = kMemory;
+        spec.design_cardinality = 1000000;
+        spec.hash_seed = seed * 37 + 5;
+        auto estimator = CreateEstimator(spec);
+        StreamConfig stream_config;
+        stream_config.cardinality = n;
+        stream_config.total_items = n + n / 2;  // 1.5x duplication
+        stream_config.seed = seed + 100;
+        stream_config.shuffle = false;
+        for (uint64_t item : GenerateStream(stream_config)) {
+          estimator->Add(item);
+        }
+        rel.Add(std::fabs(estimator->Estimate() - static_cast<double>(n)) /
+                static_cast<double>(n));
+      }
+      EXPECT_LT(rel.mean(), 0.25)
+          << EstimatorKindName(kind) << " n=" << n;
+    }
+  }
+}
+
+// String items (the paper's Section V-A workload) flow through AddBytes
+// and give the same quality estimates as integer items.
+TEST(EndToEndTest, StringWorkload) {
+  StreamConfig config;
+  config.cardinality = 20000;
+  config.total_items = 40000;
+  config.seed = 9;
+  const auto stream = GenerateStringStream(config, 128);
+  auto smb = SelfMorphingBitmap::WithOptimalThreshold(10000, 1000000, 4);
+  for (const auto& item : stream) smb.AddBytes(item);
+  EXPECT_NEAR(smb.Estimate(), 20000.0, 20000.0 * 0.12);
+}
+
+// Serialization across a monitoring session: snapshot mid-stream, restore,
+// finish the stream, compare with an uninterrupted run.
+TEST(EndToEndTest, SnapshotRestoreMidStream) {
+  const auto items = GenerateDistinctItems(100000, 3);
+  SelfMorphingBitmap::Config config;
+  config.num_bits = 5000;
+  config.threshold = 384;
+  config.hash_seed = 8;
+
+  SelfMorphingBitmap uninterrupted(config);
+  for (uint64_t item : items) uninterrupted.Add(item);
+
+  SelfMorphingBitmap first_half(config);
+  for (size_t i = 0; i < items.size() / 2; ++i) first_half.Add(items[i]);
+  auto restored = SelfMorphingBitmap::Deserialize(first_half.Serialize());
+  ASSERT_TRUE(restored.has_value());
+  for (size_t i = items.size() / 2; i < items.size(); ++i) {
+    restored->Add(items[i]);
+  }
+  EXPECT_DOUBLE_EQ(restored->Estimate(), uninterrupted.Estimate());
+}
+
+// The Section V-F pipeline at reduced scale: trace -> per-flow monitors for
+// two algorithms -> compare per-flow error on large flows.
+TEST(EndToEndTest, TraceMonitoringPipeline) {
+  TraceConfig config;
+  config.num_flows = 400;
+  config.max_cardinality = 10000;
+  config.dup_factor = 2.0;
+  config.seed = 31;
+  const Trace trace = GenerateTrace(config);
+
+  EstimatorSpec spec;
+  spec.memory_bits = 5000;
+  spec.design_cardinality = 80000;
+  spec.kind = EstimatorKind::kSmb;
+  PerFlowMonitor smb_monitor(spec);
+  spec.kind = EstimatorKind::kHllPp;
+  PerFlowMonitor hll_monitor(spec);
+
+  for (const Packet& p : trace.packets) {
+    smb_monitor.RecordPacket(p);
+    hll_monitor.RecordPacket(p);
+  }
+
+  const auto large = FlowsInRange(trace, 1000, 1u << 20);
+  ASSERT_GT(large.size(), 0u);
+  RunningStats smb_err, hll_err;
+  for (size_t f : large) {
+    const double truth = static_cast<double>(trace.true_cardinality[f]);
+    smb_err.Add(std::fabs(smb_monitor.Query(f) - truth) / truth);
+    hll_err.Add(std::fabs(hll_monitor.Query(f) - truth) / truth);
+  }
+  // Both must monitor large flows well at m = 5000.
+  EXPECT_LT(smb_err.mean(), 0.10);
+  EXPECT_LT(hll_err.mean(), 0.10);
+}
+
+// Failure injection: an estimator sized far below the stream it observes
+// must degrade gracefully (finite, positive, saturating), never crash or
+// return garbage signs.
+TEST(EndToEndTest, UndersizedEstimatorsDegradeGracefully) {
+  for (EstimatorKind kind : AllEstimatorKinds()) {
+    EstimatorSpec spec;
+    spec.kind = kind;
+    spec.memory_bits = 256;
+    spec.design_cardinality = 1000;  // deliberately mis-designed
+    auto estimator = CreateEstimator(spec);
+    for (uint64_t i = 0; i < 500000; ++i) {
+      estimator->Add(i * 0x9E3779B97F4A7C15ULL);
+    }
+    const double est = estimator->Estimate();
+    EXPECT_TRUE(std::isfinite(est)) << EstimatorKindName(kind);
+    EXPECT_GT(est, 0.0) << EstimatorKindName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace smb

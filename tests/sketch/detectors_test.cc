@@ -1,0 +1,89 @@
+#include "sketch/detectors.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "stream/trace_gen.h"
+
+namespace smb {
+namespace {
+
+EstimatorSpec SmbSpec() {
+  EstimatorSpec spec;
+  spec.kind = EstimatorKind::kSmb;
+  spec.memory_bits = 5000;
+  spec.design_cardinality = 100000;
+  spec.hash_seed = 3;
+  return spec;
+}
+
+TEST(DetectHighSpreadTest, FlagsOnlyHeavyFlows) {
+  PerFlowMonitor monitor(SmbSpec());
+  for (uint64_t i = 0; i < 5000; ++i) monitor.Record(100, i);  // scanner
+  for (uint64_t i = 0; i < 20; ++i) monitor.Record(200, i);    // benign
+  for (uint64_t i = 0; i < 30; ++i) monitor.Record(300, i);    // benign
+  const auto report = DetectHighSpread(monitor, 1000.0);
+  ASSERT_EQ(report.flagged.size(), 1u);
+  EXPECT_EQ(report.flagged[0], 100u);
+  EXPECT_NEAR(report.estimates[0], 5000.0, 1000.0);
+}
+
+TEST(OnlineDetectorTest, AlarmFiresOncePerFlow) {
+  OnlineSpreadDetector detector(SmbSpec(), 500.0);
+  int alarm_count = 0;
+  for (uint64_t i = 0; i < 3000; ++i) {
+    if (detector.Observe(42, i)) ++alarm_count;
+  }
+  EXPECT_EQ(alarm_count, 1);
+  ASSERT_EQ(detector.alarms().size(), 1u);
+  EXPECT_EQ(detector.alarms()[0], 42u);
+}
+
+TEST(OnlineDetectorTest, QuietFlowsNeverAlarm) {
+  OnlineSpreadDetector detector(SmbSpec(), 500.0);
+  for (uint64_t flow = 0; flow < 50; ++flow) {
+    for (uint64_t i = 0; i < 100; ++i) {
+      EXPECT_FALSE(detector.Observe(flow, i));
+    }
+  }
+  EXPECT_TRUE(detector.alarms().empty());
+}
+
+TEST(OnlineDetectorTest, DetectsScannersInTrace) {
+  // Trace with a handful of large flows; the detector must flag exactly
+  // the flows whose true spread crosses the threshold (within estimator
+  // error, so we check set overlap rather than equality).
+  TraceConfig config;
+  config.num_flows = 300;
+  config.max_cardinality = 20000;
+  config.dup_factor = 1.5;
+  config.seed = 21;
+  const Trace trace = GenerateTrace(config);
+  constexpr double kThreshold = 5000.0;
+
+  OnlineSpreadDetector detector(SmbSpec(), kThreshold);
+  for (const Packet& p : trace.packets) detector.Observe(p.flow, p.element);
+
+  std::vector<uint64_t> truly_heavy;
+  for (size_t f = 0; f < trace.num_flows(); ++f) {
+    if (static_cast<double>(trace.true_cardinality[f]) >= kThreshold * 1.2) {
+      truly_heavy.push_back(f);
+    }
+  }
+  // Every clearly-heavy flow must be among the alarms.
+  for (uint64_t f : truly_heavy) {
+    EXPECT_NE(std::find(detector.alarms().begin(), detector.alarms().end(),
+                        f),
+              detector.alarms().end())
+        << "missed heavy flow " << f;
+  }
+  // And no clearly-light flow may be flagged.
+  for (uint64_t f : detector.alarms()) {
+    EXPECT_GE(trace.true_cardinality[f], kThreshold * 0.8)
+        << "false alarm on flow " << f;
+  }
+}
+
+}  // namespace
+}  // namespace smb

@@ -1,0 +1,78 @@
+#include "sketch/epoch_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace smb {
+namespace {
+
+EstimatorSpec Spec() {
+  EstimatorSpec spec;
+  spec.kind = EstimatorKind::kSmb;
+  spec.memory_bits = 5000;
+  spec.design_cardinality = 1000000;
+  spec.hash_seed = 1;
+  return spec;
+}
+
+TEST(EpochMonitorTest, QueriesAnswerFromCompletedEpoch) {
+  EpochMonitor monitor(Spec());
+  for (uint64_t i = 0; i < 1000; ++i) monitor.Record(7, i);
+  // Nothing completed yet.
+  EXPECT_EQ(monitor.QueryCompleted(7), 0.0);
+  EXPECT_GT(monitor.QueryCurrent(7), 500.0);
+
+  EXPECT_EQ(monitor.AdvanceEpoch(), 1u);
+  EXPECT_NEAR(monitor.QueryCompleted(7), 1000.0, 250.0);
+  EXPECT_EQ(monitor.QueryCurrent(7), 0.0);  // fresh epoch
+}
+
+TEST(EpochMonitorTest, EpochsAreIndependent) {
+  EpochMonitor monitor(Spec());
+  for (uint64_t i = 0; i < 2000; ++i) monitor.Record(1, i);
+  monitor.AdvanceEpoch();
+  // Same items again next epoch: per-epoch distinct count, not lifetime.
+  for (uint64_t i = 0; i < 500; ++i) monitor.Record(1, i);
+  monitor.AdvanceEpoch();
+  EXPECT_NEAR(monitor.QueryCompleted(1), 500.0, 150.0);
+  EXPECT_EQ(monitor.epochs_completed(), 2u);
+}
+
+TEST(EpochMonitorTest, InactiveFlowReadsZero) {
+  EpochMonitor monitor(Spec());
+  for (uint64_t i = 0; i < 100; ++i) monitor.Record(1, i);
+  monitor.AdvanceEpoch();
+  for (uint64_t i = 0; i < 100; ++i) monitor.Record(2, i);  // different flow
+  monitor.AdvanceEpoch();
+  EXPECT_EQ(monitor.QueryCompleted(1), 0.0);
+  EXPECT_GT(monitor.QueryCompleted(2), 50.0);
+}
+
+TEST(EpochMonitorTest, SurgeDetection) {
+  EpochMonitor monitor(Spec());
+  // Epoch 1: baseline.
+  for (uint64_t i = 0; i < 1000; ++i) monitor.Record(10, i);   // steady
+  for (uint64_t i = 0; i < 800; ++i) monitor.Record(20, i);    // steady
+  monitor.AdvanceEpoch();
+  // Epoch 2: flow 20 surges 25x; flow 10 stays flat; flow 30 appears big.
+  for (uint64_t i = 0; i < 1100; ++i) monitor.Record(10, i);
+  for (uint64_t i = 0; i < 20000; ++i) monitor.Record(20, i * 7);
+  for (uint64_t i = 0; i < 5000; ++i) monitor.Record(30, i);
+  monitor.AdvanceEpoch();
+
+  const auto surging = monitor.SurgingFlows(/*factor=*/10.0,
+                                            /*min_spread=*/2000.0);
+  EXPECT_NE(std::find(surging.begin(), surging.end(), 20u), surging.end());
+  EXPECT_NE(std::find(surging.begin(), surging.end(), 30u), surging.end());
+  EXPECT_EQ(std::find(surging.begin(), surging.end(), 10u), surging.end());
+}
+
+TEST(EpochMonitorTest, SurgeNeedsCompletedEpoch) {
+  EpochMonitor monitor(Spec());
+  for (uint64_t i = 0; i < 10000; ++i) monitor.Record(1, i);
+  EXPECT_TRUE(monitor.SurgingFlows(2.0, 100.0).empty());
+}
+
+}  // namespace
+}  // namespace smb

@@ -1,0 +1,87 @@
+#include "sketch/jumping_window.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "estimators/hyperloglog_pp.h"
+#include "estimators/linear_counting.h"
+
+namespace smb {
+namespace {
+
+JumpingWindow<HyperLogLogPP> MakeHllWindow(size_t buckets) {
+  return JumpingWindow<HyperLogLogPP>(
+      buckets, [] { return HyperLogLogPP(1024, 7); });
+}
+
+TEST(JumpingWindowTest, EmptyWindowEstimatesZero) {
+  auto window = MakeHllWindow(4);
+  EXPECT_EQ(window.Estimate(), 0.0);
+  EXPECT_EQ(window.CurrentBucketEstimate(), 0.0);
+}
+
+TEST(JumpingWindowTest, SingleBucketActsLikePlainEstimator) {
+  auto window = MakeHllWindow(1);
+  HyperLogLogPP reference(1024, 7);
+  for (uint64_t i = 0; i < 20000; ++i) {
+    window.Add(i);
+    reference.Add(i);
+  }
+  EXPECT_DOUBLE_EQ(window.Estimate(), reference.Estimate());
+}
+
+TEST(JumpingWindowTest, OldItemsFallOut) {
+  auto window = MakeHllWindow(3);
+  // Bucket 1: items 0..9999.
+  for (uint64_t i = 0; i < 10000; ++i) window.Add(i);
+  window.Rotate();
+  // Bucket 2: items 10000..19999.
+  for (uint64_t i = 10000; i < 20000; ++i) window.Add(i);
+  window.Rotate();
+  // Bucket 3: items 20000..29999. Window now holds all 30k.
+  for (uint64_t i = 20000; i < 30000; ++i) window.Add(i);
+  EXPECT_NEAR(window.Estimate(), 30000.0, 30000.0 * 0.10);
+  // One more rotation retires the first bucket: only 20k remain.
+  window.Rotate();
+  EXPECT_NEAR(window.Estimate(), 20000.0, 20000.0 * 0.10);
+  // And another: 10k.
+  window.Rotate();
+  EXPECT_NEAR(window.Estimate(), 10000.0, 10000.0 * 0.10);
+  // Fully rotated out: empty window.
+  window.Rotate();
+  EXPECT_EQ(window.Estimate(), 0.0);
+}
+
+TEST(JumpingWindowTest, RepeatedItemsAcrossBucketsCountOnce) {
+  auto window = MakeHllWindow(4);
+  for (int bucket = 0; bucket < 4; ++bucket) {
+    for (uint64_t i = 0; i < 5000; ++i) window.Add(i);  // same items
+    if (bucket < 3) window.Rotate();
+  }
+  // The union across buckets is still 5000 distinct items.
+  EXPECT_NEAR(window.Estimate(), 5000.0, 5000.0 * 0.10);
+}
+
+TEST(JumpingWindowTest, WorksWithLinearCounting) {
+  JumpingWindow<LinearCounting> window(
+      2, [] { return LinearCounting(20000, 3); });
+  for (uint64_t i = 0; i < 3000; ++i) window.Add(i);
+  window.Rotate();
+  for (uint64_t i = 3000; i < 6000; ++i) window.Add(i);
+  EXPECT_NEAR(window.Estimate(), 6000.0, 6000.0 * 0.05);
+  window.Rotate();  // first 3000 leave
+  EXPECT_NEAR(window.Estimate(), 3000.0, 3000.0 * 0.05);
+}
+
+TEST(JumpingWindowTest, ResetEmptiesEverything) {
+  auto window = MakeHllWindow(3);
+  for (uint64_t i = 0; i < 10000; ++i) window.Add(i);
+  window.Rotate();
+  for (uint64_t i = 0; i < 10000; ++i) window.Add(i);
+  window.Reset();
+  EXPECT_EQ(window.Estimate(), 0.0);
+}
+
+}  // namespace
+}  // namespace smb

@@ -1,0 +1,106 @@
+#include "sketch/per_flow_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stream/trace_gen.h"
+
+namespace smb {
+namespace {
+
+EstimatorSpec SmbSpec(size_t memory_bits = 5000) {
+  EstimatorSpec spec;
+  spec.kind = EstimatorKind::kSmb;
+  spec.memory_bits = memory_bits;
+  spec.design_cardinality = 100000;
+  spec.hash_seed = 1;
+  return spec;
+}
+
+TEST(PerFlowMonitorTest, LazyAllocation) {
+  PerFlowMonitor monitor(SmbSpec());
+  EXPECT_EQ(monitor.NumFlows(), 0u);
+  monitor.Record(10, 1);
+  monitor.Record(10, 2);
+  monitor.Record(20, 1);
+  EXPECT_EQ(monitor.NumFlows(), 2u);
+}
+
+TEST(PerFlowMonitorTest, UnknownFlowQueriesZero) {
+  PerFlowMonitor monitor(SmbSpec());
+  EXPECT_EQ(monitor.Query(999), 0.0);
+}
+
+TEST(PerFlowMonitorTest, PerFlowEstimatesAreIndependent) {
+  PerFlowMonitor monitor(SmbSpec());
+  for (uint64_t i = 0; i < 1000; ++i) monitor.Record(1, i);
+  for (uint64_t i = 0; i < 10; ++i) monitor.Record(2, i);
+  EXPECT_NEAR(monitor.Query(1), 1000.0, 200.0);
+  EXPECT_NEAR(monitor.Query(2), 10.0, 5.0);
+}
+
+TEST(PerFlowMonitorTest, SameElementInDifferentFlowsCountsPerFlow) {
+  PerFlowMonitor monitor(SmbSpec());
+  for (uint64_t flow = 0; flow < 5; ++flow) {
+    for (uint64_t e = 0; e < 100; ++e) monitor.Record(flow, e);
+  }
+  for (uint64_t flow = 0; flow < 5; ++flow) {
+    EXPECT_NEAR(monitor.Query(flow), 100.0, 25.0) << flow;
+  }
+}
+
+TEST(PerFlowMonitorTest, AccurateOnSyntheticTrace) {
+  TraceConfig config;
+  config.num_flows = 200;
+  config.max_cardinality = 5000;
+  config.dup_factor = 2.0;
+  config.seed = 5;
+  const Trace trace = GenerateTrace(config);
+  PerFlowMonitor monitor(SmbSpec(5000));
+  for (const Packet& p : trace.packets) monitor.RecordPacket(p);
+  ASSERT_EQ(monitor.NumFlows(), 200u);
+  // Average relative error over flows with cardinality >= 100.
+  double err_sum = 0;
+  int counted = 0;
+  for (size_t f = 0; f < trace.num_flows(); ++f) {
+    const double truth = static_cast<double>(trace.true_cardinality[f]);
+    if (truth < 100) continue;
+    err_sum += std::fabs(monitor.Query(f) - truth) / truth;
+    ++counted;
+  }
+  ASSERT_GT(counted, 0);
+  EXPECT_LT(err_sum / counted, 0.10);
+}
+
+TEST(PerFlowMonitorTest, FlowsOverThreshold) {
+  PerFlowMonitor monitor(SmbSpec());
+  for (uint64_t i = 0; i < 2000; ++i) monitor.Record(7, i);
+  for (uint64_t i = 0; i < 5; ++i) monitor.Record(8, i);
+  const auto over = monitor.FlowsOver(1000.0);
+  ASSERT_EQ(over.size(), 1u);
+  EXPECT_EQ(over[0], 7u);
+}
+
+TEST(PerFlowMonitorTest, TotalMemoryScalesWithFlows) {
+  PerFlowMonitor monitor(SmbSpec(5000));
+  for (uint64_t flow = 0; flow < 10; ++flow) monitor.Record(flow, 1);
+  EXPECT_GE(monitor.TotalMemoryBits(), 10u * 5000u);
+  EXPECT_LE(monitor.TotalMemoryBits(), 10u * 5100u);
+}
+
+TEST(PerFlowMonitorTest, WorksWithEveryEstimatorKind) {
+  // n = 5000 sits above every estimator's small-range floor (SuperLogLog's
+  // floor is alpha*t ~ 773 at this memory; the adaptive bitmap samples at
+  // p ~ 0.04 and needs a few hundred expected set bits for low variance).
+  for (EstimatorKind kind : AllEstimatorKinds()) {
+    EstimatorSpec spec = SmbSpec();
+    spec.kind = kind;
+    PerFlowMonitor monitor(spec);
+    for (uint64_t i = 0; i < 5000; ++i) monitor.Record(1, i);
+    EXPECT_NEAR(monitor.Query(1), 5000.0, 2000.0) << EstimatorKindName(kind);
+  }
+}
+
+}  // namespace
+}  // namespace smb

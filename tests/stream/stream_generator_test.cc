@@ -1,0 +1,99 @@
+#include "stream/stream_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+namespace smb {
+namespace {
+
+TEST(StreamGeneratorTest, DistinctItemsAreDistinct) {
+  const auto items = GenerateDistinctItems(100000, 7);
+  const std::unordered_set<uint64_t> unique(items.begin(), items.end());
+  EXPECT_EQ(unique.size(), 100000u);
+}
+
+TEST(StreamGeneratorTest, Deterministic) {
+  EXPECT_EQ(GenerateDistinctItems(1000, 3), GenerateDistinctItems(1000, 3));
+  EXPECT_NE(GenerateDistinctItems(1000, 3), GenerateDistinctItems(1000, 4));
+}
+
+TEST(StreamGeneratorTest, StreamHasExactCardinality) {
+  StreamConfig config;
+  config.cardinality = 5000;
+  config.total_items = 20000;
+  config.seed = 11;
+  const auto stream = GenerateStream(config);
+  EXPECT_EQ(stream.size(), 20000u);
+  const std::unordered_set<uint64_t> unique(stream.begin(), stream.end());
+  EXPECT_EQ(unique.size(), 5000u);
+}
+
+TEST(StreamGeneratorTest, EveryDistinctItemAppears) {
+  StreamConfig config;
+  config.cardinality = 1000;
+  config.total_items = 3000;
+  config.seed = 13;
+  const auto stream = GenerateStream(config);
+  const std::unordered_set<uint64_t> seen(stream.begin(), stream.end());
+  for (uint64_t item : GenerateDistinctItems(1000, 13)) {
+    EXPECT_TRUE(seen.count(item)) << item;
+  }
+}
+
+TEST(StreamGeneratorTest, NoDuplicatesWhenTotalEqualsCardinality) {
+  StreamConfig config;
+  config.cardinality = 2000;
+  config.total_items = 2000;
+  const auto stream = GenerateStream(config);
+  const std::unordered_set<uint64_t> unique(stream.begin(), stream.end());
+  EXPECT_EQ(unique.size(), 2000u);
+}
+
+TEST(StreamGeneratorTest, ShuffleReordersButPreservesMultiset) {
+  StreamConfig shuffled;
+  shuffled.cardinality = 1000;
+  shuffled.total_items = 5000;
+  shuffled.seed = 17;
+  StreamConfig ordered = shuffled;
+  ordered.shuffle = false;
+  const auto a = GenerateStream(shuffled);
+  const auto b = GenerateStream(ordered);
+  EXPECT_NE(a, b);
+  std::multiset<uint64_t> ma(a.begin(), a.end());
+  std::multiset<uint64_t> mb(b.begin(), b.end());
+  EXPECT_EQ(ma, mb);
+}
+
+TEST(RandomStringTest, LengthBoundsRespected) {
+  for (uint64_t i = 0; i < 2000; ++i) {
+    const std::string s = RandomString(9, i, 5, 30);
+    EXPECT_GE(s.size(), 5u);
+    EXPECT_LE(s.size(), 30u);
+  }
+}
+
+TEST(RandomStringTest, DeterministicInSeedAndIndex) {
+  EXPECT_EQ(RandomString(1, 5, 3, 20), RandomString(1, 5, 3, 20));
+  EXPECT_NE(RandomString(1, 5, 3, 20), RandomString(1, 6, 3, 20));
+  EXPECT_NE(RandomString(1, 5, 3, 20), RandomString(2, 5, 3, 20));
+}
+
+TEST(StringStreamTest, ExactCardinalityAndMaxLength) {
+  StreamConfig config;
+  config.cardinality = 3000;
+  config.total_items = 9000;
+  config.seed = 23;
+  const auto stream = GenerateStringStream(config, 128);
+  EXPECT_EQ(stream.size(), 9000u);
+  std::unordered_set<std::string> unique(stream.begin(), stream.end());
+  EXPECT_EQ(unique.size(), 3000u);
+  for (const auto& s : stream) {
+    EXPECT_LE(s.size(), 128u);
+    EXPECT_GE(s.size(), 2u);
+  }
+}
+
+}  // namespace
+}  // namespace smb

@@ -1,0 +1,117 @@
+#include "stream/trace_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "stream/trace_stats.h"
+
+namespace smb {
+namespace {
+
+TraceConfig SmallConfig() {
+  TraceConfig config;
+  config.num_flows = 500;
+  config.max_cardinality = 2000;
+  config.dup_factor = 2.0;
+  config.seed = 77;
+  return config;
+}
+
+TEST(TraceGenTest, TrueCardinalitiesMatchPackets) {
+  const Trace trace = GenerateTrace(SmallConfig());
+  std::unordered_map<uint64_t, std::unordered_set<uint64_t>> distinct;
+  for (const Packet& p : trace.packets) {
+    distinct[p.flow].insert(p.element);
+  }
+  ASSERT_EQ(trace.num_flows(), 500u);
+  for (size_t f = 0; f < trace.num_flows(); ++f) {
+    EXPECT_EQ(distinct[f].size(), trace.true_cardinality[f]) << "flow " << f;
+  }
+}
+
+TEST(TraceGenTest, Deterministic) {
+  const Trace a = GenerateTrace(SmallConfig());
+  const Trace b = GenerateTrace(SmallConfig());
+  ASSERT_EQ(a.packets.size(), b.packets.size());
+  EXPECT_EQ(a.true_cardinality, b.true_cardinality);
+  for (size_t i = 0; i < a.packets.size(); ++i) {
+    EXPECT_EQ(a.packets[i].flow, b.packets[i].flow);
+    EXPECT_EQ(a.packets[i].element, b.packets[i].element);
+  }
+}
+
+TEST(TraceGenTest, SeedChangesTrace) {
+  TraceConfig other = SmallConfig();
+  other.seed = 78;
+  const Trace a = GenerateTrace(SmallConfig());
+  const Trace b = GenerateTrace(other);
+  EXPECT_NE(a.true_cardinality, b.true_cardinality);
+}
+
+TEST(TraceGenTest, DupFactorControlsRepetition) {
+  TraceConfig config = SmallConfig();
+  config.dup_factor = 1.0;  // every element exactly once
+  const Trace no_dups = GenerateTrace(config);
+  EXPECT_EQ(no_dups.packets.size(), no_dups.TotalDistinct());
+
+  config.dup_factor = 3.0;
+  const Trace dups = GenerateTrace(config);
+  const double ratio = static_cast<double>(dups.packets.size()) /
+                       static_cast<double>(dups.TotalDistinct());
+  EXPECT_NEAR(ratio, 3.0, 0.3);
+}
+
+TEST(TraceGenTest, CardinalityBoundsRespected) {
+  const Trace trace = GenerateTrace(SmallConfig());
+  for (uint64_t c : trace.true_cardinality) {
+    EXPECT_GE(c, 1u);
+    EXPECT_LE(c, 2000u);
+  }
+  EXPECT_LE(trace.MaxCardinality(), 2000u);
+}
+
+TEST(TraceGenTest, HeavyTailMix) {
+  // Most flows are small, a few are large — the CAIDA shape.
+  TraceConfig config;
+  config.num_flows = 5000;
+  config.max_cardinality = 80000;
+  config.cardinality_exponent = 1.5;
+  config.dup_factor = 1.5;
+  config.seed = 99;
+  const Trace trace = GenerateTrace(config);
+  const auto summary = SummarizeTrace(trace, DefaultCardinalityRanges());
+  // With exponent 1.5 about 2/3 of flows land below cardinality 10, and
+  // the tail still reaches past 10000.
+  EXPECT_GT(summary.flows_per_range[0], summary.num_flows / 2);
+  EXPECT_GT(summary.flows_per_range[4], 0u);
+}
+
+TEST(TraceStatsTest, SummaryCounts) {
+  const Trace trace = GenerateTrace(SmallConfig());
+  const auto ranges = DefaultCardinalityRanges();
+  const auto summary = SummarizeTrace(trace, ranges);
+  EXPECT_EQ(summary.num_flows, 500u);
+  EXPECT_EQ(summary.num_packets, trace.packets.size());
+  size_t bucketed = 0;
+  for (size_t c : summary.flows_per_range) bucketed += c;
+  EXPECT_EQ(bucketed, 500u);  // every flow falls in exactly one range
+}
+
+TEST(TraceStatsTest, FlowsInRange) {
+  const Trace trace = GenerateTrace(SmallConfig());
+  const auto small = FlowsInRange(trace, 1, 100);
+  const auto large = FlowsInRange(trace, 100, 1u << 20);
+  EXPECT_EQ(small.size() + large.size(), trace.num_flows());
+  for (size_t f : small) {
+    EXPECT_LT(trace.true_cardinality[f], 100u);
+  }
+}
+
+TEST(TraceStatsTest, RangeLabel) {
+  EXPECT_EQ((CardinalityRange{10, 100}.Label()), "[10, 100)");
+}
+
+}  // namespace
+}  // namespace smb

@@ -1,0 +1,124 @@
+#include "stream/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace smb {
+namespace {
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("smbcard_trace_io_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+Trace SmallTrace() {
+  TraceConfig config;
+  config.num_flows = 50;
+  config.max_cardinality = 500;
+  config.seed = 3;
+  return GenerateTrace(config);
+}
+
+TEST_F(TraceIoTest, BinaryRoundTrip) {
+  const Trace original = SmallTrace();
+  ASSERT_TRUE(WriteTraceFile(original, Path("t.bin")));
+  const auto restored = ReadTraceFile(Path("t.bin"));
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->true_cardinality, original.true_cardinality);
+  ASSERT_EQ(restored->packets.size(), original.packets.size());
+  for (size_t i = 0; i < original.packets.size(); ++i) {
+    EXPECT_EQ(restored->packets[i].flow, original.packets[i].flow);
+    EXPECT_EQ(restored->packets[i].element, original.packets[i].element);
+  }
+}
+
+TEST_F(TraceIoTest, ReadRejectsMissingFile) {
+  EXPECT_FALSE(ReadTraceFile(Path("missing.bin")).has_value());
+}
+
+TEST_F(TraceIoTest, ReadRejectsBadMagic) {
+  std::ofstream(Path("bad.bin"), std::ios::binary) << "NOTATRACE";
+  EXPECT_FALSE(ReadTraceFile(Path("bad.bin")).has_value());
+}
+
+TEST_F(TraceIoTest, ReadRejectsTruncation) {
+  const Trace original = SmallTrace();
+  ASSERT_TRUE(WriteTraceFile(original, Path("t.bin")));
+  std::ifstream in(Path("t.bin"), std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  bytes.resize(bytes.size() / 2);
+  std::ofstream(Path("trunc.bin"), std::ios::binary) << bytes;
+  EXPECT_FALSE(ReadTraceFile(Path("trunc.bin")).has_value());
+}
+
+TEST(CsvTraceTest, ParsesBasicCsv) {
+  const std::string csv =
+      "# flow,element\n"
+      "1,100\n"
+      "1,200\n"
+      "1,100\n"       // duplicate: packet kept, cardinality unaffected
+      "2,100\n"
+      "0xFF,0xAB\n";  // hex accepted
+  const auto trace = ParseCsvTrace(csv);
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->packets.size(), 5u);
+  ASSERT_EQ(trace->num_flows(), 3u);
+  EXPECT_EQ(trace->true_cardinality[0], 2u);  // flow "1": {100, 200}
+  EXPECT_EQ(trace->true_cardinality[1], 1u);  // flow "2": {100}
+  EXPECT_EQ(trace->true_cardinality[2], 1u);  // flow 0xFF
+}
+
+TEST(CsvTraceTest, ToleratesWhitespaceAndBlankLines) {
+  const auto trace = ParseCsvTrace("  7 , 9 \n\n  7,10\r\n");
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->packets.size(), 2u);
+  EXPECT_EQ(trace->true_cardinality[0], 2u);
+}
+
+TEST(CsvTraceTest, ReportsErrorLine) {
+  size_t error_line = 0;
+  EXPECT_FALSE(ParseCsvTrace("1,2\nnot-a-number,3\n", &error_line)
+                   .has_value());
+  EXPECT_EQ(error_line, 2u);
+  EXPECT_FALSE(ParseCsvTrace("1 2\n", &error_line).has_value());  // no comma
+  EXPECT_EQ(error_line, 1u);
+}
+
+TEST(CsvTraceTest, EmptyInputIsEmptyTrace) {
+  const auto trace = ParseCsvTrace("# only a comment\n");
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_EQ(trace->packets.size(), 0u);
+  EXPECT_EQ(trace->num_flows(), 0u);
+}
+
+TEST_F(TraceIoTest, CsvFileRoundTripThroughBinary) {
+  // CSV in, binary out, binary in: cardinalities must survive.
+  std::ofstream(Path("t.csv")) << "10,1\n10,2\n20,1\n20,1\n";
+  const auto from_csv = ReadCsvTraceFile(Path("t.csv"));
+  ASSERT_TRUE(from_csv.has_value());
+  ASSERT_TRUE(WriteTraceFile(*from_csv, Path("t.bin")));
+  const auto from_bin = ReadTraceFile(Path("t.bin"));
+  ASSERT_TRUE(from_bin.has_value());
+  EXPECT_EQ(from_bin->true_cardinality, from_csv->true_cardinality);
+}
+
+}  // namespace
+}  // namespace smb

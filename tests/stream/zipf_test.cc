@@ -1,0 +1,103 @@
+#include "stream/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace smb {
+namespace {
+
+TEST(ZipfTest, SamplesWithinSupport) {
+  ZipfDistribution zipf(100, 1.0);
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t r = zipf.Sample(&rng);
+    EXPECT_GE(r, 1u);
+    EXPECT_LE(r, 100u);
+  }
+}
+
+TEST(ZipfTest, RankOneIsMostFrequent) {
+  ZipfDistribution zipf(50, 1.2);
+  Xoshiro256 rng(5);
+  std::vector<int> counts(51, 0);
+  for (int i = 0; i < 100000; ++i) {
+    ++counts[zipf.Sample(&rng)];
+  }
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[2], counts[10]);
+  EXPECT_GT(counts[10], counts[50]);
+}
+
+TEST(ZipfTest, FrequenciesMatchPowerLaw) {
+  // For exponent 1, P(1)/P(2) = 2.
+  ZipfDistribution zipf(1000, 1.0);
+  Xoshiro256 rng(7);
+  int c1 = 0, c2 = 0;
+  constexpr int kSamples = 400000;
+  for (int i = 0; i < kSamples; ++i) {
+    const uint64_t r = zipf.Sample(&rng);
+    if (r == 1) ++c1;
+    if (r == 2) ++c2;
+  }
+  EXPECT_NEAR(static_cast<double>(c1) / c2, 2.0, 0.15);
+}
+
+TEST(ZipfTest, UniformWhenExponentZero) {
+  ZipfDistribution zipf(10, 0.0);
+  Xoshiro256 rng(9);
+  std::vector<int> counts(11, 0);
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) ++counts[zipf.Sample(&rng)];
+  for (size_t r = 1; r <= 10; ++r) {
+    EXPECT_NEAR(counts[r], kSamples / 10, kSamples / 10 * 0.1) << r;
+  }
+}
+
+TEST(BoundedPowerLawTest, StaysInBounds) {
+  Xoshiro256 rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t v = SampleBoundedPowerLaw(&rng, 1, 80000, 1.0);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 80000u);
+  }
+}
+
+TEST(BoundedPowerLawTest, DegenerateRange) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(SampleBoundedPowerLaw(&rng, 7, 7, 1.0), 7u);
+  }
+}
+
+TEST(BoundedPowerLawTest, HeavyTailShape) {
+  // With exponent 1 over [1, 80000], the median is around sqrt range (~280)
+  // and small values dominate: at least half the mass below 300, but a
+  // non-trivial tail above 10000.
+  Xoshiro256 rng(17);
+  int below_300 = 0, above_10000 = 0;
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    const uint64_t v = SampleBoundedPowerLaw(&rng, 1, 80000, 1.0);
+    if (v < 300) ++below_300;
+    if (v > 10000) ++above_10000;
+  }
+  EXPECT_GT(below_300, kSamples / 2);
+  EXPECT_GT(above_10000, kSamples / 100);
+}
+
+TEST(BoundedPowerLawTest, SteeperExponentsSkewSmaller) {
+  Xoshiro256 rng1(19), rng2(19);
+  double sum_shallow = 0, sum_steep = 0;
+  for (int i = 0; i < 50000; ++i) {
+    sum_shallow += static_cast<double>(
+        SampleBoundedPowerLaw(&rng1, 1, 10000, 0.8));
+    sum_steep += static_cast<double>(
+        SampleBoundedPowerLaw(&rng2, 1, 10000, 1.6));
+  }
+  EXPECT_GT(sum_shallow, sum_steep * 2);
+}
+
+}  // namespace
+}  // namespace smb

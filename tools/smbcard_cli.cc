@@ -1,0 +1,221 @@
+// smbcard — command-line cardinality estimation over newline-delimited
+// items (a sketch-backed `sort -u | wc -l`).
+//
+// Usage:
+//   smbcard [--algo NAME] [--memory BITS] [--design N] [--seed S]
+//           [--all] [--save FILE] [--load FILE] [FILE...]
+//
+//   --algo NAME    estimator: SMB (default), MRB, FM, LogLog, SuperLogLog,
+//                  HLL, HLL++, HLL-TailC, HLL-TailC+, KMV, Bitmap,
+//                  AdaptiveBitmap
+//   --memory BITS  memory budget per estimator in bits (default 10000)
+//   --design N     largest cardinality the estimator is sized for
+//                  (default 1000000)
+//   --seed S       hash seed (default 0)
+//   --all          run every algorithm and print a comparison table
+//   --save FILE    (SMB only) serialize the estimator state after reading
+//   --load FILE    (SMB only) resume from a previously saved state
+//   FILE...        input files; stdin when none given
+//
+// Examples:
+//   cat access.log | awk '{print $1}' | smbcard
+//   smbcard --algo HLL++ --memory 5000 urls.txt
+//   smbcard --save day1.smb < day1.txt
+//   smbcard --load day1.smb < day2.txt   # cardinality of day1 ∪ day2
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/table_printer.h"
+#include "core/self_morphing_bitmap.h"
+#include "estimators/estimator_factory.h"
+
+namespace {
+
+struct CliOptions {
+  std::string algo = "SMB";
+  size_t memory_bits = 10000;
+  uint64_t design_cardinality = 1000000;
+  uint64_t seed = 0;
+  bool all = false;
+  std::string save_path;
+  std::string load_path;
+  std::vector<std::string> inputs;
+};
+
+void PrintUsageAndExit(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--algo NAME] [--memory BITS] [--design N] "
+               "[--seed S] [--all]\n               [--save FILE] "
+               "[--load FILE] [FILE...]\n",
+               argv0);
+  std::exit(2);
+}
+
+CliOptions ParseArgs(int argc, char** argv) {
+  CliOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&]() -> const char* {
+      if (i + 1 >= argc) PrintUsageAndExit(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--algo") {
+      options.algo = next_value();
+    } else if (arg == "--memory") {
+      options.memory_bits = std::strtoul(next_value(), nullptr, 10);
+    } else if (arg == "--design") {
+      options.design_cardinality = std::strtoull(next_value(), nullptr, 10);
+    } else if (arg == "--seed") {
+      options.seed = std::strtoull(next_value(), nullptr, 10);
+    } else if (arg == "--all") {
+      options.all = true;
+    } else if (arg == "--save") {
+      options.save_path = next_value();
+    } else if (arg == "--load") {
+      options.load_path = next_value();
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsageAndExit(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      PrintUsageAndExit(argv[0]);
+    } else {
+      options.inputs.push_back(arg);
+    }
+  }
+  return options;
+}
+
+// Feeds every line of `in` to `feed`; returns line count.
+template <typename Feed>
+uint64_t FeedLines(std::istream& in, Feed feed) {
+  uint64_t lines = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    feed(line);
+    ++lines;
+  }
+  return lines;
+}
+
+template <typename Feed>
+uint64_t FeedAllInputs(const CliOptions& options, Feed feed) {
+  if (options.inputs.empty()) {
+    return FeedLines(std::cin, feed);
+  }
+  uint64_t total = 0;
+  for (const std::string& path : options.inputs) {
+    std::ifstream file(path);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", path.c_str());
+      std::exit(1);
+    }
+    total += FeedLines(file, feed);
+  }
+  return total;
+}
+
+int RunAll(const CliOptions& options) {
+  std::vector<std::unique_ptr<smb::CardinalityEstimator>> estimators;
+  for (smb::EstimatorKind kind : smb::AllEstimatorKinds()) {
+    smb::EstimatorSpec spec;
+    spec.kind = kind;
+    spec.memory_bits = options.memory_bits;
+    spec.design_cardinality = options.design_cardinality;
+    spec.hash_seed = options.seed;
+    estimators.push_back(smb::CreateEstimator(spec));
+  }
+  const uint64_t lines = FeedAllInputs(options, [&](const std::string& s) {
+    for (auto& estimator : estimators) estimator->AddBytes(s);
+  });
+  smb::TablePrinter table("distinct-item estimates over " +
+                          std::to_string(lines) + " input lines");
+  table.SetHeader({"algorithm", "estimate", "memory bits"});
+  for (const auto& estimator : estimators) {
+    table.AddRow({std::string(estimator->Name()),
+                  smb::TablePrinter::Fmt(estimator->Estimate(), 0),
+                  smb::TablePrinter::FmtInt(
+                      static_cast<long long>(estimator->MemoryBits()))});
+  }
+  table.Print();
+  return 0;
+}
+
+int RunSingle(const CliOptions& options) {
+  const bool wants_state =
+      !options.save_path.empty() || !options.load_path.empty();
+  if (wants_state && options.algo != "SMB") {
+    std::fprintf(stderr, "--save/--load support SMB only\n");
+    return 2;
+  }
+
+  if (wants_state) {
+    std::optional<smb::SelfMorphingBitmap> estimator;
+    if (!options.load_path.empty()) {
+      std::ifstream file(options.load_path, std::ios::binary);
+      if (!file) {
+        std::fprintf(stderr, "cannot open %s\n",
+                     options.load_path.c_str());
+        return 1;
+      }
+      std::vector<uint8_t> bytes(
+          (std::istreambuf_iterator<char>(file)),
+          std::istreambuf_iterator<char>());
+      estimator = smb::SelfMorphingBitmap::Deserialize(bytes);
+      if (!estimator.has_value()) {
+        std::fprintf(stderr, "%s is not a valid SMB snapshot\n",
+                     options.load_path.c_str());
+        return 1;
+      }
+    } else {
+      estimator = smb::SelfMorphingBitmap::WithOptimalThreshold(
+          options.memory_bits, options.design_cardinality, options.seed);
+    }
+    FeedAllInputs(options, [&](const std::string& s) {
+      estimator->AddBytes(s);
+    });
+    std::printf("%.0f\n", estimator->Estimate());
+    if (!options.save_path.empty()) {
+      const auto bytes = estimator->Serialize();
+      std::ofstream file(options.save_path, std::ios::binary);
+      if (!file) {
+        std::fprintf(stderr, "cannot write %s\n",
+                     options.save_path.c_str());
+        return 1;
+      }
+      file.write(reinterpret_cast<const char*>(bytes.data()),
+                 static_cast<std::streamsize>(bytes.size()));
+    }
+    return 0;
+  }
+
+  const auto kind = smb::EstimatorKindFromName(options.algo);
+  if (!kind.has_value()) {
+    std::fprintf(stderr, "unknown algorithm '%s'\n", options.algo.c_str());
+    return 2;
+  }
+  smb::EstimatorSpec spec;
+  spec.kind = *kind;
+  spec.memory_bits = options.memory_bits;
+  spec.design_cardinality = options.design_cardinality;
+  spec.hash_seed = options.seed;
+  auto estimator = smb::CreateEstimator(spec);
+  FeedAllInputs(options, [&](const std::string& s) {
+    estimator->AddBytes(s);
+  });
+  std::printf("%.0f\n", estimator->Estimate());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions options = ParseArgs(argc, argv);
+  return options.all ? RunAll(options) : RunSingle(options);
+}

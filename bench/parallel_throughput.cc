@@ -1,0 +1,162 @@
+// Parallel recording throughput: the sharded concurrent pipeline vs the
+// single-threaded Add() baseline over the same stream.
+//
+// Emits one JSON object on stdout (machine-readable, one result per mode)
+// so CI and plotting scripts can track the speedup curve:
+//   * add                 — one thread, one estimator, item-at-a-time
+//   * add_batch           — one thread, one estimator, block fast path
+//   * sharded_add_batch   — one thread driving all K shards
+//   * parallel/P          — P producers + K shard consumer threads through
+//                           the SPSC rings (ordered, deterministic mode)
+//
+// The ISSUE-level target (>= 4x aggregate throughput at 8 threads) needs
+// >= 8 hardware threads; `hardware_concurrency` is part of the output so a
+// 1-core box's numbers are not misread as a pipeline regression.
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/timer.h"
+#include "parallel/parallel_recorder.h"
+#include "parallel/sharded_estimator.h"
+
+namespace smb::bench {
+namespace {
+
+constexpr size_t kTotalMemoryBits = 40000;
+constexpr size_t kNumShards = 8;
+constexpr uint64_t kStreamSeed = 29;
+
+EstimatorSpec ShardSpec(uint64_t n) {
+  EstimatorSpec spec;
+  spec.kind = EstimatorKind::kSmb;
+  spec.memory_bits = kTotalMemoryBits / kNumShards;
+  spec.design_cardinality = n / kNumShards;
+  spec.hash_seed = 3;
+  return spec;
+}
+
+struct ModeResult {
+  const char* mode;
+  size_t threads;
+  double mdps;
+  double estimate;
+};
+
+ModeResult RunSingle(uint64_t n, bool batched) {
+  EstimatorSpec spec = ShardSpec(n);
+  spec.memory_bits = kTotalMemoryBits;
+  spec.design_cardinality = n;
+  auto estimator = CreateEstimator(spec);
+  WallTimer timer;
+  if (batched) {
+    constexpr size_t kChunk = 4096;
+    std::vector<uint64_t> chunk(kChunk);
+    for (uint64_t base = 0; base < n; base += kChunk) {
+      const size_t len =
+          static_cast<size_t>(n - base < kChunk ? n - base : kChunk);
+      for (size_t i = 0; i < len; ++i) {
+        chunk[i] = NthItem(kStreamSeed, base + i);
+      }
+      estimator->AddBatch(std::span<const uint64_t>(chunk.data(), len));
+    }
+  } else {
+    for (uint64_t i = 0; i < n; ++i) {
+      estimator->Add(NthItem(kStreamSeed, i));
+    }
+  }
+  const double seconds = timer.ElapsedSeconds();
+  return {batched ? "add_batch" : "add", 1,
+          static_cast<double>(n) / seconds / 1e6, estimator->Estimate()};
+}
+
+ModeResult RunShardedSingleThread(uint64_t n) {
+  ShardedEstimator::Config config;
+  config.shard_spec = ShardSpec(n);
+  config.num_shards = kNumShards;
+  ShardedEstimator estimator(config);
+  constexpr size_t kChunk = 4096;
+  std::vector<uint64_t> chunk(kChunk);
+  WallTimer timer;
+  for (uint64_t base = 0; base < n; base += kChunk) {
+    const size_t len =
+        static_cast<size_t>(n - base < kChunk ? n - base : kChunk);
+    for (size_t i = 0; i < len; ++i) {
+      chunk[i] = NthItem(kStreamSeed, base + i);
+    }
+    estimator.AddBatch(std::span<const uint64_t>(chunk.data(), len));
+  }
+  const double seconds = timer.ElapsedSeconds();
+  return {"sharded_add_batch", 1, static_cast<double>(n) / seconds / 1e6,
+          estimator.Estimate()};
+}
+
+ModeResult RunParallel(uint64_t n, size_t producers) {
+  ShardedEstimator::Config config;
+  config.shard_spec = ShardSpec(n);
+  config.num_shards = kNumShards;
+  ShardedEstimator estimator(config);
+  ParallelRecorder::Options options;
+  options.num_producers = producers;
+  ParallelRecorder recorder(&estimator, options);
+  WallTimer timer;
+  recorder.RecordStream(0, n, [](uint64_t i) {
+    return NthItem(kStreamSeed, i);
+  });
+  const double seconds = timer.ElapsedSeconds();
+  return {"parallel", producers + kNumShards,
+          static_cast<double>(n) / seconds / 1e6, estimator.Estimate()};
+}
+
+void Run(const BenchScale& scale) {
+  const uint64_t n = scale.full ? 100000000 : 8000000;
+  std::vector<ModeResult> results;
+  results.push_back(RunSingle(n, /*batched=*/false));
+  results.push_back(RunSingle(n, /*batched=*/true));
+  results.push_back(RunShardedSingleThread(n));
+  std::vector<size_t> producer_counts = {1, 2, 4, 8};
+  for (size_t producers : producer_counts) {
+    results.push_back(RunParallel(n, producers));
+  }
+
+  const double baseline = results[0].mdps;
+  double best_parallel = 0.0;
+  std::printf("{\n");
+  std::printf("  \"bench\": \"parallel_throughput\",\n");
+  std::printf("  \"hardware_concurrency\": %u,\n",
+              std::thread::hardware_concurrency());
+  std::printf("  \"cardinality\": %llu,\n",
+              static_cast<unsigned long long>(n));
+  std::printf("  \"total_memory_bits\": %zu,\n", kTotalMemoryBits);
+  std::printf("  \"num_shards\": %zu,\n", kNumShards);
+  std::printf("  \"results\": [\n");
+  size_t producer_index = 0;
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ModeResult& r = results[i];
+    std::printf("    {\"mode\": \"%s\", \"threads\": %zu, ", r.mode,
+                r.threads);
+    if (std::string_view(r.mode) == "parallel") {
+      std::printf("\"producers\": %zu, \"shards\": %zu, ",
+                  producer_counts[producer_index++], kNumShards);
+      if (r.mdps > best_parallel) best_parallel = r.mdps;
+    }
+    std::printf("\"mdps\": %.2f, \"estimate\": %.0f, \"rel_error\": %.4f}%s\n",
+                r.mdps, r.estimate,
+                (r.estimate - static_cast<double>(n)) / static_cast<double>(n),
+                i + 1 < results.size() ? "," : "");
+  }
+  std::printf("  ],\n");
+  std::printf("  \"speedup_best_parallel_vs_add\": %.2f\n",
+              baseline > 0 ? best_parallel / baseline : 0.0);
+  std::printf("}\n");
+}
+
+}  // namespace
+}  // namespace smb::bench
+
+int main(int argc, char** argv) {
+  smb::bench::Run(smb::bench::ParseScale(argc, argv));
+  return 0;
+}

@@ -54,6 +54,14 @@ class BitVector {
     return was_zero;
   }
 
+  // Hints the CPU to pull the word holding bit i into cache for an
+  // imminent write. Used by batched recording loops that compute a block
+  // of positions before probing any of them.
+  void PrefetchForWrite(size_t i) const {
+    SMB_DCHECK(i < num_bits_);
+    __builtin_prefetch(&words_[i >> 6], 1 /*write*/, 3 /*high locality*/);
+  }
+
   // Number of one bits (popcount over words).
   size_t CountOnes() const;
 

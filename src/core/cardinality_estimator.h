@@ -19,6 +19,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string_view>
 
 #include "hash/murmur3.h"
@@ -60,6 +61,16 @@ class CardinalityEstimator {
   // estimator's seed (see hash/murmur3.h for why raw Murmur3 x64-128 is
   // not sufficient for 8-byte keys).
   virtual void AddHash(Hash128 hash) = 0;
+
+  // Records a block of 64-bit keys. Semantically identical to calling
+  // Add() on each element in order (overrides must preserve this — the
+  // parallel recording pipeline relies on it for determinism), but lets
+  // estimators amortize per-item costs: the SMB override hashes a block
+  // ahead of the state-dependent probes and prefetches the bitmap words
+  // it is about to touch.
+  virtual void AddBatch(std::span<const uint64_t> items) {
+    for (uint64_t item : items) Add(item);
+  }
 
   // Estimated number of distinct items recorded so far.
   virtual double Estimate() const = 0;

@@ -1,5 +1,6 @@
 #include "core/self_morphing_bitmap.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 
@@ -53,6 +54,41 @@ void SelfMorphingBitmap::AddHash(Hash128 hash) {
   }
 }
 
+void SelfMorphingBitmap::AddBatch(std::span<const uint64_t> items) {
+  // Hashing is independent of (r, v, bitmap) state, so a whole block can be
+  // hashed before any probe; only the accept/morph decisions below must be
+  // applied in stream order to stay equivalent to sequential Add().
+  constexpr size_t kBlock = 32;
+  int rank[kBlock];
+  size_t pos[kBlock];
+  while (!items.empty()) {
+    const size_t n = std::min(items.size(), size_t{kBlock});
+    for (size_t i = 0; i < n; ++i) {
+      const Hash128 hash = ItemHash128(items[i], hash_seed());
+      rank[i] = GeometricRank(hash.hi);
+      pos[i] = FastRange64(hash.lo, bits_.size());
+    }
+    // round_ only grows within the block, so items failing the filter now
+    // would fail it at their turn too; survivors may still be rejected at
+    // apply time after an intervening morph.
+    for (size_t i = 0; i < n; ++i) {
+      if (static_cast<size_t>(rank[i]) >= round_) {
+        bits_.PrefetchForWrite(pos[i]);
+      }
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (SMB_LIKELY(static_cast<size_t>(rank[i]) < round_)) continue;
+      if (!bits_.TestAndSet(pos[i])) continue;
+      ++ones_in_round_;
+      if (SMB_UNLIKELY(ones_in_round_ >= threshold_) && round_ < max_round_) {
+        ++round_;
+        ones_in_round_ = 0;
+      }
+    }
+    items = items.subspan(n);
+  }
+}
+
 double SelfMorphingBitmap::Estimate() const {
   const double m_r = static_cast<double>(LogicalBits());
   // Clamp the final round's fill at m_r - 1: a fully saturated logical
@@ -87,10 +123,13 @@ bool SelfMorphingBitmap::saturated() const {
 namespace {
 
 // Serialization layout (little-endian):
-//   magic "SMB1" (4 bytes)
+//   magic "SMB2" (4 bytes)
 //   u64 num_bits, u64 threshold, u64 hash_seed, u64 round, u64 ones_in_round
-//   u64 word_count, then word_count x u64 bitmap words.
-constexpr char kMagic[4] = {'S', 'M', 'B', '1'};
+//   u64 word_count, then word_count x u64 bitmap words,
+//   u64 checksum (Murmur3_64 of every preceding byte).
+// "SMB1" snapshots (no checksum, laxer validation) are not accepted.
+constexpr char kMagic[4] = {'S', 'M', 'B', '2'};
+constexpr uint64_t kChecksumSeed = 0x534D4232u;  // "SMB2"
 
 void AppendU64(std::vector<uint8_t>* out, uint64_t v) {
   for (int i = 0; i < 8; ++i) {
@@ -110,11 +149,15 @@ bool ReadU64(const std::vector<uint8_t>& in, size_t* pos, uint64_t* v) {
   return true;
 }
 
+uint64_t SnapshotChecksum(const uint8_t* data, size_t len) {
+  return Murmur3_128(data, len, kChecksumSeed).lo;
+}
+
 }  // namespace
 
 std::vector<uint8_t> SelfMorphingBitmap::Serialize() const {
   std::vector<uint8_t> out;
-  out.reserve(4 + 6 * 8 + bits_.words().size() * 8);
+  out.reserve(4 + 7 * 8 + bits_.words().size() * 8);
   for (char c : kMagic) out.push_back(static_cast<uint8_t>(c));
   AppendU64(&out, bits_.size());
   AppendU64(&out, threshold_);
@@ -123,6 +166,7 @@ std::vector<uint8_t> SelfMorphingBitmap::Serialize() const {
   AppendU64(&out, ones_in_round_);
   AppendU64(&out, bits_.words().size());
   for (uint64_t w : bits_.words()) AppendU64(&out, w);
+  AppendU64(&out, SnapshotChecksum(out.data(), out.size()));
   return out;
 }
 
@@ -142,13 +186,42 @@ std::optional<SelfMorphingBitmap> SelfMorphingBitmap::Deserialize(
     return std::nullopt;
   }
   if (word_count != (num_bits + 63) / 64) return std::nullopt;
+  // Exact-size check: trailing bytes after the word array + checksum would
+  // silently be ignored otherwise (a truncated-then-padded snapshot could
+  // pass).
+  if (bytes.size() != pos + word_count * 8 + 8) return std::nullopt;
   const size_t max_round = SmbMaxRound(num_bits, threshold);
   if (round > max_round) return std::nullopt;
+  // v counts bits newly set in the current round. A non-final round morphs
+  // the moment v reaches T, so any stored v must be below T; the final
+  // round cannot morph but v can never exceed the logical bitmap size.
+  const uint64_t logical_bits = num_bits - round * threshold;
+  if (round < max_round && ones >= threshold) return std::nullopt;
+  if (ones > logical_bits) return std::nullopt;
 
   std::vector<uint64_t> words(word_count);
   for (auto& w : words) {
     if (!ReadU64(bytes, &pos, &w)) return std::nullopt;
   }
+  uint64_t checksum = 0;
+  if (!ReadU64(bytes, &pos, &checksum) ||
+      checksum != SnapshotChecksum(bytes.data(), bytes.size() - 8)) {
+    return std::nullopt;
+  }
+
+  // Stray set bits above num_bits would break the BitVector invariant that
+  // the unused tail of the last word is zero (and corrupt CountOnes).
+  const size_t tail_bits = num_bits % 64;
+  if (tail_bits != 0 && (words.back() >> tail_bits) != 0) return std::nullopt;
+
+  // Cross-check the header against the bitmap: every completed round set
+  // exactly T fresh bits and the current round has set `ones` more, so a
+  // reachable snapshot satisfies popcount(words) == round * T + ones. A
+  // corrupted round/ones header would otherwise silently shift Estimate()
+  // by whole S-table entries.
+  uint64_t popcount = 0;
+  for (uint64_t w : words) popcount += static_cast<uint64_t>(Popcount64(w));
+  if (popcount != round * threshold + ones) return std::nullopt;
 
   Config config;
   config.num_bits = num_bits;

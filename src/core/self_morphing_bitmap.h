@@ -52,6 +52,11 @@ class SelfMorphingBitmap final : public CardinalityEstimator {
 
   // CardinalityEstimator interface -----------------------------------------
   void AddHash(Hash128 hash) override;
+  // Block-recording fast path: hashes a block of keys up front (the hash is
+  // state-independent), prefetches the bitmap words of items that survive
+  // the current round's sampling filter, then applies the probes in order.
+  // Bit-for-bit equivalent to a sequential Add() loop.
+  void AddBatch(std::span<const uint64_t> items) override;
   double Estimate() const override;
   // m bits plus the 32 auxiliary bits for (r, v) that the paper's query-
   // overhead analysis counts (6 bits of r + 26 bits of v).

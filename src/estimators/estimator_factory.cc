@@ -71,6 +71,39 @@ std::unique_ptr<CardinalityEstimator> CreateEstimator(
   return nullptr;
 }
 
+bool KindSupportsSerialization(EstimatorKind kind) {
+  return kind == EstimatorKind::kSmb || kind == EstimatorKind::kHllPp;
+}
+
+std::optional<std::vector<uint8_t>> SerializeEstimator(
+    const CardinalityEstimator& estimator) {
+  if (const auto* smb = dynamic_cast<const SelfMorphingBitmap*>(&estimator)) {
+    return smb->Serialize();
+  }
+  if (const auto* hllpp = dynamic_cast<const HyperLogLogPP*>(&estimator)) {
+    return hllpp->Serialize();
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<CardinalityEstimator> DeserializeEstimator(
+    EstimatorKind kind, const std::vector<uint8_t>& bytes) {
+  switch (kind) {
+    case EstimatorKind::kSmb: {
+      auto smb = SelfMorphingBitmap::Deserialize(bytes);
+      if (!smb.has_value()) return nullptr;
+      return std::make_unique<SelfMorphingBitmap>(std::move(*smb));
+    }
+    case EstimatorKind::kHllPp: {
+      auto hllpp = HyperLogLogPP::Deserialize(bytes);
+      if (!hllpp.has_value()) return nullptr;
+      return std::make_unique<HyperLogLogPP>(std::move(*hllpp));
+    }
+    default:
+      return nullptr;
+  }
+}
+
 std::string_view EstimatorKindName(EstimatorKind kind) {
   switch (kind) {
     case EstimatorKind::kSmb: return "SMB";

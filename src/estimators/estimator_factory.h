@@ -64,6 +64,26 @@ std::string_view EstimatorKindName(EstimatorKind kind);
 // Inverse of EstimatorKindName; nullopt for unknown names.
 std::optional<EstimatorKind> EstimatorKindFromName(std::string_view name);
 
+// Snapshot plumbing for the kinds with a binary serialization format
+// (currently SMB and HLL++). This is what lets kind-generic containers —
+// ShardedEstimator, the CLI's --save/--load — ship estimator state across
+// processes without knowing the concrete class.
+
+// True when `kind` supports SerializeEstimator/DeserializeEstimator.
+bool KindSupportsSerialization(EstimatorKind kind);
+
+// Binary snapshot of `estimator`'s full state; nullopt when its concrete
+// kind has no serialization format.
+std::optional<std::vector<uint8_t>> SerializeEstimator(
+    const CardinalityEstimator& estimator);
+
+// Reconstructs an estimator of `kind` from SerializeEstimator output.
+// nullptr on malformed input or a kind without a format. The snapshot
+// itself carries the configuration (size, seed); callers that require a
+// specific configuration must check the result against it.
+std::unique_ptr<CardinalityEstimator> DeserializeEstimator(
+    EstimatorKind kind, const std::vector<uint8_t>& bytes);
+
 // The five algorithms the paper's evaluation compares, in its column order:
 // MRB, FM, HLL++, HLL-TailC, SMB.
 std::vector<EstimatorKind> PaperComparisonSet();

@@ -94,9 +94,11 @@ void HyperLogLogPP::Reset() {
 
 namespace {
 
-// Layout: magic "HPP1", u64 num_registers, u64 hash_seed, then one byte
-// per register (values fit 5 bits; byte-wide keeps the format trivial).
-constexpr char kHllppMagic[4] = {'H', 'P', 'P', '1'};
+// Layout: magic "HPP2", u64 num_registers, u64 hash_seed, then one byte
+// per register (values fit 5 bits; byte-wide keeps the format trivial),
+// then a u64 checksum (Murmur3_64 of every preceding byte).
+constexpr char kHllppMagic[4] = {'H', 'P', 'P', '2'};
+constexpr uint64_t kHllppChecksumSeed = 0x48505032u;  // "HPP2"
 
 void AppendU64Le(std::vector<uint8_t>* out, uint64_t v) {
   for (int i = 0; i < 8; ++i) {
@@ -120,19 +122,21 @@ bool ReadU64Le(const std::vector<uint8_t>& in, size_t* pos, uint64_t* v) {
 
 std::vector<uint8_t> HyperLogLogPP::Serialize() const {
   std::vector<uint8_t> out;
-  out.reserve(4 + 16 + registers_.size());
+  out.reserve(4 + 24 + registers_.size());
   for (char c : kHllppMagic) out.push_back(static_cast<uint8_t>(c));
   AppendU64Le(&out, registers_.size());
   AppendU64Le(&out, hash_seed());
   for (size_t i = 0; i < registers_.size(); ++i) {
     out.push_back(static_cast<uint8_t>(registers_.Get(i)));
   }
+  AppendU64Le(&out, Murmur3_128(out.data(), out.size(),
+                                kHllppChecksumSeed).lo);
   return out;
 }
 
 std::optional<HyperLogLogPP> HyperLogLogPP::Deserialize(
     const std::vector<uint8_t>& bytes) {
-  if (bytes.size() < 20 ||
+  if (bytes.size() < 28 ||
       std::memcmp(bytes.data(), kHllppMagic, 4) != 0) {
     return std::nullopt;
   }
@@ -143,7 +147,15 @@ std::optional<HyperLogLogPP> HyperLogLogPP::Deserialize(
       !ReadU64Le(bytes, &pos, &seed)) {
     return std::nullopt;
   }
-  if (num_registers == 0 || bytes.size() != pos + num_registers) {
+  // Exact-size check rejects both truncation and trailing garbage.
+  if (num_registers == 0 || bytes.size() != pos + num_registers + 8) {
+    return std::nullopt;
+  }
+  size_t checksum_pos = pos + num_registers;
+  uint64_t checksum = 0;
+  if (!ReadU64Le(bytes, &checksum_pos, &checksum) ||
+      checksum != Murmur3_128(bytes.data(), bytes.size() - 8,
+                              kHllppChecksumSeed).lo) {
     return std::nullopt;
   }
   std::optional<HyperLogLogPP> out;

@@ -1,0 +1,155 @@
+#include "parallel/parallel_recorder.h"
+
+#include <atomic>
+#include <deque>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+#include "parallel/spsc_ring.h"
+
+namespace smb {
+namespace {
+
+// Consumer-side drain granularity. Larger than the producer batch so one
+// pop usually empties a whole hand-off.
+constexpr size_t kDrainChunk = 1024;
+
+// Blocking push of a full run into one ring; spins (yielding) while the
+// consumer catches up.
+void PushAll(SpscRing* ring, std::span<const uint64_t> run) {
+  while (!run.empty()) {
+    const size_t pushed = ring->TryPush(run);
+    if (pushed == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    run = run.subspan(pushed);
+  }
+}
+
+}  // namespace
+
+ParallelRecorder::ParallelRecorder(ShardedEstimator* estimator,
+                                   const Options& options)
+    : estimator_(estimator), options_(options) {
+  SMB_CHECK_MSG(estimator != nullptr, "ParallelRecorder needs an estimator");
+  SMB_CHECK_MSG(options.num_producers >= 1, "need at least one producer");
+  SMB_CHECK_MSG(options.batch_size >= 1, "need a positive batch size");
+  SMB_CHECK_MSG(options.ring_capacity >= options.batch_size,
+                "ring must hold at least one batch");
+}
+
+void ParallelRecorder::RecordStream(
+    uint64_t begin, uint64_t end,
+    const std::function<uint64_t(uint64_t)>& source) {
+  if (begin >= end) return;
+  const size_t num_producers = options_.num_producers;
+  const size_t num_shards = estimator_->num_shards();
+  const uint64_t total = end - begin;
+
+  // One SPSC ring per (producer, shard) pair. deque because the ring's
+  // atomics make it immovable.
+  std::deque<SpscRing> rings;
+  for (size_t i = 0; i < num_producers * num_shards; ++i) {
+    rings.emplace_back(options_.ring_capacity);
+  }
+  auto ring_at = [&](size_t producer, size_t shard) -> SpscRing* {
+    return &rings[producer * num_shards + shard];
+  };
+
+  std::vector<std::atomic<bool>> producer_done(num_producers);
+  for (auto& flag : producer_done) flag.store(false, std::memory_order_relaxed);
+
+  auto producer_main = [&](size_t p) {
+    // Contiguous range split keeps ordered mode equivalent to a sequential
+    // pass: per shard, producer p's items are exactly the stream's items
+    // with indices in [range_begin, range_end), in order.
+    const uint64_t range_begin = begin + total * p / num_producers;
+    const uint64_t range_end = begin + total * (p + 1) / num_producers;
+    std::vector<std::vector<uint64_t>> runs(num_shards);
+    for (auto& run : runs) run.reserve(options_.batch_size);
+    for (uint64_t i = range_begin; i < range_end; ++i) {
+      const uint64_t item = source(i);
+      const size_t shard = estimator_->ShardOf(item);
+      std::vector<uint64_t>& run = runs[shard];
+      run.push_back(item);
+      if (run.size() == options_.batch_size) {
+        PushAll(ring_at(p, shard), run);
+        run.clear();
+      }
+    }
+    for (size_t shard = 0; shard < num_shards; ++shard) {
+      if (!runs[shard].empty()) PushAll(ring_at(p, shard), runs[shard]);
+    }
+    producer_done[p].store(true, std::memory_order_release);
+  };
+
+  auto consumer_main = [&](size_t k) {
+    CardinalityEstimator* shard = estimator_->shard(k);
+    std::vector<uint64_t> chunk(kDrainChunk);
+    if (options_.ordered) {
+      // Drain producers in index order; a producer's ring is finished once
+      // its done flag is up AND the ring reads empty afterwards.
+      for (size_t p = 0; p < num_producers; ++p) {
+        SpscRing* ring = ring_at(p, k);
+        while (true) {
+          const size_t n = ring->TryPop(chunk.data(), chunk.size());
+          if (n > 0) {
+            shard->AddBatch(std::span<const uint64_t>(chunk.data(), n));
+            continue;
+          }
+          if (producer_done[p].load(std::memory_order_acquire)) {
+            const size_t rest = ring->TryPop(chunk.data(), chunk.size());
+            if (rest == 0) break;
+            shard->AddBatch(std::span<const uint64_t>(chunk.data(), rest));
+          } else {
+            std::this_thread::yield();
+          }
+        }
+      }
+    } else {
+      // Round-robin all producer rings until every producer is done and
+      // every ring is drained.
+      while (true) {
+        size_t drained = 0;
+        bool all_done = true;
+        for (size_t p = 0; p < num_producers; ++p) {
+          all_done = producer_done[p].load(std::memory_order_acquire) &&
+                     all_done;
+          const size_t n = ring_at(p, k)->TryPop(chunk.data(), chunk.size());
+          if (n > 0) {
+            shard->AddBatch(std::span<const uint64_t>(chunk.data(), n));
+            drained += n;
+          }
+        }
+        if (drained == 0) {
+          // all_done was sampled before the final empty sweep above, so an
+          // empty pass after it implies no more items can arrive.
+          if (all_done) break;
+          std::this_thread::yield();
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> consumers;
+  consumers.reserve(num_shards);
+  for (size_t k = 0; k < num_shards; ++k) {
+    consumers.emplace_back(consumer_main, k);
+  }
+  std::vector<std::thread> producers;
+  producers.reserve(num_producers);
+  for (size_t p = 0; p < num_producers; ++p) {
+    producers.emplace_back(producer_main, p);
+  }
+  for (auto& t : producers) t.join();
+  for (auto& t : consumers) t.join();
+}
+
+void ParallelRecorder::RecordItems(std::span<const uint64_t> items) {
+  RecordStream(0, items.size(),
+               [items](uint64_t i) { return items[static_cast<size_t>(i)]; });
+}
+
+}  // namespace smb

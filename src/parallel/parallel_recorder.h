@@ -1,0 +1,76 @@
+// ParallelRecorder — the thread-per-shard concurrent recording driver.
+//
+// Topology: N producer threads × K shard consumer threads, connected by
+// N·K single-producer/single-consumer rings (one per pair), so the hot
+// path takes no locks anywhere:
+//
+//   producer p:  item -> ShardOf(item) -> local run -> ring[p][shard]
+//   consumer k:  drain ring[*][k]      -> shard_k->AddBatch(run)
+//
+// Producers split the stream into contiguous ranges and hand items off in
+// batches; each shard estimator is touched by exactly one consumer thread,
+// so the estimators themselves need no synchronization.
+//
+// Ordered mode (default): consumer k drains producer 0's ring to
+// completion, then producer 1's, and so on. Because the ranges are
+// contiguous, that replays each shard's items in exact stream order — the
+// final shard states are bit-identical to a single-threaded Add() loop
+// over the same stream, for any producer count. Relaxed mode round-robins
+// the producer rings instead, trading that determinism for less producer
+// back-pressure (for order-insensitive shard kinds like HLL++ the final
+// state is identical either way).
+
+#ifndef SMBCARD_PARALLEL_PARALLEL_RECORDER_H_
+#define SMBCARD_PARALLEL_PARALLEL_RECORDER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "parallel/sharded_estimator.h"
+
+namespace smb {
+
+class ParallelRecorder {
+ public:
+  struct Options {
+    size_t num_producers = 1;
+    // Items each (producer, shard) ring can buffer (rounded up to a power
+    // of two). Bounds how far a producer can run ahead of its consumers.
+    size_t ring_capacity = 1 << 14;
+    // Producer-side hand-off granularity: items accumulated per shard
+    // before a ring push.
+    size_t batch_size = 256;
+    // Deterministic producer-order draining (see file comment).
+    bool ordered = true;
+  };
+
+  // `estimator` must outlive the recorder and must not be touched by other
+  // threads while a Record call is running.
+  ParallelRecorder(ShardedEstimator* estimator, const Options& options);
+
+  ParallelRecorder(const ParallelRecorder&) = delete;
+  ParallelRecorder& operator=(const ParallelRecorder&) = delete;
+
+  // Records source(i) for every i in [begin, end), splitting the index
+  // range contiguously across producers. Blocks until every item is
+  // recorded. `source` is called concurrently from producer threads and
+  // must be thread-safe for distinct i (a pure function of i, like
+  // bench::NthItem, qualifies).
+  void RecordStream(uint64_t begin, uint64_t end,
+                    const std::function<uint64_t(uint64_t)>& source);
+
+  // Convenience for in-memory data: records every element of `items`.
+  void RecordItems(std::span<const uint64_t> items);
+
+  const Options& options() const { return options_; }
+
+ private:
+  ShardedEstimator* estimator_;
+  Options options_;
+};
+
+}  // namespace smb
+
+#endif  // SMBCARD_PARALLEL_PARALLEL_RECORDER_H_

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 namespace smb {
 namespace {
 
@@ -58,6 +61,54 @@ TEST(FactoryTest, SeedIsPropagated) {
   spec.hash_seed = 12345;
   auto estimator = CreateEstimator(spec);
   EXPECT_EQ(estimator->hash_seed(), 12345u);
+}
+
+TEST(FactoryTest, SerializationPlumbingRoundTrips) {
+  for (EstimatorKind kind : AllEstimatorKinds()) {
+    EstimatorSpec spec;
+    spec.kind = kind;
+    spec.memory_bits = 5000;
+    spec.design_cardinality = 100000;
+    spec.hash_seed = 77;
+    auto estimator = CreateEstimator(spec);
+    for (uint64_t i = 0; i < 20000; ++i) estimator->Add(i * 2654435761u);
+    const auto bytes = SerializeEstimator(*estimator);
+    if (!KindSupportsSerialization(kind)) {
+      EXPECT_FALSE(bytes.has_value()) << EstimatorKindName(kind);
+      EXPECT_EQ(DeserializeEstimator(kind, {1, 2, 3}), nullptr);
+      continue;
+    }
+    ASSERT_TRUE(bytes.has_value()) << EstimatorKindName(kind);
+    auto restored = DeserializeEstimator(kind, *bytes);
+    ASSERT_NE(restored, nullptr) << EstimatorKindName(kind);
+    EXPECT_EQ(restored->Name(), estimator->Name());
+    EXPECT_EQ(restored->hash_seed(), estimator->hash_seed());
+    EXPECT_DOUBLE_EQ(restored->Estimate(), estimator->Estimate());
+    EXPECT_EQ(SerializeEstimator(*restored), bytes);
+    // Kind/bytes mismatch must fail cleanly, not misparse.
+    const EstimatorKind other_kind = kind == EstimatorKind::kSmb
+                                         ? EstimatorKind::kHllPp
+                                         : EstimatorKind::kSmb;
+    EXPECT_EQ(DeserializeEstimator(other_kind, *bytes), nullptr);
+  }
+}
+
+TEST(FactoryTest, AddBatchMatchesAddForEveryKind) {
+  std::vector<uint64_t> items;
+  for (uint64_t i = 0; i < 30000; ++i) items.push_back(i * 0x9E3779B97F4A7C15ULL);
+  for (EstimatorKind kind : AllEstimatorKinds()) {
+    EstimatorSpec spec;
+    spec.kind = kind;
+    spec.memory_bits = 5000;
+    spec.design_cardinality = 100000;
+    spec.hash_seed = 99;
+    auto loop = CreateEstimator(spec);
+    auto batched = CreateEstimator(spec);
+    for (uint64_t item : items) loop->Add(item);
+    batched->AddBatch(items);
+    EXPECT_DOUBLE_EQ(batched->Estimate(), loop->Estimate())
+        << EstimatorKindName(kind);
+  }
 }
 
 TEST(FactoryTest, SmallMemoryStillWorks) {

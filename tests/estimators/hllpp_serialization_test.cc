@@ -61,8 +61,49 @@ TEST(HllppSerializationTest, RejectsMalformedInput) {
   truncated.resize(truncated.size() - 5);
   EXPECT_FALSE(HyperLogLogPP::Deserialize(truncated).has_value());
   auto bad_register = bytes;
-  bad_register.back() = 99;  // register value > 31
+  bad_register.back() = 99;  // corrupts the checksum trailer
   EXPECT_FALSE(HyperLogLogPP::Deserialize(bad_register).has_value());
+}
+
+namespace {
+
+// Mirror of the format constants in hyperloglog_pp.cc, to craft payloads
+// that pass the checksum gate and exercise the structural checks.
+constexpr uint64_t kHllppChecksumSeed = 0x48505032u;  // "HPP2"
+
+void ResignSnapshot(std::vector<uint8_t>* bytes) {
+  const uint64_t checksum =
+      Murmur3_128(bytes->data(), bytes->size() - 8, kHllppChecksumSeed).lo;
+  for (int i = 0; i < 8; ++i) {
+    (*bytes)[bytes->size() - 8 + static_cast<size_t>(i)] =
+        static_cast<uint8_t>(checksum >> (8 * i));
+  }
+}
+
+}  // namespace
+
+TEST(HllppSerializationTest, RejectsSingleBitFlipsEverywhere) {
+  const auto bytes = MakeLoaded(2, 500).Serialize();
+  for (size_t offset = 0; offset < bytes.size(); ++offset) {
+    auto corrupted = bytes;
+    corrupted[offset] ^= 0x04;
+    EXPECT_FALSE(HyperLogLogPP::Deserialize(corrupted).has_value())
+        << "offset=" << offset;
+  }
+}
+
+TEST(HllppSerializationTest, RejectsOverflowingRegisterValue) {
+  auto bytes = MakeLoaded(3, 500).Serialize();
+  bytes[bytes.size() - 9] = 45;  // last register byte: > 31 is impossible
+  ResignSnapshot(&bytes);
+  EXPECT_FALSE(HyperLogLogPP::Deserialize(bytes).has_value());
+}
+
+TEST(HllppSerializationTest, RejectsTrailingGarbageEvenWhenResigned) {
+  auto bytes = MakeLoaded(4, 500).Serialize();
+  bytes.insert(bytes.end(), {0xDE, 0xAD, 0xBE, 0xEF, 0, 0, 0, 0});
+  ResignSnapshot(&bytes);
+  EXPECT_FALSE(HyperLogLogPP::Deserialize(bytes).has_value());
 }
 
 TEST(HllppSerializationTest, EmptySketchRoundTrips) {

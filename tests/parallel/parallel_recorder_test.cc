@@ -1,0 +1,205 @@
+// Determinism and accuracy of the concurrent recording pipeline. These
+// tests are the designated TSan workload for the parallel layer: they run
+// real producer/consumer thread fleets through the SPSC rings at sizes
+// small enough for sanitizer builds.
+
+#include "parallel/parallel_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "parallel/sharded_estimator.h"
+#include "parallel/spsc_ring.h"
+
+namespace smb {
+namespace {
+
+ShardedEstimator::Config SmbConfig(size_t num_shards, uint64_t seed) {
+  ShardedEstimator::Config config;
+  config.shard_spec.kind = EstimatorKind::kSmb;
+  config.shard_spec.memory_bits = 5000;
+  config.shard_spec.design_cardinality = 100000;
+  config.shard_spec.hash_seed = seed;
+  config.num_shards = num_shards;
+  config.shard_seed = seed + 100;
+  return config;
+}
+
+std::vector<uint8_t> RecordSequentially(const ShardedEstimator::Config& config,
+                                        uint64_t n, uint64_t stream_seed) {
+  ShardedEstimator est(config);
+  for (uint64_t i = 0; i < n; ++i) est.Add(bench::NthItem(stream_seed, i));
+  auto bytes = est.Serialize();
+  EXPECT_TRUE(bytes.has_value());
+  return *bytes;
+}
+
+std::vector<uint8_t> RecordInParallel(const ShardedEstimator::Config& config,
+                                      uint64_t n, uint64_t stream_seed,
+                                      const ParallelRecorder::Options& options) {
+  ShardedEstimator est(config);
+  ParallelRecorder recorder(&est, options);
+  recorder.RecordStream(0, n, [stream_seed](uint64_t i) {
+    return bench::NthItem(stream_seed, i);
+  });
+  auto bytes = est.Serialize();
+  EXPECT_TRUE(bytes.has_value());
+  return *bytes;
+}
+
+TEST(SpscRingTest, PushPopRoundTrips) {
+  SpscRing ring(64);
+  EXPECT_EQ(ring.capacity(), 64u);
+  std::vector<uint64_t> in = {1, 2, 3, 4, 5};
+  EXPECT_EQ(ring.TryPush(in), 5u);
+  uint64_t out[8] = {};
+  EXPECT_EQ(ring.TryPop(out, 8), 5u);
+  for (size_t i = 0; i < 5; ++i) EXPECT_EQ(out[i], in[i]);
+  EXPECT_EQ(ring.TryPop(out, 8), 0u);
+}
+
+TEST(SpscRingTest, RejectsPushesBeyondCapacity) {
+  SpscRing ring(4);
+  std::vector<uint64_t> batch = {1, 2, 3, 4};
+  EXPECT_EQ(ring.TryPush(batch), 4u);
+  EXPECT_EQ(ring.TryPush(batch), 0u);
+  uint64_t out[4];
+  EXPECT_EQ(ring.TryPop(out, 2), 2u);
+  EXPECT_EQ(ring.TryPush(batch), 2u);  // partial push into freed space
+}
+
+TEST(SpscRingTest, WrapsAroundManyTimes) {
+  SpscRing ring(8);
+  uint64_t next_in = 0, next_out = 0;
+  uint64_t out[3];
+  for (int iteration = 0; iteration < 1000; ++iteration) {
+    uint64_t in[3] = {next_in, next_in + 1, next_in + 2};
+    next_in += ring.TryPush(std::span<const uint64_t>(in, 3));
+    const size_t popped = ring.TryPop(out, 3);
+    for (size_t i = 0; i < popped; ++i) {
+      ASSERT_EQ(out[i], next_out);
+      ++next_out;
+    }
+  }
+  for (size_t popped = ring.TryPop(out, 3); popped > 0;
+       popped = ring.TryPop(out, 3)) {
+    for (size_t i = 0; i < popped; ++i) {
+      ASSERT_EQ(out[i], next_out);
+      ++next_out;
+    }
+  }
+  EXPECT_GT(next_in, 1000u);  // far more than one lap around an 8-slot ring
+  EXPECT_EQ(next_out, next_in);
+}
+
+TEST(ParallelRecorderTest, OneProducerMatchesSequentialExactly) {
+  const auto config = SmbConfig(4, 1);
+  const uint64_t n = 60000;
+  ParallelRecorder::Options options;
+  options.num_producers = 1;
+  EXPECT_EQ(RecordInParallel(config, n, 7, options),
+            RecordSequentially(config, n, 7));
+}
+
+TEST(ParallelRecorderTest, ManyProducersMatchSequentialExactly) {
+  // Ordered mode: contiguous range split + producer-order draining replays
+  // every shard's items in stream order, so N-producer runs are
+  // bit-identical to the single-threaded run.
+  const auto config = SmbConfig(4, 2);
+  const uint64_t n = 60000;
+  const auto reference = RecordSequentially(config, n, 9);
+  for (size_t producers : {2u, 4u, 8u}) {
+    ParallelRecorder::Options options;
+    options.num_producers = producers;
+    options.ring_capacity = 1 << 10;  // small rings force back-pressure
+    options.batch_size = 64;
+    EXPECT_EQ(RecordInParallel(config, n, 9, options), reference)
+        << "producers=" << producers;
+  }
+}
+
+TEST(ParallelRecorderTest, RelaxedModeCountsEveryItemExactlyOnce) {
+  // Relaxed draining reorders across producers, so SMB states may differ
+  // from sequential — but no item may be lost or double-recorded. HLL++
+  // registers are order-insensitive max's, so its state must be identical.
+  ShardedEstimator::Config config;
+  config.shard_spec.kind = EstimatorKind::kHllPp;
+  config.shard_spec.memory_bits = 5000;
+  config.shard_spec.hash_seed = 3;
+  config.num_shards = 4;
+  const uint64_t n = 60000;
+  ShardedEstimator sequential(config);
+  for (uint64_t i = 0; i < n; ++i) sequential.Add(bench::NthItem(11, i));
+  ShardedEstimator parallel(config);
+  ParallelRecorder::Options options;
+  options.num_producers = 4;
+  options.ordered = false;
+  ParallelRecorder recorder(&parallel, options);
+  recorder.RecordStream(0, n, [](uint64_t i) {
+    return bench::NthItem(11, i);
+  });
+  EXPECT_EQ(*parallel.Serialize(), *sequential.Serialize());
+}
+
+TEST(ParallelRecorderTest, RecordItemsMatchesRecordStream) {
+  const auto config = SmbConfig(2, 4);
+  std::vector<uint64_t> items;
+  for (uint64_t i = 0; i < 20000; ++i) items.push_back(bench::NthItem(13, i));
+  ShardedEstimator a(config);
+  ParallelRecorder::Options options;
+  options.num_producers = 2;
+  ParallelRecorder recorder_a(&a, options);
+  recorder_a.RecordItems(items);
+  const auto expected = RecordSequentially(config, 20000, 13);
+  EXPECT_EQ(*a.Serialize(), expected);
+}
+
+TEST(ParallelRecorderTest, EmptyAndTinyStreams) {
+  const auto config = SmbConfig(4, 5);
+  ShardedEstimator est(config);
+  ParallelRecorder::Options options;
+  options.num_producers = 8;  // more producers than items
+  ParallelRecorder recorder(&est, options);
+  recorder.RecordStream(0, 0, [](uint64_t i) { return i; });
+  EXPECT_DOUBLE_EQ(est.Estimate(), 0.0);
+  recorder.RecordStream(0, 3, [](uint64_t i) { return i * 1000; });
+  EXPECT_GT(est.Estimate(), 0.0);
+  EXPECT_LT(est.Estimate(), 10.0);
+}
+
+TEST(ParallelRecorderTest, ShardedSmbStaysInsidePaperErrorEnvelope) {
+  // Paper Fig. 5/6 territory: a 10000-bit (total) SMB budget at n = 10^5
+  // keeps relative error within a few percent. Sharding splits the budget
+  // across K estimators whose errors are independent, so the summed
+  // estimate's relative error concentrates at least as tightly. Average
+  // over a few decorrelated runs to keep the test robust yet meaningful.
+  const uint64_t n = 100000;
+  const size_t runs = 5;
+  double sum_abs_rel_err = 0.0;
+  for (size_t run = 0; run < runs; ++run) {
+    ShardedEstimator::Config config;
+    config.shard_spec.kind = EstimatorKind::kSmb;
+    config.shard_spec.memory_bits = 10000 / 8;
+    config.shard_spec.design_cardinality = n / 4;
+    config.shard_spec.hash_seed = 1000 + run;
+    config.num_shards = 8;
+    ShardedEstimator est(config);
+    ParallelRecorder::Options options;
+    options.num_producers = 4;
+    ParallelRecorder recorder(&est, options);
+    recorder.RecordStream(0, n, [run](uint64_t i) {
+      return bench::NthItem(run * 31 + 17, i);
+    });
+    sum_abs_rel_err +=
+        std::abs(est.Estimate() - static_cast<double>(n)) / n;
+  }
+  // Fig. 6's m=10000 envelope is ~5% worst-case at n=10^6 design load;
+  // at n=10^5 the mean absolute relative error stays well inside it.
+  EXPECT_LT(sum_abs_rel_err / runs, 0.05);
+}
+
+}  // namespace
+}  // namespace smb

@@ -1,0 +1,207 @@
+#include "parallel/sharded_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/self_morphing_bitmap.h"
+#include "estimators/hyperloglog_pp.h"
+
+namespace smb {
+namespace {
+
+ShardedEstimator::Config SmbConfig(size_t num_shards, uint64_t seed) {
+  ShardedEstimator::Config config;
+  config.shard_spec.kind = EstimatorKind::kSmb;
+  config.shard_spec.memory_bits = 5000;
+  config.shard_spec.design_cardinality = 100000;
+  config.shard_spec.hash_seed = seed;
+  config.num_shards = num_shards;
+  config.shard_seed = seed ^ 0xABCD;
+  return config;
+}
+
+TEST(ShardedEstimatorTest, RoutingIsDeterministicAndCoversAllShards) {
+  ShardedEstimator est(SmbConfig(8, 1));
+  std::set<size_t> seen;
+  for (uint64_t item = 0; item < 4000; ++item) {
+    const size_t shard = est.ShardOf(item);
+    ASSERT_LT(shard, 8u);
+    EXPECT_EQ(shard, est.ShardOf(item));
+    seen.insert(shard);
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(ShardedEstimatorTest, ShardSeedsAreDecorrelated) {
+  ShardedEstimator est(SmbConfig(8, 2));
+  std::set<uint64_t> seeds;
+  for (size_t k = 0; k < est.num_shards(); ++k) {
+    seeds.insert(est.shard(k)->hash_seed());
+    EXPECT_EQ(est.shard(k)->hash_seed(), est.ShardSeed(k));
+  }
+  EXPECT_EQ(seeds.size(), 8u);
+}
+
+TEST(ShardedEstimatorTest, EstimateSumsDisjointShardEstimates) {
+  ShardedEstimator est(SmbConfig(4, 3));
+  const uint64_t n = 50000;
+  for (uint64_t i = 0; i < n; ++i) est.Add(bench::NthItem(11, i));
+  double sum = 0.0;
+  for (size_t k = 0; k < est.num_shards(); ++k) {
+    sum += est.shard(k)->Estimate();
+  }
+  EXPECT_DOUBLE_EQ(est.Estimate(), sum);
+  EXPECT_NEAR(est.Estimate(), static_cast<double>(n), 0.05 * n);
+}
+
+TEST(ShardedEstimatorTest, DuplicatesNeverInflateTheEstimate) {
+  ShardedEstimator est(SmbConfig(4, 4));
+  for (uint64_t i = 0; i < 20000; ++i) est.Add(bench::NthItem(5, i));
+  const double before = est.Estimate();
+  for (uint64_t i = 0; i < 20000; ++i) est.Add(bench::NthItem(5, i));
+  EXPECT_DOUBLE_EQ(est.Estimate(), before);
+}
+
+TEST(ShardedEstimatorTest, AddBatchMatchesAddLoop) {
+  ShardedEstimator a(SmbConfig(4, 6));
+  ShardedEstimator b(SmbConfig(4, 6));
+  std::vector<uint64_t> items;
+  for (uint64_t i = 0; i < 30000; ++i) items.push_back(bench::NthItem(7, i));
+  for (uint64_t item : items) a.Add(item);
+  b.AddBatch(items);
+  const auto snap_a = a.Serialize();
+  const auto snap_b = b.Serialize();
+  ASSERT_TRUE(snap_a.has_value() && snap_b.has_value());
+  EXPECT_EQ(*snap_a, *snap_b);
+}
+
+TEST(ShardedEstimatorTest, SerializeRoundTripPreservesEveryShard) {
+  ShardedEstimator original(SmbConfig(8, 8));
+  for (uint64_t i = 0; i < 40000; ++i) original.Add(bench::NthItem(9, i));
+  const auto bytes = original.Serialize();
+  ASSERT_TRUE(bytes.has_value());
+  auto restored = ShardedEstimator::Deserialize(*bytes);
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_EQ(restored->num_shards(), original.num_shards());
+  EXPECT_DOUBLE_EQ(restored->Estimate(), original.Estimate());
+  // Restored estimator must continue recording identically.
+  for (uint64_t i = 40000; i < 50000; ++i) {
+    original.Add(bench::NthItem(9, i));
+    restored->Add(bench::NthItem(9, i));
+  }
+  EXPECT_EQ(*original.Serialize(), *restored->Serialize());
+}
+
+TEST(ShardedEstimatorTest, DeserializeRejectsCorruption) {
+  ShardedEstimator est(SmbConfig(4, 10));
+  for (uint64_t i = 0; i < 10000; ++i) est.Add(bench::NthItem(13, i));
+  const auto bytes = est.Serialize();
+  ASSERT_TRUE(bytes.has_value());
+  EXPECT_FALSE(ShardedEstimator::Deserialize({}).has_value());
+  for (size_t cut : {size_t{3}, size_t{20}, size_t{100},
+                     bytes->size() - 1}) {
+    std::vector<uint8_t> truncated(bytes->begin(),
+                                   bytes->begin() + static_cast<long>(cut));
+    EXPECT_FALSE(ShardedEstimator::Deserialize(truncated).has_value())
+        << "cut=" << cut;
+  }
+  for (size_t offset : {size_t{0}, size_t{5}, size_t{40}, size_t{60},
+                        bytes->size() / 2, bytes->size() - 2}) {
+    auto corrupted = *bytes;
+    corrupted[offset] ^= 0x10;
+    EXPECT_FALSE(ShardedEstimator::Deserialize(corrupted).has_value())
+        << "offset=" << offset;
+  }
+  auto padded = *bytes;
+  padded.push_back(0);
+  EXPECT_FALSE(ShardedEstimator::Deserialize(padded).has_value());
+}
+
+TEST(ShardedEstimatorTest, ReplaceShardReassemblesWorkerStates) {
+  // The distributed workflow for the non-mergeable SMB: worker k records
+  // only the elements routed to shard k, ships the shard snapshot, and the
+  // coordinator reassembles the exact monolithic state.
+  const auto config = SmbConfig(4, 12);
+  ShardedEstimator monolithic(config);
+  const uint64_t n = 30000;
+  for (uint64_t i = 0; i < n; ++i) monolithic.Add(bench::NthItem(17, i));
+
+  ShardedEstimator coordinator(config);
+  for (size_t k = 0; k < coordinator.num_shards(); ++k) {
+    // Worker k replays the stream, keeping only its shard's elements.
+    ShardedEstimator worker(config);
+    for (uint64_t i = 0; i < n; ++i) {
+      const uint64_t item = bench::NthItem(17, i);
+      if (worker.ShardOf(item) == k) worker.Add(item);
+    }
+    const auto shard_bytes = SerializeEstimator(*worker.shard(k));
+    ASSERT_TRUE(shard_bytes.has_value());
+    EXPECT_TRUE(coordinator.ReplaceShard(k, *shard_bytes));
+  }
+  EXPECT_EQ(*coordinator.Serialize(), *monolithic.Serialize());
+}
+
+TEST(ShardedEstimatorTest, ReplaceShardRejectsWrongConfiguration) {
+  ShardedEstimator est(SmbConfig(4, 14));
+  // Wrong seed: a shard snapshot from a different shard index.
+  ShardedEstimator other(SmbConfig(4, 14));
+  for (uint64_t i = 0; i < 1000; ++i) other.Add(i);
+  const auto shard1 = SerializeEstimator(*other.shard(1));
+  ASSERT_TRUE(shard1.has_value());
+  EXPECT_FALSE(est.ReplaceShard(0, *shard1));
+  EXPECT_TRUE(est.ReplaceShard(1, *shard1));
+  // Wrong size: snapshot of a differently-sized estimator.
+  SelfMorphingBitmap::Config smb_config;
+  smb_config.num_bits = 2000;
+  smb_config.threshold = 200;
+  smb_config.hash_seed = est.ShardSeed(2);
+  SelfMorphingBitmap small(smb_config);
+  EXPECT_FALSE(est.ReplaceShard(2, small.Serialize()));
+  // Out-of-range index and garbage bytes.
+  EXPECT_FALSE(est.ReplaceShard(99, *shard1));
+  EXPECT_FALSE(est.ReplaceShard(0, {1, 2, 3}));
+}
+
+TEST(ShardedEstimatorTest, HllShardsMergeAcrossSerializeBoundary) {
+  ShardedEstimator::Config config;
+  config.shard_spec.kind = EstimatorKind::kHllPp;
+  config.shard_spec.memory_bits = 5000;
+  config.shard_spec.hash_seed = 21;
+  config.num_shards = 4;
+  ShardedEstimator a(config);
+  ShardedEstimator b(config);
+  for (uint64_t i = 0; i < 30000; ++i) a.Add(bench::NthItem(23, i));
+  for (uint64_t i = 15000; i < 45000; ++i) b.Add(bench::NthItem(23, i));
+
+  const auto b_bytes = b.Serialize();
+  ASSERT_TRUE(b_bytes.has_value());
+  auto b_restored = ShardedEstimator::Deserialize(*b_bytes);
+  ASSERT_TRUE(b_restored.has_value());
+  ASSERT_TRUE(a.CanMergeWith(*b_restored));
+  ASSERT_TRUE(a.MergeFrom(*b_restored));
+  EXPECT_NEAR(a.Estimate(), 45000.0, 45000.0 * 0.10);
+}
+
+TEST(ShardedEstimatorTest, SmbShardsRefuseBitwiseMerge) {
+  ShardedEstimator a(SmbConfig(4, 30));
+  ShardedEstimator b(SmbConfig(4, 30));
+  EXPECT_FALSE(a.CanMergeWith(b));
+  EXPECT_FALSE(a.MergeFrom(b));
+}
+
+TEST(ShardedEstimatorTest, UnserializableKindReportsNullopt) {
+  ShardedEstimator::Config config;
+  config.shard_spec.kind = EstimatorKind::kMrb;
+  config.shard_spec.memory_bits = 5000;
+  config.num_shards = 2;
+  ShardedEstimator est(config);
+  for (uint64_t i = 0; i < 1000; ++i) est.Add(i);
+  EXPECT_GT(est.Estimate(), 0.0);
+  EXPECT_FALSE(est.Serialize().has_value());
+}
+
+}  // namespace
+}  // namespace smb

@@ -18,9 +18,12 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/json_writer.h"
 #include "common/timer.h"
 #include "parallel/parallel_recorder.h"
 #include "parallel/sharded_estimator.h"
+#include "telemetry/exporter.h"
+#include "telemetry/metrics_registry.h"
 
 namespace smb::bench {
 namespace {
@@ -123,34 +126,54 @@ void Run(const BenchScale& scale) {
 
   const double baseline = results[0].mdps;
   double best_parallel = 0.0;
-  std::printf("{\n");
-  std::printf("  \"bench\": \"parallel_throughput\",\n");
-  std::printf("  \"hardware_concurrency\": %u,\n",
-              std::thread::hardware_concurrency());
-  std::printf("  \"cardinality\": %llu,\n",
-              static_cast<unsigned long long>(n));
-  std::printf("  \"total_memory_bits\": %zu,\n", kTotalMemoryBits);
-  std::printf("  \"num_shards\": %zu,\n", kNumShards);
-  std::printf("  \"results\": [\n");
+  JsonWriter json(JsonWriter::kPretty);
+  json.BeginObject();
+  json.Key("bench");
+  json.String("parallel_throughput");
+  json.Key("cardinality");
+  json.Uint(n);
+  json.Key("total_memory_bits");
+  json.Uint(kTotalMemoryBits);
+  json.Key("num_shards");
+  json.Uint(kNumShards);
+  json.Key("results");
+  json.BeginArray();
   size_t producer_index = 0;
-  for (size_t i = 0; i < results.size(); ++i) {
-    const ModeResult& r = results[i];
-    std::printf("    {\"mode\": \"%s\", \"threads\": %zu, ", r.mode,
-                r.threads);
+  for (const ModeResult& r : results) {
+    json.BeginObject();
+    json.Key("mode");
+    json.String(r.mode);
+    json.Key("threads");
+    json.Uint(r.threads);
     if (std::string_view(r.mode) == "parallel") {
-      std::printf("\"producers\": %zu, \"shards\": %zu, ",
-                  producer_counts[producer_index++], kNumShards);
+      json.Key("producers");
+      json.Uint(producer_counts[producer_index++]);
+      json.Key("shards");
+      json.Uint(kNumShards);
       if (r.mdps > best_parallel) best_parallel = r.mdps;
     }
-    std::printf("\"mdps\": %.2f, \"estimate\": %.0f, \"rel_error\": %.4f}%s\n",
-                r.mdps, r.estimate,
-                (r.estimate - static_cast<double>(n)) / static_cast<double>(n),
-                i + 1 < results.size() ? "," : "");
+    json.Key("mdps");
+    json.Double(r.mdps, 2);
+    json.Key("estimate");
+    json.Double(r.estimate, 0);
+    json.Key("rel_error");
+    json.Double(
+        (r.estimate - static_cast<double>(n)) / static_cast<double>(n), 4);
+    json.EndObject();
   }
-  std::printf("  ],\n");
-  std::printf("  \"speedup_best_parallel_vs_add\": %.2f\n",
-              baseline > 0 ? best_parallel / baseline : 0.0);
-  std::printf("}\n");
+  json.EndArray();
+  // hardware_concurrency sits right next to the speedup it contextualizes:
+  // on a 1-core box a ~1x speedup is expected, not a pipeline regression.
+  json.Key("hardware_concurrency");
+  json.Uint(std::thread::hardware_concurrency());
+  json.Key("speedup_best_parallel_vs_add");
+  json.Double(baseline > 0 ? best_parallel / baseline : 0.0, 2);
+  // Telemetry accumulated over every mode above (empty in OFF builds).
+  json.Key("telemetry");
+  telemetry::WriteJson(telemetry::MetricsRegistry::Global().Snapshot(),
+                       &json);
+  json.EndObject();
+  std::printf("%s\n", json.str().c_str());
 }
 
 }  // namespace

@@ -1,0 +1,154 @@
+#include "common/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/macros.h"
+
+namespace smb {
+
+void JsonWriter::NewlineIndent(size_t depth) {
+  if (style_ != kPretty) return;
+  out_.push_back('\n');
+  out_.append(2 * depth, ' ');
+}
+
+void JsonWriter::BeforeValue() {
+  if (stack_.empty()) {
+    SMB_CHECK_MSG(root_values_ == 0 && !key_pending_,
+                  "JSON document has exactly one root value");
+    ++root_values_;
+    return;
+  }
+  Frame& frame = stack_.back();
+  if (frame.is_object) {
+    SMB_CHECK_MSG(key_pending_, "object member needs a Key() first");
+    key_pending_ = false;
+    return;  // Key() already placed the comma and indentation
+  }
+  if (frame.count > 0) out_.push_back(',');
+  NewlineIndent(stack_.size());
+  ++frame.count;
+}
+
+void JsonWriter::Key(std::string_view key) {
+  SMB_CHECK_MSG(!stack_.empty() && stack_.back().is_object,
+                "Key() outside an object");
+  SMB_CHECK_MSG(!key_pending_, "two keys in a row");
+  Frame& frame = stack_.back();
+  if (frame.count > 0) out_.push_back(',');
+  NewlineIndent(stack_.size());
+  ++frame.count;
+  out_.push_back('"');
+  AppendEscaped(key);
+  out_.push_back('"');
+  out_.push_back(':');
+  if (style_ == kPretty) out_.push_back(' ');
+  key_pending_ = true;
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  stack_.push_back(Frame{/*is_object=*/true});
+  out_.push_back('{');
+}
+
+void JsonWriter::EndObject() {
+  SMB_CHECK_MSG(!stack_.empty() && stack_.back().is_object && !key_pending_,
+                "unbalanced EndObject()");
+  const size_t count = stack_.back().count;
+  stack_.pop_back();
+  if (count > 0) NewlineIndent(stack_.size());
+  out_.push_back('}');
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  stack_.push_back(Frame{/*is_object=*/false});
+  out_.push_back('[');
+}
+
+void JsonWriter::EndArray() {
+  SMB_CHECK_MSG(!stack_.empty() && !stack_.back().is_object,
+                "unbalanced EndArray()");
+  const size_t count = stack_.back().count;
+  stack_.pop_back();
+  if (count > 0) NewlineIndent(stack_.size());
+  out_.push_back(']');
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_.push_back('"');
+  AppendEscaped(value);
+  out_.push_back('"');
+}
+
+void JsonWriter::Uint(uint64_t value) {
+  BeforeValue();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu",
+                static_cast<unsigned long long>(value));
+  out_ += buf;
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(value));
+  out_ += buf;
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+}
+
+void JsonWriter::Double(double value, int precision) {
+  if (!std::isfinite(value)) {
+    Null();
+    return;
+  }
+  BeforeValue();
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  out_ += buf;
+}
+
+void JsonWriter::AppendEscaped(std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\r':
+        out_ += "\\r";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out_ += buf;
+        } else {
+          out_.push_back(c);
+        }
+    }
+  }
+}
+
+}  // namespace smb

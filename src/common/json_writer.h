@@ -1,0 +1,66 @@
+// Minimal streaming JSON writer: handles comma placement, key/value
+// pairing, string escaping, and optional pretty-printing, so emitters
+// (telemetry exporters, bench result blobs) never hand-roll punctuation.
+//
+// Structural misuse (a value in an object without a preceding Key, or
+// mismatched Begin/End) is a programming error and aborts via SMB_CHECK.
+
+#ifndef SMBCARD_COMMON_JSON_WRITER_H_
+#define SMBCARD_COMMON_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smb {
+
+class JsonWriter {
+ public:
+  enum Style { kCompact, kPretty };
+
+  explicit JsonWriter(Style style = kCompact) : style_(style) {}
+
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  // Next member's key; must be inside an object, exactly one per value.
+  void Key(std::string_view key);
+
+  void String(std::string_view value);
+  void Uint(uint64_t value);
+  void Int(int64_t value);
+  void Bool(bool value);
+  void Null();
+  // Fixed-point with `precision` fractional digits (what the bench tables
+  // print); non-finite values degrade to null (JSON has no NaN/Inf).
+  void Double(double value, int precision = 6);
+
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+ private:
+  struct Frame {
+    bool is_object;
+    size_t count = 0;  // members/elements emitted so far
+  };
+
+  void BeforeValue();
+  void AppendEscaped(std::string_view s);
+  void NewlineIndent(size_t depth);
+
+  Style style_;
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool key_pending_ = false;
+  size_t root_values_ = 0;
+};
+
+}  // namespace smb
+
+#endif  // SMBCARD_COMMON_JSON_WRITER_H_

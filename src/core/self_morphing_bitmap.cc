@@ -8,8 +8,39 @@
 #include "common/macros.h"
 #include "core/smb_params.h"
 #include "hash/geometric.h"
+#include "telemetry/metrics_registry.h"
+#include "telemetry/morph_tracer.h"
 
 namespace smb {
+
+#if SMB_TELEMETRY_ENABLED
+namespace {
+
+// Process-wide SMB recording counters, registered once. The pointers stay
+// valid forever (the registry never deallocates entries), so the hot path
+// pays exactly one relaxed fetch_add per update.
+struct SmbCounters {
+  telemetry::Counter* gate_accepts;
+  telemetry::Counter* gate_rejects;
+  telemetry::Counter* duplicate_bits;
+  telemetry::Counter* morphs;
+};
+
+SmbCounters& GlobalSmbCounters() {
+  static SmbCounters counters = [] {
+    auto& registry = telemetry::MetricsRegistry::Global();
+    return SmbCounters{
+        registry.GetCounter("smb_gate_accepts_total"),
+        registry.GetCounter("smb_gate_rejects_total"),
+        registry.GetCounter("smb_duplicate_bits_total"),
+        registry.GetCounter("smb_morphs_total"),
+    };
+  }();
+  return counters;
+}
+
+}  // namespace
+#endif  // SMB_TELEMETRY_ENABLED
 
 SelfMorphingBitmap::SelfMorphingBitmap(const Config& config)
     : CardinalityEstimator(config.hash_seed),
@@ -21,6 +52,9 @@ SelfMorphingBitmap::SelfMorphingBitmap(const Config& config)
   SMB_CHECK_MSG(config.num_bits >= 8, "SMB needs at least 8 bits");
   SMB_CHECK_MSG(config.threshold >= 1 && config.threshold <= config.num_bits,
                 "threshold must be in [1, num_bits]");
+#if SMB_TELEMETRY_ENABLED
+  telem_instance_id_ = telemetry::NextInstanceId();
+#endif
 }
 
 SelfMorphingBitmap SelfMorphingBitmap::WithOptimalThreshold(
@@ -33,16 +67,32 @@ SelfMorphingBitmap SelfMorphingBitmap::WithOptimalThreshold(
 }
 
 void SelfMorphingBitmap::AddHash(Hash128 hash) {
+#if SMB_TELEMETRY_ENABLED
+  ++telem_items_seen_;
+#endif
   // Step 1 (Algorithm 1): geometric sampling. Round r admits items with
   // G(d) >= r, i.e., probability 2^-r (Lemma 1). The common case for large
   // streams is rejection with no memory access at all.
   const int rank = GeometricRank(hash.hi);
-  if (SMB_LIKELY(static_cast<size_t>(rank) < round_)) return;
+  if (SMB_LIKELY(static_cast<size_t>(rank) < round_)) {
+#if SMB_TELEMETRY_ENABLED
+    GlobalSmbCounters().gate_rejects->Add();
+#endif
+    return;
+  }
+#if SMB_TELEMETRY_ENABLED
+  GlobalSmbCounters().gate_accepts->Add();
+#endif
 
   // Step 2: set the item's bit in the physical bitmap. Theorem 2: a
   // duplicate finds its bit already set (or fails Step 1) and is ignored.
   const size_t pos = FastRange64(hash.lo, bits_.size());
-  if (!bits_.TestAndSet(pos)) return;
+  if (!bits_.TestAndSet(pos)) {
+#if SMB_TELEMETRY_ENABLED
+    GlobalSmbCounters().duplicate_bits->Add();
+#endif
+    return;
+  }
   ++ones_in_round_;
 
   // Step 3: morph once the round filled T fresh bits. The final round
@@ -51,6 +101,9 @@ void SelfMorphingBitmap::AddHash(Hash128 hash) {
   if (SMB_UNLIKELY(ones_in_round_ >= threshold_) && round_ < max_round_) {
     ++round_;
     ones_in_round_ = 0;
+#if SMB_TELEMETRY_ENABLED
+    RecordMorphTelemetry();
+#endif
   }
 }
 
@@ -76,15 +129,39 @@ void SelfMorphingBitmap::AddBatch(std::span<const uint64_t> items) {
         bits_.PrefetchForWrite(pos[i]);
       }
     }
+#if SMB_TELEMETRY_ENABLED
+    // Counter updates are batched per block so telemetry costs a handful
+    // of relaxed fetch_adds per 32 items, not one per item.
+    uint64_t accepts = 0;
+    uint64_t duplicates = 0;
+    telem_items_seen_ += n;
+#endif
     for (size_t i = 0; i < n; ++i) {
       if (SMB_LIKELY(static_cast<size_t>(rank[i]) < round_)) continue;
-      if (!bits_.TestAndSet(pos[i])) continue;
+#if SMB_TELEMETRY_ENABLED
+      ++accepts;
+#endif
+      if (!bits_.TestAndSet(pos[i])) {
+#if SMB_TELEMETRY_ENABLED
+        ++duplicates;
+#endif
+        continue;
+      }
       ++ones_in_round_;
       if (SMB_UNLIKELY(ones_in_round_ >= threshold_) && round_ < max_round_) {
         ++round_;
         ones_in_round_ = 0;
+#if SMB_TELEMETRY_ENABLED
+        RecordMorphTelemetry();
+#endif
       }
     }
+#if SMB_TELEMETRY_ENABLED
+    SmbCounters& counters = GlobalSmbCounters();
+    if (accepts > 0) counters.gate_accepts->Add(accepts);
+    if (accepts < n) counters.gate_rejects->Add(n - accepts);
+    if (duplicates > 0) counters.duplicate_bits->Add(duplicates);
+#endif
     items = items.subspan(n);
   }
 }
@@ -105,7 +182,26 @@ void SelfMorphingBitmap::Reset() {
   bits_.ClearAll();
   round_ = 0;
   ones_in_round_ = 0;
+#if SMB_TELEMETRY_ENABLED
+  telem_items_seen_ = 0;
+#endif
 }
+
+#if SMB_TELEMETRY_ENABLED
+void SelfMorphingBitmap::RecordMorphTelemetry() {
+  GlobalSmbCounters().morphs->Add();
+  telemetry::MorphEvent event;
+  event.instance_id = telem_instance_id_;
+  event.round = round_;  // the round just entered (first morph records 1)
+  event.v = threshold_;  // the fill that triggered the morph is exactly T
+  event.bits_set = round_ * threshold_;
+  // Block-granular under AddBatch (items_seen is bumped per 32-item block),
+  // exact under Add(); monotone non-decreasing either way.
+  event.items_seen = telem_items_seen_;
+  event.timestamp_ns = telemetry::MonotonicNanos();
+  telemetry::MorphTracer::Global().Record(event);
+}
+#endif  // SMB_TELEMETRY_ENABLED
 
 double SelfMorphingBitmap::SamplingProbability() const {
   return std::ldexp(1.0, -static_cast<int>(round_));

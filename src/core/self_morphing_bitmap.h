@@ -24,6 +24,7 @@
 #include "bitvec/bit_vector.h"
 #include "core/cardinality_estimator.h"
 #include "hash/murmur3.h"
+#include "telemetry/telemetry_config.h"
 
 namespace smb {
 
@@ -87,6 +88,14 @@ class SelfMorphingBitmap final : public CardinalityEstimator {
   // The precomputed constants table S (paper Eq. 9), S[0..max_round()].
   const std::vector<double>& s_table() const { return s_table_; }
 
+#if SMB_TELEMETRY_ENABLED
+  // Telemetry introspection (SMB_TELEMETRY=ON builds only) -----------------
+  // Id tagging this instance's events in telemetry::MorphTracer.
+  uint64_t telemetry_instance_id() const { return telem_instance_id_; }
+  // Items offered to this instance so far (accepted or gate-rejected).
+  uint64_t telemetry_items_seen() const { return telem_items_seen_; }
+#endif
+
   // Serialization -----------------------------------------------------------
   // Compact binary encoding of configuration + full state.
   std::vector<uint8_t> Serialize() const;
@@ -96,6 +105,11 @@ class SelfMorphingBitmap final : public CardinalityEstimator {
       const std::vector<uint8_t>& bytes);
 
  private:
+#if SMB_TELEMETRY_ENABLED
+  // Emits the MorphTracer event + morph counter; called right after a morph.
+  void RecordMorphTelemetry();
+#endif
+
   size_t threshold_;
   size_t max_round_;
   size_t round_ = 0;
@@ -103,6 +117,10 @@ class SelfMorphingBitmap final : public CardinalityEstimator {
   BitVector bits_;
   std::vector<double> s_table_;
   double max_estimate_;
+#if SMB_TELEMETRY_ENABLED
+  uint64_t telem_instance_id_ = 0;  // assigned in the constructor
+  uint64_t telem_items_seen_ = 0;
+#endif
 };
 
 }  // namespace smb

@@ -7,6 +7,13 @@
 
 #include "common/macros.h"
 #include "parallel/spsc_ring.h"
+#include "telemetry/metrics_registry.h"
+
+#if SMB_TELEMETRY_ENABLED
+#include <algorithm>
+#include <mutex>
+#include <string>
+#endif
 
 namespace smb {
 namespace {
@@ -16,16 +23,19 @@ namespace {
 constexpr size_t kDrainChunk = 1024;
 
 // Blocking push of a full run into one ring; spins (yielding) while the
-// consumer catches up.
-void PushAll(SpscRing* ring, std::span<const uint64_t> run) {
+// consumer catches up. Returns the number of full-ring stalls (yields).
+size_t PushAll(SpscRing* ring, std::span<const uint64_t> run) {
+  size_t stalls = 0;
   while (!run.empty()) {
     const size_t pushed = ring->TryPush(run);
     if (pushed == 0) {
+      ++stalls;
       std::this_thread::yield();
       continue;
     }
     run = run.subspan(pushed);
   }
+  return stalls;
 }
 
 }  // namespace
@@ -61,6 +71,30 @@ void ParallelRecorder::RecordStream(
   std::vector<std::atomic<bool>> producer_done(num_producers);
   for (auto& flag : producer_done) flag.store(false, std::memory_order_relaxed);
 
+#if SMB_TELEMETRY_ENABLED
+  // Per-shard recorder stats. Registration is idempotent, so repeat
+  // RecordStream calls keep accumulating into the same instruments.
+  struct ShardInstruments {
+    telemetry::Counter* items_routed;
+    telemetry::Counter* ring_full_stalls;
+  };
+  auto& registry = telemetry::MetricsRegistry::Global();
+  std::vector<ShardInstruments> shard_instruments(num_shards);
+  for (size_t k = 0; k < num_shards; ++k) {
+    const telemetry::Labels labels = {{"shard", std::to_string(k)}};
+    shard_instruments[k] = {
+        registry.GetCounter("recorder_items_routed_total", labels),
+        registry.GetCounter("recorder_ring_full_stalls_total", labels)};
+  }
+  telemetry::LatencyHistogram* const batch_items_hist =
+      registry.GetHistogram("recorder_batch_items");
+  telemetry::LatencyHistogram* const add_batch_hist =
+      registry.GetHistogram("recorder_add_batch_ns");
+  // Per-shard routed totals for the skew gauge, merged producer-by-producer.
+  std::mutex routed_mutex;
+  std::vector<uint64_t> routed_totals(num_shards, 0);
+#endif
+
   auto producer_main = [&](size_t p) {
     // Contiguous range split keeps ordered mode equivalent to a sequential
     // pass: per shard, producer p's items are exactly the stream's items
@@ -69,24 +103,55 @@ void ParallelRecorder::RecordStream(
     const uint64_t range_end = begin + total * (p + 1) / num_producers;
     std::vector<std::vector<uint64_t>> runs(num_shards);
     for (auto& run : runs) run.reserve(options_.batch_size);
+#if SMB_TELEMETRY_ENABLED
+    std::vector<uint64_t> local_routed(num_shards, 0);
+#endif
+    auto hand_off = [&](size_t shard, const std::vector<uint64_t>& run) {
+      const size_t stalls = PushAll(ring_at(p, shard), run);
+      (void)stalls;
+#if SMB_TELEMETRY_ENABLED
+      local_routed[shard] += run.size();
+      shard_instruments[shard].items_routed->Add(run.size());
+      if (stalls > 0) shard_instruments[shard].ring_full_stalls->Add(stalls);
+      batch_items_hist->Record(run.size());
+#endif
+    };
     for (uint64_t i = range_begin; i < range_end; ++i) {
       const uint64_t item = source(i);
       const size_t shard = estimator_->ShardOf(item);
       std::vector<uint64_t>& run = runs[shard];
       run.push_back(item);
       if (run.size() == options_.batch_size) {
-        PushAll(ring_at(p, shard), run);
+        hand_off(shard, run);
         run.clear();
       }
     }
     for (size_t shard = 0; shard < num_shards; ++shard) {
-      if (!runs[shard].empty()) PushAll(ring_at(p, shard), runs[shard]);
+      if (!runs[shard].empty()) hand_off(shard, runs[shard]);
     }
+#if SMB_TELEMETRY_ENABLED
+    {
+      std::lock_guard<std::mutex> lock(routed_mutex);
+      for (size_t k = 0; k < num_shards; ++k) {
+        routed_totals[k] += local_routed[k];
+      }
+    }
+#endif
     producer_done[p].store(true, std::memory_order_release);
   };
 
   auto consumer_main = [&](size_t k) {
-    CardinalityEstimator* shard = estimator_->shard(k);
+    CardinalityEstimator* estimator_shard = estimator_->shard(k);
+    // Single apply point so the drain latency histogram covers every chunk.
+    auto shard_add_batch = [&](std::span<const uint64_t> run) {
+#if SMB_TELEMETRY_ENABLED
+      const uint64_t start_ns = telemetry::MonotonicNanos();
+      estimator_shard->AddBatch(run);
+      add_batch_hist->Record(telemetry::MonotonicNanos() - start_ns);
+#else
+      estimator_shard->AddBatch(run);
+#endif
+    };
     std::vector<uint64_t> chunk(kDrainChunk);
     if (options_.ordered) {
       // Drain producers in index order; a producer's ring is finished once
@@ -96,13 +161,13 @@ void ParallelRecorder::RecordStream(
         while (true) {
           const size_t n = ring->TryPop(chunk.data(), chunk.size());
           if (n > 0) {
-            shard->AddBatch(std::span<const uint64_t>(chunk.data(), n));
+            shard_add_batch(std::span<const uint64_t>(chunk.data(), n));
             continue;
           }
           if (producer_done[p].load(std::memory_order_acquire)) {
             const size_t rest = ring->TryPop(chunk.data(), chunk.size());
             if (rest == 0) break;
-            shard->AddBatch(std::span<const uint64_t>(chunk.data(), rest));
+            shard_add_batch(std::span<const uint64_t>(chunk.data(), rest));
           } else {
             std::this_thread::yield();
           }
@@ -119,7 +184,7 @@ void ParallelRecorder::RecordStream(
                      all_done;
           const size_t n = ring_at(p, k)->TryPop(chunk.data(), chunk.size());
           if (n > 0) {
-            shard->AddBatch(std::span<const uint64_t>(chunk.data(), n));
+            shard_add_batch(std::span<const uint64_t>(chunk.data(), n));
             drained += n;
           }
         }
@@ -145,6 +210,22 @@ void ParallelRecorder::RecordStream(
   }
   for (auto& t : producers) t.join();
   for (auto& t : consumers) t.join();
+
+#if SMB_TELEMETRY_ENABLED
+  // The recorder routes items straight into shard estimators, bypassing
+  // ShardedEstimator::Add, so publish the skew gauge from our own tallies.
+  uint64_t routed_sum = 0;
+  uint64_t routed_max = 0;
+  for (const uint64_t n : routed_totals) {
+    routed_sum += n;
+    routed_max = std::max(routed_max, n);
+  }
+  if (routed_sum > 0) {
+    registry.GetGauge("sharded_shard_skew_permille")
+        ->Set(static_cast<int64_t>(routed_max * 1000 * num_shards /
+                                   routed_sum));
+  }
+#endif
 }
 
 void ParallelRecorder::RecordItems(std::span<const uint64_t> items) {

@@ -8,6 +8,7 @@
 #include "core/self_morphing_bitmap.h"
 #include "estimators/hyperloglog_pp.h"
 #include "hash/murmur3.h"
+#include "telemetry/metrics_registry.h"
 
 namespace smb {
 namespace {
@@ -73,7 +74,30 @@ ShardedEstimator::ShardedEstimator(const Config& config)
     spec.hash_seed = ShardSeed(k);
     shards_.push_back(CreateEstimator(spec));
   }
+#if SMB_TELEMETRY_ENABLED
+  telem_shard_items_.assign(config.num_shards, 0);
+#endif
 }
+
+#if SMB_TELEMETRY_ENABLED
+// Skew gauge: 1000 * (most loaded shard) / (mean shard load). 1000 means a
+// perfectly balanced partition; the element-hash routing should keep this
+// within a few percent of that for non-adversarial streams.
+void ShardedEstimator::UpdateSkewGauge() const {
+  uint64_t total = 0;
+  uint64_t max_items = 0;
+  for (uint64_t items : telem_shard_items_) {
+    total += items;
+    if (items > max_items) max_items = items;
+  }
+  if (total == 0) return;
+  static telemetry::Gauge* const gauge =
+      telemetry::MetricsRegistry::Global().GetGauge(
+          "sharded_shard_skew_permille");
+  gauge->Set(static_cast<int64_t>(
+      max_items * 1000 * telem_shard_items_.size() / total));
+}
+#endif  // SMB_TELEMETRY_ENABLED
 
 uint64_t ShardedEstimator::ShardSeed(size_t index) const {
   return DeriveShardSeed(config_.shard_spec.hash_seed, index);
@@ -96,7 +120,11 @@ void ShardedEstimator::AddBatch(std::span<const uint64_t> items) {
     for (auto& run : scratch_) run.reserve(kRunCapacity);
   }
   for (uint64_t item : items) {
-    std::vector<uint64_t>& run = scratch_[ShardOf(item)];
+    const size_t routed = ShardOf(item);
+#if SMB_TELEMETRY_ENABLED
+    ++telem_shard_items_[routed];
+#endif
+    std::vector<uint64_t>& run = scratch_[routed];
     run.push_back(item);
     if (run.size() == kRunCapacity) {
       const size_t shard = static_cast<size_t>(&run - scratch_.data());
@@ -110,9 +138,17 @@ void ShardedEstimator::AddBatch(std::span<const uint64_t> items) {
       scratch_[k].clear();
     }
   }
+#if SMB_TELEMETRY_ENABLED
+  UpdateSkewGauge();
+#endif
 }
 
 double ShardedEstimator::Estimate() const {
+#if SMB_TELEMETRY_ENABLED
+  // Queries are rare relative to records; refresh the skew gauge here so
+  // the Add()/AddBytes() item paths stay store-free.
+  UpdateSkewGauge();
+#endif
   double sum = 0.0;
   for (const auto& shard : shards_) sum += shard->Estimate();
   return sum;
@@ -126,6 +162,9 @@ size_t ShardedEstimator::MemoryBits() const {
 
 void ShardedEstimator::Reset() {
   for (auto& shard : shards_) shard->Reset();
+#if SMB_TELEMETRY_ENABLED
+  telem_shard_items_.assign(shards_.size(), 0);
+#endif
 }
 
 std::optional<std::vector<uint8_t>> ShardedEstimator::Serialize() const {

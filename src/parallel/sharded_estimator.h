@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "estimators/estimator_factory.h"
+#include "telemetry/telemetry_config.h"
 
 namespace smb {
 
@@ -55,9 +56,19 @@ class ShardedEstimator {
   // Recording ---------------------------------------------------------------
   size_t ShardOf(uint64_t item) const;
   size_t ShardOfBytes(std::string_view item) const;
-  void Add(uint64_t item) { shards_[ShardOf(item)]->Add(item); }
+  void Add(uint64_t item) {
+    const size_t shard = ShardOf(item);
+#if SMB_TELEMETRY_ENABLED
+    ++telem_shard_items_[shard];
+#endif
+    shards_[shard]->Add(item);
+  }
   void AddBytes(std::string_view item) {
-    shards_[ShardOfBytes(item)]->AddBytes(item);
+    const size_t shard = ShardOfBytes(item);
+#if SMB_TELEMETRY_ENABLED
+    ++telem_shard_items_[shard];
+#endif
+    shards_[shard]->AddBytes(item);
   }
   // Routes a block into per-shard runs, then records each run through the
   // shard's AddBatch fast path. Equivalent to an Add() loop.
@@ -106,12 +117,22 @@ class ShardedEstimator {
   bool MergeFrom(const ShardedEstimator& other);
 
  private:
+#if SMB_TELEMETRY_ENABLED
+  // Publishes the shard-skew gauge from telem_shard_items_.
+  void UpdateSkewGauge() const;
+#endif
+
   Config config_;
   uint64_t routing_key_;  // mixed shard_seed actually used by ShardOf
   std::vector<std::unique_ptr<CardinalityEstimator>> shards_;
   // Per-shard routing runs reused across AddBatch calls (the class is
   // single-threaded by contract, so a member scratch is safe).
   std::vector<std::vector<uint64_t>> scratch_;
+#if SMB_TELEMETRY_ENABLED
+  // Items routed to each shard, feeding the sharded_shard_skew_permille
+  // gauge (single-threaded by the class contract, so plain integers).
+  std::vector<uint64_t> telem_shard_items_;
+#endif
 };
 
 }  // namespace smb

@@ -1,0 +1,35 @@
+// Snapshot exporters: Prometheus text exposition format and JSON.
+//
+// Both formats are stable-keyed — samples appear in the snapshot's
+// canonical (name, labels) order and every sample's fields are emitted in
+// a fixed order — so exporting the same state twice yields byte-identical
+// output, and snapshot_parser.h can round-trip either format back into an
+// equal MetricsSnapshot.
+
+#ifndef SMBCARD_TELEMETRY_EXPORTER_H_
+#define SMBCARD_TELEMETRY_EXPORTER_H_
+
+#include <string>
+
+#include "common/json_writer.h"
+#include "telemetry/snapshot.h"
+
+namespace smb::telemetry {
+
+// Prometheus text format: one `# TYPE` comment per metric family, then its
+// sample lines. Histograms expand into cumulative `_bucket{le="..."}`
+// series (bounds are the exact 2^i - 1 bucket upper bounds) plus `_sum`
+// and `_count`.
+std::string ToPrometheusText(const MetricsSnapshot& snapshot);
+
+// Writes the snapshot as a single JSON value (an object with a "metrics"
+// array) into an in-progress document — e.g. under a key of a larger bench
+// result object.
+void WriteJson(const MetricsSnapshot& snapshot, JsonWriter* out);
+
+// Standalone pretty-printed JSON document.
+std::string ToJson(const MetricsSnapshot& snapshot);
+
+}  // namespace smb::telemetry
+
+#endif  // SMBCARD_TELEMETRY_EXPORTER_H_

@@ -1,0 +1,51 @@
+#include "telemetry/morph_tracer.h"
+
+#if SMB_TELEMETRY_ENABLED
+
+#include <atomic>
+
+namespace smb::telemetry {
+
+MorphTracer& MorphTracer::Global() {
+  static MorphTracer tracer;
+  return tracer;
+}
+
+void MorphTracer::Record(const MorphEvent& event) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (ring_.empty()) ring_.resize(kCapacity);
+  ring_[static_cast<size_t>(total_ % kCapacity)] = event;
+  ++total_;
+}
+
+std::vector<MorphEvent> MorphTracer::Events() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MorphEvent> out;
+  if (total_ == 0) return out;
+  const uint64_t retained = total_ < kCapacity ? total_ : kCapacity;
+  out.reserve(static_cast<size_t>(retained));
+  for (uint64_t i = total_ - retained; i < total_; ++i) {
+    out.push_back(ring_[static_cast<size_t>(i % kCapacity)]);
+  }
+  return out;
+}
+
+uint64_t MorphTracer::TotalRecorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+void MorphTracer::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ring_.clear();
+  total_ = 0;
+}
+
+uint64_t NextInstanceId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace smb::telemetry
+
+#endif  // SMB_TELEMETRY_ENABLED

@@ -1,0 +1,102 @@
+// MorphTracer — a bounded ring of SMB morph events.
+//
+// A morph is the paper's central dynamic event: round r completes the
+// moment the current logical bitmap has T fresh ones, the sampling gate
+// tightens to 2^-(r+1), and accuracy hinges on that firing exactly at
+// v == T. The tracer records one event per morph, process-wide, tagged
+// with a per-instance id so a sharded estimator's K bitmaps can be told
+// apart. Morphs are rare by construction (at most max_round per instance
+// lifetime), so a mutex-guarded ring is plenty — this is not a hot path.
+//
+// With SMB_TELEMETRY=OFF the tracer is an empty shell and recording
+// compiles away at the call site.
+
+#ifndef SMBCARD_TELEMETRY_MORPH_TRACER_H_
+#define SMBCARD_TELEMETRY_MORPH_TRACER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "telemetry/telemetry_config.h"
+
+#if SMB_TELEMETRY_ENABLED
+#include <mutex>
+#endif
+
+namespace smb::telemetry {
+
+struct MorphEvent {
+  // Per-SMB-instance tag from NextInstanceId().
+  uint64_t instance_id = 0;
+  // Round index entered by this morph (the first morph records 1).
+  uint64_t round = 0;
+  // Bits newly set in the round that just completed — always == T.
+  uint64_t v = 0;
+  // Total ones in the physical bitmap after the morph (== round * T).
+  uint64_t bits_set = 0;
+  // Items offered to the instance (accepted or not) up to the morph.
+  uint64_t items_seen = 0;
+  // MonotonicNanos() at the morph.
+  uint64_t timestamp_ns = 0;
+
+  bool operator==(const MorphEvent&) const = default;
+};
+
+#if SMB_TELEMETRY_ENABLED
+
+class MorphTracer {
+ public:
+  static constexpr size_t kCapacity = 4096;
+
+  static MorphTracer& Global();
+
+  MorphTracer() = default;
+  MorphTracer(const MorphTracer&) = delete;
+  MorphTracer& operator=(const MorphTracer&) = delete;
+
+  void Record(const MorphEvent& event);
+
+  // The retained events, oldest first. At most kCapacity; once the ring
+  // wraps, the oldest events are gone (TotalRecorded keeps the true count).
+  std::vector<MorphEvent> Events() const;
+  uint64_t TotalRecorded() const;
+  void Clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<MorphEvent> ring_;  // sized lazily to kCapacity
+  uint64_t total_ = 0;
+};
+
+// Process-unique id for tagging one estimator instance's events (>= 1).
+uint64_t NextInstanceId();
+
+#else  // !SMB_TELEMETRY_ENABLED
+
+class MorphTracer {
+ public:
+  static constexpr size_t kCapacity = 4096;
+
+  static MorphTracer& Global() {
+    static MorphTracer tracer;
+    return tracer;
+  }
+
+  MorphTracer() = default;
+  MorphTracer(const MorphTracer&) = delete;
+  MorphTracer& operator=(const MorphTracer&) = delete;
+
+  void Record(const MorphEvent&) {}
+  std::vector<MorphEvent> Events() const { return {}; }
+  uint64_t TotalRecorded() const { return 0; }
+  void Clear() {}
+};
+
+inline uint64_t NextInstanceId() { return 0; }
+
+#endif  // SMB_TELEMETRY_ENABLED
+
+}  // namespace smb::telemetry
+
+#endif  // SMBCARD_TELEMETRY_MORPH_TRACER_H_

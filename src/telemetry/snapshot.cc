@@ -1,0 +1,66 @@
+#include "telemetry/snapshot.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace smb::telemetry {
+
+const char* MetricTypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "counter";
+}
+
+std::string RenderLabels(const Labels& labels) {
+  std::string out;
+  for (const auto& [key, value] : labels) {
+    if (!out.empty()) out.push_back(',');
+    out += key;
+    out += "=\"";
+    // Prometheus label-value escaping.
+    for (char c : value) {
+      if (c == '\\' || c == '"') out.push_back('\\');
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out.push_back(c);
+    }
+    out.push_back('"');
+  }
+  return out;
+}
+
+void CanonicalizeSnapshot(MetricsSnapshot* snapshot) {
+  std::sort(snapshot->samples.begin(), snapshot->samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return RenderLabels(a.labels) < RenderLabels(b.labels);
+            });
+}
+
+double HistogramQuantileUpperBound(const HistogramData& histogram, double q) {
+  uint64_t total = 0;
+  for (uint64_t c : histogram.buckets) total += c;
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < histogram.buckets.size(); ++i) {
+    cumulative += histogram.buckets[i];
+    if (static_cast<double>(cumulative) >= target) {
+      const uint64_t bound = HistogramBucketUpperBound(i);
+      return bound == kHistogramUnbounded
+                 ? std::numeric_limits<double>::infinity()
+                 : static_cast<double>(bound);
+    }
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+}  // namespace smb::telemetry

@@ -1,0 +1,556 @@
+#include "telemetry/snapshot_parser.h"
+
+#include <bit>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace smb::telemetry {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared small helpers
+
+bool ParseU64(std::string_view token, uint64_t* out) {
+  if (token.empty() || !std::isdigit(static_cast<unsigned char>(token[0]))) {
+    return false;
+  }
+  std::string buf(token);
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+bool ParseI64(std::string_view token, int64_t* out) {
+  if (token.empty()) return false;
+  std::string buf(token);
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+std::optional<MetricType> TypeFromName(std::string_view name) {
+  if (name == "counter") return MetricType::kCounter;
+  if (name == "gauge") return MetricType::kGauge;
+  if (name == "histogram") return MetricType::kHistogram;
+  return std::nullopt;
+}
+
+void TrimTrailingZeroBuckets(HistogramData* histogram) {
+  while (!histogram->buckets.empty() && histogram->buckets.back() == 0) {
+    histogram->buckets.pop_back();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus text
+
+struct PromLine {
+  std::string name;
+  Labels labels;       // without any `le` label
+  std::string le;      // the `le` value if present, else empty
+  std::string value;   // raw value token
+};
+
+// Parses `name{k="v",...} value`; returns false on any syntax error.
+bool ParsePromSampleLine(std::string_view line, PromLine* out) {
+  size_t pos = 0;
+  auto name_char = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == ':';
+  };
+  while (pos < line.size() && name_char(line[pos])) ++pos;
+  if (pos == 0) return false;
+  out->name = std::string(line.substr(0, pos));
+  if (pos < line.size() && line[pos] == '{') {
+    ++pos;
+    while (pos < line.size() && line[pos] != '}') {
+      size_t key_start = pos;
+      while (pos < line.size() && line[pos] != '=') ++pos;
+      if (pos + 1 >= line.size() || line[pos + 1] != '"') return false;
+      std::string key(line.substr(key_start, pos - key_start));
+      pos += 2;  // skip ="
+      std::string value;
+      while (pos < line.size() && line[pos] != '"') {
+        if (line[pos] == '\\' && pos + 1 < line.size()) {
+          ++pos;
+          value.push_back(line[pos] == 'n' ? '\n' : line[pos]);
+        } else {
+          value.push_back(line[pos]);
+        }
+        ++pos;
+      }
+      if (pos >= line.size()) return false;
+      ++pos;  // closing quote
+      if (key == "le") {
+        out->le = std::move(value);
+      } else {
+        out->labels.emplace_back(std::move(key), std::move(value));
+      }
+      if (pos < line.size() && line[pos] == ',') ++pos;
+    }
+    if (pos >= line.size() || line[pos] != '}') return false;
+    ++pos;
+  }
+  while (pos < line.size() && line[pos] == ' ') ++pos;
+  if (pos >= line.size()) return false;
+  size_t value_end = line.size();
+  while (value_end > pos && std::isspace(static_cast<unsigned char>(
+                                line[value_end - 1]))) {
+    --value_end;
+  }
+  out->value = std::string(line.substr(pos, value_end - pos));
+  return !out->value.empty();
+}
+
+struct HistogramAssembly {
+  std::string name;
+  Labels labels;
+  // (bucket index, cumulative count) in line order.
+  std::vector<std::pair<size_t, uint64_t>> cumulative;
+  uint64_t sum = 0;
+  uint64_t count = 0;
+};
+
+// Strips a known suffix; returns true when `name` ended with it.
+bool StripSuffix(std::string* name, std::string_view suffix) {
+  if (name->size() <= suffix.size()) return false;
+  if (std::string_view(*name).substr(name->size() - suffix.size()) != suffix) {
+    return false;
+  }
+  name->resize(name->size() - suffix.size());
+  return true;
+}
+
+}  // namespace
+
+std::optional<MetricsSnapshot> ParsePrometheusText(std::string_view text) {
+  std::map<std::string, MetricType> family_types;
+  std::map<std::string, MetricSample> scalars;  // key: name{labels}
+  std::map<std::string, HistogramAssembly> histograms;
+
+  size_t line_start = 0;
+  while (line_start <= text.size()) {
+    const size_t line_end = text.find('\n', line_start);
+    std::string_view line =
+        text.substr(line_start,
+                    (line_end == std::string_view::npos ? text.size()
+                                                        : line_end) -
+                        line_start);
+    line_start =
+        line_end == std::string_view::npos ? text.size() + 1 : line_end + 1;
+
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\r')) {
+      line.remove_prefix(1);
+    }
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\r')) {
+      line.remove_suffix(1);
+    }
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // `# TYPE <name> <type>`; other comments are ignored.
+      if (line.rfind("# TYPE ", 0) == 0) {
+        std::string_view rest = line.substr(7);
+        const size_t space = rest.find(' ');
+        if (space == std::string_view::npos) return std::nullopt;
+        const auto type = TypeFromName(rest.substr(space + 1));
+        if (!type.has_value()) return std::nullopt;
+        family_types.emplace(std::string(rest.substr(0, space)), *type);
+      }
+      continue;
+    }
+
+    PromLine sample;
+    if (!ParsePromSampleLine(line, &sample)) return std::nullopt;
+
+    // Histogram component series (_bucket/_sum/_count of a histogram-typed
+    // family) vs plain counter/gauge sample.
+    std::string family = sample.name;
+    const bool is_bucket = StripSuffix(&family, "_bucket");
+    const bool is_sum = !is_bucket && StripSuffix(&family, "_sum");
+    const bool is_count = !is_bucket && !is_sum &&
+                          StripSuffix(&family, "_count");
+    const auto family_it = family_types.find(family);
+    if ((is_bucket || is_sum || is_count) && family_it != family_types.end() &&
+        family_it->second == MetricType::kHistogram) {
+      HistogramAssembly& assembly =
+          histograms[family + "{" + RenderLabels(sample.labels) + "}"];
+      assembly.name = family;
+      assembly.labels = sample.labels;
+      uint64_t value = 0;
+      if (!ParseU64(sample.value, &value)) return std::nullopt;
+      if (is_bucket) {
+        if (sample.le == "+Inf") continue;  // redundant with the last bucket
+        uint64_t bound = 0;
+        if (!ParseU64(sample.le, &bound)) return std::nullopt;
+        const size_t index =
+            bound == 0 ? 0 : static_cast<size_t>(std::bit_width(bound));
+        if (HistogramBucketUpperBound(index) != bound) return std::nullopt;
+        assembly.cumulative.emplace_back(index, value);
+      } else if (is_sum) {
+        assembly.sum = value;
+      } else {
+        assembly.count = value;
+      }
+      continue;
+    }
+
+    const auto type_it = family_types.find(sample.name);
+    if (type_it == family_types.end() ||
+        type_it->second == MetricType::kHistogram) {
+      return std::nullopt;
+    }
+    MetricSample out;
+    out.name = sample.name;
+    out.labels = sample.labels;
+    out.type = type_it->second;
+    if (out.type == MetricType::kCounter) {
+      if (!ParseU64(sample.value, &out.counter_value)) return std::nullopt;
+    } else {
+      if (!ParseI64(sample.value, &out.gauge_value)) return std::nullopt;
+    }
+    scalars[out.name + "{" + RenderLabels(out.labels) + "}"] = std::move(out);
+  }
+
+  MetricsSnapshot snapshot;
+  for (auto& [key, sample] : scalars) {
+    snapshot.samples.push_back(std::move(sample));
+  }
+  for (auto& [key, assembly] : histograms) {
+    MetricSample sample;
+    sample.name = assembly.name;
+    sample.labels = assembly.labels;
+    sample.type = MetricType::kHistogram;
+    sample.histogram.sum = assembly.sum;
+    sample.histogram.count = assembly.count;
+    size_t max_index = 0;
+    for (const auto& [index, cumulative] : assembly.cumulative) {
+      if (index > max_index) max_index = index;
+    }
+    if (!assembly.cumulative.empty()) {
+      sample.histogram.buckets.assign(max_index + 1, 0);
+      uint64_t previous = 0;
+      size_t previous_index = 0;
+      bool first = true;
+      for (const auto& [index, cumulative] : assembly.cumulative) {
+        if (!first && index <= previous_index) return std::nullopt;
+        if (cumulative < previous) return std::nullopt;
+        sample.histogram.buckets[index] = cumulative - previous;
+        previous = cumulative;
+        previous_index = index;
+        first = false;
+      }
+    }
+    TrimTrailingZeroBuckets(&sample.histogram);
+    snapshot.samples.push_back(std::move(sample));
+  }
+  CanonicalizeSnapshot(&snapshot);
+  return snapshot;
+}
+
+// ---------------------------------------------------------------------------
+// JSON
+
+namespace {
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = kNull;
+  bool boolean = false;
+  bool number_negative = false;
+  uint64_t number_magnitude = 0;  // valid for integer tokens
+  bool number_is_integer = false;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* Find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  bool AsU64(uint64_t* out) const {
+    if (kind != kNumber || !number_is_integer || number_negative) {
+      return false;
+    }
+    *out = number_magnitude;
+    return true;
+  }
+  bool AsI64(int64_t* out) const {
+    if (kind != kNumber || !number_is_integer) return false;
+    if (number_negative) {
+      if (number_magnitude > uint64_t{1} << 63) return false;
+      *out = -static_cast<int64_t>(number_magnitude - 1) - 1;
+    } else {
+      if (number_magnitude > static_cast<uint64_t>(INT64_MAX)) return false;
+      *out = static_cast<int64_t>(number_magnitude);
+    }
+    return true;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : p_(text.data()), end_(text.data() + text.size()) {}
+
+  bool ParseDocument(JsonValue* out) {
+    SkipWhitespace();
+    if (!ParseValue(out, 0)) return false;
+    SkipWhitespace();
+    return p_ == end_;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 32;
+
+  void SkipWhitespace() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                          *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (p_ == end_ || *p_ != c) return false;
+    ++p_;
+    return true;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (static_cast<size_t>(end_ - p_) < literal.size()) return false;
+    if (std::string_view(p_, literal.size()) != literal) return false;
+    p_ += literal.size();
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (p_ != end_ && *p_ != '"') {
+      if (*p_ == '\\') {
+        ++p_;
+        if (p_ == end_) return false;
+        switch (*p_) {
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'u': {
+            if (end_ - p_ < 5) return false;
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              const char c = p_[i];
+              code <<= 4;
+              if (c >= '0' && c <= '9') {
+                code |= static_cast<unsigned>(c - '0');
+              } else if (c >= 'a' && c <= 'f') {
+                code |= static_cast<unsigned>(c - 'a' + 10);
+              } else if (c >= 'A' && c <= 'F') {
+                code |= static_cast<unsigned>(c - 'A' + 10);
+              } else {
+                return false;
+              }
+            }
+            // Exporter only emits \u for control bytes; anything above
+            // Latin-1 is out of scope for this parser.
+            if (code > 0xFF) return false;
+            out->push_back(static_cast<char>(code));
+            p_ += 4;
+            break;
+          }
+          default: out->push_back(*p_);
+        }
+        ++p_;
+      } else {
+        out->push_back(*p_);
+        ++p_;
+      }
+    }
+    return Consume('"');
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    out->kind = JsonValue::kNumber;
+    const char* start = p_;
+    if (p_ != end_ && *p_ == '-') {
+      out->number_negative = true;
+      ++p_;
+    }
+    const char* digits_start = p_;
+    while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) ++p_;
+    if (p_ == digits_start) return false;
+    bool is_integer = true;
+    if (p_ != end_ && (*p_ == '.' || *p_ == 'e' || *p_ == 'E')) {
+      is_integer = false;
+      while (p_ != end_ &&
+             (std::isdigit(static_cast<unsigned char>(*p_)) || *p_ == '.' ||
+              *p_ == 'e' || *p_ == 'E' || *p_ == '+' || *p_ == '-')) {
+        ++p_;
+      }
+    }
+    out->number_is_integer = is_integer;
+    if (is_integer) {
+      uint64_t magnitude = 0;
+      for (const char* c = digits_start; c != p_; ++c) {
+        if (magnitude > (UINT64_MAX - static_cast<uint64_t>(*c - '0')) / 10) {
+          return false;  // overflow
+        }
+        magnitude = magnitude * 10 + static_cast<uint64_t>(*c - '0');
+      }
+      out->number_magnitude = magnitude;
+    }
+    return p_ != start;
+  }
+
+  bool ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return false;
+    SkipWhitespace();
+    if (p_ == end_) return false;
+    switch (*p_) {
+      case '{': {
+        ++p_;
+        out->kind = JsonValue::kObject;
+        SkipWhitespace();
+        if (Consume('}')) return true;
+        while (true) {
+          SkipWhitespace();
+          std::string key;
+          if (!ParseString(&key)) return false;
+          SkipWhitespace();
+          if (!Consume(':')) return false;
+          JsonValue value;
+          if (!ParseValue(&value, depth + 1)) return false;
+          out->object.emplace_back(std::move(key), std::move(value));
+          SkipWhitespace();
+          if (Consume(',')) continue;
+          return Consume('}');
+        }
+      }
+      case '[': {
+        ++p_;
+        out->kind = JsonValue::kArray;
+        SkipWhitespace();
+        if (Consume(']')) return true;
+        while (true) {
+          JsonValue value;
+          if (!ParseValue(&value, depth + 1)) return false;
+          out->array.push_back(std::move(value));
+          SkipWhitespace();
+          if (Consume(',')) continue;
+          return Consume(']');
+        }
+      }
+      case '"':
+        out->kind = JsonValue::kString;
+        return ParseString(&out->string);
+      case 't':
+        out->kind = JsonValue::kBool;
+        out->boolean = true;
+        return ConsumeLiteral("true");
+      case 'f':
+        out->kind = JsonValue::kBool;
+        out->boolean = false;
+        return ConsumeLiteral("false");
+      case 'n':
+        out->kind = JsonValue::kNull;
+        return ConsumeLiteral("null");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace
+
+std::optional<MetricsSnapshot> ParseJsonSnapshot(std::string_view text) {
+  JsonValue root;
+  if (!JsonParser(text).ParseDocument(&root)) return std::nullopt;
+  if (root.kind != JsonValue::kObject) return std::nullopt;
+  const JsonValue* metrics = root.Find("metrics");
+  if (metrics == nullptr || metrics->kind != JsonValue::kArray) {
+    return std::nullopt;
+  }
+  MetricsSnapshot snapshot;
+  for (const JsonValue& entry : metrics->array) {
+    if (entry.kind != JsonValue::kObject) return std::nullopt;
+    MetricSample sample;
+    const JsonValue* name = entry.Find("name");
+    const JsonValue* type = entry.Find("type");
+    if (name == nullptr || name->kind != JsonValue::kString ||
+        type == nullptr || type->kind != JsonValue::kString) {
+      return std::nullopt;
+    }
+    sample.name = name->string;
+    const auto parsed_type = TypeFromName(type->string);
+    if (!parsed_type.has_value()) return std::nullopt;
+    sample.type = *parsed_type;
+    if (const JsonValue* labels = entry.Find("labels")) {
+      if (labels->kind != JsonValue::kObject) return std::nullopt;
+      for (const auto& [key, value] : labels->object) {
+        if (value.kind != JsonValue::kString) return std::nullopt;
+        sample.labels.emplace_back(key, value.string);
+      }
+    }
+    switch (sample.type) {
+      case MetricType::kCounter: {
+        const JsonValue* value = entry.Find("value");
+        if (value == nullptr || !value->AsU64(&sample.counter_value)) {
+          return std::nullopt;
+        }
+        break;
+      }
+      case MetricType::kGauge: {
+        const JsonValue* value = entry.Find("value");
+        if (value == nullptr || !value->AsI64(&sample.gauge_value)) {
+          return std::nullopt;
+        }
+        break;
+      }
+      case MetricType::kHistogram: {
+        const JsonValue* count = entry.Find("count");
+        const JsonValue* sum = entry.Find("sum");
+        const JsonValue* buckets = entry.Find("buckets");
+        if (count == nullptr || !count->AsU64(&sample.histogram.count) ||
+            sum == nullptr || !sum->AsU64(&sample.histogram.sum) ||
+            buckets == nullptr || buckets->kind != JsonValue::kArray) {
+          return std::nullopt;
+        }
+        for (const JsonValue& bucket : buckets->array) {
+          uint64_t bucket_count = 0;
+          if (!bucket.AsU64(&bucket_count)) return std::nullopt;
+          sample.histogram.buckets.push_back(bucket_count);
+        }
+        TrimTrailingZeroBuckets(&sample.histogram);
+        break;
+      }
+    }
+    snapshot.samples.push_back(std::move(sample));
+  }
+  CanonicalizeSnapshot(&snapshot);
+  return snapshot;
+}
+
+std::optional<MetricsSnapshot> ParseSnapshot(std::string_view text) {
+  for (char c : text) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') continue;
+    return c == '{' ? ParseJsonSnapshot(text) : ParsePrometheusText(text);
+  }
+  // All-whitespace input is a valid (empty) Prometheus exposition.
+  return MetricsSnapshot{};
+}
+
+}  // namespace smb::telemetry

@@ -1,0 +1,30 @@
+// Parsers that invert the exporters: captured Prometheus-text or JSON
+// snapshots back into MetricsSnapshot values. Used by the exporter
+// round-trip tests and by tools/metrics_inspect to pretty-print captures.
+//
+// Scope: complete for everything the exporters emit (including histogram
+// bucket reassembly from cumulative `le` series); not a general-purpose
+// Prometheus or JSON implementation. Any malformed input yields nullopt
+// rather than a partial snapshot.
+
+#ifndef SMBCARD_TELEMETRY_SNAPSHOT_PARSER_H_
+#define SMBCARD_TELEMETRY_SNAPSHOT_PARSER_H_
+
+#include <optional>
+#include <string_view>
+
+#include "telemetry/snapshot.h"
+
+namespace smb::telemetry {
+
+std::optional<MetricsSnapshot> ParsePrometheusText(std::string_view text);
+
+std::optional<MetricsSnapshot> ParseJsonSnapshot(std::string_view text);
+
+// Dispatches on the first non-whitespace byte ('{' = JSON, else
+// Prometheus text).
+std::optional<MetricsSnapshot> ParseSnapshot(std::string_view text);
+
+}  // namespace smb::telemetry
+
+#endif  // SMBCARD_TELEMETRY_SNAPSHOT_PARSER_H_

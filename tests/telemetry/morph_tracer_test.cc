@@ -1,0 +1,167 @@
+// MorphTracer invariants. The paper's accuracy analysis hinges on the
+// morph firing exactly when v == T; these tests pin the traced events to
+// that contract: an SMB in round r has emitted exactly r events, every
+// event's v equals the configured threshold, bits_set == round * T, and
+// items_seen / timestamps are non-decreasing. (items_seen is
+// block-granular under AddBatch, so non-decreasing is the guarantee, not
+// strictly increasing.)
+
+#include "telemetry/morph_tracer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/self_morphing_bitmap.h"
+
+namespace smb::telemetry {
+namespace {
+
+#if SMB_TELEMETRY_ENABLED
+
+MorphEvent SyntheticEvent(uint64_t sequence) {
+  MorphEvent event;
+  event.instance_id = 999;
+  event.round = sequence;
+  event.v = 8;
+  event.bits_set = sequence * 8;
+  event.items_seen = sequence * 100;
+  event.timestamp_ns = sequence;
+  return event;
+}
+
+TEST(MorphTracerTest, RetainsEventsInOrder) {
+  MorphTracer tracer;
+  for (uint64_t i = 1; i <= 10; ++i) tracer.Record(SyntheticEvent(i));
+  EXPECT_EQ(tracer.TotalRecorded(), 10u);
+  const std::vector<MorphEvent> events = tracer.Events();
+  ASSERT_EQ(events.size(), 10u);
+  for (uint64_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(events[i], SyntheticEvent(i + 1));
+  }
+  tracer.Clear();
+  EXPECT_EQ(tracer.TotalRecorded(), 0u);
+  EXPECT_TRUE(tracer.Events().empty());
+}
+
+TEST(MorphTracerTest, RingDropsOldestOnOverflow) {
+  MorphTracer tracer;
+  const uint64_t total = MorphTracer::kCapacity + 100;
+  for (uint64_t i = 1; i <= total; ++i) tracer.Record(SyntheticEvent(i));
+  EXPECT_EQ(tracer.TotalRecorded(), total);
+  const std::vector<MorphEvent> events = tracer.Events();
+  ASSERT_EQ(events.size(), MorphTracer::kCapacity);
+  // Oldest first, and the 100 oldest are gone.
+  EXPECT_EQ(events.front(), SyntheticEvent(101));
+  EXPECT_EQ(events.back(), SyntheticEvent(total));
+}
+
+TEST(MorphTracerTest, InstanceIdsAreUniqueAndNonZero) {
+  const uint64_t a = NextInstanceId();
+  const uint64_t b = NextInstanceId();
+  EXPECT_GE(a, 1u);
+  EXPECT_GT(b, a);
+
+  SelfMorphingBitmap::Config config;
+  config.num_bits = 64;
+  config.threshold = 8;
+  SelfMorphingBitmap first(config);
+  SelfMorphingBitmap second(config);
+  EXPECT_GT(first.telemetry_instance_id(), b);
+  EXPECT_GT(second.telemetry_instance_id(), first.telemetry_instance_id());
+}
+
+// Pulls this instance's events (oldest first) out of the global tracer.
+std::vector<MorphEvent> EventsFor(const SelfMorphingBitmap& smb) {
+  std::vector<MorphEvent> mine;
+  for (const MorphEvent& event : MorphTracer::Global().Events()) {
+    if (event.instance_id == smb.telemetry_instance_id()) {
+      mine.push_back(event);
+    }
+  }
+  return mine;
+}
+
+void CheckInvariants(const SelfMorphingBitmap& smb) {
+  const std::vector<MorphEvent> events = EventsFor(smb);
+  // Exactly r events once the bitmap is in round r.
+  ASSERT_EQ(events.size(), smb.round());
+  uint64_t prev_items = 0;
+  uint64_t prev_ns = 0;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const MorphEvent& event = events[i];
+    EXPECT_EQ(event.round, i + 1);
+    EXPECT_EQ(event.v, smb.threshold());
+    EXPECT_EQ(event.bits_set, event.round * smb.threshold());
+    EXPECT_GE(event.items_seen, prev_items);
+    EXPECT_LE(event.items_seen, smb.telemetry_items_seen());
+    EXPECT_GE(event.timestamp_ns, prev_ns);
+    prev_items = event.items_seen;
+    prev_ns = event.timestamp_ns;
+  }
+}
+
+TEST(MorphTracerTest, SmbAddEmitsOneEventPerMorph) {
+  SelfMorphingBitmap::Config config;
+  config.num_bits = 1024;
+  config.threshold = 64;
+  config.hash_seed = 7;
+  SelfMorphingBitmap smb(config);
+  for (uint64_t i = 0; i < 20000; ++i) smb.Add(i);
+  ASSERT_GE(smb.round(), 3u) << "stream too small to exercise morphs";
+  EXPECT_EQ(smb.telemetry_items_seen(), 20000u);
+  CheckInvariants(smb);
+}
+
+TEST(MorphTracerTest, SmbAddBatchEmitsOneEventPerMorph) {
+  SelfMorphingBitmap::Config config;
+  config.num_bits = 1024;
+  config.threshold = 64;
+  config.hash_seed = 7;
+  SelfMorphingBitmap smb(config);
+  std::vector<uint64_t> block(512);
+  for (uint64_t base = 0; base < 20000; base += block.size()) {
+    for (size_t i = 0; i < block.size(); ++i) block[i] = base + i;
+    smb.AddBatch(block);
+  }
+  ASSERT_GE(smb.round(), 3u);
+  CheckInvariants(smb);
+}
+
+TEST(MorphTracerTest, ResetDoesNotEraseHistoryButRestartsItemCount) {
+  SelfMorphingBitmap::Config config;
+  config.num_bits = 256;
+  config.threshold = 32;
+  SelfMorphingBitmap smb(config);
+  for (uint64_t i = 0; i < 5000; ++i) smb.Add(i);
+  const size_t events_before = EventsFor(smb).size();
+  ASSERT_GE(events_before, 1u);
+  smb.Reset();
+  EXPECT_EQ(smb.telemetry_items_seen(), 0u);
+  // Traced history is an audit log; Reset of the estimator keeps it.
+  EXPECT_EQ(EventsFor(smb).size(), events_before);
+}
+
+#else  // !SMB_TELEMETRY_ENABLED
+
+TEST(MorphTracerTest, DisabledTracerRecordsNothing) {
+  MorphTracer tracer;
+  tracer.Record(MorphEvent{});
+  EXPECT_EQ(tracer.TotalRecorded(), 0u);
+  EXPECT_TRUE(tracer.Events().empty());
+  EXPECT_EQ(NextInstanceId(), 0u);
+
+  SelfMorphingBitmap::Config config;
+  config.num_bits = 1024;
+  config.threshold = 64;
+  SelfMorphingBitmap smb(config);
+  for (uint64_t i = 0; i < 20000; ++i) smb.Add(i);
+  EXPECT_TRUE(MorphTracer::Global().Events().empty());
+}
+
+#endif  // SMB_TELEMETRY_ENABLED
+
+}  // namespace
+}  // namespace smb::telemetry

@@ -1,0 +1,102 @@
+// metrics_inspect — pretty-prints a telemetry snapshot captured with
+// `smbcard --metrics-out` (or bench/parallel_throughput's embedded
+// "telemetry" object saved to its own file).
+//
+// Usage:
+//   metrics_inspect [FILE]
+//
+// Reads FILE (stdin when omitted), auto-detects Prometheus text vs JSON,
+// and renders one table row per metric. Histogram rows show the recorded
+// count, the value sum, and log-bucket upper bounds for the p50/p99
+// quantiles. Works in SMB_TELEMETRY=OFF builds too: the parsers and
+// snapshot types are compiled unconditionally.
+
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <optional>
+#include <string>
+
+#include "common/table_printer.h"
+#include "telemetry/snapshot.h"
+#include "telemetry/snapshot_parser.h"
+
+namespace {
+
+std::string FmtQuantileBound(const smb::telemetry::HistogramData& histogram,
+                             double q) {
+  const double bound =
+      smb::telemetry::HistogramQuantileUpperBound(histogram, q);
+  if (std::isinf(bound)) return "+Inf";
+  return smb::TablePrinter::FmtInt(static_cast<long long>(bound));
+}
+
+int Inspect(const std::string& source_name, const std::string& text) {
+  const std::optional<smb::telemetry::MetricsSnapshot> snapshot =
+      smb::telemetry::ParseSnapshot(text);
+  if (!snapshot.has_value()) {
+    std::fprintf(stderr,
+                 "%s is not a valid metrics snapshot (Prometheus text or "
+                 "JSON)\n",
+                 source_name.c_str());
+    return 1;
+  }
+  smb::TablePrinter table(std::to_string(snapshot->samples.size()) +
+                          " metrics from " + source_name);
+  table.SetHeader({"metric", "labels", "type", "value", "sum", "p50<=",
+                   "p99<="});
+  for (const smb::telemetry::MetricSample& sample : snapshot->samples) {
+    std::string value;
+    std::string sum;
+    std::string p50;
+    std::string p99;
+    switch (sample.type) {
+      case smb::telemetry::MetricType::kCounter:
+        value = smb::TablePrinter::FmtInt(
+            static_cast<long long>(sample.counter_value));
+        break;
+      case smb::telemetry::MetricType::kGauge:
+        value = smb::TablePrinter::FmtInt(sample.gauge_value);
+        break;
+      case smb::telemetry::MetricType::kHistogram:
+        value = smb::TablePrinter::FmtInt(
+            static_cast<long long>(sample.histogram.count));
+        sum = smb::TablePrinter::FmtInt(
+            static_cast<long long>(sample.histogram.sum));
+        p50 = FmtQuantileBound(sample.histogram, 0.5);
+        p99 = FmtQuantileBound(sample.histogram, 0.99);
+        break;
+    }
+    table.AddRow({sample.name, smb::telemetry::RenderLabels(sample.labels),
+                  smb::telemetry::MetricTypeName(sample.type), value, sum,
+                  p50, p99});
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 2 ||
+      (argc == 2 && (std::string(argv[1]) == "--help" ||
+                     std::string(argv[1]) == "-h"))) {
+    std::fprintf(stderr, "usage: %s [FILE]   (stdin when FILE omitted)\n",
+                 argv[0]);
+    return 2;
+  }
+  if (argc == 2) {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", argv[1]);
+      return 1;
+    }
+    const std::string text((std::istreambuf_iterator<char>(file)),
+                           std::istreambuf_iterator<char>());
+    return Inspect(argv[1], text);
+  }
+  const std::string text((std::istreambuf_iterator<char>(std::cin)),
+                         std::istreambuf_iterator<char>());
+  return Inspect("<stdin>", text);
+}

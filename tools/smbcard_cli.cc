@@ -4,7 +4,8 @@
 // Usage:
 //   smbcard [--algo NAME] [--memory BITS] [--design N] [--seed S]
 //           [--all] [--save FILE] [--load FILE]
-//           [--threads N] [--shards K] [FILE...]
+//           [--threads N] [--shards K]
+//           [--metrics-out FILE] [--metrics-interval SECONDS] [FILE...]
 //
 //   --algo NAME    estimator: SMB (default), MRB, FM, LogLog, SuperLogLog,
 //                  HLL, HLL++, HLL-TailC, HLL-TailC+, KMV, Bitmap,
@@ -20,6 +21,15 @@
 //                  unless given); the memory budget is split across shards
 //   --shards K     partition the estimator into K shards (implies
 //                  --threads 1 unless given)
+//   --metrics-out FILE
+//                  write a telemetry snapshot to FILE when done (and
+//                  periodically with --metrics-interval). `.json` files
+//                  get JSON, everything else Prometheus text. In
+//                  SMB_TELEMETRY=OFF builds the snapshot is empty.
+//   --metrics-interval SECONDS
+//                  also rewrite --metrics-out every SECONDS seconds while
+//                  recording (a poor man's scrape endpoint: point the
+//                  scraper at the file)
 //   FILE...        input files; stdin when none given
 //
 // Examples:
@@ -28,13 +38,17 @@
 //   smbcard --save day1.smb < day1.txt
 //   smbcard --load day1.smb < day2.txt   # cardinality of day1 ∪ day2
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/table_printer.h"
@@ -43,6 +57,8 @@
 #include "hash/murmur3.h"
 #include "parallel/parallel_recorder.h"
 #include "parallel/sharded_estimator.h"
+#include "telemetry/exporter.h"
+#include "telemetry/metrics_registry.h"
 
 namespace {
 
@@ -56,6 +72,8 @@ struct CliOptions {
   std::string load_path;
   size_t threads = 0;  // 0 = sequential mode
   size_t shards = 0;   // 0 = unsharded
+  std::string metrics_out;
+  uint64_t metrics_interval_s = 0;  // 0 = final snapshot only
   std::vector<std::string> inputs;
 };
 
@@ -63,7 +81,9 @@ void PrintUsageAndExit(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--algo NAME] [--memory BITS] [--design N] "
                "[--seed S] [--all]\n               [--save FILE] "
-               "[--load FILE] [FILE...]\n",
+               "[--load FILE] [--threads N] [--shards K]\n"
+               "               [--metrics-out FILE] "
+               "[--metrics-interval SECONDS] [FILE...]\n",
                argv0);
   std::exit(2);
 }
@@ -94,6 +114,10 @@ CliOptions ParseArgs(int argc, char** argv) {
       options.threads = std::strtoul(next_value(), nullptr, 10);
     } else if (arg == "--shards") {
       options.shards = std::strtoul(next_value(), nullptr, 10);
+    } else if (arg == "--metrics-out") {
+      options.metrics_out = next_value();
+    } else if (arg == "--metrics-interval") {
+      options.metrics_interval_s = std::strtoull(next_value(), nullptr, 10);
     } else if (arg == "--help" || arg == "-h") {
       PrintUsageAndExit(argv[0]);
     } else if (!arg.empty() && arg[0] == '-') {
@@ -105,6 +129,62 @@ CliOptions ParseArgs(int argc, char** argv) {
   }
   return options;
 }
+
+// Serializes the global registry into `path`; format picked by extension
+// (`.json` => JSON, anything else => Prometheus text). Returns false when
+// the file cannot be (fully) written.
+bool WriteMetricsSnapshot(const std::string& path) {
+  const smb::telemetry::MetricsSnapshot snapshot =
+      smb::telemetry::MetricsRegistry::Global().Snapshot();
+  const bool json =
+      path.size() >= 5 && path.compare(path.size() - 5, 5, ".json") == 0;
+  const std::string text = json ? smb::telemetry::ToJson(snapshot)
+                                : smb::telemetry::ToPrometheusText(snapshot);
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return false;
+  file << text;
+  file.flush();
+  return file.good();
+}
+
+// Rewrites --metrics-out every interval while recording runs. Final
+// snapshots are main()'s job; this only covers the in-flight window.
+class PeriodicMetricsWriter {
+ public:
+  PeriodicMetricsWriter(std::string path, uint64_t interval_s)
+      : path_(std::move(path)) {
+    if (interval_s == 0) return;
+    thread_ = std::thread([this, interval_s] {
+      std::unique_lock<std::mutex> lock(mutex_);
+      while (!stop_requested_) {
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::seconds(interval_s);
+        if (cv_.wait_until(lock, deadline,
+                           [this] { return stop_requested_; })) {
+          break;
+        }
+        WriteMetricsSnapshot(path_);  // best effort; final write reports
+      }
+    });
+  }
+
+  ~PeriodicMetricsWriter() {
+    if (!thread_.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_requested_ = true;
+    }
+    cv_.notify_one();
+    thread_.join();
+  }
+
+ private:
+  std::string path_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  std::thread thread_;
+};
 
 // Feeds every line of `in` to `feed`; returns line count.
 template <typename Feed>
@@ -286,6 +366,36 @@ int main(int argc, char** argv) {
                  "--save, or --load\n");
     return 2;
   }
-  if (parallel) return RunParallel(options);
-  return options.all ? RunAll(options) : RunSingle(options);
+  if (options.metrics_interval_s > 0 && options.metrics_out.empty()) {
+    std::fprintf(stderr, "--metrics-interval requires --metrics-out\n");
+    return 2;
+  }
+  if (!options.metrics_out.empty()) {
+    // Fail before reading any input, like the --shards budget check. Probe
+    // in append mode so an existing capture is not clobbered by a run that
+    // then dies on bad input.
+    std::ofstream probe(options.metrics_out, std::ios::app);
+    if (!probe) {
+      std::fprintf(stderr, "cannot write metrics to %s\n",
+                   options.metrics_out.c_str());
+      return 2;
+    }
+  }
+
+  int rc;
+  {
+    PeriodicMetricsWriter periodic(
+        options.metrics_out,
+        options.metrics_out.empty() ? 0 : options.metrics_interval_s);
+    rc = parallel ? RunParallel(options)
+                  : (options.all ? RunAll(options) : RunSingle(options));
+  }
+  if (!options.metrics_out.empty()) {
+    if (!WriteMetricsSnapshot(options.metrics_out)) {
+      std::fprintf(stderr, "cannot write metrics to %s\n",
+                   options.metrics_out.c_str());
+      return rc == 0 ? 1 : rc;
+    }
+  }
+  return rc;
 }

@@ -1,9 +1,15 @@
 #include "bench/bench_util.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <span>
+#include <thread>
 
+#include "hash/batch_hash.h"
 #include "hash/murmur3.h"
+#include "simd/simd_dispatch.h"
+#include "telemetry/metrics.h"
 
 namespace smb::bench {
 
@@ -13,6 +19,15 @@ BenchScale ParseScale(int argc, char** argv) {
   if (full_env != nullptr && full_env[0] == '1') scale.full = true;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--full") == 0) scale.full = true;
+    constexpr const char kJsonFlag[] = "--json=";
+    if (std::strncmp(argv[i], kJsonFlag, sizeof(kJsonFlag) - 1) == 0) {
+      scale.json_path = argv[i] + sizeof(kJsonFlag) - 1;
+    }
+    constexpr const char kSpeedupFlag[] = "--assert-batch-speedup=";
+    if (std::strncmp(argv[i], kSpeedupFlag, sizeof(kSpeedupFlag) - 1) == 0) {
+      scale.assert_batch_speedup =
+          std::strtod(argv[i] + sizeof(kSpeedupFlag) - 1, nullptr);
+    }
   }
   scale.runs = scale.full ? 100 : 10;
   if (const char* runs_env = std::getenv("SMB_BENCH_RUNS")) {
@@ -36,6 +51,52 @@ Throughput MeasureRecording(CardinalityEstimator* estimator, uint64_t n,
   out.ops = n;
   out.seconds = timer.ElapsedSeconds();
   return out;
+}
+
+Throughput MeasureRecordingBatched(CardinalityEstimator* estimator,
+                                   uint64_t n, uint64_t seed) {
+  // 4 kernel blocks per chunk: big enough to amortize the batch setup,
+  // small enough to stay in L1 alongside the bitmap words it touches.
+  constexpr size_t kChunk = 4 * kBatchBlock;
+  std::vector<uint64_t> chunk(kChunk);
+  WallTimer timer;
+  for (uint64_t base = 0; base < n; base += kChunk) {
+    const size_t len =
+        static_cast<size_t>(n - base < kChunk ? n - base : kChunk);
+    for (size_t i = 0; i < len; ++i) {
+      chunk[i] = NthItem(seed, base + i);
+    }
+    estimator->AddBatch(std::span<const uint64_t>(chunk.data(), len));
+  }
+  Throughput out;
+  out.ops = n;
+  out.seconds = timer.ElapsedSeconds();
+  return out;
+}
+
+void WriteEnvironmentJson(JsonWriter* json) {
+  json->BeginObject();
+  json->Key("hardware_concurrency");
+  json->Uint(std::thread::hardware_concurrency());
+  json->Key("batch_dispatch");
+  json->String(BatchDispatchTargetName());
+  json->Key("telemetry_enabled");
+  json->Bool(telemetry::kEnabled);
+  json->EndObject();
+}
+
+bool WriteBenchJson(const std::string& path, const JsonWriter& json) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::string& blob = json.str();
+  const bool ok = std::fwrite(blob.data(), 1, blob.size(), f) == blob.size()
+                  && std::fputc('\n', f) != EOF;
+  std::fclose(f);
+  if (ok) std::printf("wrote %s\n", path.c_str());
+  return ok;
 }
 
 Throughput MeasureQueries(const CardinalityEstimator* estimator,

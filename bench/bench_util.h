@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json_writer.h"
 #include "common/stats.h"
 #include "common/timer.h"
 #include "estimators/estimator_factory.h"
@@ -24,6 +25,12 @@ namespace smb::bench {
 struct BenchScale {
   bool full = false;   // --full / SMB_BENCH_FULL=1
   size_t runs = 10;    // streams averaged per accuracy point (paper: 100)
+  // --json=PATH overrides the bench's default BENCH_*.json output file.
+  std::string json_path;
+  // --assert-batch-speedup=X makes throughput benches exit nonzero when
+  // the dispatched AddBatch path records below X times the scalar Add
+  // baseline (the CI smoke gate; 0 disables the assertion).
+  double assert_batch_speedup = 0.0;
 };
 
 // Parses --full and environment overrides.
@@ -37,6 +44,23 @@ uint64_t NthItem(uint64_t seed, uint64_t i);
 // Feeds n distinct items and returns the recording throughput.
 Throughput MeasureRecording(CardinalityEstimator* estimator, uint64_t n,
                             uint64_t seed);
+
+// Same stream as MeasureRecording, but fed through AddBatch in chunks
+// that are whole multiples of the SIMD kernel block, so the vectorized
+// path sees no scalar tails except the stream's last.
+Throughput MeasureRecordingBatched(CardinalityEstimator* estimator,
+                                   uint64_t n, uint64_t seed);
+
+// Emits the fields that contextualize any perf number from this machine
+// as one JSON object: hardware_concurrency, the batch kernel the CPU
+// dispatcher resolved to, and whether telemetry was compiled in. Call it
+// after a Key("environment") so every BENCH_*.json carries the same blob.
+void WriteEnvironmentJson(JsonWriter* json);
+
+// Writes a finished JSON blob to `path` and prints where it went.
+// Returns false (with a diagnostic on stderr) if the file cannot be
+// written; benches treat that as a fatal CI error.
+bool WriteBenchJson(const std::string& path, const JsonWriter& json);
 
 // Queries the estimator `queries` times and returns the query throughput.
 Throughput MeasureQueries(const CardinalityEstimator* estimator,

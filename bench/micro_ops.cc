@@ -4,11 +4,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <span>
+#include <vector>
+
 #include "bench/bench_util.h"
 #include "core/self_morphing_bitmap.h"
 #include "estimators/estimator_factory.h"
+#include "hash/batch_hash.h"
 #include "hash/murmur3.h"
 #include "hash/xxhash64.h"
+#include "simd/simd_dispatch.h"
 
 namespace smb::bench {
 namespace {
@@ -59,6 +65,57 @@ void RegisterPerKind() {
   }
 }
 
+// Per-kernel cost of the batch hash-and-rank primitive itself: one block
+// of items through the forced kernel, reported as items/second.
+void BM_BatchHashAndRank(benchmark::State& state) {
+  const auto kind = static_cast<BatchKernelKind>(state.range(0));
+  ForceBatchKernelForTesting(kind);
+  std::vector<uint64_t> items(kBatchBlock);
+  for (size_t i = 0; i < items.size(); ++i) items[i] = NthItem(3, i);
+  std::vector<uint64_t> lo(items.size());
+  std::vector<uint8_t> rank(items.size());
+  for (auto _ : state) {
+    BatchHashAndRank(items.data(), items.size(), 21, lo.data(), rank.data());
+    benchmark::DoNotOptimize(lo.data());
+    benchmark::DoNotOptimize(rank.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(items.size()));
+  ResetBatchKernelDispatch();
+}
+
+// End-to-end SMB AddBatch with each compiled kernel forced, preloaded to
+// n=10^6 so the geometric gate rejects most lanes (the regime where the
+// gate-first compaction pays).
+void BM_SmbAddBatch(benchmark::State& state) {
+  const auto kind = static_cast<BatchKernelKind>(state.range(0));
+  ForceBatchKernelForTesting(kind);
+  auto estimator = MakeLoaded(EstimatorKind::kSmb, 1000000);
+  std::vector<uint64_t> chunk(4 * kBatchBlock);
+  uint64_t next = 0;
+  for (auto _ : state) {
+    for (auto& item : chunk) item = NthItem(7, next++);
+    estimator->AddBatch(chunk);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(chunk.size()));
+  state.SetLabel("kernel=" + std::string(BatchKernelKindName(kind)) +
+                 " (preloaded n=10^6)");
+  ResetBatchKernelDispatch();
+}
+
+void RegisterPerKernel() {
+  for (BatchKernelKind kind : RunnableBatchKernels()) {
+    const std::string name(BatchKernelKindName(kind));
+    benchmark::RegisterBenchmark(("BM_BatchHashAndRank/" + name).c_str(),
+                                 BM_BatchHashAndRank)
+        ->Arg(static_cast<int>(kind));
+    benchmark::RegisterBenchmark(("BM_SmbAddBatch/" + name).c_str(),
+                                 BM_SmbAddBatch)
+        ->Arg(static_cast<int>(kind));
+  }
+}
+
 void BM_Murmur3U64(benchmark::State& state) {
   uint64_t i = 0;
   for (auto _ : state) {
@@ -89,7 +146,15 @@ BENCHMARK(BM_XxHash64String128);
 }  // namespace smb::bench
 
 int main(int argc, char** argv) {
+  // Environment blob up front so saved logs carry the dispatch context
+  // next to the numbers (google-benchmark owns the rest of the output).
+  {
+    smb::JsonWriter env(smb::JsonWriter::kCompact);
+    smb::bench::WriteEnvironmentJson(&env);
+    std::printf("environment %s\n", env.str().c_str());
+  }
   smb::bench::RegisterPerKind();
+  smb::bench::RegisterPerKernel();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

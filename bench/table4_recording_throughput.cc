@@ -4,6 +4,15 @@
 // stream size, while SMB's throughput *rises* with cardinality because the
 // sampling probability 2^-r keeps falling — at 10^8 items the paper
 // reports 250-800% gains. Fast scale sweeps to 10^7; --full adds 10^8.
+//
+// Besides the human-readable table this bench emits BENCH_recording.json
+// (override with --json=PATH): the per-estimator Mdps grid plus a
+// three-way SMB comparison — scalar Add(), AddBatch() with the scalar
+// kernel forced, and AddBatch() under normal CPU dispatch — with speedup
+// fields and a bit-identity check on the resulting estimates. CI's bench
+// smoke job runs with --assert-batch-speedup=X and fails the build when
+// the dispatched batch path drops below X times the scalar Add baseline
+// at the largest cardinality, or when the estimates diverge.
 
 #include <cstdio>
 #include <string>
@@ -11,14 +20,68 @@
 
 #include "bench/bench_util.h"
 #include "common/table_printer.h"
+#include "simd/simd_dispatch.h"
 
 namespace smb::bench {
 namespace {
 
-void Run(const BenchScale& scale) {
-  constexpr size_t kMemory = 5000;
+constexpr size_t kMemory = 5000;
+
+EstimatorSpec SpecFor(EstimatorKind kind, uint64_t design_cardinality) {
+  EstimatorSpec spec;
+  spec.kind = kind;
+  spec.memory_bits = kMemory;
+  // Design for the largest point so every algorithm keeps one
+  // configuration across the sweep, as in the paper.
+  spec.design_cardinality = design_cardinality;
+  spec.hash_seed = 3;
+  return spec;
+}
+
+// The three-way SMB recording comparison at one cardinality. The batch
+// paths must reproduce the sequential estimate bit-for-bit — a speedup
+// that changes the answer is a bug, not a win.
+struct SmbBatchPoint {
+  uint64_t cardinality = 0;
+  double add_mdps = 0.0;
+  double batch_scalar_mdps = 0.0;
+  double batch_dispatched_mdps = 0.0;
+  bool estimates_identical = false;
+};
+
+SmbBatchPoint MeasureSmbBatchPoint(uint64_t n, uint64_t design_cardinality,
+                                   uint64_t seed) {
+  SmbBatchPoint point;
+  point.cardinality = n;
+
+  auto sequential = CreateEstimator(SpecFor(EstimatorKind::kSmb,
+                                            design_cardinality));
+  point.add_mdps = MeasureRecording(sequential.get(), n, seed)
+                       .MopsPerSecond();
+
+  ForceBatchKernelForTesting(BatchKernelKind::kScalar);
+  auto batch_scalar = CreateEstimator(SpecFor(EstimatorKind::kSmb,
+                                              design_cardinality));
+  point.batch_scalar_mdps =
+      MeasureRecordingBatched(batch_scalar.get(), n, seed).MopsPerSecond();
+  ResetBatchKernelDispatch();
+
+  auto batch_dispatched = CreateEstimator(SpecFor(EstimatorKind::kSmb,
+                                                  design_cardinality));
+  point.batch_dispatched_mdps =
+      MeasureRecordingBatched(batch_dispatched.get(), n, seed)
+          .MopsPerSecond();
+
+  point.estimates_identical =
+      sequential->Estimate() == batch_scalar->Estimate() &&
+      sequential->Estimate() == batch_dispatched->Estimate();
+  return point;
+}
+
+int Run(const BenchScale& scale) {
   std::vector<uint64_t> cardinalities = {10000, 100000, 1000000, 10000000};
   if (scale.full) cardinalities.push_back(100000000);
+  const uint64_t design_cardinality = cardinalities.back();
 
   TablePrinter table(
       "Table IV: recording throughput (Mdps) for different stream "
@@ -29,32 +92,112 @@ void Run(const BenchScale& scale) {
   }
   table.SetHeader(header);
 
+  JsonWriter json(JsonWriter::kPretty);
+  json.BeginObject();
+  json.Key("bench");
+  json.String("table4_recording_throughput");
+  json.Key("memory_bits");
+  json.Uint(kMemory);
+  json.Key("environment");
+  WriteEnvironmentJson(&json);
+
+  json.Key("estimator_mdps");
+  json.BeginArray();
   for (uint64_t n : cardinalities) {
     std::vector<std::string> row = {CountLabel(n)};
+    json.BeginObject();
+    json.Key("cardinality");
+    json.Uint(n);
     for (EstimatorKind kind : PaperComparisonSet()) {
-      EstimatorSpec spec;
-      spec.kind = kind;
-      spec.memory_bits = kMemory;
-      // Design for the largest point so every algorithm keeps one
-      // configuration across the sweep, as in the paper.
-      spec.design_cardinality = cardinalities.back();
-      spec.hash_seed = 3;
-      auto estimator = CreateEstimator(spec);
+      auto estimator = CreateEstimator(SpecFor(kind, design_cardinality));
       const Throughput tp = MeasureRecording(estimator.get(), n, n ^ 17);
       row.push_back(TablePrinter::Fmt(tp.MopsPerSecond(), 1));
+      json.Key(EstimatorKindName(kind));
+      json.Double(tp.MopsPerSecond(), 2);
     }
+    json.EndObject();
     table.AddRow(std::move(row));
   }
+  json.EndArray();
   table.Print();
   std::printf("Expected shape (paper): the four baselines stay flat; SMB "
               "climbs steeply\nwith cardinality as its sampling "
               "probability decays.\n");
+
+  // SMB three-way: Add vs forced-scalar AddBatch vs dispatched AddBatch.
+  TablePrinter batch_table(
+      "SMB recording paths (Mdps): sequential Add vs batched, kernel \"" +
+      std::string(BatchDispatchTargetName()) + "\" dispatched");
+  batch_table.SetHeader({"cardinality", "Add", "AddBatch(scalar)",
+                         "AddBatch(dispatch)", "speedup", "identical"});
+  json.Key("smb_batch_comparison");
+  json.BeginArray();
+  SmbBatchPoint last_point;
+  for (uint64_t n : cardinalities) {
+    const SmbBatchPoint point =
+        MeasureSmbBatchPoint(n, design_cardinality, n ^ 17);
+    last_point = point;
+    const double speedup =
+        point.add_mdps > 0 ? point.batch_dispatched_mdps / point.add_mdps
+                           : 0.0;
+    batch_table.AddRow({CountLabel(n), TablePrinter::Fmt(point.add_mdps, 1),
+                        TablePrinter::Fmt(point.batch_scalar_mdps, 1),
+                        TablePrinter::Fmt(point.batch_dispatched_mdps, 1),
+                        TablePrinter::Fmt(speedup, 2),
+                        point.estimates_identical ? "yes" : "NO"});
+    json.BeginObject();
+    json.Key("cardinality");
+    json.Uint(n);
+    json.Key("add_mdps");
+    json.Double(point.add_mdps, 2);
+    json.Key("add_batch_scalar_mdps");
+    json.Double(point.batch_scalar_mdps, 2);
+    json.Key("add_batch_dispatched_mdps");
+    json.Double(point.batch_dispatched_mdps, 2);
+    json.Key("speedup_dispatched_vs_add");
+    json.Double(speedup, 3);
+    json.Key("estimates_identical");
+    json.Bool(point.estimates_identical);
+    json.EndObject();
+  }
+  json.EndArray();
+  batch_table.Print();
+
+  const double final_speedup =
+      last_point.add_mdps > 0
+          ? last_point.batch_dispatched_mdps / last_point.add_mdps
+          : 0.0;
+  json.Key("speedup_dispatched_vs_add_at_max_cardinality");
+  json.Double(final_speedup, 3);
+  json.EndObject();
+
+  const std::string path =
+      scale.json_path.empty() ? "BENCH_recording.json" : scale.json_path;
+  if (!WriteBenchJson(path, json)) return 1;
+
+  if (!last_point.estimates_identical) {
+    std::fprintf(stderr,
+                 "FAIL: batched SMB estimate diverged from sequential Add "
+                 "at n=%llu\n",
+                 static_cast<unsigned long long>(last_point.cardinality));
+    return 1;
+  }
+  if (scale.assert_batch_speedup > 0 &&
+      final_speedup < scale.assert_batch_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: dispatched AddBatch speedup %.2fx < required "
+                 "%.2fx at n=%llu (kernel %s)\n",
+                 final_speedup, scale.assert_batch_speedup,
+                 static_cast<unsigned long long>(last_point.cardinality),
+                 std::string(BatchDispatchTargetName()).c_str());
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
 }  // namespace smb::bench
 
 int main(int argc, char** argv) {
-  smb::bench::Run(smb::bench::ParseScale(argc, argv));
-  return 0;
+  return smb::bench::Run(smb::bench::ParseScale(argc, argv));
 }

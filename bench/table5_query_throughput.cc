@@ -4,6 +4,12 @@
 // Paper claim: FM/HLL++/HLL-TailC query cost grows with m (they scan all
 // registers), MRB is flat-ish (k counters), SMB is flat and highest (two
 // integers). SMB's reported throughput is ~1.3x10^8 dps; HLL++ under 10^5.
+//
+// Besides the human-readable table this bench emits BENCH_query.json
+// (override with --json=PATH): the per-estimator dps grid plus an
+// EstimateMany() measurement — a pool of SMB sketches queried through the
+// batched path vs a per-sketch Estimate() loop, with a bit-identity check
+// (the batched path only amortizes per-round constants, never the math).
 
 #include <cstdio>
 #include <string>
@@ -11,11 +17,79 @@
 
 #include "bench/bench_util.h"
 #include "common/table_printer.h"
+#include "core/self_morphing_bitmap.h"
+#include "core/smb_params.h"
 
 namespace smb::bench {
 namespace {
 
-void Run(const BenchScale& scale) {
+// EstimateMany vs a per-sketch Estimate loop over a fleet of sketches, as
+// a per-flow monitor sweeping its flow table would issue them.
+struct PoolQueryResult {
+  size_t pool_size = 0;
+  double per_sketch_dps = 0.0;
+  double estimate_many_dps = 0.0;
+  bool estimates_identical = false;
+};
+
+PoolQueryResult MeasurePoolQueries(size_t pool_size, size_t num_bits,
+                                   uint64_t items_per_sketch,
+                                   uint64_t sweeps) {
+  SelfMorphingBitmap::Config config;
+  config.num_bits = num_bits;
+  config.threshold = OptimalThresholdValue(num_bits, items_per_sketch * 8);
+  std::vector<SelfMorphingBitmap> pool;
+  pool.reserve(pool_size);
+  for (size_t i = 0; i < pool_size; ++i) {
+    SelfMorphingBitmap::Config c = config;
+    c.hash_seed = 1000 + i;
+    pool.emplace_back(c);
+    // Staggered loads so the pool spans rounds, like real flow monitors.
+    const uint64_t load = items_per_sketch * (i % 7 + 1) / 4;
+    for (uint64_t item = 0; item < load; ++item) {
+      pool.back().Add(NthItem(i, item));
+    }
+  }
+  std::vector<const SelfMorphingBitmap*> ptrs;
+  for (const SelfMorphingBitmap& sketch : pool) ptrs.push_back(&sketch);
+
+  PoolQueryResult result;
+  result.pool_size = pool_size;
+  const uint64_t total_queries = sweeps * pool_size;
+
+  std::vector<double> looped(pool_size);
+  {
+    WallTimer timer;
+    double sink = 0.0;
+    for (uint64_t s = 0; s < sweeps; ++s) {
+      for (size_t i = 0; i < pool_size; ++i) {
+        looped[i] = pool[i].Estimate();
+        sink += looped[i];
+      }
+    }
+    DoNotOptimize(sink);
+    result.per_sketch_dps =
+        static_cast<double>(total_queries) / timer.ElapsedSeconds();
+  }
+
+  std::vector<double> batched(pool_size);
+  {
+    WallTimer timer;
+    double sink = 0.0;
+    for (uint64_t s = 0; s < sweeps; ++s) {
+      SelfMorphingBitmap::EstimateMany(ptrs, batched);
+      sink += batched[0];
+    }
+    DoNotOptimize(sink);
+    result.estimate_many_dps =
+        static_cast<double>(total_queries) / timer.ElapsedSeconds();
+  }
+
+  result.estimates_identical = looped == batched;
+  return result;
+}
+
+int Run(const BenchScale& scale) {
   const std::vector<size_t> memories = {10000, 5000, 2500, 1000};
   constexpr uint64_t kRecorded = 1000000;
   const uint64_t queries_base = scale.full ? 2000000 : 400000;
@@ -27,9 +101,25 @@ void Run(const BenchScale& scale) {
   for (size_t m : memories) header.push_back("m=" + std::to_string(m));
   table.SetHeader(header);
 
+  JsonWriter json(JsonWriter::kPretty);
+  json.BeginObject();
+  json.Key("bench");
+  json.String("table5_query_throughput");
+  json.Key("recorded_cardinality");
+  json.Uint(kRecorded);
+  json.Key("environment");
+  WriteEnvironmentJson(&json);
+
+  json.Key("estimator_dps");
+  json.BeginArray();
   for (EstimatorKind kind : PaperComparisonSet()) {
     std::vector<std::string> row = {
         std::string(EstimatorKindName(kind))};
+    json.BeginObject();
+    json.Key("algorithm");
+    json.String(EstimatorKindName(kind));
+    json.Key("by_memory_bits");
+    json.BeginObject();
     for (size_t m : memories) {
       EstimatorSpec spec;
       spec.kind = kind;
@@ -49,19 +139,76 @@ void Run(const BenchScale& scale) {
           scans_registers ? queries_base / 20 : queries_base;
       const Throughput tp = MeasureQueries(estimator.get(), queries);
       row.push_back(TablePrinter::FmtSci(tp.OpsPerSecond(), 2));
+      json.Key(std::to_string(m));
+      json.Double(tp.OpsPerSecond(), 0);
     }
+    json.EndObject();
+    json.EndObject();
     table.AddRow(std::move(row));
   }
+  json.EndArray();
   table.Print();
   std::printf("Expected shape (paper): SMB flat at ~10^8 dps regardless of "
               "m; MRB next;\nFM/HLL++/HLL-TailC decay as m grows and sit "
               "1000x+ below SMB.\n");
+
+  // Batched queries over a sketch pool: EstimateMany amortizes the
+  // per-round S[r] and scale lookups across every sketch in one round
+  // bucket, so the win grows with pool size.
+  const std::vector<size_t> pool_sizes = {16, 256, 4096};
+  const uint64_t sweeps = scale.full ? 4000 : 800;
+  TablePrinter pool_table(
+      "SMB pooled queries (dps): per-sketch Estimate loop vs "
+      "EstimateMany, m = 5000");
+  pool_table.SetHeader({"pool", "Estimate loop", "EstimateMany", "speedup",
+                        "identical"});
+  json.Key("estimate_many");
+  json.BeginArray();
+  int failures = 0;
+  for (size_t pool_size : pool_sizes) {
+    const PoolQueryResult result =
+        MeasurePoolQueries(pool_size, 5000, 20000, sweeps);
+    const double speedup = result.per_sketch_dps > 0
+                               ? result.estimate_many_dps /
+                                     result.per_sketch_dps
+                               : 0.0;
+    pool_table.AddRow({std::to_string(pool_size),
+                       TablePrinter::FmtSci(result.per_sketch_dps, 2),
+                       TablePrinter::FmtSci(result.estimate_many_dps, 2),
+                       TablePrinter::Fmt(speedup, 2),
+                       result.estimates_identical ? "yes" : "NO"});
+    json.BeginObject();
+    json.Key("pool_size");
+    json.Uint(pool_size);
+    json.Key("estimate_loop_dps");
+    json.Double(result.per_sketch_dps, 0);
+    json.Key("estimate_many_dps");
+    json.Double(result.estimate_many_dps, 0);
+    json.Key("speedup");
+    json.Double(speedup, 3);
+    json.Key("estimates_identical");
+    json.Bool(result.estimates_identical);
+    json.EndObject();
+    if (!result.estimates_identical) {
+      std::fprintf(stderr,
+                   "FAIL: EstimateMany diverged from Estimate at pool=%zu\n",
+                   pool_size);
+      ++failures;
+    }
+  }
+  json.EndArray();
+  json.EndObject();
+  pool_table.Print();
+
+  const std::string path =
+      scale.json_path.empty() ? "BENCH_query.json" : scale.json_path;
+  if (!WriteBenchJson(path, json)) return 1;
+  return failures == 0 ? 0 : 1;
 }
 
 }  // namespace
 }  // namespace smb::bench
 
 int main(int argc, char** argv) {
-  smb::bench::Run(smb::bench::ParseScale(argc, argv));
-  return 0;
+  return smb::bench::Run(smb::bench::ParseScale(argc, argv));
 }

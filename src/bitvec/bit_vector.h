@@ -10,6 +10,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/macros.h"
@@ -76,6 +77,11 @@ class BitVector {
   // Raw word access for serialization. Unused high bits of the last word
   // are always zero (class invariant).
   const std::vector<uint64_t>& words() const { return words_; }
+
+  // Raw mutable word access for batch recording paths that coalesce
+  // several bit-sets into one word load/store. Callers must only set bits
+  // below size() — the zero tail of the last word is a class invariant.
+  std::span<uint64_t> mutable_words() { return words_; }
   void set_words(std::vector<uint64_t> words);
 
   friend bool operator==(const BitVector&, const BitVector&) = default;

@@ -7,6 +7,7 @@
 #include "common/bit_util.h"
 #include "common/macros.h"
 #include "core/smb_params.h"
+#include "hash/batch_hash.h"
 #include "hash/geometric.h"
 #include "telemetry/metrics_registry.h"
 #include "telemetry/morph_tracer.h"
@@ -98,6 +99,10 @@ void SelfMorphingBitmap::AddHash(Hash128 hash) {
   // Step 3: morph once the round filled T fresh bits. The final round
   // cannot morph (the next logical bitmap would be empty); v keeps growing
   // there and Estimate()/saturated() report the state faithfully.
+  MorphIfRoundFull();
+}
+
+inline void SelfMorphingBitmap::MorphIfRoundFull() {
   if (SMB_UNLIKELY(ones_in_round_ >= threshold_) && round_ < max_round_) {
     ++round_;
     ones_in_round_ = 0;
@@ -108,61 +113,145 @@ void SelfMorphingBitmap::AddHash(Hash128 hash) {
 }
 
 void SelfMorphingBitmap::AddBatch(std::span<const uint64_t> items) {
-  // Hashing is independent of (r, v, bitmap) state, so a whole block can be
-  // hashed before any probe; only the accept/morph decisions below must be
-  // applied in stream order to stay equivalent to sequential Add().
-  constexpr size_t kBlock = 32;
-  int rank[kBlock];
-  size_t pos[kBlock];
+  // Stage 1 hashes a whole block multi-lane — hashing is independent of
+  // the (r, v, bitmap) state, so it can run arbitrarily far ahead of the
+  // probes. Stage 2 compacts the lanes that survive the geometric gate at
+  // the block's entry round; stages 3 (positions + prefetch) and 4 (in-
+  // order apply) then touch only survivors. In the high-cardinality
+  // regime the gate passes a 2^-r fraction of lanes, so almost no lane
+  // ever reaches FastRange64 or the bitmap.
+  uint64_t lo[kBatchBlock];
+  uint8_t rank[kBatchBlock];
+  uint64_t surv_lo[kBatchBlock];
+  uint8_t surv_rank[kBatchBlock];
+  size_t surv_pos[kBatchBlock];
   while (!items.empty()) {
-    const size_t n = std::min(items.size(), size_t{kBlock});
+    const size_t n = std::min(items.size(), kBatchBlock);
+    BatchHashAndRank(items.data(), n, hash_seed(), lo, rank);
+
+    // Gate-first lane compaction. round_ only grows within a block, so a
+    // lane rejected at the entry round would also be rejected at its turn
+    // in the sequential order; survivors can still be re-rejected at
+    // apply time if an intervening morph raised the round (ApplySurvivors
+    // re-gates each lane).
+    const size_t round_at_entry = round_;
+    size_t survivors = 0;
     for (size_t i = 0; i < n; ++i) {
-      const Hash128 hash = ItemHash128(items[i], hash_seed());
-      rank[i] = GeometricRank(hash.hi);
-      pos[i] = FastRange64(hash.lo, bits_.size());
-    }
-    // round_ only grows within the block, so items failing the filter now
-    // would fail it at their turn too; survivors may still be rejected at
-    // apply time after an intervening morph.
-    for (size_t i = 0; i < n; ++i) {
-      if (static_cast<size_t>(rank[i]) >= round_) {
-        bits_.PrefetchForWrite(pos[i]);
+      if (SMB_UNLIKELY(static_cast<size_t>(rank[i]) >= round_at_entry)) {
+        surv_lo[survivors] = lo[i];
+        surv_rank[survivors] = rank[i];
+        ++survivors;
       }
     }
+    for (size_t j = 0; j < survivors; ++j) {
+      surv_pos[j] = FastRange64(surv_lo[j], bits_.size());
+      bits_.PrefetchForWrite(surv_pos[j]);
+    }
 #if SMB_TELEMETRY_ENABLED
-    // Counter updates are batched per block so telemetry costs a handful
-    // of relaxed fetch_adds per 32 items, not one per item.
-    uint64_t accepts = 0;
-    uint64_t duplicates = 0;
     telem_items_seen_ += n;
 #endif
-    for (size_t i = 0; i < n; ++i) {
-      if (SMB_LIKELY(static_cast<size_t>(rank[i]) < round_)) continue;
-#if SMB_TELEMETRY_ENABLED
-      ++accepts;
-#endif
-      if (!bits_.TestAndSet(pos[i])) {
-#if SMB_TELEMETRY_ENABLED
-        ++duplicates;
-#endif
-        continue;
-      }
-      ++ones_in_round_;
-      if (SMB_UNLIKELY(ones_in_round_ >= threshold_) && round_ < max_round_) {
-        ++round_;
-        ones_in_round_ = 0;
-#if SMB_TELEMETRY_ENABLED
-        RecordMorphTelemetry();
-#endif
-      }
-    }
-#if SMB_TELEMETRY_ENABLED
-    SmbCounters& counters = GlobalSmbCounters();
-    if (accepts > 0) counters.gate_accepts->Add(accepts);
-    if (accepts < n) counters.gate_rejects->Add(n - accepts);
-    if (duplicates > 0) counters.duplicate_bits->Add(duplicates);
-#endif
+    ApplySurvivors(n, survivors, surv_rank, surv_pos);
     items = items.subspan(n);
+  }
+}
+
+void SelfMorphingBitmap::ApplySurvivors(size_t block_items, size_t survivors,
+                                        const uint8_t* ranks,
+                                        const size_t* positions) {
+#if SMB_TELEMETRY_ENABLED
+  // Counter updates are batched per block so telemetry costs a handful of
+  // relaxed fetch_adds per kBatchBlock items, not one per item.
+  uint64_t accepts = 0;
+  uint64_t duplicates = 0;
+#endif
+  // Word-coalesced in-order apply: consecutive survivors landing in the
+  // same 64-bit word share one load and one deferred store. Correctness:
+  // while a word is cached, every read and write of it goes through the
+  // cache, so each probe sees exactly the state the uncoalesced loop
+  // would — the sequence of fresh-bit outcomes, and therefore v and every
+  // morph point, is bit-identical to sequential Add(). The cache is
+  // flushed at every morph checkpoint and at the end of the block.
+  const std::span<uint64_t> words = bits_.mutable_words();
+  constexpr size_t kNoWord = static_cast<size_t>(-1);
+  size_t cached_idx = kNoWord;
+  uint64_t cached_word = 0;
+  const auto flush = [&] {
+    if (cached_idx != kNoWord) words[cached_idx] = cached_word;
+  };
+  for (size_t j = 0; j < survivors; ++j) {
+    // Re-gate against the live round: a morph earlier in this block
+    // rejects survivors whose rank no longer clears it, exactly as the
+    // item-at-a-time loop would at their turn.
+    if (SMB_UNLIKELY(static_cast<size_t>(ranks[j]) < round_)) continue;
+#if SMB_TELEMETRY_ENABLED
+    ++accepts;
+#endif
+    const size_t idx = positions[j] >> 6;
+    const uint64_t mask = uint64_t{1} << (positions[j] & 63);
+    if (idx != cached_idx) {
+      flush();
+      cached_idx = idx;
+      cached_word = words[idx];
+    }
+    if (cached_word & mask) {
+#if SMB_TELEMETRY_ENABLED
+      ++duplicates;
+#endif
+      continue;
+    }
+    cached_word |= mask;
+    ++ones_in_round_;
+    if (SMB_UNLIKELY(ones_in_round_ >= threshold_)) {
+      // Morph checkpoint: flush so the physical bitmap is consistent
+      // before the round advances (and telemetry observes it). In the
+      // final round the flush simply keeps the bitmap current.
+      flush();
+      cached_idx = kNoWord;
+      MorphIfRoundFull();
+    }
+  }
+  flush();
+#if SMB_TELEMETRY_ENABLED
+  SmbCounters& counters = GlobalSmbCounters();
+  if (accepts > 0) counters.gate_accepts->Add(accepts);
+  if (accepts < block_items) counters.gate_rejects->Add(block_items - accepts);
+  if (duplicates > 0) counters.duplicate_bits->Add(duplicates);
+#else
+  (void)block_items;
+#endif
+}
+
+void SelfMorphingBitmap::EstimateMany(
+    std::span<const SelfMorphingBitmap* const> sketches,
+    std::span<double> out) {
+  SMB_CHECK_MSG(out.size() >= sketches.size(),
+                "EstimateMany output span smaller than sketch pool");
+  if (sketches.empty()) return;
+  const SelfMorphingBitmap& head = *sketches[0];
+  const size_t m = head.bits_.size();
+  const size_t threshold = head.threshold_;
+  // Shared per-round constants, resolved once for the whole pool: every
+  // sketch with this (m, T) geometry has the same S-table, logical sizes
+  // and scale factors, so the per-sketch work collapses to one gather of
+  // (r, v) plus a single log1p.
+  const std::vector<double>& s = head.s_table_;
+  std::vector<double> scale(head.max_round_ + 1);
+  std::vector<double> logical_bits(head.max_round_ + 1);
+  for (size_t r = 0; r <= head.max_round_; ++r) {
+    scale[r] = std::ldexp(static_cast<double>(m), static_cast<int>(r));
+    logical_bits[r] = static_cast<double>(m - r * threshold);
+  }
+  for (size_t i = 0; i < sketches.size(); ++i) {
+    const SelfMorphingBitmap& sketch = *sketches[i];
+    SMB_CHECK_MSG(sketch.bits_.size() == m && sketch.threshold_ == threshold,
+                  "EstimateMany requires a uniform (m, T) geometry");
+    const size_t r = sketch.round_;
+    const double m_r = logical_bits[r];
+    // Same operations, operand values and order as Estimate(), so the
+    // batched result is bit-identical (pinned by tests).
+    const double v =
+        std::min(static_cast<double>(sketch.ones_in_round_), m_r - 1.0);
+    out[i] = v <= 0.0 ? s[r] : s[r] + scale[r] * (-std::log1p(-v / m_r));
   }
 }
 
@@ -195,8 +284,8 @@ void SelfMorphingBitmap::RecordMorphTelemetry() {
   event.round = round_;  // the round just entered (first morph records 1)
   event.v = threshold_;  // the fill that triggered the morph is exactly T
   event.bits_set = round_ * threshold_;
-  // Block-granular under AddBatch (items_seen is bumped per 32-item block),
-  // exact under Add(); monotone non-decreasing either way.
+  // Block-granular under AddBatch (items_seen is bumped per kBatchBlock
+  // items), exact under Add(); monotone non-decreasing either way.
   event.items_seen = telem_items_seen_;
   event.timestamp_ns = telemetry::MonotonicNanos();
   telemetry::MorphTracer::Global().Record(event);

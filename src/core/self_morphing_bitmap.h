@@ -19,6 +19,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "bitvec/bit_vector.h"
@@ -53,12 +54,24 @@ class SelfMorphingBitmap final : public CardinalityEstimator {
 
   // CardinalityEstimator interface -----------------------------------------
   void AddHash(Hash128 hash) override;
-  // Block-recording fast path: hashes a block of keys up front (the hash is
-  // state-independent), prefetches the bitmap words of items that survive
-  // the current round's sampling filter, then applies the probes in order.
-  // Bit-for-bit equivalent to a sequential Add() loop.
+  // Block-recording fast path: hashes a block of keys multi-lane through
+  // the SIMD batch kernel (hash/batch_hash.h), gate-filters and compacts
+  // the lanes that survive the current round's sampling filter, and only
+  // then computes positions, prefetches, and applies the probes in stream
+  // order with word-coalesced bit-sets between morph checkpoints.
+  // Bit-for-bit equivalent to a sequential Add() loop (fuzz-asserted for
+  // every compiled kernel variant).
   void AddBatch(std::span<const uint64_t> items) override;
   double Estimate() const override;
+  // Batched query path: writes Estimate() of sketches[i] into out[i].
+  // Every sketch must share the same (num_bits, threshold) geometry (hash
+  // seeds may differ); the S-table and the per-round scale factors are
+  // then resolved once for the whole pool instead of once per sketch —
+  // the Table-5 regime of querying a large fleet of per-flow sketches
+  // back-to-back. Results are bit-identical to per-sketch Estimate().
+  static void EstimateMany(
+      std::span<const SelfMorphingBitmap* const> sketches,
+      std::span<double> out);
   // m bits plus the 32 auxiliary bits for (r, v) that the paper's query-
   // overhead analysis counts (6 bits of r + 26 bits of v).
   size_t MemoryBits() const override { return bits_.size() + 32; }
@@ -105,6 +118,20 @@ class SelfMorphingBitmap final : public CardinalityEstimator {
       const std::vector<uint8_t>& bytes);
 
  private:
+  // The single audited morph site: every recording path (Add, AddBatch,
+  // the SIMD survivor apply) advances rounds only through here. Morphs
+  // once the current round has filled T fresh bits and a next round
+  // exists.
+  void MorphIfRoundFull();
+
+  // In-order apply stage of AddBatch: re-gates each surviving lane
+  // against the live round, sets its bit (word-coalesced between morph
+  // checkpoints), and maintains (v, r) plus the gate telemetry for a
+  // block of `block_items` items of which `survivors` passed the entry
+  // gate.
+  void ApplySurvivors(size_t block_items, size_t survivors,
+                      const uint8_t* ranks, const size_t* positions);
+
 #if SMB_TELEMETRY_ENABLED
   // Emits the MorphTracer event + morph counter; called right after a morph.
   void RecordMorphTelemetry();

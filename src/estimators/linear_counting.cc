@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/bit_util.h"
+#include "hash/batch_hash.h"
 
 namespace smb {
 
@@ -13,6 +14,29 @@ LinearCounting::LinearCounting(size_t num_bits, uint64_t hash_seed)
 void LinearCounting::AddHash(Hash128 hash) {
   const size_t pos = FastRange64(hash.lo, bits_.size());
   if (bits_.TestAndSet(pos)) ++ones_;
+}
+
+void LinearCounting::AddBatch(std::span<const uint64_t> items) {
+  // Linear counting has no sampling gate, so the batch pipeline is just
+  // stage 1 (multi-lane hash; the geometric ranks come for free and are
+  // ignored) plus position/prefetch and probe loops over every lane. Probe
+  // order does not affect the final state, but the loop keeps stream order
+  // anyway — it costs nothing.
+  uint64_t lo[kBatchBlock];
+  uint8_t rank[kBatchBlock];
+  size_t pos[kBatchBlock];
+  while (!items.empty()) {
+    const size_t n = std::min(items.size(), kBatchBlock);
+    BatchHashAndRank(items.data(), n, hash_seed(), lo, rank);
+    for (size_t i = 0; i < n; ++i) {
+      pos[i] = FastRange64(lo[i], bits_.size());
+      bits_.PrefetchForWrite(pos[i]);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (bits_.TestAndSet(pos[i])) ++ones_;
+    }
+    items = items.subspan(n);
+  }
 }
 
 double LinearCounting::Estimate() const {

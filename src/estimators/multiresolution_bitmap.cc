@@ -5,6 +5,7 @@
 
 #include "common/bit_util.h"
 #include "common/macros.h"
+#include "hash/batch_hash.h"
 #include "hash/geometric.h"
 
 namespace smb {
@@ -124,6 +125,33 @@ void MultiResolutionBitmap::AddHash(Hash128 hash) {
   const size_t pos = FastRange64(hash.lo, component_bits_);
   if (bits_.TestAndSet(level * component_bits_ + pos)) {
     ++ones_[level];
+  }
+}
+
+void MultiResolutionBitmap::AddBatch(std::span<const uint64_t> items) {
+  // The kernel's rank is GeometricRank clamped at 63; capping it again at
+  // k-1 reproduces GeometricRankCapped exactly (the geometric rank never
+  // exceeds 63, so a cap above 63 never binds). Every item sets a bit —
+  // MRB has no rejection gate — so all lanes flow through the position
+  // and probe loops.
+  uint64_t lo[kBatchBlock];
+  uint8_t rank[kBatchBlock];
+  size_t pos[kBatchBlock];
+  const size_t level_cap = ones_.size() - 1;
+  while (!items.empty()) {
+    const size_t n = std::min(items.size(), kBatchBlock);
+    BatchHashAndRank(items.data(), n, hash_seed(), lo, rank);
+    for (size_t i = 0; i < n; ++i) {
+      const size_t level = std::min<size_t>(rank[i], level_cap);
+      pos[i] = level * component_bits_ + FastRange64(lo[i], component_bits_);
+      bits_.PrefetchForWrite(pos[i]);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (bits_.TestAndSet(pos[i])) {
+        ++ones_[pos[i] / component_bits_];
+      }
+    }
+    items = items.subspan(n);
   }
 }
 

@@ -51,6 +51,11 @@ class MultiResolutionBitmap final : public CardinalityEstimator {
                           uint64_t hash_seed = 0);
 
   void AddHash(Hash128 hash) override;
+  // Block fast path through the SIMD batch kernel: the kernel's geometric
+  // rank IS the component level (capped at k-1), so one multi-lane hash
+  // yields level and in-component position for a whole block. Bit-for-bit
+  // equivalent to a sequential Add() loop.
+  void AddBatch(std::span<const uint64_t> items) override;
   double Estimate() const override;
   // k*b bitmap bits plus 32 bits per online ones-counter.
   size_t MemoryBits() const override {

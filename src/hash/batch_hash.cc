@@ -1,0 +1,13 @@
+#include "hash/batch_hash.h"
+
+#include "simd/simd_dispatch.h"
+
+namespace smb {
+
+void BatchHashAndRank(const uint64_t* items, size_t n, uint64_t seed,
+                      uint64_t* lo_out, uint8_t* rank_out) {
+  internal::ActiveBatchKernelSlot().load(std::memory_order_relaxed)(
+      items, n, seed, lo_out, rank_out);
+}
+
+}  // namespace smb

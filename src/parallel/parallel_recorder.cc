@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "hash/batch_hash.h"
 #include "parallel/spsc_ring.h"
 #include "telemetry/metrics_registry.h"
 
@@ -19,8 +20,12 @@ namespace smb {
 namespace {
 
 // Consumer-side drain granularity. Larger than the producer batch so one
-// pop usually empties a whole hand-off.
+// pop usually empties a whole hand-off, and a whole multiple of the SIMD
+// batch kernel's block size so every drained chunk feeds the vectorized
+// AddBatch path full blocks (no scalar tails except the stream's last).
 constexpr size_t kDrainChunk = 1024;
+static_assert(kDrainChunk % kBatchBlock == 0,
+              "drain chunks must tile the batch kernel's block size");
 
 // Blocking push of a full run into one ring; spins (yielding) while the
 // consumer catches up. Returns the number of full-ring stalls (yields).

@@ -1,0 +1,59 @@
+// Multi-lane batch hash-and-rank kernels — the vectorized stage 1 of the
+// block recording pipeline (see hash/batch_hash.h for the dispatched entry
+// point and DESIGN.md #10 for the full kernel description).
+//
+// Every kernel computes, for each input key:
+//   lo[i]   = ItemHash128(items[i], seed).lo   (the position hash)
+//   rank[i] = GeometricRank(ItemHash128(items[i], seed).hi)
+// i.e. exactly the per-item randomness the scalar Add() path derives, so a
+// caller that consumes (lo, rank) is bit-for-bit equivalent to hashing one
+// item at a time. Kernels differ only in how many lanes they process per
+// step; all of them handle arbitrary n (tails fall back to scalar lanes).
+//
+// The trailing-zero count is computed branch-free as
+//   rank = min(popcount(~hi & (hi - 1)), 63)
+// which matches GeometricRank's clamp (an all-zero hash word has
+// popcount 64 and collapses to 63).
+//
+// Only the variants compiled for the target architecture are declared;
+// runtime selection lives in simd/simd_dispatch.h.
+
+#ifndef SMBCARD_SIMD_BATCH_KERNEL_H_
+#define SMBCARD_SIMD_BATCH_KERNEL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace smb {
+
+// Signature shared by every kernel variant. `lo_out` and `rank_out` must
+// each hold at least n elements; `items` may alias neither output.
+using BatchHashRankFn = void (*)(const uint64_t* items, size_t n,
+                                 uint64_t seed, uint64_t* lo_out,
+                                 uint8_t* rank_out);
+
+// Portable baseline: 4-way unrolled scalar/SWAR loop. Always compiled; the
+// reference every SIMD variant is fuzz-checked against.
+void BatchHashRankScalar(const uint64_t* items, size_t n, uint64_t seed,
+                         uint64_t* lo_out, uint8_t* rank_out);
+
+#if defined(__x86_64__) || defined(_M_X64)
+// 2 lanes per 128-bit vector. SSE2 is the x86-64 ABI baseline, so this
+// variant is runnable on every x86-64 CPU.
+void BatchHashRankSse2(const uint64_t* items, size_t n, uint64_t seed,
+                       uint64_t* lo_out, uint8_t* rank_out);
+// 4 lanes per 256-bit vector; compiled with -mavx2 and only dispatched
+// when the CPU reports AVX2 support.
+void BatchHashRankAvx2(const uint64_t* items, size_t n, uint64_t seed,
+                       uint64_t* lo_out, uint8_t* rank_out);
+#endif
+
+#if defined(__aarch64__)
+// 2 lanes per 128-bit vector. NEON/ASIMD is mandatory on AArch64.
+void BatchHashRankNeon(const uint64_t* items, size_t n, uint64_t seed,
+                       uint64_t* lo_out, uint8_t* rank_out);
+#endif
+
+}  // namespace smb
+
+#endif  // SMBCARD_SIMD_BATCH_KERNEL_H_

@@ -1,0 +1,128 @@
+// AVX2 specialization of the batch hash-and-rank kernel: 4 lanes per
+// 256-bit vector, two vectors (8 lanes) per loop step so the fmix64
+// multiply chains of independent vectors overlap in the pipeline.
+//
+// This translation unit is compiled with -mavx2 (see src/CMakeLists.txt);
+// nothing in it may be called unless the runtime dispatcher has verified
+// AVX2 support via __builtin_cpu_supports.
+//
+// AVX2 still lacks a 64-bit low multiply (that is AVX-512DQ), so the
+// 32x32 cross-product decomposition from the SSE2 variant is reused at
+// 256-bit width.
+
+#include "simd/batch_kernel.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include "hash/geometric.h"
+#include "hash/murmur3.h"
+
+namespace smb {
+namespace {
+
+inline __m256i MulLo64(__m256i a, __m256i b) {
+  const __m256i lolo = _mm256_mul_epu32(a, b);
+  const __m256i cross =
+      _mm256_add_epi64(_mm256_mul_epu32(_mm256_srli_epi64(a, 32), b),
+                       _mm256_mul_epu32(a, _mm256_srli_epi64(b, 32)));
+  return _mm256_add_epi64(lolo, _mm256_slli_epi64(cross, 32));
+}
+
+inline __m256i Fmix64(__m256i x) {
+  const __m256i c1 =
+      _mm256_set1_epi64x(static_cast<long long>(0xFF51AFD7ED558CCDULL));
+  const __m256i c2 =
+      _mm256_set1_epi64x(static_cast<long long>(0xC4CEB9FE1A85EC53ULL));
+  x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 33));
+  x = MulLo64(x, c1);
+  x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 33));
+  x = MulLo64(x, c2);
+  x = _mm256_xor_si256(x, _mm256_srli_epi64(x, 33));
+  return x;
+}
+
+// Per-64-bit-lane popcount: SWAR nibble reduction, then _mm256_sad_epu8
+// sums the 8 byte-counts of each lane into that lane's low 16 bits.
+inline __m256i Popcount64(__m256i x) {
+  const __m256i m1 =
+      _mm256_set1_epi64x(static_cast<long long>(0x5555555555555555ULL));
+  const __m256i m2 =
+      _mm256_set1_epi64x(static_cast<long long>(0x3333333333333333ULL));
+  const __m256i m4 =
+      _mm256_set1_epi64x(static_cast<long long>(0x0F0F0F0F0F0F0F0FULL));
+  x = _mm256_sub_epi64(x, _mm256_and_si256(_mm256_srli_epi64(x, 1), m1));
+  x = _mm256_add_epi64(_mm256_and_si256(x, m2),
+                       _mm256_and_si256(_mm256_srli_epi64(x, 2), m2));
+  x = _mm256_and_si256(_mm256_add_epi64(x, _mm256_srli_epi64(x, 4)), m4);
+  return _mm256_sad_epu8(x, _mm256_setzero_si256());
+}
+
+struct Lanes4 {
+  __m256i lo;
+  __m256i rank;  // rank in the low byte of each 64-bit lane
+};
+
+inline Lanes4 HashFour(__m256i keys, __m256i voffset, __m256i vhi_xor,
+                       __m256i vone, __m256i vcap) {
+  Lanes4 out;
+  out.lo = Fmix64(_mm256_add_epi64(keys, voffset));
+  const __m256i hi = Fmix64(_mm256_xor_si256(out.lo, vhi_xor));
+  // ctz(hi) = popcount(~hi & (hi - 1)); min_epu8 clamps the all-zero
+  // lane's 64 down to GeometricRank's cap of 63.
+  const __m256i below = _mm256_andnot_si256(hi, _mm256_sub_epi64(hi, vone));
+  out.rank = _mm256_min_epu8(Popcount64(below), vcap);
+  return out;
+}
+
+inline void StoreRanks(__m256i rank, uint8_t* rank_out) {
+  alignas(32) uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), rank);
+  rank_out[0] = static_cast<uint8_t>(lanes[0]);
+  rank_out[1] = static_cast<uint8_t>(lanes[1]);
+  rank_out[2] = static_cast<uint8_t>(lanes[2]);
+  rank_out[3] = static_cast<uint8_t>(lanes[3]);
+}
+
+}  // namespace
+
+void BatchHashRankAvx2(const uint64_t* items, size_t n, uint64_t seed,
+                       uint64_t* lo_out, uint8_t* rank_out) {
+  const uint64_t offset =
+      seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL;
+  const __m256i voffset = _mm256_set1_epi64x(static_cast<long long>(offset));
+  const __m256i vhi_xor =
+      _mm256_set1_epi64x(static_cast<long long>(0xC2B2AE3D27D4EB4FULL));
+  const __m256i vone = _mm256_set1_epi64x(1);
+  const __m256i vcap = _mm256_set1_epi64x(63);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i keys_a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(items + i));
+    const __m256i keys_b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(items + i + 4));
+    const Lanes4 a = HashFour(keys_a, voffset, vhi_xor, vone, vcap);
+    const Lanes4 b = HashFour(keys_b, voffset, vhi_xor, vone, vcap);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(lo_out + i), a.lo);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(lo_out + i + 4), b.lo);
+    StoreRanks(a.rank, rank_out + i);
+    StoreRanks(b.rank, rank_out + i + 4);
+  }
+  for (; i + 4 <= n; i += 4) {
+    const __m256i keys =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(items + i));
+    const Lanes4 a = HashFour(keys, voffset, vhi_xor, vone, vcap);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(lo_out + i), a.lo);
+    StoreRanks(a.rank, rank_out + i);
+  }
+  for (; i < n; ++i) {
+    const Hash128 hash = ItemHash128(items[i], seed);
+    lo_out[i] = hash.lo;
+    rank_out[i] = static_cast<uint8_t>(GeometricRank(hash.hi));
+  }
+}
+
+}  // namespace smb
+
+#endif  // defined(__x86_64__) || defined(_M_X64)

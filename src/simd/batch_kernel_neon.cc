@@ -1,0 +1,82 @@
+// NEON/ASIMD specialization of the batch hash-and-rank kernel: 2 lanes per
+// 128-bit vector. ASIMD is mandatory on AArch64, so — like SSE2 on x86-64 —
+// this variant needs no runtime feature check on that architecture.
+//
+// NEON has no 64-bit multiply either; the 32x32 cross-product decomposition
+// uses vmull_u32/vmlal_u32 (widening multiplies on the narrowed halves).
+// Popcount is where NEON shines: vcnt counts bits per byte and a vpaddl
+// chain widens the byte counts back to one sum per 64-bit lane.
+
+#include "simd/batch_kernel.h"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include "hash/geometric.h"
+#include "hash/murmur3.h"
+
+namespace smb {
+namespace {
+
+inline uint64x2_t MulLo64(uint64x2_t a, uint64x2_t b) {
+  const uint32x2_t a_lo = vmovn_u64(a);
+  const uint32x2_t a_hi = vshrn_n_u64(a, 32);
+  const uint32x2_t b_lo = vmovn_u64(b);
+  const uint32x2_t b_hi = vshrn_n_u64(b, 32);
+  const uint64x2_t lolo = vmull_u32(a_lo, b_lo);
+  const uint64x2_t cross = vmlal_u32(vmull_u32(a_hi, b_lo), a_lo, b_hi);
+  return vaddq_u64(lolo, vshlq_n_u64(cross, 32));
+}
+
+inline uint64x2_t Fmix64(uint64x2_t x) {
+  const uint64x2_t c1 = vdupq_n_u64(0xFF51AFD7ED558CCDULL);
+  const uint64x2_t c2 = vdupq_n_u64(0xC4CEB9FE1A85EC53ULL);
+  x = veorq_u64(x, vshrq_n_u64(x, 33));
+  x = MulLo64(x, c1);
+  x = veorq_u64(x, vshrq_n_u64(x, 33));
+  x = MulLo64(x, c2);
+  x = veorq_u64(x, vshrq_n_u64(x, 33));
+  return x;
+}
+
+// Per-64-bit-lane popcount via byte counts + pairwise widening adds.
+inline uint64x2_t Popcount64(uint64x2_t x) {
+  const uint8x16_t bytes = vcntq_u8(vreinterpretq_u8_u64(x));
+  return vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(bytes)));
+}
+
+}  // namespace
+
+void BatchHashRankNeon(const uint64_t* items, size_t n, uint64_t seed,
+                       uint64_t* lo_out, uint8_t* rank_out) {
+  const uint64_t offset =
+      seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL;
+  const uint64x2_t voffset = vdupq_n_u64(offset);
+  const uint64x2_t vhi_xor = vdupq_n_u64(0xC2B2AE3D27D4EB4FULL);
+  const uint64x2_t vone = vdupq_n_u64(1);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t keys = vld1q_u64(items + i);
+    const uint64x2_t lo = Fmix64(vaddq_u64(keys, voffset));
+    vst1q_u64(lo_out + i, lo);
+    const uint64x2_t hi = Fmix64(veorq_u64(lo, vhi_xor));
+    // ctz(hi) = popcount(~hi & (hi - 1)); clamp matches GeometricRank.
+    const uint64x2_t below =
+        vbicq_u64(vsubq_u64(hi, vone), hi);
+    const uint64x2_t rank = Popcount64(below);
+    const uint64_t r0 = vgetq_lane_u64(rank, 0);
+    const uint64_t r1 = vgetq_lane_u64(rank, 1);
+    rank_out[i + 0] = static_cast<uint8_t>(r0 > 63 ? 63 : r0);
+    rank_out[i + 1] = static_cast<uint8_t>(r1 > 63 ? 63 : r1);
+  }
+  for (; i < n; ++i) {
+    const Hash128 hash = ItemHash128(items[i], seed);
+    lo_out[i] = hash.lo;
+    rank_out[i] = static_cast<uint8_t>(GeometricRank(hash.hi));
+  }
+}
+
+}  // namespace smb
+
+#endif  // defined(__aarch64__)

@@ -1,0 +1,41 @@
+// Portable scalar/SWAR baseline of the batch hash-and-rank kernel.
+//
+// This variant is the semantic reference: it calls the exact inline hash
+// the scalar Add() path uses, so "SIMD variant == scalar kernel" plus
+// "scalar kernel == per-item Add()" gives the bit-for-bit equivalence the
+// recording pipeline depends on. The 4-way unroll breaks the loop-carried
+// serialization of the fmix64 chains (each lane is independent) without
+// requiring any ISA extension.
+
+#include "simd/batch_kernel.h"
+
+#include "hash/geometric.h"
+#include "hash/murmur3.h"
+
+namespace smb {
+namespace {
+
+inline void OneLane(uint64_t item, uint64_t seed, uint64_t* lo_out,
+                    uint8_t* rank_out) {
+  const Hash128 hash = ItemHash128(item, seed);
+  *lo_out = hash.lo;
+  *rank_out = static_cast<uint8_t>(GeometricRank(hash.hi));
+}
+
+}  // namespace
+
+void BatchHashRankScalar(const uint64_t* items, size_t n, uint64_t seed,
+                         uint64_t* lo_out, uint8_t* rank_out) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    OneLane(items[i + 0], seed, lo_out + i + 0, rank_out + i + 0);
+    OneLane(items[i + 1], seed, lo_out + i + 1, rank_out + i + 1);
+    OneLane(items[i + 2], seed, lo_out + i + 2, rank_out + i + 2);
+    OneLane(items[i + 3], seed, lo_out + i + 3, rank_out + i + 3);
+  }
+  for (; i < n; ++i) {
+    OneLane(items[i], seed, lo_out + i, rank_out + i);
+  }
+}
+
+}  // namespace smb

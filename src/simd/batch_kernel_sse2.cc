@@ -1,0 +1,98 @@
+// SSE2 specialization of the batch hash-and-rank kernel: 2 lanes per
+// 128-bit vector. SSE2 is the x86-64 ABI baseline, so this file needs no
+// special compile flags and the variant is runnable on every x86-64 CPU —
+// it is the floor of the runtime dispatch ladder there.
+//
+// SSE2 has no 64-bit low multiply or 64-bit popcount, so both are built
+// from the 32-bit primitives:
+//   mullo64(a, b) = lo(a)*lo(b) + ((lo(a)*hi(b) + hi(a)*lo(b)) << 32)
+//   popcount64    = SWAR nibble reduction + _mm_sad_epu8 byte sum.
+
+#include "simd/batch_kernel.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <emmintrin.h>
+
+#include "hash/geometric.h"
+#include "hash/murmur3.h"
+
+namespace smb {
+namespace {
+
+inline __m128i MulLo64(__m128i a, __m128i b) {
+  const __m128i lolo = _mm_mul_epu32(a, b);
+  const __m128i cross = _mm_add_epi64(_mm_mul_epu32(_mm_srli_epi64(a, 32), b),
+                                      _mm_mul_epu32(a, _mm_srli_epi64(b, 32)));
+  return _mm_add_epi64(lolo, _mm_slli_epi64(cross, 32));
+}
+
+inline __m128i Fmix64(__m128i x) {
+  const __m128i c1 =
+      _mm_set1_epi64x(static_cast<long long>(0xFF51AFD7ED558CCDULL));
+  const __m128i c2 =
+      _mm_set1_epi64x(static_cast<long long>(0xC4CEB9FE1A85EC53ULL));
+  x = _mm_xor_si128(x, _mm_srli_epi64(x, 33));
+  x = MulLo64(x, c1);
+  x = _mm_xor_si128(x, _mm_srli_epi64(x, 33));
+  x = MulLo64(x, c2);
+  x = _mm_xor_si128(x, _mm_srli_epi64(x, 33));
+  return x;
+}
+
+// Per-64-bit-lane popcount. After the nibble reduction every byte holds its
+// own popcount; _mm_sad_epu8 against zero sums the 8 bytes of each lane
+// into that lane's low 16 bits.
+inline __m128i Popcount64(__m128i x) {
+  const __m128i m1 =
+      _mm_set1_epi64x(static_cast<long long>(0x5555555555555555ULL));
+  const __m128i m2 =
+      _mm_set1_epi64x(static_cast<long long>(0x3333333333333333ULL));
+  const __m128i m4 =
+      _mm_set1_epi64x(static_cast<long long>(0x0F0F0F0F0F0F0F0FULL));
+  x = _mm_sub_epi64(x, _mm_and_si128(_mm_srli_epi64(x, 1), m1));
+  x = _mm_add_epi64(_mm_and_si128(x, m2),
+                    _mm_and_si128(_mm_srli_epi64(x, 2), m2));
+  x = _mm_and_si128(_mm_add_epi64(x, _mm_srli_epi64(x, 4)), m4);
+  return _mm_sad_epu8(x, _mm_setzero_si128());
+}
+
+}  // namespace
+
+void BatchHashRankSse2(const uint64_t* items, size_t n, uint64_t seed,
+                       uint64_t* lo_out, uint8_t* rank_out) {
+  const uint64_t offset =
+      seed * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL;
+  const __m128i voffset = _mm_set1_epi64x(static_cast<long long>(offset));
+  const __m128i vhi_xor =
+      _mm_set1_epi64x(static_cast<long long>(0xC2B2AE3D27D4EB4FULL));
+  const __m128i vone = _mm_set1_epi64x(1);
+  // 63 in the low byte of each 64-bit lane; min_epu8 leaves the other
+  // (zero) bytes untouched and clamps an all-zero hash's count of 64.
+  const __m128i vcap = _mm_set1_epi64x(63);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i keys =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(items + i));
+    const __m128i lo = Fmix64(_mm_add_epi64(keys, voffset));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(lo_out + i), lo);
+    const __m128i hi = Fmix64(_mm_xor_si128(lo, vhi_xor));
+    // ctz(hi) = popcount(~hi & (hi - 1)).
+    const __m128i below =
+        _mm_andnot_si128(hi, _mm_sub_epi64(hi, vone));
+    const __m128i rank = _mm_min_epu8(Popcount64(below), vcap);
+    alignas(16) uint64_t lanes[2];
+    _mm_store_si128(reinterpret_cast<__m128i*>(lanes), rank);
+    rank_out[i + 0] = static_cast<uint8_t>(lanes[0]);
+    rank_out[i + 1] = static_cast<uint8_t>(lanes[1]);
+  }
+  for (; i < n; ++i) {
+    const Hash128 hash = ItemHash128(items[i], seed);
+    lo_out[i] = hash.lo;
+    rank_out[i] = static_cast<uint8_t>(GeometricRank(hash.hi));
+  }
+}
+
+}  // namespace smb
+
+#endif  // defined(__x86_64__) || defined(_M_X64)

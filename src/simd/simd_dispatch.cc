@@ -1,0 +1,119 @@
+#include "simd/simd_dispatch.h"
+
+#include <atomic>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace smb {
+namespace {
+
+void ResolveTrampoline(const uint64_t* items, size_t n, uint64_t seed,
+                       uint64_t* lo_out, uint8_t* rank_out);
+
+// The ifunc-style slot: starts at the resolver, then holds the selected
+// kernel forever (or a test override). Relaxed ordering suffices — every
+// value ever stored is a valid kernel with identical observable behaviour,
+// so a racing reader calling a stale pointer is still correct.
+std::atomic<BatchHashRankFn> g_kernel{&ResolveTrampoline};
+
+BatchHashRankFn ResolveBest() {
+#if defined(__x86_64__) || defined(_M_X64)
+  if (__builtin_cpu_supports("avx2")) return &BatchHashRankAvx2;
+  return &BatchHashRankSse2;
+#elif defined(__aarch64__)
+  return &BatchHashRankNeon;
+#else
+  return &BatchHashRankScalar;
+#endif
+}
+
+void ResolveTrampoline(const uint64_t* items, size_t n, uint64_t seed,
+                       uint64_t* lo_out, uint8_t* rank_out) {
+  const BatchHashRankFn fn = ResolveBest();
+  g_kernel.store(fn, std::memory_order_relaxed);
+  fn(items, n, seed, lo_out, rank_out);
+}
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<BatchHashRankFn>& ActiveBatchKernelSlot() { return g_kernel; }
+
+}  // namespace internal
+
+std::string_view BatchKernelKindName(BatchKernelKind kind) {
+  switch (kind) {
+    case BatchKernelKind::kScalar:
+      return "scalar";
+    case BatchKernelKind::kSse2:
+      return "sse2";
+    case BatchKernelKind::kAvx2:
+      return "avx2";
+    case BatchKernelKind::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+BatchHashRankFn BatchKernelForTesting(BatchKernelKind kind) {
+  switch (kind) {
+    case BatchKernelKind::kScalar:
+      return &BatchHashRankScalar;
+#if defined(__x86_64__) || defined(_M_X64)
+    case BatchKernelKind::kSse2:
+      return &BatchHashRankSse2;
+    case BatchKernelKind::kAvx2:
+      return __builtin_cpu_supports("avx2") ? &BatchHashRankAvx2 : nullptr;
+#endif
+#if defined(__aarch64__)
+    case BatchKernelKind::kNeon:
+      return &BatchHashRankNeon;
+#endif
+    default:
+      return nullptr;
+  }
+}
+
+std::span<const BatchKernelKind> RunnableBatchKernels() {
+  static const std::vector<BatchKernelKind> kinds = [] {
+    std::vector<BatchKernelKind> out;
+    for (BatchKernelKind kind :
+         {BatchKernelKind::kAvx2, BatchKernelKind::kNeon,
+          BatchKernelKind::kSse2, BatchKernelKind::kScalar}) {
+      if (BatchKernelForTesting(kind) != nullptr) out.push_back(kind);
+    }
+    return out;
+  }();
+  return kinds;
+}
+
+BatchKernelKind ActiveBatchKernel() {
+  BatchHashRankFn fn = g_kernel.load(std::memory_order_relaxed);
+  if (fn == &ResolveTrampoline) {
+    fn = ResolveBest();
+    g_kernel.store(fn, std::memory_order_relaxed);
+  }
+  for (BatchKernelKind kind : RunnableBatchKernels()) {
+    if (BatchKernelForTesting(kind) == fn) return kind;
+  }
+  return BatchKernelKind::kScalar;  // unreachable: every slot value is listed
+}
+
+std::string_view BatchDispatchTargetName() {
+  return BatchKernelKindName(ActiveBatchKernel());
+}
+
+void ForceBatchKernelForTesting(BatchKernelKind kind) {
+  const BatchHashRankFn fn = BatchKernelForTesting(kind);
+  SMB_CHECK_MSG(fn != nullptr,
+                "forced batch kernel is not runnable on this CPU");
+  g_kernel.store(fn, std::memory_order_relaxed);
+}
+
+void ResetBatchKernelDispatch() {
+  g_kernel.store(&ResolveTrampoline, std::memory_order_relaxed);
+}
+
+}  // namespace smb

@@ -1,0 +1,78 @@
+// Runtime CPU dispatch for the batch hash-and-rank kernels.
+//
+// The dispatch is ifunc-style: a process-wide function pointer starts at a
+// resolver trampoline; the first call probes the CPU once (GCC/Clang
+// __builtin_cpu_supports on x86-64, nothing to probe elsewhere), installs
+// the best runnable variant, and every later call is one relaxed atomic
+// load plus an indirect call — amortized to nothing over a 256-item block.
+//
+// The dispatch matrix (see DESIGN.md #10):
+//   x86-64:  AVX2 if the CPU reports it, else SSE2 (ABI baseline)
+//   AArch64: NEON (mandatory on AArch64)
+//   others:  scalar/SWAR baseline (always compiled everywhere)
+//
+// The scalar baseline is always present, so dispatch can never fail: a CPU
+// without any probed extension silently records through the scalar kernel
+// with identical results.
+
+#ifndef SMBCARD_SIMD_SIMD_DISPATCH_H_
+#define SMBCARD_SIMD_SIMD_DISPATCH_H_
+
+#include <atomic>
+#include <span>
+#include <string_view>
+
+#include "simd/batch_kernel.h"
+
+namespace smb {
+
+// Identifies a kernel variant. Values are stable (telemetry/bench JSON
+// records the name, not the number).
+enum class BatchKernelKind {
+  kScalar,
+  kSse2,
+  kAvx2,
+  kNeon,
+};
+
+// Lower-case variant name as recorded in bench JSON ("scalar", "sse2",
+// "avx2", "neon").
+std::string_view BatchKernelKindName(BatchKernelKind kind);
+
+// The variants compiled into this binary AND runnable on this CPU, best
+// first. Always non-empty (the scalar baseline is unconditional).
+std::span<const BatchKernelKind> RunnableBatchKernels();
+
+// The variant the dispatcher has selected (resolving it now if no batch
+// call has happened yet). Reflects a ForceBatchKernelForTesting override.
+BatchKernelKind ActiveBatchKernel();
+
+// Convenience: BatchKernelKindName(ActiveBatchKernel()); the "dispatch
+// target" every bench JSON records next to its throughput numbers.
+std::string_view BatchDispatchTargetName();
+
+// The raw kernel entry for `kind`; null when the variant is not compiled
+// in or not runnable on this CPU. Exposed for the per-variant equivalence
+// fuzz and kernel micro-benchmarks.
+BatchHashRankFn BatchKernelForTesting(BatchKernelKind kind);
+
+// Pins dispatch to `kind` (which must be runnable) until
+// ResetBatchKernelDispatch(). Test/bench only — not thread-safe against
+// concurrent recording.
+void ForceBatchKernelForTesting(BatchKernelKind kind);
+
+// Restores normal CPU-probing dispatch after a force.
+void ResetBatchKernelDispatch();
+
+namespace internal {
+
+// The dispatch slot itself — the resolver trampoline before first use, the
+// selected kernel after. Only hash/batch_hash.cc should load from it;
+// everything else goes through the named accessors above.
+std::atomic<BatchHashRankFn>& ActiveBatchKernelSlot();
+
+}  // namespace internal
+
+}  // namespace smb
+
+#endif  // SMBCARD_SIMD_SIMD_DISPATCH_H_

@@ -1,0 +1,75 @@
+// EstimateMany: the batched query path must be bit-identical to calling
+// Estimate() per sketch, across rounds, seeds, and fill levels — it only
+// amortizes the per-round constant lookups, never the math.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/self_morphing_bitmap.h"
+
+namespace smb {
+namespace {
+
+TEST(SmbEstimateManyTest, BitIdenticalToPerSketchEstimate) {
+  SelfMorphingBitmap::Config config;
+  config.num_bits = 1000;
+  config.threshold = 64;
+
+  // A pool spanning very different states: empty, fresh, mid-round, and
+  // deep-round sketches, with per-sketch hash seeds as a fleet of
+  // per-flow monitors would use.
+  std::vector<SelfMorphingBitmap> pool;
+  const uint64_t loads[] = {0, 1, 50, 1000, 20000, 300000};
+  for (size_t i = 0; i < std::size(loads); ++i) {
+    SelfMorphingBitmap::Config c = config;
+    c.hash_seed = 100 + i;
+    pool.emplace_back(c);
+    for (uint64_t item = 0; item < loads[i]; ++item) {
+      pool.back().Add(item);
+    }
+  }
+  ASSERT_GT(pool.back().round(), 2u) << "pool never left round 0";
+
+  std::vector<const SelfMorphingBitmap*> ptrs;
+  for (const SelfMorphingBitmap& sketch : pool) ptrs.push_back(&sketch);
+  std::vector<double> batched(pool.size(), -1.0);
+  SelfMorphingBitmap::EstimateMany(ptrs, batched);
+  for (size_t i = 0; i < pool.size(); ++i) {
+    // Exact double equality on purpose: same ops, same operands.
+    EXPECT_EQ(batched[i], pool[i].Estimate()) << "sketch " << i;
+  }
+}
+
+TEST(SmbEstimateManyTest, EmptyPoolIsANoOp) {
+  std::vector<const SelfMorphingBitmap*> none;
+  std::vector<double> out;
+  SelfMorphingBitmap::EstimateMany(none, out);  // must not crash
+}
+
+TEST(SmbEstimateManyDeathTest, MixedGeometryAborts) {
+  SelfMorphingBitmap::Config a;
+  a.num_bits = 1000;
+  a.threshold = 64;
+  SelfMorphingBitmap::Config b = a;
+  b.threshold = 32;
+  SelfMorphingBitmap first(a);
+  SelfMorphingBitmap second(b);
+  const SelfMorphingBitmap* ptrs[] = {&first, &second};
+  std::vector<double> out(2);
+  EXPECT_DEATH(SelfMorphingBitmap::EstimateMany(ptrs, out),
+               "uniform \\(m, T\\) geometry");
+}
+
+TEST(SmbEstimateManyDeathTest, ShortOutputSpanAborts) {
+  SelfMorphingBitmap::Config config;
+  config.num_bits = 256;
+  config.threshold = 16;
+  SelfMorphingBitmap sketch(config);
+  const SelfMorphingBitmap* ptrs[] = {&sketch};
+  std::vector<double> out;  // too small
+  EXPECT_DEATH(SelfMorphingBitmap::EstimateMany(ptrs, out), "output span");
+}
+
+}  // namespace
+}  // namespace smb

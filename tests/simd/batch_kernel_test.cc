@@ -1,0 +1,134 @@
+// Unit tests of the batch hash-and-rank kernels and their runtime
+// dispatch: every compiled variant must reproduce the scalar per-item
+// hash bit-for-bit on arbitrary block lengths, and the dispatcher must
+// always land on a runnable variant (scalar at worst).
+
+#include "simd/batch_kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "hash/batch_hash.h"
+#include "hash/geometric.h"
+#include "hash/murmur3.h"
+#include "simd/simd_dispatch.h"
+
+namespace smb {
+namespace {
+
+// Restores normal CPU dispatch when a test that forces a kernel exits.
+struct DispatchGuard {
+  ~DispatchGuard() { ResetBatchKernelDispatch(); }
+};
+
+std::vector<uint64_t> RandomItems(size_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<uint64_t> items(n);
+  for (auto& item : items) item = rng();
+  // Sprinkle in adversarial keys: 0, max, and small counters (the common
+  // "item id" workload).
+  if (n > 4) {
+    items[0] = 0;
+    items[1] = ~uint64_t{0};
+    items[2] = 1;
+    items[3] = n;
+  }
+  return items;
+}
+
+void ExpectMatchesReference(BatchHashRankFn fn, const char* name) {
+  std::mt19937_64 rng(99);
+  // Lengths around every unroll boundary: 0..17 plus larger odd sizes.
+  std::vector<size_t> lengths;
+  for (size_t n = 0; n <= 17; ++n) lengths.push_back(n);
+  lengths.insert(lengths.end(), {31, 64, 65, 127, 256, 301});
+  for (size_t n : lengths) {
+    const uint64_t seed = rng();
+    const std::vector<uint64_t> items = RandomItems(n, rng());
+    std::vector<uint64_t> lo(n + 1, 0xDEADBEEF);
+    std::vector<uint8_t> rank(n + 1, 0xEE);
+    fn(items.data(), n, seed, lo.data(), rank.data());
+    for (size_t i = 0; i < n; ++i) {
+      const Hash128 hash = ItemHash128(items[i], seed);
+      ASSERT_EQ(lo[i], hash.lo) << name << " lo lane " << i << " of " << n;
+      ASSERT_EQ(rank[i], GeometricRank(hash.hi))
+          << name << " rank lane " << i << " of " << n;
+    }
+    // One-past-the-end guard values must be untouched.
+    ASSERT_EQ(lo[n], 0xDEADBEEFu) << name;
+    ASSERT_EQ(rank[n], 0xEE) << name;
+  }
+}
+
+TEST(BatchKernelTest, EveryRunnableVariantMatchesPerItemHash) {
+  for (BatchKernelKind kind : RunnableBatchKernels()) {
+    const BatchHashRankFn fn = BatchKernelForTesting(kind);
+    ASSERT_NE(fn, nullptr);
+    ExpectMatchesReference(fn, BatchKernelKindName(kind).data());
+  }
+}
+
+TEST(BatchKernelTest, ScalarBaselineIsAlwaysRunnable) {
+  const auto kernels = RunnableBatchKernels();
+  ASSERT_FALSE(kernels.empty());
+  EXPECT_NE(std::find(kernels.begin(), kernels.end(),
+                      BatchKernelKind::kScalar),
+            kernels.end());
+#if defined(__x86_64__) || defined(_M_X64)
+  // SSE2 is the x86-64 ABI baseline: always runnable there.
+  EXPECT_NE(std::find(kernels.begin(), kernels.end(), BatchKernelKind::kSse2),
+            kernels.end());
+#endif
+}
+
+TEST(BatchKernelTest, DispatchSelectsARunnableVariant) {
+  const BatchKernelKind active = ActiveBatchKernel();
+  const auto kernels = RunnableBatchKernels();
+  EXPECT_NE(std::find(kernels.begin(), kernels.end(), active), kernels.end());
+  EXPECT_FALSE(BatchDispatchTargetName().empty());
+  // Best-first order: the dispatcher picks the front of the runnable list.
+  EXPECT_EQ(active, kernels.front());
+}
+
+TEST(BatchKernelTest, ForceAndResetControlTheEntryPoint) {
+  DispatchGuard guard;
+  const std::vector<uint64_t> items = RandomItems(100, 7);
+  std::vector<uint64_t> lo_forced(items.size());
+  std::vector<uint8_t> rank_forced(items.size());
+  std::vector<uint64_t> lo_auto(items.size());
+  std::vector<uint8_t> rank_auto(items.size());
+
+  ForceBatchKernelForTesting(BatchKernelKind::kScalar);
+  EXPECT_EQ(ActiveBatchKernel(), BatchKernelKind::kScalar);
+  EXPECT_EQ(BatchDispatchTargetName(), "scalar");
+  BatchHashAndRank(items.data(), items.size(), 42, lo_forced.data(),
+                   rank_forced.data());
+
+  ResetBatchKernelDispatch();
+  BatchHashAndRank(items.data(), items.size(), 42, lo_auto.data(),
+                   rank_auto.data());
+  EXPECT_EQ(ActiveBatchKernel(), RunnableBatchKernels().front());
+
+  // Whatever the dispatcher picked, the outputs are identical.
+  EXPECT_EQ(lo_forced, lo_auto);
+  EXPECT_EQ(rank_forced, rank_auto);
+}
+
+TEST(BatchKernelTest, RanksNeverExceedGeometricCap) {
+  for (BatchKernelKind kind : RunnableBatchKernels()) {
+    const BatchHashRankFn fn = BatchKernelForTesting(kind);
+    const std::vector<uint64_t> items = RandomItems(4096, 11);
+    std::vector<uint64_t> lo(items.size());
+    std::vector<uint8_t> rank(items.size());
+    fn(items.data(), items.size(), 0, lo.data(), rank.data());
+    for (size_t i = 0; i < items.size(); ++i) {
+      ASSERT_LE(rank[i], kMaxGeometricRank) << BatchKernelKindName(kind);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace smb

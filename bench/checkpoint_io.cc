@@ -1,0 +1,88 @@
+// Checkpoint IO micro-benchmarks: CheckpointStore write and recovery
+// throughput across payload sizes, with and without fsync, plus the raw
+// CRC-32C framing cost. Answers "what does a checkpoint interval cost the
+// recording pipeline?" (DESIGN.md §11).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "io/checkpoint_store.h"
+#include "io/crc32c.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<uint8_t> Payload(size_t size) {
+  smb::Xoshiro256 rng(size);
+  std::vector<uint8_t> payload(size);
+  for (auto& b : payload) b = static_cast<uint8_t>(rng.Next());
+  return payload;
+}
+
+fs::path BenchDir() {
+  return fs::temp_directory_path() / "smbcard_ckpt_bench";
+}
+
+void BM_CheckpointWrite(benchmark::State& state) {
+  const auto payload = Payload(static_cast<size_t>(state.range(0)));
+  const bool sync = state.range(1) != 0;
+  const fs::path dir = BenchDir();
+  fs::remove_all(dir);
+  smb::io::CheckpointStore::Options options;
+  options.directory = dir.string();
+  options.keep_generations = 2;  // rotation cost is part of the story
+  options.sync = sync;
+  smb::io::CheckpointStore store(options);
+  for (auto _ : state) {
+    const auto result = store.Write(payload);
+    if (!result.ok) state.SkipWithError(result.error.c_str());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(payload.size()));
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_CheckpointWrite)
+    ->ArgsProduct({{4 << 10, 256 << 10, 4 << 20}, {0, 1}})
+    ->ArgNames({"payload", "fsync"});
+
+void BM_CheckpointRecover(benchmark::State& state) {
+  const auto payload = Payload(static_cast<size_t>(state.range(0)));
+  const fs::path dir = BenchDir();
+  fs::remove_all(dir);
+  smb::io::CheckpointStore::Options options;
+  options.directory = dir.string();
+  options.sync = false;
+  smb::io::CheckpointStore store(options);
+  const auto write = store.Write(payload);
+  if (!write.ok) state.SkipWithError(write.error.c_str());
+  for (auto _ : state) {
+    auto recovered = store.RecoverLatest();
+    if (!recovered.ok) state.SkipWithError(recovered.error.c_str());
+    benchmark::DoNotOptimize(recovered.payload.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(payload.size()));
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_CheckpointRecover)->Arg(4 << 10)->Arg(256 << 10)->Arg(4 << 20);
+
+void BM_Crc32c(benchmark::State& state) {
+  const auto payload = Payload(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        smb::io::Crc32c(payload.data(), payload.size()));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(payload.size()));
+}
+BENCHMARK(BM_Crc32c)->Arg(4 << 10)->Arg(4 << 20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+#include "io/crc32c.h"
+
+#include <array>
+
+namespace smb::io {
+namespace {
+
+// Reflected CRC-32C polynomial.
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+constexpr std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = MakeTable();
+
+// Compile-time pin of the standard check value: CRC-32C("123456789").
+constexpr uint32_t TableCrc(const char* s, size_t n) {
+  uint32_t crc = ~0u;
+  for (size_t i = 0; i < n; ++i) {
+    crc = kTable[(crc ^ static_cast<uint8_t>(s[i])) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+static_assert(TableCrc("123456789", 9) == 0xE3069283u,
+              "CRC-32C table does not reproduce the standard check value");
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t len, uint32_t crc) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < len; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace smb::io

@@ -1,0 +1,27 @@
+// CRC-32C (Castagnoli, reflected polynomial 0x82F63B78) — the frame
+// checksum of the checkpoint file format.
+//
+// Chosen over the Murmur3 fingerprint the in-memory snapshot formats use
+// because checkpoint files are meant to be inspectable/recoverable by
+// external tooling: CRC-32C is the storage-industry convention (iSCSI,
+// ext4, RocksDB block trailers) with well-known test vectors, and its
+// incremental form lets the writer checksum chunk-by-chunk without
+// buffering the file. Table-driven software implementation — checkpoint
+// IO is cold next to recording, so hardware CRC dispatch is not worth the
+// surface area.
+
+#ifndef SMBCARD_IO_CRC32C_H_
+#define SMBCARD_IO_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace smb::io {
+
+// CRC-32C of `data[0..len)`. `crc` chains calls: Crc32c(b, n, Crc32c(a, m))
+// equals Crc32c(concat(a, b), m + n). Pass 0 to start a new checksum.
+uint32_t Crc32c(const void* data, size_t len, uint32_t crc = 0);
+
+}  // namespace smb::io
+
+#endif  // SMBCARD_IO_CRC32C_H_

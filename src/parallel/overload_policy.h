@@ -1,0 +1,99 @@
+// Overload policies for the parallel recording pipeline (DESIGN.md §11).
+//
+// A producer that finds a (producer, shard) SPSC ring full has to decide
+// what sustained ingest overload costs: latency, items, or accuracy.
+// PushWithOverloadPolicy makes that decision explicit:
+//
+//   kBlock            Never loses an item. Waits with a bounded
+//                     spin → yield → sleep escalation (exponential
+//                     backoff capped at sleep_max_us), so a stalled
+//                     consumer costs microseconds of latency instead of a
+//                     burning core. The default, and the only policy that
+//                     keeps recording bit-identical to a sequential pass.
+//
+//   kDropWithCount    After give_up_rounds failed rounds, drops the
+//                     remainder of the current run and counts every
+//                     dropped item. Ingest never stalls; the estimate
+//                     silently undercounts by at most the dropped items.
+//
+//   kDegradeToSample  After give_up_rounds failed rounds, pre-thins the
+//                     remaining run through the same geometric gate the
+//                     SMB sampling filter uses: only items with
+//                     GeometricRank(ItemHash128(item, seed).hi) >=
+//                     degrade_level survive (a 2^-level fraction). For an
+//                     SMB shard this drops exactly the items its own gate
+//                     discards in rounds >= level, so once the shard has
+//                     morphed past `level` the policy is lossless; before
+//                     that it undercounts only the 2^-level tail it kept
+//                     none of — graceful, quantified degradation instead
+//                     of silent loss.
+//
+// The helper is a free function over one ring so tests can drive it
+// deterministically (stalled or absent consumer) without threading the
+// whole recorder.
+
+#ifndef SMBCARD_PARALLEL_OVERLOAD_POLICY_H_
+#define SMBCARD_PARALLEL_OVERLOAD_POLICY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "parallel/spsc_ring.h"
+
+namespace smb {
+
+enum class OverloadPolicy : uint8_t {
+  kBlock = 0,
+  kDropWithCount,
+  kDegradeToSample,
+};
+
+struct OverloadParams {
+  OverloadPolicy policy = OverloadPolicy::kBlock;
+  // kDegradeToSample: geometric pre-thin level d (keep ranks >= d, a 2^-d
+  // fraction). Clamped to [1, 63].
+  int degrade_level = 4;
+  // kDegradeToSample: item-hash seed of the destination shard, so the
+  // pre-thin gate computes exactly the rank the shard's own gate will.
+  uint64_t degrade_hash_seed = 0;
+  // Escalation geometry: failed TryPush attempts spent spinning tight,
+  // then yielding, before the policy escalates (sleep for kBlock, act for
+  // the others).
+  size_t spin_limit = 64;
+  size_t yield_limit = 64;
+  // kBlock: exponential backoff bounds for the sleep phase.
+  uint64_t sleep_initial_us = 1;
+  uint64_t sleep_max_us = 1000;
+  // kDropWithCount / kDegradeToSample: total no-progress rounds tolerated
+  // before the policy acts. The default equals spin_limit + yield_limit,
+  // so those policies act right after the cheap wait phases and never
+  // reach the sleep escalation.
+  size_t give_up_rounds = 128;
+};
+
+// Per-run overload accounting, merged into RecorderRunStats and the
+// telemetry counters by the recorder.
+struct OverloadCounters {
+  // Wait rounds (yield or sleep) while the ring was full — the classic
+  // `ring_full_stalls` number.
+  uint64_t ring_full_stalls = 0;
+  // Failed TryPush attempts (includes the tight spin phase).
+  uint64_t ring_full_retries = 0;
+  // Items abandoned by kDropWithCount or thinned away by kDegradeToSample.
+  uint64_t items_dropped = 0;
+  // Times kDegradeToSample engaged its gate on a run.
+  uint64_t degrade_events = 0;
+};
+
+// Hands `run` to `ring` under `params`, mutating `run` in place when the
+// degrade gate engages (survivors keep their relative order). Returns the
+// number of items actually pushed; accounting accumulates into *counters.
+// kBlock returns run->size() always; the other policies may return less.
+size_t PushWithOverloadPolicy(SpscRing* ring, std::vector<uint64_t>* run,
+                              const OverloadParams& params,
+                              OverloadCounters* counters);
+
+}  // namespace smb
+
+#endif  // SMBCARD_PARALLEL_OVERLOAD_POLICY_H_

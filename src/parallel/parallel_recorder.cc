@@ -5,14 +5,16 @@
 #include <thread>
 #include <vector>
 
+#include <mutex>
+
 #include "common/macros.h"
 #include "hash/batch_hash.h"
+#include "parallel/overload_policy.h"
 #include "parallel/spsc_ring.h"
 #include "telemetry/metrics_registry.h"
 
 #if SMB_TELEMETRY_ENABLED
 #include <algorithm>
-#include <mutex>
 #include <string>
 #endif
 
@@ -27,22 +29,6 @@ constexpr size_t kDrainChunk = 1024;
 static_assert(kDrainChunk % kBatchBlock == 0,
               "drain chunks must tile the batch kernel's block size");
 
-// Blocking push of a full run into one ring; spins (yielding) while the
-// consumer catches up. Returns the number of full-ring stalls (yields).
-size_t PushAll(SpscRing* ring, std::span<const uint64_t> run) {
-  size_t stalls = 0;
-  while (!run.empty()) {
-    const size_t pushed = ring->TryPush(run);
-    if (pushed == 0) {
-      ++stalls;
-      std::this_thread::yield();
-      continue;
-    }
-    run = run.subspan(pushed);
-  }
-  return stalls;
-}
-
 }  // namespace
 
 ParallelRecorder::ParallelRecorder(ShardedEstimator* estimator,
@@ -55,13 +41,24 @@ ParallelRecorder::ParallelRecorder(ShardedEstimator* estimator,
                 "ring must hold at least one batch");
 }
 
-void ParallelRecorder::RecordStream(
+RecorderRunStats ParallelRecorder::RecordStream(
     uint64_t begin, uint64_t end,
     const std::function<uint64_t(uint64_t)>& source) {
-  if (begin >= end) return;
+  RecorderRunStats stats;
+  if (begin >= end) return stats;
   const size_t num_producers = options_.num_producers;
   const size_t num_shards = estimator_->num_shards();
   const uint64_t total = end - begin;
+  // Per-shard overload parameters: the degrade gate needs each shard's
+  // item-hash seed so its pre-thin rank equals the shard's own gate rank.
+  std::vector<OverloadParams> shard_params(num_shards);
+  for (size_t k = 0; k < num_shards; ++k) {
+    shard_params[k].policy = options_.overload_policy;
+    shard_params[k].degrade_level = options_.degrade_level;
+    shard_params[k].degrade_hash_seed = estimator_->ShardSeed(k);
+  }
+  // Producers merge their overload accounting here once per run.
+  std::mutex stats_mutex;
 
   // One SPSC ring per (producer, shard) pair. deque because the ring's
   // atomics make it immovable.
@@ -82,6 +79,9 @@ void ParallelRecorder::RecordStream(
   struct ShardInstruments {
     telemetry::Counter* items_routed;
     telemetry::Counter* ring_full_stalls;
+    telemetry::Counter* ring_full_retries;
+    telemetry::Counter* items_dropped;
+    telemetry::Counter* degrade_events;
   };
   auto& registry = telemetry::MetricsRegistry::Global();
   std::vector<ShardInstruments> shard_instruments(num_shards);
@@ -89,7 +89,10 @@ void ParallelRecorder::RecordStream(
     const telemetry::Labels labels = {{"shard", std::to_string(k)}};
     shard_instruments[k] = {
         registry.GetCounter("recorder_items_routed_total", labels),
-        registry.GetCounter("recorder_ring_full_stalls_total", labels)};
+        registry.GetCounter("recorder_ring_full_stalls_total", labels),
+        registry.GetCounter("recorder_ring_full_retries_total", labels),
+        registry.GetCounter("recorder_items_dropped_total", labels),
+        registry.GetCounter("recorder_degrade_events_total", labels)};
   }
   telemetry::LatencyHistogram* const batch_items_hist =
       registry.GetHistogram("recorder_batch_items");
@@ -108,17 +111,40 @@ void ParallelRecorder::RecordStream(
     const uint64_t range_end = begin + total * (p + 1) / num_producers;
     std::vector<std::vector<uint64_t>> runs(num_shards);
     for (auto& run : runs) run.reserve(options_.batch_size);
+    OverloadCounters local_counters;
+    uint64_t local_recorded = 0;
 #if SMB_TELEMETRY_ENABLED
     std::vector<uint64_t> local_routed(num_shards, 0);
 #endif
-    auto hand_off = [&](size_t shard, const std::vector<uint64_t>& run) {
-      const size_t stalls = PushAll(ring_at(p, shard), run);
-      (void)stalls;
+    auto hand_off = [&](size_t shard, std::vector<uint64_t>& run) {
+      const size_t requested = run.size();
+      OverloadCounters delta;
+      const size_t pushed = PushWithOverloadPolicy(
+          ring_at(p, shard), &run, shard_params[shard], &delta);
+      local_counters.ring_full_stalls += delta.ring_full_stalls;
+      local_counters.ring_full_retries += delta.ring_full_retries;
+      local_counters.items_dropped += delta.items_dropped;
+      local_counters.degrade_events += delta.degrade_events;
+      local_recorded += pushed;
 #if SMB_TELEMETRY_ENABLED
-      local_routed[shard] += run.size();
-      shard_instruments[shard].items_routed->Add(run.size());
-      if (stalls > 0) shard_instruments[shard].ring_full_stalls->Add(stalls);
-      batch_items_hist->Record(run.size());
+      const ShardInstruments& ins = shard_instruments[shard];
+      local_routed[shard] += pushed;
+      ins.items_routed->Add(pushed);
+      if (delta.ring_full_stalls > 0) {
+        ins.ring_full_stalls->Add(delta.ring_full_stalls);
+      }
+      if (delta.ring_full_retries > 0) {
+        ins.ring_full_retries->Add(delta.ring_full_retries);
+      }
+      if (delta.items_dropped > 0) {
+        ins.items_dropped->Add(delta.items_dropped);
+      }
+      if (delta.degrade_events > 0) {
+        ins.degrade_events->Add(delta.degrade_events);
+      }
+      batch_items_hist->Record(requested);
+#else
+      (void)requested;
 #endif
     };
     for (uint64_t i = range_begin; i < range_end; ++i) {
@@ -142,6 +168,14 @@ void ParallelRecorder::RecordStream(
       }
     }
 #endif
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex);
+      stats.ring_full_stalls += local_counters.ring_full_stalls;
+      stats.ring_full_retries += local_counters.ring_full_retries;
+      stats.items_dropped += local_counters.items_dropped;
+      stats.degrade_events += local_counters.degrade_events;
+      stats.items_recorded += local_recorded;
+    }
     producer_done[p].store(true, std::memory_order_release);
   };
 
@@ -231,11 +265,14 @@ void ParallelRecorder::RecordStream(
                                    routed_sum));
   }
 #endif
+  return stats;
 }
 
-void ParallelRecorder::RecordItems(std::span<const uint64_t> items) {
-  RecordStream(0, items.size(),
-               [items](uint64_t i) { return items[static_cast<size_t>(i)]; });
+RecorderRunStats ParallelRecorder::RecordItems(
+    std::span<const uint64_t> items) {
+  return RecordStream(
+      0, items.size(),
+      [items](uint64_t i) { return items[static_cast<size_t>(i)]; });
 }
 
 }  // namespace smb

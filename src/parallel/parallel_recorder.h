@@ -28,9 +28,22 @@
 #include <functional>
 #include <span>
 
+#include "parallel/overload_policy.h"
 #include "parallel/sharded_estimator.h"
 
 namespace smb {
+
+// What one Record call did under ingest pressure. Counted unconditionally
+// (per-producer locals merged once per run, nothing on the hot path), so
+// callers can report drops even in SMB_TELEMETRY=OFF builds.
+struct RecorderRunStats {
+  uint64_t ring_full_stalls = 0;
+  uint64_t ring_full_retries = 0;
+  uint64_t items_dropped = 0;
+  uint64_t degrade_events = 0;
+  // Items handed to shard estimators (total minus items_dropped).
+  uint64_t items_recorded = 0;
+};
 
 class ParallelRecorder {
  public:
@@ -44,6 +57,12 @@ class ParallelRecorder {
     size_t batch_size = 256;
     // Deterministic producer-order draining (see file comment).
     bool ordered = true;
+    // What a producer does when a ring stays full (overload_policy.h).
+    // The default kBlock never drops and keeps recording bit-identical
+    // to a sequential pass.
+    OverloadPolicy overload_policy = OverloadPolicy::kBlock;
+    // Geometric pre-thin level for kDegradeToSample.
+    int degrade_level = 4;
   };
 
   // `estimator` must outlive the recorder and must not be touched by other
@@ -55,14 +74,16 @@ class ParallelRecorder {
 
   // Records source(i) for every i in [begin, end), splitting the index
   // range contiguously across producers. Blocks until every item is
-  // recorded. `source` is called concurrently from producer threads and
-  // must be thread-safe for distinct i (a pure function of i, like
-  // bench::NthItem, qualifies).
-  void RecordStream(uint64_t begin, uint64_t end,
-                    const std::function<uint64_t(uint64_t)>& source);
+  // recorded (or, under a non-blocking overload policy, dropped — see the
+  // returned stats). `source` is called concurrently from producer
+  // threads and must be thread-safe for distinct i (a pure function of i,
+  // like bench::NthItem, qualifies).
+  RecorderRunStats RecordStream(
+      uint64_t begin, uint64_t end,
+      const std::function<uint64_t(uint64_t)>& source);
 
   // Convenience for in-memory data: records every element of `items`.
-  void RecordItems(std::span<const uint64_t> items);
+  RecorderRunStats RecordItems(std::span<const uint64_t> items);
 
   const Options& options() const { return options_; }
 

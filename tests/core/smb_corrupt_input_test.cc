@@ -86,6 +86,30 @@ TEST(SmbCorruptInputTest, OversizedPayloadRejected) {
   }
 }
 
+TEST(SmbCorruptInputTest, TrailingGarbagePropertyOverRandomStates) {
+  // Property: for ANY reachable estimator state and ANY non-empty suffix,
+  // Deserialize(Serialize(state) + suffix) == nullopt. Randomized over
+  // states (fill level decides round/ones geometry) and suffixes.
+  Xoshiro256 rng(0xA11CE);
+  for (int iteration = 0; iteration < 100; ++iteration) {
+    const auto bytes =
+        MakeLoaded(rng.Next(), 100 + rng.NextBounded(8000)).Serialize();
+    auto padded = bytes;
+    const size_t extra = 1 + rng.NextBounded(96);
+    for (size_t i = 0; i < extra; ++i) {
+      padded.push_back(static_cast<uint8_t>(rng.Next()));
+    }
+    EXPECT_FALSE(SelfMorphingBitmap::Deserialize(padded).has_value())
+        << "iteration=" << iteration << " extra=" << extra;
+    FixChecksum(&padded);
+    EXPECT_FALSE(SelfMorphingBitmap::Deserialize(padded).has_value())
+        << "iteration=" << iteration << " extra=" << extra
+        << " (re-signed)";
+    // The unpadded snapshot is the control: it must still load.
+    EXPECT_TRUE(SelfMorphingBitmap::Deserialize(bytes).has_value());
+  }
+}
+
 TEST(SmbCorruptInputTest, SingleBitFlipAnywhereRejected) {
   const auto bytes = MakeLoaded(5, 4000).Serialize();
   ASSERT_TRUE(SelfMorphingBitmap::Deserialize(bytes).has_value());

@@ -106,6 +106,29 @@ TEST(HllppSerializationTest, RejectsTrailingGarbageEvenWhenResigned) {
   EXPECT_FALSE(HyperLogLogPP::Deserialize(bytes).has_value());
 }
 
+TEST(HllppSerializationTest, TrailingGarbagePropertyOverRandomStates) {
+  // Property: for ANY sketch state and ANY non-empty suffix, the padded
+  // snapshot is rejected — resigned or not — while the exact snapshot
+  // still loads.
+  Xoshiro256 rng(0xB0B);
+  for (int iteration = 0; iteration < 100; ++iteration) {
+    const auto bytes =
+        MakeLoaded(rng.Next(), rng.NextBounded(30000)).Serialize();
+    auto padded = bytes;
+    const size_t extra = 1 + rng.NextBounded(96);
+    for (size_t i = 0; i < extra; ++i) {
+      padded.push_back(static_cast<uint8_t>(rng.Next()));
+    }
+    EXPECT_FALSE(HyperLogLogPP::Deserialize(padded).has_value())
+        << "iteration=" << iteration << " extra=" << extra;
+    ResignSnapshot(&padded);
+    EXPECT_FALSE(HyperLogLogPP::Deserialize(padded).has_value())
+        << "iteration=" << iteration << " extra=" << extra
+        << " (re-signed)";
+    EXPECT_TRUE(HyperLogLogPP::Deserialize(bytes).has_value());
+  }
+}
+
 TEST(HllppSerializationTest, EmptySketchRoundTrips) {
   HyperLogLogPP empty(512, 9);
   auto restored = HyperLogLogPP::Deserialize(empty.Serialize());

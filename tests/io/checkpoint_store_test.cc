@@ -1,0 +1,250 @@
+// CheckpointStore durability semantics without fault injection: round
+// trips, rotation, and recovery falling back past manually corrupted
+// files (truncation, bit flips, trailing garbage, renamed generations).
+// The failpoint-driven failure branches live in checkpoint_chaos_test.cc.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "io/checkpoint_store.h"
+#include "io/crc32c.h"
+
+namespace smb::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<uint8_t> RandomPayload(uint64_t seed, size_t size) {
+  Xoshiro256 rng(seed);
+  std::vector<uint8_t> payload(size);
+  for (auto& b : payload) b = static_cast<uint8_t>(rng.Next());
+  return payload;
+}
+
+class CheckpointStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("ckpt_store_" +
+            std::string(
+                ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  CheckpointStore::Options StoreOptions() {
+    CheckpointStore::Options options;
+    options.directory = dir_.string();
+    options.sync = false;  // spare the test filesystem the fsyncs
+    return options;
+  }
+
+  std::string PathOf(uint64_t generation) {
+    char name[40];
+    std::snprintf(name, sizeof(name), "ckpt-%016llx.smbckpt",
+                  static_cast<unsigned long long>(generation));
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(CheckpointStoreTest, RoundTripsMultiChunkPayload) {
+  auto options = StoreOptions();
+  options.chunk_bytes = 1024;  // force many chunks
+  CheckpointStore store(options);
+  const auto payload = RandomPayload(1, 10000);
+  const auto write = store.Write(payload);
+  ASSERT_TRUE(write.ok) << write.error;
+  EXPECT_EQ(write.generation, 1u);
+
+  const auto recovered = store.RecoverLatest();
+  ASSERT_TRUE(recovered.ok) << recovered.error;
+  EXPECT_EQ(recovered.generation, 1u);
+  EXPECT_EQ(recovered.payload, payload);
+  EXPECT_TRUE(recovered.skipped.empty());
+}
+
+TEST_F(CheckpointStoreTest, RoundTripsEmptyAndTinyPayloads) {
+  CheckpointStore store(StoreOptions());
+  ASSERT_TRUE(store.Write(std::vector<uint8_t>{}).ok);
+  auto recovered = store.RecoverLatest();
+  ASSERT_TRUE(recovered.ok) << recovered.error;
+  EXPECT_TRUE(recovered.payload.empty());
+
+  const std::vector<uint8_t> one = {0xAB};
+  ASSERT_TRUE(store.Write(one).ok);
+  recovered = store.RecoverLatest();
+  ASSERT_TRUE(recovered.ok) << recovered.error;
+  EXPECT_EQ(recovered.payload, one);
+}
+
+TEST_F(CheckpointStoreTest, EmptyDirectoryIsACleanMiss) {
+  CheckpointStore store(StoreOptions());
+  const auto recovered = store.RecoverLatest();
+  EXPECT_FALSE(recovered.ok);
+  EXPECT_NE(recovered.error.find("no checkpoint found"), std::string::npos);
+  EXPECT_TRUE(recovered.skipped.empty());
+}
+
+TEST_F(CheckpointStoreTest, RotationKeepsNewestK) {
+  auto options = StoreOptions();
+  options.keep_generations = 2;
+  CheckpointStore store(options);
+  for (uint64_t g = 1; g <= 5; ++g) {
+    ASSERT_TRUE(store.Write(RandomPayload(g, 100)).ok);
+  }
+  EXPECT_EQ(store.ListGenerations(), (std::vector<uint64_t>{4, 5}));
+  const auto recovered = store.RecoverLatest();
+  ASSERT_TRUE(recovered.ok);
+  EXPECT_EQ(recovered.generation, 5u);
+  EXPECT_EQ(recovered.payload, RandomPayload(5, 100));
+}
+
+TEST_F(CheckpointStoreTest, NewStoreContinuesTheGenerationSequence) {
+  const auto payload = RandomPayload(2, 500);
+  {
+    CheckpointStore store(StoreOptions());
+    ASSERT_TRUE(store.Write(payload).ok);
+    ASSERT_TRUE(store.Write(payload).ok);
+  }
+  // A fresh store (new process) must not reuse generation numbers.
+  CheckpointStore store(StoreOptions());
+  const auto write = store.Write(payload);
+  ASSERT_TRUE(write.ok);
+  EXPECT_EQ(write.generation, 3u);
+}
+
+TEST_F(CheckpointStoreTest, RecoveryFallsBackPastTruncation) {
+  CheckpointStore store(StoreOptions());
+  const auto old_payload = RandomPayload(10, 4000);
+  const auto new_payload = RandomPayload(11, 4000);
+  ASSERT_TRUE(store.Write(old_payload).ok);
+  ASSERT_TRUE(store.Write(new_payload).ok);
+
+  // Tear the newest file mid-payload.
+  fs::resize_file(PathOf(2), fs::file_size(PathOf(2)) / 2);
+
+  const auto recovered = store.RecoverLatest();
+  ASSERT_TRUE(recovered.ok) << recovered.error;
+  EXPECT_EQ(recovered.generation, 1u);
+  EXPECT_EQ(recovered.payload, old_payload);
+  ASSERT_EQ(recovered.skipped.size(), 1u);
+  EXPECT_NE(recovered.skipped[0].find("torn"), std::string::npos)
+      << recovered.skipped[0];
+}
+
+TEST_F(CheckpointStoreTest, RecoveryFallsBackPastBitFlip) {
+  CheckpointStore store(StoreOptions());
+  const auto old_payload = RandomPayload(20, 4000);
+  ASSERT_TRUE(store.Write(old_payload).ok);
+  ASSERT_TRUE(store.Write(RandomPayload(21, 4000)).ok);
+
+  // Flip one payload bit in the newest file.
+  {
+    std::fstream file(PathOf(2),
+                      std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(file.good());
+    file.seekg(200);
+    char byte;
+    file.get(byte);
+    file.seekp(200);
+    file.put(static_cast<char>(byte ^ 0x10));
+  }
+
+  const auto recovered = store.RecoverLatest();
+  ASSERT_TRUE(recovered.ok) << recovered.error;
+  EXPECT_EQ(recovered.generation, 1u);
+  EXPECT_EQ(recovered.payload, old_payload);
+  ASSERT_EQ(recovered.skipped.size(), 1u);
+}
+
+TEST_F(CheckpointStoreTest, RecoveryRejectsTrailingGarbage) {
+  CheckpointStore store(StoreOptions());
+  const auto old_payload = RandomPayload(30, 1000);
+  ASSERT_TRUE(store.Write(old_payload).ok);
+  ASSERT_TRUE(store.Write(RandomPayload(31, 1000)).ok);
+
+  {
+    std::ofstream file(PathOf(2), std::ios::binary | std::ios::app);
+    file << "extra";
+  }
+
+  const auto recovered = store.RecoverLatest();
+  ASSERT_TRUE(recovered.ok) << recovered.error;
+  EXPECT_EQ(recovered.generation, 1u);
+  EXPECT_EQ(recovered.payload, old_payload);
+}
+
+TEST_F(CheckpointStoreTest, RecoveryRejectsRenamedGeneration) {
+  CheckpointStore store(StoreOptions());
+  const auto payload = RandomPayload(40, 1000);
+  ASSERT_TRUE(store.Write(payload).ok);
+  // An attacker (or a buggy sync tool) renames generation 1 to claim it
+  // is generation 9: the embedded header must win.
+  fs::copy_file(PathOf(1), PathOf(9));
+
+  const auto recovered = store.RecoverLatest();
+  ASSERT_TRUE(recovered.ok) << recovered.error;
+  EXPECT_EQ(recovered.generation, 1u);
+  ASSERT_EQ(recovered.skipped.size(), 1u);
+  EXPECT_NE(recovered.skipped[0].find("generation header"),
+            std::string::npos)
+      << recovered.skipped[0];
+}
+
+TEST_F(CheckpointStoreTest, AllCandidatesCorruptIsReportedAsSuch) {
+  CheckpointStore store(StoreOptions());
+  ASSERT_TRUE(store.Write(RandomPayload(50, 1000)).ok);
+  fs::resize_file(PathOf(1), 10);
+  const auto recovered = store.RecoverLatest();
+  EXPECT_FALSE(recovered.ok);
+  EXPECT_NE(recovered.error.find("no valid checkpoint"), std::string::npos);
+  EXPECT_NE(recovered.error.find("1 corrupt candidate"), std::string::npos);
+  EXPECT_EQ(recovered.skipped.size(), 1u);
+}
+
+TEST_F(CheckpointStoreTest, StaleTempFilesAreSweptByTheNextWrite) {
+  CheckpointStore store(StoreOptions());
+  fs::create_directories(dir_);
+  const fs::path stale = dir_ / "ckpt-00000000000000aa.smbckpt.tmp";
+  std::ofstream(stale) << "crash leftover";
+  ASSERT_TRUE(fs::exists(stale));
+  ASSERT_TRUE(store.Write(RandomPayload(60, 100)).ok);
+  EXPECT_FALSE(fs::exists(stale));
+}
+
+TEST_F(CheckpointStoreTest, ValidateFileMatchesRecoveryJudgement) {
+  CheckpointStore store(StoreOptions());
+  ASSERT_TRUE(store.Write(RandomPayload(70, 3000)).ok);
+  std::string error;
+  EXPECT_TRUE(CheckpointStore::ValidateFile(PathOf(1), &error)) << error;
+
+  fs::resize_file(PathOf(1), fs::file_size(PathOf(1)) - 1);
+  EXPECT_FALSE(CheckpointStore::ValidateFile(PathOf(1), &error));
+  EXPECT_FALSE(error.empty());
+
+  EXPECT_FALSE(
+      CheckpointStore::ValidateFile((dir_ / "missing.smbckpt").string(),
+                                    &error));
+}
+
+TEST(Crc32cTest, MatchesTheCastagnoliCheckValue) {
+  // The standard CRC-32C check value for "123456789".
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+  // Chaining across a split must equal the one-shot CRC.
+  const char* data = "chunked checkpoint payload";
+  const uint32_t whole = Crc32c(data, 26);
+  const uint32_t chained = Crc32c(data + 10, 16, Crc32c(data, 10));
+  EXPECT_EQ(chained, whole);
+}
+
+}  // namespace
+}  // namespace smb::io

@@ -4,7 +4,8 @@
 // Usage:
 //   smbcard [--algo NAME] [--memory BITS] [--design N] [--seed S]
 //           [--all] [--save FILE] [--load FILE]
-//           [--threads N] [--shards K]
+//           [--threads N] [--shards K] [--overload-policy NAME]
+//           [--checkpoint-dir DIR] [--checkpoint-interval SECONDS]
 //           [--metrics-out FILE] [--metrics-interval SECONDS] [FILE...]
 //
 //   --algo NAME    estimator: SMB (default), MRB, FM, LogLog, SuperLogLog,
@@ -30,6 +31,17 @@
 //                  also rewrite --metrics-out every SECONDS seconds while
 //                  recording (a poor man's scrape endpoint: point the
 //                  scraper at the file)
+//   --overload-policy NAME
+//                  (with --threads/--shards) what producers do when a
+//                  shard ring stays full: block (default, lossless),
+//                  drop (shed load, count every lost item), degrade
+//                  (geometric pre-thinning — see DESIGN.md §11)
+//   --checkpoint-dir DIR
+//                  crash-safe checkpointing: resume from the newest valid
+//                  checkpoint in DIR at startup, write a final checkpoint
+//                  when done. Needs a serializable estimator (SMB, HLL++).
+//   --checkpoint-interval SECONDS
+//                  also checkpoint every SECONDS seconds while recording
 //   FILE...        input files; stdin when none given
 //
 // Examples:
@@ -38,15 +50,18 @@
 //   smbcard --save day1.smb < day1.txt
 //   smbcard --load day1.smb < day2.txt   # cardinality of day1 ∪ day2
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -55,6 +70,7 @@
 #include "core/self_morphing_bitmap.h"
 #include "estimators/estimator_factory.h"
 #include "hash/murmur3.h"
+#include "io/checkpoint_store.h"
 #include "parallel/parallel_recorder.h"
 #include "parallel/sharded_estimator.h"
 #include "telemetry/exporter.h"
@@ -74,6 +90,10 @@ struct CliOptions {
   size_t shards = 0;   // 0 = unsharded
   std::string metrics_out;
   uint64_t metrics_interval_s = 0;  // 0 = final snapshot only
+  std::string checkpoint_dir;
+  uint64_t checkpoint_interval_s = 0;  // 0 = final checkpoint only
+  smb::OverloadPolicy overload_policy = smb::OverloadPolicy::kBlock;
+  bool overload_policy_set = false;
   std::vector<std::string> inputs;
 };
 
@@ -82,6 +102,9 @@ void PrintUsageAndExit(const char* argv0) {
                "usage: %s [--algo NAME] [--memory BITS] [--design N] "
                "[--seed S] [--all]\n               [--save FILE] "
                "[--load FILE] [--threads N] [--shards K]\n"
+               "               [--overload-policy block|drop|degrade]\n"
+               "               [--checkpoint-dir DIR] "
+               "[--checkpoint-interval SECONDS]\n"
                "               [--metrics-out FILE] "
                "[--metrics-interval SECONDS] [FILE...]\n",
                argv0);
@@ -118,6 +141,24 @@ CliOptions ParseArgs(int argc, char** argv) {
       options.metrics_out = next_value();
     } else if (arg == "--metrics-interval") {
       options.metrics_interval_s = std::strtoull(next_value(), nullptr, 10);
+    } else if (arg == "--checkpoint-dir") {
+      options.checkpoint_dir = next_value();
+    } else if (arg == "--checkpoint-interval") {
+      options.checkpoint_interval_s =
+          std::strtoull(next_value(), nullptr, 10);
+    } else if (arg == "--overload-policy") {
+      const std::string name = next_value();
+      options.overload_policy_set = true;
+      if (name == "block") {
+        options.overload_policy = smb::OverloadPolicy::kBlock;
+      } else if (name == "drop") {
+        options.overload_policy = smb::OverloadPolicy::kDropWithCount;
+      } else if (name == "degrade") {
+        options.overload_policy = smb::OverloadPolicy::kDegradeToSample;
+      } else {
+        std::fprintf(stderr, "unknown overload policy '%s'\n", name.c_str());
+        PrintUsageAndExit(argv[0]);
+      }
     } else if (arg == "--help" || arg == "-h") {
       PrintUsageAndExit(argv[0]);
     } else if (!arg.empty() && arg[0] == '-') {
@@ -185,6 +226,18 @@ class PeriodicMetricsWriter {
   bool stop_requested_ = false;
   std::thread thread_;
 };
+
+// One checkpoint write. A periodic failure is a warning (the run keeps
+// its in-memory state); the final write's result decides the exit code.
+bool WriteCheckpoint(smb::io::CheckpointStore* store,
+                     const std::vector<uint8_t>& payload) {
+  const auto result = store->Write(payload);
+  if (!result.ok) {
+    std::fprintf(stderr, "checkpoint write failed: %s\n",
+                 result.error.c_str());
+  }
+  return result.ok;
+}
 
 // Feeds every line of `in` to `feed`; returns line count.
 template <typename Feed>
@@ -273,7 +326,41 @@ int RunParallel(const CliOptions& options) {
   config.shard_spec.hash_seed = options.seed;
   config.num_shards = shards;
   config.shard_seed = options.seed;
-  smb::ShardedEstimator estimator(config);
+  std::optional<smb::ShardedEstimator> estimator;
+  estimator.emplace(config);
+
+  std::unique_ptr<smb::io::CheckpointStore> store;
+  if (!options.checkpoint_dir.empty()) {
+    if (!smb::KindSupportsSerialization(*kind)) {
+      std::fprintf(stderr,
+                   "--checkpoint-dir needs a serializable estimator "
+                   "(SMB, HLL++); %s has no snapshot format\n",
+                   options.algo.c_str());
+      return 2;
+    }
+    smb::io::CheckpointStore::Options store_options;
+    store_options.directory = options.checkpoint_dir;
+    store = std::make_unique<smb::io::CheckpointStore>(store_options);
+    auto recovered = store->RecoverLatest();
+    for (const std::string& skipped : recovered.skipped) {
+      std::fprintf(stderr, "checkpoint skipped: %s\n", skipped.c_str());
+    }
+    if (recovered.ok) {
+      auto resumed = smb::ShardedEstimator::Deserialize(recovered.payload);
+      if (resumed.has_value() &&
+          resumed->config().num_shards == config.num_shards &&
+          resumed->config().shard_spec.kind == config.shard_spec.kind) {
+        estimator.emplace(std::move(*resumed));
+        std::fprintf(stderr, "resumed from checkpoint generation %llu\n",
+                     static_cast<unsigned long long>(recovered.generation));
+      } else {
+        std::fprintf(stderr,
+                     "checkpoint generation %llu does not match this "
+                     "configuration; starting fresh\n",
+                     static_cast<unsigned long long>(recovered.generation));
+      }
+    }
+  }
 
   std::vector<uint64_t> keys;
   FeedAllInputs(options, [&](const std::string& s) {
@@ -281,10 +368,57 @@ int RunParallel(const CliOptions& options) {
   });
   smb::ParallelRecorder::Options recorder_options;
   recorder_options.num_producers = threads;
-  smb::ParallelRecorder recorder(&estimator, recorder_options);
-  recorder.RecordItems(keys);
-  std::printf("%.0f\n", estimator.Estimate());
-  return 0;
+  recorder_options.overload_policy = options.overload_policy;
+  smb::ParallelRecorder recorder(&*estimator, recorder_options);
+
+  // Periodic checkpoints happen between record slices — the recorder owns
+  // the estimator while a slice runs, so the slice size bounds how stale a
+  // checkpoint can get.
+  constexpr size_t kSliceItems = size_t{1} << 16;
+  const bool sliced = store != nullptr && options.checkpoint_interval_s > 0;
+  auto last_checkpoint = std::chrono::steady_clock::now();
+  smb::RecorderRunStats stats;
+  size_t offset = 0;
+  while (offset < keys.size()) {
+    const size_t len =
+        sliced ? std::min(kSliceItems, keys.size() - offset)
+               : keys.size() - offset;
+    const smb::RecorderRunStats slice = recorder.RecordItems(
+        std::span<const uint64_t>(keys.data() + offset, len));
+    stats.ring_full_stalls += slice.ring_full_stalls;
+    stats.ring_full_retries += slice.ring_full_retries;
+    stats.items_dropped += slice.items_dropped;
+    stats.degrade_events += slice.degrade_events;
+    stats.items_recorded += slice.items_recorded;
+    offset += len;
+    if (sliced) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_checkpoint >=
+          std::chrono::seconds(options.checkpoint_interval_s)) {
+        if (const auto payload = estimator->Serialize()) {
+          WriteCheckpoint(store.get(), *payload);
+        }
+        last_checkpoint = now;
+      }
+    }
+  }
+  if (stats.items_dropped > 0) {
+    std::fprintf(stderr,
+                 "overload: dropped %llu of %zu items "
+                 "(%llu degrade events); the estimate undercounts\n",
+                 static_cast<unsigned long long>(stats.items_dropped),
+                 keys.size(),
+                 static_cast<unsigned long long>(stats.degrade_events));
+  }
+
+  bool checkpoint_ok = true;
+  if (store != nullptr) {
+    const auto payload = estimator->Serialize();
+    checkpoint_ok =
+        payload.has_value() && WriteCheckpoint(store.get(), *payload);
+  }
+  std::printf("%.0f\n", estimator->Estimate());
+  return checkpoint_ok ? 0 : 1;
 }
 
 int RunSingle(const CliOptions& options) {
@@ -346,11 +480,66 @@ int RunSingle(const CliOptions& options) {
   spec.design_cardinality = options.design_cardinality;
   spec.hash_seed = options.seed;
   auto estimator = smb::CreateEstimator(spec);
+
+  std::unique_ptr<smb::io::CheckpointStore> store;
+  if (!options.checkpoint_dir.empty()) {
+    if (!smb::KindSupportsSerialization(*kind)) {
+      std::fprintf(stderr,
+                   "--checkpoint-dir needs a serializable estimator "
+                   "(SMB, HLL++); %s has no snapshot format\n",
+                   options.algo.c_str());
+      return 2;
+    }
+    smb::io::CheckpointStore::Options store_options;
+    store_options.directory = options.checkpoint_dir;
+    store = std::make_unique<smb::io::CheckpointStore>(store_options);
+    auto recovered = store->RecoverLatest();
+    for (const std::string& skipped : recovered.skipped) {
+      std::fprintf(stderr, "checkpoint skipped: %s\n", skipped.c_str());
+    }
+    if (recovered.ok) {
+      auto resumed = smb::DeserializeEstimator(*kind, recovered.payload);
+      if (resumed != nullptr) {
+        estimator = std::move(resumed);
+        std::fprintf(stderr, "resumed from checkpoint generation %llu\n",
+                     static_cast<unsigned long long>(recovered.generation));
+      } else {
+        std::fprintf(stderr,
+                     "checkpoint generation %llu does not deserialize as "
+                     "%s; starting fresh\n",
+                     static_cast<unsigned long long>(recovered.generation),
+                     options.algo.c_str());
+      }
+    }
+  }
+
+  // The interval check piggybacks on the feed loop: look at the clock
+  // every 4096 lines so checkpointing costs nothing on the line path.
+  auto last_checkpoint = std::chrono::steady_clock::now();
+  uint64_t lines_since_check = 0;
   FeedAllInputs(options, [&](const std::string& s) {
     estimator->AddBytes(s);
+    if (store != nullptr && options.checkpoint_interval_s > 0 &&
+        (++lines_since_check & 0xFFF) == 0) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_checkpoint >=
+          std::chrono::seconds(options.checkpoint_interval_s)) {
+        if (const auto payload = smb::SerializeEstimator(*estimator)) {
+          WriteCheckpoint(store.get(), *payload);
+        }
+        last_checkpoint = now;
+      }
+    }
   });
+
+  bool checkpoint_ok = true;
+  if (store != nullptr) {
+    const auto payload = smb::SerializeEstimator(*estimator);
+    checkpoint_ok =
+        payload.has_value() && WriteCheckpoint(store.get(), *payload);
+  }
   std::printf("%.0f\n", estimator->Estimate());
-  return 0;
+  return checkpoint_ok ? 0 : 1;
 }
 
 }  // namespace
@@ -369,6 +558,45 @@ int main(int argc, char** argv) {
   if (options.metrics_interval_s > 0 && options.metrics_out.empty()) {
     std::fprintf(stderr, "--metrics-interval requires --metrics-out\n");
     return 2;
+  }
+  if (options.overload_policy_set && !parallel) {
+    std::fprintf(stderr,
+                 "--overload-policy requires --threads/--shards\n");
+    return 2;
+  }
+  if (options.checkpoint_interval_s > 0 && options.checkpoint_dir.empty()) {
+    std::fprintf(stderr,
+                 "--checkpoint-interval requires --checkpoint-dir\n");
+    return 2;
+  }
+  if (!options.checkpoint_dir.empty() &&
+      (options.all || !options.save_path.empty() ||
+       !options.load_path.empty())) {
+    std::fprintf(stderr,
+                 "--checkpoint-dir cannot be combined with --all, --save, "
+                 "or --load\n");
+    return 2;
+  }
+  if (!options.checkpoint_dir.empty()) {
+    // Fail before reading any input: create the directory and prove it is
+    // writable with a throwaway probe file.
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(options.checkpoint_dir, ec);
+    const fs::path probe_path =
+        fs::path(options.checkpoint_dir) / ".smbcard-probe";
+    bool writable = false;
+    {
+      std::ofstream probe(probe_path);
+      writable = static_cast<bool>(probe);
+    }
+    if (writable) {
+      fs::remove(probe_path, ec);
+    } else {
+      std::fprintf(stderr, "cannot write checkpoints to %s\n",
+                   options.checkpoint_dir.c_str());
+      return 2;
+    }
   }
   if (!options.metrics_out.empty()) {
     // Fail before reading any input, like the --shards budget check. Probe

@@ -28,6 +28,12 @@ BenchScale ParseScale(int argc, char** argv) {
       scale.assert_batch_speedup =
           std::strtod(argv[i] + sizeof(kSpeedupFlag) - 1, nullptr);
     }
+    constexpr const char kPlainSpeedupFlag[] = "--assert-speedup=";
+    if (std::strncmp(argv[i], kPlainSpeedupFlag,
+                     sizeof(kPlainSpeedupFlag) - 1) == 0) {
+      scale.assert_speedup =
+          std::strtod(argv[i] + sizeof(kPlainSpeedupFlag) - 1, nullptr);
+    }
   }
   scale.runs = scale.full ? 100 : 10;
   if (const char* runs_env = std::getenv("SMB_BENCH_RUNS")) {

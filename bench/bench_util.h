@@ -31,6 +31,10 @@ struct BenchScale {
   // the dispatched AddBatch path records below X times the scalar Add
   // baseline (the CI smoke gate; 0 disables the assertion).
   double assert_batch_speedup = 0.0;
+  // --assert-speedup=X is the same gate for benches whose headline
+  // comparison is not AddBatch-vs-Add (e.g. per_flow_throughput's
+  // arena-vs-legacy-engine ratio; 0 disables the assertion).
+  double assert_speedup = 0.0;
 };
 
 // Parses --full and environment overrides.

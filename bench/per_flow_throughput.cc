@@ -1,0 +1,204 @@
+// Per-flow recording throughput: the arena engine (flat flow table +
+// SoA metadata + bitmap slab, DESIGN.md §12) against the legacy
+// unordered_map-of-estimators engine, over one synthetic CAIDA-shaped
+// trace. Emits BENCH_per_flow.json (override with --json=PATH):
+//
+//   * legacy_record   — unordered_map engine, packet-at-a-time
+//   * arena_record    — arena engine, packet-at-a-time (scalar path)
+//   * arena_batch     — arena engine, keyed SIMD batch path
+//   * parallel/P      — P producers + K flow-shard consumers through the
+//                       SPSC packet rings
+//
+// Every mode records the identical trace, and legacy-vs-arena estimates
+// are cross-checked for bit-identity before any number is reported — a
+// throughput win from a semantics drift must fail here, not land.
+//
+// The ISSUE acceptance gate (arena >= 2x legacy at >= 100k flows) is the
+// --full configuration; CI smoke runs the fast scale with
+// --assert-speedup=1.0 as a no-regression floor. hardware_concurrency is
+// in the output so single-core boxes' parallel numbers read correctly.
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/json_writer.h"
+#include "common/timer.h"
+#include "flow/arena_smb_engine.h"
+#include "flow/flow_recorder.h"
+#include "flow/sharded_flow_monitor.h"
+#include "sketch/per_flow_monitor.h"
+#include "stream/trace_gen.h"
+
+namespace smb::bench {
+namespace {
+
+constexpr uint64_t kHashSeed = 17;
+constexpr size_t kMemoryBits = 2000;
+
+EstimatorSpec MonitorSpec(uint64_t design_cardinality) {
+  EstimatorSpec spec;
+  spec.kind = EstimatorKind::kSmb;
+  spec.memory_bits = kMemoryBits;
+  spec.design_cardinality = design_cardinality;
+  spec.hash_seed = kHashSeed;
+  return spec;
+}
+
+struct ModeResult {
+  std::string mode;
+  size_t threads = 1;
+  double mpps = 0.0;        // packets per second / 1e6
+  double bytes_per_flow = 0.0;
+};
+
+ModeResult RunMonitor(const Trace& trace, const EstimatorSpec& spec,
+                      PerFlowMonitor::Engine engine, bool batched,
+                      PerFlowMonitor* out) {
+  PerFlowMonitor monitor(spec, engine);
+  WallTimer timer;
+  if (batched) {
+    monitor.RecordBatch(trace.packets);
+  } else {
+    for (const Packet& p : trace.packets) monitor.Record(p.flow, p.element);
+  }
+  const double seconds = timer.ElapsedSeconds();
+  ModeResult result;
+  result.mode = engine == PerFlowMonitor::Engine::kLegacyMap
+                    ? "legacy_record"
+                    : (batched ? "arena_batch" : "arena_record");
+  result.mpps = static_cast<double>(trace.packets.size()) / seconds / 1e6;
+  result.bytes_per_flow = static_cast<double>(monitor.ResidentBytes()) /
+                          static_cast<double>(monitor.NumFlows());
+  if (out != nullptr) *out = std::move(monitor);
+  return result;
+}
+
+ModeResult RunParallel(const Trace& trace, const EstimatorSpec& spec,
+                       size_t producers, size_t shards) {
+  const auto config = ArenaSmbEngine::ConfigForSpec(spec);
+  ShardedFlowMonitor monitor(*config, shards);
+  FlowParallelRecorder::Options options;
+  options.num_producers = producers;
+  FlowParallelRecorder recorder(&monitor, options);
+  WallTimer timer;
+  recorder.RecordTrace(trace.packets);
+  const double seconds = timer.ElapsedSeconds();
+  ModeResult result;
+  result.mode = "parallel";
+  result.threads = producers + shards;
+  result.mpps = static_cast<double>(trace.packets.size()) / seconds / 1e6;
+  result.bytes_per_flow = static_cast<double>(monitor.ResidentBytes()) /
+                          static_cast<double>(monitor.NumFlows());
+  return result;
+}
+
+int Run(const BenchScale& scale) {
+  TraceConfig config;
+  // Full scale satisfies the ISSUE gate's >= 100k flows; fast scale keeps
+  // the CI smoke run in seconds on one core.
+  config.num_flows = scale.full ? 120000 : 20000;
+  config.max_cardinality = scale.full ? 10000 : 4000;
+  config.dup_factor = 1.5;
+  config.seed = 23;
+  const Trace trace = GenerateTrace(config);
+  const EstimatorSpec spec =
+      MonitorSpec(/*design_cardinality=*/config.max_cardinality);
+
+  PerFlowMonitor legacy(spec, PerFlowMonitor::Engine::kLegacyMap);
+  PerFlowMonitor arena(spec, PerFlowMonitor::Engine::kArena);
+  std::vector<ModeResult> results;
+  results.push_back(RunMonitor(trace, spec, PerFlowMonitor::Engine::kLegacyMap,
+                               /*batched=*/false, &legacy));
+  results.push_back(RunMonitor(trace, spec, PerFlowMonitor::Engine::kArena,
+                               /*batched=*/false, nullptr));
+  results.push_back(RunMonitor(trace, spec, PerFlowMonitor::Engine::kArena,
+                               /*batched=*/true, &arena));
+
+  // Bit-identity audit over every flow before reporting any throughput.
+  size_t mismatches = 0;
+  for (uint64_t flow = 0; flow < trace.num_flows(); ++flow) {
+    if (legacy.Query(flow) != arena.Query(flow)) ++mismatches;
+  }
+
+  const size_t shards = 4;
+  std::vector<size_t> producer_counts = {1, 2, 4};
+  for (size_t producers : producer_counts) {
+    results.push_back(RunParallel(trace, spec, producers, shards));
+  }
+
+  const double legacy_mpps = results[0].mpps;
+  const double arena_batch_mpps = results[2].mpps;
+  const double speedup =
+      legacy_mpps > 0 ? arena_batch_mpps / legacy_mpps : 0.0;
+
+  JsonWriter json(JsonWriter::kPretty);
+  json.BeginObject();
+  json.Key("bench");
+  json.String("per_flow_throughput");
+  json.Key("num_flows");
+  json.Uint(trace.num_flows());
+  json.Key("packets");
+  json.Uint(trace.packets.size());
+  json.Key("memory_bits_per_flow");
+  json.Uint(kMemoryBits);
+  json.Key("estimate_mismatches");
+  json.Uint(mismatches);
+  json.Key("results");
+  json.BeginArray();
+  size_t producer_index = 0;
+  for (const ModeResult& r : results) {
+    json.BeginObject();
+    json.Key("mode");
+    json.String(r.mode);
+    json.Key("threads");
+    json.Uint(r.threads);
+    if (r.mode == "parallel") {
+      json.Key("producers");
+      json.Uint(producer_counts[producer_index++]);
+      json.Key("shards");
+      json.Uint(shards);
+    }
+    json.Key("mpps");
+    json.Double(r.mpps, 3);
+    json.Key("bytes_per_flow");
+    json.Double(r.bytes_per_flow, 1);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("speedup_arena_batch_vs_legacy");
+  json.Double(speedup, 2);
+  json.Key("environment");
+  WriteEnvironmentJson(&json);
+  json.EndObject();
+  std::printf("%s\n", json.str().c_str());
+
+  const std::string path =
+      scale.json_path.empty() ? "BENCH_per_flow.json" : scale.json_path;
+  if (!WriteBenchJson(path, json)) return 1;
+
+  if (mismatches != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %zu flows with arena estimate != legacy estimate\n",
+                 mismatches);
+    return 1;
+  }
+  if (scale.assert_speedup > 0 && speedup < scale.assert_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: arena_batch speedup %.2fx below the --assert-speedup "
+                 "floor %.2fx (legacy %.3f Mpps, arena_batch %.3f Mpps)\n",
+                 speedup, scale.assert_speedup, legacy_mpps,
+                 arena_batch_mpps);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace smb::bench
+
+int main(int argc, char** argv) {
+  return smb::bench::Run(smb::bench::ParseScale(argc, argv));
+}

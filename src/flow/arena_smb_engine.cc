@@ -1,0 +1,390 @@
+#include "flow/arena_smb_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/bit_util.h"
+#include "common/macros.h"
+#include "core/smb_params.h"
+#include "hash/batch_hash.h"
+#include "hash/geometric.h"
+#include "hash/murmur3.h"
+#include "telemetry/metrics_registry.h"
+
+namespace smb {
+
+#if SMB_TELEMETRY_ENABLED
+namespace {
+
+// Process-wide per-flow engine instruments, registered once; hot paths
+// touch only the stable pointers (same pattern as the SMB core counters).
+struct FlowInstruments {
+  telemetry::Counter* flows_created;
+  telemetry::Gauge* slab_bytes;
+  telemetry::LatencyHistogram* probe_len;
+};
+
+FlowInstruments& GlobalFlowInstruments() {
+  static FlowInstruments instruments = [] {
+    auto& registry = telemetry::MetricsRegistry::Global();
+    return FlowInstruments{
+        registry.GetCounter("flow_flows_created_total"),
+        registry.GetGauge("flow_slab_bytes"),
+        registry.GetHistogram("flow_table_probe_length"),
+    };
+  }();
+  return instruments;
+}
+
+}  // namespace
+#endif  // SMB_TELEMETRY_ENABLED
+
+bool ArenaSmbEngine::Supports(size_t num_bits, size_t threshold) {
+  if (num_bits < 8 || threshold < 1 || threshold > num_bits) return false;
+  // Packed (r, v) metadata: 6 bits of round, 26 bits of fill.
+  if (num_bits >= (size_t{1} << kRoundShift)) return false;
+  return SmbMaxRound(num_bits, threshold) <= 63;
+}
+
+std::optional<ArenaSmbEngine::Config> ArenaSmbEngine::ConfigForSpec(
+    const EstimatorSpec& spec) {
+  if (spec.kind != EstimatorKind::kSmb) return std::nullopt;
+  Config config;
+  config.num_bits = spec.memory_bits;
+  config.threshold =
+      OptimalThresholdValue(spec.memory_bits, spec.design_cardinality);
+  config.base_seed = spec.hash_seed;
+  if (!Supports(config.num_bits, config.threshold)) return std::nullopt;
+  return config;
+}
+
+ArenaSmbEngine::ArenaSmbEngine(const Config& config)
+    : config_(config),
+      max_round_(SmbMaxRound(config.num_bits, config.threshold)),
+      words_per_slot_((config.num_bits + 63) / 64),
+      s_table_(BuildSTable(config.num_bits, config.threshold)),
+      arena_(words_per_slot_) {
+  SMB_CHECK_MSG(Supports(config.num_bits, config.threshold),
+                "(num_bits, threshold) outside the packed-metadata envelope");
+}
+
+uint32_t ArenaSmbEngine::FindOrCreateSlot(uint64_t flow,
+                                          uint64_t bucket_hash) {
+  bool inserted = false;
+  uint32_t probe_len = 0;
+  const uint32_t next = static_cast<uint32_t>(flow_keys_.size());
+  const uint32_t slot =
+      table_.FindOrInsert(flow, bucket_hash, next, &inserted, &probe_len);
+#if SMB_TELEMETRY_ENABLED
+  GlobalFlowInstruments().probe_len->Record(probe_len);
+#else
+  (void)probe_len;
+#endif
+  if (inserted) {
+    flow_keys_.push_back(flow);
+    // Exactly the legacy per-flow seed derivation, pre-folded into the
+    // additive offset the keyed hash path consumes.
+    seed_offsets_.push_back(
+        ItemSeedOffset(Murmur3Fmix64(config_.base_seed ^ flow)));
+    meta_.push_back(0);
+    arena_.Allocate();
+#if SMB_TELEMETRY_ENABLED
+    FlowInstruments& ins = GlobalFlowInstruments();
+    ins.flows_created->Add();
+    ins.slab_bytes->Set(static_cast<int64_t>(arena_.ResidentBytes()));
+#endif
+  }
+  return slot;
+}
+
+inline void ArenaSmbEngine::ApplyToSlot(uint32_t slot, uint64_t lo,
+                                        uint32_t rank) {
+  const uint32_t meta = meta_[slot];
+  uint32_t round = meta >> kRoundShift;
+  // Geometric gate (Algorithm 1 step 1) — touches only the metadata SoA,
+  // never the slab.
+  if (SMB_LIKELY(rank < round)) return;
+  const size_t pos = FastRange64(lo, config_.num_bits);
+  uint64_t& word = arena_.SlotWords(slot)[pos >> 6];
+  const uint64_t mask = uint64_t{1} << (pos & 63);
+  if (word & mask) return;
+  word |= mask;
+  uint32_t v = (meta & kFillMask) + 1;
+  if (SMB_UNLIKELY(v >= config_.threshold) && round < max_round_) {
+    ++round;
+    v = 0;
+  }
+  meta_[slot] = (round << kRoundShift) | v;
+}
+
+void ArenaSmbEngine::Record(uint64_t flow, uint64_t element) {
+  const uint32_t slot = FindOrCreateSlot(flow, FlowTable::BucketHash(flow));
+  const Hash128 hash = ItemHash128(element + seed_offsets_[slot], 0);
+  ApplyToSlot(slot, hash.lo,
+              static_cast<uint32_t>(GeometricRank(hash.hi)));
+}
+
+void ArenaSmbEngine::RecordBatch(const Packet* packets, size_t n) {
+  // Stage buffers for one block (~11 KB of stack).
+  uint64_t flows[kBatchBlock];
+  uint64_t elems[kBatchBlock];
+  uint64_t bucket_lo[kBatchBlock];
+  uint8_t scratch_rank[kBatchBlock];
+  uint32_t slots[kBatchBlock];
+  uint64_t offsets[kBatchBlock];
+  uint64_t elem_lo[kBatchBlock];
+  uint8_t elem_rank[kBatchBlock];
+  uint32_t surv_slot[kBatchBlock];
+  uint64_t surv_lo[kBatchBlock];
+  uint8_t surv_rank[kBatchBlock];
+  constexpr size_t kLookAhead = 8;
+  while (n > 0) {
+    const size_t nb = std::min(n, kBatchBlock);
+    // Stage 1: SoA split + one SIMD pass over the block's flow keys. The
+    // kernel's lo lane with the table's seed IS the bucket hash, so the
+    // table never hashes a key itself on this path.
+    for (size_t i = 0; i < nb; ++i) {
+      flows[i] = packets[i].flow;
+      elems[i] = packets[i].element;
+    }
+    BatchHashAndRank(flows, nb, FlowTable::kHashSeed, bucket_lo,
+                     scratch_rank);
+    // Stage 2: table lookups with bucket prefetch running kLookAhead
+    // lanes ahead, then gather each lane's seed offset and prefetch its
+    // gate metadata. Inserts (and thus slab growth) all happen here, so
+    // later stages can hold raw slab pointers.
+    for (size_t i = 0; i < std::min(kLookAhead, nb); ++i) {
+      table_.PrefetchBucket(bucket_lo[i]);
+    }
+    for (size_t i = 0; i < nb; ++i) {
+      if (i + kLookAhead < nb) table_.PrefetchBucket(bucket_lo[i + kLookAhead]);
+      slots[i] = FindOrCreateSlot(flows[i], bucket_lo[i]);
+      offsets[i] = seed_offsets_[slots[i]];
+      __builtin_prefetch(meta_.data() + slots[i], 0, 3);
+    }
+    // Stage 3: one keyed SIMD pass hashes the block's elements, each lane
+    // with its own flow's seed.
+    BatchHashAndRankKeyed(elems, offsets, nb, elem_lo, elem_rank);
+    // Stage 4: gate-first compaction against each lane's current round +
+    // slab-word prefetch for the survivors. Safe to gate early: a flow's
+    // round only grows, so a lane rejected now would also be rejected at
+    // its sequential turn; survivors are re-gated against the live round
+    // in stage 5.
+    size_t survivors = 0;
+    for (size_t i = 0; i < nb; ++i) {
+      const uint32_t round = meta_[slots[i]] >> kRoundShift;
+      if (SMB_UNLIKELY(elem_rank[i] >= round)) {
+        surv_slot[survivors] = slots[i];
+        surv_lo[survivors] = elem_lo[i];
+        surv_rank[survivors] = elem_rank[i];
+        const size_t pos = FastRange64(elem_lo[i], config_.num_bits);
+        __builtin_prefetch(arena_.SlotWords(slots[i]) + (pos >> 6), 1, 3);
+        ++survivors;
+      }
+    }
+    // Stage 5: in-order apply. ApplyToSlot re-gates against the live
+    // metadata, so duplicate flows inside one block see each other's
+    // probes and morphs exactly as a sequential Record() loop would.
+    for (size_t j = 0; j < survivors; ++j) {
+      ApplyToSlot(surv_slot[j], surv_lo[j], surv_rank[j]);
+    }
+    packets += nb;
+    n -= nb;
+  }
+}
+
+double ArenaSmbEngine::EstimateSlot(uint32_t slot) const {
+  // Same operations, operand values and order as
+  // SelfMorphingBitmap::Estimate(), so results are bit-identical.
+  const uint32_t meta = meta_[slot];
+  const size_t round = meta >> kRoundShift;
+  const double m_r =
+      static_cast<double>(config_.num_bits - round * config_.threshold);
+  const double v =
+      std::min(static_cast<double>(meta & kFillMask), m_r - 1.0);
+  if (v <= 0.0) return s_table_[round];
+  const double scale = std::ldexp(static_cast<double>(config_.num_bits),
+                                  static_cast<int>(round));
+  return s_table_[round] + scale * (-std::log1p(-v / m_r));
+}
+
+double ArenaSmbEngine::Query(uint64_t flow) const {
+  const FlowTable::Probe probe =
+      table_.Find(flow, FlowTable::BucketHash(flow));
+  return probe.found ? EstimateSlot(probe.slot) : 0.0;
+}
+
+std::vector<uint64_t> ArenaSmbEngine::FlowsOver(double threshold) const {
+  std::vector<uint64_t> out;
+  for (uint32_t slot = 0; slot < flow_keys_.size(); ++slot) {
+    if (EstimateSlot(slot) >= threshold) out.push_back(flow_keys_[slot]);
+  }
+  return out;
+}
+
+void ArenaSmbEngine::ForEachFlow(
+    const std::function<void(uint64_t, double)>& fn) const {
+  for (uint32_t slot = 0; slot < flow_keys_.size(); ++slot) {
+    fn(flow_keys_[slot], EstimateSlot(slot));
+  }
+}
+
+size_t ArenaSmbEngine::ResidentBytes() const {
+  return sizeof(*this) + table_.ResidentBytes() + arena_.ResidentBytes() +
+         meta_.capacity() * sizeof(uint32_t) +
+         seed_offsets_.capacity() * sizeof(uint64_t) +
+         flow_keys_.capacity() * sizeof(uint64_t) +
+         s_table_.capacity() * sizeof(double);
+}
+
+std::optional<ArenaSmbEngine::FlowState> ArenaSmbEngine::Inspect(
+    uint64_t flow) const {
+  const FlowTable::Probe probe =
+      table_.Find(flow, FlowTable::BucketHash(flow));
+  if (!probe.found) return std::nullopt;
+  const uint32_t meta = meta_[probe.slot];
+  FlowState state;
+  state.round = meta >> kRoundShift;
+  state.ones_in_round = meta & kFillMask;
+  state.words = arena_.SlotSpan(probe.slot);
+  return state;
+}
+
+namespace {
+
+// Snapshot layout (little-endian):
+//   magic "FLW1" (4 bytes)
+//   u64 num_bits, threshold, base_seed, num_flows, words_per_slot
+//   per flow (slot order): u64 flow key, u64 packed meta,
+//                          words_per_slot x u64 bitmap words
+//   u64 checksum (Murmur3_64 of every preceding byte).
+// Seed offsets are not stored — they are a pure function of
+// (base_seed, flow key) and are rebuilt on load.
+constexpr char kMagic[4] = {'F', 'L', 'W', '1'};
+constexpr uint64_t kChecksumSeed = 0x464C5731u;  // "FLW1"
+
+void AppendU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+bool ReadU64(const std::vector<uint8_t>& in, size_t* pos, uint64_t* v) {
+  if (*pos + 8 > in.size()) return false;
+  uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<uint64_t>(in[*pos + static_cast<size_t>(i)])
+           << (8 * i);
+  }
+  *pos += 8;
+  *v = out;
+  return true;
+}
+
+uint64_t SnapshotChecksum(const uint8_t* data, size_t len) {
+  return Murmur3_128(data, len, kChecksumSeed).lo;
+}
+
+}  // namespace
+
+std::vector<uint8_t> ArenaSmbEngine::Serialize() const {
+  std::vector<uint8_t> out;
+  out.reserve(4 + 6 * 8 + NumFlows() * (2 + words_per_slot_) * 8);
+  for (char c : kMagic) out.push_back(static_cast<uint8_t>(c));
+  AppendU64(&out, config_.num_bits);
+  AppendU64(&out, config_.threshold);
+  AppendU64(&out, config_.base_seed);
+  AppendU64(&out, NumFlows());
+  AppendU64(&out, words_per_slot_);
+  for (uint32_t slot = 0; slot < flow_keys_.size(); ++slot) {
+    AppendU64(&out, flow_keys_[slot]);
+    AppendU64(&out, meta_[slot]);
+    const uint64_t* words = arena_.SlotWords(slot);
+    for (size_t w = 0; w < words_per_slot_; ++w) AppendU64(&out, words[w]);
+  }
+  AppendU64(&out, SnapshotChecksum(out.data(), out.size()));
+  return out;
+}
+
+std::optional<ArenaSmbEngine> ArenaSmbEngine::Deserialize(
+    const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < 4 || std::memcmp(bytes.data(), kMagic, 4) != 0) {
+    return std::nullopt;
+  }
+  size_t pos = 4;
+  uint64_t num_bits, threshold, base_seed, num_flows, words_per_slot;
+  if (!ReadU64(bytes, &pos, &num_bits) || !ReadU64(bytes, &pos, &threshold) ||
+      !ReadU64(bytes, &pos, &base_seed) ||
+      !ReadU64(bytes, &pos, &num_flows) ||
+      !ReadU64(bytes, &pos, &words_per_slot)) {
+    return std::nullopt;
+  }
+  if (!Supports(num_bits, threshold)) return std::nullopt;
+  if (words_per_slot != (num_bits + 63) / 64) return std::nullopt;
+  // Exact-size check up front: trailing garbage after the flow records +
+  // checksum must not pass.
+  const size_t expected =
+      pos + num_flows * (2 + words_per_slot) * 8 + 8;
+  if (bytes.size() != expected) return std::nullopt;
+  if (SnapshotChecksum(bytes.data(), bytes.size() - 8) !=
+      [&] {
+        size_t cpos = bytes.size() - 8;
+        uint64_t checksum = 0;
+        ReadU64(bytes, &cpos, &checksum);
+        return checksum;
+      }()) {
+    return std::nullopt;
+  }
+
+  Config config;
+  config.num_bits = num_bits;
+  config.threshold = threshold;
+  config.base_seed = base_seed;
+  ArenaSmbEngine engine(config);
+  const size_t max_round = engine.max_round_;
+  const size_t tail_bits = num_bits % 64;
+  std::vector<uint64_t> words(words_per_slot);
+  for (uint64_t f = 0; f < num_flows; ++f) {
+    uint64_t key, meta_u64;
+    if (!ReadU64(bytes, &pos, &key) || !ReadU64(bytes, &pos, &meta_u64)) {
+      return std::nullopt;
+    }
+    if (meta_u64 > 0xFFFFFFFFull) return std::nullopt;
+    const uint32_t meta = static_cast<uint32_t>(meta_u64);
+    const size_t round = meta >> kRoundShift;
+    const size_t ones = meta & kFillMask;
+    if (round > max_round) return std::nullopt;
+    // Same reachability rules as the SMB snapshot: a non-final round
+    // morphs the moment v reaches T; v never exceeds the logical bitmap.
+    if (round < max_round && ones >= threshold) return std::nullopt;
+    if (ones > num_bits - round * threshold) return std::nullopt;
+    uint64_t popcount = 0;
+    for (auto& w : words) {
+      if (!ReadU64(bytes, &pos, &w)) return std::nullopt;
+      popcount += static_cast<uint64_t>(Popcount64(w));
+    }
+    // Stray bits above num_bits, or a popcount inconsistent with the
+    // claimed (r, v), mean a corrupted record.
+    if (tail_bits != 0 && (words.back() >> tail_bits) != 0) {
+      return std::nullopt;
+    }
+    if (popcount != round * threshold + ones) return std::nullopt;
+    bool inserted = false;
+    uint32_t probe_len = 0;
+    const uint32_t slot = engine.table_.FindOrInsert(
+        key, FlowTable::BucketHash(key),
+        static_cast<uint32_t>(engine.flow_keys_.size()), &inserted,
+        &probe_len);
+    if (!inserted) return std::nullopt;  // duplicate flow key
+    engine.flow_keys_.push_back(key);
+    engine.seed_offsets_.push_back(
+        ItemSeedOffset(Murmur3Fmix64(base_seed ^ key)));
+    engine.meta_.push_back(meta);
+    engine.arena_.Allocate();
+    std::copy(words.begin(), words.end(), engine.arena_.SlotWords(slot));
+  }
+  return engine;
+}
+
+}  // namespace smb

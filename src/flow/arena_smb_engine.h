@@ -1,0 +1,161 @@
+// ArenaSmbEngine — cache-conscious per-flow SMB storage (DESIGN.md §12).
+//
+// The legacy PerFlowMonitor keeps one heap-allocated SelfMorphingBitmap
+// per flow behind an unordered_map of unique_ptrs: every packet pays a
+// node walk, a pointer chase and a virtual call before it even reaches
+// the geometric gate. This engine replaces that with three flat arrays:
+//
+//   FlowTable   flow key -> dense slot   (open addressing, incremental
+//                                         rehash, flow/flow_table.h)
+//   meta_[slot] packed (r, v)            (6-bit round << 26 | 26-bit v —
+//                                         the paper's 32 auxiliary bits;
+//                                         one cache line covers 16 flows'
+//                                         gate state)
+//   SlabArena   slot -> m-bit bitmap     (fixed stride, contiguous)
+//
+// The gate-before-slab invariant: the geometric gate reads only meta_, so
+// a gate-rejected packet — the common case past round 0 — never touches
+// the bitmap slab at all. Per-flow hash seeds are derived exactly as the
+// legacy engine derives them (Murmur3Fmix64(base_seed ^ flow)) and every
+// recording/query operation replays SelfMorphingBitmap's operations in
+// the same order, so estimates are bit-identical to the legacy engine
+// given the same seeds (pinned by the equivalence suite).
+//
+// RecordBatch is the keyed batch pipeline: one SIMD kernel call hashes a
+// block of flow keys (bucket hashes), table lookups run with bucket
+// prefetch a few lanes ahead, a second *keyed* kernel call hashes the
+// block's elements with each lane's own flow seed (hash/batch_hash.h's
+// ItemSeedOffset identity), and surviving lanes prefetch their slab word
+// before the in-order apply loop — DRAM latency overlaps across packets
+// instead of serializing per flow.
+
+#ifndef SMBCARD_FLOW_ARENA_SMB_ENGINE_H_
+#define SMBCARD_FLOW_ARENA_SMB_ENGINE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "estimators/estimator_factory.h"
+#include "flow/flow_table.h"
+#include "flow/slab_arena.h"
+#include "stream/trace_gen.h"
+
+namespace smb {
+
+class ArenaSmbEngine {
+ public:
+  struct Config {
+    // Per-flow physical bitmap size m in bits (>= 8).
+    size_t num_bits = 10000;
+    // Morph threshold T, 1 <= T <= m.
+    size_t threshold = 1000;
+    // Base hash seed; flow f records with Murmur3Fmix64(base_seed ^ f),
+    // exactly the legacy PerFlowMonitor derivation.
+    uint64_t base_seed = 0;
+  };
+
+  // Whether (m, T) fits the packed 32-bit metadata: round in 6 bits
+  // (max_round <= 63) and v in 26 bits (m < 2^26). Configurations outside
+  // this envelope stay on the legacy map engine.
+  static bool Supports(size_t num_bits, size_t threshold);
+
+  // The arena configuration equivalent to CreateEstimator(spec) per flow:
+  // kSmb only, T from the Section IV-B optimizer, spec.hash_seed as the
+  // base seed. nullopt when the spec's kind or geometry is unsupported.
+  static std::optional<Config> ConfigForSpec(const EstimatorSpec& spec);
+
+  explicit ArenaSmbEngine(const Config& config);
+
+  ArenaSmbEngine(ArenaSmbEngine&&) = default;
+  ArenaSmbEngine& operator=(ArenaSmbEngine&&) = default;
+  ArenaSmbEngine(const ArenaSmbEngine&) = delete;
+  ArenaSmbEngine& operator=(const ArenaSmbEngine&) = delete;
+
+  // Records one (flow, element) observation (scalar path).
+  void Record(uint64_t flow, uint64_t element);
+
+  // Keyed batch recording path; bit-identical to calling Record() per
+  // packet in order.
+  void RecordBatch(const Packet* packets, size_t n);
+  void RecordBatch(std::span<const Packet> packets) {
+    RecordBatch(packets.data(), packets.size());
+  }
+
+  // Estimated spread of `flow`; 0 for never-seen flows. Replays
+  // SelfMorphingBitmap::Estimate()'s exact operations.
+  double Query(uint64_t flow) const;
+
+  size_t NumFlows() const { return flow_keys_.size(); }
+
+  // Flows whose current estimate is >= threshold, in slot (creation)
+  // order.
+  std::vector<uint64_t> FlowsOver(double threshold) const;
+
+  // Calls fn(flow, estimate) for every tracked flow, in slot order.
+  void ForEachFlow(
+      const std::function<void(uint64_t flow, double estimate)>& fn) const;
+
+  // True heap + object footprint: flow table buckets, SoA metadata
+  // arrays, and the bitmap slab.
+  size_t ResidentBytes() const;
+
+  // Logical sketch bits (the paper's m + 32 per flow) — what the legacy
+  // TotalMemoryBits used to report.
+  size_t SketchBits() const {
+    return NumFlows() * (config_.num_bits + 32);
+  }
+
+  const Config& config() const { return config_; }
+  size_t max_round() const { return max_round_; }
+
+  // Equivalence-test introspection: the flow's live (r, v, bitmap words).
+  struct FlowState {
+    size_t round = 0;
+    size_t ones_in_round = 0;
+    std::span<const uint64_t> words;
+  };
+  std::optional<FlowState> Inspect(uint64_t flow) const;
+
+  // Serialization ---------------------------------------------------------
+  // Compact binary snapshot of the whole engine (config + every flow's
+  // key, metadata and bitmap words); the payload fed to CheckpointStore.
+  std::vector<uint8_t> Serialize() const;
+  // Rebuilds an engine from Serialize() output; nullopt on malformed,
+  // truncated or internally inconsistent input.
+  static std::optional<ArenaSmbEngine> Deserialize(
+      const std::vector<uint8_t>& bytes);
+
+ private:
+  static constexpr uint32_t kRoundShift = 26;
+  static constexpr uint32_t kFillMask = (uint32_t{1} << kRoundShift) - 1;
+
+  // Finds or creates the flow's slot; newly created flows get their seed
+  // offset, zeroed metadata and a zero-filled slab slot.
+  uint32_t FindOrCreateSlot(uint64_t flow, uint64_t bucket_hash);
+
+  // The scalar probe/set/morph step shared by Record and the batch apply
+  // loop; `rank` has already passed (or will be re-checked against) the
+  // gate.
+  void ApplyToSlot(uint32_t slot, uint64_t lo, uint32_t rank);
+
+  double EstimateSlot(uint32_t slot) const;
+
+  Config config_;
+  size_t max_round_;
+  size_t words_per_slot_;
+  std::vector<double> s_table_;
+  FlowTable table_;
+  SlabArena arena_;
+  // SoA hot metadata, indexed by slot.
+  std::vector<uint32_t> meta_;          // (round << 26) | v
+  std::vector<uint64_t> seed_offsets_;  // ItemSeedOffset(per-flow seed)
+  std::vector<uint64_t> flow_keys_;     // slot -> flow key (reverse map)
+};
+
+}  // namespace smb
+
+#endif  // SMBCARD_FLOW_ARENA_SMB_ENGINE_H_

@@ -1,0 +1,139 @@
+#include "flow/flow_recorder.h"
+
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/macros.h"
+#include "hash/batch_hash.h"
+#include "parallel/spsc_ring.h"
+
+namespace smb {
+namespace {
+
+// Consumer-side drain granularity: a whole multiple of the SIMD batch
+// block so every drained chunk feeds the keyed pipeline full blocks.
+constexpr size_t kDrainChunk = 1024;
+static_assert(kDrainChunk % kBatchBlock == 0,
+              "drain chunks must tile the batch kernel's block size");
+
+}  // namespace
+
+FlowParallelRecorder::FlowParallelRecorder(ShardedFlowMonitor* monitor,
+                                           const Options& options)
+    : monitor_(monitor), options_(options) {
+  SMB_CHECK_MSG(monitor != nullptr, "FlowParallelRecorder needs a monitor");
+  SMB_CHECK_MSG(options.num_producers >= 1, "need at least one producer");
+  SMB_CHECK_MSG(options.batch_size >= 1, "need a positive batch size");
+  SMB_CHECK_MSG(options.ring_capacity >= options.batch_size,
+                "ring must hold at least one batch");
+}
+
+FlowRecorderStats FlowParallelRecorder::RecordTrace(
+    std::span<const Packet> packets) {
+  FlowRecorderStats stats;
+  if (packets.empty()) return stats;
+  const size_t num_producers = options_.num_producers;
+  const size_t num_shards = monitor_->num_shards();
+  const size_t total = packets.size();
+  std::mutex stats_mutex;
+
+  // One SPSC packet ring per (producer, shard) pair. deque because the
+  // ring's atomics make it immovable.
+  std::deque<SpscRingOf<Packet>> rings;
+  for (size_t i = 0; i < num_producers * num_shards; ++i) {
+    rings.emplace_back(options_.ring_capacity);
+  }
+  auto ring_at = [&](size_t producer, size_t shard) -> SpscRingOf<Packet>* {
+    return &rings[producer * num_shards + shard];
+  };
+
+  std::vector<std::atomic<bool>> producer_done(num_producers);
+  for (auto& flag : producer_done) {
+    flag.store(false, std::memory_order_relaxed);
+  }
+
+  auto producer_main = [&](size_t p) {
+    // Contiguous range split: per shard, producer p's packets are exactly
+    // the trace's packets with indices in [range_begin, range_end), in
+    // order — the ordered drain below relies on this.
+    const size_t range_begin = total * p / num_producers;
+    const size_t range_end = total * (p + 1) / num_producers;
+    std::vector<std::vector<Packet>> runs(num_shards);
+    for (auto& run : runs) run.reserve(options_.batch_size);
+    uint64_t local_stalls = 0;
+    uint64_t local_recorded = 0;
+    auto hand_off = [&](size_t shard, std::vector<Packet>& run) {
+      std::span<const Packet> rest(run.data(), run.size());
+      SpscRingOf<Packet>* ring = ring_at(p, shard);
+      while (!rest.empty()) {
+        const size_t pushed = ring->TryPush(rest);
+        rest = rest.subspan(pushed);
+        if (pushed == 0) {
+          ++local_stalls;
+          std::this_thread::yield();
+        }
+      }
+      local_recorded += run.size();
+      run.clear();
+    };
+    for (size_t i = range_begin; i < range_end; ++i) {
+      const Packet& packet = packets[i];
+      const size_t shard = monitor_->ShardOf(packet.flow);
+      std::vector<Packet>& run = runs[shard];
+      run.push_back(packet);
+      if (run.size() == options_.batch_size) hand_off(shard, run);
+    }
+    for (size_t shard = 0; shard < num_shards; ++shard) {
+      if (!runs[shard].empty()) hand_off(shard, runs[shard]);
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex);
+      stats.ring_full_stalls += local_stalls;
+      stats.packets_recorded += local_recorded;
+    }
+    producer_done[p].store(true, std::memory_order_release);
+  };
+
+  auto consumer_main = [&](size_t k) {
+    ArenaSmbEngine* shard = monitor_->shard(k);
+    std::vector<Packet> chunk(kDrainChunk);
+    // Drain producers in index order; a producer's ring is finished once
+    // its done flag is up AND the ring reads empty afterwards.
+    for (size_t p = 0; p < num_producers; ++p) {
+      SpscRingOf<Packet>* ring = ring_at(p, k);
+      while (true) {
+        const size_t n = ring->TryPop(chunk.data(), chunk.size());
+        if (n > 0) {
+          shard->RecordBatch(chunk.data(), n);
+          continue;
+        }
+        if (producer_done[p].load(std::memory_order_acquire)) {
+          const size_t rest = ring->TryPop(chunk.data(), chunk.size());
+          if (rest == 0) break;
+          shard->RecordBatch(chunk.data(), rest);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> consumers;
+  consumers.reserve(num_shards);
+  for (size_t k = 0; k < num_shards; ++k) {
+    consumers.emplace_back(consumer_main, k);
+  }
+  std::vector<std::thread> producers;
+  producers.reserve(num_producers);
+  for (size_t p = 0; p < num_producers; ++p) {
+    producers.emplace_back(producer_main, p);
+  }
+  for (auto& t : producers) t.join();
+  for (auto& t : consumers) t.join();
+  return stats;
+}
+
+}  // namespace smb

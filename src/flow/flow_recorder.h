@@ -1,0 +1,67 @@
+// FlowParallelRecorder — the per-flow counterpart of ParallelRecorder:
+// N producer threads x K flow-shard consumer threads connected by N*K
+// SPSC rings of whole Packets (parallel/spsc_ring.h's Packet
+// instantiation), so the hot path takes no locks anywhere:
+//
+//   producer p:  packet -> monitor->ShardOf(flow) -> local run -> ring[p][k]
+//   consumer k:  drain ring[*][k] -> shard_k->RecordBatch(run)
+//
+// Determinism: producers split the trace into contiguous ranges and each
+// consumer drains producer rings in index order, so every shard replays
+// its packets in exact trace order. Combined with flow-partitioned
+// sharding (all packets of a flow reach one shard) the final per-flow
+// states are bit-identical to a single-threaded RecordBatch over the
+// whole trace, for any producer/shard count.
+
+#ifndef SMBCARD_FLOW_FLOW_RECORDER_H_
+#define SMBCARD_FLOW_FLOW_RECORDER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "flow/sharded_flow_monitor.h"
+#include "stream/trace_gen.h"
+
+namespace smb {
+
+// Counted unconditionally (per-producer locals merged once per run), so
+// callers can report back-pressure even in SMB_TELEMETRY=OFF builds.
+struct FlowRecorderStats {
+  uint64_t packets_recorded = 0;
+  uint64_t ring_full_stalls = 0;
+};
+
+class FlowParallelRecorder {
+ public:
+  struct Options {
+    size_t num_producers = 1;
+    // Packets each (producer, shard) ring can buffer (rounded up to a
+    // power of two).
+    size_t ring_capacity = 1 << 14;
+    // Producer-side hand-off granularity: packets accumulated per shard
+    // before a ring push.
+    size_t batch_size = 256;
+  };
+
+  // `monitor` must outlive the recorder and must not be touched by other
+  // threads while RecordTrace is running.
+  FlowParallelRecorder(ShardedFlowMonitor* monitor, const Options& options);
+
+  FlowParallelRecorder(const FlowParallelRecorder&) = delete;
+  FlowParallelRecorder& operator=(const FlowParallelRecorder&) = delete;
+
+  // Records every packet of `packets`. Producers block (spin + yield)
+  // when a ring stays full, so no packet is ever dropped.
+  FlowRecorderStats RecordTrace(std::span<const Packet> packets);
+
+  const Options& options() const { return options_; }
+
+ private:
+  ShardedFlowMonitor* monitor_;
+  Options options_;
+};
+
+}  // namespace smb
+
+#endif  // SMBCARD_FLOW_FLOW_RECORDER_H_

@@ -1,0 +1,182 @@
+#include "flow/flow_table.h"
+
+#include <utility>
+
+#include "common/bit_util.h"
+#include "common/macros.h"
+
+namespace smb {
+
+FlowTable::FlowTable(size_t initial_capacity) {
+  const size_t cap =
+      size_t{1} << Log2Ceil64(initial_capacity < 16 ? 16 : initial_capacity);
+  active_.keys.assign(cap, 0);
+  active_.tags.assign(cap, 0);
+}
+
+FlowTable::Probe FlowTable::Find(uint64_t key, uint64_t hash) const {
+  Probe result;
+  size_t idx = hash & active_.Mask();
+  while (true) {
+    ++result.probe_len;
+    const uint32_t tag = active_.tags[idx];
+    if (tag == 0) break;
+    if (active_.keys[idx] == key) {
+      // The active generation never holds moved marks, so any occupied
+      // match is live.
+      result.slot = tag - 1;
+      result.found = true;
+      return result;
+    }
+    idx = (idx + 1) & active_.Mask();
+  }
+  if (!draining_.keys.empty()) {
+    idx = hash & draining_.Mask();
+    while (true) {
+      ++result.probe_len;
+      const uint32_t tag = draining_.tags[idx];
+      if (tag == 0) break;
+      if (tag != kMovedTag && draining_.keys[idx] == key) {
+        result.slot = tag - 1;
+        result.found = true;
+        return result;
+      }
+      idx = (idx + 1) & draining_.Mask();
+    }
+  }
+  return result;
+}
+
+uint32_t FlowTable::FindOrInsert(uint64_t key, uint64_t hash,
+                                 uint32_t new_slot, bool* inserted,
+                                 uint32_t* probe_len) {
+  SMB_DCHECK(new_slot + 1 < kMovedTag);
+  MigrateStep();
+  uint32_t probes = 0;
+  size_t idx = hash & active_.Mask();
+  size_t insert_idx;
+  while (true) {
+    ++probes;
+    const uint32_t tag = active_.tags[idx];
+    if (tag == 0) {
+      insert_idx = idx;
+      break;
+    }
+    if (active_.keys[idx] == key) {
+      *inserted = false;
+      *probe_len = probes;
+      return tag - 1;
+    }
+    idx = (idx + 1) & active_.Mask();
+  }
+  if (!draining_.keys.empty()) {
+    size_t didx = hash & draining_.Mask();
+    while (true) {
+      ++probes;
+      const uint32_t tag = draining_.tags[didx];
+      if (tag == 0) break;
+      if (tag != kMovedTag && draining_.keys[didx] == key) {
+        // Found in the old generation: migrate it eagerly so repeat
+        // lookups of a hot flow take the short active-only path.
+        active_.keys[insert_idx] = key;
+        active_.tags[insert_idx] = tag;
+        ++active_.used;
+        draining_.tags[didx] = kMovedTag;
+        --draining_.used;
+        if (draining_.used == 0) ReleaseDraining();
+        *inserted = false;
+        *probe_len = probes;
+        return tag - 1;
+      }
+      didx = (didx + 1) & draining_.Mask();
+    }
+  }
+  active_.keys[insert_idx] = key;
+  active_.tags[insert_idx] = new_slot + 1;
+  ++active_.used;
+  ++size_;
+  *inserted = true;
+  *probe_len = probes;
+  MaybeGrow();
+  return new_slot;
+}
+
+void FlowTable::PrefetchBucket(uint64_t hash) const {
+  const size_t idx = hash & active_.Mask();
+  __builtin_prefetch(active_.keys.data() + idx, 0, 3);
+  __builtin_prefetch(active_.tags.data() + idx, 0, 3);
+  if (!draining_.keys.empty()) {
+    const size_t didx = hash & draining_.Mask();
+    __builtin_prefetch(draining_.keys.data() + didx, 0, 3);
+    __builtin_prefetch(draining_.tags.data() + didx, 0, 3);
+  }
+}
+
+void FlowTable::MigrateStep() {
+  if (draining_.keys.empty()) return;
+  const size_t cap = draining_.keys.size();
+  size_t moved = 0;
+  size_t scanned = 0;
+  while (migrate_pos_ < cap && moved < kMigrateEntries &&
+         scanned < kMigrateScan) {
+    const uint32_t tag = draining_.tags[migrate_pos_];
+    if (tag != 0 && tag != kMovedTag) {
+      MoveToActive(draining_.keys[migrate_pos_], tag);
+      draining_.tags[migrate_pos_] = kMovedTag;
+      --draining_.used;
+      ++moved;
+    }
+    ++migrate_pos_;
+    ++scanned;
+  }
+  if (draining_.used == 0 || migrate_pos_ >= cap) {
+    // Every live entry sits below cap, so a full scan implies used == 0.
+    SMB_DCHECK(draining_.used == 0);
+    ReleaseDraining();
+  }
+}
+
+void FlowTable::MoveToActive(uint64_t key, uint32_t tag) {
+  // The key lives in exactly one generation, so no duplicate check is
+  // needed — just walk to the chain's first empty bucket.
+  size_t idx = BucketHash(key) & active_.Mask();
+  while (active_.tags[idx] != 0) idx = (idx + 1) & active_.Mask();
+  active_.keys[idx] = key;
+  active_.tags[idx] = tag;
+  ++active_.used;
+}
+
+void FlowTable::ReleaseDraining() {
+  draining_.keys.clear();
+  draining_.keys.shrink_to_fit();
+  draining_.tags.clear();
+  draining_.tags.shrink_to_fit();
+  draining_.used = 0;
+  migrate_pos_ = 0;
+}
+
+void FlowTable::MaybeGrow() {
+  if (size_ * 4 < active_.keys.size() * 3) return;
+  if (!draining_.keys.empty()) {
+    // A second growth while the previous drain is still in flight (only
+    // possible under a pathological burst): finish the old drain first so
+    // there are never more than two generations.
+    while (!draining_.keys.empty()) MigrateStep();
+  }
+  const size_t new_cap = active_.keys.size() * 2;
+  draining_ = std::move(active_);
+  active_ = Buckets{};
+  active_.keys.assign(new_cap, 0);
+  active_.tags.assign(new_cap, 0);
+  migrate_pos_ = 0;
+}
+
+size_t FlowTable::ResidentBytes() const {
+  const auto bytes = [](const Buckets& b) {
+    return b.keys.capacity() * sizeof(uint64_t) +
+           b.tags.capacity() * sizeof(uint32_t);
+  };
+  return sizeof(*this) + bytes(active_) + bytes(draining_);
+}
+
+}  // namespace smb

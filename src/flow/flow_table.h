@@ -1,0 +1,108 @@
+// FlowTable — the open-addressing index of the arena per-flow engine:
+// flow key -> dense slot number (the flow's position in the slab arena
+// and the SoA metadata arrays).
+//
+// Layout: power-of-two bucket arrays with linear probing, stored SoA
+// (keys and 32-bit slot tags in separate arrays) so a probe chain scans
+// 8 candidate keys per cache line instead of 2. Growth is *incremental*:
+// when the load factor crosses 3/4 the current array becomes a draining
+// generation and every subsequent mutating call migrates a bounded batch
+// of entries into the doubled active array, so no single Record() ever
+// pays an O(n) rehash — the latency spike the legacy unordered_map engine
+// takes on its rehashes.
+//
+// Draining correctness with linear probing: removing a migrated entry
+// would break probe chains that pass through its bucket, so migrated
+// buckets are tagged kMovedTag instead — occupied-but-never-matching, a
+// probe walks straight through them. The draining array therefore keeps
+// its original empty buckets (chain terminators) until it is released.
+
+#ifndef SMBCARD_FLOW_FLOW_TABLE_H_
+#define SMBCARD_FLOW_FLOW_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hash/murmur3.h"
+
+namespace smb {
+
+class FlowTable {
+ public:
+  // Seed of the bucket-index hash. BucketHash(key) is exactly
+  // ItemHash128(key, kHashSeed).lo, so the batch recording path can
+  // produce a whole block's bucket hashes with one BatchHashAndRank call
+  // through the SIMD kernel.
+  static constexpr uint64_t kHashSeed = 0xF1503B1A2C9E4D87ULL;
+
+  static uint64_t BucketHash(uint64_t key) {
+    return ItemHash128(key, kHashSeed).lo;
+  }
+
+  // Initial capacity is rounded up to a power of two (min 16).
+  explicit FlowTable(size_t initial_capacity = 64);
+
+  FlowTable(FlowTable&&) = default;
+  FlowTable& operator=(FlowTable&&) = default;
+  FlowTable(const FlowTable&) = delete;
+  FlowTable& operator=(const FlowTable&) = delete;
+
+  struct Probe {
+    uint32_t slot = 0;       // meaningful only when found
+    bool found = false;
+    uint32_t probe_len = 0;  // buckets inspected across both generations
+  };
+
+  // Read-only lookup; performs no migration work. `hash` must be
+  // BucketHash(key).
+  Probe Find(uint64_t key, uint64_t hash) const;
+
+  // Returns the key's existing slot or installs `new_slot` for it
+  // (*inserted tells which). Advances the incremental rehash by a bounded
+  // step first. `hash` must be BucketHash(key); *probe_len receives the
+  // number of buckets inspected (the probe-length telemetry sample).
+  uint32_t FindOrInsert(uint64_t key, uint64_t hash, uint32_t new_slot,
+                        bool* inserted, uint32_t* probe_len);
+
+  // Prefetches the first bucket cache lines the probe of `hash` will
+  // touch (both generations during a rehash). The batch path issues this
+  // a few lanes ahead of the actual lookups.
+  void PrefetchBucket(uint64_t hash) const;
+
+  size_t size() const { return size_; }
+  size_t capacity() const { return active_.keys.size(); }
+  bool rehash_in_progress() const { return !draining_.keys.empty(); }
+
+  // Heap bytes owned by the bucket arrays of both generations.
+  size_t ResidentBytes() const;
+
+ private:
+  struct Buckets {
+    std::vector<uint64_t> keys;
+    // 0 = empty, kMovedTag = migrated out, otherwise slot + 1.
+    std::vector<uint32_t> tags;
+    size_t used = 0;  // live entries (moved marks excluded)
+    size_t Mask() const { return keys.size() - 1; }
+  };
+
+  static constexpr uint32_t kMovedTag = 0xFFFFFFFFu;
+  // Per-mutating-call migration budget: up to this many live entries are
+  // moved, scanning at most kMigrateScan buckets.
+  static constexpr size_t kMigrateEntries = 4;
+  static constexpr size_t kMigrateScan = 32;
+
+  void MigrateStep();
+  void MoveToActive(uint64_t key, uint32_t tag);
+  void ReleaseDraining();
+  void MaybeGrow();
+
+  Buckets active_;
+  Buckets draining_;  // empty vectors when no rehash is in progress
+  size_t migrate_pos_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace smb
+
+#endif  // SMBCARD_FLOW_FLOW_TABLE_H_

@@ -1,0 +1,81 @@
+#include "flow/sharded_flow_monitor.h"
+
+#include <algorithm>
+
+#include "common/bit_util.h"
+#include "common/macros.h"
+#include "hash/batch_hash.h"
+#include "hash/murmur3.h"
+
+namespace smb {
+namespace {
+
+// Shard-routing salt; decorrelates ShardOf from the flow table's bucket
+// hash and from the per-flow item seeds.
+constexpr uint64_t kShardSalt = 0x8AD93F10B2C66E45ULL;
+
+}  // namespace
+
+ShardedFlowMonitor::ShardedFlowMonitor(const ArenaSmbEngine::Config& config,
+                                       size_t num_shards) {
+  SMB_CHECK_MSG(num_shards >= 1, "need at least one shard");
+  shards_.reserve(num_shards);
+  for (size_t k = 0; k < num_shards; ++k) shards_.emplace_back(config);
+}
+
+size_t ShardedFlowMonitor::ShardOf(uint64_t flow) const {
+  return static_cast<size_t>(
+      FastRange64(Murmur3Fmix64(flow ^ kShardSalt), shards_.size()));
+}
+
+void ShardedFlowMonitor::RecordBatch(const Packet* packets, size_t n) {
+  if (shards_.size() == 1) {
+    shards_[0].RecordBatch(packets, n);
+    return;
+  }
+  // Route into per-shard runs, flushing each run through the shard's
+  // batch path once it fills a kernel block. Per-flow packet order is
+  // preserved (a flow always lands in the same run), so results are
+  // bit-identical to an unsharded RecordBatch.
+  std::vector<std::vector<Packet>> runs(shards_.size());
+  for (auto& run : runs) run.reserve(kBatchBlock);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t k = ShardOf(packets[i].flow);
+    runs[k].push_back(packets[i]);
+    if (runs[k].size() == kBatchBlock) {
+      shards_[k].RecordBatch(runs[k].data(), runs[k].size());
+      runs[k].clear();
+    }
+  }
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    if (!runs[k].empty()) shards_[k].RecordBatch(runs[k].data(), runs[k].size());
+  }
+}
+
+size_t ShardedFlowMonitor::NumFlows() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) total += shard.NumFlows();
+  return total;
+}
+
+std::vector<uint64_t> ShardedFlowMonitor::FlowsOver(double threshold) const {
+  std::vector<uint64_t> out;
+  for (const auto& shard : shards_) {
+    const std::vector<uint64_t> flows = shard.FlowsOver(threshold);
+    out.insert(out.end(), flows.begin(), flows.end());
+  }
+  return out;
+}
+
+void ShardedFlowMonitor::ForEachFlow(
+    const std::function<void(uint64_t, double)>& fn) const {
+  for (const auto& shard : shards_) shard.ForEachFlow(fn);
+}
+
+size_t ShardedFlowMonitor::ResidentBytes() const {
+  size_t total = sizeof(*this);
+  for (const auto& shard : shards_) total += shard.ResidentBytes();
+  return total;
+}
+
+}  // namespace smb

@@ -1,0 +1,65 @@
+// ShardedFlowMonitor — K independent ArenaSmbEngine shards partitioned by
+// flow key, the shard layer the parallel per-flow recorder drains.
+//
+// Sharding preserves bit-identity with a single engine: every shard is
+// constructed with the same base seed, a flow's per-flow hash seed
+// depends only on (base_seed, flow), and ShardOf routes all packets of a
+// flow to one shard — so each flow's (r, v, bitmap) evolves exactly as it
+// would in one unsharded engine fed the same per-flow packet order.
+// ShardOf uses an independent mix of the flow key (different from both
+// the table's bucket hash and the per-flow item seed), so shard skew and
+// probe behaviour stay uncorrelated.
+
+#ifndef SMBCARD_FLOW_SHARDED_FLOW_MONITOR_H_
+#define SMBCARD_FLOW_SHARDED_FLOW_MONITOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "flow/arena_smb_engine.h"
+#include "stream/trace_gen.h"
+
+namespace smb {
+
+class ShardedFlowMonitor {
+ public:
+  ShardedFlowMonitor(const ArenaSmbEngine::Config& config,
+                     size_t num_shards);
+
+  ShardedFlowMonitor(ShardedFlowMonitor&&) = default;
+  ShardedFlowMonitor& operator=(ShardedFlowMonitor&&) = default;
+  ShardedFlowMonitor(const ShardedFlowMonitor&) = delete;
+  ShardedFlowMonitor& operator=(const ShardedFlowMonitor&) = delete;
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t ShardOf(uint64_t flow) const;
+
+  // Direct shard access for the parallel recorder's consumer threads;
+  // each shard must be touched by at most one thread at a time.
+  ArenaSmbEngine* shard(size_t k) { return &shards_[k]; }
+  const ArenaSmbEngine* shard(size_t k) const { return &shards_[k]; }
+
+  // Single-threaded convenience paths (route + record).
+  void Record(uint64_t flow, uint64_t element) {
+    shards_[ShardOf(flow)].Record(flow, element);
+  }
+  void RecordBatch(const Packet* packets, size_t n);
+
+  double Query(uint64_t flow) const {
+    return shards_[ShardOf(flow)].Query(flow);
+  }
+  size_t NumFlows() const;
+  std::vector<uint64_t> FlowsOver(double threshold) const;
+  void ForEachFlow(
+      const std::function<void(uint64_t flow, double estimate)>& fn) const;
+  size_t ResidentBytes() const;
+
+ private:
+  std::vector<ArenaSmbEngine> shards_;
+};
+
+}  // namespace smb
+
+#endif  // SMBCARD_FLOW_SHARDED_FLOW_MONITOR_H_

@@ -1,0 +1,69 @@
+// SlabArena — contiguous fixed-stride bitmap storage for the per-flow
+// engine. Every flow's m-bit bitmap occupies `words_per_slot` consecutive
+// uint64 words of one growable slab, so (a) allocating a flow is a bump
+// of the slot count instead of a heap allocation, and (b) walking flows
+// in slot order walks memory sequentially — the access pattern the batch
+// recording pipeline's prefetches are built around.
+//
+// Growth reallocates the slab (std::vector with explicit geometric
+// reserve), so raw word pointers are only valid until the next Allocate().
+// The engine re-derives pointers after the per-block insert stage for
+// exactly this reason.
+
+#ifndef SMBCARD_FLOW_SLAB_ARENA_H_
+#define SMBCARD_FLOW_SLAB_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace smb {
+
+class SlabArena {
+ public:
+  explicit SlabArena(size_t words_per_slot) : stride_(words_per_slot) {
+    SMB_CHECK_MSG(words_per_slot >= 1, "slab slots need at least one word");
+  }
+
+  SlabArena(SlabArena&&) = default;
+  SlabArena& operator=(SlabArena&&) = default;
+  SlabArena(const SlabArena&) = delete;
+  SlabArena& operator=(const SlabArena&) = delete;
+
+  // Appends one zero-filled slot and returns its index.
+  uint32_t Allocate() {
+    const size_t needed = words_.size() + stride_;
+    if (needed > words_.capacity()) {
+      words_.reserve(needed > words_.capacity() * 2 ? needed
+                                                    : words_.capacity() * 2);
+    }
+    words_.resize(needed, 0);
+    return static_cast<uint32_t>(num_slots_++);
+  }
+
+  uint64_t* SlotWords(uint32_t slot) { return words_.data() + slot * stride_; }
+  const uint64_t* SlotWords(uint32_t slot) const {
+    return words_.data() + slot * stride_;
+  }
+  std::span<const uint64_t> SlotSpan(uint32_t slot) const {
+    return {SlotWords(slot), stride_};
+  }
+
+  size_t num_slots() const { return num_slots_; }
+  size_t words_per_slot() const { return stride_; }
+  size_t ResidentBytes() const {
+    return sizeof(*this) + words_.capacity() * sizeof(uint64_t);
+  }
+
+ private:
+  size_t stride_;
+  size_t num_slots_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace smb
+
+#endif  // SMBCARD_FLOW_SLAB_ARENA_H_

@@ -10,4 +10,11 @@ void BatchHashAndRank(const uint64_t* items, size_t n, uint64_t seed,
       items, n, seed, lo_out, rank_out);
 }
 
+void BatchHashAndRankKeyed(const uint64_t* items,
+                           const uint64_t* seed_offsets, size_t n,
+                           uint64_t* lo_out, uint8_t* rank_out) {
+  internal::ActiveKeyedBatchKernelSlot().load(std::memory_order_relaxed)(
+      items, seed_offsets, n, lo_out, rank_out);
+}
+
 }  // namespace smb

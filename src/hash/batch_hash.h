@@ -39,6 +39,23 @@ inline constexpr size_t kBatchBlock = 256;
 void BatchHashAndRank(const uint64_t* items, size_t n, uint64_t seed,
                       uint64_t* lo_out, uint8_t* rank_out);
 
+// Pre-folds a hash seed into the additive offset the keyed batch path
+// consumes: ItemHash128(item, seed) == ItemHash128(item + offset, 0) with
+// offset = seed * phi (mod 2^64), because that product is the only place
+// the seed enters the hash. Lets one kernel call hash lanes that belong to
+// many differently seeded estimators (the per-flow engine's batch path).
+inline constexpr uint64_t ItemSeedOffset(uint64_t seed) {
+  return seed * 0x9E3779B97F4A7C15ULL;
+}
+
+// Keyed counterpart of BatchHashAndRank: lane i is hashed with its own
+// seed, supplied as seed_offsets[i] == ItemSeedOffset(seed_i). Outputs are
+// bit-for-bit what BatchHashAndRank(items + i, 1, seed_i, ...) would
+// produce per lane. Same aliasing/size rules as the unkeyed entry.
+void BatchHashAndRankKeyed(const uint64_t* items,
+                           const uint64_t* seed_offsets, size_t n,
+                           uint64_t* lo_out, uint8_t* rank_out);
+
 }  // namespace smb
 
 #endif  // SMBCARD_HASH_BATCH_HASH_H_

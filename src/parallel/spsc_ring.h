@@ -1,6 +1,7 @@
-// Fixed-capacity single-producer/single-consumer ring buffer of 64-bit
-// items — the lock-free hand-off lane of the parallel recording pipeline.
-// ParallelRecorder allocates one ring per (producer, shard) pair, so each
+// Fixed-capacity single-producer/single-consumer ring buffer of trivially
+// copyable items — the lock-free hand-off lane of the parallel recording
+// pipelines. ParallelRecorder allocates one uint64_t ring per (producer,
+// shard) pair; FlowParallelRecorder does the same with Packet rings. Each
 // ring has exactly one writer thread and one reader thread by construction.
 //
 // Synchronization is the classic SPSC protocol: the producer publishes
@@ -17,6 +18,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "common/bit_util.h"
@@ -24,24 +26,29 @@
 
 namespace smb {
 
-class SpscRing {
+// `T` must be trivially copyable (elements are moved by plain assignment
+// with no per-slot synchronization). The uint64_t instantiation is the
+// item lane of ParallelRecorder; the Packet instantiation is the per-flow
+// recorder's packet lane.
+template <typename T>
+class SpscRingOf {
  public:
   // Creates a ring holding up to `capacity` items; rounded up to a power
   // of two (capacity must be >= 1).
-  explicit SpscRing(size_t capacity)
+  explicit SpscRingOf(size_t capacity)
       : buffer_(size_t{1} << Log2Ceil64(capacity)),
         mask_(buffer_.size() - 1) {
     SMB_CHECK_MSG(capacity >= 1, "SpscRing needs capacity >= 1");
   }
 
-  SpscRing(const SpscRing&) = delete;
-  SpscRing& operator=(const SpscRing&) = delete;
+  SpscRingOf(const SpscRingOf&) = delete;
+  SpscRingOf& operator=(const SpscRingOf&) = delete;
 
   size_t capacity() const { return buffer_.size(); }
 
   // Producer side: appends up to items.size() elements, returns how many
   // were accepted (0 when full). Never blocks.
-  size_t TryPush(std::span<const uint64_t> items) {
+  size_t TryPush(std::span<const T> items) {
     const uint64_t tail = tail_.load(std::memory_order_relaxed);
     size_t free = buffer_.size() - static_cast<size_t>(tail - cached_head_);
     if (free < items.size()) {
@@ -58,7 +65,7 @@ class SpscRing {
 
   // Consumer side: removes up to `max` elements into `out`, returns how
   // many were taken (0 when empty). Never blocks.
-  size_t TryPop(uint64_t* out, size_t max) {
+  size_t TryPop(T* out, size_t max) {
     const uint64_t head = head_.load(std::memory_order_relaxed);
     size_t available = static_cast<size_t>(cached_tail_ - head);
     if (available == 0) {
@@ -75,7 +82,10 @@ class SpscRing {
   }
 
  private:
-  std::vector<uint64_t> buffer_;
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SpscRingOf elements cross threads by plain assignment");
+
+  std::vector<T> buffer_;
   size_t mask_;
   // Producer-owned line: publish index + cached consumer position.
   alignas(64) std::atomic<uint64_t> tail_{0};
@@ -84,6 +94,10 @@ class SpscRing {
   alignas(64) std::atomic<uint64_t> head_{0};
   uint64_t cached_tail_ = 0;
 };
+
+// The original 64-bit-item ring; every ParallelRecorder lane is one of
+// these.
+using SpscRing = SpscRingOf<uint64_t>;
 
 }  // namespace smb
 

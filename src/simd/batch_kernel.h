@@ -32,26 +32,46 @@ using BatchHashRankFn = void (*)(const uint64_t* items, size_t n,
                                  uint64_t seed, uint64_t* lo_out,
                                  uint8_t* rank_out);
 
+// Keyed variant: every lane carries its own seed, pre-folded into a seed
+// offset (hash/batch_hash.h's ItemSeedOffset). Lane i computes exactly
+//   ItemHash128(items[i], seed_i)   where offsets[i] == ItemSeedOffset(seed_i)
+// because ItemHash128's seed only ever enters as the additive term
+// seed * phi before the first fmix64 — so a per-lane add of that term
+// reproduces the per-seed hash bit-for-bit. This is what lets the
+// per-flow engine hash a block of packets belonging to MANY differently
+// seeded flow estimators through one kernel invocation.
+using BatchHashRankKeyedFn = void (*)(const uint64_t* items,
+                                      const uint64_t* offsets, size_t n,
+                                      uint64_t* lo_out, uint8_t* rank_out);
+
 // Portable baseline: 4-way unrolled scalar/SWAR loop. Always compiled; the
 // reference every SIMD variant is fuzz-checked against.
 void BatchHashRankScalar(const uint64_t* items, size_t n, uint64_t seed,
                          uint64_t* lo_out, uint8_t* rank_out);
+void BatchHashRankScalarKeyed(const uint64_t* items, const uint64_t* offsets,
+                              size_t n, uint64_t* lo_out, uint8_t* rank_out);
 
 #if defined(__x86_64__) || defined(_M_X64)
 // 2 lanes per 128-bit vector. SSE2 is the x86-64 ABI baseline, so this
 // variant is runnable on every x86-64 CPU.
 void BatchHashRankSse2(const uint64_t* items, size_t n, uint64_t seed,
                        uint64_t* lo_out, uint8_t* rank_out);
+void BatchHashRankSse2Keyed(const uint64_t* items, const uint64_t* offsets,
+                            size_t n, uint64_t* lo_out, uint8_t* rank_out);
 // 4 lanes per 256-bit vector; compiled with -mavx2 and only dispatched
 // when the CPU reports AVX2 support.
 void BatchHashRankAvx2(const uint64_t* items, size_t n, uint64_t seed,
                        uint64_t* lo_out, uint8_t* rank_out);
+void BatchHashRankAvx2Keyed(const uint64_t* items, const uint64_t* offsets,
+                            size_t n, uint64_t* lo_out, uint8_t* rank_out);
 #endif
 
 #if defined(__aarch64__)
 // 2 lanes per 128-bit vector. NEON/ASIMD is mandatory on AArch64.
 void BatchHashRankNeon(const uint64_t* items, size_t n, uint64_t seed,
                        uint64_t* lo_out, uint8_t* rank_out);
+void BatchHashRankNeonKeyed(const uint64_t* items, const uint64_t* offsets,
+                            size_t n, uint64_t* lo_out, uint8_t* rank_out);
 #endif
 
 }  // namespace smb

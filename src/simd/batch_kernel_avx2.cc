@@ -123,6 +123,46 @@ void BatchHashRankAvx2(const uint64_t* items, size_t n, uint64_t seed,
   }
 }
 
+// Keyed variant: per-lane seed offsets are vector-added to the keys, so
+// only ItemHash128's fixed additive constant is broadcast.
+void BatchHashRankAvx2Keyed(const uint64_t* items, const uint64_t* offsets,
+                            size_t n, uint64_t* lo_out, uint8_t* rank_out) {
+  const __m256i voffset =
+      _mm256_set1_epi64x(static_cast<long long>(0xD1B54A32D192ED03ULL));
+  const __m256i vhi_xor =
+      _mm256_set1_epi64x(static_cast<long long>(0xC2B2AE3D27D4EB4FULL));
+  const __m256i vone = _mm256_set1_epi64x(1);
+  const __m256i vcap = _mm256_set1_epi64x(63);
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i keys_a = _mm256_add_epi64(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(items + i)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(offsets + i)));
+    const __m256i keys_b = _mm256_add_epi64(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(items + i + 4)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(offsets + i + 4)));
+    const Lanes4 a = HashFour(keys_a, voffset, vhi_xor, vone, vcap);
+    const Lanes4 b = HashFour(keys_b, voffset, vhi_xor, vone, vcap);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(lo_out + i), a.lo);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(lo_out + i + 4), b.lo);
+    StoreRanks(a.rank, rank_out + i);
+    StoreRanks(b.rank, rank_out + i + 4);
+  }
+  for (; i + 4 <= n; i += 4) {
+    const __m256i keys = _mm256_add_epi64(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(items + i)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(offsets + i)));
+    const Lanes4 a = HashFour(keys, voffset, vhi_xor, vone, vcap);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(lo_out + i), a.lo);
+    StoreRanks(a.rank, rank_out + i);
+  }
+  for (; i < n; ++i) {
+    const Hash128 hash = ItemHash128(items[i] + offsets[i], 0);
+    lo_out[i] = hash.lo;
+    rank_out[i] = static_cast<uint8_t>(GeometricRank(hash.hi));
+  }
+}
+
 }  // namespace smb
 
 #endif  // defined(__x86_64__) || defined(_M_X64)

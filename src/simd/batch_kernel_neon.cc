@@ -77,6 +77,34 @@ void BatchHashRankNeon(const uint64_t* items, size_t n, uint64_t seed,
   }
 }
 
+// Keyed variant: per-lane seed offsets are vector-added to the keys, so
+// only ItemHash128's fixed additive constant is broadcast.
+void BatchHashRankNeonKeyed(const uint64_t* items, const uint64_t* offsets,
+                            size_t n, uint64_t* lo_out, uint8_t* rank_out) {
+  const uint64x2_t voffset = vdupq_n_u64(0xD1B54A32D192ED03ULL);
+  const uint64x2_t vhi_xor = vdupq_n_u64(0xC2B2AE3D27D4EB4FULL);
+  const uint64x2_t vone = vdupq_n_u64(1);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t keys =
+        vaddq_u64(vld1q_u64(items + i), vld1q_u64(offsets + i));
+    const uint64x2_t lo = Fmix64(vaddq_u64(keys, voffset));
+    vst1q_u64(lo_out + i, lo);
+    const uint64x2_t hi = Fmix64(veorq_u64(lo, vhi_xor));
+    const uint64x2_t below = vbicq_u64(vsubq_u64(hi, vone), hi);
+    const uint64x2_t rank = Popcount64(below);
+    const uint64_t r0 = vgetq_lane_u64(rank, 0);
+    const uint64_t r1 = vgetq_lane_u64(rank, 1);
+    rank_out[i + 0] = static_cast<uint8_t>(r0 > 63 ? 63 : r0);
+    rank_out[i + 1] = static_cast<uint8_t>(r1 > 63 ? 63 : r1);
+  }
+  for (; i < n; ++i) {
+    const Hash128 hash = ItemHash128(items[i] + offsets[i], 0);
+    lo_out[i] = hash.lo;
+    rank_out[i] = static_cast<uint8_t>(GeometricRank(hash.hi));
+  }
+}
+
 }  // namespace smb
 
 #endif  // defined(__aarch64__)

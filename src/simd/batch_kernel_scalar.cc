@@ -38,4 +38,21 @@ void BatchHashRankScalar(const uint64_t* items, size_t n, uint64_t seed,
   }
 }
 
+// Keyed reference: folding the lane's seed offset into the key before a
+// seed-0 hash is exactly ItemHash128(item, seed_i), because the seed only
+// enters ItemHash128 as the additive seed*phi term (mod 2^64).
+void BatchHashRankScalarKeyed(const uint64_t* items, const uint64_t* offsets,
+                              size_t n, uint64_t* lo_out, uint8_t* rank_out) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    OneLane(items[i + 0] + offsets[i + 0], 0, lo_out + i + 0, rank_out + i + 0);
+    OneLane(items[i + 1] + offsets[i + 1], 0, lo_out + i + 1, rank_out + i + 1);
+    OneLane(items[i + 2] + offsets[i + 2], 0, lo_out + i + 2, rank_out + i + 2);
+    OneLane(items[i + 3] + offsets[i + 3], 0, lo_out + i + 3, rank_out + i + 3);
+  }
+  for (; i < n; ++i) {
+    OneLane(items[i] + offsets[i], 0, lo_out + i, rank_out + i);
+  }
+}
+
 }  // namespace smb

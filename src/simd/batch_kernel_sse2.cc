@@ -93,6 +93,41 @@ void BatchHashRankSse2(const uint64_t* items, size_t n, uint64_t seed,
   }
 }
 
+// Keyed variant: each lane adds its own pre-folded seed offset to the key,
+// so the broadcast constant is only ItemHash128's fixed additive term — the
+// per-seed seed*phi term arrives through `offsets`.
+void BatchHashRankSse2Keyed(const uint64_t* items, const uint64_t* offsets,
+                            size_t n, uint64_t* lo_out, uint8_t* rank_out) {
+  const __m128i voffset =
+      _mm_set1_epi64x(static_cast<long long>(0xD1B54A32D192ED03ULL));
+  const __m128i vhi_xor =
+      _mm_set1_epi64x(static_cast<long long>(0xC2B2AE3D27D4EB4FULL));
+  const __m128i vone = _mm_set1_epi64x(1);
+  const __m128i vcap = _mm_set1_epi64x(63);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i keys =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(items + i));
+    const __m128i lane_off =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(offsets + i));
+    const __m128i lo =
+        Fmix64(_mm_add_epi64(_mm_add_epi64(keys, lane_off), voffset));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(lo_out + i), lo);
+    const __m128i hi = Fmix64(_mm_xor_si128(lo, vhi_xor));
+    const __m128i below = _mm_andnot_si128(hi, _mm_sub_epi64(hi, vone));
+    const __m128i rank = _mm_min_epu8(Popcount64(below), vcap);
+    alignas(16) uint64_t lanes[2];
+    _mm_store_si128(reinterpret_cast<__m128i*>(lanes), rank);
+    rank_out[i + 0] = static_cast<uint8_t>(lanes[0]);
+    rank_out[i + 1] = static_cast<uint8_t>(lanes[1]);
+  }
+  for (; i < n; ++i) {
+    const Hash128 hash = ItemHash128(items[i] + offsets[i], 0);
+    lo_out[i] = hash.lo;
+    rank_out[i] = static_cast<uint8_t>(GeometricRank(hash.hi));
+  }
+}
+
 }  // namespace smb
 
 #endif  // defined(__x86_64__) || defined(_M_X64)

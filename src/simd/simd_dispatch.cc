@@ -10,12 +10,15 @@ namespace {
 
 void ResolveTrampoline(const uint64_t* items, size_t n, uint64_t seed,
                        uint64_t* lo_out, uint8_t* rank_out);
+void ResolveKeyedTrampoline(const uint64_t* items, const uint64_t* offsets,
+                            size_t n, uint64_t* lo_out, uint8_t* rank_out);
 
-// The ifunc-style slot: starts at the resolver, then holds the selected
-// kernel forever (or a test override). Relaxed ordering suffices — every
-// value ever stored is a valid kernel with identical observable behaviour,
-// so a racing reader calling a stale pointer is still correct.
+// The ifunc-style slots: each starts at its resolver, then holds the
+// selected kernel forever (or a test override). Relaxed ordering suffices —
+// every value ever stored is a valid kernel with identical observable
+// behaviour, so a racing reader calling a stale pointer is still correct.
 std::atomic<BatchHashRankFn> g_kernel{&ResolveTrampoline};
+std::atomic<BatchHashRankKeyedFn> g_keyed_kernel{&ResolveKeyedTrampoline};
 
 BatchHashRankFn ResolveBest() {
 #if defined(__x86_64__) || defined(_M_X64)
@@ -28,6 +31,17 @@ BatchHashRankFn ResolveBest() {
 #endif
 }
 
+BatchHashRankKeyedFn ResolveBestKeyed() {
+#if defined(__x86_64__) || defined(_M_X64)
+  if (__builtin_cpu_supports("avx2")) return &BatchHashRankAvx2Keyed;
+  return &BatchHashRankSse2Keyed;
+#elif defined(__aarch64__)
+  return &BatchHashRankNeonKeyed;
+#else
+  return &BatchHashRankScalarKeyed;
+#endif
+}
+
 void ResolveTrampoline(const uint64_t* items, size_t n, uint64_t seed,
                        uint64_t* lo_out, uint8_t* rank_out) {
   const BatchHashRankFn fn = ResolveBest();
@@ -35,11 +49,22 @@ void ResolveTrampoline(const uint64_t* items, size_t n, uint64_t seed,
   fn(items, n, seed, lo_out, rank_out);
 }
 
+void ResolveKeyedTrampoline(const uint64_t* items, const uint64_t* offsets,
+                            size_t n, uint64_t* lo_out, uint8_t* rank_out) {
+  const BatchHashRankKeyedFn fn = ResolveBestKeyed();
+  g_keyed_kernel.store(fn, std::memory_order_relaxed);
+  fn(items, offsets, n, lo_out, rank_out);
+}
+
 }  // namespace
 
 namespace internal {
 
 std::atomic<BatchHashRankFn>& ActiveBatchKernelSlot() { return g_kernel; }
+
+std::atomic<BatchHashRankKeyedFn>& ActiveKeyedBatchKernelSlot() {
+  return g_keyed_kernel;
+}
 
 }  // namespace internal
 
@@ -70,6 +95,26 @@ BatchHashRankFn BatchKernelForTesting(BatchKernelKind kind) {
 #if defined(__aarch64__)
     case BatchKernelKind::kNeon:
       return &BatchHashRankNeon;
+#endif
+    default:
+      return nullptr;
+  }
+}
+
+BatchHashRankKeyedFn KeyedBatchKernelForTesting(BatchKernelKind kind) {
+  switch (kind) {
+    case BatchKernelKind::kScalar:
+      return &BatchHashRankScalarKeyed;
+#if defined(__x86_64__) || defined(_M_X64)
+    case BatchKernelKind::kSse2:
+      return &BatchHashRankSse2Keyed;
+    case BatchKernelKind::kAvx2:
+      return __builtin_cpu_supports("avx2") ? &BatchHashRankAvx2Keyed
+                                            : nullptr;
+#endif
+#if defined(__aarch64__)
+    case BatchKernelKind::kNeon:
+      return &BatchHashRankNeonKeyed;
 #endif
     default:
       return nullptr;
@@ -107,13 +152,16 @@ std::string_view BatchDispatchTargetName() {
 
 void ForceBatchKernelForTesting(BatchKernelKind kind) {
   const BatchHashRankFn fn = BatchKernelForTesting(kind);
-  SMB_CHECK_MSG(fn != nullptr,
+  const BatchHashRankKeyedFn keyed = KeyedBatchKernelForTesting(kind);
+  SMB_CHECK_MSG(fn != nullptr && keyed != nullptr,
                 "forced batch kernel is not runnable on this CPU");
   g_kernel.store(fn, std::memory_order_relaxed);
+  g_keyed_kernel.store(keyed, std::memory_order_relaxed);
 }
 
 void ResetBatchKernelDispatch() {
   g_kernel.store(&ResolveTrampoline, std::memory_order_relaxed);
+  g_keyed_kernel.store(&ResolveKeyedTrampoline, std::memory_order_relaxed);
 }
 
 }  // namespace smb

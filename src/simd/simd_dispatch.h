@@ -56,6 +56,9 @@ std::string_view BatchDispatchTargetName();
 // fuzz and kernel micro-benchmarks.
 BatchHashRankFn BatchKernelForTesting(BatchKernelKind kind);
 
+// Same, for the keyed (per-lane seed offset) kernel entry of `kind`.
+BatchHashRankKeyedFn KeyedBatchKernelForTesting(BatchKernelKind kind);
+
 // Pins dispatch to `kind` (which must be runnable) until
 // ResetBatchKernelDispatch(). Test/bench only — not thread-safe against
 // concurrent recording.
@@ -70,6 +73,10 @@ namespace internal {
 // selected kernel after. Only hash/batch_hash.cc should load from it;
 // everything else goes through the named accessors above.
 std::atomic<BatchHashRankFn>& ActiveBatchKernelSlot();
+
+// The keyed kernel's dispatch slot; same trampoline/force/reset lifecycle
+// as the unkeyed slot (ForceBatchKernelForTesting pins both).
+std::atomic<BatchHashRankKeyedFn>& ActiveKeyedBatchKernelSlot();
 
 }  // namespace internal
 

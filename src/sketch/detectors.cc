@@ -7,13 +7,12 @@ namespace smb {
 DetectionReport DetectHighSpread(const PerFlowMonitor& monitor,
                                  double threshold) {
   DetectionReport report;
-  for (const auto& [flow, estimator] : monitor.table()) {
-    const double estimate = estimator->Estimate();
+  monitor.ForEachFlow([&](uint64_t flow, double estimate) {
     if (estimate >= threshold) {
       report.flagged.push_back(flow);
       report.estimates.push_back(estimate);
     }
-  }
+  });
   return report;
 }
 

@@ -30,14 +30,13 @@ std::vector<uint64_t> EpochMonitor::SurgingFlows(double factor,
                                                  double min_spread) const {
   std::vector<uint64_t> out;
   if (completed_ == nullptr) return out;
-  for (const auto& [flow, estimator] : completed_->table()) {
-    const double now = estimator->Estimate();
-    if (now < min_spread) continue;
+  completed_->ForEachFlow([&](uint64_t flow, double now) {
+    if (now < min_spread) return;
     const double before = older_ != nullptr ? older_->Query(flow) : 0.0;
     if (before <= 0.0 || now >= factor * before) {
       out.push_back(flow);
     }
-  }
+  });
   return out;
 }
 

@@ -1,12 +1,46 @@
 #include "sketch/per_flow_monitor.h"
 
+#include "common/macros.h"
 #include "hash/murmur3.h"
 
 namespace smb {
+namespace {
 
-PerFlowMonitor::PerFlowMonitor(const EstimatorSpec& spec) : spec_(spec) {}
+// Legacy-map footprint model (libstdc++-shaped, documented approximation):
+// each unordered_map node carries a next pointer plus the key/value pair,
+// and every heap allocation pays a malloc header; each estimator object
+// adds its own header plus vtable/bookkeeping before its sketch storage.
+constexpr size_t kMallocHeader = 16;
+constexpr size_t kEstimatorObjectBytes = 128;
+
+}  // namespace
+
+PerFlowMonitor::PerFlowMonitor(const EstimatorSpec& spec, Engine engine)
+    : spec_(spec) {
+  std::optional<ArenaSmbEngine::Config> config =
+      ArenaSmbEngine::ConfigForSpec(spec);
+  switch (engine) {
+    case Engine::kAuto:
+      engine_ = config ? Engine::kArena : Engine::kLegacyMap;
+      break;
+    case Engine::kArena:
+      SMB_CHECK_MSG(config.has_value(),
+                    "arena engine requires an SMB spec with packed-metadata "
+                    "geometry");
+      engine_ = Engine::kArena;
+      break;
+    case Engine::kLegacyMap:
+      engine_ = Engine::kLegacyMap;
+      break;
+  }
+  if (engine_ == Engine::kArena) arena_.emplace(*config);
+}
 
 void PerFlowMonitor::Record(uint64_t flow, uint64_t element) {
+  if (arena_) {
+    arena_->Record(flow, element);
+    return;
+  }
   auto it = table_.find(flow);
   if (it == table_.end()) {
     EstimatorSpec spec = spec_;
@@ -18,12 +52,26 @@ void PerFlowMonitor::Record(uint64_t flow, uint64_t element) {
   it->second->Add(element);
 }
 
+void PerFlowMonitor::RecordBatch(const Packet* packets, size_t n) {
+  if (arena_) {
+    arena_->RecordBatch(packets, n);
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) Record(packets[i].flow, packets[i].element);
+}
+
 double PerFlowMonitor::Query(uint64_t flow) const {
+  if (arena_) return arena_->Query(flow);
   const auto it = table_.find(flow);
   return it == table_.end() ? 0.0 : it->second->Estimate();
 }
 
-size_t PerFlowMonitor::TotalMemoryBits() const {
+size_t PerFlowMonitor::NumFlows() const {
+  return arena_ ? arena_->NumFlows() : table_.size();
+}
+
+size_t PerFlowMonitor::SketchBits() const {
+  if (arena_) return arena_->SketchBits();
   size_t total = 0;
   for (const auto& [flow, estimator] : table_) {
     total += estimator->MemoryBits();
@@ -31,12 +79,37 @@ size_t PerFlowMonitor::TotalMemoryBits() const {
   return total;
 }
 
+size_t PerFlowMonitor::ResidentBytes() const {
+  if (arena_) return sizeof(*this) + arena_->ResidentBytes();
+  size_t bytes = sizeof(*this);
+  bytes += table_.bucket_count() * sizeof(void*);
+  using Node = std::pair<const uint64_t, std::unique_ptr<CardinalityEstimator>>;
+  for (const auto& [flow, estimator] : table_) {
+    bytes += sizeof(Node) + sizeof(void*) + kMallocHeader;  // map node
+    bytes += kEstimatorObjectBytes + kMallocHeader;         // estimator object
+    bytes += estimator->MemoryBits() / 8;                   // sketch storage
+  }
+  return bytes;
+}
+
 std::vector<uint64_t> PerFlowMonitor::FlowsOver(double threshold) const {
+  if (arena_) return arena_->FlowsOver(threshold);
   std::vector<uint64_t> out;
   for (const auto& [flow, estimator] : table_) {
     if (estimator->Estimate() >= threshold) out.push_back(flow);
   }
   return out;
+}
+
+void PerFlowMonitor::ForEachFlow(
+    const std::function<void(uint64_t, double)>& fn) const {
+  if (arena_) {
+    arena_->ForEachFlow(fn);
+    return;
+  }
+  for (const auto& [flow, estimator] : table_) {
+    fn(flow, estimator->Estimate());
+  }
 }
 
 }  // namespace smb

@@ -2,26 +2,49 @@
 // introduction and Section V-F: one estimator instance per data stream
 // (flow), allocated lazily on the flow's first packet, each with an
 // independently evolving sampling probability.
+//
+// Two interchangeable engines sit behind this API:
+//   kArena     — flow/arena_smb_engine.h: flat flow table + SoA morph
+//                metadata + contiguous bitmap slab, with a keyed SIMD
+//                batch path. The default whenever the spec is an SMB
+//                whose (m, T) fits the packed 32-bit metadata.
+//   kLegacyMap — the original unordered_map<flow, unique_ptr<estimator>>;
+//                any estimator kind, any geometry.
+// Both produce bit-identical estimates for the same spec and stream (the
+// arena engine derives per-flow seeds exactly the way this class always
+// has); the equivalence suite pins this.
 
 #ifndef SMBCARD_SKETCH_PER_FLOW_MONITOR_H_
 #define SMBCARD_SKETCH_PER_FLOW_MONITOR_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "estimators/estimator_factory.h"
+#include "flow/arena_smb_engine.h"
 #include "stream/trace_gen.h"
 
 namespace smb {
 
 class PerFlowMonitor {
  public:
+  enum class Engine {
+    // Arena when the spec supports it, legacy map otherwise.
+    kAuto,
+    kLegacyMap,
+    kArena,  // requires ArenaSmbEngine::ConfigForSpec(spec) to succeed
+  };
+
   // Every flow's estimator is created from `spec` (same memory budget and
   // design cardinality), with a per-flow-decorrelated hash seed.
-  explicit PerFlowMonitor(const EstimatorSpec& spec);
+  explicit PerFlowMonitor(const EstimatorSpec& spec,
+                          Engine engine = Engine::kAuto);
 
   PerFlowMonitor(const PerFlowMonitor&) = delete;
   PerFlowMonitor& operator=(const PerFlowMonitor&) = delete;
@@ -35,29 +58,52 @@ class PerFlowMonitor {
     Record(packet.flow, packet.element);
   }
 
+  // Batch recording; on the arena engine this is the prefetch-pipelined
+  // keyed SIMD path. Bit-identical to per-packet Record() in order.
+  void RecordBatch(const Packet* packets, size_t n);
+  void RecordBatch(std::span<const Packet> packets) {
+    RecordBatch(packets.data(), packets.size());
+  }
+
   // Estimated spread of `flow`; 0 for never-seen flows.
   double Query(uint64_t flow) const;
 
-  size_t NumFlows() const { return table_.size(); }
+  size_t NumFlows() const;
 
-  // Total memory across all flow estimators, in bits.
-  size_t TotalMemoryBits() const;
+  // True memory footprint of the monitor in bits: sketch storage PLUS the
+  // container machinery holding it (hash-table buckets, per-flow heap
+  // nodes and allocator overhead for the legacy map; flow table, metadata
+  // arrays and slab for the arena). Equals 8 * ResidentBytes(). The old
+  // implementation summed estimator MemoryBits() only — that figure is
+  // now SketchBits().
+  size_t TotalMemoryBits() const { return ResidentBytes() * 8; }
+
+  // Logical sketch bits only (sum of per-flow estimator MemoryBits()).
+  size_t SketchBits() const;
+
+  // Best-effort resident byte count of the whole monitor. Exact for the
+  // arena engine's owned arrays; for the legacy map the per-node and
+  // per-object allocator overheads are modeled constants.
+  size_t ResidentBytes() const;
 
   // Flows whose current estimate is >= threshold (the scan/DDoS detection
   // primitive).
   std::vector<uint64_t> FlowsOver(double threshold) const;
 
+  // Calls fn(flow, estimate) for every tracked flow. Iteration order is
+  // unspecified. This replaces the old mutable-internals table() accessor.
+  void ForEachFlow(
+      const std::function<void(uint64_t flow, double estimate)>& fn) const;
+
   const EstimatorSpec& spec() const { return spec_; }
 
-  // Iteration support for benches.
-  const std::unordered_map<uint64_t,
-                           std::unique_ptr<CardinalityEstimator>>&
-  table() const {
-    return table_;
-  }
+  // The engine actually in use (never kAuto).
+  Engine engine() const { return engine_; }
 
  private:
   EstimatorSpec spec_;
+  Engine engine_ = Engine::kLegacyMap;
+  std::optional<ArenaSmbEngine> arena_;
   std::unordered_map<uint64_t, std::unique_ptr<CardinalityEstimator>> table_;
 };
 

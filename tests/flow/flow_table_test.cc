@@ -1,0 +1,180 @@
+// FlowTable unit tests: insert/find identity, incremental rehash
+// correctness (lookups straddling a drain, moved-mark probe chains),
+// probe-length reporting, and footprint accounting.
+
+#include "flow/flow_table.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+namespace smb {
+namespace {
+
+uint32_t InsertNew(FlowTable& table, uint64_t key, uint32_t slot) {
+  bool inserted = false;
+  uint32_t probe_len = 0;
+  const uint32_t got = table.FindOrInsert(key, FlowTable::BucketHash(key),
+                                          slot, &inserted, &probe_len);
+  EXPECT_TRUE(inserted) << "key " << key;
+  EXPECT_EQ(got, slot);
+  EXPECT_GE(probe_len, 1u);
+  return got;
+}
+
+TEST(FlowTableTest, EmptyTableFindsNothing) {
+  FlowTable table;
+  const auto probe = table.Find(42, FlowTable::BucketHash(42));
+  EXPECT_FALSE(probe.found);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(FlowTableTest, InsertThenFindReturnsSameSlot) {
+  FlowTable table;
+  InsertNew(table, 10, 0);
+  InsertNew(table, 11, 1);
+  InsertNew(table, 12, 2);
+  EXPECT_EQ(table.size(), 3u);
+
+  for (uint64_t key = 10; key <= 12; ++key) {
+    const auto probe = table.Find(key, FlowTable::BucketHash(key));
+    ASSERT_TRUE(probe.found) << key;
+    EXPECT_EQ(probe.slot, static_cast<uint32_t>(key - 10));
+  }
+  EXPECT_FALSE(table.Find(13, FlowTable::BucketHash(13)).found);
+}
+
+TEST(FlowTableTest, FindOrInsertIsIdempotentPerKey) {
+  FlowTable table;
+  InsertNew(table, 7, 0);
+  bool inserted = true;
+  uint32_t probe_len = 0;
+  const uint32_t got = table.FindOrInsert(7, FlowTable::BucketHash(7),
+                                          /*new_slot=*/99, &inserted,
+                                          &probe_len);
+  EXPECT_FALSE(inserted);
+  EXPECT_EQ(got, 0u);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(FlowTableTest, CapacityIsRoundedUpToPowerOfTwo) {
+  EXPECT_EQ(FlowTable(0).capacity(), 16u);
+  EXPECT_EQ(FlowTable(16).capacity(), 16u);
+  EXPECT_EQ(FlowTable(17).capacity(), 32u);
+  EXPECT_EQ(FlowTable(100).capacity(), 128u);
+}
+
+// The core rehash correctness check: grow the table far past several
+// doublings while continuously verifying every previously inserted key
+// still resolves to its slot — including mid-drain, where a key may live
+// in either generation behind moved marks.
+TEST(FlowTableTest, LookupsSurviveIncrementalRehashes) {
+  FlowTable table(16);
+  std::mt19937_64 rng(123);
+  std::unordered_map<uint64_t, uint32_t> reference;
+  for (uint32_t slot = 0; slot < 5000; ++slot) {
+    uint64_t key;
+    do {
+      key = rng();
+    } while (reference.count(key) != 0);
+    InsertNew(table, key, slot);
+    reference.emplace(key, slot);
+
+    // Every 97 inserts, audit the whole reference map. This lands at many
+    // different drain offsets across the table's growth history.
+    if (slot % 97 == 0) {
+      for (const auto& [k, s] : reference) {
+        const auto probe = table.Find(k, FlowTable::BucketHash(k));
+        ASSERT_TRUE(probe.found) << "key lost at size " << reference.size();
+        ASSERT_EQ(probe.slot, s);
+      }
+    }
+  }
+  EXPECT_EQ(table.size(), 5000u);
+  EXPECT_GE(table.capacity(), 5000u);
+  for (const auto& [k, s] : reference) {
+    const auto probe = table.Find(k, FlowTable::BucketHash(k));
+    ASSERT_TRUE(probe.found);
+    ASSERT_EQ(probe.slot, s);
+  }
+}
+
+TEST(FlowTableTest, RehashEventuallyCompletes) {
+  FlowTable table(16);
+  // Push just past the 3/4 load factor to start a drain...
+  for (uint32_t slot = 0; slot < 13; ++slot) InsertNew(table, slot * 31 + 1, slot);
+  EXPECT_TRUE(table.rehash_in_progress());
+  // ...then keep mutating; the bounded per-call migration budget must
+  // finish the drain well within size/kMigrateEntries further calls.
+  for (uint32_t slot = 13; slot < 40; ++slot) {
+    InsertNew(table, slot * 31 + 1, slot);
+  }
+  EXPECT_FALSE(table.rehash_in_progress());
+  for (uint32_t slot = 0; slot < 40; ++slot) {
+    const uint64_t key = slot * 31 + 1;
+    const auto probe = table.Find(key, FlowTable::BucketHash(key));
+    ASSERT_TRUE(probe.found) << slot;
+    EXPECT_EQ(probe.slot, slot);
+  }
+}
+
+TEST(FlowTableTest, DuplicateHitDuringDrainDoesNotDuplicate) {
+  FlowTable table(16);
+  for (uint32_t slot = 0; slot < 13; ++slot) InsertNew(table, slot + 100, slot);
+  ASSERT_TRUE(table.rehash_in_progress());
+  // Re-resolve every key while the drain is in flight: each must come
+  // back found (not re-inserted), and size must not move.
+  for (uint32_t slot = 0; slot < 13; ++slot) {
+    bool inserted = true;
+    uint32_t probe_len = 0;
+    const uint32_t got =
+        table.FindOrInsert(slot + 100, FlowTable::BucketHash(slot + 100),
+                           /*new_slot=*/999, &inserted, &probe_len);
+    EXPECT_FALSE(inserted) << slot;
+    EXPECT_EQ(got, slot);
+  }
+  EXPECT_EQ(table.size(), 13u);
+}
+
+TEST(FlowTableTest, ProbeLengthsAreShortAtModerateLoad) {
+  FlowTable table(1024);
+  std::mt19937_64 rng(7);
+  uint64_t total_probe = 0;
+  const uint32_t n = 512;  // load factor 1/2, no growth
+  for (uint32_t slot = 0; slot < n; ++slot) {
+    bool inserted = false;
+    uint32_t probe_len = 0;
+    const uint64_t key = rng();
+    table.FindOrInsert(key, FlowTable::BucketHash(key), slot, &inserted,
+                       &probe_len);
+    total_probe += probe_len;
+  }
+  // Expected probe length for linear probing at load 1/2 is ~1.5; allow
+  // generous slack.
+  EXPECT_LT(static_cast<double>(total_probe) / n, 4.0);
+}
+
+TEST(FlowTableTest, ResidentBytesTracksCapacity) {
+  FlowTable table(64);
+  const size_t before = table.ResidentBytes();
+  EXPECT_GE(before, 64 * (sizeof(uint64_t) + sizeof(uint32_t)));
+  std::mt19937_64 rng(9);
+  for (uint32_t slot = 0; slot < 1000; ++slot) InsertNew(table, rng(), slot);
+  EXPECT_GT(table.ResidentBytes(), before);
+}
+
+TEST(FlowTableTest, BucketHashMatchesItemHash) {
+  // The batch pipeline relies on this exact identity to produce bucket
+  // hashes through the SIMD kernel.
+  for (uint64_t key : {uint64_t{0}, uint64_t{1}, ~uint64_t{0},
+                       uint64_t{0x123456789ABCDEF0}}) {
+    EXPECT_EQ(FlowTable::BucketHash(key),
+              ItemHash128(key, FlowTable::kHashSeed).lo);
+  }
+}
+
+}  // namespace
+}  // namespace smb

@@ -117,6 +117,68 @@ TEST(BatchKernelTest, ForceAndResetControlTheEntryPoint) {
   EXPECT_EQ(rank_forced, rank_auto);
 }
 
+// The keyed kernels take a per-lane additive seed offset instead of one
+// broadcast seed; each lane must match ItemHash128(item, seed) for the
+// seed its offset encodes (offset = seed * golden-gamma, the premixing
+// constant — see hash/batch_hash.h ItemSeedOffset).
+void ExpectKeyedMatchesReference(BatchHashRankKeyedFn fn, const char* name) {
+  std::mt19937_64 rng(173);
+  std::vector<size_t> lengths;
+  for (size_t n = 0; n <= 17; ++n) lengths.push_back(n);
+  lengths.insert(lengths.end(), {31, 64, 65, 127, 256, 301});
+  for (size_t n : lengths) {
+    const std::vector<uint64_t> items = RandomItems(n, rng());
+    std::vector<uint64_t> seeds(n);
+    std::vector<uint64_t> offsets(n);
+    for (size_t i = 0; i < n; ++i) {
+      // Mix distinct and repeated seeds, including 0.
+      seeds[i] = (i % 3 == 0) ? 0 : rng();
+      offsets[i] = ItemSeedOffset(seeds[i]);
+    }
+    std::vector<uint64_t> lo(n + 1, 0xDEADBEEF);
+    std::vector<uint8_t> rank(n + 1, 0xEE);
+    fn(items.data(), offsets.data(), n, lo.data(), rank.data());
+    for (size_t i = 0; i < n; ++i) {
+      const Hash128 hash = ItemHash128(items[i], seeds[i]);
+      ASSERT_EQ(lo[i], hash.lo) << name << " lo lane " << i << " of " << n;
+      ASSERT_EQ(rank[i], GeometricRank(hash.hi))
+          << name << " rank lane " << i << " of " << n;
+    }
+    ASSERT_EQ(lo[n], 0xDEADBEEFu) << name;
+    ASSERT_EQ(rank[n], 0xEE) << name;
+  }
+}
+
+TEST(BatchKernelTest, EveryRunnableKeyedVariantMatchesPerItemHash) {
+  for (BatchKernelKind kind : RunnableBatchKernels()) {
+    const BatchHashRankKeyedFn fn = KeyedBatchKernelForTesting(kind);
+    ASSERT_NE(fn, nullptr);
+    ExpectKeyedMatchesReference(fn, BatchKernelKindName(kind).data());
+  }
+}
+
+TEST(BatchKernelTest, ForcePinsKeyedEntryPointToo) {
+  DispatchGuard guard;
+  const std::vector<uint64_t> items = RandomItems(64, 21);
+  std::vector<uint64_t> offsets(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    offsets[i] = ItemSeedOffset(i * 17);
+  }
+  std::vector<uint64_t> lo_forced(items.size());
+  std::vector<uint8_t> rank_forced(items.size());
+  std::vector<uint64_t> lo_auto(items.size());
+  std::vector<uint8_t> rank_auto(items.size());
+
+  ForceBatchKernelForTesting(BatchKernelKind::kScalar);
+  BatchHashAndRankKeyed(items.data(), offsets.data(), items.size(),
+                        lo_forced.data(), rank_forced.data());
+  ResetBatchKernelDispatch();
+  BatchHashAndRankKeyed(items.data(), offsets.data(), items.size(),
+                        lo_auto.data(), rank_auto.data());
+  EXPECT_EQ(lo_forced, lo_auto);
+  EXPECT_EQ(rank_forced, rank_auto);
+}
+
 TEST(BatchKernelTest, RanksNeverExceedGeometricCap) {
   for (BatchKernelKind kind : RunnableBatchKernels()) {
     const BatchHashRankFn fn = BatchKernelForTesting(kind);

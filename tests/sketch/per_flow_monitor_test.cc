@@ -82,11 +82,76 @@ TEST(PerFlowMonitorTest, FlowsOverThreshold) {
   EXPECT_EQ(over[0], 7u);
 }
 
-TEST(PerFlowMonitorTest, TotalMemoryScalesWithFlows) {
+TEST(PerFlowMonitorTest, SketchBitsScaleWithFlows) {
   PerFlowMonitor monitor(SmbSpec(5000));
   for (uint64_t flow = 0; flow < 10; ++flow) monitor.Record(flow, 1);
-  EXPECT_GE(monitor.TotalMemoryBits(), 10u * 5000u);
-  EXPECT_LE(monitor.TotalMemoryBits(), 10u * 5100u);
+  EXPECT_GE(monitor.SketchBits(), 10u * 5000u);
+  EXPECT_LE(monitor.SketchBits(), 10u * 5100u);
+}
+
+TEST(PerFlowMonitorTest, TotalMemoryBitsCountsContainerOverhead) {
+  // TotalMemoryBits() reports the true resident footprint, which is
+  // strictly larger than the logical sketch bits on both engines: the
+  // arena pays for the flow table and metadata arrays, the legacy map
+  // for buckets, nodes, and allocator headers.
+  for (PerFlowMonitor::Engine engine :
+       {PerFlowMonitor::Engine::kArena, PerFlowMonitor::Engine::kLegacyMap}) {
+    PerFlowMonitor monitor(SmbSpec(5000), engine);
+    for (uint64_t flow = 0; flow < 10; ++flow) monitor.Record(flow, 1);
+    EXPECT_GT(monitor.TotalMemoryBits(), monitor.SketchBits());
+    EXPECT_EQ(monitor.TotalMemoryBits(), monitor.ResidentBytes() * 8);
+  }
+}
+
+TEST(PerFlowMonitorTest, AutoSelectsArenaForSmbSpec) {
+  PerFlowMonitor monitor(SmbSpec());
+  EXPECT_EQ(monitor.engine(), PerFlowMonitor::Engine::kArena);
+}
+
+TEST(PerFlowMonitorTest, AutoFallsBackToLegacyForNonSmb) {
+  EstimatorSpec spec = SmbSpec();
+  spec.kind = EstimatorKind::kHll;
+  PerFlowMonitor monitor(spec);
+  EXPECT_EQ(monitor.engine(), PerFlowMonitor::Engine::kLegacyMap);
+  for (uint64_t i = 0; i < 5000; ++i) monitor.Record(1, i);
+  EXPECT_NEAR(monitor.Query(1), 5000.0, 2000.0);
+}
+
+TEST(PerFlowMonitorTest, ForEachFlowVisitsEveryFlowOnce) {
+  for (PerFlowMonitor::Engine engine :
+       {PerFlowMonitor::Engine::kArena, PerFlowMonitor::Engine::kLegacyMap}) {
+    PerFlowMonitor monitor(SmbSpec(), engine);
+    for (uint64_t flow = 0; flow < 50; ++flow) {
+      for (uint64_t e = 0; e < 20; ++e) monitor.Record(flow, e);
+    }
+    std::vector<bool> seen(50, false);
+    monitor.ForEachFlow([&](uint64_t flow, double estimate) {
+      ASSERT_LT(flow, 50u);
+      EXPECT_FALSE(seen[flow]) << "flow visited twice: " << flow;
+      seen[flow] = true;
+      EXPECT_NEAR(estimate, monitor.Query(flow), 1e-12);
+    });
+    for (uint64_t flow = 0; flow < 50; ++flow) EXPECT_TRUE(seen[flow]) << flow;
+  }
+}
+
+TEST(PerFlowMonitorTest, RecordBatchMatchesRecord) {
+  TraceConfig config;
+  config.num_flows = 64;
+  config.max_cardinality = 2000;
+  config.seed = 11;
+  const Trace trace = GenerateTrace(config);
+  for (PerFlowMonitor::Engine engine :
+       {PerFlowMonitor::Engine::kArena, PerFlowMonitor::Engine::kLegacyMap}) {
+    PerFlowMonitor batched(SmbSpec(), engine);
+    PerFlowMonitor sequential(SmbSpec(), engine);
+    batched.RecordBatch(trace.packets);
+    for (const Packet& p : trace.packets) sequential.RecordPacket(p);
+    ASSERT_EQ(batched.NumFlows(), sequential.NumFlows());
+    for (size_t f = 0; f < trace.num_flows(); ++f) {
+      EXPECT_EQ(batched.Query(f), sequential.Query(f)) << "flow " << f;
+    }
+  }
 }
 
 TEST(PerFlowMonitorTest, WorksWithEveryEstimatorKind) {

@@ -42,6 +42,13 @@
 //                  when done. Needs a serializable estimator (SMB, HLL++).
 //   --checkpoint-interval SECONDS
 //                  also checkpoint every SECONDS seconds while recording
+//   --per-flow     input lines are `flow,element` pairs (decimal or
+//                  0x-hex, `#` comments and blank lines skipped — the
+//                  trace_gen tool emits this format); tracks one
+//                  estimator per flow and prints the top spreads as
+//                  `flow<TAB>estimate` lines. --memory/--design size each
+//                  per-flow estimator. SMB specs run on the arena engine.
+//   --top K        (with --per-flow) flows printed (default 10)
 //   FILE...        input files; stdin when none given
 //
 // Examples:
@@ -51,9 +58,11 @@
 //   smbcard --load day1.smb < day2.txt   # cardinality of day1 ∪ day2
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <utility>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
@@ -73,6 +82,8 @@
 #include "io/checkpoint_store.h"
 #include "parallel/parallel_recorder.h"
 #include "parallel/sharded_estimator.h"
+#include "sketch/per_flow_monitor.h"
+#include "stream/trace_gen.h"
 #include "telemetry/exporter.h"
 #include "telemetry/metrics_registry.h"
 
@@ -94,6 +105,9 @@ struct CliOptions {
   uint64_t checkpoint_interval_s = 0;  // 0 = final checkpoint only
   smb::OverloadPolicy overload_policy = smb::OverloadPolicy::kBlock;
   bool overload_policy_set = false;
+  bool per_flow = false;
+  size_t top_k = 10;
+  bool top_k_set = false;
   std::vector<std::string> inputs;
 };
 
@@ -106,7 +120,8 @@ void PrintUsageAndExit(const char* argv0) {
                "               [--checkpoint-dir DIR] "
                "[--checkpoint-interval SECONDS]\n"
                "               [--metrics-out FILE] "
-               "[--metrics-interval SECONDS] [FILE...]\n",
+               "[--metrics-interval SECONDS]\n"
+               "               [--per-flow [--top K]] [FILE...]\n",
                argv0);
   std::exit(2);
 }
@@ -146,6 +161,11 @@ CliOptions ParseArgs(int argc, char** argv) {
     } else if (arg == "--checkpoint-interval") {
       options.checkpoint_interval_s =
           std::strtoull(next_value(), nullptr, 10);
+    } else if (arg == "--per-flow") {
+      options.per_flow = true;
+    } else if (arg == "--top") {
+      options.top_k = std::strtoul(next_value(), nullptr, 10);
+      options.top_k_set = true;
     } else if (arg == "--overload-policy") {
       const std::string name = next_value();
       options.overload_policy_set = true;
@@ -421,6 +441,93 @@ int RunParallel(const CliOptions& options) {
   return checkpoint_ok ? 0 : 1;
 }
 
+// --per-flow: one estimator per flow over `flow,element` input lines,
+// top spreads printed as `flow<TAB>estimate`. The same line grammar as
+// stream/trace_io.h's CSV import, parsed here so the *original* flow
+// keys survive to the output (the trace importer densifies them).
+bool ParseU64Field(const std::string& text, uint64_t* out) {
+  const size_t first = text.find_first_not_of(" \t\r");
+  if (first == std::string::npos) return false;
+  errno = 0;
+  char* end = nullptr;
+  *out = std::strtoull(text.c_str() + first, &end, 0);
+  if (errno != 0 || end == text.c_str() + first) return false;
+  while (*end == ' ' || *end == '\t' || *end == '\r') ++end;
+  return *end == '\0';
+}
+
+int RunPerFlow(const CliOptions& options) {
+  const auto kind = smb::EstimatorKindFromName(options.algo);
+  if (!kind.has_value()) {
+    std::fprintf(stderr, "unknown algorithm '%s'\n", options.algo.c_str());
+    return 2;
+  }
+  smb::EstimatorSpec spec;
+  spec.kind = *kind;
+  spec.memory_bits = options.memory_bits;
+  spec.design_cardinality = options.design_cardinality;
+  spec.hash_seed = options.seed;
+  smb::PerFlowMonitor monitor(spec);
+
+  // Batch packets so SMB specs go down the arena engine's keyed SIMD
+  // pipeline instead of packet-at-a-time.
+  std::vector<smb::Packet> pending;
+  pending.reserve(4096);
+  uint64_t line_number = 0;
+  bool parse_failed = false;
+  uint64_t failed_line = 0;
+  FeedAllInputs(options, [&](const std::string& line) {
+    ++line_number;
+    if (parse_failed) return;
+    const size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') return;
+    const size_t comma = line.find(',');
+    uint64_t flow = 0;
+    uint64_t element = 0;
+    if (comma == std::string::npos ||
+        !ParseU64Field(line.substr(0, comma), &flow) ||
+        !ParseU64Field(line.substr(comma + 1), &element)) {
+      parse_failed = true;
+      failed_line = line_number;
+      return;
+    }
+    pending.push_back(smb::Packet{flow, element});
+    if (pending.size() == pending.capacity()) {
+      monitor.RecordBatch(pending);
+      pending.clear();
+    }
+  });
+  if (parse_failed) {
+    std::fprintf(stderr,
+                 "input line %llu is not a flow,element pair\n",
+                 static_cast<unsigned long long>(failed_line));
+    return 1;
+  }
+  monitor.RecordBatch(pending);
+
+  std::vector<std::pair<uint64_t, double>> spreads;
+  spreads.reserve(monitor.NumFlows());
+  monitor.ForEachFlow([&](uint64_t flow, double estimate) {
+    spreads.emplace_back(flow, estimate);
+  });
+  const size_t k = std::min(options.top_k, spreads.size());
+  std::partial_sort(spreads.begin(),
+                    spreads.begin() + static_cast<std::ptrdiff_t>(k),
+                    spreads.end(), [](const auto& a, const auto& b) {
+                      if (a.second != b.second) return a.second > b.second;
+                      return a.first < b.first;
+                    });
+  for (size_t i = 0; i < k; ++i) {
+    std::printf("%llu\t%.0f\n",
+                static_cast<unsigned long long>(spreads[i].first),
+                spreads[i].second);
+  }
+  std::fprintf(stderr, "%zu flows over %llu input lines\n",
+               monitor.NumFlows(),
+               static_cast<unsigned long long>(line_number));
+  return 0;
+}
+
 int RunSingle(const CliOptions& options) {
   const bool wants_state =
       !options.save_path.empty() || !options.load_path.empty();
@@ -559,6 +666,18 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--metrics-interval requires --metrics-out\n");
     return 2;
   }
+  if (options.top_k_set && !options.per_flow) {
+    std::fprintf(stderr, "--top requires --per-flow\n");
+    return 2;
+  }
+  if (options.per_flow &&
+      (options.all || parallel || !options.save_path.empty() ||
+       !options.load_path.empty() || !options.checkpoint_dir.empty())) {
+    std::fprintf(stderr,
+                 "--per-flow cannot be combined with --all, --threads, "
+                 "--shards, --save, --load, or --checkpoint-dir\n");
+    return 2;
+  }
   if (options.overload_policy_set && !parallel) {
     std::fprintf(stderr,
                  "--overload-policy requires --threads/--shards\n");
@@ -615,8 +734,11 @@ int main(int argc, char** argv) {
     PeriodicMetricsWriter periodic(
         options.metrics_out,
         options.metrics_out.empty() ? 0 : options.metrics_interval_s);
-    rc = parallel ? RunParallel(options)
-                  : (options.all ? RunAll(options) : RunSingle(options));
+    rc = options.per_flow
+             ? RunPerFlow(options)
+             : (parallel ? RunParallel(options)
+                         : (options.all ? RunAll(options)
+                                        : RunSingle(options)));
   }
   if (!options.metrics_out.empty()) {
     if (!WriteMetricsSnapshot(options.metrics_out)) {

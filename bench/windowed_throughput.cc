@@ -1,0 +1,333 @@
+// Windowed SMB queries (DESIGN.md §13): cost and accuracy of the
+// morph-aware replay merge that powers JumpingWindow<SelfMorphingBitmap>
+// and EpochMonitor::QueryWindow. Emits BENCH_windowed.json (override with
+// --json=PATH):
+//
+//   * merge          — MergeFrom cost over random round pairs (two
+//                      sketches at independently drawn cardinalities, so
+//                      the replay spans the (r, v) x (r', v') grid)
+//   * windowed_query — EpochMonitor::QueryWindow latency on the arena
+//                      per-flow engine (snapshot + K-way merge per call)
+//   * accuracy       — JumpingWindow<SMB> and QueryWindow against an
+//                      exact-set oracle over random record/rotation
+//                      interleavings
+//
+// The accuracy section is the CI gate: the documented DESIGN.md §13 bound
+// (relative error <= 0.08 x K for a K-way merge window, mean <= 0.03 x K)
+// must hold at every scale; a merge-quality regression fails the smoke
+// run, not just the nightly sweep.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/json_writer.h"
+#include "common/timer.h"
+#include "core/self_morphing_bitmap.h"
+#include "sketch/epoch_monitor.h"
+#include "sketch/jumping_window.h"
+
+namespace smb::bench {
+namespace {
+
+constexpr uint64_t kHashSeed = 29;
+constexpr size_t kSketchBits = 4096;
+constexpr uint64_t kDesignCardinality = 1000000;
+
+// DESIGN.md §13 documented bound for a K-way merged window, relative to
+// the true union cardinality.
+double PerQueryBound(size_t merged_sketches) {
+  return 0.08 * static_cast<double>(merged_sketches);
+}
+double MeanBound(size_t merged_sketches) {
+  return 0.03 * static_cast<double>(merged_sketches);
+}
+
+struct MergeCost {
+  size_t pairs = 0;
+  double merges_per_sec = 0.0;
+  double mean_merge_us = 0.0;
+};
+
+// Times MergeFrom over `pairs` random (cardinality_a, cardinality_b)
+// pairs. Targets are pre-cloned so the timed loop holds only the merge.
+MergeCost MeasureMergeCost(size_t pairs) {
+  std::mt19937_64 rng(101);
+  std::uniform_real_distribution<double> log_n(std::log(100.0),
+                                               std::log(200000.0));
+  std::vector<SelfMorphingBitmap> targets;
+  std::vector<SelfMorphingBitmap> sources;
+  targets.reserve(pairs);
+  sources.reserve(pairs);
+  for (size_t p = 0; p < pairs; ++p) {
+    auto a = SelfMorphingBitmap::WithOptimalThreshold(
+        kSketchBits, kDesignCardinality, kHashSeed);
+    auto b = SelfMorphingBitmap::WithOptimalThreshold(
+        kSketchBits, kDesignCardinality, kHashSeed);
+    const auto na = static_cast<uint64_t>(std::exp(log_n(rng)));
+    const auto nb = static_cast<uint64_t>(std::exp(log_n(rng)));
+    const uint64_t base_a = rng();
+    const uint64_t base_b = rng();
+    for (uint64_t i = 0; i < na; ++i) a.Add(base_a + i);
+    for (uint64_t i = 0; i < nb; ++i) b.Add(base_b + i);
+    targets.push_back(std::move(a));
+    sources.push_back(std::move(b));
+  }
+  WallTimer timer;
+  for (size_t p = 0; p < pairs; ++p) targets[p].MergeFrom(sources[p]);
+  const double seconds = timer.ElapsedSeconds();
+  MergeCost cost;
+  cost.pairs = pairs;
+  cost.merges_per_sec = static_cast<double>(pairs) / seconds;
+  cost.mean_merge_us = seconds * 1e6 / static_cast<double>(pairs);
+  return cost;
+}
+
+struct QueryLatency {
+  size_t flows = 0;
+  size_t epochs = 0;
+  size_t queries = 0;
+  double queries_per_sec = 0.0;
+  double mean_query_us = 0.0;
+};
+
+QueryLatency MeasureWindowedQuery(size_t flows, size_t epochs,
+                                  size_t queries) {
+  EstimatorSpec spec;
+  spec.kind = EstimatorKind::kSmb;
+  spec.memory_bits = 2000;
+  spec.design_cardinality = 100000;
+  spec.hash_seed = kHashSeed;
+  EpochMonitor monitor(spec, /*window_epochs=*/epochs);
+  std::mt19937_64 rng(211);
+  std::uniform_int_distribution<uint64_t> flow_of(0, flows - 1);
+  for (size_t e = 0; e < epochs; ++e) {
+    for (size_t i = 0; i < flows * 40; ++i) {
+      monitor.Record(flow_of(rng), rng());
+    }
+    monitor.AdvanceEpoch();
+  }
+  double sink = 0.0;
+  WallTimer timer;
+  for (size_t q = 0; q < queries; ++q) {
+    sink += monitor.QueryWindow(flow_of(rng), epochs);
+  }
+  const double seconds = timer.ElapsedSeconds();
+  QueryLatency latency;
+  latency.flows = flows;
+  latency.epochs = epochs;
+  latency.queries = queries;
+  latency.queries_per_sec = static_cast<double>(queries) / seconds;
+  latency.mean_query_us = seconds * 1e6 / static_cast<double>(queries);
+  if (sink < 0.0) std::printf("unreachable %f\n", sink);
+  return latency;
+}
+
+struct AccuracyStats {
+  double mean_rel_error = 0.0;
+  double max_rel_error = 0.0;
+};
+
+// JumpingWindow<SMB> against an exact window of sets, over random
+// record/rotation interleavings.
+AccuracyStats MeasureJumpingWindowAccuracy(size_t trials, size_t buckets) {
+  std::mt19937_64 rng(307);
+  std::uniform_real_distribution<double> log_n(std::log(100.0),
+                                               std::log(20000.0));
+  std::uniform_int_distribution<uint64_t> item_of(0, 60000);
+  AccuracyStats stats;
+  for (size_t t = 0; t < trials; ++t) {
+    JumpingWindow<SelfMorphingBitmap> window(buckets, [] {
+      return SelfMorphingBitmap::WithOptimalThreshold(
+          kSketchBits, kDesignCardinality, kHashSeed);
+    });
+    std::vector<std::unordered_set<uint64_t>> exact(buckets);
+    size_t head = 0;
+    // 2 x buckets segments so the ring wraps and early buckets rotate
+    // out; each segment records a random number of (possibly duplicate)
+    // items, exercising dedup across buckets.
+    const size_t segments = 2 * buckets;
+    for (size_t s = 0; s < segments; ++s) {
+      if (s > 0) {
+        window.Rotate();
+        head = (head + 1) % buckets;
+        exact[head].clear();
+      }
+      const auto n = static_cast<uint64_t>(std::exp(log_n(rng)));
+      for (uint64_t i = 0; i < n; ++i) {
+        const uint64_t item = item_of(rng);
+        window.Add(item);
+        exact[head].insert(item);
+      }
+    }
+    std::unordered_set<uint64_t> window_union;
+    for (const auto& bucket : exact) {
+      window_union.insert(bucket.begin(), bucket.end());
+    }
+    const double truth = static_cast<double>(window_union.size());
+    const double err = std::abs(window.Estimate() - truth) / truth;
+    stats.mean_rel_error += err;
+    stats.max_rel_error = std::max(stats.max_rel_error, err);
+  }
+  stats.mean_rel_error /= static_cast<double>(trials);
+  return stats;
+}
+
+// EpochMonitor::QueryWindow against per-flow exact sets.
+AccuracyStats MeasureEpochWindowAccuracy(size_t trials, size_t epochs,
+                                         size_t flows) {
+  std::mt19937_64 rng(401);
+  std::uniform_real_distribution<double> log_n(std::log(50.0),
+                                               std::log(8000.0));
+  std::uniform_int_distribution<uint64_t> item_of(0, 40000);
+  AccuracyStats stats;
+  size_t samples = 0;
+  for (size_t t = 0; t < trials; ++t) {
+    EstimatorSpec spec;
+    spec.kind = EstimatorKind::kSmb;
+    spec.memory_bits = kSketchBits;
+    spec.design_cardinality = kDesignCardinality;
+    spec.hash_seed = kHashSeed + t;
+    EpochMonitor monitor(spec, /*window_epochs=*/epochs);
+    std::vector<std::unordered_set<uint64_t>> exact(flows);
+    for (size_t e = 0; e < epochs; ++e) {
+      for (uint64_t flow = 0; flow < flows; ++flow) {
+        const auto n = static_cast<uint64_t>(std::exp(log_n(rng)));
+        for (uint64_t i = 0; i < n; ++i) {
+          const uint64_t item = item_of(rng);
+          monitor.Record(flow, item);
+          exact[flow].insert(item);
+        }
+      }
+      monitor.AdvanceEpoch();
+    }
+    for (uint64_t flow = 0; flow < flows; ++flow) {
+      const double truth = static_cast<double>(exact[flow].size());
+      if (truth == 0.0) continue;
+      const double err =
+          std::abs(monitor.QueryWindow(flow, epochs) - truth) / truth;
+      stats.mean_rel_error += err;
+      stats.max_rel_error = std::max(stats.max_rel_error, err);
+      ++samples;
+    }
+  }
+  stats.mean_rel_error /= static_cast<double>(samples);
+  return stats;
+}
+
+void WriteAccuracyJson(JsonWriter* json, const AccuracyStats& stats,
+                       size_t merged_sketches) {
+  json->BeginObject();
+  json->Key("mean_rel_error");
+  json->Double(stats.mean_rel_error, 4);
+  json->Key("max_rel_error");
+  json->Double(stats.max_rel_error, 4);
+  json->Key("bound_mean");
+  json->Double(MeanBound(merged_sketches), 3);
+  json->Key("bound_per_query");
+  json->Double(PerQueryBound(merged_sketches), 3);
+  json->EndObject();
+}
+
+bool AccuracyWithinBound(const char* label, const AccuracyStats& stats,
+                         size_t merged_sketches) {
+  bool ok = true;
+  if (stats.mean_rel_error > MeanBound(merged_sketches)) {
+    std::fprintf(stderr,
+                 "FAIL: %s mean relative error %.4f exceeds the DESIGN.md "
+                 "S13 mean bound %.3f\n",
+                 label, stats.mean_rel_error, MeanBound(merged_sketches));
+    ok = false;
+  }
+  if (stats.max_rel_error > PerQueryBound(merged_sketches)) {
+    std::fprintf(stderr,
+                 "FAIL: %s max relative error %.4f exceeds the DESIGN.md "
+                 "S13 per-query bound %.3f\n",
+                 label, stats.max_rel_error, PerQueryBound(merged_sketches));
+    ok = false;
+  }
+  return ok;
+}
+
+int Run(const BenchScale& scale) {
+  const size_t merge_pairs = scale.full ? 2000 : 300;
+  const size_t window_buckets = 4;
+  const size_t accuracy_trials = scale.full ? 200 : 40;
+  const size_t epoch_trials = scale.full ? 20 : 5;
+  const size_t epoch_flows = scale.full ? 64 : 16;
+
+  const MergeCost merge = MeasureMergeCost(merge_pairs);
+  const QueryLatency latency = MeasureWindowedQuery(
+      /*flows=*/scale.full ? 20000 : 4000, /*epochs=*/window_buckets,
+      /*queries=*/scale.full ? 20000 : 4000);
+  const AccuracyStats jumping =
+      MeasureJumpingWindowAccuracy(accuracy_trials, window_buckets);
+  const AccuracyStats epoch = MeasureEpochWindowAccuracy(
+      epoch_trials, window_buckets, epoch_flows);
+
+  JsonWriter json(JsonWriter::kPretty);
+  json.BeginObject();
+  json.Key("bench");
+  json.String("windowed_throughput");
+  json.Key("sketch_bits");
+  json.Uint(kSketchBits);
+  json.Key("window_buckets");
+  json.Uint(window_buckets);
+  json.Key("merge");
+  json.BeginObject();
+  json.Key("pairs");
+  json.Uint(merge.pairs);
+  json.Key("merges_per_sec");
+  json.Double(merge.merges_per_sec, 1);
+  json.Key("mean_merge_us");
+  json.Double(merge.mean_merge_us, 2);
+  json.EndObject();
+  json.Key("windowed_query");
+  json.BeginObject();
+  json.Key("flows");
+  json.Uint(latency.flows);
+  json.Key("epochs");
+  json.Uint(latency.epochs);
+  json.Key("queries");
+  json.Uint(latency.queries);
+  json.Key("queries_per_sec");
+  json.Double(latency.queries_per_sec, 1);
+  json.Key("mean_query_us");
+  json.Double(latency.mean_query_us, 2);
+  json.EndObject();
+  json.Key("accuracy");
+  json.BeginObject();
+  json.Key("jumping_window_trials");
+  json.Uint(accuracy_trials);
+  json.Key("jumping_window");
+  WriteAccuracyJson(&json, jumping, window_buckets);
+  json.Key("epoch_window_trials");
+  json.Uint(epoch_trials);
+  json.Key("epoch_window");
+  WriteAccuracyJson(&json, epoch, window_buckets);
+  json.EndObject();
+  json.Key("environment");
+  WriteEnvironmentJson(&json);
+  json.EndObject();
+  std::printf("%s\n", json.str().c_str());
+
+  const std::string path =
+      scale.json_path.empty() ? "BENCH_windowed.json" : scale.json_path;
+  if (!WriteBenchJson(path, json)) return 1;
+
+  bool ok = AccuracyWithinBound("jumping_window", jumping, window_buckets);
+  ok = AccuracyWithinBound("epoch_window", epoch, window_buckets) && ok;
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace smb::bench
+
+int main(int argc, char** argv) {
+  return smb::bench::Run(smb::bench::ParseScale(argc, argv));
+}

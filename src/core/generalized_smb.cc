@@ -5,6 +5,8 @@
 
 #include "common/bit_util.h"
 #include "common/macros.h"
+#include "core/smb_merge.h"
+#include "hash/murmur3.h"
 
 namespace smb {
 
@@ -57,6 +59,31 @@ void GeneralizedSmb::AddHash(Hash128 hash) {
   if (SMB_UNLIKELY(ones_in_round_ >= threshold_) && round_ < max_round_) {
     ++round_;
     ones_in_round_ = 0;
+  }
+}
+
+void GeneralizedSmb::MergeFrom(const GeneralizedSmb& other) {
+  SMB_CHECK_MSG(CanMergeWith(other),
+                "GenSMB merge requires equal (num_bits, threshold, base, "
+                "hash_seed)");
+  const SmbMergeGeometry geometry{bits_.size(), threshold_, max_round_,
+                                  base_};
+  const uint64_t salt = Murmur3Fmix64(hash_seed() ^ kSmbMergeSalt);
+  if (SmbMergePrefersSource(round_, ones_in_round_, other.round_,
+                            other.ones_in_round_)) {
+    BitVector replay = std::move(bits_);
+    const size_t replay_round = round_;
+    const size_t replay_fill = ones_in_round_;
+    bits_ = other.bits_;
+    round_ = other.round_;
+    ones_in_round_ = other.ones_in_round_;
+    SmbReplayMergeBits(geometry, salt, bits_.mutable_words(), &round_,
+                       &ones_in_round_, replay.words(), replay_round,
+                       replay_fill);
+  } else {
+    SmbReplayMergeBits(geometry, salt, bits_.mutable_words(), &round_,
+                       &ones_in_round_, other.bits_.words(), other.round_,
+                       other.ones_in_round_);
   }
 }
 

@@ -54,6 +54,18 @@ class GeneralizedSmb final : public CardinalityEstimator {
   void Reset() override;
   std::string_view Name() const override { return "GenSMB"; }
 
+  // Morph-aware approximate merge, the GeneralizedSmb counterpart of
+  // SelfMorphingBitmap::MergeFrom (core/smb_merge.h with sampling base b
+  // in place of 2): same geometry requirement plus an equal decay base,
+  // since the replay's per-cohort survival probability is b^(k - rho).
+  bool CanMergeWith(const GeneralizedSmb& other) const {
+    return bits_.size() == other.bits_.size() &&
+           threshold_ == other.threshold_ && base_ == other.base_ &&
+           hash_seed() == other.hash_seed();
+  }
+  // Requires CanMergeWith(other).
+  void MergeFrom(const GeneralizedSmb& other);
+
   size_t round() const { return round_; }
   size_t ones_in_round() const { return ones_in_round_; }
   double sampling_base() const { return base_; }

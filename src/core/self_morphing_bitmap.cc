@@ -6,6 +6,7 @@
 
 #include "common/bit_util.h"
 #include "common/macros.h"
+#include "core/smb_merge.h"
 #include "core/smb_params.h"
 #include "hash/batch_hash.h"
 #include "hash/geometric.h"
@@ -255,6 +256,44 @@ void SelfMorphingBitmap::EstimateMany(
   }
 }
 
+void SelfMorphingBitmap::MergeFrom(const SelfMorphingBitmap& other) {
+  SMB_CHECK_MSG(CanMergeWith(other),
+                "SMB merge requires equal (num_bits, threshold, hash_seed)");
+  const SmbMergeGeometry geometry{bits_.size(), threshold_, max_round_,
+                                  /*sampling_base=*/2.0};
+  const uint64_t salt = Murmur3Fmix64(hash_seed() ^ kSmbMergeSalt);
+  if (SmbMergePrefersSource(round_, ones_in_round_, other.round_,
+                            other.ones_in_round_)) {
+    // The other operand is coarser: adopt its state as the base and
+    // replay our previous contents into it.
+    BitVector replay = std::move(bits_);
+    const size_t replay_round = round_;
+    const size_t replay_fill = ones_in_round_;
+    bits_ = other.bits_;
+    round_ = other.round_;
+    ones_in_round_ = other.ones_in_round_;
+    SmbReplayMergeBits(geometry, salt, bits_.mutable_words(), &round_,
+                       &ones_in_round_, replay.words(), replay_round,
+                       replay_fill);
+  } else {
+    SmbReplayMergeBits(geometry, salt, bits_.mutable_words(), &round_,
+                       &ones_in_round_, other.bits_.words(), other.round_,
+                       other.ones_in_round_);
+  }
+}
+
+SelfMorphingBitmap SelfMorphingBitmap::Clone() const {
+  Config config;
+  config.num_bits = bits_.size();
+  config.threshold = threshold_;
+  config.hash_seed = hash_seed();
+  SelfMorphingBitmap copy(config);
+  copy.bits_ = bits_;
+  copy.round_ = round_;
+  copy.ones_in_round_ = ones_in_round_;
+  return copy;
+}
+
 double SelfMorphingBitmap::Estimate() const {
   const double m_r = static_cast<double>(LogicalBits());
   // Clamp the final round's fill at m_r - 1: a fully saturated logical
@@ -417,6 +456,31 @@ std::optional<SelfMorphingBitmap> SelfMorphingBitmap::Deserialize(
   out->bits_.set_words(std::move(words));
   out->round_ = round;
   out->ones_in_round_ = ones;
+  return out;
+}
+
+SelfMorphingBitmap SelfMorphingBitmap::FromState(const Config& config,
+                                                 std::vector<uint64_t> words,
+                                                 size_t round,
+                                                 size_t ones_in_round) {
+  SelfMorphingBitmap out(config);  // validates (num_bits, threshold)
+  SMB_CHECK_MSG(words.size() == (config.num_bits + 63) / 64,
+                "FromState word count does not match num_bits");
+  SMB_CHECK_MSG(round <= out.max_round_, "FromState round beyond max_round");
+  SMB_CHECK_MSG(round == out.max_round_ || ones_in_round < config.threshold,
+                "FromState fill must stay below T before the final round");
+  SMB_CHECK_MSG(ones_in_round <= config.num_bits - round * config.threshold,
+                "FromState fill exceeds the logical bitmap");
+  const size_t tail_bits = config.num_bits % 64;
+  SMB_CHECK_MSG(tail_bits == 0 || (words.back() >> tail_bits) == 0,
+                "FromState has set bits above num_bits");
+  uint64_t popcount = 0;
+  for (uint64_t w : words) popcount += static_cast<uint64_t>(Popcount64(w));
+  SMB_CHECK_MSG(popcount == round * config.threshold + ones_in_round,
+                "FromState popcount inconsistent with (round, fill)");
+  out.bits_.set_words(std::move(words));
+  out.round_ = round;
+  out.ones_in_round_ = ones_in_round;
   return out;
 }
 

@@ -109,6 +109,31 @@ class SelfMorphingBitmap final : public CardinalityEstimator {
   uint64_t telemetry_items_seen() const { return telem_items_seen_; }
 #endif
 
+  // Merging ------------------------------------------------------------------
+  // Two SMBs can merge when they share the full recording geometry: same
+  // m, same morph threshold T, same hash seed (identical items must map
+  // to identical gate ranks and bit positions).
+  bool CanMergeWith(const SelfMorphingBitmap& other) const {
+    return num_bits() == other.num_bits() &&
+           threshold_ == other.threshold_ &&
+           hash_seed() == other.hash_seed();
+  }
+  // Morph-aware approximate merge (core/smb_merge.h, DESIGN.md §13):
+  // keeps the coarser operand's state verbatim and replays the finer
+  // operand's bits through the live geometric gate, cohort by cohort, so
+  // the result is a reachable SMB state whose estimate tracks a single
+  // sketch fed the union stream within the documented bound. Exact when
+  // the operands' contents coincide (self-merge and merge-with-empty are
+  // identities); deterministic for given operands. Unlike the bitwise/max
+  // merges of the Mergeable baselines this is NOT lossless — the paper's
+  // morph schedule depends on stream order, so no exact merge exists.
+  // Requires CanMergeWith(other).
+  void MergeFrom(const SelfMorphingBitmap& other);
+
+  // Deep copy (the base class deletes copying to prevent accidental
+  // slicing; merge targets and windowed snapshots opt in explicitly).
+  SelfMorphingBitmap Clone() const;
+
   // Serialization -----------------------------------------------------------
   // Compact binary encoding of configuration + full state.
   std::vector<uint8_t> Serialize() const;
@@ -116,6 +141,14 @@ class SelfMorphingBitmap final : public CardinalityEstimator {
   // truncated input.
   static std::optional<SelfMorphingBitmap> Deserialize(
       const std::vector<uint8_t>& bytes);
+  // Reconstructs an SMB from raw in-memory state — the deserialization
+  // path minus the wire framing, used by the per-flow engines to lift a
+  // slot into a standalone sketch. CHECK-fails unless the state satisfies
+  // the same reachability invariants Deserialize() enforces (popcount ==
+  // round * T + ones, ones < T below the final round, zero word tail).
+  static SelfMorphingBitmap FromState(const Config& config,
+                                      std::vector<uint64_t> words,
+                                      size_t round, size_t ones_in_round);
 
  private:
   // The single audited morph site: every recording path (Add, AddBatch,

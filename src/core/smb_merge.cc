@@ -1,0 +1,124 @@
+#include "core/smb_merge.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/bit_util.h"
+#include "common/macros.h"
+#include "hash/murmur3.h"
+
+namespace smb {
+namespace {
+
+struct ReplayBit {
+  uint32_t pos;       // bit position in [0, num_bits)
+  uint64_t shuffle;   // deterministic shuffle key (cohort + replay order)
+  uint64_t coin;      // deterministic acceptance coin
+};
+
+// The per-cohort collision factor c_k = m * (-ln(1 - fresh/m_k)) / fresh:
+// the average number of items one recorded bit stands for, by the
+// cohort's own linear-counting term (`fresh` = T for completed cohorts,
+// v for the current one).
+double CohortCollisionFactor(const SmbMergeGeometry& geometry, size_t cohort,
+                             size_t fresh_bits) {
+  const double m = static_cast<double>(geometry.num_bits);
+  const double m_k =
+      m - static_cast<double>(cohort) * static_cast<double>(geometry.threshold);
+  const double fresh = static_cast<double>(fresh_bits);
+  SMB_DCHECK(fresh >= 1.0 && fresh < m_k);
+  return m * (-std::log1p(-fresh / m_k)) / fresh;
+}
+
+}  // namespace
+
+void SmbReplayMergeBits(const SmbMergeGeometry& geometry, uint64_t salt,
+                        std::span<uint64_t> dst_words, size_t* dst_round,
+                        size_t* dst_fill,
+                        std::span<const uint64_t> src_words, size_t src_round,
+                        size_t src_fill) {
+  const size_t m = geometry.num_bits;
+  const size_t threshold = geometry.threshold;
+  SMB_CHECK_MSG(m >= 8 && threshold >= 1 && threshold <= m,
+                "merge geometry outside the SMB envelope");
+  SMB_CHECK_MSG(geometry.sampling_base > 1.0,
+                "merge sampling base must exceed 1");
+  const size_t expected_words = (m + 63) / 64;
+  SMB_CHECK_MSG(dst_words.size() == expected_words &&
+                    src_words.size() == expected_words,
+                "merge operand word counts do not match the geometry");
+  SMB_CHECK_MSG(*dst_round >= src_round,
+                "merge base must be the coarser operand (orient with "
+                "SmbMergePrefersSource)");
+
+  // Collect the source's set positions with their deterministic shuffle
+  // keys and coins. One 128-bit position hash provides both; the salt
+  // decorrelates them from the recording hash that chose the position.
+  std::vector<ReplayBit> bits;
+  bits.reserve(src_round * threshold + src_fill);
+  for (size_t w = 0; w < src_words.size(); ++w) {
+    uint64_t word = src_words[w];
+    while (word != 0) {
+      const size_t bit = static_cast<size_t>(CountTrailingZeros64(word));
+      word &= word - 1;
+      const uint32_t pos = static_cast<uint32_t>((w << 6) + bit);
+      SMB_CHECK_MSG(pos < m, "merge source has set bits above num_bits");
+      const Hash128 h = ItemHash128(pos, salt);
+      bits.push_back(ReplayBit{pos, h.lo, h.hi});
+    }
+  }
+  SMB_CHECK_MSG(bits.size() == src_round * threshold + src_fill,
+                "merge source popcount inconsistent with its (round, fill)");
+
+  // Deterministic uniform shuffle; ties (2^-64 per pair) break by
+  // position so the replay order is a pure function of the operands.
+  std::sort(bits.begin(), bits.end(),
+            [](const ReplayBit& a, const ReplayBit& b) {
+              return a.shuffle != b.shuffle ? a.shuffle < b.shuffle
+                                            : a.pos < b.pos;
+            });
+
+  // Exchangeable positions make the hash-shuffle a faithful cohort
+  // assignment: the first T shuffled bits replay as round-0 cohort, the
+  // next T as round 1, ..., the last src_fill as the current round — in
+  // the source's own chronological order.
+  std::vector<double> cohort_factor(src_round + 1, 1.0);
+  for (size_t k = 0; k < src_round; ++k) {
+    cohort_factor[k] = CohortCollisionFactor(geometry, k, threshold);
+  }
+  if (src_fill > 0) {
+    cohort_factor[src_round] =
+        CohortCollisionFactor(geometry, src_round, src_fill);
+  }
+
+  size_t round = *dst_round;
+  size_t fill = *dst_fill;
+  for (size_t i = 0; i < bits.size(); ++i) {
+    const size_t cohort = std::min(i / threshold, src_round);
+    // Memoryless survival from the cohort's gate into the live gate,
+    // inflated by the cohort's bits-to-items collision factor.
+    const double q = std::min(
+        1.0, cohort_factor[cohort] *
+                 std::pow(geometry.sampling_base,
+                          static_cast<double>(cohort) -
+                              static_cast<double>(round)));
+    const double u =
+        static_cast<double>(bits[i].coin >> 11) * 0x1.0p-53;
+    if (u >= q) continue;
+    // Accepted: probe the destination exactly like live recording.
+    uint64_t& word = dst_words[bits[i].pos >> 6];
+    const uint64_t mask = uint64_t{1} << (bits[i].pos & 63);
+    if (word & mask) continue;  // shared item / position collision
+    word |= mask;
+    ++fill;
+    if (SMB_UNLIKELY(fill >= threshold) && round < geometry.max_round) {
+      ++round;
+      fill = 0;
+    }
+  }
+  *dst_round = round;
+  *dst_fill = fill;
+}
+
+}  // namespace smb

@@ -1,0 +1,86 @@
+// Morph-aware merge of two self-morphing-bitmap states — the extension the
+// paper leaves open (its SMB is stream-order dependent, so no exact merge
+// exists; see DESIGN.md §13 for the derivation and the documented error
+// bound).
+//
+// The merge treats the two operands as a *concatenated* union stream: the
+// coarser operand (higher round; larger fill on ties) is kept verbatim as
+// the base history, and the finer operand's recorded bits are replayed
+// into the base as if its items arrived afterwards, through the live
+// geometric gate:
+//
+//   * Each source bit is attributed to the round cohort that set it. The
+//     true per-bit cohort is not recorded, but cohort *sizes* are exact
+//     (T fresh bits per completed round, v in the current round) and bit
+//     positions are exchangeable, so a deterministic hash-shuffle of the
+//     source's set positions assigns cohorts with the correct joint
+//     distribution — and replays them in the source's own chronological
+//     (cohort) order.
+//   * A bit set in cohort k was set by an item whose geometric rank is
+//     >= k; by memorylessness it would also pass the live round rho's
+//     gate with probability base^(k - rho) — the same subsampling
+//     identity KMV/HLL MergeFrom uses, replayed per cohort.
+//   * One recorded bit stands for slightly more than one item (position
+//     collisions the source's own linear-counting term corrected for), so
+//     the acceptance probability carries the per-cohort collision factor
+//     c_k = m * (-ln(1 - T/m_k)) / T >= 1, capped at 1.
+//   * Accepted bits probe the destination bitmap exactly like live
+//     recording: duplicates (shared items — same hash, same position) are
+//     ignored, fresh bits advance v, and v reaching T morphs the live
+//     round mid-replay, re-gating every later attempt.
+//
+// The replayed state therefore satisfies every reachability invariant of
+// a genuinely recorded sketch (popcount == r*T + v, v < T below the final
+// round), so merged states serialize, re-load and keep recording like any
+// other SMB state. All randomness is a deterministic function of (bit
+// position, salt): the same operands always merge to the same result.
+
+#ifndef SMBCARD_CORE_SMB_MERGE_H_
+#define SMBCARD_CORE_SMB_MERGE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace smb {
+
+// The geometry shared by both merge operands. `sampling_base` is 2.0 for
+// the paper-faithful SelfMorphingBitmap and b for GeneralizedSmb.
+struct SmbMergeGeometry {
+  size_t num_bits = 0;
+  size_t threshold = 0;
+  size_t max_round = 0;
+  double sampling_base = 2.0;
+};
+
+// Salt decorrelating the merge's replay coins from the recording hash;
+// derive per-sketch salts as Murmur3Fmix64(hash_seed ^ kSmbMergeSalt).
+inline constexpr uint64_t kSmbMergeSalt = 0x534D424D45524745ull;  // "SMBMERGE"
+
+// True when (src_round, src_fill) is the coarser state and should serve
+// as the merge base into which the other operand is replayed. Ties (equal
+// rounds) keep the operand with the larger fill as base, so the finer —
+// more subsampling-tolerant — operand is always the one replayed.
+inline bool SmbMergePrefersSource(size_t dst_round, size_t dst_fill,
+                                  size_t src_round, size_t src_fill) {
+  return src_round > dst_round ||
+         (src_round == dst_round && src_fill > dst_fill);
+}
+
+// Replays the source state's set bits into the destination state (see the
+// file comment). Requirements, CHECK-enforced:
+//   * dst_round >= src_round (orient with SmbMergePrefersSource first);
+//   * both states are reachable: popcount == round * T + fill, fill < T
+//     below the final round;
+//   * dst_words/src_words hold exactly ceil(num_bits / 64) words with a
+//     zero tail above num_bits.
+// On return *dst_round / *dst_fill reflect any morphs the replay caused.
+void SmbReplayMergeBits(const SmbMergeGeometry& geometry, uint64_t salt,
+                        std::span<uint64_t> dst_words, size_t* dst_round,
+                        size_t* dst_fill,
+                        std::span<const uint64_t> src_words, size_t src_round,
+                        size_t src_fill);
+
+}  // namespace smb
+
+#endif  // SMBCARD_CORE_SMB_MERGE_H_

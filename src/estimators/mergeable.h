@@ -1,10 +1,14 @@
 // The Mergeable concept: estimators whose sketches of two streams can be
 // combined into the sketch of the streams' union. Satisfied by
 // LinearCounting, FmPcsa, LogLog, SuperLogLog, HyperLogLog, HyperLogLogPP,
-// HllTailCut and MultiResolutionBitmap (lossless bitwise/max merges) and
-// KMinValues (k-smallest-of-union). NOT satisfied by SelfMorphingBitmap:
-// its morph schedule depends on stream order, so two SMBs cannot be
-// combined exactly (see DESIGN.md).
+// HllTailCut and MultiResolutionBitmap (lossless bitwise/max merges),
+// KMinValues (k-smallest-of-union), and — since DESIGN.md §13 — by
+// SelfMorphingBitmap and GeneralizedSmb via the morph-aware replay merge
+// (core/smb_merge.h). The SMB merge is deterministic but APPROXIMATE: the
+// paper's morph schedule depends on stream order, so no exact merge
+// exists; the merged estimate tracks a union-fed sketch within the bound
+// documented in DESIGN.md §13. Callers that require lossless merges
+// (exact union semantics) should stick to the bitwise/max families.
 
 #ifndef SMBCARD_ESTIMATORS_MERGEABLE_H_
 #define SMBCARD_ESTIMATORS_MERGEABLE_H_

@@ -6,6 +6,7 @@
 
 #include "common/bit_util.h"
 #include "common/macros.h"
+#include "core/smb_merge.h"
 #include "core/smb_params.h"
 #include "hash/batch_hash.h"
 #include "hash/geometric.h"
@@ -227,6 +228,61 @@ void ArenaSmbEngine::ForEachFlow(
     const std::function<void(uint64_t, double)>& fn) const {
   for (uint32_t slot = 0; slot < flow_keys_.size(); ++slot) {
     fn(flow_keys_[slot], EstimateSlot(slot));
+  }
+}
+
+void ArenaSmbEngine::MergeFrom(const ArenaSmbEngine& other) {
+  SMB_CHECK_MSG(CanMergeWith(other),
+                "arena merge requires identical (num_bits, threshold, "
+                "base_seed)");
+  const SmbMergeGeometry geometry{config_.num_bits, config_.threshold,
+                                  max_round_, 2.0};
+  std::vector<uint64_t> replay(words_per_slot_);
+  for (uint32_t src_slot = 0; src_slot < other.flow_keys_.size();
+       ++src_slot) {
+    const uint64_t flow = other.flow_keys_[src_slot];
+    const uint64_t* src_words = other.arena_.SlotWords(src_slot);
+    const uint32_t src_meta = other.meta_[src_slot];
+    const uint64_t bucket_hash = FlowTable::BucketHash(flow);
+    const bool existed = table_.Find(flow, bucket_hash).found;
+    const uint32_t slot = FindOrCreateSlot(flow, bucket_hash);
+    uint64_t* dst_words = arena_.SlotWords(slot);
+    if (!existed) {
+      // Flow unknown here: adopt the source state verbatim (the
+      // merge-with-empty identity, without the replay detour).
+      std::copy(src_words, src_words + words_per_slot_, dst_words);
+      meta_[slot] = src_meta;
+      continue;
+    }
+    // Exactly the salt the flow's standalone snapshot would use in
+    // SelfMorphingBitmap::MergeFrom: fmix(per_flow_seed ^ merge salt).
+    const uint64_t salt = Murmur3Fmix64(
+        Murmur3Fmix64(config_.base_seed ^ flow) ^ kSmbMergeSalt);
+    size_t round = meta_[slot] >> kRoundShift;
+    size_t fill = meta_[slot] & kFillMask;
+    const size_t src_round = src_meta >> kRoundShift;
+    const size_t src_fill = src_meta & kFillMask;
+    if (SmbMergePrefersSource(round, fill, src_round, src_fill)) {
+      std::copy(dst_words, dst_words + words_per_slot_, replay.data());
+      std::copy(src_words, src_words + words_per_slot_, dst_words);
+      const size_t replay_round = round;
+      const size_t replay_fill = fill;
+      round = src_round;
+      fill = src_fill;
+      SmbReplayMergeBits(
+          geometry, salt, std::span<uint64_t>(dst_words, words_per_slot_),
+          &round, &fill,
+          std::span<const uint64_t>(replay.data(), words_per_slot_),
+          replay_round, replay_fill);
+    } else {
+      SmbReplayMergeBits(
+          geometry, salt, std::span<uint64_t>(dst_words, words_per_slot_),
+          &round, &fill,
+          std::span<const uint64_t>(src_words, words_per_slot_), src_round,
+          src_fill);
+    }
+    meta_[slot] = (static_cast<uint32_t>(round) << kRoundShift) |
+                  static_cast<uint32_t>(fill);
   }
 }
 

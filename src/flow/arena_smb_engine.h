@@ -112,6 +112,24 @@ class ArenaSmbEngine {
   const Config& config() const { return config_; }
   size_t max_round() const { return max_round_; }
 
+  // Merging ----------------------------------------------------------------
+  // Two engines can merge when they share the full recording geometry:
+  // same per-flow bitmap size, morph threshold and base seed (per-flow
+  // seeds are derived from the base seed, so equal base seeds make every
+  // shared flow's sketches merge-compatible).
+  bool CanMergeWith(const ArenaSmbEngine& other) const {
+    return config_.num_bits == other.config_.num_bits &&
+           config_.threshold == other.config_.threshold &&
+           config_.base_seed == other.config_.base_seed;
+  }
+  // Morph-aware approximate union merge (DESIGN.md §13): flows unknown
+  // here are adopted verbatim; flows present in both engines are merged
+  // with the replay merge, using the same per-flow salt derivation as
+  // SelfMorphingBitmap::MergeFrom on the flows' standalone snapshots —
+  // so an arena merge is bit-identical to snapshotting both sides and
+  // merging flow by flow. Requires CanMergeWith(other).
+  void MergeFrom(const ArenaSmbEngine& other);
+
   // Equivalence-test introspection: the flow's live (r, v, bitmap words).
   struct FlowState {
     size_t round = 0;

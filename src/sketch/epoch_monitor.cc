@@ -1,26 +1,57 @@
 #include "sketch/epoch_monitor.h"
 
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "common/macros.h"
+#include "core/self_morphing_bitmap.h"
+
 namespace smb {
 
-EpochMonitor::EpochMonitor(const EstimatorSpec& spec)
-    : spec_(spec), current_(std::make_unique<PerFlowMonitor>(spec)) {}
+EpochMonitor::EpochMonitor(const EstimatorSpec& spec, size_t window_epochs)
+    : spec_(spec),
+      window_epochs_(window_epochs),
+      current_(std::make_unique<PerFlowMonitor>(spec)) {
+  SMB_CHECK_MSG(window_epochs_ >= 1,
+                "epoch window must retain at least one completed epoch");
+}
 
 void EpochMonitor::Record(uint64_t flow, uint64_t element) {
   current_->Record(flow, element);
 }
 
 double EpochMonitor::QueryCompleted(uint64_t flow) const {
-  return completed_ != nullptr ? completed_->Query(flow) : 0.0;
+  return !ring_.empty() ? ring_.front().monitor->Query(flow) : 0.0;
 }
 
 double EpochMonitor::QueryCurrent(uint64_t flow) const {
   return current_->Query(flow);
 }
 
+double EpochMonitor::QueryWindow(uint64_t flow, size_t last_k) const {
+  SMB_CHECK_MSG(spec_.kind == EstimatorKind::kSmb,
+                "windowed merge queries require an SMB spec");
+  const size_t k = std::min(last_k, ring_.size());
+  std::optional<SelfMorphingBitmap> merged;
+  for (size_t i = 0; i < k; ++i) {
+    std::optional<SelfMorphingBitmap> snapshot =
+        ring_[i].monitor->SnapshotFlowSmb(flow);
+    if (!snapshot.has_value()) continue;
+    if (!merged.has_value()) {
+      merged = std::move(snapshot);
+    } else {
+      merged->MergeFrom(*snapshot);
+    }
+  }
+  return merged.has_value() ? merged->Estimate() : 0.0;
+}
+
 size_t EpochMonitor::AdvanceEpoch() {
   const size_t closed_flows = current_->NumFlows();
-  older_ = std::move(completed_);
-  completed_ = std::move(current_);
+  ring_.insert(ring_.begin(),
+               CompletedEpoch{epochs_completed_, std::move(current_)});
+  if (ring_.size() > window_epochs_) ring_.resize(window_epochs_);
   current_ = std::make_unique<PerFlowMonitor>(spec_);
   ++epochs_completed_;
   return closed_flows;
@@ -29,14 +60,29 @@ size_t EpochMonitor::AdvanceEpoch() {
 std::vector<uint64_t> EpochMonitor::SurgingFlows(double factor,
                                                  double min_spread) const {
   std::vector<uint64_t> out;
-  if (completed_ == nullptr) return out;
-  completed_->ForEachFlow([&](uint64_t flow, double now) {
-    if (now < min_spread) return;
-    const double before = older_ != nullptr ? older_->Query(flow) : 0.0;
-    if (before <= 0.0 || now >= factor * before) {
+  if (ring_.empty()) return out;
+  const PerFlowMonitor* older =
+      ring_.size() >= 2 ? ring_[1].monitor.get() : nullptr;
+  ring_.front().monitor->ForEachFlow([&](uint64_t flow, double now) {
+    const double before = older != nullptr ? older->Query(flow) : 0.0;
+    if (before <= 0.0) {
+      // New flow this epoch: no baseline to compute growth against, so the
+      // absolute min_spread floor gates it. This is the ONLY branch the
+      // floor applies to — an established flow that surged from a small
+      // baseline must still be reported (the header's contract; the old
+      // code filtered every flow by min_spread and missed those).
+      if (now > min_spread) out.push_back(flow);
+    } else if (now >= factor * before) {
       out.push_back(flow);
     }
   });
+  return out;
+}
+
+std::vector<uint64_t> EpochMonitor::RetainedEpochs() const {
+  std::vector<uint64_t> out;
+  out.reserve(ring_.size());
+  for (const CompletedEpoch& entry : ring_) out.push_back(entry.epoch);
   return out;
 }
 

@@ -3,15 +3,25 @@
 // Cardinality estimators measure "distinct since reset"; real deployments
 // want "distinct in the last measurement period" (the paper's interval
 // model, and the setting where AdaptiveBitmap's feedback loop lives).
-// EpochMonitor keeps two PerFlowMonitor generations — current and
-// previous — and rotates on AdvanceEpoch(): queries answer from the
-// *previous* (complete) epoch, so readings are stable while the current
-// epoch fills. Flow tables are rebuilt each epoch, so memory tracks the
-// number of flows active per epoch rather than ever-seen.
+// EpochMonitor keeps the current (filling) PerFlowMonitor plus a ring of
+// the last `window_epochs` *completed* generations, each stamped with its
+// epoch number. Rotation on AdvanceEpoch() pushes the filling generation
+// into the ring: queries answer from completed epochs, so readings are
+// stable while the current epoch fills. Flow tables are rebuilt each
+// epoch, so memory tracks the number of flows active per epoch rather
+// than ever-seen.
+//
+// On top of the single-epoch queries, QueryWindow(flow, last_k) merges a
+// flow's SMB snapshots across the newest last_k completed epochs
+// (DESIGN.md §13's replay merge), answering "distinct elements of this
+// flow over the last k periods" without a second recording pass. The
+// merge is approximate; the error bound compounds with k exactly as the
+// JumpingWindow bound does.
 
 #ifndef SMBCARD_SKETCH_EPOCH_MONITOR_H_
 #define SMBCARD_SKETCH_EPOCH_MONITOR_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -22,7 +32,11 @@ namespace smb {
 
 class EpochMonitor {
  public:
-  explicit EpochMonitor(const EstimatorSpec& spec);
+  // Retains the `window_epochs` most recent completed epochs (>= 1).
+  // window_epochs = 2 reproduces the original completed + older pair that
+  // SurgingFlows compares; larger values widen QueryWindow's reach at a
+  // cost of one PerFlowMonitor per retained epoch.
+  explicit EpochMonitor(const EstimatorSpec& spec, size_t window_epochs = 2);
 
   EpochMonitor(const EpochMonitor&) = delete;
   EpochMonitor& operator=(const EpochMonitor&) = delete;
@@ -39,6 +53,13 @@ class EpochMonitor {
   // Spread of `flow` in the epoch currently filling (partial data).
   double QueryCurrent(uint64_t flow) const;
 
+  // Estimated distinct elements of `flow` across the newest
+  // min(last_k, retained) completed epochs, by merging the flow's
+  // per-epoch SMB snapshots (approximate — DESIGN.md §13; the documented
+  // bound scales with the number of epochs merged). 0 when the flow was
+  // inactive in every retained epoch. Requires an SMB spec.
+  double QueryWindow(uint64_t flow, size_t last_k) const;
+
   // Closes the current epoch: it becomes the completed one; a fresh epoch
   // starts. Returns the number of flows active in the closed epoch.
   size_t AdvanceEpoch();
@@ -46,18 +67,31 @@ class EpochMonitor {
   // Flows whose completed-epoch spread grew by at least `factor` times
   // compared to the epoch before it — the DDoS-surge primitive. Flows
   // absent from the older epoch are reported when their spread exceeds
-  // `min_spread`.
+  // `min_spread`; flows present in both epochs are judged on the growth
+  // factor alone.
   std::vector<uint64_t> SurgingFlows(double factor,
                                      double min_spread) const;
 
   size_t epochs_completed() const { return epochs_completed_; }
+  size_t window_epochs() const { return window_epochs_; }
+  // Epoch stamps (0-based, in completion order) of the retained completed
+  // epochs, newest first.
+  std::vector<uint64_t> RetainedEpochs() const;
   const EstimatorSpec& spec() const { return spec_; }
 
  private:
+  struct CompletedEpoch {
+    uint64_t epoch = 0;  // 0-based completion stamp
+    std::unique_ptr<PerFlowMonitor> monitor;
+  };
+
   EstimatorSpec spec_;
+  size_t window_epochs_;
   std::unique_ptr<PerFlowMonitor> current_;
-  std::unique_ptr<PerFlowMonitor> completed_;
-  std::unique_ptr<PerFlowMonitor> older_;  // for surge comparison
+  // Newest-first ring of completed epochs; size <= window_epochs_.
+  // ring_[0] is the "completed" epoch, ring_[1] the "older" one that
+  // SurgingFlows compares against.
+  std::vector<CompletedEpoch> ring_;
   size_t epochs_completed_ = 0;
 };
 

@@ -5,8 +5,11 @@
 // The window is a ring of B bucket sketches. Recording goes into the
 // current bucket; Rotate() retires the oldest bucket (its items fall out
 // of the window) and starts a fresh one. A query merges the live buckets
-// — exact for the union-mergeable estimators, so the answer equals a
-// single sketch that had seen precisely the window's items.
+// — exact for the losslessly union-mergeable estimators (HLL family,
+// bitmap families, KMV), so the answer equals a single sketch that had
+// seen precisely the window's items. SelfMorphingBitmap merges are
+// approximate (DESIGN.md §13), so an SMB window's estimate carries a
+// bounded extra error that grows with the bucket count B.
 //
 // Costs: memory B x (bucket sketch), record O(1), rotate O(bucket reset),
 // query O(B x merge). For query-heavy loads cache the merged estimate per
@@ -18,6 +21,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "common/macros.h"
@@ -30,18 +34,23 @@ class JumpingWindow {
  public:
   // `num_buckets` sub-windows; `make_bucket` constructs one empty bucket
   // sketch (all buckets must be merge-compatible, i.e., same parameters
-  // and hash seed).
-  JumpingWindow(size_t num_buckets, std::function<E()> make_bucket)
-      : make_bucket_(std::move(make_bucket)) {
+  // and hash seed). The factory is called exactly num_buckets + 1 times,
+  // all during construction (the extra instance is the query scratch
+  // sketch); a stateful or reseeding factory therefore cannot corrupt
+  // later queries — incompatibility is caught here, once.
+  JumpingWindow(size_t num_buckets, std::function<E()> make_bucket) {
     SMB_CHECK_MSG(num_buckets >= 1, "window needs at least one bucket");
     buckets_.reserve(num_buckets);
     for (size_t i = 0; i < num_buckets; ++i) {
-      buckets_.push_back(make_bucket_());
+      buckets_.push_back(make_bucket());
       if (i > 0) {
         SMB_CHECK_MSG(buckets_[0].CanMergeWith(buckets_[i]),
                       "make_bucket must produce merge-compatible sketches");
       }
     }
+    scratch_.emplace(make_bucket());
+    SMB_CHECK_MSG(buckets_[0].CanMergeWith(*scratch_),
+                  "make_bucket must produce merge-compatible sketches");
   }
 
   JumpingWindow(const JumpingWindow&) = delete;
@@ -60,10 +69,17 @@ class JumpingWindow {
   }
 
   // Estimated distinct items across the whole window (all live buckets).
+  // Merges into the construction-time scratch sketch (reset first) rather
+  // than a fresh factory product: a factory that reseeds or mutates state
+  // between calls would silently produce a merge-incompatible target here
+  // — past the constructor's compatibility check — and corrupt every
+  // estimate. For approximately-mergeable sketches (SelfMorphingBitmap)
+  // the result compounds one merge per bucket; see DESIGN.md §13 for the
+  // resulting window-size-dependent error bound.
   double Estimate() const {
-    E merged = make_bucket_();
-    for (const E& bucket : buckets_) merged.MergeFrom(bucket);
-    return merged.Estimate();
+    scratch_->Reset();
+    for (const E& bucket : buckets_) scratch_->MergeFrom(bucket);
+    return scratch_->Estimate();
   }
 
   // Estimated distinct items in the current bucket only.
@@ -79,8 +95,11 @@ class JumpingWindow {
   }
 
  private:
-  std::function<E()> make_bucket_;
   std::vector<E> buckets_;
+  // Query-time merge target; optional because estimators are movable but
+  // not default-constructible or copyable. mutable: Estimate() is
+  // logically const but reuses this scratch storage.
+  mutable std::optional<E> scratch_;
   size_t head_ = 0;
 };
 

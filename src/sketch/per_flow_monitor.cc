@@ -101,6 +101,64 @@ std::vector<uint64_t> PerFlowMonitor::FlowsOver(double threshold) const {
   return out;
 }
 
+std::optional<SelfMorphingBitmap> PerFlowMonitor::SnapshotFlowSmb(
+    uint64_t flow) const {
+  SMB_CHECK_MSG(spec_.kind == EstimatorKind::kSmb,
+                "per-flow SMB snapshots require an SMB spec");
+  if (arena_) {
+    std::optional<ArenaSmbEngine::FlowState> state = arena_->Inspect(flow);
+    if (!state.has_value()) return std::nullopt;
+    SelfMorphingBitmap::Config config;
+    config.num_bits = arena_->config().num_bits;
+    config.threshold = arena_->config().threshold;
+    config.hash_seed = Murmur3Fmix64(arena_->config().base_seed ^ flow);
+    return SelfMorphingBitmap::FromState(
+        config,
+        std::vector<uint64_t>(state->words.begin(), state->words.end()),
+        state->round, state->ones_in_round);
+  }
+  const auto it = table_.find(flow);
+  if (it == table_.end()) return std::nullopt;
+  const auto* smb =
+      dynamic_cast<const SelfMorphingBitmap*>(it->second.get());
+  SMB_CHECK_MSG(smb != nullptr, "kSmb spec holds a non-SMB estimator");
+  return smb->Clone();
+}
+
+bool PerFlowMonitor::CanMergeWith(const PerFlowMonitor& other) const {
+  return engine_ == other.engine_ && spec_.kind == other.spec_.kind &&
+         spec_.memory_bits == other.spec_.memory_bits &&
+         spec_.design_cardinality == other.spec_.design_cardinality &&
+         spec_.hash_seed == other.spec_.hash_seed;
+}
+
+void PerFlowMonitor::MergeFrom(const PerFlowMonitor& other) {
+  SMB_CHECK_MSG(CanMergeWith(other),
+                "per-flow merge requires an identical spec and engine");
+  SMB_CHECK_MSG(spec_.kind == EstimatorKind::kSmb,
+                "per-flow merge is implemented for SMB specs only");
+  if (arena_) {
+    arena_->MergeFrom(*other.arena_);
+    return;
+  }
+  for (const auto& [flow, estimator] : other.table_) {
+    const auto* src =
+        dynamic_cast<const SelfMorphingBitmap*>(estimator.get());
+    SMB_CHECK_MSG(src != nullptr, "kSmb spec holds a non-SMB estimator");
+    auto it = table_.find(flow);
+    if (it == table_.end()) {
+      // Same lazy creation as Record(): merging into the fresh sketch
+      // adopts the source state verbatim (merge-with-empty identity).
+      EstimatorSpec spec = spec_;
+      spec.hash_seed = Murmur3Fmix64(spec_.hash_seed ^ flow);
+      it = table_.emplace(flow, CreateEstimator(spec)).first;
+    }
+    auto* dst = dynamic_cast<SelfMorphingBitmap*>(it->second.get());
+    SMB_CHECK_MSG(dst != nullptr, "kSmb spec holds a non-SMB estimator");
+    dst->MergeFrom(*src);
+  }
+}
+
 void PerFlowMonitor::ForEachFlow(
     const std::function<void(uint64_t, double)>& fn) const {
   if (arena_) {

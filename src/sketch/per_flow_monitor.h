@@ -26,6 +26,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/self_morphing_bitmap.h"
 #include "estimators/estimator_factory.h"
 #include "flow/arena_smb_engine.h"
 #include "stream/trace_gen.h"
@@ -94,6 +95,24 @@ class PerFlowMonitor {
   // unspecified. This replaces the old mutable-internals table() accessor.
   void ForEachFlow(
       const std::function<void(uint64_t flow, double estimate)>& fn) const;
+
+  // Deep snapshot of one flow's sketch as a standalone SelfMorphingBitmap
+  // (the flow's decorrelated hash seed baked in); nullopt for never-seen
+  // flows. Requires an SMB spec. The arena and legacy engines produce
+  // identical snapshots for the same spec and stream, so snapshots taken
+  // from different engines (or loaded from different snapshot formats)
+  // remain merge-compatible.
+  std::optional<SelfMorphingBitmap> SnapshotFlowSmb(uint64_t flow) const;
+
+  // Two monitors can merge when they share the full spec (kind, memory,
+  // design cardinality, hash seed) and run the same engine.
+  bool CanMergeWith(const PerFlowMonitor& other) const;
+
+  // Morph-aware approximate union merge (DESIGN.md §13): afterwards this
+  // monitor tracks, for every flow either monitor had seen, the merge of
+  // the two per-flow sketches — flows unknown here are adopted verbatim.
+  // Requires CanMergeWith(other) and an SMB spec.
+  void MergeFrom(const PerFlowMonitor& other);
 
   const EstimatorSpec& spec() const { return spec_; }
 

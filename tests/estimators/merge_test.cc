@@ -5,7 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <functional>
+#include <string>
+#include <vector>
 
+#include "core/generalized_smb.h"
+#include "core/self_morphing_bitmap.h"
 #include "estimators/fm_pcsa.h"
 #include "estimators/hll_tailcut.h"
 #include "estimators/hyperloglog.h"
@@ -131,6 +136,175 @@ TEST(MergeTest, CanMergeWithRejectsMismatches) {
   EXPECT_FALSE(HyperLogLog(64, 1).CanMergeWith(HyperLogLog(128, 1)));
   EXPECT_FALSE(KMinValues(16, 1).CanMergeWith(KMinValues(32, 1)));
 }
+
+// The CanMergeWith precondition matrix, pinned per estimator: identical
+// parameters must merge; a size mismatch, a hash-seed mismatch (different
+// seeds map identical items to different registers/positions — a silent
+// corruption if merged), and an algorithm-parameter mismatch must each be
+// rejected. Every Mergeable estimator gets a row, including the
+// approximately-mergeable SMB family.
+struct PreconditionCase {
+  std::string name;
+  std::function<bool()> same;        // must accept
+  std::function<bool()> diff_size;   // must reject
+  std::function<bool()> diff_seed;   // must reject
+  std::function<bool()> diff_param;  // must reject; null when no third axis
+};
+
+SelfMorphingBitmap::Config SmbCfg(size_t bits, size_t threshold,
+                                  uint64_t seed) {
+  SelfMorphingBitmap::Config config;
+  config.num_bits = bits;
+  config.threshold = threshold;
+  config.hash_seed = seed;
+  return config;
+}
+
+GeneralizedSmb::Config GenSmbCfg(size_t bits, size_t threshold, double base,
+                                 uint64_t seed) {
+  GeneralizedSmb::Config config;
+  config.num_bits = bits;
+  config.threshold = threshold;
+  config.sampling_base = base;
+  config.hash_seed = seed;
+  return config;
+}
+
+std::vector<PreconditionCase> PreconditionCases() {
+  return {
+      {"LinearCounting",
+       [] {
+         return LinearCounting(100, 1).CanMergeWith(LinearCounting(100, 1));
+       },
+       [] {
+         return LinearCounting(100, 1).CanMergeWith(LinearCounting(200, 1));
+       },
+       [] {
+         return LinearCounting(100, 1).CanMergeWith(LinearCounting(100, 2));
+       },
+       nullptr},
+      {"FmPcsa",
+       [] { return FmPcsa(64, 1).CanMergeWith(FmPcsa(64, 1)); },
+       [] { return FmPcsa(64, 1).CanMergeWith(FmPcsa(128, 1)); },
+       [] { return FmPcsa(64, 1).CanMergeWith(FmPcsa(64, 2)); }, nullptr},
+      {"LogLog", [] { return LogLog(64, 1).CanMergeWith(LogLog(64, 1)); },
+       [] { return LogLog(64, 1).CanMergeWith(LogLog(128, 1)); },
+       [] { return LogLog(64, 1).CanMergeWith(LogLog(64, 2)); }, nullptr},
+      {"SuperLogLog",
+       [] { return SuperLogLog(64, 1).CanMergeWith(SuperLogLog(64, 1)); },
+       [] { return SuperLogLog(64, 1).CanMergeWith(SuperLogLog(128, 1)); },
+       [] { return SuperLogLog(64, 1).CanMergeWith(SuperLogLog(64, 2)); },
+       nullptr},
+      {"HyperLogLog",
+       [] { return HyperLogLog(64, 1).CanMergeWith(HyperLogLog(64, 1)); },
+       [] { return HyperLogLog(64, 1).CanMergeWith(HyperLogLog(128, 1)); },
+       [] { return HyperLogLog(64, 1).CanMergeWith(HyperLogLog(64, 2)); },
+       nullptr},
+      {"HyperLogLogPP",
+       [] {
+         return HyperLogLogPP(64, 1).CanMergeWith(HyperLogLogPP(64, 1));
+       },
+       [] {
+         return HyperLogLogPP(64, 1).CanMergeWith(HyperLogLogPP(128, 1));
+       },
+       [] {
+         return HyperLogLogPP(64, 1).CanMergeWith(HyperLogLogPP(64, 2));
+       },
+       nullptr},
+      {"HllTailCut",
+       [] { return HllTailCut(64, 1).CanMergeWith(HllTailCut(64, 1)); },
+       [] { return HllTailCut(64, 1).CanMergeWith(HllTailCut(128, 1)); },
+       [] { return HllTailCut(64, 1).CanMergeWith(HllTailCut(64, 2)); },
+       nullptr},
+      {"KMinValues",
+       [] { return KMinValues(16, 1).CanMergeWith(KMinValues(16, 1)); },
+       [] { return KMinValues(16, 1).CanMergeWith(KMinValues(32, 1)); },
+       [] { return KMinValues(16, 1).CanMergeWith(KMinValues(16, 2)); },
+       nullptr},
+      {"MultiResolutionBitmap",
+       [] {
+         const auto config = MultiResolutionBitmap::Recommend(10000, 100000, 1);
+         return MultiResolutionBitmap(config).CanMergeWith(
+             MultiResolutionBitmap(config));
+       },
+       [] {
+         auto a = MultiResolutionBitmap::Recommend(10000, 100000, 1);
+         auto b = a;
+         b.component_bits *= 2;
+         return MultiResolutionBitmap(a).CanMergeWith(
+             MultiResolutionBitmap(b));
+       },
+       [] {
+         auto a = MultiResolutionBitmap::Recommend(10000, 100000, 1);
+         auto b = a;
+         b.hash_seed = 2;
+         return MultiResolutionBitmap(a).CanMergeWith(
+             MultiResolutionBitmap(b));
+       },
+       [] {
+         auto a = MultiResolutionBitmap::Recommend(10000, 100000, 1);
+         auto b = a;
+         b.num_components += 1;
+         return MultiResolutionBitmap(a).CanMergeWith(
+             MultiResolutionBitmap(b));
+       }},
+      {"SelfMorphingBitmap",
+       [] {
+         return SelfMorphingBitmap(SmbCfg(1024, 128, 1))
+             .CanMergeWith(SelfMorphingBitmap(SmbCfg(1024, 128, 1)));
+       },
+       [] {
+         return SelfMorphingBitmap(SmbCfg(1024, 128, 1))
+             .CanMergeWith(SelfMorphingBitmap(SmbCfg(2048, 128, 1)));
+       },
+       [] {
+         return SelfMorphingBitmap(SmbCfg(1024, 128, 1))
+             .CanMergeWith(SelfMorphingBitmap(SmbCfg(1024, 128, 2)));
+       },
+       [] {
+         return SelfMorphingBitmap(SmbCfg(1024, 128, 1))
+             .CanMergeWith(SelfMorphingBitmap(SmbCfg(1024, 64, 1)));
+       }},
+      {"GeneralizedSmb",
+       [] {
+         return GeneralizedSmb(GenSmbCfg(1024, 128, 2.0, 1))
+             .CanMergeWith(GeneralizedSmb(GenSmbCfg(1024, 128, 2.0, 1)));
+       },
+       [] {
+         return GeneralizedSmb(GenSmbCfg(1024, 128, 2.0, 1))
+             .CanMergeWith(GeneralizedSmb(GenSmbCfg(2048, 128, 2.0, 1)));
+       },
+       [] {
+         return GeneralizedSmb(GenSmbCfg(1024, 128, 2.0, 1))
+             .CanMergeWith(GeneralizedSmb(GenSmbCfg(1024, 128, 2.0, 2)));
+       },
+       [] {
+         return GeneralizedSmb(GenSmbCfg(1024, 128, 2.0, 1))
+             .CanMergeWith(GeneralizedSmb(GenSmbCfg(1024, 128, 1.5, 1)));
+       }},
+  };
+}
+
+class MergePreconditionTest
+    : public ::testing::TestWithParam<PreconditionCase> {};
+
+TEST_P(MergePreconditionTest, SeedSizeAndParamsAreAllChecked) {
+  const PreconditionCase& c = GetParam();
+  EXPECT_TRUE(c.same()) << c.name << ": identical parameters must merge";
+  EXPECT_FALSE(c.diff_size()) << c.name << ": size mismatch must be rejected";
+  EXPECT_FALSE(c.diff_seed()) << c.name << ": seed mismatch must be rejected";
+  if (c.diff_param) {
+    EXPECT_FALSE(c.diff_param())
+        << c.name << ": parameter mismatch must be rejected";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMergeables, MergePreconditionTest,
+    ::testing::ValuesIn(PreconditionCases()),
+    [](const ::testing::TestParamInfo<PreconditionCase>& param_info) {
+      return param_info.param.name;
+    });
 
 TEST(MergeTest, MergeWithEmptyIsIdentity) {
   HyperLogLogPP loaded(512, 3), empty(512, 3);

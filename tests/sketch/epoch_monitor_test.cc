@@ -74,5 +74,95 @@ TEST(EpochMonitorTest, SurgeNeedsCompletedEpoch) {
   EXPECT_TRUE(monitor.SurgingFlows(2.0, 100.0).empty());
 }
 
+TEST(EpochMonitorTest, MinSpreadOnlyGatesFlowsAbsentFromOlderEpoch) {
+  // Regression: min_spread used to filter EVERY flow, contradicting the
+  // header contract ("flows absent from the older epoch are reported when
+  // their spread exceeds min_spread") and hiding established flows that
+  // surged from a small baseline.
+  EpochMonitor monitor(Spec());
+  // Epoch 1: flow 1 small baseline (~100), flow 2 small baseline.
+  for (uint64_t i = 0; i < 100; ++i) monitor.Record(1, i);
+  for (uint64_t i = 0; i < 150; ++i) monitor.Record(2, i);
+  monitor.AdvanceEpoch();
+  // Epoch 2: flow 1 grows 10x but stays BELOW min_spread -> must still be
+  // reported (growth branch; the old code dropped it). Flow 2 stays flat.
+  // Flow 3 is new and below min_spread -> must NOT be reported. Flow 4 is
+  // new and above min_spread -> must be reported.
+  for (uint64_t i = 0; i < 1000; ++i) monitor.Record(1, i);
+  for (uint64_t i = 0; i < 160; ++i) monitor.Record(2, i);
+  for (uint64_t i = 0; i < 500; ++i) monitor.Record(3, i);
+  for (uint64_t i = 0; i < 9000; ++i) monitor.Record(4, i);
+  monitor.AdvanceEpoch();
+
+  const auto surging = monitor.SurgingFlows(/*factor=*/5.0,
+                                            /*min_spread=*/5000.0);
+  EXPECT_NE(std::find(surging.begin(), surging.end(), 1u), surging.end())
+      << "established flow that surged below min_spread must be reported";
+  EXPECT_EQ(std::find(surging.begin(), surging.end(), 2u), surging.end())
+      << "flat flow must not be reported";
+  EXPECT_EQ(std::find(surging.begin(), surging.end(), 3u), surging.end())
+      << "new flow below min_spread must not be reported";
+  EXPECT_NE(std::find(surging.begin(), surging.end(), 4u), surging.end())
+      << "new flow above min_spread must be reported";
+}
+
+TEST(EpochMonitorTest, RetainedEpochsAreStampedNewestFirst) {
+  EpochMonitor monitor(Spec(), /*window_epochs=*/3);
+  EXPECT_TRUE(monitor.RetainedEpochs().empty());
+  for (uint64_t e = 0; e < 5; ++e) {
+    monitor.Record(1, e);
+    monitor.AdvanceEpoch();
+  }
+  // 5 epochs completed (stamps 0..4); the ring keeps the newest 3.
+  const auto stamps = monitor.RetainedEpochs();
+  ASSERT_EQ(stamps.size(), 3u);
+  EXPECT_EQ(stamps[0], 4u);
+  EXPECT_EQ(stamps[1], 3u);
+  EXPECT_EQ(stamps[2], 2u);
+  EXPECT_EQ(monitor.epochs_completed(), 5u);
+}
+
+TEST(EpochMonitorTest, QueryWindowMergesAcrossEpochs) {
+  EpochMonitor monitor(Spec(), /*window_epochs=*/3);
+  // Three epochs of disjoint items for flow 9: 2000 each.
+  for (uint64_t e = 0; e < 3; ++e) {
+    for (uint64_t i = 0; i < 2000; ++i) {
+      monitor.Record(9, e * 1000000 + i);
+    }
+    monitor.AdvanceEpoch();
+  }
+  // Single-epoch view ~2000; the 3-epoch window ~6000 (approximate merge:
+  // DESIGN.md §13 bound 0.08 x 3 = 24%).
+  EXPECT_NEAR(monitor.QueryCompleted(9), 2000.0, 2000.0 * 0.15);
+  EXPECT_NEAR(monitor.QueryWindow(9, 3), 6000.0, 6000.0 * 0.24);
+  // last_k clamps to the retained ring; k = 1 equals the completed view.
+  EXPECT_DOUBLE_EQ(monitor.QueryWindow(9, 1), monitor.QueryCompleted(9));
+  EXPECT_DOUBLE_EQ(monitor.QueryWindow(9, 100), monitor.QueryWindow(9, 3));
+}
+
+TEST(EpochMonitorTest, QueryWindowDedupsRepeatedItems) {
+  EpochMonitor monitor(Spec(), /*window_epochs=*/2);
+  // The same 3000 items in both epochs: the windowed union is still 3000.
+  for (uint64_t e = 0; e < 2; ++e) {
+    for (uint64_t i = 0; i < 3000; ++i) monitor.Record(5, i);
+    monitor.AdvanceEpoch();
+  }
+  EXPECT_NEAR(monitor.QueryWindow(5, 2), 3000.0, 3000.0 * 0.16);
+}
+
+TEST(EpochMonitorTest, QueryWindowHandlesFlowsAbsentFromSomeEpochs) {
+  EpochMonitor monitor(Spec(), /*window_epochs=*/3);
+  // Flow 1 active only in the middle epoch; flow 2 never active.
+  monitor.Record(3, 1);
+  monitor.AdvanceEpoch();
+  for (uint64_t i = 0; i < 1500; ++i) monitor.Record(1, i);
+  monitor.AdvanceEpoch();
+  monitor.Record(3, 2);
+  monitor.AdvanceEpoch();
+  EXPECT_NEAR(monitor.QueryWindow(1, 3), 1500.0, 1500.0 * 0.15);
+  EXPECT_EQ(monitor.QueryWindow(2, 3), 0.0);
+  EXPECT_EQ(monitor.QueryWindow(1, 1), 0.0);  // newest epoch only
+}
+
 }  // namespace
 }  // namespace smb

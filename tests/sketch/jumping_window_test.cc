@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "core/self_morphing_bitmap.h"
 #include "estimators/hyperloglog_pp.h"
 #include "estimators/linear_counting.h"
 
@@ -72,6 +73,68 @@ TEST(JumpingWindowTest, WorksWithLinearCounting) {
   EXPECT_NEAR(window.Estimate(), 6000.0, 6000.0 * 0.05);
   window.Rotate();  // first 3000 leave
   EXPECT_NEAR(window.Estimate(), 3000.0, 3000.0 * 0.05);
+}
+
+TEST(JumpingWindowTest, StatefulFactoryCannotCorruptQueries) {
+  // Regression: Estimate() used to build its merge target with a fresh
+  // make_bucket_() call at query time. A factory whose state drifts after
+  // construction (reseeding, parameter ramps) then produced a target the
+  // constructor's compatibility check never saw — a silently corrupted
+  // estimate. The factory must be invoked only during construction
+  // (num_buckets + 1 times: the buckets plus the query scratch).
+  int calls = 0;
+  JumpingWindow<HyperLogLogPP> window(3, [&calls] {
+    ++calls;
+    // After construction this factory would produce sketches with a
+    // different seed — merge-incompatible with the live buckets.
+    const uint64_t seed = calls <= 4 ? 7 : 999;
+    return HyperLogLogPP(1024, seed);
+  });
+  EXPECT_EQ(calls, 4);  // 3 buckets + 1 scratch, all at construction
+
+  for (uint64_t i = 0; i < 10000; ++i) window.Add(i);
+  window.Rotate();
+  for (uint64_t i = 10000; i < 20000; ++i) window.Add(i);
+
+  HyperLogLogPP reference(1024, 7);
+  for (uint64_t i = 0; i < 20000; ++i) reference.Add(i);
+  EXPECT_DOUBLE_EQ(window.Estimate(), reference.Estimate());
+  EXPECT_EQ(calls, 4);  // queries never re-invoke the factory
+}
+
+JumpingWindow<SelfMorphingBitmap> MakeSmbWindow(size_t buckets) {
+  return JumpingWindow<SelfMorphingBitmap>(buckets, [] {
+    return SelfMorphingBitmap::WithOptimalThreshold(4096, 1000000, 11);
+  });
+}
+
+TEST(JumpingWindowTest, SmbWindowCompilesAndTracksUnion) {
+  // SelfMorphingBitmap satisfies Mergeable via the approximate replay
+  // merge; with B buckets the DESIGN.md §13 bound is 0.08 x B.
+  auto window = MakeSmbWindow(3);
+  for (uint64_t i = 0; i < 10000; ++i) window.Add(i);
+  window.Rotate();
+  for (uint64_t i = 10000; i < 20000; ++i) window.Add(i);
+  window.Rotate();
+  for (uint64_t i = 20000; i < 30000; ++i) window.Add(i);
+  EXPECT_NEAR(window.Estimate(), 30000.0, 30000.0 * 0.24);
+  window.Rotate();  // first 10k leave
+  EXPECT_NEAR(window.Estimate(), 20000.0, 20000.0 * 0.24);
+}
+
+TEST(JumpingWindowTest, SmbWindowDedupsAcrossBuckets) {
+  auto window = MakeSmbWindow(4);
+  for (int bucket = 0; bucket < 4; ++bucket) {
+    for (uint64_t i = 0; i < 5000; ++i) window.Add(i);  // same items
+    if (bucket < 3) window.Rotate();
+  }
+  // Shared seed means shared positions: the union stays ~5000.
+  EXPECT_NEAR(window.Estimate(), 5000.0, 5000.0 * 0.32);
+}
+
+TEST(JumpingWindowTest, SmbEmptyWindowEstimatesZero) {
+  auto window = MakeSmbWindow(2);
+  EXPECT_EQ(window.Estimate(), 0.0);
 }
 
 TEST(JumpingWindowTest, ResetEmptiesEverything) {

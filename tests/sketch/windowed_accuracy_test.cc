@@ -1,0 +1,124 @@
+// Property test for the windowed SMB query surfaces (DESIGN.md §13):
+// JumpingWindow<SelfMorphingBitmap> and EpochMonitor::QueryWindow must
+// stay within the documented K-way merge bound (relative error
+// <= 0.08 x K per query, <= 0.03 x K mean) of an exact-set oracle across
+// randomized record/rotation interleavings. Deterministically seeded;
+// runs in every CI leg including ASan/UBSan.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <unordered_set>
+#include <vector>
+
+#include "core/self_morphing_bitmap.h"
+#include "sketch/epoch_monitor.h"
+#include "sketch/jumping_window.h"
+
+namespace smb {
+namespace {
+
+constexpr size_t kBits = 4096;
+constexpr uint64_t kDesign = 1000000;
+
+double PerQueryBound(size_t merged) { return 0.08 * static_cast<double>(merged); }
+double MeanBound(size_t merged) { return 0.03 * static_cast<double>(merged); }
+
+TEST(WindowedAccuracyTest, JumpingWindowTracksExactOracle) {
+  std::mt19937_64 rng(2024);
+  const size_t kBuckets = 4;
+  const int kTrials = 12;
+  double sum_err = 0.0;
+  size_t samples = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    JumpingWindow<SelfMorphingBitmap> window(kBuckets, [trial] {
+      return SelfMorphingBitmap::WithOptimalThreshold(
+          kBits, kDesign, 1000 + static_cast<uint64_t>(trial));
+    });
+    // Exact oracle: one set per live bucket, rotated in lockstep.
+    std::vector<std::unordered_set<uint64_t>> exact(kBuckets);
+    size_t head = 0;
+    // Random interleaving: each step is either a batch of records (drawn
+    // from a duplicate-heavy domain) or a rotation.
+    std::uniform_int_distribution<uint64_t> item_of(0, 50000);
+    std::uniform_int_distribution<int> batch_of(50, 3000);
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    const int kSteps = 30;
+    for (int step = 0; step < kSteps; ++step) {
+      if (coin(rng) < 0.25) {
+        window.Rotate();
+        head = (head + 1) % kBuckets;
+        exact[head].clear();
+      } else {
+        const int batch = batch_of(rng);
+        for (int i = 0; i < batch; ++i) {
+          const uint64_t item = item_of(rng);
+          window.Add(item);
+          exact[head].insert(item);
+        }
+      }
+      std::unordered_set<uint64_t> window_union;
+      for (const auto& bucket : exact) {
+        window_union.insert(bucket.begin(), bucket.end());
+      }
+      if (window_union.size() < 100) continue;  // relative error unstable
+      const double truth = static_cast<double>(window_union.size());
+      const double err = std::abs(window.Estimate() - truth) / truth;
+      EXPECT_LE(err, PerQueryBound(kBuckets))
+          << "trial " << trial << " step " << step << " truth " << truth;
+      sum_err += err;
+      ++samples;
+    }
+  }
+  ASSERT_GT(samples, 100u);
+  EXPECT_LE(sum_err / static_cast<double>(samples), MeanBound(kBuckets));
+}
+
+TEST(WindowedAccuracyTest, EpochMonitorQueryWindowTracksExactOracle) {
+  std::mt19937_64 rng(4048);
+  const size_t kEpochs = 3;
+  const int kTrials = 4;
+  const uint64_t kFlows = 12;
+  double sum_err = 0.0;
+  size_t samples = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    EstimatorSpec spec;
+    spec.kind = EstimatorKind::kSmb;
+    spec.memory_bits = kBits;
+    spec.design_cardinality = kDesign;
+    spec.hash_seed = 77 + static_cast<uint64_t>(trial);
+    EpochMonitor monitor(spec, kEpochs);
+    std::vector<std::unordered_set<uint64_t>> exact(kFlows);
+    std::uniform_int_distribution<uint64_t> item_of(0, 30000);
+    std::uniform_real_distribution<double> log_n(std::log(100.0),
+                                                 std::log(10000.0));
+    for (size_t e = 0; e < kEpochs; ++e) {
+      for (uint64_t flow = 0; flow < kFlows; ++flow) {
+        const auto n = static_cast<uint64_t>(std::exp(log_n(rng)));
+        for (uint64_t i = 0; i < n; ++i) {
+          const uint64_t item = item_of(rng);
+          monitor.Record(flow, item);
+          exact[flow].insert(item);
+        }
+      }
+      monitor.AdvanceEpoch();
+    }
+    for (uint64_t flow = 0; flow < kFlows; ++flow) {
+      const double truth = static_cast<double>(exact[flow].size());
+      if (truth < 100.0) continue;
+      const double err =
+          std::abs(monitor.QueryWindow(flow, kEpochs) - truth) / truth;
+      EXPECT_LE(err, PerQueryBound(kEpochs))
+          << "trial " << trial << " flow " << flow << " truth " << truth;
+      sum_err += err;
+      ++samples;
+    }
+  }
+  ASSERT_GT(samples, 30u);
+  EXPECT_LE(sum_err / static_cast<double>(samples), MeanBound(kEpochs));
+}
+
+}  // namespace
+}  // namespace smb

@@ -3,9 +3,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <span>
 #include <thread>
 
+#include "common/build_info.h"
 #include "hash/batch_hash.h"
 #include "hash/murmur3.h"
 #include "simd/simd_dispatch.h"
@@ -33,6 +35,11 @@ BenchScale ParseScale(int argc, char** argv) {
                      sizeof(kPlainSpeedupFlag) - 1) == 0) {
       scale.assert_speedup =
           std::strtod(argv[i] + sizeof(kPlainSpeedupFlag) - 1, nullptr);
+    }
+    constexpr const char kTraceOutFlag[] = "--trace-out=";
+    if (std::strncmp(argv[i], kTraceOutFlag, sizeof(kTraceOutFlag) - 1) ==
+        0) {
+      scale.trace_out = argv[i] + sizeof(kTraceOutFlag) - 1;
     }
   }
   scale.runs = scale.full ? 100 : 10;
@@ -88,6 +95,23 @@ void WriteEnvironmentJson(JsonWriter* json) {
   json->String(BatchDispatchTargetName());
   json->Key("telemetry_enabled");
   json->Bool(telemetry::kEnabled);
+  // Provenance: when and from what this artifact was produced, so a
+  // BENCH_*.json pulled out of CI months later still identifies its
+  // source revision and build configuration.
+  char timestamp[32] = {0};
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  if (gmtime_r(&now, &utc) != nullptr) {
+    std::strftime(timestamp, sizeof(timestamp), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  }
+  json->Key("timestamp_utc");
+  json->String(timestamp);
+  json->Key("git_sha");
+  json->String(SMB_BUILD_GIT_SHA);
+  json->Key("build_type");
+  json->String(SMB_BUILD_TYPE);
+  json->Key("build_options");
+  json->String(SMB_BUILD_OPTIONS);
   json->EndObject();
 }
 

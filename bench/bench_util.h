@@ -35,6 +35,11 @@ struct BenchScale {
   // comparison is not AddBatch-vs-Add (e.g. per_flow_throughput's
   // arena-vs-legacy-engine ratio; 0 disables the assertion).
   double assert_speedup = 0.0;
+  // --trace-out=PATH captures the span tracer across the measured runs
+  // and writes Chrome trace-event JSON to PATH. In SMB_TRACING=OFF builds
+  // the file is still written (a valid zero-event trace), so scripts need
+  // no build-mode branches.
+  std::string trace_out;
 };
 
 // Parses --full and environment overrides.

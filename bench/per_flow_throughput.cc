@@ -31,6 +31,7 @@
 #include "flow/sharded_flow_monitor.h"
 #include "sketch/per_flow_monitor.h"
 #include "stream/trace_gen.h"
+#include "trace/span_tracer.h"
 
 namespace smb::bench {
 namespace {
@@ -107,6 +108,10 @@ int Run(const BenchScale& scale) {
   const EstimatorSpec spec =
       MonitorSpec(/*design_cardinality=*/config.max_cardinality);
 
+  // Span capture across every measured mode (the resulting trace shows
+  // the real pipeline under bench load). No-op in SMB_TRACING=OFF builds.
+  if (!scale.trace_out.empty()) trace::StartCapture();
+
   PerFlowMonitor legacy(spec, PerFlowMonitor::Engine::kLegacyMap);
   PerFlowMonitor arena(spec, PerFlowMonitor::Engine::kArena);
   std::vector<ModeResult> results;
@@ -127,6 +132,28 @@ int Run(const BenchScale& scale) {
   std::vector<size_t> producer_counts = {1, 2, 4};
   for (size_t producers : producer_counts) {
     results.push_back(RunParallel(trace, spec, producers, shards));
+  }
+
+  if (!scale.trace_out.empty()) {
+    // Every traced thread has been joined (RunParallel joins its workers),
+    // so the export sees quiescent rings.
+    trace::StopCapture();
+    std::FILE* f = std::fopen(scale.trace_out.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   scale.trace_out.c_str());
+      return 1;
+    }
+    const std::string blob = trace::ExportChromeTrace();
+    const bool wrote =
+        std::fwrite(blob.data(), 1, blob.size(), f) == blob.size();
+    std::fclose(f);
+    if (!wrote) {
+      std::fprintf(stderr, "error: short write to %s\n",
+                   scale.trace_out.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", scale.trace_out.c_str());
   }
 
   const double legacy_mpps = results[0].mpps;

@@ -1,0 +1,228 @@
+#include "common/json_value.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace smb {
+
+bool JsonValue::AsU64(uint64_t* out) const {
+  if (kind != kNumber || !number_is_integer || number_negative) {
+    return false;
+  }
+  *out = number_magnitude;
+  return true;
+}
+
+bool JsonValue::AsI64(int64_t* out) const {
+  if (kind != kNumber || !number_is_integer) return false;
+  if (number_negative) {
+    if (number_magnitude > uint64_t{1} << 63) return false;
+    *out = -static_cast<int64_t>(number_magnitude - 1) - 1;
+  } else {
+    if (number_magnitude > static_cast<uint64_t>(INT64_MAX)) return false;
+    *out = static_cast<int64_t>(number_magnitude);
+  }
+  return true;
+}
+
+bool JsonValue::AsDouble(double* out) const {
+  if (kind != kNumber) return false;
+  *out = number_value;
+  return true;
+}
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text)
+      : p_(text.data()), end_(text.data() + text.size()) {}
+
+  bool ParseDocument(JsonValue* out) {
+    SkipWhitespace();
+    if (!ParseValue(out, 0)) return false;
+    SkipWhitespace();
+    return p_ == end_;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 32;
+
+  void SkipWhitespace() {
+    while (p_ != end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                          *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (p_ == end_ || *p_ != c) return false;
+    ++p_;
+    return true;
+  }
+
+  bool ConsumeLiteral(std::string_view literal) {
+    if (static_cast<size_t>(end_ - p_) < literal.size()) return false;
+    if (std::string_view(p_, literal.size()) != literal) return false;
+    p_ += literal.size();
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (p_ != end_ && *p_ != '"') {
+      if (*p_ == '\\') {
+        ++p_;
+        if (p_ == end_) return false;
+        switch (*p_) {
+          case 'n': out->push_back('\n'); break;
+          case 't': out->push_back('\t'); break;
+          case 'r': out->push_back('\r'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'u': {
+            if (end_ - p_ < 5) return false;
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              const char c = p_[i];
+              code <<= 4;
+              if (c >= '0' && c <= '9') {
+                code |= static_cast<unsigned>(c - '0');
+              } else if (c >= 'a' && c <= 'f') {
+                code |= static_cast<unsigned>(c - 'a' + 10);
+              } else if (c >= 'A' && c <= 'F') {
+                code |= static_cast<unsigned>(c - 'A' + 10);
+              } else {
+                return false;
+              }
+            }
+            // The writers only emit \u for control bytes; anything above
+            // Latin-1 is out of scope for this parser.
+            if (code > 0xFF) return false;
+            out->push_back(static_cast<char>(code));
+            p_ += 4;
+            break;
+          }
+          default: out->push_back(*p_);
+        }
+        ++p_;
+      } else {
+        out->push_back(*p_);
+        ++p_;
+      }
+    }
+    return Consume('"');
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    out->kind = JsonValue::kNumber;
+    const char* start = p_;
+    if (p_ != end_ && *p_ == '-') {
+      out->number_negative = true;
+      ++p_;
+    }
+    const char* digits_start = p_;
+    while (p_ != end_ && std::isdigit(static_cast<unsigned char>(*p_))) ++p_;
+    if (p_ == digits_start) return false;
+    bool is_integer = true;
+    if (p_ != end_ && (*p_ == '.' || *p_ == 'e' || *p_ == 'E')) {
+      is_integer = false;
+      while (p_ != end_ &&
+             (std::isdigit(static_cast<unsigned char>(*p_)) || *p_ == '.' ||
+              *p_ == 'e' || *p_ == 'E' || *p_ == '+' || *p_ == '-')) {
+        ++p_;
+      }
+    }
+    out->number_is_integer = is_integer;
+    if (is_integer) {
+      uint64_t magnitude = 0;
+      for (const char* c = digits_start; c != p_; ++c) {
+        if (magnitude > (UINT64_MAX - static_cast<uint64_t>(*c - '0')) / 10) {
+          return false;  // overflow
+        }
+        magnitude = magnitude * 10 + static_cast<uint64_t>(*c - '0');
+      }
+      out->number_magnitude = magnitude;
+      out->number_value = out->number_negative
+                              ? -static_cast<double>(magnitude)
+                              : static_cast<double>(magnitude);
+    } else {
+      // The token matched the number grammar above; strtod re-reads it to
+      // produce the double value (a null-terminated copy keeps it bounded).
+      const std::string token(start, static_cast<size_t>(p_ - start));
+      char* parse_end = nullptr;
+      out->number_value = std::strtod(token.c_str(), &parse_end);
+      if (parse_end != token.c_str() + token.size()) return false;
+    }
+    return p_ != start;
+  }
+
+  bool ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return false;
+    SkipWhitespace();
+    if (p_ == end_) return false;
+    switch (*p_) {
+      case '{': {
+        ++p_;
+        out->kind = JsonValue::kObject;
+        SkipWhitespace();
+        if (Consume('}')) return true;
+        while (true) {
+          SkipWhitespace();
+          std::string key;
+          if (!ParseString(&key)) return false;
+          SkipWhitespace();
+          if (!Consume(':')) return false;
+          JsonValue value;
+          if (!ParseValue(&value, depth + 1)) return false;
+          out->object.emplace_back(std::move(key), std::move(value));
+          SkipWhitespace();
+          if (Consume(',')) continue;
+          return Consume('}');
+        }
+      }
+      case '[': {
+        ++p_;
+        out->kind = JsonValue::kArray;
+        SkipWhitespace();
+        if (Consume(']')) return true;
+        while (true) {
+          JsonValue value;
+          if (!ParseValue(&value, depth + 1)) return false;
+          out->array.push_back(std::move(value));
+          SkipWhitespace();
+          if (Consume(',')) continue;
+          return Consume(']');
+        }
+      }
+      case '"':
+        out->kind = JsonValue::kString;
+        return ParseString(&out->string);
+      case 't':
+        out->kind = JsonValue::kBool;
+        out->boolean = true;
+        return ConsumeLiteral("true");
+      case 'f':
+        out->kind = JsonValue::kBool;
+        out->boolean = false;
+        return ConsumeLiteral("false");
+      case 'n':
+        out->kind = JsonValue::kNull;
+        return ConsumeLiteral("null");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+}  // namespace
+
+bool ParseJsonDocument(std::string_view text, JsonValue* out) {
+  return JsonParser(text).ParseDocument(out);
+}
+
+}  // namespace smb

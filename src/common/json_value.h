@@ -1,0 +1,57 @@
+// Minimal JSON document parser shared by consumers that must *read* JSON
+// this repo itself produced: the telemetry snapshot parser and the Chrome
+// trace-event schema validator. Scope matches what common/json_writer.h
+// can emit (objects, arrays, strings with the writer's escape set,
+// integers, fixed-point doubles, bools, null); any malformed input fails
+// the whole parse rather than yielding a partial document. Not a
+// general-purpose JSON library.
+
+#ifndef SMBCARD_COMMON_JSON_VALUE_H_
+#define SMBCARD_COMMON_JSON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace smb {
+
+struct JsonValue {
+  enum Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = kNull;
+  bool boolean = false;
+  bool number_negative = false;
+  uint64_t number_magnitude = 0;  // valid for integer tokens
+  bool number_is_integer = false;
+  double number_value = 0.0;  // valid for every number token
+  std::string string;
+  std::vector<JsonValue> array;
+  // Insertion order preserved; duplicate keys are kept (Find returns the
+  // first), mirroring what a streaming writer can produce.
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  // First member named `key`, or nullptr. Only meaningful for kObject.
+  const JsonValue* Find(std::string_view key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+
+  // Integer accessors succeed only for integer tokens in range (a value
+  // written as 1.5 or 1e3 is not silently truncated).
+  bool AsU64(uint64_t* out) const;
+  bool AsI64(int64_t* out) const;
+  // Any number token (integer or not) as a double.
+  bool AsDouble(double* out) const;
+};
+
+// Parses one complete JSON document (no trailing bytes other than
+// whitespace). Returns false and leaves *out unspecified on any syntax
+// error, nesting beyond the supported depth, or integer overflow.
+bool ParseJsonDocument(std::string_view text, JsonValue* out);
+
+}  // namespace smb
+
+#endif  // SMBCARD_COMMON_JSON_VALUE_H_

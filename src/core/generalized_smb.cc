@@ -7,6 +7,8 @@
 #include "common/macros.h"
 #include "core/smb_merge.h"
 #include "hash/murmur3.h"
+#include "trace/flight_recorder.h"
+#include "trace/span_tracer.h"
 
 namespace smb {
 
@@ -59,6 +61,8 @@ void GeneralizedSmb::AddHash(Hash128 hash) {
   if (SMB_UNLIKELY(ones_in_round_ >= threshold_) && round_ < max_round_) {
     ++round_;
     ones_in_round_ = 0;
+    trace::FlightRecorder::Global().Record(trace::FlightEventType::kMorph,
+                                           /*instance=*/0, round_, 0);
   }
 }
 
@@ -66,6 +70,11 @@ void GeneralizedSmb::MergeFrom(const GeneralizedSmb& other) {
   SMB_CHECK_MSG(CanMergeWith(other),
                 "GenSMB merge requires equal (num_bits, threshold, base, "
                 "hash_seed)");
+  TRACE_SPAN("core", "gensmb.merge_replay");
+  trace::FlightRecorder::Global().Record(
+      trace::FlightEventType::kMergeOp,
+      static_cast<uint64_t>(Estimate()),
+      static_cast<uint64_t>(other.Estimate()), /*kind=*/1);
   const SmbMergeGeometry geometry{bits_.size(), threshold_, max_round_,
                                   base_};
   const uint64_t salt = Murmur3Fmix64(hash_seed() ^ kSmbMergeSalt);

@@ -66,6 +66,8 @@ class GeneralizedSmb final : public CardinalityEstimator {
   // Requires CanMergeWith(other).
   void MergeFrom(const GeneralizedSmb& other);
 
+  size_t num_bits() const { return bits_.size(); }
+  size_t threshold() const { return threshold_; }
   size_t round() const { return round_; }
   size_t ones_in_round() const { return ones_in_round_; }
   double sampling_base() const { return base_; }

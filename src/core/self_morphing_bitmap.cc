@@ -12,6 +12,8 @@
 #include "hash/geometric.h"
 #include "telemetry/metrics_registry.h"
 #include "telemetry/morph_tracer.h"
+#include "trace/flight_recorder.h"
+#include "trace/span_tracer.h"
 
 namespace smb {
 
@@ -107,6 +109,16 @@ inline void SelfMorphingBitmap::MorphIfRoundFull() {
   if (SMB_UNLIKELY(ones_in_round_ >= threshold_) && round_ < max_round_) {
     ++round_;
     ones_in_round_ = 0;
+    // Black-box morph transition: (instance, new round, items seen).
+    // Morphs fire at most max_round times per sketch lifetime, so the
+    // flight ring's mutex is nowhere near the per-item path.
+    trace::FlightRecorder::Global().Record(trace::FlightEventType::kMorph,
+#if SMB_TELEMETRY_ENABLED
+                                           telem_instance_id_, round_,
+                                           telem_items_seen_);
+#else
+                                           0, round_, 0);
+#endif
 #if SMB_TELEMETRY_ENABLED
     RecordMorphTelemetry();
 #endif
@@ -128,7 +140,10 @@ void SelfMorphingBitmap::AddBatch(std::span<const uint64_t> items) {
   size_t surv_pos[kBatchBlock];
   while (!items.empty()) {
     const size_t n = std::min(items.size(), kBatchBlock);
-    BatchHashAndRank(items.data(), n, hash_seed(), lo, rank);
+    {
+      TRACE_SPAN("core", "smb.batch_hash_rank");
+      BatchHashAndRank(items.data(), n, hash_seed(), lo, rank);
+    }
 
     // Gate-first lane compaction. round_ only grows within a block, so a
     // lane rejected at the entry round would also be rejected at its turn
@@ -137,21 +152,27 @@ void SelfMorphingBitmap::AddBatch(std::span<const uint64_t> items) {
     // re-gates each lane).
     const size_t round_at_entry = round_;
     size_t survivors = 0;
-    for (size_t i = 0; i < n; ++i) {
-      if (SMB_UNLIKELY(static_cast<size_t>(rank[i]) >= round_at_entry)) {
-        surv_lo[survivors] = lo[i];
-        surv_rank[survivors] = rank[i];
-        ++survivors;
+    {
+      TRACE_SPAN("core", "smb.gate_compact");
+      for (size_t i = 0; i < n; ++i) {
+        if (SMB_UNLIKELY(static_cast<size_t>(rank[i]) >= round_at_entry)) {
+          surv_lo[survivors] = lo[i];
+          surv_rank[survivors] = rank[i];
+          ++survivors;
+        }
       }
-    }
-    for (size_t j = 0; j < survivors; ++j) {
-      surv_pos[j] = FastRange64(surv_lo[j], bits_.size());
-      bits_.PrefetchForWrite(surv_pos[j]);
+      for (size_t j = 0; j < survivors; ++j) {
+        surv_pos[j] = FastRange64(surv_lo[j], bits_.size());
+        bits_.PrefetchForWrite(surv_pos[j]);
+      }
     }
 #if SMB_TELEMETRY_ENABLED
     telem_items_seen_ += n;
 #endif
-    ApplySurvivors(n, survivors, surv_rank, surv_pos);
+    {
+      TRACE_SPAN("core", "smb.apply");
+      ApplySurvivors(n, survivors, surv_rank, surv_pos);
+    }
     items = items.subspan(n);
   }
 }
@@ -259,6 +280,11 @@ void SelfMorphingBitmap::EstimateMany(
 void SelfMorphingBitmap::MergeFrom(const SelfMorphingBitmap& other) {
   SMB_CHECK_MSG(CanMergeWith(other),
                 "SMB merge requires equal (num_bits, threshold, hash_seed)");
+  TRACE_SPAN("core", "smb.merge_replay");
+  trace::FlightRecorder::Global().Record(
+      trace::FlightEventType::kMergeOp,
+      static_cast<uint64_t>(Estimate()),
+      static_cast<uint64_t>(other.Estimate()), /*kind=*/0);
   const SmbMergeGeometry geometry{bits_.size(), threshold_, max_round_,
                                   /*sampling_base=*/2.0};
   const uint64_t salt = Murmur3Fmix64(hash_seed() ^ kSmbMergeSalt);

@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "hash/murmur3.h"
+#include "trace/flight_recorder.h"
 
 namespace smb::fault {
 namespace {
@@ -238,6 +239,12 @@ FailpointHit FailpointRegistry::Evaluate(std::string_view name) {
     hit.action = spec.action;
     hit.arg = spec.arg;
   }
+  // Black-box record of every fire (name is carried as its Murmur3 hash —
+  // the post-mortem inspector matches it against the registered names).
+  trace::FlightRecorder::Global().Record(
+      trace::FlightEventType::kFailpointFire,
+      Murmur3_64(name, /*seed=*/0x46415350u),
+      static_cast<uint64_t>(hit.action), hit.arg);
   // Side-effect actions run outside the lock and are fully handled here:
   // the call site must not take its failure branch for them.
   if (hit.action == FailpointAction::kDelay) {

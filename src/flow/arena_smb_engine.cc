@@ -12,6 +12,7 @@
 #include "hash/geometric.h"
 #include "hash/murmur3.h"
 #include "telemetry/metrics_registry.h"
+#include "trace/span_tracer.h"
 
 namespace smb {
 
@@ -145,50 +146,67 @@ void ArenaSmbEngine::RecordBatch(const Packet* packets, size_t n) {
     // Stage 1: SoA split + one SIMD pass over the block's flow keys. The
     // kernel's lo lane with the table's seed IS the bucket hash, so the
     // table never hashes a key itself on this path.
-    for (size_t i = 0; i < nb; ++i) {
-      flows[i] = packets[i].flow;
-      elems[i] = packets[i].element;
+    {
+      TRACE_SPAN("flow", "arena.flow_hash");
+      for (size_t i = 0; i < nb; ++i) {
+        flows[i] = packets[i].flow;
+        elems[i] = packets[i].element;
+      }
+      BatchHashAndRank(flows, nb, FlowTable::kHashSeed, bucket_lo,
+                       scratch_rank);
     }
-    BatchHashAndRank(flows, nb, FlowTable::kHashSeed, bucket_lo,
-                     scratch_rank);
     // Stage 2: table lookups with bucket prefetch running kLookAhead
     // lanes ahead, then gather each lane's seed offset and prefetch its
     // gate metadata. Inserts (and thus slab growth) all happen here, so
     // later stages can hold raw slab pointers.
-    for (size_t i = 0; i < std::min(kLookAhead, nb); ++i) {
-      table_.PrefetchBucket(bucket_lo[i]);
-    }
-    for (size_t i = 0; i < nb; ++i) {
-      if (i + kLookAhead < nb) table_.PrefetchBucket(bucket_lo[i + kLookAhead]);
-      slots[i] = FindOrCreateSlot(flows[i], bucket_lo[i]);
-      offsets[i] = seed_offsets_[slots[i]];
-      __builtin_prefetch(meta_.data() + slots[i], 0, 3);
+    {
+      TRACE_SPAN("flow", "arena.table_lookup");
+      for (size_t i = 0; i < std::min(kLookAhead, nb); ++i) {
+        table_.PrefetchBucket(bucket_lo[i]);
+      }
+      for (size_t i = 0; i < nb; ++i) {
+        if (i + kLookAhead < nb) {
+          table_.PrefetchBucket(bucket_lo[i + kLookAhead]);
+        }
+        slots[i] = FindOrCreateSlot(flows[i], bucket_lo[i]);
+        offsets[i] = seed_offsets_[slots[i]];
+        __builtin_prefetch(meta_.data() + slots[i], 0, 3);
+      }
     }
     // Stage 3: one keyed SIMD pass hashes the block's elements, each lane
     // with its own flow's seed.
-    BatchHashAndRankKeyed(elems, offsets, nb, elem_lo, elem_rank);
+    {
+      TRACE_SPAN("flow", "arena.elem_hash_keyed");
+      BatchHashAndRankKeyed(elems, offsets, nb, elem_lo, elem_rank);
+    }
     // Stage 4: gate-first compaction against each lane's current round +
     // slab-word prefetch for the survivors. Safe to gate early: a flow's
     // round only grows, so a lane rejected now would also be rejected at
     // its sequential turn; survivors are re-gated against the live round
     // in stage 5.
     size_t survivors = 0;
-    for (size_t i = 0; i < nb; ++i) {
-      const uint32_t round = meta_[slots[i]] >> kRoundShift;
-      if (SMB_UNLIKELY(elem_rank[i] >= round)) {
-        surv_slot[survivors] = slots[i];
-        surv_lo[survivors] = elem_lo[i];
-        surv_rank[survivors] = elem_rank[i];
-        const size_t pos = FastRange64(elem_lo[i], config_.num_bits);
-        __builtin_prefetch(arena_.SlotWords(slots[i]) + (pos >> 6), 1, 3);
-        ++survivors;
+    {
+      TRACE_SPAN("flow", "arena.gate_compact");
+      for (size_t i = 0; i < nb; ++i) {
+        const uint32_t round = meta_[slots[i]] >> kRoundShift;
+        if (SMB_UNLIKELY(elem_rank[i] >= round)) {
+          surv_slot[survivors] = slots[i];
+          surv_lo[survivors] = elem_lo[i];
+          surv_rank[survivors] = elem_rank[i];
+          const size_t pos = FastRange64(elem_lo[i], config_.num_bits);
+          __builtin_prefetch(arena_.SlotWords(slots[i]) + (pos >> 6), 1, 3);
+          ++survivors;
+        }
       }
     }
     // Stage 5: in-order apply. ApplyToSlot re-gates against the live
     // metadata, so duplicate flows inside one block see each other's
     // probes and morphs exactly as a sequential Record() loop would.
-    for (size_t j = 0; j < survivors; ++j) {
-      ApplyToSlot(surv_slot[j], surv_lo[j], surv_rank[j]);
+    {
+      TRACE_SPAN("flow", "arena.apply");
+      for (size_t j = 0; j < survivors; ++j) {
+        ApplyToSlot(surv_slot[j], surv_lo[j], surv_rank[j]);
+      }
     }
     packets += nb;
     n -= nb;

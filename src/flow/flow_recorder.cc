@@ -9,6 +9,7 @@
 #include "common/macros.h"
 #include "hash/batch_hash.h"
 #include "parallel/spsc_ring.h"
+#include "trace/span_tracer.h"
 
 namespace smb {
 namespace {
@@ -107,12 +108,14 @@ FlowRecorderStats FlowParallelRecorder::RecordTrace(
       while (true) {
         const size_t n = ring->TryPop(chunk.data(), chunk.size());
         if (n > 0) {
+          TRACE_SPAN("flow", "flow.drain_chunk");
           shard->RecordBatch(chunk.data(), n);
           continue;
         }
         if (producer_done[p].load(std::memory_order_acquire)) {
           const size_t rest = ring->TryPop(chunk.data(), chunk.size());
           if (rest == 0) break;
+          TRACE_SPAN("flow", "flow.drain_chunk");
           shard->RecordBatch(chunk.data(), rest);
         } else {
           std::this_thread::yield();

@@ -14,6 +14,8 @@
 #include "common/macros.h"
 #include "fault/failpoints.h"
 #include "io/crc32c.h"
+#include "trace/flight_recorder.h"
+#include "trace/span_tracer.h"
 
 namespace smb::io {
 namespace {
@@ -272,6 +274,7 @@ std::vector<uint64_t> CheckpointStore::ListGenerations() const {
 
 CheckpointStore::WriteResult CheckpointStore::Write(
     std::span<const uint8_t> payload) {
+  TRACE_SPAN("io", "checkpoint.write");
   WriteResult result;
   result.generation = next_generation_;
   const auto write_error = SMB_FAILPOINT("checkpoint.write.error");
@@ -356,6 +359,9 @@ CheckpointStore::WriteResult CheckpointStore::Write(
     FsyncPath(options_.directory, &dir_error);  // best effort
   }
 
+  trace::FlightRecorder::Global().Record(
+      trace::FlightEventType::kCheckpointWrite, result.generation,
+      payload.size(), 0);
   ++next_generation_;
   // Keep-last-K rotation (the freshly written generation counts).
   const std::vector<uint64_t> generations = ListGenerations();
@@ -371,6 +377,7 @@ CheckpointStore::WriteResult CheckpointStore::Write(
 }
 
 CheckpointStore::RecoverResult CheckpointStore::RecoverLatest() {
+  TRACE_SPAN("io", "checkpoint.recover");
   RecoverResult result;
   std::vector<uint64_t> generations = ListGenerations();
   if (generations.empty()) {
@@ -391,6 +398,9 @@ CheckpointStore::RecoverResult CheckpointStore::RecoverLatest() {
         if (stored_generation == *it) {
           result.ok = true;
           result.generation = *it;
+          trace::FlightRecorder::Global().Record(
+              trace::FlightEventType::kCheckpointRecover, result.generation,
+              result.payload.size(), result.skipped.size());
           return result;
         }
         reason = "generation header does not match file name";

@@ -12,6 +12,8 @@
 #include "parallel/overload_policy.h"
 #include "parallel/spsc_ring.h"
 #include "telemetry/metrics_registry.h"
+#include "trace/flight_recorder.h"
+#include "trace/span_tracer.h"
 
 #if SMB_TELEMETRY_ENABLED
 #include <algorithm>
@@ -183,6 +185,7 @@ RecorderRunStats ParallelRecorder::RecordStream(
     CardinalityEstimator* estimator_shard = estimator_->shard(k);
     // Single apply point so the drain latency histogram covers every chunk.
     auto shard_add_batch = [&](std::span<const uint64_t> run) {
+      TRACE_SPAN("parallel", "recorder.drain_chunk");
 #if SMB_TELEMETRY_ENABLED
       const uint64_t start_ns = telemetry::MonotonicNanos();
       estimator_shard->AddBatch(run);
@@ -249,6 +252,16 @@ RecorderRunStats ParallelRecorder::RecordStream(
   }
   for (auto& t : producers) t.join();
   for (auto& t : consumers) t.join();
+
+  // Black-box record of an overloaded run: the policy that was active and
+  // what it cost. One event per run, only when the policy actually acted.
+  if (stats.items_dropped > 0 || stats.degrade_events > 0 ||
+      stats.ring_full_stalls > 0) {
+    trace::FlightRecorder::Global().Record(
+        trace::FlightEventType::kOverloadAction,
+        static_cast<uint64_t>(options_.overload_policy), stats.items_dropped,
+        stats.degrade_events);
+  }
 
 #if SMB_TELEMETRY_ENABLED
   // The recorder routes items straight into shard estimators, bypassing

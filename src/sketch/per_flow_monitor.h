@@ -119,6 +119,12 @@ class PerFlowMonitor {
   // The engine actually in use (never kAuto).
   Engine engine() const { return engine_; }
 
+  // The backing arena engine when engine() == kArena (for read-only
+  // inspection, e.g. the health probe); nullptr on the legacy map.
+  const ArenaSmbEngine* arena_engine() const {
+    return arena_.has_value() ? &*arena_ : nullptr;
+  }
+
  private:
   EstimatorSpec spec_;
   Engine engine_ = Engine::kLegacyMap;

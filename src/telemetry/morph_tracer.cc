@@ -35,6 +35,11 @@ uint64_t MorphTracer::TotalRecorded() const {
   return total_;
 }
 
+uint64_t MorphTracer::Dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_ > kCapacity ? total_ - kCapacity : 0;
+}
+
 void MorphTracer::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   ring_.clear();

@@ -61,6 +61,8 @@ class MorphTracer {
   // wraps, the oldest events are gone (TotalRecorded keeps the true count).
   std::vector<MorphEvent> Events() const;
   uint64_t TotalRecorded() const;
+  // Events lost to ring wrap: TotalRecorded() - Events().size().
+  uint64_t Dropped() const;
   void Clear();
 
  private:
@@ -90,6 +92,7 @@ class MorphTracer {
   void Record(const MorphEvent&) {}
   std::vector<MorphEvent> Events() const { return {}; }
   uint64_t TotalRecorded() const { return 0; }
+  uint64_t Dropped() const { return 0; }
   void Clear() {}
 };
 

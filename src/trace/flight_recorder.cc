@@ -1,0 +1,273 @@
+#include "trace/flight_recorder.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "io/crc32c.h"
+#include "trace/trace_clock.h"
+
+namespace smb::trace {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'M', 'B', 'F', 'R', '1', '\0', '\0'};
+constexpr uint32_t kVersion = 1;
+
+void StoreU32(uint8_t* p, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    p[i] = static_cast<uint8_t>(value >> (8 * i));
+  }
+}
+
+void StoreU64(uint8_t* p, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<uint8_t>(value >> (8 * i));
+  }
+}
+
+uint32_t LoadU32(const uint8_t* p) {
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<uint32_t>(p[i]) << (8 * i);
+  }
+  return value;
+}
+
+uint64_t LoadU64(const uint8_t* p) {
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  return value;
+}
+
+uint8_t* StoreEvent(uint8_t* p, const FlightEvent& event) {
+  StoreU64(p, event.timestamp_ns);
+  StoreU32(p + 8, static_cast<uint32_t>(event.type));
+  StoreU32(p + 12, 0);  // reserved
+  StoreU64(p + 16, event.a);
+  StoreU64(p + 24, event.b);
+  StoreU64(p + 32, event.c);
+  return p + FlightRecorder::kEventBytes;
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::Global() {
+  // Leaked: events may be recorded during static destruction, and the
+  // crash handler must be able to reach it at any time.
+  static FlightRecorder* recorder = new FlightRecorder;
+  return *recorder;
+}
+
+void FlightRecorder::Record(FlightEventType type, uint64_t a, uint64_t b,
+                            uint64_t c) {
+  FlightEvent event;
+  event.timestamp_ns = TraceNowNanos();
+  event.type = type;
+  event.a = a;
+  event.b = b;
+  event.c = c;
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t head = head_.load(std::memory_order_relaxed);
+  ring_[head % kCapacity] = event;
+  head_.store(head + 1, std::memory_order_release);
+}
+
+std::vector<FlightEvent> FlightRecorder::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t head = head_.load(std::memory_order_relaxed);
+  const uint64_t retained = std::min<uint64_t>(head, kCapacity);
+  std::vector<FlightEvent> out;
+  out.reserve(static_cast<size_t>(retained));
+  for (uint64_t i = head - retained; i != head; ++i) {
+    out.push_back(ring_[i % kCapacity]);
+  }
+  return out;
+}
+
+uint64_t FlightRecorder::TotalRecorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return head_.load(std::memory_order_relaxed);
+}
+
+uint64_t FlightRecorder::Dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t head = head_.load(std::memory_order_relaxed);
+  return head > kCapacity ? head - kCapacity : 0;
+}
+
+void FlightRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  head_.store(0, std::memory_order_relaxed);
+}
+
+size_t FlightRecorder::SerializeEvents(const FlightEvent* events,
+                                       size_t count, uint8_t* buffer) const {
+  uint8_t* p = buffer;
+  std::memcpy(p, kMagic, sizeof(kMagic));
+  p += sizeof(kMagic);
+  StoreU32(p, kVersion);
+  StoreU32(p + 4, static_cast<uint32_t>(count));
+  p += 8;
+  for (size_t i = 0; i < count; ++i) {
+    p = StoreEvent(p, events[i]);
+  }
+  const uint32_t crc =
+      io::Crc32c(buffer, static_cast<size_t>(p - buffer));
+  StoreU32(p, crc);
+  return static_cast<size_t>(p - buffer) + 4;
+}
+
+size_t FlightRecorder::SerializeUnlocked(uint8_t* buffer,
+                                         size_t buffer_size) const {
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  const size_t count = static_cast<size_t>(std::min<uint64_t>(head, kCapacity));
+  const size_t need = kHeaderBytes + count * kEventBytes + 4;
+  if (buffer_size < need) return 0;
+  uint8_t* p = buffer;
+  std::memcpy(p, kMagic, sizeof(kMagic));
+  p += sizeof(kMagic);
+  StoreU32(p, kVersion);
+  StoreU32(p + 4, static_cast<uint32_t>(count));
+  p += 8;
+  for (uint64_t i = head - count; i != head; ++i) {
+    p = StoreEvent(p, ring_[i % kCapacity]);
+  }
+  const uint32_t crc =
+      io::Crc32c(buffer, static_cast<size_t>(p - buffer));
+  StoreU32(p, crc);
+  return need;
+}
+
+bool FlightRecorder::DumpTo(const std::string& path,
+                            std::string* error) const {
+  const std::vector<FlightEvent> events = Events();
+  std::vector<uint8_t> buffer(kHeaderBytes + events.size() * kEventBytes + 4);
+  const size_t size =
+      SerializeEvents(events.data(), events.size(), buffer.data());
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  out.write(reinterpret_cast<const char*>(buffer.data()),
+            static_cast<std::streamsize>(size));
+  out.flush();
+  if (!out.good()) {
+    if (error != nullptr) *error = "short write to " + path;
+    return false;
+  }
+  return true;
+}
+
+bool FlightRecorder::Load(const std::string& path,
+                          std::vector<FlightEvent>* out, std::string* error) {
+  const auto fail = [error](std::string message) {
+    if (error != nullptr) *error = std::move(message);
+    return false;
+  };
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return fail("cannot open " + path);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  const uint8_t* bytes = reinterpret_cast<const uint8_t*>(data.data());
+
+  if (data.size() < kHeaderBytes + 4) return fail("file too short");
+  if (std::memcmp(bytes, kMagic, sizeof(kMagic)) != 0) {
+    return fail("bad magic");
+  }
+  const uint32_t version = LoadU32(bytes + 8);
+  if (version != kVersion) {
+    return fail("unsupported version " + std::to_string(version));
+  }
+  const uint32_t count = LoadU32(bytes + 12);
+  if (count > kCapacity) {
+    return fail("event count " + std::to_string(count) + " exceeds capacity");
+  }
+  const size_t expected = kHeaderBytes + size_t{count} * kEventBytes + 4;
+  if (data.size() != expected) {
+    return fail("size mismatch: have " + std::to_string(data.size()) +
+                " bytes, header implies " + std::to_string(expected));
+  }
+  const uint32_t stored_crc = LoadU32(bytes + expected - 4);
+  const uint32_t computed_crc = io::Crc32c(bytes, expected - 4);
+  if (stored_crc != computed_crc) return fail("CRC mismatch");
+
+  out->clear();
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint8_t* p = bytes + kHeaderBytes + size_t{i} * kEventBytes;
+    FlightEvent event;
+    event.timestamp_ns = LoadU64(p);
+    event.type = static_cast<FlightEventType>(LoadU32(p + 8));
+    event.a = LoadU64(p + 16);
+    event.b = LoadU64(p + 24);
+    event.c = LoadU64(p + 32);
+    out->push_back(event);
+  }
+  return true;
+}
+
+namespace {
+
+char g_crash_path[512] = {0};
+uint8_t g_crash_buffer[FlightRecorder::kMaxDumpBytes];
+
+// Async-signal-safe: serialize from the ring without locking into a
+// static buffer, raw write(2), re-raise. SA_RESETHAND restored the
+// default disposition before we run, so the re-raise terminates with the
+// original signal's semantics (core dump, exit code).
+void CrashHandler(int sig) {
+  const size_t size = FlightRecorder::Global().SerializeUnlocked(
+      g_crash_buffer, sizeof(g_crash_buffer));
+  if (size > 0 && g_crash_path[0] != '\0') {
+    const int fd = ::open(g_crash_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      size_t written = 0;
+      while (written < size) {
+        const ssize_t n =
+            ::write(fd, g_crash_buffer + written, size - written);
+        if (n <= 0) break;
+        written += static_cast<size_t>(n);
+      }
+      ::close(fd);
+    }
+  }
+  ::raise(sig);
+}
+
+}  // namespace
+
+bool InstallCrashHandler(const char* path) {
+  // Force the lazily-constructed global into existence now; a function
+  // static's first-use guard is not async-signal-safe.
+  (void)FlightRecorder::Global();
+
+  std::snprintf(g_crash_path, sizeof(g_crash_path), "%s", path);
+
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = &CrashHandler;
+  sigemptyset(&action.sa_mask);
+  // SA_RESETHAND is 0x80000000 and sa_flags is int; the cast is the
+  // POSIX-blessed bit pattern, not a value conversion.
+  action.sa_flags = static_cast<int>(SA_RESETHAND);
+
+  bool ok = true;
+  for (const int sig : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL}) {
+    ok = (sigaction(sig, &action, nullptr) == 0) && ok;
+  }
+  return ok;
+}
+
+}  // namespace smb::trace

@@ -1,0 +1,289 @@
+#include "trace/health_probe.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "core/generalized_smb.h"
+#include "core/self_morphing_bitmap.h"
+#include "core/smb_theory.h"
+#include "flow/arena_smb_engine.h"
+#include "flow/sharded_flow_monitor.h"
+#include "telemetry/metrics_registry.h"
+
+namespace smb::health {
+
+namespace {
+
+// virtual_round fraction of the morph schedule beyond which
+// near_saturation raises.
+constexpr double kNearSaturationShare = 0.9;
+// Logical-bitmap fill at the final round beyond which the estimate is
+// effectively pinned.
+constexpr double kSaturatedFill = 0.999;
+
+int64_t Permille(double fraction) {
+  return static_cast<int64_t>(std::llround(fraction * 1e3));
+}
+
+int64_t Ppm(double fraction) {
+  return static_cast<int64_t>(std::llround(fraction * 1e6));
+}
+
+}  // namespace
+
+double ExpectedRelativeError(size_t num_bits, size_t threshold, uint64_t n,
+                             double confidence) {
+  if (num_bits == 0 || threshold == 0 || n == 0) return 1.0;
+  // SmbErrorBound is monotone non-decreasing in delta, so the smallest
+  // delta reaching `confidence` is found by bisection over (0, 1).
+  constexpr double kLo = 1e-9;
+  constexpr double kHi = 1.0 - 1e-9;
+  if (SmbErrorBound(num_bits, threshold, n, kHi) < confidence) return 1.0;
+  double lo = kLo;
+  double hi = kHi;
+  for (int iteration = 0; iteration < 60 && hi - lo > 1e-7; ++iteration) {
+    const double mid = 0.5 * (lo + hi);
+    if (SmbErrorBound(num_bits, threshold, n, mid) >= confidence) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+HealthReport DeriveHealth(const HealthInput& input) {
+  HealthReport report;
+  report.estimate = input.estimate;
+  report.round = input.round;
+  report.max_round = input.max_round;
+
+  const size_t logical_bits =
+      input.num_bits > input.round * input.threshold
+          ? input.num_bits - input.round * input.threshold
+          : 0;
+  report.fill_fraction =
+      logical_bits > 0 ? static_cast<double>(input.ones_in_round) /
+                             static_cast<double>(logical_bits)
+                       : 1.0;
+
+  const double morph_progress =
+      input.threshold > 0 ? static_cast<double>(input.ones_in_round) /
+                                static_cast<double>(input.threshold)
+                          : 0.0;
+  report.virtual_round =
+      static_cast<double>(input.round) + std::min(morph_progress, 1.0);
+
+  const uint64_t n = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::llround(std::max(input.estimate, 0.0))));
+  report.expected_relative_error =
+      ExpectedRelativeError(input.num_bits, input.threshold, n);
+
+  report.morph_cadence_items =
+      input.round > 0 ? input.estimate / static_cast<double>(input.round)
+                      : 0.0;
+
+  const double schedule = static_cast<double>(input.max_round) + 1.0;
+  report.headroom =
+      std::clamp(1.0 - report.virtual_round / schedule, 0.0, 1.0);
+
+  report.saturated = input.round >= input.max_round &&
+                     report.fill_fraction >= kSaturatedFill;
+  report.near_saturation =
+      !report.saturated && report.virtual_round >= kNearSaturationShare * schedule;
+  // Unreachable through the audited morph site (v morphs to 0 the moment
+  // it reaches T below the final round) — raising this means the state
+  // was corrupted or hand-built.
+  report.stuck_round = input.round < input.max_round &&
+                       input.ones_in_round >= input.threshold;
+
+  if (report.saturated) report.flags.emplace_back("saturated");
+  if (report.near_saturation) report.flags.emplace_back("near_saturation");
+  if (report.stuck_round) report.flags.emplace_back("stuck_round");
+  return report;
+}
+
+HealthReport ProbeSmb(const SelfMorphingBitmap& smb) {
+  HealthInput input;
+  input.num_bits = smb.num_bits();
+  input.threshold = smb.threshold();
+  input.max_round = smb.max_round();
+  input.round = smb.round();
+  input.ones_in_round = smb.ones_in_round();
+  input.estimate = smb.Estimate();
+  return DeriveHealth(input);
+}
+
+HealthReport ProbeGeneralizedSmb(const GeneralizedSmb& smb) {
+  HealthInput input;
+  input.num_bits = smb.num_bits();
+  input.threshold = smb.threshold();
+  input.max_round = smb.max_round();
+  input.round = smb.round();
+  input.ones_in_round = smb.ones_in_round();
+  input.estimate = smb.Estimate();
+  return DeriveHealth(input);
+}
+
+ArenaHealthReport ProbeArena(const ArenaSmbEngine& engine, size_t top_k) {
+  ArenaHealthReport report;
+  report.num_flows = engine.NumFlows();
+
+  // One pass to find the top_k flows by estimate and the aggregates.
+  std::vector<std::pair<double, uint64_t>> ranked;
+  ranked.reserve(report.num_flows);
+  engine.ForEachFlow([&](uint64_t flow, double estimate) {
+    ranked.emplace_back(estimate, flow);
+    report.max_estimate = std::max(report.max_estimate, estimate);
+  });
+  const size_t keep = std::min(top_k, ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + static_cast<ptrdiff_t>(keep),
+                    ranked.end(), [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;
+                    });
+
+  engine.ForEachFlow([&](uint64_t flow, double estimate) {
+    const auto state = engine.Inspect(flow);
+    if (!state.has_value()) return;
+    report.max_round_in_use = std::max(report.max_round_in_use, state->round);
+    HealthInput input;
+    input.num_bits = engine.config().num_bits;
+    input.threshold = engine.config().threshold;
+    input.max_round = engine.max_round();
+    input.round = state->round;
+    input.ones_in_round = state->ones_in_round;
+    input.estimate = estimate;
+    const HealthReport flow_report = DeriveHealth(input);
+    if (flow_report.saturated) ++report.saturated_flows;
+    if (flow_report.stuck_round) ++report.stuck_flows;
+  });
+
+  report.top.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) {
+    const uint64_t flow = ranked[i].second;
+    const auto state = engine.Inspect(flow);
+    if (!state.has_value()) continue;
+    HealthInput input;
+    input.num_bits = engine.config().num_bits;
+    input.threshold = engine.config().threshold;
+    input.max_round = engine.max_round();
+    input.round = state->round;
+    input.ones_in_round = state->ones_in_round;
+    input.estimate = ranked[i].first;
+    report.top.push_back(FlowHealth{flow, DeriveHealth(input)});
+  }
+  return report;
+}
+
+ShardedHealthReport ProbeSharded(const ShardedFlowMonitor& monitor,
+                                 size_t top_k) {
+  ShardedHealthReport report;
+  report.flows_per_shard.reserve(monitor.num_shards());
+
+  std::vector<std::pair<double, FlowHealth>> merged_top;
+  for (size_t k = 0; k < monitor.num_shards(); ++k) {
+    const ArenaSmbEngine* shard = monitor.shard(k);
+    report.flows_per_shard.push_back(shard->NumFlows());
+    ArenaHealthReport shard_report = ProbeArena(*shard, top_k);
+    report.aggregate.num_flows += shard_report.num_flows;
+    report.aggregate.saturated_flows += shard_report.saturated_flows;
+    report.aggregate.stuck_flows += shard_report.stuck_flows;
+    report.aggregate.max_round_in_use = std::max(
+        report.aggregate.max_round_in_use, shard_report.max_round_in_use);
+    report.aggregate.max_estimate =
+        std::max(report.aggregate.max_estimate, shard_report.max_estimate);
+    for (FlowHealth& flow : shard_report.top) {
+      merged_top.emplace_back(flow.report.estimate, std::move(flow));
+    }
+  }
+
+  const size_t keep = std::min(top_k, merged_top.size());
+  std::partial_sort(merged_top.begin(),
+                    merged_top.begin() + static_cast<ptrdiff_t>(keep),
+                    merged_top.end(), [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second.flow < b.second.flow;
+                    });
+  report.aggregate.top.reserve(keep);
+  for (size_t i = 0; i < keep; ++i) {
+    report.aggregate.top.push_back(std::move(merged_top[i].second));
+  }
+
+  if (report.flows_per_shard.size() > 1 && report.aggregate.num_flows > 0) {
+    const size_t max_flows = *std::max_element(report.flows_per_shard.begin(),
+                                               report.flows_per_shard.end());
+    const size_t min_flows = *std::min_element(report.flows_per_shard.begin(),
+                                               report.flows_per_shard.end());
+    const double mean = static_cast<double>(report.aggregate.num_flows) /
+                        static_cast<double>(report.flows_per_shard.size());
+    report.skew_permille = static_cast<uint64_t>(std::llround(
+        static_cast<double>(max_flows - min_flows) / mean * 1e3));
+    report.shard_skew =
+        report.aggregate.num_flows >= 64 && report.skew_permille > 500;
+  }
+  return report;
+}
+
+void PublishHealth(const HealthReport& report, std::string_view prefix) {
+  auto& registry = telemetry::MetricsRegistry::Global();
+  const std::string p(prefix);
+  registry.GetGauge(p + "_health_round")
+      ->Set(static_cast<int64_t>(report.round));
+  registry.GetGauge(p + "_health_virtual_round_milli")
+      ->Set(static_cast<int64_t>(std::llround(report.virtual_round * 1e3)));
+  registry.GetGauge(p + "_health_fill_permille")
+      ->Set(Permille(report.fill_fraction));
+  registry.GetGauge(p + "_health_expected_rel_error_ppm")
+      ->Set(Ppm(report.expected_relative_error));
+  registry.GetGauge(p + "_health_morph_cadence_items")
+      ->Set(static_cast<int64_t>(std::llround(report.morph_cadence_items)));
+  registry.GetGauge(p + "_health_headroom_permille")
+      ->Set(Permille(report.headroom));
+  registry.GetGauge(p + "_health_saturated")->Set(report.saturated ? 1 : 0);
+  registry.GetGauge(p + "_health_near_saturation")
+      ->Set(report.near_saturation ? 1 : 0);
+  registry.GetGauge(p + "_health_stuck_round")
+      ->Set(report.stuck_round ? 1 : 0);
+}
+
+void PublishArenaHealth(const ArenaHealthReport& report) {
+  auto& registry = telemetry::MetricsRegistry::Global();
+  registry.GetGauge("arena_health_flows")
+      ->Set(static_cast<int64_t>(report.num_flows));
+  registry.GetGauge("arena_health_saturated_flows")
+      ->Set(static_cast<int64_t>(report.saturated_flows));
+  registry.GetGauge("arena_health_stuck_flows")
+      ->Set(static_cast<int64_t>(report.stuck_flows));
+  registry.GetGauge("arena_health_max_round_in_use")
+      ->Set(static_cast<int64_t>(report.max_round_in_use));
+  registry.GetGauge("arena_health_max_estimate")
+      ->Set(static_cast<int64_t>(std::llround(report.max_estimate)));
+  for (size_t i = 0; i < report.top.size(); ++i) {
+    const telemetry::Labels labels = {{"rank", std::to_string(i)}};
+    const HealthReport& top = report.top[i].report;
+    registry.GetGauge("arena_health_top_estimate", labels)
+        ->Set(static_cast<int64_t>(std::llround(top.estimate)));
+    registry.GetGauge("arena_health_top_round", labels)
+        ->Set(static_cast<int64_t>(top.round));
+    registry.GetGauge("arena_health_top_rel_error_ppm", labels)
+        ->Set(Ppm(top.expected_relative_error));
+  }
+}
+
+void PublishShardedHealth(const ShardedHealthReport& report) {
+  PublishArenaHealth(report.aggregate);
+  auto& registry = telemetry::MetricsRegistry::Global();
+  registry.GetGauge("arena_health_shard_skew_permille")
+      ->Set(static_cast<int64_t>(report.skew_permille));
+  registry.GetGauge("arena_health_shard_skew")
+      ->Set(report.shard_skew ? 1 : 0);
+  for (size_t k = 0; k < report.flows_per_shard.size(); ++k) {
+    registry.GetGauge("arena_health_shard_flows",
+                      {{"shard", std::to_string(k)}})
+        ->Set(static_cast<int64_t>(report.flows_per_shard[k]));
+  }
+}
+
+}  // namespace smb::health

@@ -1,0 +1,153 @@
+// Estimator health self-diagnostics (DESIGN.md §14): asks a live sketch
+// "how accurate are you right now, and are you in trouble?" using only
+// state the estimators already expose plus the paper's own error theory
+// (core/smb_theory.h, Theorem 3).
+//
+// Derived quantities:
+//   fill_fraction            v / m_r, the fraction of the current logical
+//                            bitmap set this round
+//   virtual_round            r + v/T — fractional morph progress; a probe
+//                            at virtual round 3.9 is about to morph
+//   expected_relative_error  the smallest delta with
+//                            Pr(|n - n̂|/n <= delta) >= 68.27%
+//                            under Theorem 3 at n = n̂ (one-sigma
+//                            confidence; found by bisection, since
+//                            SmbErrorBound is monotone in delta)
+//   morph_cadence_items      n̂ / r — estimated items per completed morph
+//   headroom                 1 - virtual_round / max_round, how much of
+//                            the morph schedule remains
+// Pathology flags:
+//   saturated        final round and logical bitmap (almost) full: the
+//                    estimate is pinned at MaxEstimate
+//   near_saturation  >= 90% of the morph schedule consumed
+//   stuck_round      v >= T below the final round — unreachable through
+//                    the audited morph site, so it indicates state
+//                    corruption (a self-check, not a workload condition)
+//
+// For GeneralizedSmb with base != 2 the Theorem 3 bound is evaluated
+// as-is (the theorem is stated for base 2); treat the reported error as
+// a base-2 approximation.
+//
+// PublishHealth writes the report into the MetricsRegistry as gauges
+// (scaled to integers: permille / ppm), so health rides the existing
+// Prometheus/JSON exporters with zero new export machinery.
+
+#ifndef SMBCARD_TRACE_HEALTH_PROBE_H_
+#define SMBCARD_TRACE_HEALTH_PROBE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smb {
+
+class SelfMorphingBitmap;
+class GeneralizedSmb;
+class ArenaSmbEngine;
+class ShardedFlowMonitor;
+
+namespace health {
+
+// One-sigma coverage of the normal distribution — the confidence level
+// expected_relative_error is quoted at.
+inline constexpr double kOneSigmaConfidence = 0.6827;
+
+// The raw observable state every probe reduces to; exposed so tests (and
+// external snapshots) can derive health without a live object.
+struct HealthInput {
+  size_t num_bits = 0;    // physical m
+  size_t threshold = 0;   // morph threshold T
+  size_t max_round = 0;   // deepest round (m, T) supports
+  size_t round = 0;       // current r
+  size_t ones_in_round = 0;  // current v
+  double estimate = 0.0;  // the sketch's own n̂
+};
+
+struct HealthReport {
+  double estimate = 0.0;
+  double fill_fraction = 0.0;
+  double virtual_round = 0.0;
+  double expected_relative_error = 0.0;
+  double morph_cadence_items = 0.0;
+  double headroom = 1.0;
+  size_t round = 0;
+  size_t max_round = 0;
+  bool saturated = false;
+  bool near_saturation = false;
+  bool stuck_round = false;
+
+  // The raised pathology flags by name ("saturated", "near_saturation",
+  // "stuck_round"); empty means healthy.
+  std::vector<std::string> flags;
+};
+
+// Smallest delta such that SmbErrorBound(m, T, n, delta) >= confidence,
+// to ~1e-6 absolute; 1.0 when no delta < 1 reaches the confidence (the
+// bound cannot certify this configuration at this n).
+double ExpectedRelativeError(size_t num_bits, size_t threshold, uint64_t n,
+                             double confidence = kOneSigmaConfidence);
+
+// Pure derivation, no estimator needed.
+HealthReport DeriveHealth(const HealthInput& input);
+
+HealthReport ProbeSmb(const SelfMorphingBitmap& smb);
+HealthReport ProbeGeneralizedSmb(const GeneralizedSmb& smb);
+
+// Per-flow aggregate health of an arena engine, plus the top_k flows by
+// estimate (descending) probed individually.
+struct FlowHealth {
+  uint64_t flow = 0;
+  HealthReport report;
+};
+
+struct ArenaHealthReport {
+  size_t num_flows = 0;
+  size_t saturated_flows = 0;
+  size_t stuck_flows = 0;
+  size_t max_round_in_use = 0;  // deepest round any flow reached
+  double max_estimate = 0.0;    // largest per-flow estimate
+  std::vector<FlowHealth> top;  // top_k flows by estimate
+};
+
+ArenaHealthReport ProbeArena(const ArenaSmbEngine& engine, size_t top_k);
+
+// Arena aggregate across every shard plus the flow-placement skew.
+struct ShardedHealthReport {
+  ArenaHealthReport aggregate;
+  std::vector<size_t> flows_per_shard;
+  // (max - min) / mean flows per shard, in permille; 0 for <= 1 shard or
+  // no flows.
+  uint64_t skew_permille = 0;
+  // Raised when skew exceeds 500 permille with at least 64 flows (below
+  // that, skew is expected small-sample noise).
+  bool shard_skew = false;
+};
+
+ShardedHealthReport ProbeSharded(const ShardedFlowMonitor& monitor,
+                                 size_t top_k);
+
+// Registry publication. Gauge names are `<prefix>_health_*`:
+//   _round, _virtual_round_milli, _fill_permille,
+//   _expected_rel_error_ppm, _morph_cadence_items, _headroom_permille,
+//   _saturated, _near_saturation, _stuck_round  (flags as 0/1)
+// No-ops in SMB_TELEMETRY=OFF builds (the registry hands out no-op
+// gauges).
+void PublishHealth(const HealthReport& report,
+                   std::string_view prefix = "smb");
+
+// Publishes `arena_health_*` aggregates plus per-rank gauges for the
+// top flows, labeled {rank=i}: arena_health_top_estimate,
+// arena_health_top_round, arena_health_top_rel_error_ppm.
+void PublishArenaHealth(const ArenaHealthReport& report);
+
+// PublishArenaHealth(aggregate) + arena_health_shard_skew_permille,
+// arena_health_shard_skew (flag) and per-shard arena_health_shard_flows
+// gauges labeled {shard=k}.
+void PublishShardedHealth(const ShardedHealthReport& report);
+
+}  // namespace health
+}  // namespace smb
+
+#endif  // SMBCARD_TRACE_HEALTH_PROBE_H_

@@ -1,0 +1,25 @@
+// Steady-clock timestamps for the trace layer. Deliberately independent
+// of telemetry/metrics.h: the flight recorder is always-on while the
+// telemetry layer can be compiled out, so trace code must not borrow the
+// telemetry clock.
+
+#ifndef SMBCARD_TRACE_TRACE_CLOCK_H_
+#define SMBCARD_TRACE_TRACE_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace smb::trace {
+
+// Nanoseconds on the steady clock. Comparable across threads within one
+// process; not comparable across processes or restarts.
+inline uint64_t TraceNowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace smb::trace
+
+#endif  // SMBCARD_TRACE_TRACE_CLOCK_H_

@@ -36,6 +36,7 @@ TEST(MorphTracerTest, RetainsEventsInOrder) {
   MorphTracer tracer;
   for (uint64_t i = 1; i <= 10; ++i) tracer.Record(SyntheticEvent(i));
   EXPECT_EQ(tracer.TotalRecorded(), 10u);
+  EXPECT_EQ(tracer.Dropped(), 0u);
   const std::vector<MorphEvent> events = tracer.Events();
   ASSERT_EQ(events.size(), 10u);
   for (uint64_t i = 0; i < 10; ++i) {
@@ -53,9 +54,13 @@ TEST(MorphTracerTest, RingDropsOldestOnOverflow) {
   EXPECT_EQ(tracer.TotalRecorded(), total);
   const std::vector<MorphEvent> events = tracer.Events();
   ASSERT_EQ(events.size(), MorphTracer::kCapacity);
-  // Oldest first, and the 100 oldest are gone.
+  // Oldest first, and the 100 oldest are gone — and accounted for.
   EXPECT_EQ(events.front(), SyntheticEvent(101));
   EXPECT_EQ(events.back(), SyntheticEvent(total));
+  EXPECT_EQ(tracer.Dropped(), 100u);
+  EXPECT_EQ(tracer.Dropped() + events.size(), tracer.TotalRecorded());
+  tracer.Clear();
+  EXPECT_EQ(tracer.Dropped(), 0u);
 }
 
 TEST(MorphTracerTest, InstanceIdsAreUniqueAndNonZero) {
@@ -150,6 +155,7 @@ TEST(MorphTracerTest, DisabledTracerRecordsNothing) {
   MorphTracer tracer;
   tracer.Record(MorphEvent{});
   EXPECT_EQ(tracer.TotalRecorded(), 0u);
+  EXPECT_EQ(tracer.Dropped(), 0u);
   EXPECT_TRUE(tracer.Events().empty());
   EXPECT_EQ(NextInstanceId(), 0u);
 

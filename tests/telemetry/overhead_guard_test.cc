@@ -16,6 +16,7 @@
 #include "core/self_morphing_bitmap.h"
 #include "telemetry/metrics_registry.h"
 #include "telemetry/morph_tracer.h"
+#include "trace/span_tracer.h"
 
 namespace smb {
 namespace {
@@ -62,6 +63,32 @@ TEST(OverheadGuardTest, AddAndAddBatchStayBitIdentical) {
   EXPECT_EQ(std::bit_cast<uint64_t>(one_by_one.Estimate()),
             std::bit_cast<uint64_t>(batched.Estimate()));
   EXPECT_EQ(one_by_one.Serialize(), batched.Serialize());
+}
+
+// The same golden discipline for the span tracer: an active capture must
+// not perturb recording either. AddBatch drives the instrumented batch
+// pipeline (golden-equivalent to Add by the test above); the assertion
+// holds in both SMB_TRACING modes — with tracing ON the spans actually
+// record, with tracing OFF the macros are gone entirely.
+TEST(OverheadGuardTest, EstimateBitsMatchGoldenWhileSpanCaptureActive) {
+  trace::StartCapture();
+  SelfMorphingBitmap smb = MakeGuardSmb();
+  std::vector<uint64_t> block(4096);
+  for (uint64_t base = 0; base < kStreamLength; base += block.size()) {
+    const size_t len = static_cast<size_t>(
+        kStreamLength - base < block.size() ? kStreamLength - base
+                                            : block.size());
+    for (size_t i = 0; i < len; ++i) block[i] = base + i;
+    smb.AddBatch(std::span<const uint64_t>(block.data(), len));
+  }
+  const uint64_t bits = std::bit_cast<uint64_t>(smb.Estimate());
+  trace::StopCapture();
+  EXPECT_EQ(bits, kGoldenEstimateBits)
+      << "estimate drifted under active span capture to " << smb.Estimate();
+#if SMB_TRACING_ENABLED
+  // And the capture was real, not accidentally idle.
+  EXPECT_GT(trace::CaptureStats().total_recorded, 0u);
+#endif
 }
 
 #if SMB_TELEMETRY_ENABLED

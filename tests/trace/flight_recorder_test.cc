@@ -1,0 +1,220 @@
+// Black-box flight recorder: ring semantics, the SMBFR1 dump format's
+// round-trip and corruption rejection, and the crash-handler path (a
+// death test — the child process installs the handler, records, and
+// takes a SIGSEGV; the parent then loads the dump the handler wrote).
+
+#include "trace/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace smb::trace {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "smb_flight_" + name;
+}
+
+bool ReadFileBytes(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  out->clear();
+  char buffer[4096];
+  size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+    out->append(buffer, n);
+  }
+  std::fclose(f);
+  return true;
+}
+
+bool WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok =
+      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  std::fclose(f);
+  return ok;
+}
+
+TEST(FlightRecorderTest, RecordsEventsInOrderWithPayloads) {
+  FlightRecorder recorder;
+  recorder.Record(FlightEventType::kMorph, 1, 2, 3);
+  recorder.Record(FlightEventType::kCheckpointWrite, 7, 4096);
+  recorder.Record(FlightEventType::kOverloadAction, 0, 55, 1);
+
+  EXPECT_EQ(recorder.TotalRecorded(), 3u);
+  EXPECT_EQ(recorder.Dropped(), 0u);
+  const std::vector<FlightEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].type, FlightEventType::kMorph);
+  EXPECT_EQ(events[0].a, 1u);
+  EXPECT_EQ(events[0].b, 2u);
+  EXPECT_EQ(events[0].c, 3u);
+  EXPECT_EQ(events[1].type, FlightEventType::kCheckpointWrite);
+  EXPECT_EQ(events[1].b, 4096u);
+  EXPECT_EQ(events[1].c, 0u);
+  EXPECT_EQ(events[2].type, FlightEventType::kOverloadAction);
+  // Timestamps are non-decreasing (one steady clock, one thread).
+  EXPECT_LE(events[0].timestamp_ns, events[1].timestamp_ns);
+  EXPECT_LE(events[1].timestamp_ns, events[2].timestamp_ns);
+
+  recorder.Clear();
+  EXPECT_EQ(recorder.TotalRecorded(), 0u);
+  EXPECT_TRUE(recorder.Events().empty());
+}
+
+TEST(FlightRecorderTest, RingOverwritesOldestAndCountsDrops) {
+  FlightRecorder recorder;
+  const uint64_t total = FlightRecorder::kCapacity + 50;
+  for (uint64_t i = 1; i <= total; ++i) {
+    recorder.Record(FlightEventType::kMorph, i);
+  }
+  EXPECT_EQ(recorder.TotalRecorded(), total);
+  EXPECT_EQ(recorder.Dropped(), 50u);
+  const std::vector<FlightEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), FlightRecorder::kCapacity);
+  // Oldest first, with the 50 oldest overwritten.
+  EXPECT_EQ(events.front().a, 51u);
+  EXPECT_EQ(events.back().a, total);
+}
+
+TEST(FlightRecorderTest, DumpLoadRoundTrip) {
+  const std::string path = TempPath("roundtrip.bin");
+  FlightRecorder recorder;
+  recorder.Record(FlightEventType::kCheckpointRecover, 3, 1234, 1);
+  recorder.Record(FlightEventType::kMergeOp, 100, 200, 1);
+  std::string error;
+  ASSERT_TRUE(recorder.DumpTo(path, &error)) << error;
+
+  std::vector<FlightEvent> loaded;
+  ASSERT_TRUE(FlightRecorder::Load(path, &loaded, &error)) << error;
+  EXPECT_EQ(loaded, recorder.Events());
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, EmptyRingDumpsAndLoads) {
+  const std::string path = TempPath("empty.bin");
+  FlightRecorder recorder;
+  std::string error;
+  ASSERT_TRUE(recorder.DumpTo(path, &error)) << error;
+  std::vector<FlightEvent> loaded = {FlightEvent{}};
+  ASSERT_TRUE(FlightRecorder::Load(path, &loaded, &error)) << error;
+  EXPECT_TRUE(loaded.empty());
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, DumpToUnwritablePathFails) {
+  FlightRecorder recorder;
+  std::string error;
+  EXPECT_FALSE(recorder.DumpTo("/nonexistent-dir/fr.bin", &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(FlightRecorderTest, LoadRejectsCorruptDumps) {
+  const std::string path = TempPath("corrupt.bin");
+  FlightRecorder recorder;
+  recorder.Record(FlightEventType::kMorph, 1, 2, 3);
+  recorder.Record(FlightEventType::kMorph, 4, 5, 6);
+  std::string error;
+  ASSERT_TRUE(recorder.DumpTo(path, &error)) << error;
+  std::string pristine;
+  ASSERT_TRUE(ReadFileBytes(path, &pristine));
+  ASSERT_EQ(pristine.size(), FlightRecorder::kHeaderBytes +
+                                 2 * FlightRecorder::kEventBytes + 4);
+  std::vector<FlightEvent> loaded;
+
+  // Bad magic.
+  std::string bad = pristine;
+  bad[0] ^= 0x01;
+  ASSERT_TRUE(WriteFileBytes(path, bad));
+  EXPECT_FALSE(FlightRecorder::Load(path, &loaded, &error));
+  EXPECT_FALSE(error.empty());
+
+  // A flipped payload byte must break the CRC.
+  bad = pristine;
+  bad[FlightRecorder::kHeaderBytes + 8] ^= 0x40;
+  ASSERT_TRUE(WriteFileBytes(path, bad));
+  EXPECT_FALSE(FlightRecorder::Load(path, &loaded, &error));
+  EXPECT_FALSE(error.empty());
+
+  // Truncation (drops part of the trailer).
+  bad = pristine.substr(0, pristine.size() - 2);
+  ASSERT_TRUE(WriteFileBytes(path, bad));
+  EXPECT_FALSE(FlightRecorder::Load(path, &loaded, &error));
+  EXPECT_FALSE(error.empty());
+
+  // Shorter than any valid header.
+  ASSERT_TRUE(WriteFileBytes(path, "SMB"));
+  EXPECT_FALSE(FlightRecorder::Load(path, &loaded, &error));
+  EXPECT_FALSE(error.empty());
+
+  EXPECT_FALSE(FlightRecorder::Load(TempPath("does_not_exist.bin"),
+                                    &loaded, &error));
+
+  // The pristine bytes still load — the rejections above were the
+  // corruption, not the format.
+  ASSERT_TRUE(WriteFileBytes(path, pristine));
+  EXPECT_TRUE(FlightRecorder::Load(path, &loaded, &error)) << error;
+  EXPECT_EQ(loaded.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, SerializeUnlockedMatchesDumpFormat) {
+  const std::string path = TempPath("unlocked.bin");
+  FlightRecorder recorder;
+  recorder.Record(FlightEventType::kFailpointFire, 0xdead, 1, 2);
+
+  uint8_t buffer[FlightRecorder::kMaxDumpBytes];
+  const size_t written =
+      recorder.SerializeUnlocked(buffer, sizeof(buffer));
+  ASSERT_EQ(written, FlightRecorder::kHeaderBytes +
+                         FlightRecorder::kEventBytes + 4);
+  // A too-small buffer is refused outright, never partially filled.
+  EXPECT_EQ(recorder.SerializeUnlocked(buffer, written - 1), 0u);
+
+  ASSERT_TRUE(WriteFileBytes(
+      path, std::string(reinterpret_cast<const char*>(buffer), written)));
+  std::vector<FlightEvent> loaded;
+  std::string error;
+  ASSERT_TRUE(FlightRecorder::Load(path, &loaded, &error)) << error;
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded[0].type, FlightEventType::kFailpointFire);
+  EXPECT_EQ(loaded[0].a, 0xdeadu);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderDeathTest, CrashHandlerWritesALoadableDump) {
+  const std::string path = TempPath("crash.bin");
+  std::remove(path.c_str());
+  EXPECT_DEATH(
+      {
+        InstallCrashHandler(path.c_str());
+        FlightRecorder::Global().Record(FlightEventType::kMorph, 77, 3,
+                                        12345);
+        std::raise(SIGSEGV);
+      },
+      "");
+
+  std::vector<FlightEvent> loaded;
+  std::string error;
+  ASSERT_TRUE(FlightRecorder::Load(path, &loaded, &error)) << error;
+  bool found = false;
+  for (const FlightEvent& event : loaded) {
+    if (event.type == FlightEventType::kMorph && event.a == 77 &&
+        event.b == 3 && event.c == 12345) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found)
+      << "crash dump is loadable but missing the event recorded pre-crash";
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace smb::trace

@@ -31,6 +31,10 @@
 //                  also rewrite --metrics-out every SECONDS seconds while
 //                  recording (a poor man's scrape endpoint: point the
 //                  scraper at the file)
+//   --flight-recorder FILE
+//                  write the black-box flight recorder (trace/) to FILE at
+//                  exit, and install a crash handler that writes the same
+//                  dump if the process dies on a fatal signal first
 //   --overload-policy NAME
 //                  (with --threads/--shards) what producers do when a
 //                  shard ring stays full: block (default, lossless),
@@ -86,6 +90,8 @@
 #include "stream/trace_gen.h"
 #include "telemetry/exporter.h"
 #include "telemetry/metrics_registry.h"
+#include "trace/flight_recorder.h"
+#include "trace/health_probe.h"
 
 namespace {
 
@@ -101,6 +107,7 @@ struct CliOptions {
   size_t shards = 0;   // 0 = unsharded
   std::string metrics_out;
   uint64_t metrics_interval_s = 0;  // 0 = final snapshot only
+  std::string flight_recorder_out;
   std::string checkpoint_dir;
   uint64_t checkpoint_interval_s = 0;  // 0 = final checkpoint only
   smb::OverloadPolicy overload_policy = smb::OverloadPolicy::kBlock;
@@ -121,6 +128,7 @@ void PrintUsageAndExit(const char* argv0) {
                "[--checkpoint-interval SECONDS]\n"
                "               [--metrics-out FILE] "
                "[--metrics-interval SECONDS]\n"
+               "               [--flight-recorder FILE]\n"
                "               [--per-flow [--top K]] [FILE...]\n",
                argv0);
   std::exit(2);
@@ -156,6 +164,8 @@ CliOptions ParseArgs(int argc, char** argv) {
       options.metrics_out = next_value();
     } else if (arg == "--metrics-interval") {
       options.metrics_interval_s = std::strtoull(next_value(), nullptr, 10);
+    } else if (arg == "--flight-recorder") {
+      options.flight_recorder_out = next_value();
     } else if (arg == "--checkpoint-dir") {
       options.checkpoint_dir = next_value();
     } else if (arg == "--checkpoint-interval") {
@@ -505,6 +515,13 @@ int RunPerFlow(const CliOptions& options) {
   }
   monitor.RecordBatch(pending);
 
+  // Per-flow health (saturation counts, top-K expected error) rides the
+  // metrics snapshot when the arena engine is in use.
+  if (const smb::ArenaSmbEngine* engine = monitor.arena_engine()) {
+    smb::health::PublishArenaHealth(
+        smb::health::ProbeArena(*engine, options.top_k));
+  }
+
   std::vector<std::pair<uint64_t, double>> spreads;
   spreads.reserve(monitor.NumFlows());
   monitor.ForEachFlow([&](uint64_t flow, double estimate) {
@@ -561,6 +578,7 @@ int RunSingle(const CliOptions& options) {
     FeedAllInputs(options, [&](const std::string& s) {
       estimator->AddBytes(s);
     });
+    smb::health::PublishHealth(smb::health::ProbeSmb(*estimator));
     std::printf("%.0f\n", estimator->Estimate());
     if (!options.save_path.empty()) {
       const auto bytes = estimator->Serialize();
@@ -645,6 +663,10 @@ int RunSingle(const CliOptions& options) {
     checkpoint_ok =
         payload.has_value() && WriteCheckpoint(store.get(), *payload);
   }
+  if (const auto* as_smb =
+          dynamic_cast<const smb::SelfMorphingBitmap*>(estimator.get())) {
+    smb::health::PublishHealth(smb::health::ProbeSmb(*as_smb));
+  }
   std::printf("%.0f\n", estimator->Estimate());
   return checkpoint_ok ? 0 : 1;
 }
@@ -728,6 +750,18 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (!options.flight_recorder_out.empty()) {
+    std::ofstream probe(options.flight_recorder_out, std::ios::app);
+    if (!probe) {
+      std::fprintf(stderr, "cannot write flight recorder to %s\n",
+                   options.flight_recorder_out.c_str());
+      return 2;
+    }
+    // Arm the crash path first so a mid-run fatal signal still leaves a
+    // black box; the on-success dump below overwrites it with the full
+    // end-of-run history.
+    smb::trace::InstallCrashHandler(options.flight_recorder_out.c_str());
+  }
 
   int rc;
   {
@@ -744,6 +778,15 @@ int main(int argc, char** argv) {
     if (!WriteMetricsSnapshot(options.metrics_out)) {
       std::fprintf(stderr, "cannot write metrics to %s\n",
                    options.metrics_out.c_str());
+      return rc == 0 ? 1 : rc;
+    }
+  }
+  if (!options.flight_recorder_out.empty()) {
+    std::string error;
+    if (!smb::trace::FlightRecorder::Global().DumpTo(
+            options.flight_recorder_out, &error)) {
+      std::fprintf(stderr, "cannot write flight recorder: %s\n",
+                   error.c_str());
       return rc == 0 ? 1 : rc;
     }
   }

@@ -1,0 +1,245 @@
+// smbtop — live terminal dashboard over the metric snapshots a running
+// smbcard process writes with `--metrics-out FILE --metrics-interval S`
+// (any Prometheus-text or JSON snapshot file works; the writer and this
+// reader share telemetry/snapshot_parser).
+//
+// Usage:
+//   smbtop [--interval SEC] [--once] FILE
+//
+// Polls FILE every SEC seconds (default 2), clears the screen, and
+// renders three panes:
+//   health      every `*_health_*` gauge, with the integer scalings the
+//               probe publishes (permille, ppm, milli) unfolded back
+//               into human units
+//   counters    each counter with its per-second rate since the previous
+//               poll (blank on the first frame)
+//   histograms  per-interval count and p50/p99 log-bucket bounds — the
+//               cumulative histograms are differenced between polls so
+//               the quantiles describe the last interval only
+//
+// --once renders a single frame without clearing and exits (CI smoke).
+// A missing or half-written file is not fatal in live mode: the poll is
+// skipped and retried, since the producer rewrites the file in place.
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/table_printer.h"
+#include "telemetry/snapshot.h"
+#include "telemetry/snapshot_parser.h"
+
+namespace {
+
+using smb::TablePrinter;
+using smb::telemetry::HistogramData;
+using smb::telemetry::MetricSample;
+using smb::telemetry::MetricsSnapshot;
+using smb::telemetry::MetricType;
+
+std::optional<MetricsSnapshot> ReadSnapshot(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return std::nullopt;
+  const std::string text((std::istreambuf_iterator<char>(file)),
+                         std::istreambuf_iterator<char>());
+  return smb::telemetry::ParseSnapshot(text);
+}
+
+// Unfolds the health probe's integer scalings back into display units.
+std::string HealthValue(const std::string& name, int64_t value) {
+  const auto ends_with = [&name](const char* suffix) {
+    const size_t n = std::strlen(suffix);
+    return name.size() >= n && name.compare(name.size() - n, n, suffix) == 0;
+  };
+  if (ends_with("_permille")) {
+    return TablePrinter::Fmt(static_cast<double>(value) / 10.0, 1) + " %";
+  }
+  if (ends_with("_ppm")) {
+    return TablePrinter::Fmt(static_cast<double>(value) / 1e4, 2) + " %";
+  }
+  if (ends_with("_milli")) {
+    return TablePrinter::Fmt(static_cast<double>(value) / 1e3, 2);
+  }
+  return TablePrinter::FmtInt(value);
+}
+
+const MetricSample* FindBefore(const MetricsSnapshot& prev,
+                               const MetricSample& sample) {
+  for (const MetricSample& candidate : prev.samples) {
+    if (candidate.name == sample.name && candidate.labels == sample.labels &&
+        candidate.type == sample.type) {
+      return &candidate;
+    }
+  }
+  return nullptr;
+}
+
+HistogramData DiffHistogram(const HistogramData& older,
+                            const HistogramData& newer) {
+  HistogramData diff;
+  diff.buckets.resize(newer.buckets.size(), 0);
+  for (size_t i = 0; i < newer.buckets.size(); ++i) {
+    const uint64_t before = i < older.buckets.size() ? older.buckets[i] : 0;
+    diff.buckets[i] = newer.buckets[i] > before ? newer.buckets[i] - before : 0;
+  }
+  diff.count = newer.count > older.count ? newer.count - older.count : 0;
+  diff.sum = newer.sum > older.sum ? newer.sum - older.sum : 0;
+  return diff;
+}
+
+std::string FmtQuantileBound(const HistogramData& histogram, double q) {
+  const double bound =
+      smb::telemetry::HistogramQuantileUpperBound(histogram, q);
+  if (std::isinf(bound)) return "+Inf";
+  return TablePrinter::FmtInt(static_cast<long long>(bound));
+}
+
+void RenderFrame(const std::string& path, const MetricsSnapshot& snapshot,
+                 const MetricsSnapshot* prev, double elapsed_seconds,
+                 uint64_t frame) {
+  std::printf("smbtop — %s   frame %llu   %zu metric(s)\n", path.c_str(),
+              static_cast<unsigned long long>(frame),
+              snapshot.samples.size());
+
+  TablePrinter health("health");
+  health.SetHeader({"gauge", "labels", "value"});
+  size_t health_rows = 0;
+  for (const MetricSample& sample : snapshot.samples) {
+    if (sample.type != MetricType::kGauge) continue;
+    if (sample.name.find("_health_") == std::string::npos) continue;
+    health.AddRow({sample.name,
+                   smb::telemetry::RenderLabels(sample.labels),
+                   HealthValue(sample.name, sample.gauge_value)});
+    ++health_rows;
+  }
+  if (health_rows > 0) {
+    health.Print();
+  } else {
+    std::printf(
+        "\n(no *_health_* gauges — run the producer with health probing, "
+        "e.g. smbcard --per-flow)\n");
+  }
+
+  TablePrinter counters("counters");
+  counters.SetHeader({"counter", "labels", "value", "/s"});
+  size_t counter_rows = 0;
+  for (const MetricSample& sample : snapshot.samples) {
+    if (sample.type != MetricType::kCounter) continue;
+    std::string rate;
+    if (prev != nullptr && elapsed_seconds > 0.0) {
+      const MetricSample* before = FindBefore(*prev, sample);
+      const uint64_t was = before ? before->counter_value : 0;
+      if (sample.counter_value >= was) {
+        rate = TablePrinter::Fmt(
+            static_cast<double>(sample.counter_value - was) / elapsed_seconds,
+            1);
+      }
+    }
+    counters.AddRow({sample.name,
+                     smb::telemetry::RenderLabels(sample.labels),
+                     TablePrinter::FmtInt(
+                         static_cast<long long>(sample.counter_value)),
+                     rate});
+    ++counter_rows;
+  }
+  if (counter_rows > 0) counters.Print();
+
+  TablePrinter histograms("histograms (interval)");
+  histograms.SetHeader({"histogram", "labels", "count", "interval", "p50<=",
+                        "p99<="});
+  size_t histogram_rows = 0;
+  for (const MetricSample& sample : snapshot.samples) {
+    if (sample.type != MetricType::kHistogram) continue;
+    std::string interval;
+    std::string p50;
+    std::string p99;
+    const MetricSample* before =
+        prev != nullptr ? FindBefore(*prev, sample) : nullptr;
+    const HistogramData diff = DiffHistogram(
+        before ? before->histogram : HistogramData{}, sample.histogram);
+    interval = TablePrinter::FmtInt(static_cast<long long>(diff.count));
+    if (diff.count > 0) {
+      p50 = FmtQuantileBound(diff, 0.5);
+      p99 = FmtQuantileBound(diff, 0.99);
+    }
+    histograms.AddRow({sample.name,
+                       smb::telemetry::RenderLabels(sample.labels),
+                       TablePrinter::FmtInt(
+                           static_cast<long long>(sample.histogram.count)),
+                       interval, p50, p99});
+    ++histogram_rows;
+  }
+  if (histogram_rows > 0) histograms.Print();
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s [--interval SEC] [--once] FILE\n", argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double interval_seconds = 2.0;
+  bool once = false;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--interval" && i + 1 < argc) {
+      char* end = nullptr;
+      interval_seconds = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || !(interval_seconds > 0.0)) {
+        std::fprintf(stderr, "--interval wants a positive number\n");
+        return 2;
+      }
+    } else if (arg == "--once") {
+      once = true;
+    } else if (arg == "--help" || arg == "-h" || arg.rfind("--", 0) == 0) {
+      return Usage(argv[0]);
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (path.empty()) return Usage(argv[0]);
+
+  std::optional<MetricsSnapshot> prev;
+  auto prev_time = std::chrono::steady_clock::now();
+  uint64_t frame = 0;
+  while (true) {
+    std::optional<MetricsSnapshot> snapshot = ReadSnapshot(path);
+    const auto now = std::chrono::steady_clock::now();
+    if (snapshot.has_value()) {
+      ++frame;
+      const double elapsed =
+          std::chrono::duration<double>(now - prev_time).count();
+      if (!once) std::printf("\x1b[H\x1b[2J");
+      RenderFrame(path, *snapshot, prev.has_value() ? &*prev : nullptr,
+                  elapsed, frame);
+      std::fflush(stdout);
+      prev = std::move(snapshot);
+      prev_time = now;
+    } else if (once || frame == 0) {
+      // Live mode tolerates a transiently unreadable file once it has
+      // shown something; before the first frame (or in --once) it is an
+      // error the user should see.
+      std::fprintf(stderr, "%s: not a readable metrics snapshot\n",
+                   path.c_str());
+      if (once) return 1;
+    }
+    if (once) return 0;
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(interval_seconds));
+  }
+}

@@ -15,6 +15,37 @@
 
 namespace smb::bench {
 
+namespace {
+
+// "512M" / "2G" / "4096" -> bytes (binary suffixes); 0 on parse failure.
+size_t ParseByteSize(const char* text) {
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || value < 0) return 0;
+  double scale = 1.0;
+  switch (*end) {
+    case 'k':
+    case 'K':
+      scale = 1024.0;
+      break;
+    case 'm':
+    case 'M':
+      scale = 1024.0 * 1024.0;
+      break;
+    case 'g':
+    case 'G':
+      scale = 1024.0 * 1024.0 * 1024.0;
+      break;
+    case '\0':
+      break;
+    default:
+      return 0;
+  }
+  return static_cast<size_t>(value * scale);
+}
+
+}  // namespace
+
 BenchScale ParseScale(int argc, char** argv) {
   BenchScale scale;
   const char* full_env = std::getenv("SMB_BENCH_FULL");
@@ -40,6 +71,20 @@ BenchScale ParseScale(int argc, char** argv) {
     if (std::strncmp(argv[i], kTraceOutFlag, sizeof(kTraceOutFlag) - 1) ==
         0) {
       scale.trace_out = argv[i] + sizeof(kTraceOutFlag) - 1;
+    }
+    constexpr const char kFlowsFlag[] = "--flows=";
+    if (std::strncmp(argv[i], kFlowsFlag, sizeof(kFlowsFlag) - 1) == 0) {
+      scale.flows = static_cast<size_t>(
+          std::strtoull(argv[i] + sizeof(kFlowsFlag) - 1, nullptr, 10));
+    }
+    constexpr const char kZipfFlag[] = "--zipf=";
+    if (std::strncmp(argv[i], kZipfFlag, sizeof(kZipfFlag) - 1) == 0) {
+      scale.zipf = std::strtod(argv[i] + sizeof(kZipfFlag) - 1, nullptr);
+    }
+    constexpr const char kBudgetFlag[] = "--memory-budget=";
+    if (std::strncmp(argv[i], kBudgetFlag, sizeof(kBudgetFlag) - 1) == 0) {
+      scale.memory_budget_bytes =
+          ParseByteSize(argv[i] + sizeof(kBudgetFlag) - 1);
     }
   }
   scale.runs = scale.full ? 100 : 10;

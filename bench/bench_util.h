@@ -40,6 +40,16 @@ struct BenchScale {
   // the file is still written (a valid zero-event trace), so scripts need
   // no build-mode branches.
   std::string trace_out;
+  // Flow-bench trace shape overrides (per_flow_throughput): --flows=N
+  // picks the distinct-flow count (0 keeps the scale default; counts
+  // above 500k switch the bench to its huge tier — arena engines only),
+  // --zipf=S the Zipf exponent of the per-flow cardinality distribution.
+  size_t flows = 0;
+  double zipf = 0.0;
+  // --memory-budget=BYTES (K/M/G binary suffixes) bounds the eviction
+  // mode's arena; 0 derives a budget at half the unevicted footprint so
+  // eviction is always exercised.
+  size_t memory_budget_bytes = 0;
 };
 
 // Parses --full and environment overrides.

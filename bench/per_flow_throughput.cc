@@ -3,24 +3,44 @@
 // unordered_map-of-estimators engine, over one synthetic CAIDA-shaped
 // trace. Emits BENCH_per_flow.json (override with --json=PATH):
 //
-//   * legacy_record   — unordered_map engine, packet-at-a-time
-//   * arena_record    — arena engine, packet-at-a-time (scalar path)
-//   * arena_batch     — arena engine, keyed SIMD batch path
-//   * parallel/P      — P producers + K flow-shard consumers through the
-//                       SPSC packet rings
+//   * legacy_record      — unordered_map engine, packet-at-a-time
+//   * arena_record       — arena engine, packet-at-a-time (scalar path)
+//   * arena_batch        — arena engine, keyed SIMD batch path (nursery
+//                          tier on, the default tuning)
+//   * arena_fixed_stride — arena batch path with the nursery disabled:
+//                          every flow pays a full-stride slot from its
+//                          first packet (the pre-eviction engine)
+//   * arena_evict        — arena batch path under a memory budget with
+//                          CLOCK eviction; evicted flows spill their
+//                          estimate so accuracy-after-eviction is
+//                          measurable against the trace's ground truth
+//   * parallel/P         — P producers + K flow-shard consumers through
+//                          the SPSC packet rings
 //
-// Every mode records the identical trace, and legacy-vs-arena estimates
-// are cross-checked for bit-identity before any number is reported — a
+// Every mode records the identical trace, and estimates are
+// cross-checked for bit-identity before any number is reported — a
 // throughput win from a semantics drift must fail here, not land.
+//
+// Tiers: the fast scale (20k flows) is the CI smoke run; --full is the
+// ISSUE gate's 120k-flow configuration; --flows=N above 500k switches
+// to the huge tier (e.g. --flows=10000000 for the 10M-flow Zipf(1.0)
+// memory-governance run), which drops the legacy and parallel modes —
+// the map engine's footprint and packet-at-a-time pace are pointless at
+// that scale — and audits bit-identity between the fixed-stride and
+// nursery engines instead (both budget-free, so they must agree
+// exactly). --zipf=S and --memory-budget=BYTES shape the trace and the
+// eviction run at any tier.
 //
 // The ISSUE acceptance gate (arena >= 2x legacy at >= 100k flows) is the
 // --full configuration; CI smoke runs the fast scale with
 // --assert-speedup=1.0 as a no-regression floor. hardware_concurrency is
 // in the output so single-core boxes' parallel numbers read correctly.
 
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -38,6 +58,8 @@ namespace {
 
 constexpr uint64_t kHashSeed = 17;
 constexpr size_t kMemoryBits = 2000;
+// --flows above this run the arena-only huge tier.
+constexpr size_t kHugeTierFlows = 500000;
 
 EstimatorSpec MonitorSpec(uint64_t design_cardinality) {
   EstimatorSpec spec;
@@ -77,6 +99,24 @@ ModeResult RunMonitor(const Trace& trace, const EstimatorSpec& spec,
   return result;
 }
 
+// Batch-records the trace into a standalone arena engine under `tuning`.
+ModeResult RunArena(const Trace& trace, const EstimatorSpec& spec,
+                    const ArenaTuning& tuning, const std::string& mode,
+                    ArenaSmbEngine* engine) {
+  auto config = ArenaSmbEngine::ConfigForSpec(spec);
+  config->tuning = tuning;
+  *engine = ArenaSmbEngine(*config);
+  WallTimer timer;
+  engine->RecordBatch(trace.packets.data(), trace.packets.size());
+  const double seconds = timer.ElapsedSeconds();
+  ModeResult result;
+  result.mode = mode;
+  result.mpps = static_cast<double>(trace.packets.size()) / seconds / 1e6;
+  result.bytes_per_flow = static_cast<double>(engine->ResidentBytes()) /
+                          static_cast<double>(engine->NumFlows());
+  return result;
+}
+
 ModeResult RunParallel(const Trace& trace, const EstimatorSpec& spec,
                        size_t producers, size_t shards) {
   const auto config = ArenaSmbEngine::ConfigForSpec(spec);
@@ -96,42 +136,145 @@ ModeResult RunParallel(const Trace& trace, const EstimatorSpec& spec,
   return result;
 }
 
+// Mean relative error of `estimate(flow)` against the trace's ground
+// truth over every flow (min_cardinality >= 1, so truth never divides
+// by zero).
+template <typename EstimateFn>
+double MeanRelativeError(const Trace& trace, EstimateFn estimate) {
+  double total = 0.0;
+  for (uint64_t flow = 0; flow < trace.num_flows(); ++flow) {
+    const double truth =
+        static_cast<double>(trace.true_cardinality[flow]);
+    total += std::fabs(estimate(flow) - truth) / truth;
+  }
+  return total / static_cast<double>(trace.num_flows());
+}
+
 int Run(const BenchScale& scale) {
   TraceConfig config;
   // Full scale satisfies the ISSUE gate's >= 100k flows; fast scale keeps
-  // the CI smoke run in seconds on one core.
-  config.num_flows = scale.full ? 120000 : 20000;
-  config.max_cardinality = scale.full ? 10000 : 4000;
-  config.dup_factor = 1.5;
+  // the CI smoke run in seconds on one core. The huge tier shifts the
+  // spread distribution toward the small flows that motivate the nursery
+  // (and keeps the packet count from exploding with the flow count).
+  config.num_flows = scale.flows != 0 ? scale.flows
+                     : scale.full     ? 120000
+                                      : 20000;
+  const bool huge = config.num_flows > kHugeTierFlows;
+  config.max_cardinality = huge        ? 32
+                           : scale.full ? 10000
+                                        : 4000;
+  config.dup_factor = huge ? 1.0 : 1.5;
   config.seed = 23;
+  if (scale.zipf > 0.0) {
+    config.cardinality_exponent = scale.zipf;
+  } else if (huge) {
+    config.cardinality_exponent = 1.0;
+  }
   const Trace trace = GenerateTrace(config);
+  // The huge tier keeps the paper-shaped sketch geometry (design 2000)
+  // rather than shrinking the design with the per-flow spread cap: the
+  // point is 10M full-size sketches under a byte budget.
   const EstimatorSpec spec =
-      MonitorSpec(/*design_cardinality=*/config.max_cardinality);
+      MonitorSpec(huge ? 2000 : config.max_cardinality);
 
   // Span capture across every measured mode (the resulting trace shows
   // the real pipeline under bench load). No-op in SMB_TRACING=OFF builds.
   if (!scale.trace_out.empty()) trace::StartCapture();
 
-  PerFlowMonitor legacy(spec, PerFlowMonitor::Engine::kLegacyMap);
-  PerFlowMonitor arena(spec, PerFlowMonitor::Engine::kArena);
   std::vector<ModeResult> results;
-  results.push_back(RunMonitor(trace, spec, PerFlowMonitor::Engine::kLegacyMap,
-                               /*batched=*/false, &legacy));
-  results.push_back(RunMonitor(trace, spec, PerFlowMonitor::Engine::kArena,
-                               /*batched=*/false, nullptr));
-  results.push_back(RunMonitor(trace, spec, PerFlowMonitor::Engine::kArena,
-                               /*batched=*/true, &arena));
-
-  // Bit-identity audit over every flow before reporting any throughput.
-  size_t mismatches = 0;
-  for (uint64_t flow = 0; flow < trace.num_flows(); ++flow) {
-    if (legacy.Query(flow) != arena.Query(flow)) ++mismatches;
+  PerFlowMonitor legacy(spec, PerFlowMonitor::Engine::kLegacyMap);
+  if (!huge) {
+    results.push_back(RunMonitor(trace, spec,
+                                 PerFlowMonitor::Engine::kLegacyMap,
+                                 /*batched=*/false, &legacy));
+    results.push_back(RunMonitor(trace, spec, PerFlowMonitor::Engine::kArena,
+                                 /*batched=*/false, nullptr));
   }
 
-  const size_t shards = 4;
-  std::vector<size_t> producer_counts = {1, 2, 4};
-  for (size_t producers : producer_counts) {
-    results.push_back(RunParallel(trace, spec, producers, shards));
+  ArenaTuning nursery_tuning;  // defaults: nursery on, no budget
+  ArenaTuning fixed_tuning;
+  fixed_tuning.nursery_capacity = 0;
+  ArenaSmbEngine nursery_engine(*ArenaSmbEngine::ConfigForSpec(spec));
+  ArenaSmbEngine fixed_engine(*ArenaSmbEngine::ConfigForSpec(spec));
+  const ModeResult nursery_result = RunArena(
+      trace, spec, nursery_tuning, "arena_batch", &nursery_engine);
+  results.push_back(nursery_result);
+  const ModeResult fixed_result = RunArena(
+      trace, spec, fixed_tuning, "arena_fixed_stride", &fixed_engine);
+  results.push_back(fixed_result);
+
+  // Bit-identity audit over every flow before reporting any throughput.
+  // Normal tiers hold the arena to the legacy engine; the huge tier
+  // (no legacy run) holds the nursery engine to the fixed-stride one —
+  // residency tiering must never change an estimate.
+  size_t mismatches = 0;
+  for (uint64_t flow = 0; flow < trace.num_flows(); ++flow) {
+    const double reference =
+        huge ? fixed_engine.Query(flow) : legacy.Query(flow);
+    if (reference != nursery_engine.Query(flow)) ++mismatches;
+  }
+  if (!huge) {
+    for (uint64_t flow = 0; flow < trace.num_flows(); ++flow) {
+      if (legacy.Query(flow) != fixed_engine.Query(flow)) ++mismatches;
+    }
+  }
+
+  // Eviction run: a budget at half the unevicted footprint (unless
+  // --memory-budget picked one) guarantees the CLOCK path is exercised.
+  const size_t budget = scale.memory_budget_bytes != 0
+                            ? scale.memory_budget_bytes
+                            : nursery_engine.LiveBytes() / 2;
+  ArenaTuning evict_tuning;
+  evict_tuning.memory_budget_bytes = budget;
+  evict_tuning.eviction = ArenaEviction::kClock;
+  ArenaSmbEngine evict_engine(*ArenaSmbEngine::ConfigForSpec(spec));
+  std::unordered_map<uint64_t, double> spilled;  // last spill estimate
+  {
+    auto arena_config = ArenaSmbEngine::ConfigForSpec(spec);
+    arena_config->tuning = evict_tuning;
+    evict_engine = ArenaSmbEngine(*arena_config);
+    evict_engine.SetSpillSink([&spilled](
+        const ArenaSmbEngine::SpilledFlow& flow) {
+      spilled[flow.flow] = flow.estimate;
+    });
+    WallTimer timer;
+    evict_engine.RecordBatch(trace.packets.data(), trace.packets.size());
+    ModeResult result;
+    result.mode = "arena_evict";
+    result.mpps = static_cast<double>(trace.packets.size()) /
+                  timer.ElapsedSeconds() / 1e6;
+    result.bytes_per_flow =
+        static_cast<double>(evict_engine.ResidentBytes()) /
+        static_cast<double>(evict_engine.NumFlows());
+    results.push_back(result);
+  }
+  const ArenaSmbEngine::ArenaStats evict_stats = evict_engine.Stats();
+  const bool within_budget = evict_engine.LiveBytes() <= budget;
+
+  // Accuracy after eviction: each flow's recovered estimate is its live
+  // query if it survived, else the estimate it spilled when evicted
+  // (re-created flows overwrite with their latest spill). The
+  // no-eviction error from the nursery engine is the floor eviction is
+  // measured against.
+  const double rel_error_no_eviction = MeanRelativeError(
+      trace, [&](uint64_t flow) { return nursery_engine.Query(flow); });
+  size_t recovered_from_spill = 0;
+  const double rel_error_after_eviction =
+      MeanRelativeError(trace, [&](uint64_t flow) {
+        const double live = evict_engine.Query(flow);
+        if (live > 0.0) return live;
+        const auto it = spilled.find(flow);
+        if (it == spilled.end()) return 0.0;
+        ++recovered_from_spill;
+        return it->second;
+      });
+
+  std::vector<size_t> producer_counts;
+  if (!huge) {
+    producer_counts = {1, 2, 4};
+    for (size_t producers : producer_counts) {
+      results.push_back(RunParallel(trace, spec, producers, /*shards=*/4));
+    }
   }
 
   if (!scale.trace_out.empty()) {
@@ -156,19 +299,29 @@ int Run(const BenchScale& scale) {
     std::printf("wrote %s\n", scale.trace_out.c_str());
   }
 
-  const double legacy_mpps = results[0].mpps;
-  const double arena_batch_mpps = results[2].mpps;
+  // Headline ratio: arena_batch over legacy where legacy ran; on the
+  // huge tier, nursery over fixed-stride (same batch path, tiering on
+  // vs off).
+  const double baseline_mpps = huge ? fixed_result.mpps : results[0].mpps;
   const double speedup =
-      legacy_mpps > 0 ? arena_batch_mpps / legacy_mpps : 0.0;
+      baseline_mpps > 0 ? nursery_result.mpps / baseline_mpps : 0.0;
+  const double bytes_per_flow_drop =
+      fixed_result.bytes_per_flow > 0
+          ? 1.0 - nursery_result.bytes_per_flow / fixed_result.bytes_per_flow
+          : 0.0;
 
   JsonWriter json(JsonWriter::kPretty);
   json.BeginObject();
   json.Key("bench");
   json.String("per_flow_throughput");
+  json.Key("tier");
+  json.String(huge ? "huge" : (scale.full ? "full" : "fast"));
   json.Key("num_flows");
   json.Uint(trace.num_flows());
   json.Key("packets");
   json.Uint(trace.packets.size());
+  json.Key("zipf_exponent");
+  json.Double(config.cardinality_exponent, 2);
   json.Key("memory_bits_per_flow");
   json.Uint(kMemoryBits);
   json.Key("estimate_mismatches");
@@ -186,7 +339,7 @@ int Run(const BenchScale& scale) {
       json.Key("producers");
       json.Uint(producer_counts[producer_index++]);
       json.Key("shards");
-      json.Uint(shards);
+      json.Uint(4);
     }
     json.Key("mpps");
     json.Double(r.mpps, 3);
@@ -195,8 +348,36 @@ int Run(const BenchScale& scale) {
     json.EndObject();
   }
   json.EndArray();
-  json.Key("speedup_arena_batch_vs_legacy");
+  json.Key(huge ? "speedup_nursery_vs_fixed_stride"
+                : "speedup_arena_batch_vs_legacy");
   json.Double(speedup, 2);
+  json.Key("bytes_per_flow_fixed_stride");
+  json.Double(fixed_result.bytes_per_flow, 1);
+  json.Key("bytes_per_flow_nursery");
+  json.Double(nursery_result.bytes_per_flow, 1);
+  json.Key("bytes_per_flow_drop");
+  json.Double(bytes_per_flow_drop, 3);
+  json.Key("eviction");
+  json.BeginObject();
+  json.Key("budget_bytes");
+  json.Uint(budget);
+  json.Key("live_bytes");
+  json.Uint(evict_engine.LiveBytes());
+  json.Key("within_budget");
+  json.Bool(within_budget);
+  json.Key("live_flows");
+  json.Uint(evict_stats.live_flows);
+  json.Key("recorded_flows");
+  json.Uint(evict_stats.recorded_flows);
+  json.Key("evicted_flows");
+  json.Uint(evict_stats.evicted_flows);
+  json.Key("flows_recovered_from_spill");
+  json.Uint(recovered_from_spill);
+  json.Key("mean_rel_error_no_eviction");
+  json.Double(rel_error_no_eviction, 4);
+  json.Key("mean_rel_error_after_eviction");
+  json.Double(rel_error_after_eviction, 4);
+  json.EndObject();
   json.Key("environment");
   WriteEnvironmentJson(&json);
   json.EndObject();
@@ -208,16 +389,25 @@ int Run(const BenchScale& scale) {
 
   if (mismatches != 0) {
     std::fprintf(stderr,
-                 "FAIL: %zu flows with arena estimate != legacy estimate\n",
+                 "FAIL: %zu flows with mismatched estimates across "
+                 "engines\n",
                  mismatches);
+    return 1;
+  }
+  if (!within_budget) {
+    std::fprintf(stderr,
+                 "FAIL: arena_evict finished at %zu live bytes over the "
+                 "%zu byte budget\n",
+                 evict_engine.LiveBytes(), budget);
     return 1;
   }
   if (scale.assert_speedup > 0 && speedup < scale.assert_speedup) {
     std::fprintf(stderr,
-                 "FAIL: arena_batch speedup %.2fx below the --assert-speedup "
-                 "floor %.2fx (legacy %.3f Mpps, arena_batch %.3f Mpps)\n",
-                 speedup, scale.assert_speedup, legacy_mpps,
-                 arena_batch_mpps);
+                 "FAIL: %s speedup %.2fx below the --assert-speedup "
+                 "floor %.2fx (baseline %.3f Mpps, arena_batch %.3f "
+                 "Mpps)\n",
+                 huge ? "nursery-vs-fixed" : "arena-vs-legacy", speedup,
+                 scale.assert_speedup, baseline_mpps, nursery_result.mpps);
     return 1;
   }
   return 0;

@@ -23,7 +23,13 @@ namespace {
 // touch only the stable pointers (same pattern as the SMB core counters).
 struct FlowInstruments {
   telemetry::Counter* flows_created;
+  telemetry::Counter* flows_evicted;
+  telemetry::Counter* flows_promoted;
+  telemetry::Gauge* live_flows;
+  telemetry::Gauge* nursery_flows;
   telemetry::Gauge* slab_bytes;
+  telemetry::Gauge* live_bytes;
+  telemetry::Gauge* hugepage_bytes;
   telemetry::LatencyHistogram* probe_len;
 };
 
@@ -32,7 +38,13 @@ FlowInstruments& GlobalFlowInstruments() {
     auto& registry = telemetry::MetricsRegistry::Global();
     return FlowInstruments{
         registry.GetCounter("flow_flows_created_total"),
+        registry.GetCounter("flow_flows_evicted_total"),
+        registry.GetCounter("flow_flows_promoted_total"),
+        registry.GetGauge("flow_live_flows"),
+        registry.GetGauge("flow_nursery_flows"),
         registry.GetGauge("flow_slab_bytes"),
+        registry.GetGauge("flow_live_bytes"),
+        registry.GetGauge("flow_hugepage_bytes"),
         registry.GetHistogram("flow_table_probe_length"),
     };
   }();
@@ -40,7 +52,50 @@ FlowInstruments& GlobalFlowInstruments() {
 }
 
 }  // namespace
+
+// Republishes the residency gauges after a create/promote/evict event.
+#define SMB_FLOW_PUBLISH_RESIDENCY()                                        \
+  do {                                                                      \
+    FlowInstruments& ins = GlobalFlowInstruments();                         \
+    ins.live_flows->Set(static_cast<int64_t>(NumFlows()));                  \
+    ins.nursery_flows->Set(static_cast<int64_t>(live_nursery_));            \
+    ins.live_bytes->Set(static_cast<int64_t>(LiveBytes()));                 \
+    ins.slab_bytes->Set(static_cast<int64_t>(arena_.ResidentBytes() +      \
+                                             nursery_.ResidentBytes()));    \
+    const SlabAllocStats& ma = arena_.alloc_stats();                        \
+    const SlabAllocStats& na = nursery_.alloc_stats();                      \
+    ins.hugepage_bytes->Set(                                                \
+        static_cast<int64_t>(ma.hugetlb_bytes + ma.thp_advised_bytes +      \
+                             na.hugetlb_bytes + na.thp_advised_bytes));     \
+  } while (0)
+#else
+#define SMB_FLOW_PUBLISH_RESIDENCY() \
+  do {                               \
+  } while (0)
 #endif  // SMB_TELEMETRY_ENABLED
+
+namespace {
+
+// Nursery slab stride: the position list as whole uint64 words.
+size_t NurseryWordsFor(size_t capacity) {
+  return capacity == 0 ? 1 : (capacity * sizeof(uint32_t) + 7) / 8;
+}
+
+// A nursery only helps when its slot is strictly smaller than a main
+// slot; otherwise graduation would just be a copy with no memory win.
+size_t EffectiveNurseryCapacity(size_t capacity, size_t words_per_slot) {
+  if (capacity == 0) return 0;
+  return NurseryWordsFor(capacity) < words_per_slot ? capacity : 0;
+}
+
+SlabAllocOptions AllocOptionsFor(const ArenaTuning& tuning) {
+  SlabAllocOptions options;
+  options.try_hugepages = tuning.try_hugepages;
+  options.numa_node = tuning.numa_node;
+  return options;
+}
+
+}  // namespace
 
 bool ArenaSmbEngine::Supports(size_t num_bits, size_t threshold) {
   if (num_bits < 8 || threshold < 1 || threshold > num_bits) return false;
@@ -65,50 +120,133 @@ ArenaSmbEngine::ArenaSmbEngine(const Config& config)
     : config_(config),
       max_round_(SmbMaxRound(config.num_bits, config.threshold)),
       words_per_slot_((config.num_bits + 63) / 64),
+      nursery_capacity_(EffectiveNurseryCapacity(
+          config.tuning.nursery_capacity, words_per_slot_)),
+      nursery_words_(NurseryWordsFor(nursery_capacity_)),
       s_table_(BuildSTable(config.num_bits, config.threshold)),
-      arena_(words_per_slot_) {
+      arena_(words_per_slot_, AllocOptionsFor(config.tuning)),
+      nursery_(nursery_words_, AllocOptionsFor(config.tuning)) {
   SMB_CHECK_MSG(Supports(config.num_bits, config.threshold),
                 "(num_bits, threshold) outside the packed-metadata envelope");
 }
 
-uint32_t ArenaSmbEngine::FindOrCreateSlot(uint64_t flow,
-                                          uint64_t bucket_hash) {
+uint32_t ArenaSmbEngine::FindOrCreateRow(uint64_t flow, uint64_t bucket_hash,
+                                         bool* created) {
   bool inserted = false;
   uint32_t probe_len = 0;
-  const uint32_t next = static_cast<uint32_t>(flow_keys_.size());
-  const uint32_t slot =
-      table_.FindOrInsert(flow, bucket_hash, next, &inserted, &probe_len);
+  const uint32_t candidate =
+      row_free_.empty() ? static_cast<uint32_t>(flow_keys_.size())
+                        : row_free_.back();
+  const uint32_t row =
+      table_.FindOrInsert(flow, bucket_hash, candidate, &inserted, &probe_len);
 #if SMB_TELEMETRY_ENABLED
   GlobalFlowInstruments().probe_len->Record(probe_len);
 #else
   (void)probe_len;
 #endif
   if (inserted) {
-    flow_keys_.push_back(flow);
     // Exactly the legacy per-flow seed derivation, pre-folded into the
     // additive offset the keyed hash path consumes.
-    seed_offsets_.push_back(
-        ItemSeedOffset(Murmur3Fmix64(config_.base_seed ^ flow)));
-    meta_.push_back(0);
-    arena_.Allocate();
+    const uint64_t offset =
+        ItemSeedOffset(Murmur3Fmix64(config_.base_seed ^ flow));
+    if (!row_free_.empty()) {
+      row_free_.pop_back();
+      flow_keys_[row] = flow;
+      seed_offsets_[row] = offset;
+      meta_[row] = 0;
+    } else {
+      flow_keys_.push_back(flow);
+      seed_offsets_.push_back(offset);
+      meta_.push_back(0);
+      slab_ref_.push_back(kDeadRef);
+      ref_bits_.push_back(0);
+    }
+    if (nursery_capacity_ > 0) {
+      const uint32_t nursery_slot = nursery_.Allocate();
+      SMB_DCHECK(nursery_slot < kNurseryFlag);
+      slab_ref_[row] = kNurseryFlag | nursery_slot;
+      ++live_nursery_;
+    } else {
+      const uint32_t main_slot = arena_.Allocate();
+      SMB_DCHECK(main_slot < kNurseryFlag);
+      slab_ref_[row] = main_slot;
+      ++live_main_;
+    }
+    ++recorded_flows_;
 #if SMB_TELEMETRY_ENABLED
-    FlowInstruments& ins = GlobalFlowInstruments();
-    ins.flows_created->Add();
-    ins.slab_bytes->Set(static_cast<int64_t>(arena_.ResidentBytes()));
+    GlobalFlowInstruments().flows_created->Add();
+    SMB_FLOW_PUBLISH_RESIDENCY();
 #endif
   }
-  return slot;
+  // CLOCK reference: any lookup — gate-rejected traffic included — marks
+  // the flow recently-used.
+  ref_bits_[row] = 1;
+  if (created != nullptr) *created = inserted;
+  return row;
 }
 
-inline void ArenaSmbEngine::ApplyToSlot(uint32_t slot, uint64_t lo,
-                                        uint32_t rank) {
-  const uint32_t meta = meta_[slot];
+void ArenaSmbEngine::PromoteRow(uint32_t row) {
+  const uint32_t ref = slab_ref_[row];
+  if ((ref & kNurseryFlag) == 0) return;  // already on the main slab
+  SMB_DCHECK(ref != kDeadRef);
+  // Nursery rows are always round 0, so the fill IS the position count.
+  const uint32_t count = meta_[row] & kFillMask;
+  const uint32_t main_slot = arena_.Allocate();
+  SMB_DCHECK(main_slot < kNurseryFlag);
+  uint64_t* words = arena_.SlotWords(main_slot);
+  const uint32_t* positions = NurseryPositions(ref);
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint32_t pos = positions[i];
+    words[pos >> 6] |= uint64_t{1} << (pos & 63);
+  }
+  nursery_.Free(ref & ~kNurseryFlag);
+  slab_ref_[row] = main_slot;
+  --live_nursery_;
+  ++live_main_;
+  ++promoted_flows_;
+#if SMB_TELEMETRY_ENABLED
+  GlobalFlowInstruments().flows_promoted->Add();
+  SMB_FLOW_PUBLISH_RESIDENCY();
+#endif
+}
+
+void ArenaSmbEngine::NurseryApply(uint32_t row, uint32_t ref, uint32_t pos,
+                                  uint32_t meta) {
+  uint32_t* positions = NurseryPositions(ref);
+  const uint32_t v = meta & kFillMask;
+  // Membership scan stands in for the main path's word & mask duplicate
+  // check — the list holds exactly the set bits.
+  for (uint32_t i = 0; i < v; ++i) {
+    if (positions[i] == pos) return;
+  }
+  SMB_DCHECK(v < nursery_capacity_);
+  positions[v] = pos;
+  const uint32_t v_new = v + 1;
+  meta_[row] = v_new;  // round stays 0
+  // Same morph condition as the main path at round 0; graduation happens
+  // BEFORE the morph is recorded, so post-morph state always lives on
+  // the main slab.
+  const bool morphs = v_new >= config_.threshold && max_round_ > 0;
+  if (morphs || v_new >= nursery_capacity_) {
+    PromoteRow(row);
+    if (morphs) meta_[row] = uint32_t{1} << kRoundShift;
+  }
+}
+
+inline void ArenaSmbEngine::ApplyToRow(uint32_t row, uint64_t lo,
+                                       uint32_t rank) {
+  const uint32_t meta = meta_[row];
   uint32_t round = meta >> kRoundShift;
   // Geometric gate (Algorithm 1 step 1) — touches only the metadata SoA,
-  // never the slab.
+  // never the slabs.
   if (SMB_LIKELY(rank < round)) return;
   const size_t pos = FastRange64(lo, config_.num_bits);
-  uint64_t& word = arena_.SlotWords(slot)[pos >> 6];
+  const uint32_t ref = slab_ref_[row];
+  if (ref & kNurseryFlag) {
+    NurseryApply(row, ref, static_cast<uint32_t>(pos), meta);
+    return;
+  }
+  uint64_t& word = arena_.SlotWords(ref)[pos >> 6];
   const uint64_t mask = uint64_t{1} << (pos & 63);
   if (word & mask) return;
   word |= mask;
@@ -117,14 +255,14 @@ inline void ArenaSmbEngine::ApplyToSlot(uint32_t slot, uint64_t lo,
     ++round;
     v = 0;
   }
-  meta_[slot] = (round << kRoundShift) | v;
+  meta_[row] = (round << kRoundShift) | v;
 }
 
 void ArenaSmbEngine::Record(uint64_t flow, uint64_t element) {
-  const uint32_t slot = FindOrCreateSlot(flow, FlowTable::BucketHash(flow));
-  const Hash128 hash = ItemHash128(element + seed_offsets_[slot], 0);
-  ApplyToSlot(slot, hash.lo,
-              static_cast<uint32_t>(GeometricRank(hash.hi)));
+  const uint32_t row = FindOrCreateRow(flow, FlowTable::BucketHash(flow));
+  const Hash128 hash = ItemHash128(element + seed_offsets_[row], 0);
+  ApplyToRow(row, hash.lo, static_cast<uint32_t>(GeometricRank(hash.hi)));
+  MaybeEvict();
 }
 
 void ArenaSmbEngine::RecordBatch(const Packet* packets, size_t n) {
@@ -133,11 +271,11 @@ void ArenaSmbEngine::RecordBatch(const Packet* packets, size_t n) {
   uint64_t elems[kBatchBlock];
   uint64_t bucket_lo[kBatchBlock];
   uint8_t scratch_rank[kBatchBlock];
-  uint32_t slots[kBatchBlock];
+  uint32_t rows[kBatchBlock];
   uint64_t offsets[kBatchBlock];
   uint64_t elem_lo[kBatchBlock];
   uint8_t elem_rank[kBatchBlock];
-  uint32_t surv_slot[kBatchBlock];
+  uint32_t surv_row[kBatchBlock];
   uint64_t surv_lo[kBatchBlock];
   uint8_t surv_rank[kBatchBlock];
   constexpr size_t kLookAhead = 8;
@@ -157,8 +295,9 @@ void ArenaSmbEngine::RecordBatch(const Packet* packets, size_t n) {
     }
     // Stage 2: table lookups with bucket prefetch running kLookAhead
     // lanes ahead, then gather each lane's seed offset and prefetch its
-    // gate metadata. Inserts (and thus slab growth) all happen here, so
-    // later stages can hold raw slab pointers.
+    // gate metadata + storage ref. Inserts all happen here, and eviction
+    // waits for the block boundary, so the cached row ids stay valid for
+    // the rest of the block.
     {
       TRACE_SPAN("flow", "arena.table_lookup");
       for (size_t i = 0; i < std::min(kLookAhead, nb); ++i) {
@@ -168,9 +307,10 @@ void ArenaSmbEngine::RecordBatch(const Packet* packets, size_t n) {
         if (i + kLookAhead < nb) {
           table_.PrefetchBucket(bucket_lo[i + kLookAhead]);
         }
-        slots[i] = FindOrCreateSlot(flows[i], bucket_lo[i]);
-        offsets[i] = seed_offsets_[slots[i]];
-        __builtin_prefetch(meta_.data() + slots[i], 0, 3);
+        rows[i] = FindOrCreateRow(flows[i], bucket_lo[i]);
+        offsets[i] = seed_offsets_[rows[i]];
+        __builtin_prefetch(meta_.data() + rows[i], 0, 3);
+        __builtin_prefetch(slab_ref_.data() + rows[i], 0, 3);
       }
     }
     // Stage 3: one keyed SIMD pass hashes the block's elements, each lane
@@ -180,43 +320,119 @@ void ArenaSmbEngine::RecordBatch(const Packet* packets, size_t n) {
       BatchHashAndRankKeyed(elems, offsets, nb, elem_lo, elem_rank);
     }
     // Stage 4: gate-first compaction against each lane's current round +
-    // slab-word prefetch for the survivors. Safe to gate early: a flow's
-    // round only grows, so a lane rejected now would also be rejected at
-    // its sequential turn; survivors are re-gated against the live round
-    // in stage 5.
+    // storage prefetch for the survivors (the exact bitmap word on the
+    // main slab; the position list base for nursery rows). Safe to gate
+    // early: a flow's round only grows, so a lane rejected now would also
+    // be rejected at its sequential turn; survivors are re-gated against
+    // the live round in stage 5.
     size_t survivors = 0;
     {
       TRACE_SPAN("flow", "arena.gate_compact");
       for (size_t i = 0; i < nb; ++i) {
-        const uint32_t round = meta_[slots[i]] >> kRoundShift;
+        const uint32_t round = meta_[rows[i]] >> kRoundShift;
         if (SMB_UNLIKELY(elem_rank[i] >= round)) {
-          surv_slot[survivors] = slots[i];
+          surv_row[survivors] = rows[i];
           surv_lo[survivors] = elem_lo[i];
           surv_rank[survivors] = elem_rank[i];
-          const size_t pos = FastRange64(elem_lo[i], config_.num_bits);
-          __builtin_prefetch(arena_.SlotWords(slots[i]) + (pos >> 6), 1, 3);
+          const uint32_t ref = slab_ref_[rows[i]];
+          if (ref & kNurseryFlag) {
+            __builtin_prefetch(nursery_.SlotWords(ref & ~kNurseryFlag), 1, 3);
+          } else {
+            const size_t pos = FastRange64(elem_lo[i], config_.num_bits);
+            __builtin_prefetch(arena_.SlotWords(ref) + (pos >> 6), 1, 3);
+          }
           ++survivors;
         }
       }
     }
-    // Stage 5: in-order apply. ApplyToSlot re-gates against the live
+    // Stage 5: in-order apply. ApplyToRow re-gates against the live
     // metadata, so duplicate flows inside one block see each other's
     // probes and morphs exactly as a sequential Record() loop would.
     {
       TRACE_SPAN("flow", "arena.apply");
       for (size_t j = 0; j < survivors; ++j) {
-        ApplyToSlot(surv_slot[j], surv_lo[j], surv_rank[j]);
+        ApplyToRow(surv_row[j], surv_lo[j], surv_rank[j]);
       }
     }
+    // Block boundary: nothing caches row ids across this point, so cold
+    // rows can be reclaimed now.
+    MaybeEvict();
     packets += nb;
     n -= nb;
   }
 }
 
-double ArenaSmbEngine::EstimateSlot(uint32_t slot) const {
+void ArenaSmbEngine::MaybeEvict() {
+  if (!EvictionEnabled()) return;
+  const size_t budget = config_.tuning.memory_budget_bytes;
+  while (NumFlows() > 1 && LiveBytes() > budget) {
+    if (!EvictOneRow()) break;
+  }
+}
+
+bool ArenaSmbEngine::EvictOneRow() {
+  const size_t rows = num_rows();
+  if (rows == 0) return false;
+  // 2Q drains the nursery first: newborn rows hold the least learned
+  // state, so re-admitting one later costs almost nothing.
+  const bool prefer_nursery =
+      config_.tuning.eviction == ArenaEviction::k2Q && live_nursery_ > 0;
+  // Two sweeps bound the scan: the first pass can at worst clear every
+  // reference byte, the second must then find a victim.
+  for (size_t scanned = 0; scanned < rows * 2; ++scanned) {
+    if (clock_hand_ >= rows) clock_hand_ = 0;
+    const uint32_t row = static_cast<uint32_t>(clock_hand_++);
+    const uint32_t ref = slab_ref_[row];
+    if (ref == kDeadRef) continue;
+    if (prefer_nursery && (ref & kNurseryFlag) == 0) continue;
+    if (ref_bits_[row] != 0) {
+      ref_bits_[row] = 0;
+      continue;
+    }
+    EvictRow(row);
+    return true;
+  }
+  return false;
+}
+
+void ArenaSmbEngine::EvictRow(uint32_t row) {
+  const uint32_t ref = slab_ref_[row];
+  SMB_DCHECK(ref != kDeadRef);
+  const uint64_t flow = flow_keys_[row];
+  if (spill_sink_) {
+    SpilledFlow spilled;
+    spilled.flow = flow;
+    const uint32_t meta = meta_[row];
+    spilled.round = meta >> kRoundShift;
+    spilled.ones_in_round = meta & kFillMask;
+    spilled.estimate = EstimateSlot(row);
+    spilled.words = MaterializedWords(row);
+    spill_sink_(spilled);
+  }
+  const bool erased = table_.Erase(flow, FlowTable::BucketHash(flow));
+  SMB_DCHECK(erased);
+  (void)erased;
+  if (ref & kNurseryFlag) {
+    nursery_.Free(ref & ~kNurseryFlag);
+    --live_nursery_;
+  } else {
+    arena_.Free(ref);
+    --live_main_;
+  }
+  slab_ref_[row] = kDeadRef;
+  ref_bits_[row] = 0;
+  row_free_.push_back(row);
+  ++evicted_flows_;
+#if SMB_TELEMETRY_ENABLED
+  GlobalFlowInstruments().flows_evicted->Add();
+  SMB_FLOW_PUBLISH_RESIDENCY();
+#endif
+}
+
+double ArenaSmbEngine::EstimateSlot(uint32_t row) const {
   // Same operations, operand values and order as
   // SelfMorphingBitmap::Estimate(), so results are bit-identical.
-  const uint32_t meta = meta_[slot];
+  const uint32_t meta = meta_[row];
   const size_t round = meta >> kRoundShift;
   const double m_r =
       static_cast<double>(config_.num_bits - round * config_.threshold);
@@ -236,17 +452,53 @@ double ArenaSmbEngine::Query(uint64_t flow) const {
 
 std::vector<uint64_t> ArenaSmbEngine::FlowsOver(double threshold) const {
   std::vector<uint64_t> out;
-  for (uint32_t slot = 0; slot < flow_keys_.size(); ++slot) {
-    if (EstimateSlot(slot) >= threshold) out.push_back(flow_keys_[slot]);
+  for (uint32_t row = 0; row < flow_keys_.size(); ++row) {
+    if (slab_ref_[row] == kDeadRef) continue;
+    if (EstimateSlot(row) >= threshold) out.push_back(flow_keys_[row]);
   }
   return out;
 }
 
 void ArenaSmbEngine::ForEachFlow(
     const std::function<void(uint64_t, double)>& fn) const {
-  for (uint32_t slot = 0; slot < flow_keys_.size(); ++slot) {
-    fn(flow_keys_[slot], EstimateSlot(slot));
+  for (uint32_t row = 0; row < flow_keys_.size(); ++row) {
+    if (slab_ref_[row] == kDeadRef) continue;
+    fn(flow_keys_[row], EstimateSlot(row));
   }
+}
+
+void ArenaSmbEngine::CopyRowWords(uint32_t row, uint64_t* dst) const {
+  std::memset(dst, 0, words_per_slot_ * sizeof(uint64_t));
+  const uint32_t ref = slab_ref_[row];
+  SMB_DCHECK(ref != kDeadRef);
+  if (ref & kNurseryFlag) {
+    const uint32_t count = meta_[row] & kFillMask;
+    const uint32_t* positions = NurseryPositions(ref);
+    for (uint32_t i = 0; i < count; ++i) {
+      const uint32_t pos = positions[i];
+      dst[pos >> 6] |= uint64_t{1} << (pos & 63);
+    }
+  } else {
+    std::memcpy(dst, arena_.SlotWords(ref),
+                words_per_slot_ * sizeof(uint64_t));
+  }
+}
+
+std::span<const uint64_t> ArenaSmbEngine::MaterializedWords(
+    uint32_t row) const {
+  const uint32_t ref = slab_ref_[row];
+  SMB_DCHECK(ref != kDeadRef);
+  if ((ref & kNurseryFlag) == 0) {
+    return {arena_.SlotWords(ref), words_per_slot_};
+  }
+  inspect_scratch_.assign(words_per_slot_, 0);
+  const uint32_t count = meta_[row] & kFillMask;
+  const uint32_t* positions = NurseryPositions(ref);
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint32_t pos = positions[i];
+    inspect_scratch_[pos >> 6] |= uint64_t{1} << (pos & 63);
+  }
+  return {inspect_scratch_.data(), words_per_slot_};
 }
 
 void ArenaSmbEngine::MergeFrom(const ArenaSmbEngine& other) {
@@ -256,28 +508,31 @@ void ArenaSmbEngine::MergeFrom(const ArenaSmbEngine& other) {
   const SmbMergeGeometry geometry{config_.num_bits, config_.threshold,
                                   max_round_, 2.0};
   std::vector<uint64_t> replay(words_per_slot_);
-  for (uint32_t src_slot = 0; src_slot < other.flow_keys_.size();
-       ++src_slot) {
-    const uint64_t flow = other.flow_keys_[src_slot];
-    const uint64_t* src_words = other.arena_.SlotWords(src_slot);
-    const uint32_t src_meta = other.meta_[src_slot];
+  for (uint32_t src_row = 0; src_row < other.flow_keys_.size(); ++src_row) {
+    if (other.slab_ref_[src_row] == kDeadRef) continue;
+    const uint64_t flow = other.flow_keys_[src_row];
+    // Materialized view (nursery rows included) — the merge replay works
+    // on real bitmap words on both sides.
+    const uint64_t* src_words = other.MaterializedWords(src_row).data();
+    const uint32_t src_meta = other.meta_[src_row];
     const uint64_t bucket_hash = FlowTable::BucketHash(flow);
     const bool existed = table_.Find(flow, bucket_hash).found;
-    const uint32_t slot = FindOrCreateSlot(flow, bucket_hash);
-    uint64_t* dst_words = arena_.SlotWords(slot);
+    const uint32_t row = FindOrCreateRow(flow, bucket_hash);
+    PromoteRow(row);  // merge results live on the main slab
+    uint64_t* dst_words = arena_.SlotWords(slab_ref_[row]);
     if (!existed) {
       // Flow unknown here: adopt the source state verbatim (the
       // merge-with-empty identity, without the replay detour).
       std::copy(src_words, src_words + words_per_slot_, dst_words);
-      meta_[slot] = src_meta;
+      meta_[row] = src_meta;
       continue;
     }
     // Exactly the salt the flow's standalone snapshot would use in
     // SelfMorphingBitmap::MergeFrom: fmix(per_flow_seed ^ merge salt).
     const uint64_t salt = Murmur3Fmix64(
         Murmur3Fmix64(config_.base_seed ^ flow) ^ kSmbMergeSalt);
-    size_t round = meta_[slot] >> kRoundShift;
-    size_t fill = meta_[slot] & kFillMask;
+    size_t round = meta_[row] >> kRoundShift;
+    size_t fill = meta_[row] & kFillMask;
     const size_t src_round = src_meta >> kRoundShift;
     const size_t src_fill = src_meta & kFillMask;
     if (SmbMergePrefersSource(round, fill, src_round, src_fill)) {
@@ -299,17 +554,44 @@ void ArenaSmbEngine::MergeFrom(const ArenaSmbEngine& other) {
           std::span<const uint64_t>(src_words, words_per_slot_), src_round,
           src_fill);
     }
-    meta_[slot] = (static_cast<uint32_t>(round) << kRoundShift) |
-                  static_cast<uint32_t>(fill);
+    meta_[row] = (static_cast<uint32_t>(round) << kRoundShift) |
+                 static_cast<uint32_t>(fill);
   }
+  // Adopted flows may have pushed past the budget; reclaim at the merge
+  // boundary (no cached row ids here).
+  MaybeEvict();
 }
 
 size_t ArenaSmbEngine::ResidentBytes() const {
   return sizeof(*this) + table_.ResidentBytes() + arena_.ResidentBytes() +
-         meta_.capacity() * sizeof(uint32_t) +
+         nursery_.ResidentBytes() + meta_.capacity() * sizeof(uint32_t) +
          seed_offsets_.capacity() * sizeof(uint64_t) +
          flow_keys_.capacity() * sizeof(uint64_t) +
+         slab_ref_.capacity() * sizeof(uint32_t) +
+         ref_bits_.capacity() * sizeof(uint8_t) +
+         row_free_.capacity() * sizeof(uint32_t) +
+         inspect_scratch_.capacity() * sizeof(uint64_t) +
          s_table_.capacity() * sizeof(double);
+}
+
+ArenaSmbEngine::ArenaStats ArenaSmbEngine::Stats() const {
+  ArenaStats stats;
+  stats.live_flows = NumFlows();
+  stats.nursery_flows = live_nursery_;
+  stats.main_flows = live_main_;
+  stats.recorded_flows = recorded_flows_;
+  stats.evicted_flows = evicted_flows_;
+  stats.promoted_flows = promoted_flows_;
+  stats.live_bytes = LiveBytes();
+  stats.budget_bytes = config_.tuning.memory_budget_bytes;
+  stats.main_slots_high_water = arena_.high_water_slots();
+  stats.main_slots_free = arena_.free_slots();
+  stats.nursery_slots_high_water = nursery_.high_water_slots();
+  stats.nursery_slots_free = nursery_.free_slots();
+  stats.nursery_enabled = nursery_capacity_ > 0;
+  stats.main_alloc = arena_.alloc_stats();
+  stats.nursery_alloc = nursery_.alloc_stats();
+  return stats;
 }
 
 std::optional<ArenaSmbEngine::FlowState> ArenaSmbEngine::Inspect(
@@ -321,7 +603,7 @@ std::optional<ArenaSmbEngine::FlowState> ArenaSmbEngine::Inspect(
   FlowState state;
   state.round = meta >> kRoundShift;
   state.ones_in_round = meta & kFillMask;
-  state.words = arena_.SlotSpan(probe.slot);
+  state.words = MaterializedWords(probe.slot);
   return state;
 }
 
@@ -330,11 +612,12 @@ namespace {
 // Snapshot layout (little-endian):
 //   magic "FLW1" (4 bytes)
 //   u64 num_bits, threshold, base_seed, num_flows, words_per_slot
-//   per flow (slot order): u64 flow key, u64 packed meta,
-//                          words_per_slot x u64 bitmap words
+//   per flow (row order): u64 flow key, u64 packed meta,
+//                         words_per_slot x u64 bitmap words
 //   u64 checksum (Murmur3_64 of every preceding byte).
 // Seed offsets are not stored — they are a pure function of
-// (base_seed, flow key) and are rebuilt on load.
+// (base_seed, flow key) and are rebuilt on load. Nursery rows are
+// materialized on write, so the format is residency-agnostic.
 constexpr char kMagic[4] = {'F', 'L', 'W', '1'};
 constexpr uint64_t kChecksumSeed = 0x464C5731u;  // "FLW1"
 
@@ -371,10 +654,12 @@ std::vector<uint8_t> ArenaSmbEngine::Serialize() const {
   AppendU64(&out, config_.base_seed);
   AppendU64(&out, NumFlows());
   AppendU64(&out, words_per_slot_);
-  for (uint32_t slot = 0; slot < flow_keys_.size(); ++slot) {
-    AppendU64(&out, flow_keys_[slot]);
-    AppendU64(&out, meta_[slot]);
-    const uint64_t* words = arena_.SlotWords(slot);
+  std::vector<uint64_t> words(words_per_slot_);
+  for (uint32_t row = 0; row < flow_keys_.size(); ++row) {
+    if (slab_ref_[row] == kDeadRef) continue;
+    AppendU64(&out, flow_keys_[row]);
+    AppendU64(&out, meta_[row]);
+    CopyRowWords(row, words.data());
     for (size_t w = 0; w < words_per_slot_; ++w) AppendU64(&out, words[w]);
   }
   AppendU64(&out, SnapshotChecksum(out.data(), out.size()));
@@ -382,7 +667,7 @@ std::vector<uint8_t> ArenaSmbEngine::Serialize() const {
 }
 
 std::optional<ArenaSmbEngine> ArenaSmbEngine::Deserialize(
-    const std::vector<uint8_t>& bytes) {
+    const std::vector<uint8_t>& bytes, const ArenaTuning& tuning) {
   if (bytes.size() < 4 || std::memcmp(bytes.data(), kMagic, 4) != 0) {
     return std::nullopt;
   }
@@ -415,6 +700,7 @@ std::optional<ArenaSmbEngine> ArenaSmbEngine::Deserialize(
   config.num_bits = num_bits;
   config.threshold = threshold;
   config.base_seed = base_seed;
+  config.tuning = tuning;
   ArenaSmbEngine engine(config);
   const size_t max_round = engine.max_round_;
   const size_t tail_bits = num_bits % 64;
@@ -444,20 +730,38 @@ std::optional<ArenaSmbEngine> ArenaSmbEngine::Deserialize(
       return std::nullopt;
     }
     if (popcount != round * threshold + ones) return std::nullopt;
-    bool inserted = false;
-    uint32_t probe_len = 0;
-    const uint32_t slot = engine.table_.FindOrInsert(
-        key, FlowTable::BucketHash(key),
-        static_cast<uint32_t>(engine.flow_keys_.size()), &inserted,
-        &probe_len);
-    if (!inserted) return std::nullopt;  // duplicate flow key
-    engine.flow_keys_.push_back(key);
-    engine.seed_offsets_.push_back(
-        ItemSeedOffset(Murmur3Fmix64(base_seed ^ key)));
-    engine.meta_.push_back(meta);
-    engine.arena_.Allocate();
-    std::copy(words.begin(), words.end(), engine.arena_.SlotWords(slot));
+    bool created = false;
+    const uint32_t row =
+        engine.FindOrCreateRow(key, FlowTable::BucketHash(key), &created);
+    if (!created) return std::nullopt;  // duplicate flow key
+    const uint32_t ref = engine.slab_ref_[row];
+    // Strict <: nursery residents always have v < capacity (promotion
+    // fires at v == capacity), and a full position list would leave no
+    // room for the next element's append.
+    if ((ref & kNurseryFlag) != 0 && round == 0 &&
+        ones < engine.nursery_capacity_) {
+      // The flow fits the nursery: decode its set bits back into a
+      // position list instead of spending a main-slab slot.
+      uint32_t* positions = engine.NurseryPositions(ref);
+      uint32_t count = 0;
+      for (size_t w = 0; w < words.size(); ++w) {
+        uint64_t word = words[w];
+        while (word != 0) {
+          positions[count++] = static_cast<uint32_t>(
+              w * 64 + static_cast<size_t>(CountTrailingZeros64(word)));
+          word &= word - 1;
+        }
+      }
+      SMB_DCHECK(count == ones);
+    } else {
+      engine.PromoteRow(row);  // no-op when the nursery is disabled
+      std::copy(words.begin(), words.end(),
+                engine.arena_.SlotWords(engine.slab_ref_[row]));
+    }
+    engine.meta_[row] = meta;
   }
+  // The snapshot may hold more state than the restored budget allows.
+  engine.MaybeEvict();
   return engine;
 }
 

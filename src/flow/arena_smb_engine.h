@@ -1,33 +1,63 @@
-// ArenaSmbEngine — cache-conscious per-flow SMB storage (DESIGN.md §12).
+// ArenaSmbEngine — cache-conscious per-flow SMB storage (DESIGN.md §12,
+// scaled to 10M+ flows by §15).
 //
 // The legacy PerFlowMonitor keeps one heap-allocated SelfMorphingBitmap
 // per flow behind an unordered_map of unique_ptrs: every packet pays a
 // node walk, a pointer chase and a virtual call before it even reaches
-// the geometric gate. This engine replaces that with three flat arrays:
+// the geometric gate. This engine replaces that with flat arrays:
 //
-//   FlowTable   flow key -> dense slot   (open addressing, incremental
-//                                         rehash, flow/flow_table.h)
-//   meta_[slot] packed (r, v)            (6-bit round << 26 | 26-bit v —
-//                                         the paper's 32 auxiliary bits;
-//                                         one cache line covers 16 flows'
-//                                         gate state)
-//   SlabArena   slot -> m-bit bitmap     (fixed stride, contiguous)
+//   FlowTable      flow key -> dense row   (open addressing, incremental
+//                                           rehash + tombstone erase,
+//                                           flow/flow_table.h)
+//   meta_[row]     packed (r, v)           (6-bit round << 26 | 26-bit v —
+//                                           the paper's 32 auxiliary bits;
+//                                           one cache line covers 16
+//                                           flows' gate state)
+//   slab_ref_[row] storage tier + slot     (nursery or main slab)
+//   SlabArena x2   slot -> flow storage    (fixed stride, chunked mmap)
 //
 // The gate-before-slab invariant: the geometric gate reads only meta_, so
 // a gate-rejected packet — the common case past round 0 — never touches
-// the bitmap slab at all. Per-flow hash seeds are derived exactly as the
-// legacy engine derives them (Murmur3Fmix64(base_seed ^ flow)) and every
+// either slab. Per-flow hash seeds are derived exactly as the legacy
+// engine derives them (Murmur3Fmix64(base_seed ^ flow)) and every
 // recording/query operation replays SelfMorphingBitmap's operations in
 // the same order, so estimates are bit-identical to the legacy engine
 // given the same seeds (pinned by the equivalence suite).
+//
+// Graduated storage (DESIGN.md §15): a brand-new flow holds only a
+// handful of set bits, yet a fixed-stride slab charges it the full m-bit
+// bitmap up front — on a heavy-tailed trace most of the slab is zeros
+// belonging to single-digit-packet flows. New flows therefore start in
+// the *nursery*: a small-stride slab whose slot is the flow's set-bit
+// POSITIONS (one uint32 each) rather than the bitmap itself. While a
+// flow's round is 0 its fill v equals its distinct-position count, so
+// the position list is a lossless encoding of the full bitmap and every
+// estimate/snapshot/merge sees exactly the bits the main slab would
+// hold. The flow graduates to a main-slab slot (positions materialized
+// into real bits) the moment the list fills or the next insert would
+// morph it to round 1 — so main-slab bytes are spent only on flows that
+// proved they have a tail.
+//
+// Memory budget + eviction (DESIGN.md §15): with a budget configured,
+// crossing it evicts cold flows — CLOCK second-chance over the packed
+// row metadata plus a per-row reference byte (refreshed by every lookup,
+// including gate-rejected traffic), or 2Q, which drains the nursery
+// first (newborn singletons are the cheapest state to re-learn). An
+// evicted flow's final state is offered to an optional spill sink before
+// its table entry is tombstoned and its slab slot is free-listed for
+// reuse, so accuracy-after-eviction is measurable. The budget governs
+// LiveBytes() — bytes of *live* rows — because slab chunks are never
+// unmapped; mapped bytes plateau at the high-water mark while the free
+// lists recycle slots beneath it.
 //
 // RecordBatch is the keyed batch pipeline: one SIMD kernel call hashes a
 // block of flow keys (bucket hashes), table lookups run with bucket
 // prefetch a few lanes ahead, a second *keyed* kernel call hashes the
 // block's elements with each lane's own flow seed (hash/batch_hash.h's
-// ItemSeedOffset identity), and surviving lanes prefetch their slab word
-// before the in-order apply loop — DRAM latency overlaps across packets
-// instead of serializing per flow.
+// ItemSeedOffset identity), and surviving lanes prefetch their storage
+// (either tier) before the in-order apply loop. Eviction runs only at
+// block boundaries, so the row ids a block caches stay valid for the
+// whole block.
 
 #ifndef SMBCARD_FLOW_ARENA_SMB_ENGINE_H_
 #define SMBCARD_FLOW_ARENA_SMB_ENGINE_H_
@@ -46,6 +76,34 @@
 
 namespace smb {
 
+// How the engine reclaims memory once LiveBytes() crosses the budget.
+enum class ArenaEviction : uint8_t {
+  kOff = 0,    // never evict (budget, if set, is ignored)
+  kClock = 1,  // CLOCK second-chance over all rows
+  k2Q = 2,     // CLOCK preferring nursery rows while any exist
+};
+
+// Knobs that do NOT affect recorded state (estimates are bit-identical
+// across any tuning): placement, graduation and reclamation policy only.
+struct ArenaTuning {
+  // Live-bytes ceiling; 0 = unlimited. Enforced only when eviction is
+  // not kOff.
+  size_t memory_budget_bytes = 0;
+  ArenaEviction eviction = ArenaEviction::kClock;
+  // Nursery position-list capacity per flow; 0 disables the nursery, and
+  // it auto-disables when a nursery slot would not be smaller than a
+  // main-slab slot.
+  size_t nursery_capacity = 16;
+  // Page placement for both slabs (see SlabAllocOptions).
+  bool try_hugepages = false;
+  int numa_node = -1;
+  // ShardedFlowMonitor-level knob (ignored by a single engine): spread
+  // shards round-robin across online NUMA nodes — each shard's slabs are
+  // bound to its node and the parallel recorder pins that shard's
+  // consumer thread to the node's CPUs. No-op on single-node machines.
+  bool numa_shards = false;
+};
+
 class ArenaSmbEngine {
  public:
   struct Config {
@@ -56,6 +114,8 @@ class ArenaSmbEngine {
     // Base hash seed; flow f records with Murmur3Fmix64(base_seed ^ f),
     // exactly the legacy PerFlowMonitor derivation.
     uint64_t base_seed = 0;
+    // Estimate-invariant placement/eviction knobs.
+    ArenaTuning tuning;
   };
 
   // Whether (m, T) fits the packed 32-bit metadata: round in 6 bits
@@ -85,23 +145,33 @@ class ArenaSmbEngine {
     RecordBatch(packets.data(), packets.size());
   }
 
-  // Estimated spread of `flow`; 0 for never-seen flows. Replays
-  // SelfMorphingBitmap::Estimate()'s exact operations.
+  // Estimated spread of `flow`; 0 for never-seen (or evicted) flows.
+  // Replays SelfMorphingBitmap::Estimate()'s exact operations.
   double Query(uint64_t flow) const;
 
-  size_t NumFlows() const { return flow_keys_.size(); }
+  // Currently-tracked (live) flows; evicted flows are excluded.
+  size_t NumFlows() const { return live_main_ + live_nursery_; }
 
-  // Flows whose current estimate is >= threshold, in slot (creation)
+  // Flows whose current estimate is >= threshold, in row (creation)
   // order.
   std::vector<uint64_t> FlowsOver(double threshold) const;
 
-  // Calls fn(flow, estimate) for every tracked flow, in slot order.
+  // Calls fn(flow, estimate) for every live flow, in row order.
   void ForEachFlow(
       const std::function<void(uint64_t flow, double estimate)>& fn) const;
 
   // True heap + object footprint: flow table buckets, SoA metadata
-  // arrays, and the bitmap slab.
+  // arrays, and both slabs' mapped bytes.
   size_t ResidentBytes() const;
+
+  // Bytes attributable to *live* flows — what the memory budget governs.
+  // Per flow: its storage-tier slot plus kRowOverheadBytes of row + table
+  // bookkeeping. Honest under eviction: a freed row leaves immediately,
+  // even though its slab chunk stays mapped for reuse.
+  size_t LiveBytes() const {
+    return live_main_ * (words_per_slot_ * 8 + kRowOverheadBytes) +
+           live_nursery_ * (nursery_words_ * 8 + kRowOverheadBytes);
+  }
 
   // Logical sketch bits (the paper's m + 32 per flow) — what the legacy
   // TotalMemoryBits used to report.
@@ -112,11 +182,46 @@ class ArenaSmbEngine {
   const Config& config() const { return config_; }
   size_t max_round() const { return max_round_; }
 
+  // Lifetime/occupancy counters for telemetry, health probes and the
+  // accounting regression tests (recorded == live + evicted always).
+  struct ArenaStats {
+    size_t live_flows = 0;      // rows currently tracked
+    size_t nursery_flows = 0;   // live rows still in the nursery tier
+    size_t main_flows = 0;      // live rows in the main slab
+    size_t recorded_flows = 0;  // flows ever created
+    size_t evicted_flows = 0;   // flows reclaimed by the budget
+    size_t promoted_flows = 0;  // nursery -> main graduations
+    size_t live_bytes = 0;      // LiveBytes()
+    size_t budget_bytes = 0;    // configured ceiling (0 = unlimited)
+    size_t main_slots_high_water = 0;
+    size_t main_slots_free = 0;
+    size_t nursery_slots_high_water = 0;
+    size_t nursery_slots_free = 0;
+    bool nursery_enabled = false;
+    SlabAllocStats main_alloc;
+    SlabAllocStats nursery_alloc;
+  };
+  ArenaStats Stats() const;
+
+  // Eviction spill: the flow's final state, offered to the sink before
+  // the row is reclaimed. `words` is the materialized bitmap (nursery
+  // rows included) and is valid only for the duration of the callback.
+  struct SpilledFlow {
+    uint64_t flow = 0;
+    uint32_t round = 0;
+    uint32_t ones_in_round = 0;
+    double estimate = 0.0;
+    std::span<const uint64_t> words;
+  };
+  using SpillSink = std::function<void(const SpilledFlow&)>;
+  void SetSpillSink(SpillSink sink) { spill_sink_ = std::move(sink); }
+
   // Merging ----------------------------------------------------------------
   // Two engines can merge when they share the full recording geometry:
   // same per-flow bitmap size, morph threshold and base seed (per-flow
   // seeds are derived from the base seed, so equal base seeds make every
-  // shared flow's sketches merge-compatible).
+  // shared flow's sketches merge-compatible). Tuning is deliberately
+  // excluded — residency and eviction policy never change recorded bits.
   bool CanMergeWith(const ArenaSmbEngine& other) const {
     return config_.num_bits == other.config_.num_bits &&
            config_.threshold == other.config_.threshold &&
@@ -131,6 +236,9 @@ class ArenaSmbEngine {
   void MergeFrom(const ArenaSmbEngine& other);
 
   // Equivalence-test introspection: the flow's live (r, v, bitmap words).
+  // For nursery-resident flows the words are materialized into an
+  // internal scratch buffer; the span stays valid until the next Inspect
+  // or mutation.
   struct FlowState {
     size_t round = 0;
     size_t ones_in_round = 0;
@@ -139,39 +247,102 @@ class ArenaSmbEngine {
   std::optional<FlowState> Inspect(uint64_t flow) const;
 
   // Serialization ---------------------------------------------------------
-  // Compact binary snapshot of the whole engine (config + every flow's
-  // key, metadata and bitmap words); the payload fed to CheckpointStore.
+  // Compact binary snapshot of the whole engine (config + every live
+  // flow's key, metadata and materialized bitmap words); the payload fed
+  // to CheckpointStore. Residency tier and eviction history are not
+  // recorded — the snapshot is the same whether or not flows sat in the
+  // nursery.
   std::vector<uint8_t> Serialize() const;
   // Rebuilds an engine from Serialize() output; nullopt on malformed,
-  // truncated or internally inconsistent input.
+  // truncated or internally inconsistent input. Restored round-0 flows
+  // whose fill fits the nursery return to it; `tuning` configures the
+  // restored engine (snapshots carry no tuning).
   static std::optional<ArenaSmbEngine> Deserialize(
-      const std::vector<uint8_t>& bytes);
+      const std::vector<uint8_t>& bytes, const ArenaTuning& tuning = {});
 
  private:
   static constexpr uint32_t kRoundShift = 26;
   static constexpr uint32_t kFillMask = (uint32_t{1} << kRoundShift) - 1;
+  // slab_ref_ encoding: top bit = nursery tier, low 31 bits = slot index
+  // within the tier; all-ones = row reclaimed (on the row free list).
+  static constexpr uint32_t kNurseryFlag = 0x80000000u;
+  static constexpr uint32_t kDeadRef = 0xFFFFFFFFu;
+  // Modeled bookkeeping bytes a live flow costs outside its slab slot:
+  // SoA row (key 8 + seed 8 + meta 4 + slab_ref 4 + ref byte 1) plus its
+  // share of flow-table buckets at typical load (~24).
+  static constexpr size_t kRowOverheadBytes = 48;
 
-  // Finds or creates the flow's slot; newly created flows get their seed
-  // offset, zeroed metadata and a zero-filled slab slot.
-  uint32_t FindOrCreateSlot(uint64_t flow, uint64_t bucket_hash);
+  // Finds or creates the flow's row; newly created flows get their seed
+  // offset, zeroed metadata and a storage slot (nursery when enabled).
+  // Refreshes the row's CLOCK reference byte. *created reports whether a
+  // new row was made.
+  uint32_t FindOrCreateRow(uint64_t flow, uint64_t bucket_hash,
+                           bool* created = nullptr);
 
   // The scalar probe/set/morph step shared by Record and the batch apply
   // loop; `rank` has already passed (or will be re-checked against) the
-  // gate.
-  void ApplyToSlot(uint32_t slot, uint64_t lo, uint32_t rank);
+  // gate. Dispatches on the row's storage tier.
+  void ApplyToRow(uint32_t row, uint64_t lo, uint32_t rank);
+  // Round-0 position-list insert; promotes on fill or imminent morph.
+  void NurseryApply(uint32_t row, uint32_t ref, uint32_t pos, uint32_t meta);
+  // Graduates a nursery row: materializes its positions into a fresh
+  // main-slab slot and frees the nursery slot. No-op for main rows.
+  void PromoteRow(uint32_t row);
 
-  double EstimateSlot(uint32_t slot) const;
+  // Evicts cold rows until LiveBytes() fits the budget (or one row is
+  // left). Must only run when no batch block holds cached row ids.
+  void MaybeEvict();
+  bool EvictOneRow();
+  void EvictRow(uint32_t row);
+
+  bool EvictionEnabled() const {
+    return config_.tuning.memory_budget_bytes > 0 &&
+           config_.tuning.eviction != ArenaEviction::kOff;
+  }
+
+  uint32_t* NurseryPositions(uint32_t ref) {
+    return reinterpret_cast<uint32_t*>(
+        nursery_.SlotWords(ref & ~kNurseryFlag));
+  }
+  const uint32_t* NurseryPositions(uint32_t ref) const {
+    return reinterpret_cast<const uint32_t*>(
+        nursery_.SlotWords(ref & ~kNurseryFlag));
+  }
+
+  // The row's bitmap words; nursery rows are materialized into
+  // inspect_scratch_ (valid until the next call or mutation).
+  std::span<const uint64_t> MaterializedWords(uint32_t row) const;
+  // Zero-fills dst and writes the row's bitmap into it.
+  void CopyRowWords(uint32_t row, uint64_t* dst) const;
+
+  double EstimateSlot(uint32_t row) const;
+
+  size_t num_rows() const { return flow_keys_.size(); }
 
   Config config_;
   size_t max_round_;
   size_t words_per_slot_;
+  size_t nursery_capacity_;  // effective capacity (0 when disabled)
+  size_t nursery_words_;     // nursery slab stride in words
   std::vector<double> s_table_;
   FlowTable table_;
-  SlabArena arena_;
-  // SoA hot metadata, indexed by slot.
+  SlabArena arena_;    // main tier: full-stride bitmaps
+  SlabArena nursery_;  // nursery tier: round-0 position lists
+  // SoA hot metadata, indexed by row.
   std::vector<uint32_t> meta_;          // (round << 26) | v
   std::vector<uint64_t> seed_offsets_;  // ItemSeedOffset(per-flow seed)
-  std::vector<uint64_t> flow_keys_;     // slot -> flow key (reverse map)
+  std::vector<uint64_t> flow_keys_;     // row -> flow key (reverse map)
+  std::vector<uint32_t> slab_ref_;      // row -> storage tier + slot
+  std::vector<uint8_t> ref_bits_;       // row -> CLOCK reference byte
+  std::vector<uint32_t> row_free_;      // reclaimed row ids
+  size_t live_main_ = 0;
+  size_t live_nursery_ = 0;
+  size_t recorded_flows_ = 0;
+  size_t evicted_flows_ = 0;
+  size_t promoted_flows_ = 0;
+  size_t clock_hand_ = 0;
+  SpillSink spill_sink_;
+  mutable std::vector<uint64_t> inspect_scratch_;
 };
 
 }  // namespace smb

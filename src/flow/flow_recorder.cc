@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "flow/numa_topology.h"
 #include "hash/batch_hash.h"
 #include "parallel/spsc_ring.h"
 #include "trace/span_tracer.h"
@@ -99,6 +100,11 @@ FlowRecorderStats FlowParallelRecorder::RecordTrace(
   };
 
   auto consumer_main = [&](size_t k) {
+    // NUMA-aware runs: the consumer mutating shard k runs on the node
+    // shard k's slabs are bound to, so slab traffic stays node-local.
+    // Best-effort — pinning failures leave the default affinity.
+    const int node = monitor_->NumaNodeOfShard(k);
+    if (node >= 0) PinCurrentThreadToNode(node);
     ArenaSmbEngine* shard = monitor_->shard(k);
     std::vector<Packet> chunk(kDrainChunk);
     // Drain producers in index order; a producer's ring is finished once

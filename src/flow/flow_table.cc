@@ -9,7 +9,8 @@ namespace smb {
 
 FlowTable::FlowTable(size_t initial_capacity) {
   const size_t cap =
-      size_t{1} << Log2Ceil64(initial_capacity < 16 ? 16 : initial_capacity);
+      size_t{1} << Log2Ceil64(initial_capacity < kMinCapacity ? kMinCapacity
+                                                              : initial_capacity);
   active_.keys.assign(cap, 0);
   active_.tags.assign(cap, 0);
 }
@@ -21,9 +22,8 @@ FlowTable::Probe FlowTable::Find(uint64_t key, uint64_t hash) const {
     ++result.probe_len;
     const uint32_t tag = active_.tags[idx];
     if (tag == 0) break;
-    if (active_.keys[idx] == key) {
-      // The active generation never holds moved marks, so any occupied
-      // match is live.
+    // Tombstones keep their stale key, so the tag check must come first.
+    if (tag != kDeadTag && active_.keys[idx] == key) {
       result.slot = tag - 1;
       result.found = true;
       return result;
@@ -36,7 +36,7 @@ FlowTable::Probe FlowTable::Find(uint64_t key, uint64_t hash) const {
       ++result.probe_len;
       const uint32_t tag = draining_.tags[idx];
       if (tag == 0) break;
-      if (tag != kMovedTag && draining_.keys[idx] == key) {
+      if (tag != kDeadTag && draining_.keys[idx] == key) {
         result.slot = tag - 1;
         result.found = true;
         return result;
@@ -50,38 +50,44 @@ FlowTable::Probe FlowTable::Find(uint64_t key, uint64_t hash) const {
 uint32_t FlowTable::FindOrInsert(uint64_t key, uint64_t hash,
                                  uint32_t new_slot, bool* inserted,
                                  uint32_t* probe_len) {
-  SMB_DCHECK(new_slot + 1 < kMovedTag);
+  SMB_DCHECK(new_slot + 1 < kDeadTag);
   MigrateStep();
   uint32_t probes = 0;
   size_t idx = hash & active_.Mask();
-  size_t insert_idx;
+  size_t insert_idx = SIZE_MAX;  // first tombstone on the probe path, if any
   while (true) {
     ++probes;
     const uint32_t tag = active_.tags[idx];
     if (tag == 0) {
-      insert_idx = idx;
+      if (insert_idx == SIZE_MAX) insert_idx = idx;
       break;
     }
-    if (active_.keys[idx] == key) {
+    if (tag == kDeadTag) {
+      if (insert_idx == SIZE_MAX) insert_idx = idx;
+    } else if (active_.keys[idx] == key) {
       *inserted = false;
       *probe_len = probes;
       return tag - 1;
     }
     idx = (idx + 1) & active_.Mask();
   }
+  const auto install = [&](uint32_t tag) {
+    if (active_.tags[insert_idx] == kDeadTag) --tombstones_;
+    active_.keys[insert_idx] = key;
+    active_.tags[insert_idx] = tag;
+    ++active_.used;
+  };
   if (!draining_.keys.empty()) {
     size_t didx = hash & draining_.Mask();
     while (true) {
       ++probes;
       const uint32_t tag = draining_.tags[didx];
       if (tag == 0) break;
-      if (tag != kMovedTag && draining_.keys[didx] == key) {
+      if (tag != kDeadTag && draining_.keys[didx] == key) {
         // Found in the old generation: migrate it eagerly so repeat
         // lookups of a hot flow take the short active-only path.
-        active_.keys[insert_idx] = key;
-        active_.tags[insert_idx] = tag;
-        ++active_.used;
-        draining_.tags[didx] = kMovedTag;
+        install(tag);
+        draining_.tags[didx] = kDeadTag;
         --draining_.used;
         if (draining_.used == 0) ReleaseDraining();
         *inserted = false;
@@ -91,14 +97,55 @@ uint32_t FlowTable::FindOrInsert(uint64_t key, uint64_t hash,
       didx = (didx + 1) & draining_.Mask();
     }
   }
-  active_.keys[insert_idx] = key;
-  active_.tags[insert_idx] = new_slot + 1;
-  ++active_.used;
+  install(new_slot + 1);
   ++size_;
   *inserted = true;
   *probe_len = probes;
-  MaybeGrow();
+  MaybeRehash();
   return new_slot;
+}
+
+bool FlowTable::Erase(uint64_t key, uint64_t hash) {
+  MigrateStep();
+  size_t idx = hash & active_.Mask();
+  while (true) {
+    const uint32_t tag = active_.tags[idx];
+    if (tag == 0) break;
+    if (tag != kDeadTag && active_.keys[idx] == key) {
+      active_.tags[idx] = kDeadTag;
+      --active_.used;
+      ++tombstones_;
+      --size_;
+      // Mass eviction leaves the table far emptier than its capacity:
+      // kick off a shrink rehash (which also compacts tombstones away).
+      // Only Erase triggers shrinking — a deliberately pre-sized table
+      // must not shrink under inserts before it fills.
+      if (draining_.keys.empty() && active_.keys.size() > kMinCapacity &&
+          size_ * 8 < active_.keys.size()) {
+        StartRehash();
+      }
+      return true;
+    }
+    idx = (idx + 1) & active_.Mask();
+  }
+  if (!draining_.keys.empty()) {
+    size_t didx = hash & draining_.Mask();
+    while (true) {
+      const uint32_t tag = draining_.tags[didx];
+      if (tag == 0) break;
+      if (tag != kDeadTag && draining_.keys[didx] == key) {
+        // Reuses the migrated-out mark: the chain stays walkable and the
+        // bucket is reclaimed when the generation is released.
+        draining_.tags[didx] = kDeadTag;
+        --draining_.used;
+        --size_;
+        if (draining_.used == 0) ReleaseDraining();
+        return true;
+      }
+      didx = (didx + 1) & draining_.Mask();
+    }
+  }
+  return false;
 }
 
 void FlowTable::PrefetchBucket(uint64_t hash) const {
@@ -120,9 +167,9 @@ void FlowTable::MigrateStep() {
   while (migrate_pos_ < cap && moved < kMigrateEntries &&
          scanned < kMigrateScan) {
     const uint32_t tag = draining_.tags[migrate_pos_];
-    if (tag != 0 && tag != kMovedTag) {
+    if (tag != 0 && tag != kDeadTag) {
       MoveToActive(draining_.keys[migrate_pos_], tag);
-      draining_.tags[migrate_pos_] = kMovedTag;
+      draining_.tags[migrate_pos_] = kDeadTag;
       --draining_.used;
       ++moved;
     }
@@ -138,9 +185,13 @@ void FlowTable::MigrateStep() {
 
 void FlowTable::MoveToActive(uint64_t key, uint32_t tag) {
   // The key lives in exactly one generation, so no duplicate check is
-  // needed — just walk to the chain's first empty bucket.
+  // needed: the first tombstone (or empty bucket) on the chain is a safe
+  // landing spot.
   size_t idx = BucketHash(key) & active_.Mask();
-  while (active_.tags[idx] != 0) idx = (idx + 1) & active_.Mask();
+  while (active_.tags[idx] != 0 && active_.tags[idx] != kDeadTag) {
+    idx = (idx + 1) & active_.Mask();
+  }
+  if (active_.tags[idx] == kDeadTag) --tombstones_;
   active_.keys[idx] = key;
   active_.tags[idx] = tag;
   ++active_.used;
@@ -155,19 +206,28 @@ void FlowTable::ReleaseDraining() {
   migrate_pos_ = 0;
 }
 
-void FlowTable::MaybeGrow() {
-  if (size_ * 4 < active_.keys.size() * 3) return;
+void FlowTable::MaybeRehash() {
+  // Occupied (live + dead) fraction crossing 3/4 forces a rehash. The new
+  // capacity is sized from the live count alone, so a tombstone-heavy
+  // table compacts in place (or shrinks) instead of doubling.
+  if ((size_ + tombstones_) * 4 < active_.keys.size() * 3) return;
+  StartRehash();
+}
+
+void FlowTable::StartRehash() {
   if (!draining_.keys.empty()) {
-    // A second growth while the previous drain is still in flight (only
+    // A second rehash while the previous drain is still in flight (only
     // possible under a pathological burst): finish the old drain first so
     // there are never more than two generations.
     while (!draining_.keys.empty()) MigrateStep();
   }
-  const size_t new_cap = active_.keys.size() * 2;
+  const size_t want = size_ * 2 < kMinCapacity ? kMinCapacity : size_ * 2;
+  const size_t new_cap = size_t{1} << Log2Ceil64(want);
   draining_ = std::move(active_);
   active_ = Buckets{};
   active_.keys.assign(new_cap, 0);
   active_.tags.assign(new_cap, 0);
+  tombstones_ = 0;
   migrate_pos_ = 0;
 }
 

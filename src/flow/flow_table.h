@@ -5,17 +5,26 @@
 // Layout: power-of-two bucket arrays with linear probing, stored SoA
 // (keys and 32-bit slot tags in separate arrays) so a probe chain scans
 // 8 candidate keys per cache line instead of 2. Growth is *incremental*:
-// when the load factor crosses 3/4 the current array becomes a draining
-// generation and every subsequent mutating call migrates a bounded batch
-// of entries into the doubled active array, so no single Record() ever
-// pays an O(n) rehash — the latency spike the legacy unordered_map engine
-// takes on its rehashes.
+// when the occupied fraction crosses 3/4 the current array becomes a
+// draining generation and every subsequent mutating call migrates a
+// bounded batch of entries into the new active array, so no single
+// Record() ever pays an O(n) rehash — the latency spike the legacy
+// unordered_map engine takes on its rehashes.
 //
-// Draining correctness with linear probing: removing a migrated entry
-// would break probe chains that pass through its bucket, so migrated
-// buckets are tagged kMovedTag instead — occupied-but-never-matching, a
-// probe walks straight through them. The draining array therefore keeps
-// its original empty buckets (chain terminators) until it is released.
+// Deletion (the eviction path, DESIGN.md §15): removing an entry from a
+// linear-probe table would break every probe chain that passes through
+// its bucket, so Erase() leaves a *tombstone* — the same
+// occupied-but-never-matching kDeadTag marker the incremental rehash
+// already uses for migrated-out buckets. Probes walk straight through
+// tombstones; inserts reuse the first tombstone on their probe path.
+// Tombstones therefore cost probe length, not correctness, and the
+// rehash trigger counts them as occupied: when live + dead crosses 3/4,
+// the table rehashes into a capacity sized for the *live* count alone —
+// which compacts tombstones away, and shrinks the table after mass
+// evictions (Erase also triggers a shrink once live entries fall below
+// 1/8 of capacity). The draining generation keeps its original empty
+// buckets (chain terminators) until it is released, so probe chains
+// survive every combination of erase + incremental rehash.
 
 #ifndef SMBCARD_FLOW_FLOW_TABLE_H_
 #define SMBCARD_FLOW_FLOW_TABLE_H_
@@ -65,6 +74,12 @@ class FlowTable {
   uint32_t FindOrInsert(uint64_t key, uint64_t hash, uint32_t new_slot,
                         bool* inserted, uint32_t* probe_len);
 
+  // Removes the key, leaving a chain-preserving tombstone. Returns false
+  // when the key is not present. Advances the incremental rehash by a
+  // bounded step, and may start a shrink rehash when live entries have
+  // fallen far below capacity.
+  bool Erase(uint64_t key, uint64_t hash);
+
   // Prefetches the first bucket cache lines the probe of `hash` will
   // touch (both generations during a rehash). The batch path issues this
   // a few lanes ahead of the actual lookups.
@@ -73,6 +88,8 @@ class FlowTable {
   size_t size() const { return size_; }
   size_t capacity() const { return active_.keys.size(); }
   bool rehash_in_progress() const { return !draining_.keys.empty(); }
+  // Tombstones currently sitting in the active generation.
+  size_t tombstones() const { return tombstones_; }
 
   // Heap bytes owned by the bucket arrays of both generations.
   size_t ResidentBytes() const;
@@ -80,13 +97,16 @@ class FlowTable {
  private:
   struct Buckets {
     std::vector<uint64_t> keys;
-    // 0 = empty, kMovedTag = migrated out, otherwise slot + 1.
+    // 0 = empty, kDeadTag = tombstone / migrated out, otherwise slot + 1.
     std::vector<uint32_t> tags;
-    size_t used = 0;  // live entries (moved marks excluded)
+    size_t used = 0;  // live entries (dead marks excluded)
     size_t Mask() const { return keys.size() - 1; }
   };
 
-  static constexpr uint32_t kMovedTag = 0xFFFFFFFFu;
+  // Occupied-but-never-matching: a probe walks through it, an insert may
+  // reuse it. Doubles as the draining generation's migrated-out mark.
+  static constexpr uint32_t kDeadTag = 0xFFFFFFFFu;
+  static constexpr size_t kMinCapacity = 16;
   // Per-mutating-call migration budget: up to this many live entries are
   // moved, scanning at most kMigrateScan buckets.
   static constexpr size_t kMigrateEntries = 4;
@@ -95,12 +115,14 @@ class FlowTable {
   void MigrateStep();
   void MoveToActive(uint64_t key, uint32_t tag);
   void ReleaseDraining();
-  void MaybeGrow();
+  void MaybeRehash();
+  void StartRehash();
 
   Buckets active_;
   Buckets draining_;  // empty vectors when no rehash is in progress
   size_t migrate_pos_ = 0;
   size_t size_ = 0;
+  size_t tombstones_ = 0;  // dead marks in the active generation
 };
 
 }  // namespace smb

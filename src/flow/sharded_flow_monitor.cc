@@ -4,6 +4,7 @@
 
 #include "common/bit_util.h"
 #include "common/macros.h"
+#include "flow/numa_topology.h"
 #include "hash/batch_hash.h"
 #include "hash/murmur3.h"
 
@@ -19,8 +20,25 @@ constexpr uint64_t kShardSalt = 0x8AD93F10B2C66E45ULL;
 ShardedFlowMonitor::ShardedFlowMonitor(const ArenaSmbEngine::Config& config,
                                        size_t num_shards) {
   SMB_CHECK_MSG(num_shards >= 1, "need at least one shard");
+  const NumaTopology& topology = DetectNumaTopology();
+  const bool spread_nodes =
+      config.tuning.numa_shards && topology.multi_node();
+  // Even budget split; the first (total % shards) shards carry the
+  // remainder byte each so shard budgets sum to the monitor budget.
+  const size_t total_budget = config.tuning.memory_budget_bytes;
   shards_.reserve(num_shards);
-  for (size_t k = 0; k < num_shards; ++k) shards_.emplace_back(config);
+  shard_nodes_.reserve(num_shards);
+  for (size_t k = 0; k < num_shards; ++k) {
+    ArenaSmbEngine::Config shard_config = config;
+    if (total_budget > 0) {
+      shard_config.tuning.memory_budget_bytes =
+          total_budget / num_shards + (k < total_budget % num_shards ? 1 : 0);
+    }
+    const int node = spread_nodes ? topology.NodeForShard(k) : -1;
+    if (node >= 0) shard_config.tuning.numa_node = node;
+    shard_nodes_.push_back(node);
+    shards_.emplace_back(shard_config);
+  }
 }
 
 size_t ShardedFlowMonitor::ShardOf(uint64_t flow) const {
@@ -76,6 +94,39 @@ size_t ShardedFlowMonitor::ResidentBytes() const {
   size_t total = sizeof(*this);
   for (const auto& shard : shards_) total += shard.ResidentBytes();
   return total;
+}
+
+ArenaSmbEngine::ArenaStats ShardedFlowMonitor::Stats() const {
+  ArenaSmbEngine::ArenaStats total;
+  const auto add_alloc = [](SlabAllocStats* into, const SlabAllocStats& s) {
+    into->mapped_bytes += s.mapped_bytes;
+    into->hugetlb_bytes += s.hugetlb_bytes;
+    into->thp_advised_bytes += s.thp_advised_bytes;
+    into->numa_bound_bytes += s.numa_bound_bytes;
+  };
+  for (const auto& shard : shards_) {
+    const ArenaSmbEngine::ArenaStats s = shard.Stats();
+    total.live_flows += s.live_flows;
+    total.nursery_flows += s.nursery_flows;
+    total.main_flows += s.main_flows;
+    total.recorded_flows += s.recorded_flows;
+    total.evicted_flows += s.evicted_flows;
+    total.promoted_flows += s.promoted_flows;
+    total.live_bytes += s.live_bytes;
+    total.budget_bytes += s.budget_bytes;
+    total.main_slots_high_water += s.main_slots_high_water;
+    total.main_slots_free += s.main_slots_free;
+    total.nursery_slots_high_water += s.nursery_slots_high_water;
+    total.nursery_slots_free += s.nursery_slots_free;
+    total.nursery_enabled = total.nursery_enabled || s.nursery_enabled;
+    add_alloc(&total.main_alloc, s.main_alloc);
+    add_alloc(&total.nursery_alloc, s.nursery_alloc);
+  }
+  return total;
+}
+
+void ShardedFlowMonitor::SetSpillSink(ArenaSmbEngine::SpillSink sink) {
+  for (auto& shard : shards_) shard.SetSpillSink(sink);
 }
 
 }  // namespace smb

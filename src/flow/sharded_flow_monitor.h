@@ -25,6 +25,12 @@ namespace smb {
 
 class ShardedFlowMonitor {
  public:
+  // `config.tuning` is interpreted monitor-wide and translated per shard:
+  // a memory budget is split evenly across shards (each shard evicts
+  // against its slice), and with tuning.numa_shards set, shards are
+  // assigned round-robin to the online NUMA nodes — every shard's slabs
+  // bind to its node and NumaNodeOfShard exposes the assignment for
+  // consumer-thread pinning.
   ShardedFlowMonitor(const ArenaSmbEngine::Config& config,
                      size_t num_shards);
 
@@ -35,6 +41,10 @@ class ShardedFlowMonitor {
 
   size_t num_shards() const { return shards_.size(); }
   size_t ShardOf(uint64_t flow) const;
+
+  // The NUMA node shard k's slabs are bound to; -1 when NUMA placement
+  // is off or the machine has a single node.
+  int NumaNodeOfShard(size_t k) const { return shard_nodes_[k]; }
 
   // Direct shard access for the parallel recorder's consumer threads;
   // each shard must be touched by at most one thread at a time.
@@ -56,8 +66,17 @@ class ShardedFlowMonitor {
       const std::function<void(uint64_t flow, double estimate)>& fn) const;
   size_t ResidentBytes() const;
 
+  // Aggregate of every shard's lifetime/occupancy counters.
+  ArenaSmbEngine::ArenaStats Stats() const;
+
+  // Installs the sink on every shard. The sink may be called from the
+  // parallel recorder's consumer threads (one shard per thread), so it
+  // must be safe for concurrent invocation across different flows.
+  void SetSpillSink(ArenaSmbEngine::SpillSink sink);
+
  private:
   std::vector<ArenaSmbEngine> shards_;
+  std::vector<int> shard_nodes_;
 };
 
 }  // namespace smb

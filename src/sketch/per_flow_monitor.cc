@@ -15,10 +15,12 @@ constexpr size_t kEstimatorObjectBytes = 128;
 
 }  // namespace
 
-PerFlowMonitor::PerFlowMonitor(const EstimatorSpec& spec, Engine engine)
+PerFlowMonitor::PerFlowMonitor(const EstimatorSpec& spec, Engine engine,
+                               const ArenaTuning& tuning)
     : spec_(spec) {
   std::optional<ArenaSmbEngine::Config> config =
       ArenaSmbEngine::ConfigForSpec(spec);
+  if (config) config->tuning = tuning;
   switch (engine) {
     case Engine::kAuto:
       engine_ = config ? Engine::kArena : Engine::kLegacyMap;

@@ -126,9 +126,33 @@ HealthReport ProbeGeneralizedSmb(const GeneralizedSmb& smb) {
   return DeriveHealth(input);
 }
 
+namespace {
+
+// Fraction of a nonzero budget beyond which memory_pressure raises.
+constexpr double kMemoryPressureShare = 0.9;
+
+void FillResidency(const ArenaSmbEngine::ArenaStats& stats,
+                   ArenaHealthReport* report) {
+  report->nursery_flows = stats.nursery_flows;
+  report->evicted_flows = stats.evicted_flows;
+  report->promoted_flows = stats.promoted_flows;
+  report->live_bytes = stats.live_bytes;
+  report->budget_bytes = stats.budget_bytes;
+  report->hugepage_bytes =
+      stats.main_alloc.hugetlb_bytes + stats.main_alloc.thp_advised_bytes +
+      stats.nursery_alloc.hugetlb_bytes + stats.nursery_alloc.thp_advised_bytes;
+  report->memory_pressure =
+      stats.budget_bytes > 0 &&
+      static_cast<double>(stats.live_bytes) >=
+          kMemoryPressureShare * static_cast<double>(stats.budget_bytes);
+}
+
+}  // namespace
+
 ArenaHealthReport ProbeArena(const ArenaSmbEngine& engine, size_t top_k) {
   ArenaHealthReport report;
   report.num_flows = engine.NumFlows();
+  FillResidency(engine.Stats(), &report);
 
   // One pass to find the top_k flows by estimate and the aggregates.
   std::vector<std::pair<double, uint64_t>> ranked;
@@ -181,6 +205,7 @@ ShardedHealthReport ProbeSharded(const ShardedFlowMonitor& monitor,
                                  size_t top_k) {
   ShardedHealthReport report;
   report.flows_per_shard.reserve(monitor.num_shards());
+  FillResidency(monitor.Stats(), &report.aggregate);
 
   std::vector<std::pair<double, FlowHealth>> merged_top;
   for (size_t k = 0; k < monitor.num_shards(); ++k) {
@@ -260,6 +285,20 @@ void PublishArenaHealth(const ArenaHealthReport& report) {
       ->Set(static_cast<int64_t>(report.max_round_in_use));
   registry.GetGauge("arena_health_max_estimate")
       ->Set(static_cast<int64_t>(std::llround(report.max_estimate)));
+  registry.GetGauge("arena_health_nursery_flows")
+      ->Set(static_cast<int64_t>(report.nursery_flows));
+  registry.GetGauge("arena_health_evicted_flows")
+      ->Set(static_cast<int64_t>(report.evicted_flows));
+  registry.GetGauge("arena_health_promoted_flows")
+      ->Set(static_cast<int64_t>(report.promoted_flows));
+  registry.GetGauge("arena_health_live_bytes")
+      ->Set(static_cast<int64_t>(report.live_bytes));
+  registry.GetGauge("arena_health_budget_bytes")
+      ->Set(static_cast<int64_t>(report.budget_bytes));
+  registry.GetGauge("arena_health_hugepage_bytes")
+      ->Set(static_cast<int64_t>(report.hugepage_bytes));
+  registry.GetGauge("arena_health_memory_pressure")
+      ->Set(report.memory_pressure ? 1 : 0);
   for (size_t i = 0; i < report.top.size(); ++i) {
     const telemetry::Labels labels = {{"rank", std::to_string(i)}};
     const HealthReport& top = report.top[i].report;

@@ -109,6 +109,17 @@ struct ArenaHealthReport {
   size_t max_round_in_use = 0;  // deepest round any flow reached
   double max_estimate = 0.0;    // largest per-flow estimate
   std::vector<FlowHealth> top;  // top_k flows by estimate
+
+  // Residency and memory governance (ArenaSmbEngine::Stats()).
+  size_t nursery_flows = 0;    // live flows still in the nursery tier
+  size_t evicted_flows = 0;    // flows reclaimed by the memory budget
+  size_t promoted_flows = 0;   // nursery -> main graduations
+  size_t live_bytes = 0;       // bytes the budget governs
+  size_t budget_bytes = 0;     // configured ceiling (0 = unlimited)
+  size_t hugepage_bytes = 0;   // slab bytes on HugeTLB or THP-advised maps
+  // Raised when a nonzero budget is >= 90% consumed: the engine is
+  // actively evicting (or about to), so cold-flow estimates may be lost.
+  bool memory_pressure = false;
 };
 
 ArenaHealthReport ProbeArena(const ArenaSmbEngine& engine, size_t top_k);
@@ -139,7 +150,10 @@ void PublishHealth(const HealthReport& report,
 
 // Publishes `arena_health_*` aggregates plus per-rank gauges for the
 // top flows, labeled {rank=i}: arena_health_top_estimate,
-// arena_health_top_round, arena_health_top_rel_error_ppm.
+// arena_health_top_round, arena_health_top_rel_error_ppm. Residency
+// rides along as arena_health_nursery_flows, _evicted_flows,
+// _promoted_flows, _live_bytes, _budget_bytes, _hugepage_bytes and the
+// _memory_pressure flag.
 void PublishArenaHealth(const ArenaHealthReport& report);
 
 // PublishArenaHealth(aggregate) + arena_health_shard_skew_permille,

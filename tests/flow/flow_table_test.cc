@@ -166,6 +166,137 @@ TEST(FlowTableTest, ResidentBytesTracksCapacity) {
   EXPECT_GT(table.ResidentBytes(), before);
 }
 
+TEST(FlowTableTest, EraseRemovesKeyAndDecrementsSize) {
+  FlowTable table;
+  InsertNew(table, 10, 0);
+  InsertNew(table, 11, 1);
+  EXPECT_TRUE(table.Erase(10, FlowTable::BucketHash(10)));
+  EXPECT_EQ(table.size(), 1u);
+  EXPECT_FALSE(table.Find(10, FlowTable::BucketHash(10)).found);
+  EXPECT_TRUE(table.Find(11, FlowTable::BucketHash(11)).found);
+  // Erasing an absent key reports failure and changes nothing.
+  EXPECT_FALSE(table.Erase(10, FlowTable::BucketHash(10)));
+  EXPECT_FALSE(table.Erase(999, FlowTable::BucketHash(999)));
+  EXPECT_EQ(table.size(), 1u);
+}
+
+// A tombstone must keep probe chains walkable: keys that probed past the
+// erased slot must stay findable, and new inserts must reuse the
+// tombstone instead of lengthening the chain.
+TEST(FlowTableTest, TombstonesKeepProbeChainsIntact) {
+  FlowTable table(64);
+  // Half-load the fixed-capacity table so no rehash interferes, then
+  // erase every third key and audit the rest.
+  std::mt19937_64 rng(31);
+  std::vector<uint64_t> keys;
+  for (uint32_t slot = 0; slot < 32; ++slot) {
+    const uint64_t key = rng();
+    InsertNew(table, key, slot);
+    keys.push_back(key);
+  }
+  for (size_t i = 0; i < keys.size(); i += 3) {
+    ASSERT_TRUE(table.Erase(keys[i], FlowTable::BucketHash(keys[i])));
+  }
+  EXPECT_GT(table.tombstones(), 0u);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const auto probe = table.Find(keys[i], FlowTable::BucketHash(keys[i]));
+    if (i % 3 == 0) {
+      ASSERT_FALSE(probe.found) << i;
+    } else {
+      ASSERT_TRUE(probe.found) << i;
+      ASSERT_EQ(probe.slot, static_cast<uint32_t>(i));
+    }
+  }
+  // Reinserting an erased key probes across its old bucket, so it must
+  // reclaim a tombstone rather than consume a fresh slot.
+  const size_t tombstones_before = table.tombstones();
+  InsertNew(table, keys[0], 100);
+  EXPECT_LT(table.tombstones(), tombstones_before);
+}
+
+TEST(FlowTableTest, EraseDuringDrainResolvesBothGenerations) {
+  FlowTable table(16);
+  for (uint32_t slot = 0; slot < 13; ++slot) InsertNew(table, slot + 100, slot);
+  ASSERT_TRUE(table.rehash_in_progress());
+  // Mid-drain, keys live in either generation; erase a few of each
+  // vintage and verify the rest still resolve.
+  for (uint32_t slot : {0u, 5u, 12u}) {
+    ASSERT_TRUE(table.Erase(slot + 100, FlowTable::BucketHash(slot + 100)))
+        << slot;
+  }
+  EXPECT_EQ(table.size(), 10u);
+  for (uint32_t slot = 0; slot < 13; ++slot) {
+    const auto probe =
+        table.Find(slot + 100, FlowTable::BucketHash(slot + 100));
+    const bool erased = slot == 0 || slot == 5 || slot == 12;
+    ASSERT_EQ(probe.found, !erased) << slot;
+    if (probe.found) {
+      EXPECT_EQ(probe.slot, slot);
+    }
+  }
+}
+
+TEST(FlowTableTest, MassEraseShrinksCapacity) {
+  FlowTable table;
+  std::mt19937_64 rng(17);
+  std::vector<uint64_t> keys;
+  for (uint32_t slot = 0; slot < 4000; ++slot) {
+    const uint64_t key = rng();
+    InsertNew(table, key, slot);
+    keys.push_back(key);
+  }
+  const size_t grown = table.capacity();
+  ASSERT_GE(grown, 4000u);
+  // Erase all but a handful; the shrink rehash started by Erase drains
+  // across the subsequent operations.
+  for (size_t i = 0; i + 10 < keys.size(); ++i) {
+    ASSERT_TRUE(table.Erase(keys[i], FlowTable::BucketHash(keys[i])));
+  }
+  // Touch the table until any in-flight drain completes.
+  for (int i = 0; i < 1000 && table.rehash_in_progress(); ++i) {
+    table.Find(keys.back(), FlowTable::BucketHash(keys.back()));
+    table.Erase(0, FlowTable::BucketHash(0));  // absent key, still steps
+  }
+  EXPECT_LT(table.capacity(), grown);
+  EXPECT_EQ(table.size(), 10u);
+  for (size_t i = keys.size() - 10; i < keys.size(); ++i) {
+    const auto probe = table.Find(keys[i], FlowTable::BucketHash(keys[i]));
+    ASSERT_TRUE(probe.found) << i;
+    EXPECT_EQ(probe.slot, static_cast<uint32_t>(i));
+  }
+}
+
+// Steady-state churn (insert one, erase one) must not grow the table
+// without bound: tombstone pressure triggers compaction, not doubling.
+TEST(FlowTableTest, ChurnCompactsInsteadOfGrowing) {
+  FlowTable table(256);
+  std::mt19937_64 rng(23);
+  std::vector<uint64_t> live;
+  for (uint32_t slot = 0; slot < 100; ++slot) {
+    const uint64_t key = rng();
+    InsertNew(table, key, slot);
+    live.push_back(key);
+  }
+  for (uint32_t round = 0; round < 5000; ++round) {
+    const size_t victim = rng() % live.size();
+    ASSERT_TRUE(
+        table.Erase(live[victim], FlowTable::BucketHash(live[victim])));
+    const uint64_t key = rng();
+    bool inserted = false;
+    uint32_t probe_len = 0;
+    table.FindOrInsert(key, FlowTable::BucketHash(key), 100 + round,
+                       &inserted, &probe_len);
+    ASSERT_TRUE(inserted);
+    live[victim] = key;
+  }
+  EXPECT_EQ(table.size(), 100u);
+  // 100 live keys never need more than a few doublings of headroom.
+  EXPECT_LE(table.capacity(), 1024u);
+  for (uint64_t key : live) {
+    ASSERT_TRUE(table.Find(key, FlowTable::BucketHash(key)).found);
+  }
+}
+
 TEST(FlowTableTest, BucketHashMatchesItemHash) {
   // The batch pipeline relies on this exact identity to produce bucket
   // hashes through the SIMD kernel.

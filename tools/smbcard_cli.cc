@@ -53,6 +53,20 @@
 //                  `flow<TAB>estimate` lines. --memory/--design size each
 //                  per-flow estimator. SMB specs run on the arena engine.
 //   --top K        (with --per-flow) flows printed (default 10)
+//   --memory-budget BYTES
+//                  (with --per-flow, SMB/arena only) hard ceiling on live
+//                  per-flow state; crossing it evicts cold flows. Accepts
+//                  K/M/G suffixes (binary). 0 = unlimited (default).
+//   --eviction off|clock|2q
+//                  (with --memory-budget) reclamation policy: CLOCK
+//                  second-chance over all flows (default), 2q drains the
+//                  nursery first, off disables eviction (budget ignored)
+//   --hugepages    (with --per-flow) back the flow slabs with hugepages
+//                  when the kernel offers them (MAP_HUGETLB, else
+//                  transparent hugepages); silently falls back
+//   --numa         (with --per-flow) NUMA-aware placement: bind slab
+//                  chunks and (in sharded runs) consumer threads to
+//                  nodes; no-op on single-node machines
 //   FILE...        input files; stdin when none given
 //
 // Examples:
@@ -115,8 +129,35 @@ struct CliOptions {
   bool per_flow = false;
   size_t top_k = 10;
   bool top_k_set = false;
+  size_t memory_budget_bytes = 0;
+  smb::ArenaEviction eviction = smb::ArenaEviction::kClock;
+  bool eviction_set = false;
+  bool hugepages = false;
+  bool numa = false;
   std::vector<std::string> inputs;
 };
+
+// Parses "1048576", "512K", "64M", "2G" (binary multiples).
+bool ParseByteSize(const char* text, size_t* out) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (errno != 0 || end == text) return false;
+  size_t multiplier = 1;
+  if (*end == 'K' || *end == 'k') {
+    multiplier = size_t{1} << 10;
+    ++end;
+  } else if (*end == 'M' || *end == 'm') {
+    multiplier = size_t{1} << 20;
+    ++end;
+  } else if (*end == 'G' || *end == 'g') {
+    multiplier = size_t{1} << 30;
+    ++end;
+  }
+  if (*end != '\0') return false;
+  *out = static_cast<size_t>(value) * multiplier;
+  return true;
+}
 
 void PrintUsageAndExit(const char* argv0) {
   std::fprintf(stderr,
@@ -129,7 +170,9 @@ void PrintUsageAndExit(const char* argv0) {
                "               [--metrics-out FILE] "
                "[--metrics-interval SECONDS]\n"
                "               [--flight-recorder FILE]\n"
-               "               [--per-flow [--top K]] [FILE...]\n",
+               "               [--per-flow [--top K] [--memory-budget BYTES]"
+               "\n               [--eviction off|clock|2q] [--hugepages] "
+               "[--numa]] [FILE...]\n",
                argv0);
   std::exit(2);
 }
@@ -176,6 +219,29 @@ CliOptions ParseArgs(int argc, char** argv) {
     } else if (arg == "--top") {
       options.top_k = std::strtoul(next_value(), nullptr, 10);
       options.top_k_set = true;
+    } else if (arg == "--memory-budget") {
+      const char* text = next_value();
+      if (!ParseByteSize(text, &options.memory_budget_bytes)) {
+        std::fprintf(stderr, "bad --memory-budget '%s'\n", text);
+        PrintUsageAndExit(argv[0]);
+      }
+    } else if (arg == "--eviction") {
+      const std::string name = next_value();
+      options.eviction_set = true;
+      if (name == "off") {
+        options.eviction = smb::ArenaEviction::kOff;
+      } else if (name == "clock") {
+        options.eviction = smb::ArenaEviction::kClock;
+      } else if (name == "2q") {
+        options.eviction = smb::ArenaEviction::k2Q;
+      } else {
+        std::fprintf(stderr, "unknown eviction policy '%s'\n", name.c_str());
+        PrintUsageAndExit(argv[0]);
+      }
+    } else if (arg == "--hugepages") {
+      options.hugepages = true;
+    } else if (arg == "--numa") {
+      options.numa = true;
     } else if (arg == "--overload-policy") {
       const std::string name = next_value();
       options.overload_policy_set = true;
@@ -477,7 +543,21 @@ int RunPerFlow(const CliOptions& options) {
   spec.memory_bits = options.memory_bits;
   spec.design_cardinality = options.design_cardinality;
   spec.hash_seed = options.seed;
-  smb::PerFlowMonitor monitor(spec);
+  smb::ArenaTuning tuning;
+  tuning.memory_budget_bytes = options.memory_budget_bytes;
+  tuning.eviction = options.eviction;
+  tuning.try_hugepages = options.hugepages;
+  tuning.numa_shards = options.numa;
+  smb::PerFlowMonitor monitor(spec, smb::PerFlowMonitor::Engine::kAuto,
+                              tuning);
+  if ((options.memory_budget_bytes > 0 || options.hugepages ||
+       options.numa) &&
+      monitor.engine() != smb::PerFlowMonitor::Engine::kArena) {
+    std::fprintf(stderr,
+                 "--memory-budget/--hugepages/--numa need the arena engine "
+                 "(an SMB spec with packed-metadata geometry)\n");
+    return 2;
+  }
 
   // Batch packets so SMB specs go down the arena engine's keyed SIMD
   // pipeline instead of packet-at-a-time.
@@ -539,9 +619,19 @@ int RunPerFlow(const CliOptions& options) {
                 static_cast<unsigned long long>(spreads[i].first),
                 spreads[i].second);
   }
-  std::fprintf(stderr, "%zu flows over %llu input lines\n",
-               monitor.NumFlows(),
-               static_cast<unsigned long long>(line_number));
+  if (const smb::ArenaSmbEngine* engine = monitor.arena_engine()) {
+    const smb::ArenaSmbEngine::ArenaStats stats = engine->Stats();
+    std::fprintf(stderr,
+                 "%zu flows live (%zu nursery), %zu recorded, %zu evicted, "
+                 "%zu promoted, %zu live bytes over %llu input lines\n",
+                 stats.live_flows, stats.nursery_flows, stats.recorded_flows,
+                 stats.evicted_flows, stats.promoted_flows, stats.live_bytes,
+                 static_cast<unsigned long long>(line_number));
+  } else {
+    std::fprintf(stderr, "%zu flows over %llu input lines\n",
+                 monitor.NumFlows(),
+                 static_cast<unsigned long long>(line_number));
+  }
   return 0;
 }
 
@@ -690,6 +780,19 @@ int main(int argc, char** argv) {
   }
   if (options.top_k_set && !options.per_flow) {
     std::fprintf(stderr, "--top requires --per-flow\n");
+    return 2;
+  }
+  if (!options.per_flow &&
+      (options.memory_budget_bytes > 0 || options.eviction_set ||
+       options.hugepages || options.numa)) {
+    std::fprintf(stderr,
+                 "--memory-budget/--eviction/--hugepages/--numa require "
+                 "--per-flow\n");
+    return 2;
+  }
+  if (options.eviction_set && options.memory_budget_bytes == 0 &&
+      options.eviction != smb::ArenaEviction::kOff) {
+    std::fprintf(stderr, "--eviction clock|2q requires --memory-budget\n");
     return 2;
   }
   if (options.per_flow &&

@@ -7,10 +7,14 @@
 //   smbtop [--interval SEC] [--once] FILE
 //
 // Polls FILE every SEC seconds (default 2), clears the screen, and
-// renders three panes:
+// renders four panes:
 //   health      every `*_health_*` gauge, with the integer scalings the
 //               probe publishes (permille, ppm, milli) unfolded back
 //               into human units
+//   gauges      every other gauge — the flow residency set
+//               (flow_live_flows, flow_nursery_flows, flow_live_bytes,
+//               flow_hugepage_bytes, flow_slab_bytes, ...) with `_bytes`
+//               gauges humanized to KiB/MiB/GiB
 //   counters    each counter with its per-second rate since the previous
 //               poll (blank on the first frame)
 //   histograms  per-interval count and p50/p99 log-bucket bounds — the
@@ -55,22 +59,38 @@ std::optional<MetricsSnapshot> ReadSnapshot(const std::string& path) {
   return smb::telemetry::ParseSnapshot(text);
 }
 
-// Unfolds the health probe's integer scalings back into display units.
-std::string HealthValue(const std::string& name, int64_t value) {
-  const auto ends_with = [&name](const char* suffix) {
-    const size_t n = std::strlen(suffix);
-    return name.size() >= n && name.compare(name.size() - n, n, suffix) == 0;
-  };
-  if (ends_with("_permille")) {
-    return TablePrinter::Fmt(static_cast<double>(value) / 10.0, 1) + " %";
-  }
-  if (ends_with("_ppm")) {
-    return TablePrinter::Fmt(static_cast<double>(value) / 1e4, 2) + " %";
-  }
-  if (ends_with("_milli")) {
-    return TablePrinter::Fmt(static_cast<double>(value) / 1e3, 2);
+bool EndsWith(const std::string& name, const char* suffix) {
+  const size_t n = std::strlen(suffix);
+  return name.size() >= n && name.compare(name.size() - n, n, suffix) == 0;
+}
+
+// Plain gauges: humanize `_bytes` values, leave counts as integers.
+std::string GaugeValue(const std::string& name, int64_t value) {
+  if (EndsWith(name, "_bytes") && value >= 1024) {
+    const char* units[] = {"KiB", "MiB", "GiB", "TiB"};
+    double scaled = static_cast<double>(value);
+    int unit = -1;
+    while (scaled >= 1024.0 && unit + 1 < 4) {
+      scaled /= 1024.0;
+      ++unit;
+    }
+    return TablePrinter::Fmt(scaled, 1) + " " + units[unit];
   }
   return TablePrinter::FmtInt(value);
+}
+
+// Unfolds the health probe's integer scalings back into display units.
+std::string HealthValue(const std::string& name, int64_t value) {
+  if (EndsWith(name, "_permille")) {
+    return TablePrinter::Fmt(static_cast<double>(value) / 10.0, 1) + " %";
+  }
+  if (EndsWith(name, "_ppm")) {
+    return TablePrinter::Fmt(static_cast<double>(value) / 1e4, 2) + " %";
+  }
+  if (EndsWith(name, "_milli")) {
+    return TablePrinter::Fmt(static_cast<double>(value) / 1e3, 2);
+  }
+  return GaugeValue(name, value);
 }
 
 const MetricSample* FindBefore(const MetricsSnapshot& prev,
@@ -129,6 +149,19 @@ void RenderFrame(const std::string& path, const MetricsSnapshot& snapshot,
         "\n(no *_health_* gauges — run the producer with health probing, "
         "e.g. smbcard --per-flow)\n");
   }
+
+  TablePrinter gauges("gauges");
+  gauges.SetHeader({"gauge", "labels", "value"});
+  size_t gauge_rows = 0;
+  for (const MetricSample& sample : snapshot.samples) {
+    if (sample.type != MetricType::kGauge) continue;
+    if (sample.name.find("_health_") != std::string::npos) continue;
+    gauges.AddRow({sample.name,
+                   smb::telemetry::RenderLabels(sample.labels),
+                   GaugeValue(sample.name, sample.gauge_value)});
+    ++gauge_rows;
+  }
+  if (gauge_rows > 0) gauges.Print();
 
   TablePrinter counters("counters");
   counters.SetHeader({"counter", "labels", "value", "/s"});

@@ -4,11 +4,14 @@
 //
 // Usage:
 //   trace_gen [--flows N] [--max-cardinality N] [--min-cardinality N]
-//             [--dup F] [--seed S] [--no-shuffle] [--truth FILE]
+//             [--zipf S] [--dup F] [--seed S] [--no-shuffle] [--truth FILE]
 //
 //   --flows N            distinct flows (default 1000)
 //   --max-cardinality N  per-flow spread cap (default 5000)
 //   --min-cardinality N  per-flow spread floor (default 1)
+//   --zipf S             Zipf exponent of the per-flow cardinality
+//                        distribution (default 1.5; 1.0 matches the
+//                        heavy-tailed traces the eviction benchmarks use)
 //   --dup F              average repetitions per distinct element
 //                        (default 2.0)
 //   --seed S             generator seed (default 42)
@@ -31,8 +34,9 @@ namespace {
 void PrintUsageAndExit(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--flows N] [--max-cardinality N] "
-               "[--min-cardinality N] [--dup F]\n"
-               "                 [--seed S] [--no-shuffle] [--truth FILE]\n",
+               "[--min-cardinality N] [--zipf S]\n"
+               "                 [--dup F] [--seed S] [--no-shuffle] "
+               "[--truth FILE]\n",
                argv0);
   std::exit(2);
 }
@@ -56,6 +60,8 @@ int main(int argc, char** argv) {
       config.max_cardinality = std::strtoull(next_value(), nullptr, 10);
     } else if (arg == "--min-cardinality") {
       config.min_cardinality = std::strtoull(next_value(), nullptr, 10);
+    } else if (arg == "--zipf") {
+      config.cardinality_exponent = std::strtod(next_value(), nullptr);
     } else if (arg == "--dup") {
       config.dup_factor = std::strtod(next_value(), nullptr);
     } else if (arg == "--seed") {
@@ -72,7 +78,8 @@ int main(int argc, char** argv) {
     }
   }
   if (config.num_flows == 0 ||
-      config.min_cardinality > config.max_cardinality) {
+      config.min_cardinality > config.max_cardinality ||
+      config.cardinality_exponent <= 0.0) {
     std::fprintf(stderr, "invalid trace configuration\n");
     return 2;
   }

@@ -1,0 +1,158 @@
+// Replication micro-benchmarks (DESIGN.md §16): what a delta cadence
+// costs the child (SerializeFlows over a dirty set + spool append), the
+// wire (frame encode + CRC + decode), and the parent (FLW1 validation +
+// replacement upsert into the replica). Together they bound the
+// steady-state delta pipeline: cut -> spool -> frame -> validate ->
+// apply.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <numeric>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "flow/arena_smb_engine.h"
+#include "repl/delta_spool.h"
+#include "repl/wire_format.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+smb::ArenaSmbEngine::Config BenchConfig() {
+  smb::ArenaSmbEngine::Config config;
+  config.num_bits = 2048;
+  config.threshold = 256;
+  config.base_seed = 0xBE9C;
+  return config;
+}
+
+// An engine with `num_flows` flows carrying a mixed spread profile, and
+// the full flow list (== the dirty set of a worst-case cut).
+smb::ArenaSmbEngine PopulatedEngine(size_t num_flows,
+                                    std::vector<uint64_t>* flows) {
+  smb::ArenaSmbEngine engine(BenchConfig());
+  smb::Xoshiro256 traffic(num_flows);
+  flows->resize(num_flows);
+  std::iota(flows->begin(), flows->end(), 1);
+  for (uint64_t flow = 1; flow <= num_flows; ++flow) {
+    const uint64_t spread = 1 + traffic.NextBounded(200);
+    for (uint64_t i = 0; i < spread; ++i) {
+      engine.Record(flow, traffic.Next());
+    }
+  }
+  return engine;
+}
+
+void BM_ReplDeltaCut(benchmark::State& state) {
+  std::vector<uint64_t> flows;
+  const smb::ArenaSmbEngine engine =
+      PopulatedEngine(static_cast<size_t>(state.range(0)), &flows);
+  size_t payload_bytes = 0;
+  for (auto _ : state) {
+    const std::vector<uint8_t> payload = engine.SerializeFlows(flows);
+    payload_bytes = payload.size();
+    benchmark::DoNotOptimize(payload.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(payload_bytes));
+  state.counters["delta_bytes"] = static_cast<double>(payload_bytes);
+}
+BENCHMARK(BM_ReplDeltaCut)->Arg(64)->Arg(1024)->Arg(16384)
+    ->ArgName("dirty_flows");
+
+void BM_ReplDeltaSpoolAppend(benchmark::State& state) {
+  std::vector<uint64_t> flows;
+  const smb::ArenaSmbEngine engine =
+      PopulatedEngine(static_cast<size_t>(state.range(0)), &flows);
+  const std::vector<uint8_t> payload = engine.SerializeFlows(flows);
+  const bool sync = state.range(1) != 0;
+  const fs::path dir = fs::temp_directory_path() / "smbcard_repl_bench";
+  fs::remove_all(dir);
+  smb::repl::DeltaSpool::Options options;
+  options.directory = dir.string();
+  options.sync = sync;
+  smb::repl::DeltaSpool spool(options);
+  uint64_t seq = 0;
+  std::string error;
+  for (auto _ : state) {
+    if (spool.Append(++seq, payload, &error) !=
+        smb::repl::DeltaSpool::AppendStatus::kOk) {
+      state.SkipWithError(error.c_str());
+      break;
+    }
+    spool.TrimThrough(seq);  // steady state: acks keep pace with cuts
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(payload.size()));
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_ReplDeltaSpoolAppend)
+    ->ArgsProduct({{64, 1024}, {0, 1}})
+    ->ArgNames({"dirty_flows", "fsync"});
+
+void BM_ReplWireRoundTrip(benchmark::State& state) {
+  std::vector<uint64_t> flows;
+  const smb::ArenaSmbEngine engine =
+      PopulatedEngine(static_cast<size_t>(state.range(0)), &flows);
+  smb::repl::Frame frame;
+  frame.type = smb::repl::FrameType::kDelta;
+  frame.child_id = 7;
+  frame.seq = 1;
+  frame.payload = engine.SerializeFlows(flows);
+  for (auto _ : state) {
+    const std::vector<uint8_t> bytes = smb::repl::EncodeFrame(frame);
+    smb::repl::FrameDecoder decoder;
+    decoder.Feed(bytes);
+    smb::repl::Frame decoded;
+    std::string error;
+    if (decoder.Next(&decoded, &error) !=
+        smb::repl::FrameDecoder::Result::kFrame) {
+      state.SkipWithError(error.c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(decoded.payload.data());
+  }
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(frame.payload.size()));
+}
+BENCHMARK(BM_ReplWireRoundTrip)->Arg(64)->Arg(1024)->Arg(16384)
+    ->ArgName("dirty_flows");
+
+void BM_ReplParentApply(benchmark::State& state) {
+  std::vector<uint64_t> flows;
+  const smb::ArenaSmbEngine engine =
+      PopulatedEngine(static_cast<size_t>(state.range(0)), &flows);
+  const std::vector<uint8_t> payload = engine.SerializeFlows(flows);
+  smb::ArenaSmbEngine replica(BenchConfig());
+  for (auto _ : state) {
+    // The sink's apply path: full FLW1 validation, then replacement
+    // upserts (idempotent — re-applying the same delta every iteration
+    // is exactly the at-least-once redelivery case).
+    std::optional<smb::ArenaSmbEngine> image =
+        smb::ArenaSmbEngine::Deserialize(payload);
+    if (!image.has_value()) {
+      state.SkipWithError("delta payload failed validation");
+      break;
+    }
+    image->ForEachFlowState([&](uint64_t flow, uint32_t round,
+                                uint32_t ones,
+                                std::span<const uint64_t> words) {
+      replica.UpsertFlowState(flow, round, ones, words);
+    });
+    benchmark::DoNotOptimize(replica.NumFlows());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(payload.size()));
+}
+BENCHMARK(BM_ReplParentApply)->Arg(64)->Arg(1024)->Arg(16384)
+    ->ArgName("dirty_flows");
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -7,6 +7,7 @@
 #include "common/bit_util.h"
 #include "common/macros.h"
 #include "core/smb_merge.h"
+#include "fault/failpoints.h"
 #include "core/smb_params.h"
 #include "hash/batch_hash.h"
 #include "hash/geometric.h"
@@ -400,14 +401,23 @@ void ArenaSmbEngine::EvictRow(uint32_t row) {
   SMB_DCHECK(ref != kDeadRef);
   const uint64_t flow = flow_keys_[row];
   if (spill_sink_) {
-    SpilledFlow spilled;
-    spilled.flow = flow;
-    const uint32_t meta = meta_[row];
-    spilled.round = meta >> kRoundShift;
-    spilled.ones_in_round = meta & kFillMask;
-    spilled.estimate = EstimateSlot(row);
-    spilled.words = MaterializedWords(row);
-    spill_sink_(spilled);
+    // Injected spill loss: the sink write "fails" and the evicted state is
+    // dropped, but eviction itself must complete without disturbing any
+    // live row (pinned by the spill-fault test).
+    const auto spill_fail = SMB_FAILPOINT("arena.spill.error");
+    if (spill_fail.fired) {
+      ++spill_dropped_flows_;
+    } else {
+      SpilledFlow spilled;
+      spilled.flow = flow;
+      const uint32_t meta = meta_[row];
+      spilled.round = meta >> kRoundShift;
+      spilled.ones_in_round = meta & kFillMask;
+      spilled.estimate = EstimateSlot(row);
+      spilled.words = MaterializedWords(row);
+      spill_sink_(spilled);
+      ++spilled_flows_;
+    }
   }
   const bool erased = table_.Erase(flow, FlowTable::BucketHash(flow));
   SMB_DCHECK(erased);
@@ -582,6 +592,8 @@ ArenaSmbEngine::ArenaStats ArenaSmbEngine::Stats() const {
   stats.recorded_flows = recorded_flows_;
   stats.evicted_flows = evicted_flows_;
   stats.promoted_flows = promoted_flows_;
+  stats.spilled_flows = spilled_flows_;
+  stats.spill_dropped_flows = spill_dropped_flows_;
   stats.live_bytes = LiveBytes();
   stats.budget_bytes = config_.tuning.memory_budget_bytes;
   stats.main_slots_high_water = arena_.high_water_slots();
@@ -763,6 +775,81 @@ std::optional<ArenaSmbEngine> ArenaSmbEngine::Deserialize(
   // The snapshot may hold more state than the restored budget allows.
   engine.MaybeEvict();
   return engine;
+}
+
+std::vector<uint8_t> ArenaSmbEngine::SerializeFlows(
+    std::span<const uint64_t> flows) const {
+  std::vector<uint32_t> rows;
+  rows.reserve(flows.size());
+  for (const uint64_t flow : flows) {
+    const FlowTable::Probe probe =
+        table_.Find(flow, FlowTable::BucketHash(flow));
+    if (probe.found) rows.push_back(probe.slot);
+  }
+  // Callers may list a flow more than once; a duplicate record would make
+  // the image fail Deserialize()'s duplicate-key check. Keep the first
+  // occurrence so the image order still matches the caller's.
+  std::vector<uint32_t> deduped;
+  deduped.reserve(rows.size());
+  for (const uint32_t row : rows) {
+    if (std::find(deduped.begin(), deduped.end(), row) == deduped.end()) {
+      deduped.push_back(row);
+    }
+  }
+  rows = std::move(deduped);
+  std::vector<uint8_t> out;
+  out.reserve(4 + 6 * 8 + rows.size() * (2 + words_per_slot_) * 8);
+  for (char c : kMagic) out.push_back(static_cast<uint8_t>(c));
+  AppendU64(&out, config_.num_bits);
+  AppendU64(&out, config_.threshold);
+  AppendU64(&out, config_.base_seed);
+  AppendU64(&out, rows.size());
+  AppendU64(&out, words_per_slot_);
+  std::vector<uint64_t> words(words_per_slot_);
+  for (const uint32_t row : rows) {
+    AppendU64(&out, flow_keys_[row]);
+    AppendU64(&out, meta_[row]);
+    CopyRowWords(row, words.data());
+    for (size_t w = 0; w < words_per_slot_; ++w) AppendU64(&out, words[w]);
+  }
+  AppendU64(&out, SnapshotChecksum(out.data(), out.size()));
+  return out;
+}
+
+bool ArenaSmbEngine::UpsertFlowState(uint64_t flow, uint32_t round,
+                                     uint32_t ones,
+                                     std::span<const uint64_t> words) {
+  // Same reachability rules Deserialize() applies per record; a replica
+  // must never hold state its own recording path could not have reached.
+  if (words.size() != words_per_slot_) return false;
+  if (round > max_round_) return false;
+  if (round < max_round_ && ones >= config_.threshold) return false;
+  if (ones > config_.num_bits - round * config_.threshold) return false;
+  const size_t tail_bits = config_.num_bits % 64;
+  if (tail_bits != 0 && (words.back() >> tail_bits) != 0) return false;
+  uint64_t popcount = 0;
+  for (const uint64_t w : words) {
+    popcount += static_cast<uint64_t>(Popcount64(w));
+  }
+  if (popcount != round * config_.threshold + ones) return false;
+  const uint32_t row = FindOrCreateRow(flow, FlowTable::BucketHash(flow));
+  PromoteRow(row);  // replicated state lives on the main slab
+  uint64_t* dst = arena_.SlotWords(slab_ref_[row]);
+  std::copy(words.begin(), words.end(), dst);
+  meta_[row] = (round << kRoundShift) | ones;
+  MaybeEvict();
+  return true;
+}
+
+void ArenaSmbEngine::ForEachFlowState(
+    const std::function<void(uint64_t, uint32_t, uint32_t,
+                             std::span<const uint64_t>)>& fn) const {
+  for (uint32_t row = 0; row < flow_keys_.size(); ++row) {
+    if (slab_ref_[row] == kDeadRef) continue;
+    const uint32_t meta = meta_[row];
+    fn(flow_keys_[row], meta >> kRoundShift, meta & kFillMask,
+       MaterializedWords(row));
+  }
 }
 
 }  // namespace smb

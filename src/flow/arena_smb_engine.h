@@ -191,6 +191,8 @@ class ArenaSmbEngine {
     size_t recorded_flows = 0;  // flows ever created
     size_t evicted_flows = 0;   // flows reclaimed by the budget
     size_t promoted_flows = 0;  // nursery -> main graduations
+    size_t spilled_flows = 0;   // evicted states delivered to the sink
+    size_t spill_dropped_flows = 0;  // sink deliveries lost to faults
     size_t live_bytes = 0;      // LiveBytes()
     size_t budget_bytes = 0;    // configured ceiling (0 = unlimited)
     size_t main_slots_high_water = 0;
@@ -234,6 +236,30 @@ class ArenaSmbEngine {
   // so an arena merge is bit-identical to snapshotting both sides and
   // merging flow by flow. Requires CanMergeWith(other).
   void MergeFrom(const ArenaSmbEngine& other);
+
+  // Replication (DESIGN.md §16) --------------------------------------------
+  // FLW1 snapshot restricted to `flows` (identical layout to Serialize();
+  // listed flows not currently live are skipped). This is the replication
+  // delta payload: a child serializes its dirty flows, and the parent
+  // validates the image with the full Deserialize() rules before applying.
+  std::vector<uint8_t> SerializeFlows(std::span<const uint64_t> flows) const;
+
+  // Replacement-semantics upsert of one flow's complete state: the row is
+  // created (or found) and its bitmap words + packed (round, ones) meta
+  // are overwritten. The replication apply primitive — re-applying the
+  // same state is a no-op, so at-least-once delivery cannot inflate the
+  // replica. The triple must satisfy the same reachability rules
+  // Deserialize() enforces (round bound, morph gate, popcount identity,
+  // tail bits); returns false with the row untouched otherwise.
+  bool UpsertFlowState(uint64_t flow, uint32_t round, uint32_t ones,
+                       std::span<const uint64_t> words);
+
+  // Calls fn(flow, round, ones, words) for every live flow in row order
+  // (nursery rows materialized). The words span is valid only for the
+  // duration of the callback.
+  void ForEachFlowState(
+      const std::function<void(uint64_t flow, uint32_t round, uint32_t ones,
+                               std::span<const uint64_t> words)>& fn) const;
 
   // Equivalence-test introspection: the flow's live (r, v, bitmap words).
   // For nursery-resident flows the words are materialized into an
@@ -340,6 +366,8 @@ class ArenaSmbEngine {
   size_t recorded_flows_ = 0;
   size_t evicted_flows_ = 0;
   size_t promoted_flows_ = 0;
+  size_t spilled_flows_ = 0;
+  size_t spill_dropped_flows_ = 0;
   size_t clock_hand_ = 0;
   SpillSink spill_sink_;
   mutable std::vector<uint64_t> inspect_scratch_;

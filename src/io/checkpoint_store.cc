@@ -1,8 +1,5 @@
 #include "io/checkpoint_store.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <algorithm>
 #include <cerrno>
 #include <cstdio>
@@ -13,7 +10,9 @@
 
 #include "common/macros.h"
 #include "fault/failpoints.h"
-#include "io/crc32c.h"
+#include "io/file_util.h"
+#include "io/frame_codec.h"
+#include "telemetry/metrics_registry.h"
 #include "trace/flight_recorder.h"
 #include "trace/span_tracer.h"
 
@@ -23,39 +22,13 @@ namespace {
 namespace fs = std::filesystem;
 
 constexpr char kMagic[8] = {'S', 'M', 'B', 'C', 'K', 'P', 'T', '1'};
-constexpr size_t kHeaderBytes = 8 + 3 * 8 + 4;  // magic, 3 u64 fields, crc
-constexpr size_t kChunkFrameBytes = 4 + 4;      // length u32, crc u32
-// Upper bounds a validator will believe from a (CRC-valid) header, so a
-// corrupted-but-lucky header cannot demand absurd allocations.
-constexpr uint64_t kMaxPayloadBytes = uint64_t{1} << 32;
-constexpr uint64_t kMaxChunkBytes = uint64_t{1} << 24;
 
-void AppendU64(std::vector<uint8_t>* out, uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
-  }
-}
-
-void AppendU32(std::vector<uint8_t>* out, uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
-  }
-}
-
-uint64_t ReadU64At(const std::vector<uint8_t>& in, size_t pos) {
-  uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) {
-    v |= static_cast<uint64_t>(in[pos + static_cast<size_t>(i)]) << (8 * i);
-  }
-  return v;
-}
-
-uint32_t ReadU32At(const std::vector<uint8_t>& in, size_t pos) {
-  uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) {
-    v |= static_cast<uint32_t>(in[pos + static_cast<size_t>(i)]) << (8 * i);
-  }
-  return v;
+// Recovery skip reasons double as telemetry label values so operators can
+// tell chronic bit rot apart from torn writes without scraping logs.
+telemetry::Counter* SkipCounter(const char* reason) {
+  const telemetry::Labels labels = {{"reason", reason}};
+  return telemetry::MetricsRegistry::Global().GetCounter(
+      "checkpoint_recover_skipped_total", labels);
 }
 
 std::string GenerationFileName(uint64_t generation) {
@@ -92,151 +65,6 @@ bool ParseGenerationFileName(const std::string& name, uint64_t* generation) {
   return true;
 }
 
-// The full on-disk image of one checkpoint (header + CRC-framed chunks).
-std::vector<uint8_t> BuildImage(uint64_t generation,
-                                std::span<const uint8_t> payload,
-                                size_t chunk_bytes) {
-  const size_t num_chunks =
-      payload.empty() ? 0 : (payload.size() + chunk_bytes - 1) / chunk_bytes;
-  std::vector<uint8_t> image;
-  image.reserve(kHeaderBytes + payload.size() +
-                num_chunks * kChunkFrameBytes);
-  for (char c : kMagic) image.push_back(static_cast<uint8_t>(c));
-  AppendU64(&image, generation);
-  AppendU64(&image, payload.size());
-  AppendU64(&image, chunk_bytes);
-  AppendU32(&image, Crc32c(image.data(), image.size()));
-  for (size_t offset = 0; offset < payload.size(); offset += chunk_bytes) {
-    const size_t len = payload.size() - offset < chunk_bytes
-                           ? payload.size() - offset
-                           : chunk_bytes;
-    AppendU32(&image, static_cast<uint32_t>(len));
-    AppendU32(&image, Crc32c(payload.data() + offset, len));
-    image.insert(image.end(), payload.begin() + static_cast<long>(offset),
-                 payload.begin() + static_cast<long>(offset + len));
-  }
-  return image;
-}
-
-// Validates an image and extracts its payload. `payload` may be null
-// (validate only).
-bool ParseImage(const std::vector<uint8_t>& image, uint64_t* generation,
-                std::vector<uint8_t>* payload, std::string* error) {
-  if (image.size() < kHeaderBytes ||
-      std::memcmp(image.data(), kMagic, sizeof(kMagic)) != 0) {
-    *error = "bad magic or short header";
-    return false;
-  }
-  if (ReadU32At(image, kHeaderBytes - 4) !=
-      Crc32c(image.data(), kHeaderBytes - 4)) {
-    *error = "header CRC mismatch";
-    return false;
-  }
-  const uint64_t gen = ReadU64At(image, 8);
-  const uint64_t payload_size = ReadU64At(image, 16);
-  const uint64_t chunk_bytes = ReadU64At(image, 24);
-  if (payload_size > kMaxPayloadBytes || chunk_bytes < 1 ||
-      chunk_bytes > kMaxChunkBytes) {
-    *error = "implausible header geometry";
-    return false;
-  }
-  const uint64_t num_chunks =
-      payload_size == 0 ? 0 : (payload_size + chunk_bytes - 1) / chunk_bytes;
-  if (image.size() != kHeaderBytes + payload_size +
-                          num_chunks * kChunkFrameBytes) {
-    *error = "file size does not match header (torn or padded)";
-    return false;
-  }
-  std::vector<uint8_t> out;
-  if (payload) out.reserve(static_cast<size_t>(payload_size));
-  size_t pos = kHeaderBytes;
-  for (uint64_t chunk = 0; chunk < num_chunks; ++chunk) {
-    const uint64_t expected_len =
-        chunk + 1 < num_chunks ? chunk_bytes
-                               : payload_size - chunk * chunk_bytes;
-    const uint32_t len = ReadU32At(image, pos);
-    const uint32_t crc = ReadU32At(image, pos + 4);
-    pos += kChunkFrameBytes;
-    if (len != expected_len) {
-      *error = "chunk " + std::to_string(chunk) + " has wrong length";
-      return false;
-    }
-    if (Crc32c(image.data() + pos, len) != crc) {
-      *error = "chunk " + std::to_string(chunk) + " CRC mismatch";
-      return false;
-    }
-    if (payload) {
-      out.insert(out.end(), image.begin() + static_cast<long>(pos),
-                 image.begin() + static_cast<long>(pos + len));
-    }
-    pos += len;
-  }
-  if (generation) *generation = gen;
-  if (payload) *payload = std::move(out);
-  return true;
-}
-
-bool ReadWholeFile(const std::string& path, std::vector<uint8_t>* out,
-                   std::string* error) {
-  const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) {
-    *error = std::string("open failed: ") + std::strerror(errno);
-    return false;
-  }
-  out->clear();
-  uint8_t buffer[1 << 16];
-  while (true) {
-    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
-    if (n < 0) {
-      *error = std::string("read failed: ") + std::strerror(errno);
-      ::close(fd);
-      return false;
-    }
-    if (n == 0) break;
-    out->insert(out->end(), buffer, buffer + n);
-  }
-  ::close(fd);
-  return true;
-}
-
-// Writes `size` bytes to a fresh file at `path` (O_TRUNC). Returns false
-// with errno text on any short or failed write.
-bool WriteFileBytes(const std::string& path, const uint8_t* data,
-                    size_t size, std::string* error) {
-  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) {
-    *error = std::string("open failed: ") + std::strerror(errno);
-    return false;
-  }
-  size_t written = 0;
-  while (written < size) {
-    const ssize_t n = ::write(fd, data + written, size - written);
-    if (n <= 0) {
-      *error = std::string("write failed: ") + std::strerror(errno);
-      ::close(fd);
-      return false;
-    }
-    written += static_cast<size_t>(n);
-  }
-  ::close(fd);
-  return true;
-}
-
-bool FsyncPath(const std::string& path, std::string* error) {
-  const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) {
-    *error = std::string("open for fsync failed: ") + std::strerror(errno);
-    return false;
-  }
-  if (::fsync(fd) != 0) {
-    *error = std::string("fsync failed: ") + std::strerror(errno);
-    ::close(fd);
-    return false;
-  }
-  ::close(fd);
-  return true;
-}
-
 }  // namespace
 
 CheckpointStore::CheckpointStore(const Options& options) : options_(options) {
@@ -245,7 +73,7 @@ CheckpointStore::CheckpointStore(const Options& options) : options_(options) {
   SMB_CHECK_MSG(options.keep_generations >= 1,
                 "CheckpointStore must keep at least one generation");
   SMB_CHECK_MSG(options.chunk_bytes >= 1 &&
-                    options.chunk_bytes <= kMaxChunkBytes,
+                    options.chunk_bytes <= kMaxFramedChunkBytes,
                 "CheckpointStore chunk size out of range");
   // Best-effort here; Write() re-attempts with error reporting.
   std::error_code ec;
@@ -292,7 +120,8 @@ CheckpointStore::WriteResult CheckpointStore::Write(
   }
 
   std::vector<uint8_t> image =
-      BuildImage(next_generation_, payload, options_.chunk_bytes);
+      BuildFramedImage(kMagic, next_generation_, payload,
+                       options_.chunk_bytes);
 
   // Injected silent bit rot: the write itself "succeeds" but the stored
   // state is corrupt — only the recovery CRCs can catch it.
@@ -326,6 +155,9 @@ CheckpointStore::WriteResult CheckpointStore::Write(
     for (const auto& entry : sweep) {
       if (entry.path().extension() == ".tmp") {
         fs::remove(entry.path(), ec);
+        telemetry::MetricsRegistry::Global()
+            .GetCounter("checkpoint_stale_tmp_swept_total")
+            ->Add();
       }
     }
   }
@@ -388,13 +220,16 @@ CheckpointStore::RecoverResult CheckpointStore::RecoverLatest() {
     const std::string name = GenerationFileName(*it);
     const std::string path = options_.directory + "/" + name;
     std::string reason;
+    const char* reason_class = "read_error";
     const auto read_fail = SMB_FAILPOINT("checkpoint.read.error");
     std::vector<uint8_t> image;
     if (read_fail.fired) {
       reason = "injected read error";
     } else if (ReadWholeFile(path, &image, &reason)) {
       uint64_t stored_generation = 0;
-      if (ParseImage(image, &stored_generation, &result.payload, &reason)) {
+      FrameDefect defect = FrameDefect::kNone;
+      if (ParseFramedImage(kMagic, image, &stored_generation,
+                           &result.payload, &reason, &defect)) {
         if (stored_generation == *it) {
           result.ok = true;
           result.generation = *it;
@@ -404,8 +239,12 @@ CheckpointStore::RecoverResult CheckpointStore::RecoverLatest() {
           return result;
         }
         reason = "generation header does not match file name";
+        reason_class = "stale_generation";
+      } else {
+        reason_class = FrameDefectName(defect);
       }
     }
+    SkipCounter(reason_class)->Add();
     result.skipped.push_back(name + ": " + reason);
   }
   result.payload.clear();
@@ -421,7 +260,7 @@ bool CheckpointStore::ValidateFile(const std::string& path,
   std::string local_error;
   std::string* err = error ? error : &local_error;
   if (!ReadWholeFile(path, &image, err)) return false;
-  return ParseImage(image, nullptr, nullptr, err);
+  return ParseFramedImage(kMagic, image, nullptr, nullptr, err);
 }
 
 }  // namespace smb::io

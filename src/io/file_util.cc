@@ -1,0 +1,70 @@
+#include "io/file_util.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace smb::io {
+
+bool ReadWholeFile(const std::string& path, std::vector<uint8_t>* out,
+                   std::string* error) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    *error = std::string("open failed: ") + std::strerror(errno);
+    return false;
+  }
+  out->clear();
+  uint8_t buffer[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      *error = std::string("read failed: ") + std::strerror(errno);
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) break;
+    out->insert(out->end(), buffer, buffer + n);
+  }
+  ::close(fd);
+  return true;
+}
+
+bool WriteFileBytes(const std::string& path, const uint8_t* data,
+                    size_t size, std::string* error) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    *error = std::string("open failed: ") + std::strerror(errno);
+    return false;
+  }
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd, data + written, size - written);
+    if (n <= 0) {
+      *error = std::string("write failed: ") + std::strerror(errno);
+      ::close(fd);
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  return true;
+}
+
+bool FsyncPath(const std::string& path, std::string* error) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    *error = std::string("open for fsync failed: ") + std::strerror(errno);
+    return false;
+  }
+  if (::fsync(fd) != 0) {
+    *error = std::string("fsync failed: ") + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  ::close(fd);
+  return true;
+}
+
+}  // namespace smb::io

@@ -1,0 +1,27 @@
+// Small POSIX file helpers shared by CheckpointStore and DeltaSpool: whole
+// file reads, full-write-or-error writes, and fsync by path. All report
+// failure via a human-readable `error` string with errno text.
+
+#ifndef SMBCARD_IO_FILE_UTIL_H_
+#define SMBCARD_IO_FILE_UTIL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace smb::io {
+
+bool ReadWholeFile(const std::string& path, std::vector<uint8_t>* out,
+                   std::string* error);
+
+// Writes `size` bytes to a fresh file at `path` (O_TRUNC). Returns false
+// with errno text on any short or failed write.
+bool WriteFileBytes(const std::string& path, const uint8_t* data,
+                    size_t size, std::string* error);
+
+bool FsyncPath(const std::string& path, std::string* error);
+
+}  // namespace smb::io
+
+#endif  // SMBCARD_IO_FILE_UTIL_H_

@@ -1,0 +1,113 @@
+// DeltaSequencer — per-child at-least-once delivery discipline
+// (DESIGN.md §16), factored out of ReplicationSink so the idempotence
+// property ("any permutation with duplicates of K deltas applies like
+// the in-order original") is testable without sockets.
+//
+// The sequencer enforces strictly in-order application over a cumulative
+// high-water mark:
+//
+//   seq <= high_water          duplicate  -> drop (and re-ack upstream)
+//   seq == high_water + 1      ready      -> apply, then commit
+//   seq  > high_water + 1      early      -> buffer up to the reorder
+//                                            window; beyond it, refuse
+//                                            (the connection is dropped
+//                                            and retransmit re-delivers
+//                                            everything in order)
+//
+// Application is two-phase: NextReady() exposes the one delta eligible
+// to apply; the caller validates + applies it, then either Commit()
+// (advance the high-water) or Reject() (drop it unapplied — the peer
+// retransmits after reconnect). The high-water therefore never moves
+// past a delta that failed validation, which is what keeps a corrupt
+// frame from poisoning the merged state.
+
+#ifndef SMBCARD_REPL_DELTA_SEQUENCER_H_
+#define SMBCARD_REPL_DELTA_SEQUENCER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace smb::repl {
+
+class DeltaSequencer {
+ public:
+  struct Options {
+    // Deltas buffered ahead of the high-water before Offer refuses.
+    size_t reorder_window = 64;
+    // Recovery: the newest sequence already applied (and persisted).
+    uint64_t initial_high_water = 0;
+  };
+
+  enum class Offer : uint8_t {
+    kAccepted = 0,  // buffered (possibly immediately ready)
+    kDuplicate,     // seq already applied or already buffered
+    kOverflow,      // too far ahead of the high-water
+  };
+
+  explicit DeltaSequencer(const Options& options)
+      : options_(options), high_water_(options.initial_high_water) {}
+
+  Offer OfferDelta(uint64_t seq, std::vector<uint8_t> payload) {
+    if (seq <= high_water_) {
+      ++duplicates_;
+      return Offer::kDuplicate;
+    }
+    if (pending_.count(seq) != 0) {
+      ++duplicates_;
+      return Offer::kDuplicate;
+    }
+    if (seq > high_water_ + 1 + options_.reorder_window) {
+      ++overflows_;
+      return Offer::kOverflow;
+    }
+    if (seq != high_water_ + 1) ++reordered_;
+    pending_.emplace(seq, std::move(payload));
+    return Offer::kAccepted;
+  }
+
+  // The one delta eligible to apply now (seq == high_water + 1), if
+  // buffered. The payload pointer stays valid until Commit/Reject.
+  bool NextReady(uint64_t* seq, const std::vector<uint8_t>** payload) const {
+    const auto it = pending_.begin();
+    if (it == pending_.end() || it->first != high_water_ + 1) return false;
+    if (seq) *seq = it->first;
+    if (payload) *payload = &it->second;
+    return true;
+  }
+
+  // The ready delta was validated and applied: advance past it.
+  void Commit() {
+    const auto it = pending_.begin();
+    if (it == pending_.end() || it->first != high_water_ + 1) return;
+    high_water_ = it->first;
+    pending_.erase(it);
+  }
+
+  // The ready delta failed validation: drop it without advancing, so a
+  // retransmission gets a fresh chance.
+  void Reject() {
+    const auto it = pending_.begin();
+    if (it == pending_.end() || it->first != high_water_ + 1) return;
+    pending_.erase(it);
+  }
+
+  uint64_t high_water() const { return high_water_; }
+  size_t buffered() const { return pending_.size(); }
+  uint64_t duplicates() const { return duplicates_; }
+  uint64_t reordered() const { return reordered_; }
+  uint64_t overflows() const { return overflows_; }
+
+ private:
+  Options options_;
+  uint64_t high_water_;
+  std::map<uint64_t, std::vector<uint8_t>> pending_;
+  uint64_t duplicates_ = 0;
+  uint64_t reordered_ = 0;
+  uint64_t overflows_ = 0;
+};
+
+}  // namespace smb::repl
+
+#endif  // SMBCARD_REPL_DELTA_SEQUENCER_H_

@@ -1,0 +1,214 @@
+#include "repl/delta_spool.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <string_view>
+
+#include "common/macros.h"
+#include "io/file_util.h"
+#include "io/frame_codec.h"
+
+namespace smb::repl {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kSpoolMagic[8] = {'S', 'M', 'B', 'S', 'P', 'O', 'O', 'L'};
+constexpr size_t kSpoolChunkBytes = 64 * 1024;
+constexpr std::string_view kMarkerName = "acked.smbspoolmark";
+
+std::string SeqFileName(uint64_t seq) {
+  char name[40];
+  std::snprintf(name, sizeof(name), "delta-%016llx.smbspool",
+                static_cast<unsigned long long>(seq));
+  return name;
+}
+
+bool ParseSeqFileName(const std::string& name, uint64_t* seq) {
+  constexpr std::string_view kPrefix = "delta-";
+  constexpr std::string_view kSuffix = ".smbspool";
+  if (name.size() != kPrefix.size() + 16 + kSuffix.size() ||
+      name.compare(0, kPrefix.size(), kPrefix) != 0 ||
+      name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+          0) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = kPrefix.size(); i < kPrefix.size() + 16; ++i) {
+    const char c = name[i];
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return false;
+    }
+    value = (value << 4) | static_cast<uint64_t>(digit);
+  }
+  *seq = value;
+  return true;
+}
+
+}  // namespace
+
+DeltaSpool::DeltaSpool(const Options& options) : options_(options) {
+  SMB_CHECK_MSG(!options.directory.empty(), "DeltaSpool needs a directory");
+  std::error_code ec;
+  fs::create_directories(options_.directory, ec);
+  Recover();
+}
+
+std::string DeltaSpool::DeltaPath(uint64_t seq) const {
+  return options_.directory + "/" + SeqFileName(seq);
+}
+
+std::string DeltaSpool::MarkerPath() const {
+  return options_.directory + "/" + std::string(kMarkerName);
+}
+
+void DeltaSpool::Recover() {
+  index_.clear();
+  pending_bytes_ = 0;
+  trimmed_high_water_ = 0;
+  std::error_code ec;
+
+  // Trim marker first: files at or below it are leftovers of a trim that
+  // died between unlink and nothing (trim is idempotent).
+  std::vector<uint8_t> marker_image;
+  std::string error;
+  if (io::ReadWholeFile(MarkerPath(), &marker_image, &error)) {
+    uint64_t tag = 0;
+    if (io::ParseFramedImage(kSpoolMagic, marker_image, &tag, nullptr,
+                             &error)) {
+      trimmed_high_water_ = tag;
+    } else {
+      fs::remove(MarkerPath(), ec);
+    }
+  }
+
+  fs::directory_iterator it(options_.directory, ec);
+  if (ec) return;
+  for (const auto& entry : it) {
+    uint64_t seq = 0;
+    if (!ParseSeqFileName(entry.path().filename().string(), &seq)) continue;
+    if (seq <= trimmed_high_water_) {
+      fs::remove(entry.path(), ec);
+      continue;
+    }
+    // A spool file must round-trip the codec with the right tag; a torn
+    // or rotted file is dropped here (it would be rejected by the parent
+    // anyway) and its data is simply lost from the retransmit window.
+    std::vector<uint8_t> image;
+    uint64_t tag = 0;
+    if (!io::ReadWholeFile(entry.path().string(), &image, &error) ||
+        !io::ParseFramedImage(kSpoolMagic, image, &tag, nullptr, &error) ||
+        tag != seq) {
+      fs::remove(entry.path(), ec);
+      ++corrupt_dropped_;
+      continue;
+    }
+    index_[seq] = image.size();
+    pending_bytes_ += image.size();
+  }
+}
+
+DeltaSpool::AppendStatus DeltaSpool::Append(uint64_t seq,
+                                            std::span<const uint8_t> payload,
+                                            std::string* error) {
+  const std::vector<uint8_t> image =
+      io::BuildFramedImage(kSpoolMagic, seq, payload, kSpoolChunkBytes);
+  if (options_.budget_bytes != 0 &&
+      pending_bytes_ + image.size() > options_.budget_bytes) {
+    return AppendStatus::kBudget;
+  }
+  const std::string path = DeltaPath(seq);
+  const std::string tmp = path + ".tmp";
+  if (!io::WriteFileBytes(tmp, image.data(), image.size(), error)) {
+    std::error_code ec;
+    fs::remove(tmp, ec);
+    return AppendStatus::kError;
+  }
+  if (options_.sync) {
+    std::string sync_error;
+    io::FsyncPath(tmp, &sync_error);  // best effort
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    *error = "rename failed for " + path;
+    std::error_code ec;
+    fs::remove(tmp, ec);
+    return AppendStatus::kError;
+  }
+  auto [it, inserted] = index_.insert_or_assign(seq, image.size());
+  (void)it;
+  SMB_CHECK_MSG(inserted, "DeltaSpool seq reuse");
+  pending_bytes_ += image.size();
+  return AppendStatus::kOk;
+}
+
+bool DeltaSpool::Read(uint64_t seq, std::vector<uint8_t>* payload,
+                      std::string* error) const {
+  const auto it = index_.find(seq);
+  if (it == index_.end()) {
+    *error = "seq not spooled";
+    return false;
+  }
+  std::vector<uint8_t> image;
+  if (!io::ReadWholeFile(DeltaPath(seq), &image, error)) return false;
+  uint64_t tag = 0;
+  if (!io::ParseFramedImage(kSpoolMagic, image, &tag, payload, error)) {
+    return false;
+  }
+  if (tag != seq) {
+    *error = "spool file tag does not match its name";
+    return false;
+  }
+  return true;
+}
+
+void DeltaSpool::TrimThrough(uint64_t high_water) {
+  if (high_water <= trimmed_high_water_) return;
+  trimmed_high_water_ = high_water;
+  PersistMarker();
+  std::error_code ec;
+  auto it = index_.begin();
+  while (it != index_.end() && it->first <= high_water) {
+    fs::remove(DeltaPath(it->first), ec);
+    pending_bytes_ -= it->second;
+    it = index_.erase(it);
+  }
+}
+
+std::vector<uint64_t> DeltaSpool::PendingSeqs() const {
+  std::vector<uint64_t> seqs;
+  seqs.reserve(index_.size());
+  for (const auto& [seq, size] : index_) {
+    (void)size;
+    seqs.push_back(seq);
+  }
+  return seqs;
+}
+
+uint64_t DeltaSpool::NextSeqFloor() const {
+  uint64_t floor = trimmed_high_water_ + 1;
+  if (!index_.empty()) {
+    const uint64_t past_spool = index_.rbegin()->first + 1;
+    floor = past_spool > floor ? past_spool : floor;
+  }
+  return floor;
+}
+
+void DeltaSpool::PersistMarker() {
+  const std::vector<uint8_t> image = io::BuildFramedImage(
+      kSpoolMagic, trimmed_high_water_, {}, kSpoolChunkBytes);
+  const std::string tmp = MarkerPath() + ".tmp";
+  std::string error;
+  if (!io::WriteFileBytes(tmp, image.data(), image.size(), &error)) return;
+  if (options_.sync) io::FsyncPath(tmp, &error);
+  if (::rename(tmp.c_str(), MarkerPath().c_str()) != 0) {
+    std::error_code ec;
+    fs::remove(tmp, ec);
+  }
+}
+
+}  // namespace smb::repl

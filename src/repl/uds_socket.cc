@@ -1,0 +1,173 @@
+#include "repl/uds_socket.h"
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace smb::repl {
+namespace {
+
+bool SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+// sun_path is a fixed 108-byte array; longer paths cannot be bound.
+bool FillAddress(const std::string& path, sockaddr_un* addr,
+                 std::string* error) {
+  if (path.empty() || path.size() >= sizeof(addr->sun_path)) {
+    *error = "socket path empty or longer than sun_path (" + path + ")";
+    return false;
+  }
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+UdsFd& UdsFd::operator=(UdsFd&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void UdsFd::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+UdsListener::~UdsListener() {
+  if (!path_.empty()) ::unlink(path_.c_str());
+}
+
+bool UdsListener::Listen(const std::string& path, std::string* error) {
+  sockaddr_un addr;
+  if (!FillAddress(path, &addr, error)) return false;
+  UdsFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    *error = std::string("socket failed: ") + std::strerror(errno);
+    return false;
+  }
+  ::unlink(path.c_str());  // stale socket from a dead parent
+  if (::bind(fd.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    *error = std::string("bind failed: ") + std::strerror(errno);
+    return false;
+  }
+  if (::listen(fd.fd(), 64) != 0) {
+    *error = std::string("listen failed: ") + std::strerror(errno);
+    ::unlink(path.c_str());
+    return false;
+  }
+  if (!SetNonBlocking(fd.fd())) {
+    *error = "could not set listener nonblocking";
+    ::unlink(path.c_str());
+    return false;
+  }
+  fd_ = std::move(fd);
+  path_ = path;
+  return true;
+}
+
+int UdsListener::Accept() {
+  if (!fd_.valid()) return -1;
+  const int conn = ::accept(fd_.fd(), nullptr, nullptr);
+  if (conn < 0) return -1;
+  if (!SetNonBlocking(conn)) {
+    ::close(conn);
+    return -1;
+  }
+  return conn;
+}
+
+ConnectStart StartConnect(const std::string& path, UdsFd* out,
+                          std::string* error) {
+  sockaddr_un addr;
+  if (!FillAddress(path, &addr, error)) return ConnectStart::kFailed;
+  UdsFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    *error = std::string("socket failed: ") + std::strerror(errno);
+    return ConnectStart::kFailed;
+  }
+  if (!SetNonBlocking(fd.fd())) {
+    *error = "could not set socket nonblocking";
+    return ConnectStart::kFailed;
+  }
+  if (::connect(fd.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) == 0) {
+    *out = std::move(fd);
+    return ConnectStart::kConnected;
+  }
+  if (errno == EINPROGRESS || errno == EAGAIN) {
+    *out = std::move(fd);
+    return ConnectStart::kInProgress;
+  }
+  *error = std::string("connect failed: ") + std::strerror(errno);
+  return ConnectStart::kFailed;
+}
+
+bool FinishConnect(int fd, std::string* error) {
+  int so_error = 0;
+  socklen_t len = sizeof(so_error);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0) {
+    *error = std::string("getsockopt failed: ") + std::strerror(errno);
+    return false;
+  }
+  if (so_error != 0) {
+    *error = std::string("connect failed: ") + std::strerror(so_error);
+    return false;
+  }
+  return true;
+}
+
+IoStatus SendSome(int fd, std::span<const uint8_t> bytes, size_t* taken,
+                  std::string* error) {
+  *taken = 0;
+  while (*taken < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + *taken,
+                             bytes.size() - *taken, MSG_NOSIGNAL);
+    if (n > 0) {
+      *taken += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return *taken > 0 ? IoStatus::kOk : IoStatus::kWouldBlock;
+    }
+    *error = std::string("send failed: ") + std::strerror(errno);
+    return IoStatus::kError;
+  }
+  return IoStatus::kOk;
+}
+
+IoStatus RecvSome(int fd, std::vector<uint8_t>* out, std::string* error) {
+  uint8_t buffer[1 << 16];
+  bool got_any = false;
+  while (true) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      out->insert(out->end(), buffer, buffer + n);
+      got_any = true;
+      continue;
+    }
+    if (n == 0) return IoStatus::kClosed;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return got_any ? IoStatus::kOk : IoStatus::kWouldBlock;
+    }
+    if (errno == ECONNRESET) return IoStatus::kClosed;
+    *error = std::string("recv failed: ") + std::strerror(errno);
+    return IoStatus::kError;
+  }
+}
+
+}  // namespace smb::repl

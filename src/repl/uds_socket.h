@@ -1,0 +1,91 @@
+// Thin nonblocking Unix-domain stream socket wrappers for the
+// replication pump loops. Everything is poll(2)-friendly: sends that
+// would block report how much was taken, reads report EOF distinctly
+// from would-block, and connect() surfaces EINPROGRESS so the child's
+// state machine can enforce its own deadline.
+
+#ifndef SMBCARD_REPL_UDS_SOCKET_H_
+#define SMBCARD_REPL_UDS_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace smb::repl {
+
+// RAII fd owner; -1 means empty.
+class UdsFd {
+ public:
+  UdsFd() = default;
+  explicit UdsFd(int fd) : fd_(fd) {}
+  ~UdsFd() { Close(); }
+  UdsFd(UdsFd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  UdsFd& operator=(UdsFd&& other) noexcept;
+  UdsFd(const UdsFd&) = delete;
+  UdsFd& operator=(const UdsFd&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+// Listening socket bound to a filesystem path. Binding unlinks any stale
+// socket file first (the parent owns its path); the file is unlinked
+// again on destruction.
+class UdsListener {
+ public:
+  UdsListener() = default;
+  ~UdsListener();
+  UdsListener(UdsListener&&) = default;
+  UdsListener& operator=(UdsListener&&) = default;
+
+  bool Listen(const std::string& path, std::string* error);
+  // Accepted nonblocking connection fd, or -1 when none is pending.
+  int Accept();
+  int fd() const { return fd_.fd(); }
+  bool listening() const { return fd_.valid(); }
+
+ private:
+  UdsFd fd_;
+  std::string path_;
+};
+
+enum class ConnectStart : uint8_t {
+  kConnected = 0,   // connected immediately (the common UDS case)
+  kInProgress,      // nonblocking connect pending; poll for writability
+  kFailed,
+};
+
+// Starts a nonblocking connect to `path`. On kConnected/kInProgress the
+// fd is stored into *out.
+ConnectStart StartConnect(const std::string& path, UdsFd* out,
+                          std::string* error);
+
+// Resolves a kInProgress connect once the fd polls writable: true when
+// the connection is established, false (with the error) when it failed.
+bool FinishConnect(int fd, std::string* error);
+
+enum class IoStatus : uint8_t {
+  kOk = 0,        // made progress
+  kWouldBlock,    // kernel buffer full / nothing to read
+  kClosed,        // peer closed (read side)
+  kError,
+};
+
+// Sends as much of `bytes` as the kernel accepts (MSG_NOSIGNAL).
+// *taken reports how many bytes left the buffer.
+IoStatus SendSome(int fd, std::span<const uint8_t> bytes, size_t* taken,
+                  std::string* error);
+
+// Reads whatever is available into *out (appending). kOk means at least
+// one byte arrived.
+IoStatus RecvSome(int fd, std::vector<uint8_t>* out, std::string* error);
+
+}  // namespace smb::repl
+
+#endif  // SMBCARD_REPL_UDS_SOCKET_H_

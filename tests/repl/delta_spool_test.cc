@@ -1,0 +1,190 @@
+// DeltaSpool: append/read round trips, budget refusal without sequence
+// consumption, monotonic trim + marker persistence, restart recovery,
+// and corrupt-file quarantine.
+
+#include "repl/delta_spool.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace smb::repl {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<uint8_t> Payload(uint64_t seed, size_t size) {
+  Xoshiro256 rng(seed);
+  std::vector<uint8_t> payload(size);
+  for (auto& b : payload) b = static_cast<uint8_t>(rng.Next());
+  return payload;
+}
+
+class DeltaSpoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("delta_spool_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  DeltaSpool::Options SpoolOptions(size_t budget = 0) {
+    DeltaSpool::Options options;
+    options.directory = dir_.string();
+    options.budget_bytes = budget;
+    options.sync = false;
+    return options;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(DeltaSpoolTest, AppendReadTrimRoundTrip) {
+  DeltaSpool spool(SpoolOptions());
+  std::string error;
+  for (uint64_t seq = 1; seq <= 5; ++seq) {
+    ASSERT_EQ(spool.Append(seq, Payload(seq, 100 * seq), &error),
+              DeltaSpool::AppendStatus::kOk)
+        << error;
+  }
+  EXPECT_EQ(spool.PendingCount(), 5u);
+  EXPECT_EQ(spool.PendingSeqs(), (std::vector<uint64_t>{1, 2, 3, 4, 5}));
+
+  std::vector<uint8_t> payload;
+  ASSERT_TRUE(spool.Read(3, &payload, &error)) << error;
+  EXPECT_EQ(payload, Payload(3, 300));
+
+  spool.TrimThrough(3);
+  EXPECT_EQ(spool.PendingSeqs(), (std::vector<uint64_t>{4, 5}));
+  EXPECT_EQ(spool.TrimmedHighWater(), 3u);
+  EXPECT_FALSE(spool.Read(2, &payload, &error));
+
+  // Trim is monotonic: a stale (lower) ack cannot resurrect anything or
+  // move the marker backwards.
+  spool.TrimThrough(1);
+  EXPECT_EQ(spool.TrimmedHighWater(), 3u);
+  EXPECT_EQ(spool.PendingCount(), 2u);
+}
+
+TEST_F(DeltaSpoolTest, BudgetRefusesWithoutConsumingSequence) {
+  DeltaSpool spool(SpoolOptions(/*budget=*/2048));
+  std::string error;
+  ASSERT_EQ(spool.Append(1, Payload(1, 1500), &error),
+            DeltaSpool::AppendStatus::kOk);
+  const size_t bytes_before = spool.PendingBytes();
+  const auto files_before =
+      std::distance(fs::directory_iterator(dir_), fs::directory_iterator{});
+
+  // This append would cross the budget: refused, nothing written.
+  EXPECT_EQ(spool.Append(2, Payload(2, 1500), &error),
+            DeltaSpool::AppendStatus::kBudget);
+  EXPECT_EQ(spool.PendingBytes(), bytes_before);
+  EXPECT_EQ(spool.PendingCount(), 1u);
+  EXPECT_EQ(std::distance(fs::directory_iterator(dir_),
+                          fs::directory_iterator{}),
+            files_before);
+
+  // The refused sequence number is reusable: after acks free budget the
+  // same seq appends cleanly — shedding never leaves sequence gaps.
+  spool.TrimThrough(1);
+  EXPECT_EQ(spool.Append(2, Payload(2, 1500), &error),
+            DeltaSpool::AppendStatus::kOk)
+      << error;
+  EXPECT_EQ(spool.PendingSeqs(), (std::vector<uint64_t>{2}));
+}
+
+TEST_F(DeltaSpoolTest, RecoverRebuildsIndexAndMarkerAcrossRestart) {
+  {
+    DeltaSpool spool(SpoolOptions());
+    std::string error;
+    for (uint64_t seq = 1; seq <= 6; ++seq) {
+      ASSERT_EQ(spool.Append(seq, Payload(seq, 64), &error),
+                DeltaSpool::AppendStatus::kOk);
+    }
+    spool.TrimThrough(2);
+  }
+  DeltaSpool reborn(SpoolOptions());
+  EXPECT_EQ(reborn.PendingSeqs(), (std::vector<uint64_t>{3, 4, 5, 6}));
+  EXPECT_EQ(reborn.TrimmedHighWater(), 2u);
+  EXPECT_EQ(reborn.NextSeqFloor(), 7u);
+  std::string error;
+  std::vector<uint8_t> payload;
+  ASSERT_TRUE(reborn.Read(5, &payload, &error)) << error;
+  EXPECT_EQ(payload, Payload(5, 64));
+}
+
+TEST_F(DeltaSpoolTest, NextSeqFloorRespectsMarkerWhenSpoolDrained) {
+  {
+    DeltaSpool spool(SpoolOptions());
+    std::string error;
+    for (uint64_t seq = 1; seq <= 4; ++seq) {
+      ASSERT_EQ(spool.Append(seq, Payload(seq, 32), &error),
+                DeltaSpool::AppendStatus::kOk);
+    }
+    spool.TrimThrough(4);  // fully drained: only the marker remains
+  }
+  DeltaSpool reborn(SpoolOptions());
+  EXPECT_EQ(reborn.PendingCount(), 0u);
+  // Without the marker a restarted child would reuse seq 1 and collide
+  // with deltas the parent already applied.
+  EXPECT_EQ(reborn.NextSeqFloor(), 5u);
+}
+
+TEST_F(DeltaSpoolTest, RecoverDropsCorruptFiles) {
+  {
+    DeltaSpool spool(SpoolOptions());
+    std::string error;
+    for (uint64_t seq = 1; seq <= 3; ++seq) {
+      ASSERT_EQ(spool.Append(seq, Payload(seq, 256), &error),
+                DeltaSpool::AppendStatus::kOk);
+    }
+  }
+  // Flip a byte in the middle of seq 2's file.
+  const fs::path victim = dir_ / "delta-0000000000000002.smbspool";
+  ASSERT_TRUE(fs::exists(victim));
+  {
+    std::fstream f(victim, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(fs::file_size(victim) / 2));
+    f.put('\xA5');
+  }
+  DeltaSpool reborn(SpoolOptions());
+  EXPECT_EQ(reborn.PendingSeqs(), (std::vector<uint64_t>{1, 3}));
+  EXPECT_EQ(reborn.corrupt_dropped(), 1u);
+  EXPECT_FALSE(fs::exists(victim));  // quarantined, not left to re-fail
+  // The corrupt file still consumed sequence space: the floor stays past
+  // it so the replacement state rides a FRESH sequence number.
+  EXPECT_EQ(reborn.NextSeqFloor(), 4u);
+}
+
+TEST_F(DeltaSpoolTest, ReadRejectsTruncatedFile) {
+  DeltaSpool spool(SpoolOptions());
+  std::string error;
+  ASSERT_EQ(spool.Append(1, Payload(1, 512), &error),
+            DeltaSpool::AppendStatus::kOk);
+  const fs::path path = dir_ / "delta-0000000000000001.smbspool";
+  fs::resize_file(path, fs::file_size(path) - 7);
+  std::vector<uint8_t> payload;
+  EXPECT_FALSE(spool.Read(1, &payload, &error));
+}
+
+TEST_F(DeltaSpoolTest, UnlimitedBudgetNeverRefuses) {
+  DeltaSpool spool(SpoolOptions(/*budget=*/0));
+  std::string error;
+  for (uint64_t seq = 1; seq <= 32; ++seq) {
+    ASSERT_EQ(spool.Append(seq, Payload(seq, 4096), &error),
+              DeltaSpool::AppendStatus::kOk);
+  }
+  EXPECT_EQ(spool.PendingCount(), 32u);
+}
+
+}  // namespace
+}  // namespace smb::repl

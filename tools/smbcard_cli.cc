@@ -67,6 +67,44 @@
 //   --numa         (with --per-flow) NUMA-aware placement: bind slab
 //                  chunks and (in sharded runs) consumer threads to
 //                  nodes; no-op on single-node machines
+//   --listen SOCK  parent mode (DESIGN.md §16): bind a Unix-domain
+//                  socket, accept child sessions, merge their deltas
+//                  and print the merged top spreads when every expected
+//                  child has drained and disconnected. --memory/
+//                  --design/--seed fix the geometry every child must
+//                  match; --checkpoint-dir makes acks durable (a parent
+//                  restart loses nothing it ever acked).
+//   --expect-children N
+//                  (with --listen) children to wait for (default 1)
+//   --listen-timeout SECONDS
+//                  (with --listen) give up after SECONDS (0 = forever,
+//                  the default); timing out exits 1
+//   --replicate-to SOCK
+//                  (with --per-flow, SMB/arena only) child mode: stream
+//                  snapshot deltas of recorded flows to the parent at
+//                  SOCK, spooling to --spool-dir while the parent is
+//                  away. Exits 0 once every delta is acked, 3 when the
+//                  drain timeout expires with deltas still spooled
+//                  (they are on disk; a rerun with the same --spool-dir
+//                  retransmits them).
+//   --child-id N   (with --replicate-to) this child's stable identity
+//   --spool-dir DIR
+//                  (with --replicate-to) on-disk retransmit buffer
+//   --spool-budget BYTES
+//                  (with --replicate-to) spool ceiling (K/M/G suffixes;
+//                  0 = unlimited). When full, --shed-policy decides.
+//   --shed-policy retry|drop
+//                  (with --spool-budget) retry (default) defers the cut
+//                  and keeps dirty flows in memory; drop sheds the
+//                  delta and counts the loss
+//   --delta-every LINES
+//                  (with --replicate-to) cut a delta every LINES input
+//                  lines (default 4096; a final delta always flushes
+//                  the remainder)
+//   --drain-timeout SECONDS
+//                  (with --replicate-to) how long to wait at EOF for
+//                  the parent to ack everything (default 30, 0 = don't
+//                  wait)
 //   FILE...        input files; stdin when none given
 //
 // Examples:
@@ -100,6 +138,8 @@
 #include "io/checkpoint_store.h"
 #include "parallel/parallel_recorder.h"
 #include "parallel/sharded_estimator.h"
+#include "repl/child_replicator.h"
+#include "repl/replication_sink.h"
 #include "sketch/per_flow_monitor.h"
 #include "stream/trace_gen.h"
 #include "telemetry/exporter.h"
@@ -134,6 +174,26 @@ struct CliOptions {
   bool eviction_set = false;
   bool hugepages = false;
   bool numa = false;
+  // Parent mode (--listen).
+  std::string listen_path;
+  size_t expect_children = 1;
+  bool expect_children_set = false;
+  uint64_t listen_timeout_s = 0;  // 0 = wait forever
+  bool listen_timeout_set = false;
+  // Child mode (--replicate-to, rides --per-flow).
+  std::string replicate_to;
+  uint64_t child_id = 0;
+  bool child_id_set = false;
+  std::string spool_dir;
+  size_t spool_budget_bytes = 0;
+  bool spool_budget_set = false;
+  smb::repl::SpoolShedPolicy shed_policy =
+      smb::repl::SpoolShedPolicy::kRetry;
+  bool shed_policy_set = false;
+  uint64_t delta_every_lines = 4096;
+  bool delta_every_set = false;
+  uint64_t drain_timeout_s = 30;
+  bool drain_timeout_set = false;
   std::vector<std::string> inputs;
 };
 
@@ -172,7 +232,15 @@ void PrintUsageAndExit(const char* argv0) {
                "               [--flight-recorder FILE]\n"
                "               [--per-flow [--top K] [--memory-budget BYTES]"
                "\n               [--eviction off|clock|2q] [--hugepages] "
-               "[--numa]] [FILE...]\n",
+               "[--numa]]\n"
+               "               [--listen SOCK [--expect-children N] "
+               "[--listen-timeout SECONDS]]\n"
+               "               [--replicate-to SOCK --child-id N "
+               "--spool-dir DIR\n"
+               "               [--spool-budget BYTES] "
+               "[--shed-policy retry|drop]\n"
+               "               [--delta-every LINES] "
+               "[--drain-timeout SECONDS]] [FILE...]\n",
                argv0);
   std::exit(2);
 }
@@ -242,6 +310,49 @@ CliOptions ParseArgs(int argc, char** argv) {
       options.hugepages = true;
     } else if (arg == "--numa") {
       options.numa = true;
+    } else if (arg == "--listen") {
+      options.listen_path = next_value();
+    } else if (arg == "--expect-children") {
+      options.expect_children = std::strtoul(next_value(), nullptr, 10);
+      options.expect_children_set = true;
+    } else if (arg == "--listen-timeout") {
+      options.listen_timeout_s = std::strtoull(next_value(), nullptr, 10);
+      options.listen_timeout_set = true;
+    } else if (arg == "--replicate-to") {
+      options.replicate_to = next_value();
+    } else if (arg == "--child-id") {
+      options.child_id = std::strtoull(next_value(), nullptr, 10);
+      options.child_id_set = true;
+    } else if (arg == "--spool-dir") {
+      options.spool_dir = next_value();
+    } else if (arg == "--spool-budget") {
+      const char* text = next_value();
+      options.spool_budget_set = true;
+      if (!ParseByteSize(text, &options.spool_budget_bytes)) {
+        std::fprintf(stderr, "bad --spool-budget '%s'\n", text);
+        PrintUsageAndExit(argv[0]);
+      }
+    } else if (arg == "--shed-policy") {
+      const std::string name = next_value();
+      options.shed_policy_set = true;
+      if (name == "retry") {
+        options.shed_policy = smb::repl::SpoolShedPolicy::kRetry;
+      } else if (name == "drop") {
+        options.shed_policy = smb::repl::SpoolShedPolicy::kDropNew;
+      } else {
+        std::fprintf(stderr, "unknown shed policy '%s'\n", name.c_str());
+        PrintUsageAndExit(argv[0]);
+      }
+    } else if (arg == "--delta-every") {
+      options.delta_every_lines = std::strtoull(next_value(), nullptr, 10);
+      options.delta_every_set = true;
+      if (options.delta_every_lines == 0) {
+        std::fprintf(stderr, "--delta-every wants a positive line count\n");
+        PrintUsageAndExit(argv[0]);
+      }
+    } else if (arg == "--drain-timeout") {
+      options.drain_timeout_s = std::strtoull(next_value(), nullptr, 10);
+      options.drain_timeout_set = true;
     } else if (arg == "--overload-policy") {
       const std::string name = next_value();
       options.overload_policy_set = true;
@@ -517,6 +628,130 @@ int RunParallel(const CliOptions& options) {
   return checkpoint_ok ? 0 : 1;
 }
 
+// Monotonic millisecond clock for the replication state machines (the
+// epoch is arbitrary; only differences matter).
+uint64_t NowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Prints the top-K spreads of `engine` as `flow<TAB>estimate` lines —
+// the same output grammar as --per-flow, so parent-mode output pipes
+// into the same downstream tooling.
+void PrintTopSpreads(const smb::ArenaSmbEngine& engine, size_t top_k) {
+  std::vector<std::pair<uint64_t, double>> spreads;
+  engine.ForEachFlowState([&](uint64_t flow, uint32_t, uint32_t,
+                              std::span<const uint64_t>) {
+    spreads.emplace_back(flow, 0.0);
+  });
+  for (auto& [flow, estimate] : spreads) estimate = engine.Query(flow);
+  const size_t k = std::min(top_k, spreads.size());
+  std::partial_sort(spreads.begin(),
+                    spreads.begin() + static_cast<std::ptrdiff_t>(k),
+                    spreads.end(), [](const auto& a, const auto& b) {
+                      if (a.second != b.second) return a.second > b.second;
+                      return a.first < b.first;
+                    });
+  for (size_t i = 0; i < k; ++i) {
+    std::printf("%llu\t%.0f\n",
+                static_cast<unsigned long long>(spreads[i].first),
+                spreads[i].second);
+  }
+}
+
+// --listen: parent mode (DESIGN.md §16). Pumps the replication sink
+// until every expected child has connected, drained (acked == applied)
+// and said goodbye, then prints the merged top spreads. A child only
+// sends its goodbye after its spool drained, so "all disconnected with
+// nothing unacked" is the quiesced state.
+int RunListen(const CliOptions& options) {
+  if (options.algo != "SMB") {
+    std::fprintf(stderr, "--listen merges SMB arena state only\n");
+    return 2;
+  }
+  smb::EstimatorSpec spec;
+  spec.kind = smb::EstimatorKind::kSmb;
+  spec.memory_bits = options.memory_bits;
+  spec.design_cardinality = options.design_cardinality;
+  spec.hash_seed = options.seed;
+  const auto config = smb::ArenaSmbEngine::ConfigForSpec(spec);
+  if (!config.has_value()) {
+    std::fprintf(stderr,
+                 "--memory %zu --design %llu is not an arena-capable SMB "
+                 "geometry\n",
+                 options.memory_bits,
+                 static_cast<unsigned long long>(
+                     options.design_cardinality));
+    return 2;
+  }
+  smb::repl::ReplicationSink::Options sink_options;
+  sink_options.socket_path = options.listen_path;
+  sink_options.engine_config = *config;
+  sink_options.checkpoint_dir = options.checkpoint_dir;
+  smb::repl::ReplicationSink sink(sink_options);
+  std::string error;
+  if (!sink.Listen(&error)) {
+    std::fprintf(stderr, "cannot listen on %s: %s\n",
+                 options.listen_path.c_str(), error.c_str());
+    return 1;
+  }
+
+  const uint64_t start_ms = NowMs();
+  const uint64_t deadline_ms =
+      options.listen_timeout_s > 0
+          ? start_ms + options.listen_timeout_s * 1000
+          : 0;
+  bool timed_out = false;
+  // Children that connected during THIS parent's lifetime. A restarted
+  // parent recovers children from its checkpoint with nothing unacked —
+  // it must still wait for them to come back (they may hold spooled
+  // deltas), not mistake "recovered and quiet" for "drained".
+  std::vector<uint64_t> greeted;
+  while (true) {
+    const uint64_t now_ms = NowMs();
+    if (deadline_ms != 0 && now_ms >= deadline_ms) {
+      timed_out = true;
+      break;
+    }
+    sink.PollOnce(now_ms, /*timeout_ms=*/50);
+    const auto children = sink.Children(NowMs());
+    bool quiesced = true;
+    for (const auto& child : children) {
+      if (child.connected &&
+          std::find(greeted.begin(), greeted.end(), child.child_id) ==
+              greeted.end()) {
+        greeted.push_back(child.child_id);
+      }
+      if (child.connected || child.acked_seq != child.applied_seq ||
+          std::find(greeted.begin(), greeted.end(), child.child_id) ==
+              greeted.end()) {
+        quiesced = false;
+      }
+    }
+    if (quiesced && greeted.size() >= options.expect_children) break;
+  }
+
+  PrintTopSpreads(sink.MergedEngine(), options.top_k);
+  const auto& stats = sink.stats();
+  std::fprintf(stderr,
+               "%zu child(ren), %llu deltas applied, %llu duplicates "
+               "dropped, %llu frames + %llu payloads + %llu hellos "
+               "rejected, %llu checkpoints (%llu failed)%s\n",
+               sink.NumChildren(),
+               static_cast<unsigned long long>(stats.deltas_applied),
+               static_cast<unsigned long long>(stats.dup_dropped),
+               static_cast<unsigned long long>(stats.rejected_frames),
+               static_cast<unsigned long long>(stats.rejected_payloads),
+               static_cast<unsigned long long>(stats.rejected_hellos),
+               static_cast<unsigned long long>(stats.checkpoints_written),
+               static_cast<unsigned long long>(stats.checkpoint_failures),
+               timed_out ? "; timed out waiting for children" : "");
+  sink.Close();
+  return timed_out ? 1 : 0;
+}
+
 // --per-flow: one estimator per flow over `flow,element` input lines,
 // top spreads printed as `flow<TAB>estimate`. The same line grammar as
 // stream/trace_io.h's CSV import, parsed here so the *original* flow
@@ -559,11 +794,51 @@ int RunPerFlow(const CliOptions& options) {
     return 2;
   }
 
+  // Child mode: stream snapshot deltas of recorded flows to the parent
+  // at --replicate-to, spooling to --spool-dir across parent outages.
+  std::optional<smb::repl::ChildReplicator> replicator;
+  if (!options.replicate_to.empty()) {
+    if (monitor.arena_engine() == nullptr) {
+      std::fprintf(stderr,
+                   "--replicate-to needs the arena engine (an SMB spec "
+                   "with packed-metadata geometry)\n");
+      return 2;
+    }
+    smb::repl::ChildReplicator::Options repl_options;
+    repl_options.socket_path = options.replicate_to;
+    repl_options.child_id = options.child_id;
+    repl_options.spool.directory = options.spool_dir;
+    repl_options.spool.budget_bytes = options.spool_budget_bytes;
+    repl_options.spool.sync = true;
+    repl_options.shed_policy = options.shed_policy;
+    replicator.emplace(monitor.arena_engine(), repl_options);
+  }
+  bool repl_io_error = false;
+  auto cut_delta = [&]() {
+    std::string error;
+    const auto status = replicator->CutDelta(&error);
+    if (status == smb::repl::ChildReplicator::CutStatus::kError &&
+        !repl_io_error) {
+      repl_io_error = true;
+      std::fprintf(stderr, "delta spool failed: %s\n", error.c_str());
+    }
+    return status;
+  };
+
   // Batch packets so SMB specs go down the arena engine's keyed SIMD
   // pipeline instead of packet-at-a-time.
   std::vector<smb::Packet> pending;
   pending.reserve(4096);
+  auto flush_pending = [&]() {
+    if (pending.empty()) return;
+    if (replicator.has_value()) {
+      replicator->NoteRecordedBatch(pending.data(), pending.size());
+    }
+    monitor.RecordBatch(pending);
+    pending.clear();
+  };
   uint64_t line_number = 0;
+  uint64_t lines_since_cut = 0;
   bool parse_failed = false;
   uint64_t failed_line = 0;
   FeedAllInputs(options, [&](const std::string& line) {
@@ -582,9 +857,13 @@ int RunPerFlow(const CliOptions& options) {
       return;
     }
     pending.push_back(smb::Packet{flow, element});
-    if (pending.size() == pending.capacity()) {
-      monitor.RecordBatch(pending);
-      pending.clear();
+    if (pending.size() == pending.capacity()) flush_pending();
+    if (replicator.has_value() &&
+        ++lines_since_cut >= options.delta_every_lines) {
+      lines_since_cut = 0;
+      flush_pending();
+      cut_delta();  // kDeferred keeps the dirty set for a later cut
+      replicator->Tick(NowMs());
     }
   });
   if (parse_failed) {
@@ -593,7 +872,44 @@ int RunPerFlow(const CliOptions& options) {
                  static_cast<unsigned long long>(failed_line));
     return 1;
   }
-  monitor.RecordBatch(pending);
+  flush_pending();
+
+  // Cut the final delta and drive the replicator until the parent acked
+  // everything (or the drain timeout expires — spooled deltas stay on
+  // disk and a rerun over the same --spool-dir retransmits them).
+  int repl_rc = 0;
+  if (replicator.has_value()) {
+    auto status = cut_delta();
+    const uint64_t drain_deadline_ms =
+        NowMs() + options.drain_timeout_s * 1000;
+    while (NowMs() < drain_deadline_ms) {
+      replicator->Tick(NowMs());
+      if (status == smb::repl::ChildReplicator::CutStatus::kDeferred) {
+        // kRetry shed policy: acks free spool budget, so keep retrying
+        // the refused cut while draining.
+        status = cut_delta();
+      }
+      if (replicator->Drained() && replicator->dirty_flows() == 0) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    replicator->Shutdown();
+    const bool drained =
+        replicator->Drained() && replicator->dirty_flows() == 0;
+    const auto repl_stats = replicator->stats();
+    std::fprintf(
+        stderr,
+        "repl: %llu deltas cut, %llu delivered, %zu spooled, %llu shed, "
+        "%llu deferred, %llu retransmits, acked through seq %llu%s\n",
+        static_cast<unsigned long long>(repl_stats.deltas_cut),
+        static_cast<unsigned long long>(repl_stats.deltas_delivered),
+        repl_stats.spooled_deltas,
+        static_cast<unsigned long long>(repl_stats.deltas_shed),
+        static_cast<unsigned long long>(repl_stats.deltas_deferred),
+        static_cast<unsigned long long>(repl_stats.retransmits),
+        static_cast<unsigned long long>(replicator->acked_seq()),
+        drained ? "" : "; undelivered deltas remain spooled");
+    repl_rc = repl_io_error ? 1 : (drained ? 0 : 3);
+  }
 
   // Per-flow health (saturation counts, top-K expected error) rides the
   // metrics snapshot when the arena engine is in use.
@@ -632,7 +948,7 @@ int RunPerFlow(const CliOptions& options) {
                  monitor.NumFlows(),
                  static_cast<unsigned long long>(line_number));
   }
-  return 0;
+  return repl_rc;
 }
 
 int RunSingle(const CliOptions& options) {
@@ -778,8 +1094,58 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--metrics-interval requires --metrics-out\n");
     return 2;
   }
-  if (options.top_k_set && !options.per_flow) {
-    std::fprintf(stderr, "--top requires --per-flow\n");
+  const bool listen = !options.listen_path.empty();
+  const bool replicate = !options.replicate_to.empty();
+  if (options.top_k_set && !options.per_flow && !listen) {
+    std::fprintf(stderr, "--top requires --per-flow or --listen\n");
+    return 2;
+  }
+  if (listen &&
+      (options.per_flow || parallel || options.all || replicate ||
+       !options.save_path.empty() || !options.load_path.empty())) {
+    std::fprintf(stderr,
+                 "--listen cannot be combined with --per-flow, --threads, "
+                 "--shards, --all, --save, --load, or --replicate-to\n");
+    return 2;
+  }
+  if ((options.expect_children_set || options.listen_timeout_set) &&
+      !listen) {
+    std::fprintf(stderr,
+                 "--expect-children/--listen-timeout require --listen\n");
+    return 2;
+  }
+  if (listen && options.expect_children == 0) {
+    std::fprintf(stderr, "--expect-children wants at least 1\n");
+    return 2;
+  }
+  if (replicate && !options.per_flow) {
+    std::fprintf(stderr, "--replicate-to requires --per-flow\n");
+    return 2;
+  }
+  if (replicate && (!options.child_id_set || options.spool_dir.empty())) {
+    std::fprintf(stderr,
+                 "--replicate-to needs --child-id and --spool-dir\n");
+    return 2;
+  }
+  if (replicate && options.memory_budget_bytes > 0) {
+    // SerializeFlows skips evicted flows, so an evicting child would
+    // silently replicate partial state.
+    std::fprintf(stderr,
+                 "--replicate-to cannot be combined with --memory-budget "
+                 "(evicted flows would be missing from deltas)\n");
+    return 2;
+  }
+  if (!replicate &&
+      (options.child_id_set || !options.spool_dir.empty() ||
+       options.spool_budget_set || options.shed_policy_set ||
+       options.delta_every_set || options.drain_timeout_set)) {
+    std::fprintf(stderr,
+                 "--child-id/--spool-dir/--spool-budget/--shed-policy/"
+                 "--delta-every/--drain-timeout require --replicate-to\n");
+    return 2;
+  }
+  if (options.shed_policy_set && !options.spool_budget_set) {
+    std::fprintf(stderr, "--shed-policy requires --spool-budget\n");
     return 2;
   }
   if (!options.per_flow &&
@@ -871,11 +1237,12 @@ int main(int argc, char** argv) {
     PeriodicMetricsWriter periodic(
         options.metrics_out,
         options.metrics_out.empty() ? 0 : options.metrics_interval_s);
-    rc = options.per_flow
-             ? RunPerFlow(options)
-             : (parallel ? RunParallel(options)
-                         : (options.all ? RunAll(options)
-                                        : RunSingle(options)));
+    rc = listen ? RunListen(options)
+                : options.per_flow
+                      ? RunPerFlow(options)
+                      : (parallel ? RunParallel(options)
+                                  : (options.all ? RunAll(options)
+                                                 : RunSingle(options)));
   }
   if (!options.metrics_out.empty()) {
     if (!WriteMetricsSnapshot(options.metrics_out)) {

@@ -7,10 +7,13 @@
 //   smbtop [--interval SEC] [--once] FILE
 //
 // Polls FILE every SEC seconds (default 2), clears the screen, and
-// renders four panes:
+// renders five panes:
 //   health      every `*_health_*` gauge, with the integer scalings the
 //               probe publishes (permille, ppm, milli) unfolded back
 //               into human units
+//   repl        one row per replication child (the `repl_child_*`
+//               gauges a `smbcard --listen` parent publishes):
+//               connected/alive liveness, acked sequence, replica flows
 //   gauges      every other gauge — the flow residency set
 //               (flow_live_flows, flow_nursery_flows, flow_live_bytes,
 //               flow_hugepage_bytes, flow_slab_bytes, ...) with `_bytes`
@@ -21,9 +24,11 @@
 //               cumulative histograms are differenced between polls so
 //               the quantiles describe the last interval only
 //
-// --once renders a single frame without clearing and exits (CI smoke).
-// A missing or half-written file is not fatal in live mode: the poll is
-// skipped and retried, since the producer rewrites the file in place.
+// --once renders a single frame without clearing and exits (CI smoke);
+// a transiently unreadable file is retried briefly before failing.
+// A missing or half-written file is not fatal in live mode (the
+// producer rewrites the file in place): the last good frame is
+// re-rendered with a [stale] badge until a poll succeeds again.
 
 #include <unistd.h>
 
@@ -34,6 +39,7 @@
 #include <cstring>
 #include <fstream>
 #include <iterator>
+#include <map>
 #include <optional>
 #include <string>
 #include <thread>
@@ -124,12 +130,55 @@ std::string FmtQuantileBound(const HistogramData& histogram, double q) {
   return TablePrinter::FmtInt(static_cast<long long>(bound));
 }
 
+// Pivots the per-child replication gauges a `smbcard --listen` parent
+// publishes into one row per child. Renders nothing when no
+// `repl_child_*` gauges are present (the common, non-replicating case).
+void RenderReplPane(const MetricsSnapshot& snapshot) {
+  struct Row {
+    int64_t connected = 0;
+    int64_t alive = 0;
+    int64_t acked_seq = 0;
+    int64_t replica_flows = 0;
+  };
+  std::map<std::string, Row> rows;
+  for (const MetricSample& sample : snapshot.samples) {
+    if (sample.type != MetricType::kGauge) continue;
+    if (sample.name.rfind("repl_child_", 0) != 0) continue;
+    std::string child = "?";
+    for (const auto& [key, value] : sample.labels) {
+      if (key == "child") child = value;
+    }
+    Row& row = rows[child];
+    if (sample.name == "repl_child_connected") {
+      row.connected = sample.gauge_value;
+    } else if (sample.name == "repl_child_alive") {
+      row.alive = sample.gauge_value;
+    } else if (sample.name == "repl_child_acked_seq") {
+      row.acked_seq = sample.gauge_value;
+    } else if (sample.name == "repl_child_replica_flows") {
+      row.replica_flows = sample.gauge_value;
+    }
+  }
+  if (rows.empty()) return;
+  TablePrinter repl("repl children");
+  repl.SetHeader({"child", "connected", "alive", "acked seq",
+                  "replica flows"});
+  for (const auto& [child, row] : rows) {
+    repl.AddRow({child, row.connected != 0 ? "yes" : "no",
+                 row.alive != 0 ? "yes" : "no",
+                 TablePrinter::FmtInt(row.acked_seq),
+                 TablePrinter::FmtInt(row.replica_flows)});
+  }
+  repl.Print();
+}
+
 void RenderFrame(const std::string& path, const MetricsSnapshot& snapshot,
                  const MetricsSnapshot* prev, double elapsed_seconds,
-                 uint64_t frame) {
-  std::printf("smbtop — %s   frame %llu   %zu metric(s)\n", path.c_str(),
+                 uint64_t frame, bool stale) {
+  std::printf("smbtop — %s   frame %llu   %zu metric(s)%s\n", path.c_str(),
               static_cast<unsigned long long>(frame),
-              snapshot.samples.size());
+              snapshot.samples.size(),
+              stale ? "   [stale]" : "");
 
   TablePrinter health("health");
   health.SetHeader({"gauge", "labels", "value"});
@@ -150,12 +199,16 @@ void RenderFrame(const std::string& path, const MetricsSnapshot& snapshot,
         "e.g. smbcard --per-flow)\n");
   }
 
+  RenderReplPane(snapshot);
+
   TablePrinter gauges("gauges");
   gauges.SetHeader({"gauge", "labels", "value"});
   size_t gauge_rows = 0;
   for (const MetricSample& sample : snapshot.samples) {
     if (sample.type != MetricType::kGauge) continue;
     if (sample.name.find("_health_") != std::string::npos) continue;
+    // The per-child replication gauges live in their own pane.
+    if (sample.name.rfind("repl_child_", 0) == 0) continue;
     gauges.AddRow({sample.name,
                    smb::telemetry::RenderLabels(sample.labels),
                    GaugeValue(sample.name, sample.gauge_value)});
@@ -247,6 +300,25 @@ int main(int argc, char** argv) {
   }
   if (path.empty()) return Usage(argv[0]);
 
+  if (once) {
+    // A producer rewriting the file in place can leave it transiently
+    // unreadable; retry briefly before failing the smoke.
+    std::optional<MetricsSnapshot> snapshot = ReadSnapshot(path);
+    for (int attempt = 0; !snapshot.has_value() && attempt < 10;
+         ++attempt) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      snapshot = ReadSnapshot(path);
+    }
+    if (!snapshot.has_value()) {
+      std::fprintf(stderr, "%s: not a readable metrics snapshot\n",
+                   path.c_str());
+      return 1;
+    }
+    RenderFrame(path, *snapshot, nullptr, 0.0, 1, /*stale=*/false);
+    std::fflush(stdout);
+    return 0;
+  }
+
   std::optional<MetricsSnapshot> prev;
   auto prev_time = std::chrono::steady_clock::now();
   uint64_t frame = 0;
@@ -257,21 +329,25 @@ int main(int argc, char** argv) {
       ++frame;
       const double elapsed =
           std::chrono::duration<double>(now - prev_time).count();
-      if (!once) std::printf("\x1b[H\x1b[2J");
+      std::printf("\x1b[H\x1b[2J");
       RenderFrame(path, *snapshot, prev.has_value() ? &*prev : nullptr,
-                  elapsed, frame);
+                  elapsed, frame, /*stale=*/false);
       std::fflush(stdout);
       prev = std::move(snapshot);
       prev_time = now;
-    } else if (once || frame == 0) {
-      // Live mode tolerates a transiently unreadable file once it has
-      // shown something; before the first frame (or in --once) it is an
-      // error the user should see.
+    } else if (prev.has_value()) {
+      // Mid-rotation: the producer is rewriting the file. Re-render the
+      // last good frame with a [stale] badge and keep retrying. Rates
+      // are suppressed (prev == nullptr) — the baseline is this same
+      // stale frame, so any rate shown would be a fabricated zero.
+      std::printf("\x1b[H\x1b[2J");
+      RenderFrame(path, *prev, nullptr, 0.0, frame, /*stale=*/true);
+      std::fflush(stdout);
+    } else {
+      // Nothing good has ever been read: an error the user should see.
       std::fprintf(stderr, "%s: not a readable metrics snapshot\n",
                    path.c_str());
-      if (once) return 1;
     }
-    if (once) return 0;
     std::this_thread::sleep_for(
         std::chrono::duration<double>(interval_seconds));
   }

@@ -67,6 +67,24 @@ BenchScale ParseScale(int argc, char** argv) {
       scale.assert_speedup =
           std::strtod(argv[i] + sizeof(kPlainSpeedupFlag) - 1, nullptr);
     }
+    constexpr const char kDenseRatioFlag[] = "--assert-dense-ratio=";
+    if (std::strncmp(argv[i], kDenseRatioFlag,
+                     sizeof(kDenseRatioFlag) - 1) == 0) {
+      scale.assert_dense_ratio =
+          std::strtod(argv[i] + sizeof(kDenseRatioFlag) - 1, nullptr);
+    }
+    constexpr const char kSparseRatioFlag[] = "--assert-sparse-ratio=";
+    if (std::strncmp(argv[i], kSparseRatioFlag,
+                     sizeof(kSparseRatioFlag) - 1) == 0) {
+      scale.assert_sparse_ratio =
+          std::strtod(argv[i] + sizeof(kSparseRatioFlag) - 1, nullptr);
+    }
+    constexpr const char kDecodeMbpsFlag[] = "--assert-decode-mbps=";
+    if (std::strncmp(argv[i], kDecodeMbpsFlag,
+                     sizeof(kDecodeMbpsFlag) - 1) == 0) {
+      scale.assert_decode_mbps =
+          std::strtod(argv[i] + sizeof(kDecodeMbpsFlag) - 1, nullptr);
+    }
     constexpr const char kTraceOutFlag[] = "--trace-out=";
     if (std::strncmp(argv[i], kTraceOutFlag, sizeof(kTraceOutFlag) - 1) ==
         0) {

@@ -35,6 +35,12 @@ struct BenchScale {
   // comparison is not AddBatch-vs-Add (e.g. per_flow_throughput's
   // arena-vs-legacy-engine ratio; 0 disables the assertion).
   double assert_speedup = 0.0;
+  // codec_throughput gates (0 disables each): minimum SMBZ1 compression
+  // ratio on the dense and sparse fixtures, and minimum decode
+  // throughput in MB/s of rehydrated FLW1 bytes.
+  double assert_dense_ratio = 0.0;
+  double assert_sparse_ratio = 0.0;
+  double assert_decode_mbps = 0.0;
   // --trace-out=PATH captures the span tracer across the measured runs
   // and writes Chrome trace-event JSON to PATH. In SMB_TRACING=OFF builds
   // the file is still written (a valid zero-event trace), so scripts need

@@ -10,7 +10,9 @@
 #include <string>
 #include <vector>
 
+#include "codec/smbz1.h"
 #include "common/random.h"
+#include "flow/arena_smb_engine.h"
 #include "io/checkpoint_store.h"
 #include "io/crc32c.h"
 
@@ -71,6 +73,94 @@ void BM_CheckpointRecover(benchmark::State& state) {
   fs::remove_all(dir);
 }
 BENCHMARK(BM_CheckpointRecover)->Arg(4 << 10)->Arg(256 << 10)->Arg(4 << 20);
+
+// A real FLW1 engine image of `num_flows` mixed-spread flows — random
+// bytes (above) never compress, so the codec benches need sketch-shaped
+// payloads.
+std::vector<uint8_t> EngineImage(size_t num_flows) {
+  smb::ArenaSmbEngine::Config config;
+  config.num_bits = 2048;
+  config.threshold = 256;
+  config.base_seed = 0xCEC;
+  smb::ArenaSmbEngine engine(config);
+  smb::Xoshiro256 rng(num_flows);
+  for (uint64_t flow = 1; flow <= num_flows; ++flow) {
+    const uint64_t spread = 1 + rng.NextBounded(200);
+    for (uint64_t i = 0; i < spread; ++i) engine.Record(flow, rng.Next());
+  }
+  return engine.Serialize();
+}
+
+smb::io::CheckpointStore::ContentCodec Smbz1Codec() {
+  smb::io::CheckpointStore::ContentCodec codec;
+  codec.name = "SMBZ1";
+  codec.encode = [](std::span<const uint8_t> payload) {
+    return smb::codec::CompressFlw1Image(payload);
+  };
+  codec.recognize = smb::codec::IsSmbz1Image;
+  codec.decode = [](std::span<const uint8_t> stored) {
+    return smb::codec::DecompressToFlw1Image(stored);
+  };
+  return codec;
+}
+
+// Raw vs SMBZ1-compressed checkpoint writes of the same engine image:
+// the counters put the on-disk raw/stored bytes side by side, and MB/s
+// stays in payload (raw) bytes so the two variants compare directly.
+void BM_CheckpointWriteFlw1(benchmark::State& state) {
+  const auto payload = EngineImage(static_cast<size_t>(state.range(0)));
+  const bool compressed = state.range(1) != 0;
+  const fs::path dir = BenchDir();
+  fs::remove_all(dir);
+  smb::io::CheckpointStore::Options options;
+  options.directory = dir.string();
+  options.keep_generations = 2;
+  options.sync = false;  // isolate the codec cost from fsync noise
+  if (compressed) options.codec = Smbz1Codec();
+  smb::io::CheckpointStore store(options);
+  for (auto _ : state) {
+    const auto result = store.Write(payload);
+    if (!result.ok) state.SkipWithError(result.error.c_str());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(payload.size()));
+  state.counters["raw_bytes"] = static_cast<double>(payload.size());
+  const auto packed = smb::codec::CompressFlw1Image(payload);
+  state.counters["stored_bytes"] = static_cast<double>(
+      compressed && packed.has_value() ? packed->size() : payload.size());
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_CheckpointWriteFlw1)
+    ->ArgsProduct({{1024, 16384}, {0, 1}})
+    ->ArgNames({"flows", "smbz1"});
+
+void BM_CheckpointRecoverFlw1(benchmark::State& state) {
+  const auto payload = EngineImage(static_cast<size_t>(state.range(0)));
+  const bool compressed = state.range(1) != 0;
+  const fs::path dir = BenchDir();
+  fs::remove_all(dir);
+  smb::io::CheckpointStore::Options options;
+  options.directory = dir.string();
+  options.sync = false;
+  if (compressed) options.codec = Smbz1Codec();
+  smb::io::CheckpointStore store(options);
+  const auto write = store.Write(payload);
+  if (!write.ok) state.SkipWithError(write.error.c_str());
+  for (auto _ : state) {
+    auto recovered = store.RecoverLatest();
+    if (!recovered.ok || recovered.payload != payload) {
+      state.SkipWithError("recovery did not return the original payload");
+      break;
+    }
+    benchmark::DoNotOptimize(recovered.payload.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(payload.size()));
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_CheckpointRecoverFlw1)
+    ->ArgsProduct({{1024, 16384}, {0, 1}})
+    ->ArgNames({"flows", "smbz1"});
 
 void BM_Crc32c(benchmark::State& state) {
   const auto payload = Payload(static_cast<size_t>(state.range(0)));

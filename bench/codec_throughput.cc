@@ -1,0 +1,263 @@
+// SMBZ1 codec throughput and compression ratio (DESIGN.md §17) over
+// three flow-population fixtures:
+//
+//   sparse  single-packet flows (round 0, a handful of bits) — the
+//           nursery/low-fill shape checkpoints and deltas are mostly
+//           made of; the varint position list should win >= 4x
+//   dense   final-round, near-saturated flows — the zero-polarity
+//           sparse mode names the few remaining zeros; >= 2x even
+//           though the bitmaps are almost all ones
+//   mixed   a Zipf-ish spread profile matching the replication bench —
+//           the realistic blend of all three slot modes (no gate; the
+//           ratio is reported for trend tracking)
+//
+// Emits BENCH_codec.json (override with --json=PATH) with per-fixture
+// encode/decode MB/s (MB of FLW1 sketch state processed per second),
+// ratio, and slot-mode tallies. CI gates ride the --assert-dense-ratio,
+// --assert-sparse-ratio, and --assert-decode-mbps flags; each exits
+// nonzero when the measured value falls below the bound.
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "codec/smbz1.h"
+#include "common/random.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "flow/arena_smb_engine.h"
+
+namespace smb::bench {
+namespace {
+
+struct Fixture {
+  std::string name;
+  size_t flows = 0;
+  std::vector<uint8_t> flw1;
+};
+
+ArenaSmbEngine::Config EngineConfig(size_t num_bits, size_t threshold) {
+  ArenaSmbEngine::Config config;
+  config.num_bits = num_bits;
+  config.threshold = threshold;
+  config.base_seed = 0xC0DEC;
+  return config;
+}
+
+// Round-0 flows with 1-3 recorded elements: each slot is a couple of
+// set bits in a 2048-bit bitmap.
+Fixture SparseFixture(size_t flows) {
+  ArenaSmbEngine engine(EngineConfig(2048, 256));
+  Xoshiro256 rng(0x57A25E);
+  for (uint64_t flow = 1; flow <= flows; ++flow) {
+    const size_t packets = 1 + rng.NextBounded(3);
+    for (size_t p = 0; p < packets; ++p) engine.Record(flow, rng.Next());
+  }
+  return Fixture{"sparse", flows, engine.Serialize()};
+}
+
+// Flows at their final round with nearly-all-ones bitmaps, whose
+// minority zeros are the cheap side to name. Planted through the
+// sink's UpsertFlowState path — Record would need ~64k packets per
+// flow to reach the same saturation.
+Fixture DenseFixture(size_t flows) {
+  ArenaSmbEngine engine(EngineConfig(256, 32));
+  Xoshiro256 rng(0xDE45E);
+  std::vector<uint64_t> words(4);
+  for (uint64_t flow = 1; flow <= flows; ++flow) {
+    std::fill(words.begin(), words.end(), ~uint64_t{0});
+    const uint64_t zeros = rng.NextBounded(13);
+    for (uint64_t z = 0; z < zeros; ++z) {
+      const uint64_t pos = rng.NextBounded(256);
+      words[pos >> 6] &= ~(uint64_t{1} << (pos & 63));
+    }
+    size_t pop = 0;
+    for (const uint64_t w : words) {
+      pop += static_cast<size_t>(__builtin_popcountll(w));
+    }
+    // Round 7 of a 256/32 geometry: 7 * 32 bits committed, the rest in
+    // the live fill counter.
+    engine.UpsertFlowState(flow, 7, static_cast<uint32_t>(pop - 224),
+                           words);
+  }
+  return Fixture{"dense", flows, engine.Serialize()};
+}
+
+// The replication bench's spread profile: 1-200 distinct elements per
+// flow, so the population blends nursery, mid-round, and dense slots.
+Fixture MixedFixture(size_t flows) {
+  ArenaSmbEngine engine(EngineConfig(2048, 256));
+  Xoshiro256 rng(0x313D);
+  for (uint64_t flow = 1; flow <= flows; ++flow) {
+    const size_t packets = 1 + rng.NextBounded(200);
+    for (size_t p = 0; p < packets; ++p) engine.Record(flow, rng.Next());
+  }
+  return Fixture{"mixed", flows, engine.Serialize()};
+}
+
+struct CodecPoint {
+  uint64_t raw_bytes = 0;
+  uint64_t encoded_bytes = 0;
+  double ratio = 0.0;
+  double encode_mbps = 0.0;  // MB of FLW1 input consumed per second
+  double decode_mbps = 0.0;  // MB of FLW1 output produced per second
+  uint64_t sparse_slots = 0;
+  uint64_t rle_slots = 0;
+  uint64_t raw_slots = 0;
+};
+
+// Repeats `op` until `min_seconds` of wall time accumulate (at least 3
+// iterations) and returns MB/s relative to `bytes_per_op`.
+template <typename Op>
+double MeasureMbps(size_t bytes_per_op, double min_seconds, Op op) {
+  size_t iterations = 0;
+  WallTimer timer;
+  double elapsed = 0.0;
+  while (iterations < 3 || elapsed < min_seconds) {
+    op();
+    ++iterations;
+    elapsed = timer.ElapsedSeconds();
+  }
+  return static_cast<double>(iterations) *
+         static_cast<double>(bytes_per_op) / (elapsed * 1e6);
+}
+
+CodecPoint MeasureCodec(const Fixture& fixture, double min_seconds,
+                        bool* ok) {
+  CodecPoint point;
+  codec::CodecStats stats;
+  const auto packed = codec::CompressFlw1Image(fixture.flw1, &stats);
+  if (!packed.has_value()) {
+    std::fprintf(stderr, "FAIL: %s fixture did not compress\n",
+                 fixture.name.c_str());
+    *ok = false;
+    return point;
+  }
+  const auto unpacked = codec::DecompressToFlw1Image(*packed);
+  if (!unpacked.has_value() || *unpacked != fixture.flw1) {
+    std::fprintf(stderr, "FAIL: %s fixture round-trip not bit-identical\n",
+                 fixture.name.c_str());
+    *ok = false;
+    return point;
+  }
+  point.raw_bytes = fixture.flw1.size();
+  point.encoded_bytes = packed->size();
+  point.ratio = static_cast<double>(point.raw_bytes) /
+                static_cast<double>(point.encoded_bytes);
+  point.sparse_slots = stats.sparse_slots;
+  point.rle_slots = stats.rle_slots;
+  point.raw_slots = stats.raw_slots;
+  point.encode_mbps =
+      MeasureMbps(fixture.flw1.size(), min_seconds, [&fixture] {
+        DoNotOptimize(codec::CompressFlw1Image(fixture.flw1));
+      });
+  point.decode_mbps =
+      MeasureMbps(fixture.flw1.size(), min_seconds, [&packed] {
+        DoNotOptimize(codec::DecompressToFlw1Image(*packed));
+      });
+  return point;
+}
+
+void WritePointJson(JsonWriter* json, const Fixture& fixture,
+                    const CodecPoint& point) {
+  json->BeginObject();
+  json->Key("flows");
+  json->Uint(fixture.flows);
+  json->Key("raw_bytes");
+  json->Uint(point.raw_bytes);
+  json->Key("encoded_bytes");
+  json->Uint(point.encoded_bytes);
+  json->Key("ratio");
+  json->Double(point.ratio, 3);
+  json->Key("encode_mb_per_sec");
+  json->Double(point.encode_mbps, 1);
+  json->Key("decode_mb_per_sec");
+  json->Double(point.decode_mbps, 1);
+  json->Key("sparse_slots");
+  json->Uint(point.sparse_slots);
+  json->Key("rle_slots");
+  json->Uint(point.rle_slots);
+  json->Key("raw_slots");
+  json->Uint(point.raw_slots);
+  json->EndObject();
+}
+
+bool GateAtLeast(const char* what, double measured, double bound) {
+  if (bound <= 0.0 || measured >= bound) return true;
+  std::fprintf(stderr, "FAIL: %s %.3f is below the asserted %.3f\n", what,
+               measured, bound);
+  return false;
+}
+
+int Run(const BenchScale& scale) {
+  const size_t sparse_flows = scale.full ? 50000 : 8000;
+  const size_t dense_flows = scale.full ? 4000 : 800;
+  const size_t mixed_flows = scale.full ? 20000 : 4000;
+  const double min_seconds = scale.full ? 2.0 : 0.3;
+
+  const Fixture fixtures[] = {SparseFixture(sparse_flows),
+                              DenseFixture(dense_flows),
+                              MixedFixture(mixed_flows)};
+  bool ok = true;
+  CodecPoint points[3];
+  for (size_t i = 0; i < 3; ++i) {
+    points[i] = MeasureCodec(fixtures[i], min_seconds, &ok);
+  }
+  if (!ok) return 1;
+
+  TablePrinter table("SMBZ1 codec throughput (MB of FLW1 state per second)");
+  table.SetHeader({"fixture", "flows", "raw bytes", "smbz1 bytes", "ratio",
+                   "encode MB/s", "decode MB/s"});
+  for (size_t i = 0; i < 3; ++i) {
+    table.AddRow({fixtures[i].name,
+                  TablePrinter::FmtInt(
+                      static_cast<long long>(fixtures[i].flows)),
+                  TablePrinter::FmtInt(
+                      static_cast<long long>(points[i].raw_bytes)),
+                  TablePrinter::FmtInt(
+                      static_cast<long long>(points[i].encoded_bytes)),
+                  TablePrinter::Fmt(points[i].ratio, 2) + "x",
+                  TablePrinter::Fmt(points[i].encode_mbps, 1),
+                  TablePrinter::Fmt(points[i].decode_mbps, 1)});
+  }
+  table.Print();
+
+  JsonWriter json(JsonWriter::kPretty);
+  json.BeginObject();
+  json.Key("bench");
+  json.String("codec_throughput");
+  for (size_t i = 0; i < 3; ++i) {
+    json.Key(fixtures[i].name);
+    WritePointJson(&json, fixtures[i], points[i]);
+  }
+  json.Key("environment");
+  WriteEnvironmentJson(&json);
+  json.EndObject();
+  const std::string path =
+      scale.json_path.empty() ? "BENCH_codec.json" : scale.json_path;
+  if (!WriteBenchJson(path, json)) return 1;
+
+  ok = GateAtLeast("sparse ratio", points[0].ratio,
+                   scale.assert_sparse_ratio) &&
+       ok;
+  ok = GateAtLeast("dense ratio", points[1].ratio,
+                   scale.assert_dense_ratio) &&
+       ok;
+  // The decode gate rides the two gated fixtures; the mixed row is
+  // trend-tracking only.
+  for (size_t i = 0; i < 2; ++i) {
+    ok = GateAtLeast((fixtures[i].name + " decode MB/s").c_str(),
+                     points[i].decode_mbps, scale.assert_decode_mbps) &&
+         ok;
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace smb::bench
+
+int main(int argc, char** argv) {
+  return smb::bench::Run(smb::bench::ParseScale(argc, argv));
+}

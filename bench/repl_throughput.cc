@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "codec/smbz1.h"
 #include "common/random.h"
 #include "flow/arena_smb_engine.h"
 #include "repl/delta_spool.h"
@@ -61,8 +62,69 @@ void BM_ReplDeltaCut(benchmark::State& state) {
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(payload_bytes));
   state.counters["delta_bytes"] = static_cast<double>(payload_bytes);
+  // Raw-vs-compressed context for the same cut: what a codec-negotiated
+  // child would actually spool and put on the wire.
+  const auto packed = smb::codec::CompressFlw1Image(
+      engine.SerializeFlows(flows));
+  if (packed.has_value()) {
+    state.counters["smbz1_bytes"] = static_cast<double>(packed->size());
+  }
 }
 BENCHMARK(BM_ReplDeltaCut)->Arg(64)->Arg(1024)->Arg(16384)
+    ->ArgName("dirty_flows");
+
+// The codec leg a kCodecSmbz1 child adds to every cut (encode) and a
+// codec parent adds to every apply (decode), over the same mixed-spread
+// delta payloads BM_ReplDeltaCut produces.
+void BM_ReplDeltaCompress(benchmark::State& state) {
+  std::vector<uint64_t> flows;
+  const smb::ArenaSmbEngine engine =
+      PopulatedEngine(static_cast<size_t>(state.range(0)), &flows);
+  const std::vector<uint8_t> payload = engine.SerializeFlows(flows);
+  size_t packed_bytes = 0;
+  for (auto _ : state) {
+    const auto packed = smb::codec::CompressFlw1Image(payload);
+    if (!packed.has_value()) {
+      state.SkipWithError("delta payload did not compress");
+      break;
+    }
+    packed_bytes = packed->size();
+    benchmark::DoNotOptimize(packed->data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(payload.size()));
+  state.counters["raw_bytes"] = static_cast<double>(payload.size());
+  state.counters["smbz1_bytes"] = static_cast<double>(packed_bytes);
+}
+BENCHMARK(BM_ReplDeltaCompress)->Arg(64)->Arg(1024)->Arg(16384)
+    ->ArgName("dirty_flows");
+
+void BM_ReplDeltaDecompress(benchmark::State& state) {
+  std::vector<uint64_t> flows;
+  const smb::ArenaSmbEngine engine =
+      PopulatedEngine(static_cast<size_t>(state.range(0)), &flows);
+  const std::vector<uint8_t> payload = engine.SerializeFlows(flows);
+  const auto packed = smb::codec::CompressFlw1Image(payload);
+  if (!packed.has_value()) {
+    state.SkipWithError("delta payload did not compress");
+    return;
+  }
+  for (auto _ : state) {
+    const auto unpacked = smb::codec::DecompressToFlw1Image(*packed);
+    if (!unpacked.has_value()) {
+      state.SkipWithError("compressed delta did not decode");
+      break;
+    }
+    benchmark::DoNotOptimize(unpacked->data());
+  }
+  // Bytes processed = FLW1 bytes rehydrated, so MB/s compares directly
+  // against the raw apply path's validation throughput.
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(payload.size()));
+  state.counters["raw_bytes"] = static_cast<double>(payload.size());
+  state.counters["smbz1_bytes"] = static_cast<double>(packed->size());
+}
+BENCHMARK(BM_ReplDeltaDecompress)->Arg(64)->Arg(1024)->Arg(16384)
     ->ArgName("dirty_flows");
 
 void BM_ReplDeltaSpoolAppend(benchmark::State& state) {

@@ -1,0 +1,502 @@
+#include "codec/smbz1.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/bit_util.h"
+#include "hash/murmur3.h"
+#include "io/crc32c.h"
+
+namespace smb::codec {
+namespace {
+
+// Container framing.
+constexpr char kMagic[5] = {'S', 'M', 'B', 'Z', '1'};
+constexpr uint8_t kVersion = 1;
+constexpr size_t kHeaderBytes = 5 + 1 + 2 + 5 * 8;
+constexpr size_t kCrcBytes = 4;
+
+// FLW1 framing, mirrored from the engine's snapshot format so the codec
+// can validate and rebuild images without linking the flow layer.
+constexpr char kFlw1Magic[4] = {'F', 'L', 'W', '1'};
+constexpr uint64_t kFlw1ChecksumSeed = 0x464C5731u;  // "FLW1"
+constexpr size_t kFlw1HeaderBytes = 4 + 5 * 8;
+constexpr size_t kFlw1ChecksumBytes = 8;
+
+// FLW1 meta packing (ArenaSmbEngine): round in the top 6 bits, fill in
+// the low 26.
+constexpr uint32_t kRoundShift = 26;
+constexpr uint32_t kFillMask = (1u << kRoundShift) - 1;
+constexpr uint32_t kMaxRound = 63;
+
+// Guards DecompressToFlw1Image against absurd headers before any
+// allocation happens. Far above every supported geometry (the engine
+// caps num_bits well below this) yet small enough that a hostile
+// header cannot demand gigabytes.
+constexpr uint64_t kMaxNumBits = uint64_t{1} << 26;
+
+// Word payloads move through memcpy: the codebase already commits to
+// little-endian hosts for byte<->u64 punning (hash/murmur3.cc), and the
+// byte-at-a-time loops dominated the raw/literal decode profile.
+void AppendU64(std::vector<uint8_t>* out, uint64_t v) {
+  const size_t at = out->size();
+  out->resize(at + 8);
+  std::memcpy(out->data() + at, &v, 8);
+}
+
+void AppendU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+bool ReadU64(std::span<const uint8_t> in, size_t* pos, uint64_t* v) {
+  if (in.size() < 8 || *pos > in.size() - 8) return false;
+  std::memcpy(v, in.data() + *pos, 8);
+  *pos += 8;
+  return true;
+}
+
+size_t VarintSize(uint64_t v) {
+  size_t size = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++size;
+  }
+  return size;
+}
+
+void AppendVarint(std::vector<uint8_t>* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<uint8_t>(v));
+}
+
+bool ReadVarint(std::span<const uint8_t> in, size_t* pos, uint64_t* v) {
+  uint64_t out = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (*pos >= in.size()) return false;
+    const uint8_t byte = in[(*pos)++];
+    out |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      // The tenth byte may only carry the single remaining bit.
+      if (shift == 63 && byte > 1) return false;
+      *v = out;
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t WordsForBits(uint64_t num_bits) {
+  return static_cast<size_t>((num_bits + 63) / 64);
+}
+
+uint64_t TailMask(uint64_t num_bits) {
+  const size_t tail = num_bits % 64;
+  return tail == 0 ? ~uint64_t{0} : (uint64_t{1} << tail) - 1;
+}
+
+uint64_t PopcountWords(std::span<const uint64_t> words) {
+  uint64_t total = 0;
+  for (const uint64_t w : words) {
+    total += static_cast<uint64_t>(Popcount64(w));
+  }
+  return total;
+}
+
+// True when no bit at or above num_bits is set — the precondition for
+// both sparse polarities (a position list cannot name stray tail bits).
+bool TailClean(uint64_t num_bits, std::span<const uint64_t> words) {
+  const size_t tail = num_bits % 64;
+  return tail == 0 || (words.back() >> tail) == 0;
+}
+
+// Exact encoded size of the sparse position payload (count varint plus
+// delta varints) for the given polarity, without materializing it.
+// `invert` = true walks zero positions within [0, num_bits).
+size_t SparsePayloadSize(uint64_t num_bits, std::span<const uint64_t> words,
+                         bool invert) {
+  const uint64_t tail_mask = TailMask(num_bits);
+  size_t size = 0;
+  uint64_t count = 0;
+  uint64_t prev = 0;
+  bool first = true;
+  for (size_t w = 0; w < words.size(); ++w) {
+    uint64_t word = invert ? ~words[w] : words[w];
+    if (invert && w + 1 == words.size()) word &= tail_mask;
+    while (word != 0) {
+      const uint64_t position =
+          w * 64 + static_cast<uint64_t>(CountTrailingZeros64(word));
+      word &= word - 1;
+      size += VarintSize(first ? position : position - prev - 1);
+      first = false;
+      prev = position;
+      ++count;
+    }
+  }
+  return VarintSize(count) + size;
+}
+
+void AppendSparsePayload(uint64_t num_bits, std::span<const uint64_t> words,
+                         bool invert, std::vector<uint8_t>* out) {
+  const uint64_t tail_mask = TailMask(num_bits);
+  uint64_t count = invert ? num_bits - PopcountWords(words)
+                          : PopcountWords(words);
+  AppendVarint(out, count);
+  uint64_t prev = 0;
+  bool first = true;
+  for (size_t w = 0; w < words.size(); ++w) {
+    uint64_t word = invert ? ~words[w] : words[w];
+    if (invert && w + 1 == words.size()) word &= tail_mask;
+    while (word != 0) {
+      const uint64_t position =
+          w * 64 + static_cast<uint64_t>(CountTrailingZeros64(word));
+      word &= word - 1;
+      AppendVarint(out, first ? position : position - prev - 1);
+      first = false;
+      prev = position;
+    }
+  }
+}
+
+// Greedy word-run grouping: zero words and all-ones words fold into run
+// tokens, everything else accumulates into literal runs. Returns the
+// exact payload size; when `out` is non-null the tokens are appended.
+size_t RlePayload(std::span<const uint64_t> words,
+                  std::vector<uint8_t>* out) {
+  size_t size = 0;
+  auto emit = [&](uint64_t kind, size_t begin, size_t len) {
+    const uint64_t token = (static_cast<uint64_t>(len) << 2) | kind;
+    size += VarintSize(token);
+    if (out != nullptr) AppendVarint(out, token);
+    if (kind == 2) {
+      size += len * 8;
+      if (out != nullptr) {
+        for (size_t w = begin; w < begin + len; ++w) {
+          AppendU64(out, words[w]);
+        }
+      }
+    }
+  };
+  size_t i = 0;
+  while (i < words.size()) {
+    const uint64_t w = words[i];
+    if (w == 0 || w == ~uint64_t{0}) {
+      const uint64_t kind = (w == 0) ? 0 : 1;
+      size_t len = 1;
+      while (i + len < words.size() && words[i + len] == w) ++len;
+      emit(kind, i, len);
+      i += len;
+    } else {
+      size_t len = 1;
+      while (i + len < words.size() && words[i + len] != 0 &&
+             words[i + len] != ~uint64_t{0}) {
+        ++len;
+      }
+      emit(2, i, len);
+      i += len;
+    }
+  }
+  return size;
+}
+
+void AppendSlotHeader(SlotMode mode, bool invert, const SlotState& state,
+                      std::vector<uint8_t>* out) {
+  uint8_t mode_byte = static_cast<uint8_t>(mode);
+  if (invert) mode_byte |= 0x04;
+  out->push_back(mode_byte);
+  AppendVarint(out, state.round);
+  AppendVarint(out, state.ones);
+}
+
+}  // namespace
+
+void EncodeSlot(uint64_t num_bits, const SlotState& state,
+                std::vector<uint8_t>* out, CodecStats* stats) {
+  const size_t raw_size = state.words.size() * 8;
+  const size_t rle_size = RlePayload(state.words, nullptr);
+  size_t sparse_size = raw_size + 1;  // assume infeasible until proven
+  bool invert = false;
+  if (TailClean(num_bits, state.words)) {
+    // Only the minority polarity can win; pricing both would double the
+    // scan for no benefit.
+    invert = PopcountWords(state.words) * 2 > num_bits;
+    sparse_size = SparsePayloadSize(num_bits, state.words, invert);
+  }
+  SlotMode mode = SlotMode::kRaw;
+  size_t best = raw_size;
+  if (sparse_size < best) {
+    mode = SlotMode::kSparse;
+    best = sparse_size;
+  }
+  if (rle_size < best) {
+    mode = SlotMode::kRle;
+    best = rle_size;
+  }
+  AppendSlotHeader(mode, mode == SlotMode::kSparse && invert, state, out);
+  switch (mode) {
+    case SlotMode::kRaw:
+      for (const uint64_t w : state.words) AppendU64(out, w);
+      break;
+    case SlotMode::kSparse:
+      AppendSparsePayload(num_bits, state.words, invert, out);
+      break;
+    case SlotMode::kRle:
+      RlePayload(state.words, out);
+      break;
+  }
+  if (stats != nullptr) {
+    switch (mode) {
+      case SlotMode::kRaw: ++stats->raw_slots; break;
+      case SlotMode::kSparse: ++stats->sparse_slots; break;
+      case SlotMode::kRle: ++stats->rle_slots; break;
+    }
+  }
+}
+
+bool EncodeSlotAs(SlotMode mode, uint64_t num_bits, const SlotState& state,
+                  std::vector<uint8_t>* out) {
+  bool invert = false;
+  if (mode == SlotMode::kSparse) {
+    if (!TailClean(num_bits, state.words)) return false;
+    invert = PopcountWords(state.words) * 2 > num_bits;
+  }
+  AppendSlotHeader(mode, invert, state, out);
+  switch (mode) {
+    case SlotMode::kRaw:
+      for (const uint64_t w : state.words) AppendU64(out, w);
+      break;
+    case SlotMode::kSparse:
+      AppendSparsePayload(num_bits, state.words, invert, out);
+      break;
+    case SlotMode::kRle:
+      RlePayload(state.words, out);
+      break;
+  }
+  return true;
+}
+
+bool DecodeSlot(std::span<const uint8_t> in, size_t* pos, uint64_t num_bits,
+                DecodedSlot* slot, std::span<uint64_t> words) {
+  const size_t words_per_slot = WordsForBits(num_bits);
+  if (words.size() != words_per_slot) return false;
+  if (*pos >= in.size()) return false;
+  const uint8_t mode_byte = in[(*pos)++];
+  if ((mode_byte & 0xF8) != 0) return false;
+  const uint8_t mode_bits = mode_byte & 0x03;
+  const bool invert = (mode_byte & 0x04) != 0;
+  if (mode_bits > 2) return false;
+  const SlotMode mode = static_cast<SlotMode>(mode_bits);
+  if (invert && mode != SlotMode::kSparse) return false;
+  uint64_t round = 0;
+  uint64_t ones = 0;
+  if (!ReadVarint(in, pos, &round) || round > kMaxRound) return false;
+  if (!ReadVarint(in, pos, &ones) || ones > kFillMask) return false;
+  slot->round = static_cast<uint32_t>(round);
+  slot->ones = static_cast<uint32_t>(ones);
+  slot->mode = mode;
+  switch (mode) {
+    case SlotMode::kRaw: {
+      if (in.size() - *pos < words_per_slot * 8) return false;
+      std::memcpy(words.data(), in.data() + *pos, words_per_slot * 8);
+      *pos += words_per_slot * 8;
+      // Bits above num_bits must be zero in every mode; a verbatim
+      // payload carrying them is corrupt, not merely untidy.
+      return (words.back() & ~TailMask(num_bits)) == 0;
+    }
+    case SlotMode::kSparse: {
+      uint64_t count = 0;
+      if (!ReadVarint(in, pos, &count) || count > num_bits) return false;
+      if (invert) {
+        std::fill(words.begin(), words.end(), ~uint64_t{0});
+        words.back() &= TailMask(num_bits);
+      } else {
+        std::fill(words.begin(), words.end(), uint64_t{0});
+      }
+      uint64_t position = 0;
+      for (uint64_t i = 0; i < count; ++i) {
+        uint64_t delta = 0;
+        if (!ReadVarint(in, pos, &delta)) return false;
+        position = (i == 0) ? delta : position + delta + 1;
+        if (position >= num_bits) return false;
+        const uint64_t bit = uint64_t{1} << (position % 64);
+        if (invert) {
+          words[position / 64] &= ~bit;
+        } else {
+          words[position / 64] |= bit;
+        }
+      }
+      return true;
+    }
+    case SlotMode::kRle: {
+      size_t covered = 0;
+      while (covered < words_per_slot) {
+        uint64_t token = 0;
+        if (!ReadVarint(in, pos, &token)) return false;
+        const uint64_t kind = token & 3;
+        const uint64_t len = token >> 2;
+        if (kind > 2 || len == 0) return false;
+        if (len > words_per_slot - covered) return false;
+        if (kind == 2) {
+          if (in.size() - *pos < static_cast<size_t>(len) * 8) return false;
+          std::memcpy(words.data() + covered, in.data() + *pos,
+                      static_cast<size_t>(len) * 8);
+          *pos += static_cast<size_t>(len) * 8;
+        } else {
+          const uint64_t fill = (kind == 0) ? 0 : ~uint64_t{0};
+          std::fill(words.begin() + static_cast<ptrdiff_t>(covered),
+                    words.begin() + static_cast<ptrdiff_t>(covered + len),
+                    fill);
+        }
+        covered += static_cast<size_t>(len);
+      }
+      // Same tail rule as raw: a run or literal may not spill bits
+      // above num_bits.
+      return (words.back() & ~TailMask(num_bits)) == 0;
+    }
+  }
+  return false;
+}
+
+bool IsSmbz1Image(std::span<const uint8_t> bytes) {
+  return bytes.size() >= 6 &&
+         std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) == 0 &&
+         bytes[5] == kVersion;
+}
+
+std::optional<std::vector<uint8_t>> CompressFlw1Image(
+    std::span<const uint8_t> flw1, CodecStats* stats) {
+  if (flw1.size() < kFlw1HeaderBytes + kFlw1ChecksumBytes) {
+    return std::nullopt;
+  }
+  if (std::memcmp(flw1.data(), kFlw1Magic, sizeof(kFlw1Magic)) != 0) {
+    return std::nullopt;
+  }
+  size_t pos = sizeof(kFlw1Magic);
+  uint64_t num_bits = 0, threshold = 0, base_seed = 0, num_flows = 0,
+           words_per_slot = 0;
+  if (!ReadU64(flw1, &pos, &num_bits) || !ReadU64(flw1, &pos, &threshold) ||
+      !ReadU64(flw1, &pos, &base_seed) || !ReadU64(flw1, &pos, &num_flows) ||
+      !ReadU64(flw1, &pos, &words_per_slot)) {
+    return std::nullopt;
+  }
+  if (num_bits == 0 || num_bits > kMaxNumBits) return std::nullopt;
+  if (words_per_slot != WordsForBits(num_bits)) return std::nullopt;
+  const size_t expected = kFlw1HeaderBytes +
+                          static_cast<size_t>(num_flows) *
+                              (2 + static_cast<size_t>(words_per_slot)) * 8 +
+                          kFlw1ChecksumBytes;
+  if (flw1.size() != expected) return std::nullopt;
+  const uint64_t checksum =
+      Murmur3_128(flw1.data(), flw1.size() - kFlw1ChecksumBytes,
+                  kFlw1ChecksumSeed)
+          .lo;
+  uint64_t stored_checksum = 0;
+  size_t checksum_pos = flw1.size() - kFlw1ChecksumBytes;
+  ReadU64(flw1, &checksum_pos, &stored_checksum);
+  if (checksum != stored_checksum) return std::nullopt;
+
+  std::vector<uint8_t> out;
+  out.reserve(kHeaderBytes + static_cast<size_t>(num_flows) * 16 +
+              kCrcBytes);
+  for (char c : kMagic) out.push_back(static_cast<uint8_t>(c));
+  out.push_back(kVersion);
+  out.push_back(0);
+  out.push_back(0);
+  AppendU64(&out, num_bits);
+  AppendU64(&out, threshold);
+  AppendU64(&out, base_seed);
+  AppendU64(&out, num_flows);
+  AppendU64(&out, words_per_slot);
+  std::vector<uint64_t> words(static_cast<size_t>(words_per_slot));
+  for (uint64_t f = 0; f < num_flows; ++f) {
+    uint64_t key = 0, meta = 0;
+    ReadU64(flw1, &pos, &key);
+    ReadU64(flw1, &pos, &meta);
+    if (meta > 0xFFFFFFFFull) return std::nullopt;
+    for (auto& w : words) ReadU64(flw1, &pos, &w);
+    AppendU64(&out, key);
+    SlotState state;
+    state.round = static_cast<uint32_t>(meta) >> kRoundShift;
+    state.ones = static_cast<uint32_t>(meta) & kFillMask;
+    state.words = words;
+    EncodeSlot(num_bits, state, &out, stats);
+  }
+  AppendU32(&out, io::Crc32c(out.data(), out.size()));
+  if (stats != nullptr) {
+    stats->raw_bytes += flw1.size();
+    stats->encoded_bytes += out.size();
+  }
+  return out;
+}
+
+std::optional<std::vector<uint8_t>> DecompressToFlw1Image(
+    std::span<const uint8_t> smbz1) {
+  if (smbz1.size() < kHeaderBytes + kCrcBytes) return std::nullopt;
+  if (!IsSmbz1Image(smbz1)) return std::nullopt;
+  if (smbz1[6] != 0 || smbz1[7] != 0) return std::nullopt;
+  uint32_t stored_crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored_crc |= static_cast<uint32_t>(smbz1[smbz1.size() - 4 +
+                                              static_cast<size_t>(i)])
+                  << (8 * i);
+  }
+  if (io::Crc32c(smbz1.data(), smbz1.size() - kCrcBytes) != stored_crc) {
+    return std::nullopt;
+  }
+  size_t pos = 8;
+  uint64_t num_bits = 0, threshold = 0, base_seed = 0, num_flows = 0,
+           words_per_slot = 0;
+  if (!ReadU64(smbz1, &pos, &num_bits) ||
+      !ReadU64(smbz1, &pos, &threshold) ||
+      !ReadU64(smbz1, &pos, &base_seed) ||
+      !ReadU64(smbz1, &pos, &num_flows) ||
+      !ReadU64(smbz1, &pos, &words_per_slot)) {
+    return std::nullopt;
+  }
+  if (num_bits == 0 || num_bits > kMaxNumBits) return std::nullopt;
+  if (words_per_slot != WordsForBits(num_bits)) return std::nullopt;
+  // Every flow costs at least key + mode byte + two varints; a header
+  // claiming more flows than the payload could hold is rejected before
+  // any allocation is sized from it.
+  const size_t payload_bytes = smbz1.size() - kHeaderBytes - kCrcBytes;
+  if (num_flows > payload_bytes / 11) return std::nullopt;
+
+  std::vector<uint8_t> out;
+  out.reserve(kFlw1HeaderBytes +
+              static_cast<size_t>(num_flows) *
+                  (2 + static_cast<size_t>(words_per_slot)) * 8 +
+              kFlw1ChecksumBytes);
+  for (char c : kFlw1Magic) out.push_back(static_cast<uint8_t>(c));
+  AppendU64(&out, num_bits);
+  AppendU64(&out, threshold);
+  AppendU64(&out, base_seed);
+  AppendU64(&out, num_flows);
+  AppendU64(&out, words_per_slot);
+  std::vector<uint64_t> words(static_cast<size_t>(words_per_slot));
+  const std::span<const uint8_t> body =
+      smbz1.first(smbz1.size() - kCrcBytes);
+  for (uint64_t f = 0; f < num_flows; ++f) {
+    uint64_t key = 0;
+    if (!ReadU64(body, &pos, &key)) return std::nullopt;
+    DecodedSlot slot;
+    if (!DecodeSlot(body, &pos, num_bits, &slot, words)) {
+      return std::nullopt;
+    }
+    AppendU64(&out, key);
+    AppendU64(&out, (static_cast<uint64_t>(slot.round) << kRoundShift) |
+                        slot.ones);
+    for (const uint64_t w : words) AppendU64(&out, w);
+  }
+  // Trailing garbage between the last record and the CRC is a defect.
+  if (pos != body.size()) return std::nullopt;
+  AppendU64(&out, Murmur3_128(out.data(),
+                              out.size(), kFlw1ChecksumSeed)
+                      .lo);
+  return out;
+}
+
+}  // namespace smb::codec

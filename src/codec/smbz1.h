@@ -1,0 +1,134 @@
+// SMBZ1 — lossless compression for SMB sketch state (DESIGN.md §17).
+//
+// The FLW1 snapshot format spends a fixed (2 + words_per_slot) * 8 bytes
+// per flow regardless of how much information the bitmap actually holds.
+// SMBZ1 re-frames the same state with a per-slot encoder that picks the
+// cheapest of three modes:
+//
+//   raw     the bitmap words verbatim — never worse than the small
+//           slot header, and the fallback for mid-fill states whose
+//           entropy genuinely approaches 1 bit/bit
+//   sparse  a varint-delta position list over the *minority* bit
+//           polarity: set positions for nursery/low-fill flows, zero
+//           positions for late-round dense flows (an SMB bitmap at its
+//           final rounds is almost all ones, so the zeros are the
+//           cheap side to name)
+//   rle     run-length tokens over 64-bit words (zero runs, all-ones
+//           runs, literal runs) — wins on clustered or merged states
+//
+// The morph metadata (r, v) rides in the slot header as varints, so a
+// decoder rebuilds bitmap + metadata without ever touching the
+// estimator. Encode/decode round-trips are bit-identical: compressing
+// an FLW1 image and decompressing it again reproduces the input
+// byte-for-byte, including its trailing checksum.
+//
+// Container layout (little-endian):
+//   magic "SMBZ1" (5 bytes), u8 version (= 1), u16 reserved (= 0)
+//   u64 num_bits, threshold, base_seed, num_flows, words_per_slot
+//   per flow: u64 flow key, slot record (below)
+//   u32 CRC-32C over every preceding byte
+//
+// Slot record:
+//   u8 mode byte: bits 0-1 mode (0 raw, 1 sparse, 2 rle; 3 invalid),
+//                 bit 2 sparse polarity (0 = set positions listed,
+//                 1 = zero positions listed), bits 3-7 must be zero
+//   varint round, varint ones   (the packed FLW1 meta, split)
+//   payload:
+//     raw:    words_per_slot * 8 bytes, words verbatim
+//     sparse: varint count, then count position varints — the first is
+//             the position itself, each later one is the gap minus one
+//             (positions are strictly ascending and < num_bits)
+//     rle:    varint tokens until exactly words_per_slot words are
+//             covered; kind = token & 3 (0 zero-word run, 1 all-ones
+//             run, 2 literal run followed by len * 8 payload bytes),
+//             len = token >> 2, len >= 1
+//
+// This header is self-contained on purpose: it depends only on the
+// in-repo CRC-32C and Murmur3 primitives, never on the estimator or
+// engine layers, so io/repl/flow can all link it without cycles.
+
+#ifndef SMBCARD_CODEC_SMBZ1_H_
+#define SMBCARD_CODEC_SMBZ1_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace smb::codec {
+
+enum class SlotMode : uint8_t {
+  kRaw = 0,
+  kSparse = 1,
+  kRle = 2,
+};
+
+// One flow's state as the engine holds it: morph metadata plus the
+// materialized bitmap words.
+struct SlotState {
+  uint32_t round = 0;
+  uint32_t ones = 0;
+  std::span<const uint64_t> words;
+};
+
+struct DecodedSlot {
+  uint32_t round = 0;
+  uint32_t ones = 0;
+  SlotMode mode = SlotMode::kRaw;
+};
+
+// Aggregate encoder accounting, for telemetry and bench ratio columns.
+struct CodecStats {
+  uint64_t raw_bytes = 0;      // FLW1-equivalent bytes of the input
+  uint64_t encoded_bytes = 0;  // SMBZ1 bytes produced
+  uint64_t raw_slots = 0;
+  uint64_t sparse_slots = 0;
+  uint64_t rle_slots = 0;
+};
+
+// Appends the cheapest slot record for `state` to `out`. `num_bits` is
+// the logical bitmap width; `state.words` must span exactly
+// (num_bits + 63) / 64 words. Per-slot mode tallies land in `stats`
+// when given.
+void EncodeSlot(uint64_t num_bits, const SlotState& state,
+                std::vector<uint8_t>* out, CodecStats* stats = nullptr);
+
+// Forces a specific mode (property tests exercise each mode across
+// random morph states). Returns false when the mode cannot represent
+// the state losslessly (sparse with stray bits above num_bits).
+bool EncodeSlotAs(SlotMode mode, uint64_t num_bits, const SlotState& state,
+                  std::vector<uint8_t>* out);
+
+// Decodes one slot record at *pos, advancing it past the record.
+// `words` must span exactly (num_bits + 63) / 64 words and is fully
+// overwritten. Returns false (leaving *pos unspecified) on any
+// structural defect: truncation, an invalid mode byte, out-of-range or
+// non-ascending positions, run tokens that miss or overshoot the word
+// count, payload bits above num_bits. Semantic validation of (round,
+// ones) against the bitmap is
+// the caller's job — the engine re-validates on apply.
+bool DecodeSlot(std::span<const uint8_t> in, size_t* pos, uint64_t num_bits,
+                DecodedSlot* slot, std::span<uint64_t> words);
+
+// True when `bytes` starts with the SMBZ1 magic at a supported version.
+// Cheap content sniff for readers that accept either framing.
+bool IsSmbz1Image(std::span<const uint8_t> bytes);
+
+// Compresses a complete FLW1 image (as produced by
+// ArenaSmbEngine::Serialize / SerializeFlows) into an SMBZ1 container.
+// The input is validated first — magic, geometry, exact size, trailing
+// Murmur3 checksum — and nullopt means it was not a well-formed FLW1
+// image. Flow order is preserved.
+std::optional<std::vector<uint8_t>> CompressFlw1Image(
+    std::span<const uint8_t> flw1, CodecStats* stats = nullptr);
+
+// Inverse of CompressFlw1Image: rebuilds the byte-identical FLW1 image,
+// trailing checksum included. nullopt on any structural defect or CRC
+// mismatch; the result always passes ArenaSmbEngine::Deserialize's
+// framing checks if the original did.
+std::optional<std::vector<uint8_t>> DecompressToFlw1Image(
+    std::span<const uint8_t> smbz1);
+
+}  // namespace smb::codec
+
+#endif  // SMBCARD_CODEC_SMBZ1_H_

@@ -31,6 +31,10 @@ struct FlowInstruments {
   telemetry::Gauge* slab_bytes;
   telemetry::Gauge* live_bytes;
   telemetry::Gauge* hugepage_bytes;
+  telemetry::Gauge* cold_flows;
+  telemetry::Gauge* cold_bytes;
+  telemetry::Gauge* cold_resident_bytes;
+  telemetry::Gauge* cold_ratio_milli;
   telemetry::LatencyHistogram* probe_len;
 };
 
@@ -46,6 +50,10 @@ FlowInstruments& GlobalFlowInstruments() {
         registry.GetGauge("flow_slab_bytes"),
         registry.GetGauge("flow_live_bytes"),
         registry.GetGauge("flow_hugepage_bytes"),
+        registry.GetGauge("flow_cold_flows"),
+        registry.GetGauge("flow_cold_bytes"),
+        registry.GetGauge("flow_cold_resident_bytes"),
+        registry.GetGauge("flow_cold_compression_ratio_milli"),
         registry.GetHistogram("flow_table_probe_length"),
     };
   }();
@@ -68,6 +76,17 @@ FlowInstruments& GlobalFlowInstruments() {
     ins.hugepage_bytes->Set(                                                \
         static_cast<int64_t>(ma.hugetlb_bytes + ma.thp_advised_bytes +      \
                              na.hugetlb_bytes + na.thp_advised_bytes));     \
+    ins.cold_flows->Set(                                                    \
+        cold_ ? static_cast<int64_t>(cold_->NumFlows()) : 0);               \
+    ins.cold_bytes->Set(                                                    \
+        cold_ ? static_cast<int64_t>(cold_->EncodedBytes()) : 0);           \
+    ins.cold_resident_bytes->Set(                                           \
+        cold_ ? static_cast<int64_t>(cold_->ResidentBytes()) : 0);          \
+    ins.cold_ratio_milli->Set(                                              \
+        cold_ && cold_->EncodedBytes() > 0                                  \
+            ? static_cast<int64_t>(cold_->RawBytes() * 1000 /               \
+                                   cold_->EncodedBytes())                   \
+            : 0);                                                           \
   } while (0)
 #else
 #define SMB_FLOW_PUBLISH_RESIDENCY() \
@@ -129,6 +148,9 @@ ArenaSmbEngine::ArenaSmbEngine(const Config& config)
       nursery_(nursery_words_, AllocOptionsFor(config.tuning)) {
   SMB_CHECK_MSG(Supports(config.num_bits, config.threshold),
                 "(num_bits, threshold) outside the packed-metadata envelope");
+  if (config_.tuning.cold_tier) {
+    cold_ = std::make_unique<ColdSketchTier>(config_.num_bits);
+  }
 }
 
 uint32_t ArenaSmbEngine::FindOrCreateRow(uint64_t flow, uint64_t bucket_hash,
@@ -178,12 +200,40 @@ uint32_t ArenaSmbEngine::FindOrCreateRow(uint64_t flow, uint64_t bucket_hash,
     GlobalFlowInstruments().flows_created->Add();
     SMB_FLOW_PUBLISH_RESIDENCY();
 #endif
+    // Thaw-before-gate: a returning frozen flow resumes from its exact
+    // evicted state, so the bits it records from here on are identical
+    // to a never-evicted engine's.
+    if (cold_ != nullptr && cold_->Contains(flow)) ThawRow(row, flow);
   }
   // CLOCK reference: any lookup — gate-rejected traffic included — marks
   // the flow recently-used.
   ref_bits_[row] = 1;
   if (created != nullptr) *created = inserted;
   return row;
+}
+
+void ArenaSmbEngine::ThawRow(uint32_t row, uint64_t flow) {
+  // Thawed flows always land on the main slab: a frozen state can be at
+  // any round, and even a round-0 state would only bounce back through
+  // the nursery's promotion path on its next morph.
+  const uint32_t ref = slab_ref_[row];
+  if (ref & kNurseryFlag) {
+    nursery_.Free(ref & ~kNurseryFlag);
+    const uint32_t main_slot = arena_.Allocate();
+    SMB_DCHECK(main_slot < kNurseryFlag);
+    slab_ref_[row] = main_slot;
+    --live_nursery_;
+    ++live_main_;
+  }
+  uint64_t* words = arena_.SlotWords(slab_ref_[row]);
+  uint32_t round = 0, ones = 0;
+  const bool ok =
+      cold_->Thaw(flow, &round, &ones, {words, words_per_slot_});
+  SMB_DCHECK(ok);
+  (void)ok;
+  meta_[row] = (round << kRoundShift) | ones;
+  ++thawed_flows_;
+  SMB_FLOW_PUBLISH_RESIDENCY();
 }
 
 void ArenaSmbEngine::PromoteRow(uint32_t row) {
@@ -400,7 +450,14 @@ void ArenaSmbEngine::EvictRow(uint32_t row) {
   const uint32_t ref = slab_ref_[row];
   SMB_DCHECK(ref != kDeadRef);
   const uint64_t flow = flow_keys_[row];
-  if (spill_sink_) {
+  if (cold_ != nullptr) {
+    // Freeze instead of spill: the state stays queryable and revivable
+    // in-process, so nothing is lost and the spill sink (a loss
+    // recorder) is not involved.
+    const uint32_t meta = meta_[row];
+    cold_->Freeze(flow, meta >> kRoundShift, meta & kFillMask,
+                  MaterializedWords(row));
+  } else if (spill_sink_) {
     // Injected spill loss: the sink write "fails" and the evicted state is
     // dropped, but eviction itself must complete without disturbing any
     // live row (pinned by the spill-fault test).
@@ -439,25 +496,37 @@ void ArenaSmbEngine::EvictRow(uint32_t row) {
 #endif
 }
 
-double ArenaSmbEngine::EstimateSlot(uint32_t row) const {
+double ArenaSmbEngine::EstimateMeta(uint32_t round32, uint32_t ones32) const {
   // Same operations, operand values and order as
   // SelfMorphingBitmap::Estimate(), so results are bit-identical.
-  const uint32_t meta = meta_[row];
-  const size_t round = meta >> kRoundShift;
+  const size_t round = round32;
   const double m_r =
       static_cast<double>(config_.num_bits - round * config_.threshold);
-  const double v =
-      std::min(static_cast<double>(meta & kFillMask), m_r - 1.0);
+  const double v = std::min(static_cast<double>(ones32), m_r - 1.0);
   if (v <= 0.0) return s_table_[round];
   const double scale = std::ldexp(static_cast<double>(config_.num_bits),
                                   static_cast<int>(round));
   return s_table_[round] + scale * (-std::log1p(-v / m_r));
 }
 
+double ArenaSmbEngine::EstimateSlot(uint32_t row) const {
+  const uint32_t meta = meta_[row];
+  return EstimateMeta(meta >> kRoundShift, meta & kFillMask);
+}
+
 double ArenaSmbEngine::Query(uint64_t flow) const {
   const FlowTable::Probe probe =
       table_.Find(flow, FlowTable::BucketHash(flow));
-  return probe.found ? EstimateSlot(probe.slot) : 0.0;
+  if (probe.found) return EstimateSlot(probe.slot);
+  if (cold_ != nullptr) {
+    uint32_t round = 0, ones = 0;
+    if (cold_->PeekMeta(flow, &round, &ones)) {
+      // The estimate is a pure function of (r, v); the frozen payload
+      // stays compressed.
+      return EstimateMeta(round, ones);
+    }
+  }
+  return 0.0;
 }
 
 std::vector<uint64_t> ArenaSmbEngine::FlowsOver(double threshold) const {
@@ -465,6 +534,13 @@ std::vector<uint64_t> ArenaSmbEngine::FlowsOver(double threshold) const {
   for (uint32_t row = 0; row < flow_keys_.size(); ++row) {
     if (slab_ref_[row] == kDeadRef) continue;
     if (EstimateSlot(row) >= threshold) out.push_back(flow_keys_[row]);
+  }
+  if (cold_ != nullptr) {
+    for (const uint64_t flow : cold_->SortedFlows()) {
+      uint32_t round = 0, ones = 0;
+      cold_->PeekMeta(flow, &round, &ones);
+      if (EstimateMeta(round, ones) >= threshold) out.push_back(flow);
+    }
   }
   return out;
 }
@@ -474,6 +550,13 @@ void ArenaSmbEngine::ForEachFlow(
   for (uint32_t row = 0; row < flow_keys_.size(); ++row) {
     if (slab_ref_[row] == kDeadRef) continue;
     fn(flow_keys_[row], EstimateSlot(row));
+  }
+  if (cold_ != nullptr) {
+    for (const uint64_t flow : cold_->SortedFlows()) {
+      uint32_t round = 0, ones = 0;
+      cold_->PeekMeta(flow, &round, &ones);
+      fn(flow, EstimateMeta(round, ones));
+    }
   }
 }
 
@@ -518,15 +601,13 @@ void ArenaSmbEngine::MergeFrom(const ArenaSmbEngine& other) {
   const SmbMergeGeometry geometry{config_.num_bits, config_.threshold,
                                   max_round_, 2.0};
   std::vector<uint64_t> replay(words_per_slot_);
-  for (uint32_t src_row = 0; src_row < other.flow_keys_.size(); ++src_row) {
-    if (other.slab_ref_[src_row] == kDeadRef) continue;
-    const uint64_t flow = other.flow_keys_[src_row];
-    // Materialized view (nursery rows included) — the merge replay works
-    // on real bitmap words on both sides.
-    const uint64_t* src_words = other.MaterializedWords(src_row).data();
-    const uint32_t src_meta = other.meta_[src_row];
+  const auto merge_one = [&](uint64_t flow, const uint64_t* src_words,
+                             uint32_t src_meta) {
     const uint64_t bucket_hash = FlowTable::BucketHash(flow);
-    const bool existed = table_.Find(flow, bucket_hash).found;
+    // A frozen flow counts as known: FindOrCreateRow thaws it, so the
+    // replay path below merges against its revived state.
+    const bool existed = table_.Find(flow, bucket_hash).found ||
+                         (cold_ != nullptr && cold_->Contains(flow));
     const uint32_t row = FindOrCreateRow(flow, bucket_hash);
     PromoteRow(row);  // merge results live on the main slab
     uint64_t* dst_words = arena_.SlotWords(slab_ref_[row]);
@@ -535,7 +616,7 @@ void ArenaSmbEngine::MergeFrom(const ArenaSmbEngine& other) {
       // merge-with-empty identity, without the replay detour).
       std::copy(src_words, src_words + words_per_slot_, dst_words);
       meta_[row] = src_meta;
-      continue;
+      return;
     }
     // Exactly the salt the flow's standalone snapshot would use in
     // SelfMorphingBitmap::MergeFrom: fmix(per_flow_seed ^ merge salt).
@@ -566,6 +647,25 @@ void ArenaSmbEngine::MergeFrom(const ArenaSmbEngine& other) {
     }
     meta_[row] = (static_cast<uint32_t>(round) << kRoundShift) |
                  static_cast<uint32_t>(fill);
+  };
+  for (uint32_t src_row = 0; src_row < other.flow_keys_.size(); ++src_row) {
+    if (other.slab_ref_[src_row] == kDeadRef) continue;
+    // Materialized view (nursery rows included) — the merge replay works
+    // on real bitmap words on both sides.
+    merge_one(other.flow_keys_[src_row],
+              other.MaterializedWords(src_row).data(),
+              other.meta_[src_row]);
+  }
+  if (other.cold_ != nullptr) {
+    // The source's frozen flows are engine state too; materialize each
+    // and merge it like any live row.
+    std::vector<uint64_t> cold_words(words_per_slot_);
+    for (const uint64_t flow : other.cold_->SortedFlows()) {
+      uint32_t round = 0, ones = 0;
+      other.cold_->ReadState(flow, &round, &ones,
+                             {cold_words.data(), words_per_slot_});
+      merge_one(flow, cold_words.data(), (round << kRoundShift) | ones);
+    }
   }
   // Adopted flows may have pushed past the budget; reclaim at the merge
   // boundary (no cached row ids here).
@@ -581,7 +681,8 @@ size_t ArenaSmbEngine::ResidentBytes() const {
          ref_bits_.capacity() * sizeof(uint8_t) +
          row_free_.capacity() * sizeof(uint32_t) +
          inspect_scratch_.capacity() * sizeof(uint64_t) +
-         s_table_.capacity() * sizeof(double);
+         s_table_.capacity() * sizeof(double) +
+         (cold_ != nullptr ? cold_->ResidentBytes() : 0);
 }
 
 ArenaSmbEngine::ArenaStats ArenaSmbEngine::Stats() const {
@@ -601,6 +702,13 @@ ArenaSmbEngine::ArenaStats ArenaSmbEngine::Stats() const {
   stats.nursery_slots_high_water = nursery_.high_water_slots();
   stats.nursery_slots_free = nursery_.free_slots();
   stats.nursery_enabled = nursery_capacity_ > 0;
+  if (cold_ != nullptr) {
+    stats.cold_flows = cold_->NumFlows();
+    stats.cold_encoded_bytes = cold_->EncodedBytes();
+    stats.cold_raw_bytes = cold_->RawBytes();
+    stats.cold_compactions = cold_->compactions();
+  }
+  stats.thawed_flows = thawed_flows_;
   stats.main_alloc = arena_.alloc_stats();
   stats.nursery_alloc = nursery_.alloc_stats();
   return stats;
@@ -610,7 +718,21 @@ std::optional<ArenaSmbEngine::FlowState> ArenaSmbEngine::Inspect(
     uint64_t flow) const {
   const FlowTable::Probe probe =
       table_.Find(flow, FlowTable::BucketHash(flow));
-  if (!probe.found) return std::nullopt;
+  if (!probe.found) {
+    if (cold_ != nullptr) {
+      inspect_scratch_.assign(words_per_slot_, 0);
+      uint32_t round = 0, ones = 0;
+      if (cold_->ReadState(flow, &round, &ones,
+                           {inspect_scratch_.data(), words_per_slot_})) {
+        FlowState state;
+        state.round = round;
+        state.ones_in_round = ones;
+        state.words = {inspect_scratch_.data(), words_per_slot_};
+        return state;
+      }
+    }
+    return std::nullopt;
+  }
   const uint32_t meta = meta_[probe.slot];
   FlowState state;
   state.round = meta >> kRoundShift;
@@ -658,13 +780,15 @@ uint64_t SnapshotChecksum(const uint8_t* data, size_t len) {
 }  // namespace
 
 std::vector<uint8_t> ArenaSmbEngine::Serialize() const {
+  const size_t cold_flows = cold_ != nullptr ? cold_->NumFlows() : 0;
   std::vector<uint8_t> out;
-  out.reserve(4 + 6 * 8 + NumFlows() * (2 + words_per_slot_) * 8);
+  out.reserve(4 + 6 * 8 +
+              (NumFlows() + cold_flows) * (2 + words_per_slot_) * 8);
   for (char c : kMagic) out.push_back(static_cast<uint8_t>(c));
   AppendU64(&out, config_.num_bits);
   AppendU64(&out, config_.threshold);
   AppendU64(&out, config_.base_seed);
-  AppendU64(&out, NumFlows());
+  AppendU64(&out, NumFlows() + cold_flows);
   AppendU64(&out, words_per_slot_);
   std::vector<uint64_t> words(words_per_slot_);
   for (uint32_t row = 0; row < flow_keys_.size(); ++row) {
@@ -673,6 +797,18 @@ std::vector<uint8_t> ArenaSmbEngine::Serialize() const {
     AppendU64(&out, meta_[row]);
     CopyRowWords(row, words.data());
     for (size_t w = 0; w < words_per_slot_; ++w) AppendU64(&out, words[w]);
+  }
+  if (cold_ != nullptr) {
+    // Frozen flows ride the same snapshot, materialized, after the live
+    // rows — ascending key so snapshot bytes are deterministic.
+    for (const uint64_t flow : cold_->SortedFlows()) {
+      uint32_t round = 0, ones = 0;
+      cold_->ReadState(flow, &round, &ones,
+                       {words.data(), words_per_slot_});
+      AppendU64(&out, flow);
+      AppendU64(&out, (round << kRoundShift) | ones);
+      for (size_t w = 0; w < words_per_slot_; ++w) AppendU64(&out, words[w]);
+    }
   }
   AppendU64(&out, SnapshotChecksum(out.data(), out.size()));
   return out;
@@ -849,6 +985,15 @@ void ArenaSmbEngine::ForEachFlowState(
     const uint32_t meta = meta_[row];
     fn(flow_keys_[row], meta >> kRoundShift, meta & kFillMask,
        MaterializedWords(row));
+  }
+  if (cold_ != nullptr) {
+    std::vector<uint64_t> words(words_per_slot_);
+    for (const uint64_t flow : cold_->SortedFlows()) {
+      uint32_t round = 0, ones = 0;
+      cold_->ReadState(flow, &round, &ones,
+                       {words.data(), words_per_slot_});
+      fn(flow, round, ones, {words.data(), words_per_slot_});
+    }
   }
 }
 

@@ -65,11 +65,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
 #include "estimators/estimator_factory.h"
+#include "flow/cold_tier.h"
 #include "flow/flow_table.h"
 #include "flow/slab_arena.h"
 #include "stream/trace_gen.h"
@@ -94,6 +96,16 @@ struct ArenaTuning {
   // it auto-disables when a nursery slot would not be smaller than a
   // main-slab slot.
   size_t nursery_capacity = 16;
+  // Frozen cold tier (DESIGN.md §17): with this on, an evicted flow's
+  // state is SMBZ1-frozen in-process instead of being spilled or lost.
+  // A returning flow thaws its exact state back before the gate runs
+  // (recorded bits match a never-evicted oracle), queries for frozen
+  // flows answer from the compressed header, and snapshots include
+  // them. While the cold tier is on, the spill sink is NOT offered
+  // evicted flows — nothing is being lost. Cold bytes live outside
+  // LiveBytes() (they are what the budget reclaims INTO); track them
+  // via ArenaStats::cold_encoded_bytes.
+  bool cold_tier = false;
   // Page placement for both slabs (see SlabAllocOptions).
   bool try_hugepages = false;
   int numa_node = -1;
@@ -145,8 +157,10 @@ class ArenaSmbEngine {
     RecordBatch(packets.data(), packets.size());
   }
 
-  // Estimated spread of `flow`; 0 for never-seen (or evicted) flows.
-  // Replays SelfMorphingBitmap::Estimate()'s exact operations.
+  // Estimated spread of `flow`; 0 for never-seen (or evicted-and-lost)
+  // flows. Replays SelfMorphingBitmap::Estimate()'s exact operations.
+  // With the cold tier on, frozen flows answer from their compressed
+  // record header — no decode, no revival.
   double Query(uint64_t flow) const;
 
   // Currently-tracked (live) flows; evicted flows are excluded.
@@ -200,6 +214,12 @@ class ArenaSmbEngine {
     size_t nursery_slots_high_water = 0;
     size_t nursery_slots_free = 0;
     bool nursery_enabled = false;
+    // Frozen cold tier (tuning.cold_tier).
+    size_t cold_flows = 0;          // flows currently frozen
+    size_t cold_encoded_bytes = 0;  // SMBZ1 bytes holding them
+    size_t cold_raw_bytes = 0;      // what they would cost uncompressed
+    size_t thawed_flows = 0;        // lifetime freeze -> live revivals
+    uint64_t cold_compactions = 0;
     SlabAllocStats main_alloc;
     SlabAllocStats nursery_alloc;
   };
@@ -277,7 +297,9 @@ class ArenaSmbEngine {
   // flow's key, metadata and materialized bitmap words); the payload fed
   // to CheckpointStore. Residency tier and eviction history are not
   // recorded — the snapshot is the same whether or not flows sat in the
-  // nursery.
+  // nursery. Frozen cold-tier flows are materialized and appended after
+  // the live rows (ascending key), so a snapshot loses nothing the
+  // engine still holds.
   std::vector<uint8_t> Serialize() const;
   // Rebuilds an engine from Serialize() output; nullopt on malformed,
   // truncated or internally inconsistent input. Restored round-0 flows
@@ -341,7 +363,15 @@ class ArenaSmbEngine {
   // Zero-fills dst and writes the row's bitmap into it.
   void CopyRowWords(uint32_t row, uint64_t* dst) const;
 
+  // The estimate as a pure function of the packed morph metadata — the
+  // whole reason frozen flows can be queried without decoding their
+  // bitmap payload.
+  double EstimateMeta(uint32_t round, uint32_t ones) const;
   double EstimateSlot(uint32_t row) const;
+
+  // Revives a frozen flow into `row`'s (main-slab) storage before any
+  // recording touches it.
+  void ThawRow(uint32_t row, uint64_t flow);
 
   size_t num_rows() const { return flow_keys_.size(); }
 
@@ -368,8 +398,12 @@ class ArenaSmbEngine {
   size_t promoted_flows_ = 0;
   size_t spilled_flows_ = 0;
   size_t spill_dropped_flows_ = 0;
+  size_t thawed_flows_ = 0;
   size_t clock_hand_ = 0;
   SpillSink spill_sink_;
+  // Present only when tuning.cold_tier; unique_ptr keeps the engine
+  // movable.
+  std::unique_ptr<ColdSketchTier> cold_;
   mutable std::vector<uint64_t> inspect_scratch_;
 };
 

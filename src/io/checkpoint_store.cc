@@ -119,8 +119,33 @@ CheckpointStore::WriteResult CheckpointStore::Write(
     return result;
   }
 
+  // Content codec: frame (and CRC) the encoded bytes, not the raw
+  // payload, so recovery validates exactly what sits on disk. An encoder
+  // returning nullopt falls back to the raw payload — the store never
+  // fails a write over compression.
+  std::span<const uint8_t> stored = payload;
+  std::vector<uint8_t> encoded;
+  if (options_.codec.encode) {
+    if (std::optional<std::vector<uint8_t>> packed =
+            options_.codec.encode(payload);
+        packed.has_value()) {
+      encoded = std::move(*packed);
+      stored = encoded;
+    }
+    auto& registry = telemetry::MetricsRegistry::Global();
+    registry.GetGauge("checkpoint_codec_raw_bytes")
+        ->Set(static_cast<int64_t>(payload.size()));
+    registry.GetGauge("checkpoint_codec_stored_bytes")
+        ->Set(static_cast<int64_t>(stored.size()));
+    if (!stored.empty()) {
+      registry.GetGauge("checkpoint_compression_ratio_milli")
+          ->Set(static_cast<int64_t>(payload.size() * 1000 /
+                                     stored.size()));
+    }
+  }
+
   std::vector<uint8_t> image =
-      BuildFramedImage(kMagic, next_generation_, payload,
+      BuildFramedImage(kMagic, next_generation_, stored,
                        options_.chunk_bytes);
 
   // Injected silent bit rot: the write itself "succeeds" but the stored
@@ -193,7 +218,7 @@ CheckpointStore::WriteResult CheckpointStore::Write(
 
   trace::FlightRecorder::Global().Record(
       trace::FlightEventType::kCheckpointWrite, result.generation,
-      payload.size(), 0);
+      stored.size(), 0);
   ++next_generation_;
   // Keep-last-K rotation (the freshly written generation counts).
   const std::vector<uint64_t> generations = ListGenerations();
@@ -231,15 +256,35 @@ CheckpointStore::RecoverResult CheckpointStore::RecoverLatest() {
       if (ParseFramedImage(kMagic, image, &stored_generation,
                            &result.payload, &reason, &defect)) {
         if (stored_generation == *it) {
-          result.ok = true;
-          result.generation = *it;
-          trace::FlightRecorder::Global().Record(
-              trace::FlightEventType::kCheckpointRecover, result.generation,
-              result.payload.size(), result.skipped.size());
-          return result;
+          // Frame layer validated; undo the content codec when the
+          // payload carries one. A recognized payload that fails to
+          // decode is as corrupt as a bad CRC — skip the generation.
+          bool content_ok = true;
+          if (options_.codec.recognize && options_.codec.decode &&
+              options_.codec.recognize(result.payload)) {
+            if (std::optional<std::vector<uint8_t>> raw =
+                    options_.codec.decode(result.payload);
+                raw.has_value()) {
+              result.payload = std::move(*raw);
+            } else {
+              content_ok = false;
+              reason = options_.codec.name + " content failed to decode";
+              reason_class = "codec";
+            }
+          }
+          if (content_ok) {
+            result.ok = true;
+            result.generation = *it;
+            trace::FlightRecorder::Global().Record(
+                trace::FlightEventType::kCheckpointRecover,
+                result.generation, result.payload.size(),
+                result.skipped.size());
+            return result;
+          }
+        } else {
+          reason = "generation header does not match file name";
+          reason_class = "stale_generation";
         }
-        reason = "generation header does not match file name";
-        reason_class = "stale_generation";
       } else {
         reason_class = FrameDefectName(defect);
       }

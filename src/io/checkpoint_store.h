@@ -42,6 +42,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -50,6 +52,32 @@ namespace smb::io {
 
 class CheckpointStore {
  public:
+  // Optional content transcoding applied between the caller's payload
+  // and the framed bytes on disk. The store stays payload-agnostic: the
+  // codec is an opaque triple of hooks, so smb_io never links a
+  // concrete compressor. Semantics:
+  //
+  //   * Write: when `encode` is set it runs over the payload; a value
+  //     is stored in its place (the chunk CRCs then cover the encoded
+  //     bytes), nullopt falls back to storing the raw payload.
+  //   * Recover: when `recognize` matches the recovered bytes, `decode`
+  //     runs and its value is returned to the caller. A recognized
+  //     payload that fails to decode skips that generation (reason
+  //     class "codec") and recovery walks on to the next one.
+  //   * Payloads `recognize` does not claim pass through untouched, so
+  //     checkpoints written before the codec existed keep recovering.
+  struct ContentCodec {
+    // Codec name for telemetry and skip diagnostics (e.g. "SMBZ1").
+    std::string name;
+    std::function<std::optional<std::vector<uint8_t>>(
+        std::span<const uint8_t>)>
+        encode;
+    std::function<bool(std::span<const uint8_t>)> recognize;
+    std::function<std::optional<std::vector<uint8_t>>(
+        std::span<const uint8_t>)>
+        decode;
+  };
+
   struct Options {
     // Directory holding the checkpoint files; created (with parents) by
     // the constructor when missing.
@@ -61,6 +89,8 @@ class CheckpointStore {
     size_t chunk_bytes = 64 * 1024;
     // fsync file and directory on write (tests may disable to spare IO).
     bool sync = true;
+    // Content codec hooks; all-empty means raw payloads (the default).
+    ContentCodec codec;
   };
 
   struct WriteResult {

@@ -6,9 +6,10 @@
 // external tooling: CRC-32C is the storage-industry convention (iSCSI,
 // ext4, RocksDB block trailers) with well-known test vectors, and its
 // incremental form lets the writer checksum chunk-by-chunk without
-// buffering the file. Table-driven software implementation — checkpoint
-// IO is cold next to recording, so hardware CRC dispatch is not worth the
-// surface area.
+// buffering the file. Slicing-by-8 software implementation with a
+// compile-time SSE4.2 hardware path: since SMBZ1 images carry a CRC-32C
+// trailer, this checksum sits on the codec hot path (every compressed
+// delta, checkpoint, and cold-tier thaw), not just on checkpoint IO.
 
 #ifndef SMBCARD_IO_CRC32C_H_
 #define SMBCARD_IO_CRC32C_H_

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "codec/smbz1.h"
 #include "fault/failpoints.h"
 #include "telemetry/metrics_registry.h"
 
@@ -34,12 +35,29 @@ ChildReplicator::ChildReplicator(const ArenaSmbEngine* engine,
   stats_.deltas_cut = spool_.PendingCount();
   backoff_ms_ = 0;
   next_attempt_ms_ = 0;
+  // Recover() may have swept fully-acked segments a crashed trim left
+  // behind; surface that reclamation the same way live trims do.
+  if (spool_.ReclaimedBytes() > 0) {
+    telemetry::MetricsRegistry::Global()
+        .GetCounter("repl_child_spool_reclaimed_bytes_total")
+        ->Add(spool_.ReclaimedBytes());
+  }
 }
 
 ChildReplicator::CutStatus ChildReplicator::CutDelta(std::string* error) {
   if (dirty_.empty()) return CutStatus::kEmpty;
   const std::vector<uint64_t> flows = SortedFlows(dirty_);
-  const std::vector<uint8_t> payload = engine_->SerializeFlows(flows);
+  std::vector<uint8_t> payload = engine_->SerializeFlows(flows);
+  const size_t raw_bytes = payload.size();
+  if ((options_.codec_mask & kCodecSmbz1) != 0) {
+    // Spool compressed: the spool shrinks with the wire, and a delta is
+    // compressed once per cut, not once per (re)transmission.
+    if (std::optional<std::vector<uint8_t>> packed =
+            codec::CompressFlw1Image(payload);
+        packed.has_value()) {
+      payload = std::move(*packed);
+    }
+  }
   const DeltaSpool::AppendStatus status =
       spool_.Append(next_seq_, payload, error);
   switch (status) {
@@ -63,6 +81,20 @@ ChildReplicator::CutStatus ChildReplicator::CutDelta(std::string* error) {
   const uint64_t seq = next_seq_++;
   dirty_.clear();
   ++stats_.deltas_cut;
+  stats_.delta_raw_bytes += raw_bytes;
+  stats_.delta_stored_bytes += payload.size();
+  {
+    auto& registry = telemetry::MetricsRegistry::Global();
+    registry.GetCounter("repl_child_delta_raw_bytes_total")
+        ->Add(raw_bytes);
+    registry.GetCounter("repl_child_delta_bytes_total")
+        ->Add(payload.size());
+    if (stats_.delta_stored_bytes > 0) {
+      registry.GetGauge("repl_wire_compression_ratio_milli")
+          ->Set(static_cast<int64_t>(stats_.delta_raw_bytes * 1000 /
+                                     stats_.delta_stored_bytes));
+    }
+  }
   if (state_ == State::kStreaming) send_queue_.push_back(seq);
   return CutStatus::kCut;
 }
@@ -73,6 +105,7 @@ void ChildReplicator::EnterBackoff(uint64_t now_ms) {
   outbox_.clear();
   send_queue_.clear();
   close_after_flush_ = false;
+  negotiated_mask_ = 0;
   state_ = State::kBackoff;
   backoff_ms_ = backoff_ms_ == 0
                     ? options_.backoff_initial_ms
@@ -113,8 +146,11 @@ void ChildReplicator::OnConnected(uint64_t now_ms) {
   hello.child_id = options_.child_id;
   hello.seq = next_seq_;
   const auto& config = engine_->config();
-  hello.payload = EncodeFingerprint(
-      {config.num_bits, config.threshold, config.base_seed});
+  HelloPayload payload;
+  payload.fingerprint = {config.num_bits, config.threshold,
+                         config.base_seed};
+  payload.codec_mask = options_.codec_mask;
+  hello.payload = EncodeHello(payload);
   QueueFrame(hello);
   PumpSend(now_ms);
 }
@@ -133,6 +169,26 @@ void ChildReplicator::QueueDeltaFrame(uint64_t seq, uint64_t now_ms) {
     // the accounting keeps the loss visible via the spool recovery drop
     // counter. Extremely cold path (requires on-disk corruption mid-run).
     return;
+  }
+  // The spool may hold a different framing than this session
+  // negotiated: compressed segments from a codec-on run against a
+  // parent that only takes raw, or raw segments from a codec-off run
+  // against a parent that accepted SMBZ1. Transcode at the send
+  // boundary so the wire always matches the negotiation.
+  const bool compressed = codec::IsSmbz1Image(payload);
+  const bool peer_takes_smbz1 = (negotiated_mask_ & kCodecSmbz1) != 0;
+  if (compressed && !peer_takes_smbz1) {
+    std::optional<std::vector<uint8_t>> raw =
+        codec::DecompressToFlw1Image(payload);
+    if (!raw.has_value()) return;  // spool rot; same policy as above
+    payload = std::move(*raw);
+  } else if (!compressed && peer_takes_smbz1 &&
+             (options_.codec_mask & kCodecSmbz1) != 0) {
+    if (std::optional<std::vector<uint8_t>> packed =
+            codec::CompressFlw1Image(payload);
+        packed.has_value()) {
+      payload = std::move(*packed);
+    }
   }
   Frame frame;
   frame.type = FrameType::kDelta;
@@ -198,6 +254,7 @@ void ChildReplicator::RebuildSendQueue() {
 
 void ChildReplicator::HandleAck(uint64_t high_water) {
   const uint64_t before = spool_.PendingCount();
+  const uint64_t reclaimed_before = spool_.ReclaimedBytes();
   spool_.TrimThrough(high_water);
   const uint64_t delivered = before - spool_.PendingCount();
   stats_.deltas_delivered += delivered;
@@ -205,6 +262,12 @@ void ChildReplicator::HandleAck(uint64_t high_water) {
     telemetry::MetricsRegistry::Global()
         .GetCounter("repl_child_deltas_delivered_total")
         ->Add(delivered);
+  }
+  const uint64_t reclaimed = spool_.ReclaimedBytes() - reclaimed_before;
+  if (reclaimed > 0) {
+    telemetry::MetricsRegistry::Global()
+        .GetCounter("repl_child_spool_reclaimed_bytes_total")
+        ->Add(reclaimed);
   }
   while (!send_queue_.empty() && send_queue_.front() <= high_water) {
     send_queue_.pop_front();
@@ -231,6 +294,15 @@ void ChildReplicator::HandleIncoming(uint64_t now_ms) {
     switch (frame.type) {
       case FrameType::kHelloAck:
         if (state_ == State::kAwaitHelloAck) {
+          uint64_t accepted = 0;
+          if (!DecodeCodecMask(frame.payload, &accepted)) {
+            // A malformed hello-ack payload means a confused peer.
+            EnterBackoff(now_ms);
+            return;
+          }
+          // Only bits we offered count; a parent cannot talk us into a
+          // codec we never advertised.
+          negotiated_mask_ = accepted & options_.codec_mask;
           HandleAck(frame.seq);
           // The parent may know a higher floor than the spool does
           // (e.g. the spool directory was lost): never step back into

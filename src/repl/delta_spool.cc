@@ -93,6 +93,11 @@ void DeltaSpool::Recover() {
     uint64_t seq = 0;
     if (!ParseSeqFileName(entry.path().filename().string(), &seq)) continue;
     if (seq <= trimmed_high_water_) {
+      // A fully-acked segment left behind by a trim that died between
+      // marker persist and unlink: reclaiming it now is the same
+      // reclamation, just a restart late.
+      const uintmax_t size = fs::file_size(entry.path(), ec);
+      if (!ec) reclaimed_bytes_ += static_cast<uint64_t>(size);
       fs::remove(entry.path(), ec);
       continue;
     }
@@ -175,6 +180,7 @@ void DeltaSpool::TrimThrough(uint64_t high_water) {
   while (it != index_.end() && it->first <= high_water) {
     fs::remove(DeltaPath(it->first), ec);
     pending_bytes_ -= it->second;
+    reclaimed_bytes_ += it->second;
     it = index_.erase(it);
   }
 }

@@ -87,6 +87,11 @@ class DeltaSpool {
   uint64_t NextSeqFloor() const;
   // Spool files dropped during Recover() because they failed validation.
   size_t corrupt_dropped() const { return corrupt_dropped_; }
+  // Lifetime bytes of fully-acked spool segments unlinked from disk —
+  // by TrimThrough() as acks arrive and by Recover() sweeping files at
+  // or below the trim marker. Corrupt drops are losses, not
+  // reclamation, and are excluded. Monotonic; callers publish deltas.
+  uint64_t ReclaimedBytes() const { return reclaimed_bytes_; }
 
   const Options& options() const { return options_; }
 
@@ -101,6 +106,7 @@ class DeltaSpool {
   size_t pending_bytes_ = 0;
   uint64_t trimmed_high_water_ = 0;
   size_t corrupt_dropped_ = 0;
+  uint64_t reclaimed_bytes_ = 0;
 };
 
 }  // namespace smb::repl

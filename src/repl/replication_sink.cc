@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "codec/smbz1.h"
 #include "fault/failpoints.h"
 #include "telemetry/metrics_registry.h"
 
@@ -99,6 +100,14 @@ void ReplicationSink::RecoverFromCheckpoint() {
         payload.begin() + static_cast<long>(pos),
         payload.begin() + static_cast<long>(pos + snap_len));
     pos += snap_len;
+    // Snapshots are stored either raw (pre-codec checkpoints, or
+    // compress_checkpoints off) or SMBZ1-framed; sniff the magic so a
+    // restart straddling a config flip recovers both.
+    if (codec::IsSmbz1Image(snapshot)) {
+      auto raw = codec::DecompressToFlw1Image(snapshot);
+      if (!raw.has_value()) return;
+      snapshot = std::move(*raw);
+    }
     auto replica = ArenaSmbEngine::Deserialize(snapshot);
     if (!replica.has_value()) return;
     ChildState state;
@@ -127,8 +136,19 @@ bool ReplicationSink::MaybeCheckpoint() {
   std::vector<uint8_t> payload;
   for (char c : kParentMagic) payload.push_back(static_cast<uint8_t>(c));
   AppendU64(&payload, children_.size());
+  uint64_t snapshot_raw_bytes = 0;
+  uint64_t snapshot_stored_bytes = 0;
   for (const auto& [child_id, child] : children_) {
-    const std::vector<uint8_t> snapshot = child.replica->Serialize();
+    std::vector<uint8_t> snapshot = child.replica->Serialize();
+    snapshot_raw_bytes += snapshot.size();
+    if (options_.compress_checkpoints) {
+      // A failed compress (never expected for our own Serialize output)
+      // falls back to the raw snapshot — durability beats density.
+      if (auto packed = codec::CompressFlw1Image(snapshot)) {
+        snapshot = std::move(*packed);
+      }
+    }
+    snapshot_stored_bytes += snapshot.size();
     AppendU64(&payload, child_id);
     AppendU64(&payload, child.sequencer->high_water());
     AppendU64(&payload, snapshot.size());
@@ -141,6 +161,16 @@ bool ReplicationSink::MaybeCheckpoint() {
     return false;  // persisted marks unchanged — acks stay held back
   }
   ++stats_.checkpoints_written;
+  if (snapshot_stored_bytes > 0) {
+    auto& registry = telemetry::MetricsRegistry::Global();
+    registry.GetGauge("repl_parent_snapshot_raw_bytes")
+        ->Set(static_cast<int64_t>(snapshot_raw_bytes));
+    registry.GetGauge("repl_parent_snapshot_stored_bytes")
+        ->Set(static_cast<int64_t>(snapshot_stored_bytes));
+    registry.GetGauge("repl_parent_snapshot_compression_ratio_milli")
+        ->Set(static_cast<int64_t>(snapshot_raw_bytes * 1000 /
+                                   snapshot_stored_bytes));
+  }
   for (auto& [id, child] : children_) {
     (void)id;
     child.persisted_high_water = child.sequencer->high_water();
@@ -151,9 +181,25 @@ bool ReplicationSink::MaybeCheckpoint() {
 
 bool ReplicationSink::ApplyDeltaPayload(
     ChildState& child, const std::vector<uint8_t>& payload) {
+  // Delta payloads are content-sniffed rather than gated on the
+  // negotiated mask: the mask governs what a child is ALLOWED to send,
+  // but a payload that fails its CRC or decodes inconsistently is
+  // rejected below either way, so sniffing adds no trust.
+  const std::vector<uint8_t>* raw = &payload;
+  std::vector<uint8_t> decompressed;
+  if (codec::IsSmbz1Image(payload)) {
+    auto expanded = codec::DecompressToFlw1Image(payload);
+    if (!expanded.has_value()) return false;
+    decompressed = std::move(*expanded);
+    raw = &decompressed;
+    ++stats_.compressed_deltas;
+    telemetry::MetricsRegistry::Global()
+        .GetCounter("repl_parent_compressed_deltas_total")
+        ->Add();
+  }
   // Full FLW1 validation (checksum, reachability, popcount identity)
   // before any replica row is touched.
-  auto delta = ArenaSmbEngine::Deserialize(payload);
+  auto delta = ArenaSmbEngine::Deserialize(*raw);
   if (!delta.has_value()) return false;
   if (!child.replica->CanMergeWith(*delta)) return false;
   bool ok = true;
@@ -197,7 +243,8 @@ void ReplicationSink::ApplyReady(ChildState& child) {
 }
 
 void ReplicationSink::SendAck(size_t conn_index, uint64_t child_id,
-                              uint64_t high_water, FrameType type) {
+                              uint64_t high_water, FrameType type,
+                              std::vector<uint8_t> payload) {
   // Injected ack loss: the child's cumulative-ack + heartbeat-ack repair
   // path has to absorb it.
   const auto drop = SMB_FAILPOINT("repl.ack.drop");
@@ -209,6 +256,7 @@ void ReplicationSink::SendAck(size_t conn_index, uint64_t child_id,
   ack.type = type;
   ack.child_id = child_id;
   ack.seq = high_water;
+  ack.payload = std::move(payload);
   const std::vector<uint8_t> bytes = EncodeFrame(ack);
   Conn& conn = conns_[conn_index];
   conn.outbox.insert(conn.outbox.end(), bytes.begin(), bytes.end());
@@ -248,11 +296,15 @@ void ReplicationSink::HandleFrame(size_t conn_index, Frame frame,
   ++stats_.frames_received;
   Conn& conn = conns_[conn_index];
   if (frame.type == FrameType::kHello) {
-    GeometryFingerprint fp;
+    HelloPayload hello;
     const auto& config = options_.engine_config;
-    if (!DecodeFingerprint(frame.payload, &fp) ||
-        fp != GeometryFingerprint{config.num_bits, config.threshold,
-                                  config.base_seed}) {
+    // DecodeHello accepts both the legacy 24-byte fingerprint-only hello
+    // (codec_mask decodes as 0) and the extended form carrying the
+    // child's codec capability bits.
+    if (!DecodeHello(frame.payload, &hello) ||
+        hello.fingerprint !=
+            GeometryFingerprint{config.num_bits, config.threshold,
+                                config.base_seed}) {
       ++stats_.rejected_hellos;
       DropConn(conn_index);
       return;
@@ -268,8 +320,16 @@ void ReplicationSink::HandleFrame(size_t conn_index, Frame frame,
     child.last_seen_ms = now_ms;
     conn.bound = true;
     conn.bound_child = frame.child_id;
+    // Reply with the accepted codec bits — but only to a child that sent
+    // the extended hello. A legacy child gets the legacy empty-payload
+    // hello-ack it expects (it would not read a mask anyway, and keeping
+    // the ack byte-identical pins the old wire contract).
+    std::vector<uint8_t> ack_payload;
+    if (hello.codec_mask != 0) {
+      ack_payload = EncodeCodecMask(hello.codec_mask & options_.codec_mask);
+    }
     SendAck(conn_index, frame.child_id, child.persisted_high_water,
-            FrameType::kHelloAck);
+            FrameType::kHelloAck, std::move(ack_payload));
     return;
   }
   // Everything else requires a bound session whose child id matches.

@@ -86,6 +86,41 @@ std::vector<uint8_t> EncodeFingerprint(const GeometryFingerprint& fp);
 bool DecodeFingerprint(std::span<const uint8_t> payload,
                        GeometryFingerprint* fp);
 
+// Codec capability bits negotiated at session open (DESIGN.md §17).
+// A child advertises the codecs it can *send* in kHello; the parent
+// answers with the intersection it accepts in kHelloAck. Delta payloads
+// may then use any accepted codec; mask 0 means raw FLW1 only.
+inline constexpr uint64_t kCodecSmbz1 = uint64_t{1} << 0;
+
+// kHello payload = geometry fingerprint, optionally followed by the
+// codec capability mask. Encoding rules keep old and new peers
+// interoperable in both directions:
+//
+//   * codec_mask == 0 encodes as the legacy 24-byte fingerprint —
+//     byte-identical to what pre-codec children sent, so an old parent
+//     accepts a new child that has the codec turned off.
+//   * codec_mask != 0 encodes as 32 bytes (fingerprint + u64 mask). An
+//     old parent rejects the unknown length and drops the session —
+//     which is why ChildReplicator only advertises when configured to.
+//
+// A new parent decodes both lengths; absence of the mask means 0.
+struct HelloPayload {
+  GeometryFingerprint fingerprint;
+  uint64_t codec_mask = 0;
+
+  bool operator==(const HelloPayload&) const = default;
+};
+
+std::vector<uint8_t> EncodeHello(const HelloPayload& hello);
+bool DecodeHello(std::span<const uint8_t> payload, HelloPayload* hello);
+
+// kHelloAck payload: the parent's accepted codec mask as one u64. The
+// parent sends it only in reply to an extended hello; legacy children
+// get the legacy empty payload (they ignore payloads on acks anyway).
+// An empty payload decodes as mask 0 — the old-parent case.
+std::vector<uint8_t> EncodeCodecMask(uint64_t mask);
+bool DecodeCodecMask(std::span<const uint8_t> payload, uint64_t* mask);
+
 // The complete wire image of one frame (header + payload + payload CRC).
 std::vector<uint8_t> EncodeFrame(const Frame& frame);
 

@@ -1,0 +1,270 @@
+// SMBZ1 property suite: 200 random morph states per mode must round-trip
+// bit-identically (forced through each mode AND through the automatic
+// chooser), the chooser must never beat raw's size bound, and a corrupt
+// input matrix (truncation at every length, a bit flip at every byte,
+// mode-byte garbage) must always be rejected — never crash, never decode
+// to different bits. Runs under ASan/UBSan in CI.
+
+#include "codec/smbz1.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "common/random.h"
+#include "flow/arena_smb_engine.h"
+
+namespace smb::codec {
+namespace {
+
+constexpr size_t kStatesPerMode = 200;
+
+struct Geometry {
+  uint64_t num_bits;
+  uint64_t threshold;
+};
+
+// Mixed word-aligned and ragged-tail widths.
+constexpr Geometry kGeometries[] = {{256, 32}, {200, 25}, {1000, 100}};
+
+struct MorphState {
+  uint32_t round = 0;
+  uint32_t ones = 0;
+  std::vector<uint64_t> words;
+};
+
+// A random reachable (r, v, bitmap) for the geometry: popcount equals
+// r*T + v, v < T below the final round, no bits above num_bits.
+MorphState RandomState(Xoshiro256& rng, const Geometry& g,
+                       uint64_t max_round) {
+  MorphState state;
+  state.round = static_cast<uint32_t>(rng.NextBounded(max_round + 1));
+  const uint64_t remaining = g.num_bits - state.round * g.threshold;
+  const uint64_t fill_cap =
+      state.round < max_round ? std::min<uint64_t>(g.threshold, remaining)
+                              : remaining + 1;
+  state.ones = static_cast<uint32_t>(rng.NextBounded(fill_cap));
+  const size_t popcount = state.round * g.threshold + state.ones;
+  std::vector<uint32_t> positions(g.num_bits);
+  std::iota(positions.begin(), positions.end(), 0);
+  for (size_t i = 0; i < popcount; ++i) {
+    const size_t j = i + rng.NextBounded(g.num_bits - i);
+    std::swap(positions[i], positions[j]);
+  }
+  state.words.assign((g.num_bits + 63) / 64, 0);
+  for (size_t i = 0; i < popcount; ++i) {
+    state.words[positions[i] >> 6] |= uint64_t{1} << (positions[i] & 63);
+  }
+  return state;
+}
+
+void ExpectRoundTrip(const Geometry& g, const MorphState& state,
+                     const std::vector<uint8_t>& record) {
+  size_t pos = 0;
+  DecodedSlot slot;
+  std::vector<uint64_t> words(state.words.size(), ~uint64_t{0});
+  ASSERT_TRUE(DecodeSlot(record, &pos, g.num_bits, &slot, words));
+  ASSERT_EQ(pos, record.size());
+  EXPECT_EQ(slot.round, state.round);
+  EXPECT_EQ(slot.ones, state.ones);
+  EXPECT_EQ(words, state.words);
+}
+
+TEST(Smbz1PropertyTest, TwoHundredRandomStatesPerForcedMode) {
+  Xoshiro256 rng(0x5EEDC0DE);
+  for (const Geometry& g : kGeometries) {
+    // Structural round bound only — the codec doesn't know SmbMaxRound;
+    // pick rounds that keep remaining bits positive.
+    const uint64_t max_round = (g.num_bits - 1) / g.threshold - 1;
+    for (const SlotMode mode :
+         {SlotMode::kRaw, SlotMode::kSparse, SlotMode::kRle}) {
+      for (size_t i = 0; i < kStatesPerMode; ++i) {
+        const MorphState state = RandomState(rng, g, max_round);
+        std::vector<uint8_t> record;
+        // Tail-clean by construction, so every mode can represent every
+        // state.
+        ASSERT_TRUE(EncodeSlotAs(
+            mode, g.num_bits,
+            SlotState{state.round, state.ones, state.words}, &record));
+        ExpectRoundTrip(g, state, record);
+      }
+    }
+  }
+}
+
+TEST(Smbz1PropertyTest, AutoChooserRoundTripsAndNeverBeatsRawBound) {
+  Xoshiro256 rng(0xBEEF);
+  for (const Geometry& g : kGeometries) {
+    const uint64_t max_round = (g.num_bits - 1) / g.threshold - 1;
+    for (size_t i = 0; i < kStatesPerMode; ++i) {
+      const MorphState state = RandomState(rng, g, max_round);
+      std::vector<uint8_t> chosen;
+      EncodeSlot(g.num_bits, SlotState{state.round, state.ones, state.words},
+                 &chosen);
+      ExpectRoundTrip(g, state, chosen);
+      std::vector<uint8_t> raw;
+      ASSERT_TRUE(EncodeSlotAs(
+          SlotMode::kRaw, g.num_bits,
+          SlotState{state.round, state.ones, state.words}, &raw));
+      // "Never worse": the chooser prices raw too, so it can only win.
+      EXPECT_LE(chosen.size(), raw.size());
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Corrupt-input rejection matrices. Scaled down (but never off) under
+// SMB_SMOKE_SCALE so the ASan fuzz-smoke CI leg stays fast.
+
+size_t SmokeDivisor() {
+  const char* scale = std::getenv("SMB_SMOKE_SCALE");
+  if (scale == nullptr) return 1;
+  const long v = std::atol(scale);
+  return v > 1 ? static_cast<size_t>(v) : 1;
+}
+
+// Slot records are self-delimiting, so every strict prefix must fail to
+// decode (the decoder runs out of bytes) — it must never read past the
+// buffer or write outside the word span.
+TEST(Smbz1PropertyTest, SlotRejectsTruncationEverywhere) {
+  Xoshiro256 rng(0x7127);
+  const size_t stride = SmokeDivisor();
+  const Geometry g = kGeometries[0];
+  const uint64_t max_round = (g.num_bits - 1) / g.threshold - 1;
+  for (const SlotMode mode :
+       {SlotMode::kRaw, SlotMode::kSparse, SlotMode::kRle}) {
+    for (size_t i = 0; i < 16; ++i) {
+      const MorphState state = RandomState(rng, g, max_round);
+      std::vector<uint8_t> record;
+      ASSERT_TRUE(EncodeSlotAs(
+          mode, g.num_bits, SlotState{state.round, state.ones, state.words},
+          &record));
+      for (size_t cut = 0; cut < record.size(); cut += stride) {
+        const std::vector<uint8_t> prefix(
+            record.begin(),
+            record.begin() + static_cast<std::ptrdiff_t>(cut));
+        size_t pos = 0;
+        DecodedSlot slot;
+        std::vector<uint64_t> words(state.words.size(), 0);
+        EXPECT_FALSE(DecodeSlot(prefix, &pos, g.num_bits, &slot, words))
+            << "mode " << static_cast<int>(mode) << " cut at " << cut;
+      }
+    }
+  }
+}
+
+// A flipped bit in a slot record has no checksum to catch it, so decode
+// may legitimately succeed with a different state — the guarantee is
+// that it never crashes, never reads past the record, and never writes
+// bits above num_bits (ASan/UBSan make those failures loud).
+TEST(Smbz1PropertyTest, SlotSurvivesBitFlipsEverywhere) {
+  Xoshiro256 rng(0xF11B);
+  const size_t stride = SmokeDivisor();
+  const Geometry g = kGeometries[1];  // ragged tail: 200 bits
+  const uint64_t max_round = (g.num_bits - 1) / g.threshold - 1;
+  const uint64_t tail_mask = (uint64_t{1} << (g.num_bits % 64)) - 1;
+  for (const SlotMode mode :
+       {SlotMode::kRaw, SlotMode::kSparse, SlotMode::kRle}) {
+    for (size_t i = 0; i < 8; ++i) {
+      const MorphState state = RandomState(rng, g, max_round);
+      std::vector<uint8_t> record;
+      ASSERT_TRUE(EncodeSlotAs(
+          mode, g.num_bits, SlotState{state.round, state.ones, state.words},
+          &record));
+      for (size_t byte = 0; byte < record.size(); byte += stride) {
+        for (int bit = 0; bit < 8; ++bit) {
+          std::vector<uint8_t> bad = record;
+          bad[byte] ^= static_cast<uint8_t>(uint8_t{1} << bit);
+          size_t pos = 0;
+          DecodedSlot slot;
+          std::vector<uint64_t> words(state.words.size(), 0);
+          if (DecodeSlot(bad, &pos, g.num_bits, &slot, words)) {
+            EXPECT_LE(pos, bad.size());
+            EXPECT_EQ(words.back() & ~tail_mask, 0u)
+                << "decode set bits above num_bits";
+          }
+        }
+      }
+    }
+  }
+}
+
+// The mode byte reserves bits 3–7, mode value 3, and the polarity bit
+// outside sparse mode; all must be rejected outright so future format
+// revisions stay distinguishable.
+TEST(Smbz1PropertyTest, SlotRejectsModeByteGarbage) {
+  const Geometry g = kGeometries[0];
+  Xoshiro256 rng(0x6A4B);
+  const MorphState state = RandomState(rng, g, 3);
+  std::vector<uint8_t> record;
+  EncodeSlot(g.num_bits, SlotState{state.round, state.ones, state.words},
+             &record);
+  ASSERT_FALSE(record.empty());
+  for (int garbage = 0; garbage < 256; ++garbage) {
+    const uint8_t byte = static_cast<uint8_t>(garbage);
+    const bool reserved_set = (byte & 0xF8) != 0;
+    const bool bad_mode = (byte & 0x03) == 0x03;
+    const bool stray_polarity =
+        (byte & 0x04) != 0 &&
+        (byte & 0x03) != static_cast<uint8_t>(SlotMode::kSparse);
+    if (!reserved_set && !bad_mode && !stray_polarity) continue;
+    std::vector<uint8_t> bad = record;
+    bad[0] = byte;
+    size_t pos = 0;
+    DecodedSlot slot;
+    std::vector<uint64_t> words(state.words.size(), 0);
+    EXPECT_FALSE(DecodeSlot(bad, &pos, g.num_bits, &slot, words))
+        << "mode byte 0x" << std::hex << garbage << " accepted";
+  }
+}
+
+ArenaSmbEngine PropertyEngine() {
+  ArenaSmbEngine::Config config;
+  config.num_bits = 256;
+  config.threshold = 32;
+  config.base_seed = 0x5EED;
+  ArenaSmbEngine engine(config);
+  Xoshiro256 rng(0xABCD);
+  for (uint64_t flow = 1; flow <= 24; ++flow) {
+    const size_t packets = 1 + rng.NextBounded(200);
+    for (size_t p = 0; p < packets; ++p) engine.Record(flow, rng.Next());
+  }
+  return engine;
+}
+
+// Every strict prefix of a framed image must be rejected: the header,
+// flow table, and CRC are all length-checked before use.
+TEST(Smbz1PropertyTest, ImageRejectsTruncationEverywhere) {
+  const auto packed = CompressFlw1Image(PropertyEngine().Serialize());
+  ASSERT_TRUE(packed.has_value());
+  const size_t stride = SmokeDivisor();
+  for (size_t cut = 0; cut < packed->size(); cut += stride) {
+    const std::vector<uint8_t> prefix(
+        packed->begin(), packed->begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_FALSE(DecompressToFlw1Image(prefix).has_value())
+        << "truncated image of " << cut << " bytes accepted";
+  }
+}
+
+// CRC-32C detects every single-bit error, so a framed image with any one
+// bit flipped must never decompress — regardless of whether the flip
+// lands in the magic, header, a slot record, or the CRC itself.
+TEST(Smbz1PropertyTest, ImageRejectsBitFlipsEverywhere) {
+  const auto packed = CompressFlw1Image(PropertyEngine().Serialize());
+  ASSERT_TRUE(packed.has_value());
+  const size_t stride = SmokeDivisor();
+  for (size_t byte = 0; byte < packed->size(); byte += stride) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::vector<uint8_t> bad = *packed;
+      bad[byte] ^= static_cast<uint8_t>(uint8_t{1} << bit);
+      EXPECT_FALSE(DecompressToFlw1Image(bad).has_value())
+          << "bit flip at byte " << byte << " bit " << bit << " accepted";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace smb::codec

@@ -1,0 +1,158 @@
+// CheckpointStore x SMBZ1 content codec: compressed round trips, raw
+// back-compat in both directions (old checkpoints under a codec store,
+// codec checkpoints readable as opaque bytes), and decode failures
+// skipping to an older generation instead of surfacing garbage.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "codec/smbz1.h"
+#include "common/random.h"
+#include "flow/arena_smb_engine.h"
+#include "io/checkpoint_store.h"
+
+namespace smb::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+CheckpointStore::ContentCodec Smbz1Codec() {
+  CheckpointStore::ContentCodec content;
+  content.name = "SMBZ1";
+  content.encode = [](std::span<const uint8_t> raw) {
+    return codec::CompressFlw1Image(raw);
+  };
+  content.recognize = [](std::span<const uint8_t> bytes) {
+    return codec::IsSmbz1Image(bytes);
+  };
+  content.decode = [](std::span<const uint8_t> bytes) {
+    return codec::DecompressToFlw1Image(bytes);
+  };
+  return content;
+}
+
+std::vector<uint8_t> EngineImage(uint64_t seed, size_t flows) {
+  ArenaSmbEngine::Config config;
+  config.num_bits = 256;
+  config.threshold = 32;
+  config.base_seed = 0x5EED;
+  ArenaSmbEngine engine(config);
+  Xoshiro256 rng(seed);
+  for (uint64_t flow = 1; flow <= flows; ++flow) {
+    const size_t packets = 1 + rng.NextBounded(20);
+    for (size_t p = 0; p < packets; ++p) engine.Record(flow, rng.Next());
+  }
+  return engine.Serialize();
+}
+
+class CheckpointCodecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("ckpt_codec_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  CheckpointStore::Options StoreOptions(bool with_codec) {
+    CheckpointStore::Options options;
+    options.directory = dir_.string();
+    options.sync = false;
+    if (with_codec) options.codec = Smbz1Codec();
+    return options;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(CheckpointCodecTest, CompressedRoundTripReturnsRawPayload) {
+  const std::vector<uint8_t> image = EngineImage(1, 200);
+  CheckpointStore store(StoreOptions(/*with_codec=*/true));
+  ASSERT_TRUE(store.Write(image).ok);
+
+  const auto recovered = store.RecoverLatest();
+  ASSERT_TRUE(recovered.ok) << recovered.error;
+  EXPECT_EQ(recovered.payload, image);
+  EXPECT_TRUE(recovered.skipped.empty());
+  // ...and what the engine gets back still deserializes.
+  EXPECT_TRUE(ArenaSmbEngine::Deserialize(recovered.payload).has_value());
+}
+
+TEST_F(CheckpointCodecTest, StoredBytesAreSmbz1AndSmaller) {
+  const std::vector<uint8_t> image = EngineImage(2, 300);
+  {
+    CheckpointStore store(StoreOptions(/*with_codec=*/true));
+    ASSERT_TRUE(store.Write(image).ok);
+  }
+  // A codec-less store sees the on-disk truth: the framed payload is the
+  // compressed container, not the FLW1 image.
+  CheckpointStore plain(StoreOptions(/*with_codec=*/false));
+  const auto recovered = plain.RecoverLatest();
+  ASSERT_TRUE(recovered.ok) << recovered.error;
+  EXPECT_TRUE(codec::IsSmbz1Image(recovered.payload));
+  EXPECT_LT(recovered.payload.size(), image.size());
+  EXPECT_EQ(codec::DecompressToFlw1Image(recovered.payload), image);
+}
+
+TEST_F(CheckpointCodecTest, RawCheckpointRecoversUnderCodecStore) {
+  const std::vector<uint8_t> image = EngineImage(3, 100);
+  {
+    // Written before the codec existed.
+    CheckpointStore plain(StoreOptions(/*with_codec=*/false));
+    ASSERT_TRUE(plain.Write(image).ok);
+  }
+  CheckpointStore store(StoreOptions(/*with_codec=*/true));
+  const auto recovered = store.RecoverLatest();
+  ASSERT_TRUE(recovered.ok) << recovered.error;
+  EXPECT_EQ(recovered.payload, image);
+  EXPECT_TRUE(recovered.skipped.empty());
+}
+
+TEST_F(CheckpointCodecTest, NonFlw1PayloadFallsBackToRawStorage) {
+  // The encoder only claims well-formed FLW1 images; anything else is
+  // stored raw and passes recovery untouched — the store never fails a
+  // write over compression.
+  std::vector<uint8_t> opaque(333);
+  Xoshiro256 rng(4);
+  for (auto& b : opaque) b = static_cast<uint8_t>(rng.Next());
+  CheckpointStore store(StoreOptions(/*with_codec=*/true));
+  ASSERT_TRUE(store.Write(opaque).ok);
+  const auto recovered = store.RecoverLatest();
+  ASSERT_TRUE(recovered.ok) << recovered.error;
+  EXPECT_EQ(recovered.payload, opaque);
+}
+
+TEST_F(CheckpointCodecTest, UndecodableGenerationSkipsToOlderOne) {
+  const std::vector<uint8_t> good = EngineImage(5, 150);
+  {
+    CheckpointStore store(StoreOptions(/*with_codec=*/true));
+    ASSERT_TRUE(store.Write(good).ok);
+  }
+  {
+    // A newer generation whose payload wears the SMBZ1 magic but is
+    // rotten inside: recognized, then fails to decode.
+    std::vector<uint8_t> fake = {'S', 'M', 'B', 'Z', '1', 1, 0, 0};
+    fake.resize(64, 0xEE);
+    ASSERT_TRUE(codec::IsSmbz1Image(fake));
+    CheckpointStore plain(StoreOptions(/*with_codec=*/false));
+    ASSERT_TRUE(plain.Write(fake).ok);
+  }
+  CheckpointStore store(StoreOptions(/*with_codec=*/true));
+  const auto recovered = store.RecoverLatest();
+  ASSERT_TRUE(recovered.ok) << recovered.error;
+  EXPECT_EQ(recovered.generation, 1u);
+  EXPECT_EQ(recovered.payload, good);
+  ASSERT_EQ(recovered.skipped.size(), 1u);
+  EXPECT_NE(recovered.skipped[0].find("SMBZ1 content failed to decode"),
+            std::string::npos)
+      << recovered.skipped[0];
+}
+
+}  // namespace
+}  // namespace smb::io

@@ -1,0 +1,430 @@
+// SMBZ1 over the replication path (DESIGN.md §17): hello/hello-ack
+// codec negotiation in both back-compat directions, compressed delta
+// convergence to the oracle merge, transcoding at the send boundary
+// when peer and spool framings disagree, compressed parent checkpoints
+// across restarts, and the spool's reclaim accounting.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "codec/smbz1.h"
+#include "common/random.h"
+#include "flow/arena_smb_engine.h"
+#include "repl/child_replicator.h"
+#include "repl/delta_spool.h"
+#include "repl/replication_sink.h"
+#include "repl/wire_format.h"
+
+namespace smb::repl {
+namespace {
+
+namespace fs = std::filesystem;
+
+// --------------------------------------------------------------------------
+// Wire-level negotiation payloads.
+
+TEST(WireFormatCodecTest, MaskZeroHelloIsTheLegacyFingerprint) {
+  const GeometryFingerprint fp{256, 32, 0x5EED};
+  const HelloPayload hello{fp, 0};
+  // Byte-identical to what pre-codec children send, so an old parent
+  // accepts a codec-off child.
+  EXPECT_EQ(EncodeHello(hello), EncodeFingerprint(fp));
+  EXPECT_EQ(EncodeHello(hello).size(), 24u);
+
+  HelloPayload decoded;
+  ASSERT_TRUE(DecodeHello(EncodeFingerprint(fp), &decoded));
+  EXPECT_EQ(decoded.fingerprint, fp);
+  EXPECT_EQ(decoded.codec_mask, 0u);
+}
+
+TEST(WireFormatCodecTest, ExtendedHelloRoundTrips) {
+  const HelloPayload hello{{2048, 256, 0xABCD}, kCodecSmbz1};
+  const std::vector<uint8_t> payload = EncodeHello(hello);
+  EXPECT_EQ(payload.size(), 32u);
+  HelloPayload decoded;
+  ASSERT_TRUE(DecodeHello(payload, &decoded));
+  EXPECT_EQ(decoded, hello);
+}
+
+TEST(WireFormatCodecTest, DecodeHelloRejectsOtherLengths) {
+  const std::vector<uint8_t> good =
+      EncodeHello({{256, 32, 1}, kCodecSmbz1});
+  HelloPayload decoded;
+  for (const size_t len : {0u, 23u, 25u, 31u, 33u}) {
+    std::vector<uint8_t> bad = good;
+    bad.resize(len, 0);
+    EXPECT_FALSE(DecodeHello(bad, &decoded)) << "length " << len;
+  }
+}
+
+TEST(WireFormatCodecTest, CodecMaskPayloadRoundTrips) {
+  uint64_t mask = 99;
+  ASSERT_TRUE(DecodeCodecMask({}, &mask));
+  EXPECT_EQ(mask, 0u) << "empty ack payload means a pre-codec parent";
+
+  const std::vector<uint8_t> payload = EncodeCodecMask(kCodecSmbz1);
+  EXPECT_EQ(payload.size(), 8u);
+  ASSERT_TRUE(DecodeCodecMask(payload, &mask));
+  EXPECT_EQ(mask, kCodecSmbz1);
+
+  std::vector<uint8_t> bad = payload;
+  bad.resize(7);
+  EXPECT_FALSE(DecodeCodecMask(bad, &mask));
+}
+
+// --------------------------------------------------------------------------
+// End-to-end over real sockets, lockstep fake clock (the harness mirrors
+// replication_e2e_test.cc).
+
+ArenaSmbEngine::Config SmallConfig() {
+  ArenaSmbEngine::Config config;
+  config.num_bits = 256;
+  config.threshold = 32;
+  config.base_seed = 0x5EED;
+  return config;
+}
+
+using FlowFingerprint =
+    std::map<uint64_t, std::tuple<uint32_t, uint32_t, std::vector<uint64_t>>>;
+
+FlowFingerprint Fingerprint(const ArenaSmbEngine& engine) {
+  FlowFingerprint fp;
+  engine.ForEachFlowState([&](uint64_t flow, uint32_t round, uint32_t ones,
+                              std::span<const uint64_t> words) {
+    fp.emplace(flow, std::make_tuple(
+                         round, ones,
+                         std::vector<uint64_t>(words.begin(), words.end())));
+  });
+  return fp;
+}
+
+struct Child {
+  uint64_t id = 0;
+  std::unique_ptr<ArenaSmbEngine> engine;
+  std::unique_ptr<ChildReplicator> replicator;
+};
+
+class ReplicationCodecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("repl_codec_" + std::string(::testing::UnitTest::GetInstance()
+                                            ->current_test_info()
+                                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    now_ms_ = 1000;
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string SocketPath() const { return (dir_ / "parent.sock").string(); }
+
+  ReplicationSink::Options SinkOptions(bool durable = false) {
+    ReplicationSink::Options options;
+    options.socket_path = SocketPath();
+    options.engine_config = SmallConfig();
+    if (durable) options.checkpoint_dir = (dir_ / "ckpt").string();
+    options.checkpoint_sync = false;
+    return options;
+  }
+
+  Child MakeChild(uint64_t id, uint64_t codec_mask) {
+    Child child;
+    child.id = id;
+    child.engine = std::make_unique<ArenaSmbEngine>(SmallConfig());
+    ChildReplicator::Options options;
+    options.socket_path = SocketPath();
+    options.child_id = id;
+    options.spool.directory = (dir_ / ("spool-" + std::to_string(id))).string();
+    options.spool.sync = false;
+    options.backoff_initial_ms = 5;
+    options.backoff_max_ms = 40;
+    options.heartbeat_interval_ms = 20;
+    options.codec_mask = codec_mask;
+    child.replicator =
+        std::make_unique<ChildReplicator>(child.engine.get(), options);
+    return child;
+  }
+
+  // Sparse bursts (single-digit packets) so compressed deltas beat raw
+  // by a wide margin, not a rounding error.
+  void RecordBurst(Child& child, uint64_t flow, size_t packets,
+                   Xoshiro256& rng) {
+    for (size_t p = 0; p < packets; ++p) child.engine->Record(flow, rng.Next());
+    child.replicator->NoteRecorded(flow);
+  }
+
+  void Step(ReplicationSink* sink, std::vector<Child>& children) {
+    for (Child& child : children) child.replicator->Tick(now_ms_);
+    if (sink) sink->PollOnce(now_ms_, 0);
+    now_ms_ += 5;
+  }
+
+  void DrainAll(ReplicationSink* sink, std::vector<Child>& children,
+                size_t max_steps = 3000) {
+    for (size_t step = 0; step < max_steps; ++step) {
+      bool all_drained = true;
+      for (Child& child : children) {
+        if (!child.replicator->Drained()) all_drained = false;
+      }
+      if (all_drained && step > 0) return;
+      Step(sink, children);
+    }
+    for (Child& child : children) {
+      EXPECT_TRUE(child.replicator->Drained())
+          << "child " << child.id << " still undrained";
+    }
+  }
+
+  FlowFingerprint OracleFingerprint(const std::vector<Child>& children) {
+    ArenaSmbEngine merged(SmallConfig());
+    for (const Child& child : children) merged.MergeFrom(*child.engine);
+    return Fingerprint(merged);
+  }
+
+  // Cuts `bursts` sparse deltas per child and drains them.
+  void RunSparseLoad(ReplicationSink* sink, std::vector<Child>& children,
+                     size_t bursts, uint64_t seed) {
+    std::string error;
+    Xoshiro256 rng(seed);
+    for (size_t burst = 0; burst < bursts; ++burst) {
+      for (Child& child : children) {
+        RecordBurst(child, 1 + rng.NextBounded(50), 1 + rng.NextBounded(6),
+                    rng);
+        RecordBurst(child, 1 + rng.NextBounded(50), 1 + rng.NextBounded(6),
+                    rng);
+        ASSERT_EQ(child.replicator->CutDelta(&error),
+                  ChildReplicator::CutStatus::kCut)
+            << error;
+      }
+      for (int i = 0; i < 4; ++i) Step(sink, children);
+    }
+    DrainAll(sink, children);
+  }
+
+  fs::path dir_;
+  uint64_t now_ms_ = 1000;
+};
+
+TEST_F(ReplicationCodecTest, CodecChildrenConvergeWithCompressedDeltas) {
+  ReplicationSink sink(SinkOptions());
+  std::string error;
+  ASSERT_TRUE(sink.Listen(&error)) << error;
+
+  std::vector<Child> children;
+  for (uint64_t id = 1; id <= 3; ++id) {
+    children.push_back(MakeChild(id, kCodecSmbz1));
+  }
+  RunSparseLoad(&sink, children, 4, 0xC0DE);
+
+  EXPECT_EQ(Fingerprint(sink.MergedEngine()), OracleFingerprint(children));
+  EXPECT_GT(sink.stats().compressed_deltas, 0u);
+  EXPECT_EQ(sink.stats().rejected_payloads, 0u);
+  for (const Child& child : children) {
+    EXPECT_EQ(child.replicator->negotiated_codec_mask(), kCodecSmbz1);
+    const auto stats = child.replicator->stats();
+    EXPECT_GT(stats.delta_raw_bytes, stats.delta_stored_bytes)
+        << "sparse deltas should spool compressed";
+  }
+}
+
+TEST_F(ReplicationCodecTest, LegacyChildInteroperatesWithCodecParent) {
+  ReplicationSink sink(SinkOptions());
+  std::string error;
+  ASSERT_TRUE(sink.Listen(&error)) << error;
+
+  std::vector<Child> children;
+  children.push_back(MakeChild(1, /*codec_mask=*/0));
+  RunSparseLoad(&sink, children, 3, 0x1E6A);
+
+  EXPECT_EQ(Fingerprint(sink.MergedEngine()), OracleFingerprint(children));
+  // Nothing on this session may use the codec: legacy 24-byte hello,
+  // raw deltas, bytes spooled exactly as serialized.
+  EXPECT_EQ(children[0].replicator->negotiated_codec_mask(), 0u);
+  EXPECT_EQ(sink.stats().compressed_deltas, 0u);
+  const auto stats = children[0].replicator->stats();
+  EXPECT_EQ(stats.delta_raw_bytes, stats.delta_stored_bytes);
+}
+
+TEST_F(ReplicationCodecTest, CodecChildTranscodesForRawOnlyParent) {
+  ReplicationSink::Options sink_options = SinkOptions();
+  sink_options.codec_mask = 0;  // parent refuses every codec
+  ReplicationSink sink(sink_options);
+  std::string error;
+  ASSERT_TRUE(sink.Listen(&error)) << error;
+
+  std::vector<Child> children;
+  children.push_back(MakeChild(1, kCodecSmbz1));
+  RunSparseLoad(&sink, children, 3, 0x7A21);
+
+  // The child spools compressed but must decompress at the send
+  // boundary for this parent — state still converges, and the parent
+  // never sees an SMBZ1 payload.
+  EXPECT_EQ(Fingerprint(sink.MergedEngine()), OracleFingerprint(children));
+  EXPECT_EQ(children[0].replicator->negotiated_codec_mask(), 0u);
+  EXPECT_EQ(sink.stats().compressed_deltas, 0u);
+  EXPECT_EQ(sink.stats().rejected_payloads, 0u);
+  const auto stats = children[0].replicator->stats();
+  EXPECT_GT(stats.delta_raw_bytes, stats.delta_stored_bytes)
+      << "the spool side stays compressed regardless of the peer";
+}
+
+TEST_F(ReplicationCodecTest, ChildRestartUpgradesCodecOverRawSpool) {
+  // Phase 1: a codec-off child cuts deltas with no parent around — the
+  // spool holds raw FLW1 payloads.
+  std::vector<Child> children;
+  children.push_back(MakeChild(1, /*codec_mask=*/0));
+  std::string error;
+  Xoshiro256 rng(0x11AD);
+  for (size_t burst = 0; burst < 3; ++burst) {
+    RecordBurst(children[0], 1 + burst, 1 + rng.NextBounded(6), rng);
+    ASSERT_EQ(children[0].replicator->CutDelta(&error),
+              ChildReplicator::CutStatus::kCut);
+  }
+  for (int i = 0; i < 5; ++i) Step(nullptr, children);
+
+  // Phase 2: the child restarts with the codec enabled, over the same
+  // spool and engine.
+  Child reborn;
+  reborn.id = 1;
+  reborn.engine = std::move(children[0].engine);
+  {
+    ChildReplicator::Options options = children[0].replicator->options();
+    options.codec_mask = kCodecSmbz1;
+    children[0].replicator.reset();
+    reborn.replicator =
+        std::make_unique<ChildReplicator>(reborn.engine.get(), options);
+  }
+  children.clear();
+  children.push_back(std::move(reborn));
+  ASSERT_EQ(children[0].replicator->stats().spooled_deltas, 3u);
+
+  // The raw spooled deltas are transcoded at the send boundary for the
+  // codec-negotiated session.
+  ReplicationSink sink(SinkOptions());
+  ASSERT_TRUE(sink.Listen(&error)) << error;
+  DrainAll(&sink, children);
+  EXPECT_EQ(Fingerprint(sink.MergedEngine()), OracleFingerprint(children));
+  EXPECT_EQ(children[0].replicator->negotiated_codec_mask(), kCodecSmbz1);
+  EXPECT_GT(sink.stats().compressed_deltas, 0u);
+}
+
+TEST_F(ReplicationCodecTest, CompressedCheckpointSurvivesRestart) {
+  auto sink = std::make_unique<ReplicationSink>(SinkOptions(/*durable=*/true));
+  std::string error;
+  ASSERT_TRUE(sink->Listen(&error)) << error;
+
+  std::vector<Child> children;
+  for (uint64_t id = 1; id <= 2; ++id) {
+    children.push_back(MakeChild(id, kCodecSmbz1));
+  }
+  RunSparseLoad(sink.get(), children, 2, 0xCDEF);
+  ASSERT_GT(sink->stats().checkpoints_written, 0u);
+  const FlowFingerprint acked = Fingerprint(sink->MergedEngine());
+
+  // Kill and restart: the compressed per-child snapshots recover.
+  sink.reset();
+  sink = std::make_unique<ReplicationSink>(SinkOptions(/*durable=*/true));
+  EXPECT_EQ(Fingerprint(sink->MergedEngine()), acked);
+
+  // Restart once more with compression off — recovery sniffs per
+  // snapshot, so a config flip never strands a checkpoint — and keep
+  // streaming.
+  sink.reset();
+  ReplicationSink::Options raw_options = SinkOptions(/*durable=*/true);
+  raw_options.compress_checkpoints = false;
+  sink = std::make_unique<ReplicationSink>(raw_options);
+  EXPECT_EQ(Fingerprint(sink->MergedEngine()), acked);
+  ASSERT_TRUE(sink->Listen(&error)) << error;
+  RunSparseLoad(sink.get(), children, 2, 0xFEED);
+  EXPECT_EQ(Fingerprint(sink->MergedEngine()), OracleFingerprint(children));
+}
+
+// --------------------------------------------------------------------------
+// Spool reclaim accounting.
+
+class DeltaSpoolReclaimTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path(::testing::TempDir()) /
+           ("spool_reclaim_" + std::string(::testing::UnitTest::GetInstance()
+                                               ->current_test_info()
+                                               ->name()));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  DeltaSpool::Options SpoolOptions() {
+    DeltaSpool::Options options;
+    options.directory = dir_.string();
+    options.sync = false;
+    return options;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(DeltaSpoolReclaimTest, TrimThroughCountsReclaimedBytes) {
+  DeltaSpool spool(SpoolOptions());
+  std::string error;
+  for (uint64_t seq = 1; seq <= 3; ++seq) {
+    const std::vector<uint8_t> payload(100 * seq, static_cast<uint8_t>(seq));
+    ASSERT_EQ(spool.Append(seq, payload, &error), DeltaSpool::AppendStatus::kOk)
+        << error;
+  }
+  const size_t total = spool.PendingBytes();
+  EXPECT_EQ(spool.ReclaimedBytes(), 0u);
+
+  spool.TrimThrough(2);
+  EXPECT_EQ(spool.ReclaimedBytes(), total - spool.PendingBytes());
+  const uint64_t after_two = spool.ReclaimedBytes();
+
+  spool.TrimThrough(1);  // monotonic: lower water marks change nothing
+  EXPECT_EQ(spool.ReclaimedBytes(), after_two);
+
+  spool.TrimThrough(3);
+  EXPECT_EQ(spool.ReclaimedBytes(), total);
+  EXPECT_EQ(spool.PendingBytes(), 0u);
+  EXPECT_EQ(spool.PendingCount(), 0u);
+}
+
+TEST_F(DeltaSpoolReclaimTest, RecoverSweepsStaleAckedFiles) {
+  const fs::path stash = dir_.string() + ".stash";
+  uint64_t stale_size = 0;
+  {
+    DeltaSpool spool(SpoolOptions());
+    std::string error;
+    const std::vector<uint8_t> payload(200, 0xAB);
+    ASSERT_EQ(spool.Append(1, payload, &error),
+              DeltaSpool::AppendStatus::kOk);
+    // Stash the spooled file, then ack it away.
+    for (const auto& entry : fs::directory_iterator(dir_)) {
+      fs::create_directories(stash);
+      fs::copy_file(entry.path(), stash / entry.path().filename());
+      stale_size = static_cast<uint64_t>(fs::file_size(entry.path()));
+    }
+    ASSERT_GT(stale_size, 0u);
+    spool.TrimThrough(1);
+    EXPECT_EQ(spool.ReclaimedBytes(), stale_size);
+    // Resurrect the acked file: this is the crash shape where unlink
+    // didn't land but the trim marker did.
+    for (const auto& entry : fs::directory_iterator(stash)) {
+      fs::copy_file(entry.path(), dir_ / entry.path().filename());
+    }
+  }
+  // A fresh spool's Recover() sweeps the stale file and accounts for it.
+  DeltaSpool reborn(SpoolOptions());
+  EXPECT_EQ(reborn.PendingCount(), 0u);
+  EXPECT_EQ(reborn.ReclaimedBytes(), stale_size);
+  EXPECT_EQ(reborn.TrimmedHighWater(), 1u);
+  fs::remove_all(stash);
+}
+
+}  // namespace
+}  // namespace smb::repl

@@ -105,6 +105,15 @@
 //                  (with --replicate-to) how long to wait at EOF for
 //                  the parent to ack everything (default 30, 0 = don't
 //                  wait)
+//   --codec smbz1|off
+//                  SMBZ1 sketch compression (DESIGN.md §17; default
+//                  smbz1): checkpoints store compressed when the
+//                  payload is an FLW1 image, children spool and ship
+//                  compressed deltas, parents accept and write
+//                  compressed. `off` forces raw payloads and the
+//                  legacy hello everywhere. Either setting reads both
+//                  framings, so mixed fleets and old checkpoints keep
+//                  working.
 //   FILE...        input files; stdin when none given
 //
 // Examples:
@@ -131,6 +140,7 @@
 #include <thread>
 #include <vector>
 
+#include "codec/smbz1.h"
 #include "common/table_printer.h"
 #include "core/self_morphing_bitmap.h"
 #include "estimators/estimator_factory.h"
@@ -194,6 +204,8 @@ struct CliOptions {
   bool delta_every_set = false;
   uint64_t drain_timeout_s = 30;
   bool drain_timeout_set = false;
+  // SMBZ1 compression for checkpoints and replication (--codec).
+  bool codec_smbz1 = true;
   std::vector<std::string> inputs;
 };
 
@@ -240,7 +252,8 @@ void PrintUsageAndExit(const char* argv0) {
                "               [--spool-budget BYTES] "
                "[--shed-policy retry|drop]\n"
                "               [--delta-every LINES] "
-               "[--drain-timeout SECONDS]] [FILE...]\n",
+               "[--drain-timeout SECONDS]]\n"
+               "               [--codec smbz1|off] [FILE...]\n",
                argv0);
   std::exit(2);
 }
@@ -353,6 +366,16 @@ CliOptions ParseArgs(int argc, char** argv) {
     } else if (arg == "--drain-timeout") {
       options.drain_timeout_s = std::strtoull(next_value(), nullptr, 10);
       options.drain_timeout_set = true;
+    } else if (arg == "--codec") {
+      const std::string name = next_value();
+      if (name == "smbz1") {
+        options.codec_smbz1 = true;
+      } else if (name == "off") {
+        options.codec_smbz1 = false;
+      } else {
+        std::fprintf(stderr, "unknown codec '%s'\n", name.c_str());
+        PrintUsageAndExit(argv[0]);
+      }
     } else if (arg == "--overload-policy") {
       const std::string name = next_value();
       options.overload_policy_set = true;
@@ -433,6 +456,22 @@ class PeriodicMetricsWriter {
   bool stop_requested_ = false;
   std::thread thread_;
 };
+
+// The SMBZ1 hooks for a CheckpointStore. Non-FLW1 payloads (core SMB
+// snapshots, sharded-estimator images) fall through encode to raw
+// storage, so wiring the codec is safe for every estimator.
+smb::io::CheckpointStore::ContentCodec Smbz1ContentCodec() {
+  smb::io::CheckpointStore::ContentCodec codec;
+  codec.name = "SMBZ1";
+  codec.encode = [](std::span<const uint8_t> payload) {
+    return smb::codec::CompressFlw1Image(payload);
+  };
+  codec.recognize = smb::codec::IsSmbz1Image;
+  codec.decode = [](std::span<const uint8_t> stored) {
+    return smb::codec::DecompressToFlw1Image(stored);
+  };
+  return codec;
+}
 
 // One checkpoint write. A periodic failure is a warning (the run keeps
 // its in-memory state); the final write's result decides the exit code.
@@ -547,6 +586,7 @@ int RunParallel(const CliOptions& options) {
     }
     smb::io::CheckpointStore::Options store_options;
     store_options.directory = options.checkpoint_dir;
+    if (options.codec_smbz1) store_options.codec = Smbz1ContentCodec();
     store = std::make_unique<smb::io::CheckpointStore>(store_options);
     auto recovered = store->RecoverLatest();
     for (const std::string& skipped : recovered.skipped) {
@@ -690,6 +730,10 @@ int RunListen(const CliOptions& options) {
   sink_options.socket_path = options.listen_path;
   sink_options.engine_config = *config;
   sink_options.checkpoint_dir = options.checkpoint_dir;
+  if (!options.codec_smbz1) {
+    sink_options.codec_mask = 0;
+    sink_options.compress_checkpoints = false;
+  }
   smb::repl::ReplicationSink sink(sink_options);
   std::string error;
   if (!sink.Listen(&error)) {
@@ -811,6 +855,8 @@ int RunPerFlow(const CliOptions& options) {
     repl_options.spool.budget_bytes = options.spool_budget_bytes;
     repl_options.spool.sync = true;
     repl_options.shed_policy = options.shed_policy;
+    repl_options.codec_mask =
+        options.codec_smbz1 ? smb::repl::kCodecSmbz1 : 0;
     replicator.emplace(monitor.arena_engine(), repl_options);
   }
   bool repl_io_error = false;
@@ -1023,6 +1069,7 @@ int RunSingle(const CliOptions& options) {
     }
     smb::io::CheckpointStore::Options store_options;
     store_options.directory = options.checkpoint_dir;
+    if (options.codec_smbz1) store_options.codec = Smbz1ContentCodec();
     store = std::make_unique<smb::io::CheckpointStore>(store_options);
     auto recovered = store->RecoverLatest();
     for (const std::string& skipped : recovered.skipped) {

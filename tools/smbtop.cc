@@ -16,8 +16,10 @@
 //               connected/alive liveness, acked sequence, replica flows
 //   gauges      every other gauge — the flow residency set
 //               (flow_live_flows, flow_nursery_flows, flow_live_bytes,
-//               flow_hugepage_bytes, flow_slab_bytes, ...) with `_bytes`
-//               gauges humanized to KiB/MiB/GiB
+//               flow_hugepage_bytes, flow_slab_bytes, flow_cold_*, ...)
+//               with `_bytes` gauges humanized to KiB/MiB/GiB and the
+//               SMBZ1 `_ratio_milli` compression gauges rendered as
+//               "N.NNx"
 //   counters    each counter with its per-second rate since the previous
 //               poll (blank on the first frame)
 //   histograms  per-interval count and p50/p99 log-bucket bounds — the
@@ -70,8 +72,12 @@ bool EndsWith(const std::string& name, const char* suffix) {
   return name.size() >= n && name.compare(name.size() - n, n, suffix) == 0;
 }
 
-// Plain gauges: humanize `_bytes` values, leave counts as integers.
+// Plain gauges: humanize `_bytes` values, render `_ratio_milli` gauges
+// (the codec compression ratios) as "N.NNx", leave counts as integers.
 std::string GaugeValue(const std::string& name, int64_t value) {
+  if (EndsWith(name, "_ratio_milli")) {
+    return TablePrinter::Fmt(static_cast<double>(value) / 1e3, 2) + "x";
+  }
   if (EndsWith(name, "_bytes") && value >= 1024) {
     const char* units[] = {"KiB", "MiB", "GiB", "TiB"};
     double scaled = static_cast<double>(value);
